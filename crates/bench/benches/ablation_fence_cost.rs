@@ -1,0 +1,58 @@
+//! **Ablation A3** (§3.2): the cost of the per-node memory fence.
+//!
+//! A Criterion microbenchmark of the protection primitive itself: publishing one
+//! hazard pointer and re-validating, in a tight loop, under classic HP (store +
+//! `mfence`), Cadence (store + compiler fence) and QSense (same as Cadence, plus the
+//! epoch bookkeeping at operation boundaries). This isolates the instruction-level
+//! difference that produces the figure-level gaps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reclaim_core::{Smr, SmrConfig, SmrHandle};
+use std::hint::black_box;
+
+fn protect_loop<H: SmrHandle>(handle: &mut H, rounds: u64) {
+    for i in 0..rounds {
+        // Publish a (fake but nonnull) protected address, as a traversal would for
+        // every node it visits, then pretend to validate it.
+        let ptr = (0x1000 + (i % 64) * 8) as *mut u8;
+        handle.protect(0, ptr);
+        black_box(ptr);
+    }
+}
+
+fn bench_protect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protect_per_node");
+    let rounds = 1_024_u64;
+    group.throughput(criterion::Throughput::Elements(rounds));
+
+    let config = SmrConfig::default().with_rooster_threads(1);
+
+    let hp = hazard::Hazard::new(config.clone());
+    let mut hp_handle = hp.register();
+    group.bench_function("hp_store_plus_mfence", |b| {
+        b.iter(|| protect_loop(&mut hp_handle, rounds))
+    });
+
+    let cadence = cadence::Cadence::new(config.clone());
+    let mut cadence_handle = cadence.register();
+    group.bench_function("cadence_store_only", |b| {
+        b.iter(|| protect_loop(&mut cadence_handle, rounds))
+    });
+
+    let qsense = qsense::QSense::new(config.clone());
+    let mut qsense_handle = qsense.register();
+    group.bench_function("qsense_store_only", |b| {
+        b.iter(|| protect_loop(&mut qsense_handle, rounds))
+    });
+
+    let qsbr = qsbr::Qsbr::new(config);
+    let mut qsbr_handle = qsbr.register();
+    group.bench_function("qsbr_noop", |b| {
+        b.iter(|| protect_loop(&mut qsbr_handle, rounds))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_protect);
+criterion_main!(benches);

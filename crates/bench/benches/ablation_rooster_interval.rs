@@ -1,0 +1,43 @@
+//! **Ablation A1** (design choice of §5.1): the Cadence rooster sleep interval `T`.
+//!
+//! Deferred reclamation may only free nodes older than `T + ε`, so a larger `T`
+//! trades a longer memory tail (more nodes parked in limbo) for fewer rooster
+//! wake-ups. This sweep runs the stand-alone Cadence scheme on the linked list with
+//! several values of `T` and reports throughput and the retired-but-unreclaimed node
+//! count at the end of the run.
+
+use std::sync::Arc;
+use std::time::Duration;
+use workload::{
+    make_set, report, run_experiment, Experiment, OpMix, SchemeKind, Structure, WorkloadSpec,
+};
+
+fn main() {
+    let threads = 4;
+    let spec = WorkloadSpec::new(Structure::List.default_key_range(), OpMix::updates_50());
+    println!("Ablation A1: Cadence rooster interval sweep, linked list, {threads} threads, 50% updates");
+    report::section("rooster interval T -> throughput / unreclaimed tail");
+    for interval_ms in [1_u64, 5, 20, 50, 100] {
+        let config = workload::default_bench_config(threads + 2)
+            .with_rooster_interval(Duration::from_millis(interval_ms))
+            .with_rooster_epsilon(Duration::from_millis(1));
+        let set = make_set(Structure::List, SchemeKind::Cadence, config);
+        let experiment = Experiment {
+            set: Arc::clone(&set),
+            spec,
+            threads,
+            duration: Duration::from_secs_f64(bench::point_seconds()),
+            delay: None,
+            sample_interval: None,
+            limbo_cap: None,
+        };
+        let result = run_experiment(&experiment);
+        println!(
+            "T = {:>4} ms   {:>9.3} Mops/s   in-limbo at end = {:>8}   scans = {}",
+            interval_ms,
+            result.mops(),
+            result.stats.in_limbo(),
+            result.stats.scans
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! **Ablation A5** (§5.1): the scan threshold `R`.
+//!
+//! `R` is the number of retired nodes a thread accumulates before it runs a
+//! hazard-pointer scan (HP, Cadence, and QSense's fallback path). The paper's
+//! liveness bound (Property 2) is `N·(K + T + R)` retired nodes, so `R` trades scan
+//! frequency (amortized CPU cost) against the size of the unreclaimed tail. The
+//! sweep measures both sides of the trade for classic HP and for Cadence.
+
+use bench::point_seconds;
+use std::sync::Arc;
+use std::time::Duration;
+use workload::{
+    make_set, report, run_experiment, Experiment, OpMix, SchemeKind, Structure, WorkloadSpec,
+};
+
+fn main() {
+    let threads = 4;
+    let spec = WorkloadSpec::new(Structure::List.default_key_range(), OpMix::updates_50());
+    println!("Ablation A5: scan threshold R, linked list, {threads} threads, 50% updates");
+
+    for scheme in [SchemeKind::Hp, SchemeKind::Cadence, SchemeKind::QSense] {
+        report::section(&format!("scheme = {}", scheme.name()));
+        for r in [16usize, 64, 256, 1024] {
+            let config = workload::default_bench_config(threads + 2).with_scan_threshold(r);
+            let set = make_set(Structure::List, scheme, config);
+            let result = run_experiment(&Experiment {
+                set: Arc::clone(&set),
+                spec,
+                threads,
+                duration: Duration::from_secs_f64(point_seconds()),
+                delay: None,
+                sample_interval: None,
+                limbo_cap: None,
+            });
+            println!(
+                "R = {:>5}   {:>9.3} Mops/s   scans = {:>7}   freed = {:>9}   in-limbo = {:>7}",
+                r,
+                result.mops(),
+                result.stats.scans,
+                result.stats.freed,
+                result.stats.in_limbo()
+            );
+        }
+    }
+
+    println!();
+    println!("# Larger R amortizes scan cost over more retires but lengthens the unreclaimed");
+    println!("# tail, exactly as Property 2's N*(K + T + R) bound predicts.");
+}

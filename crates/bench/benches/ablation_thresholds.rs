@@ -1,0 +1,68 @@
+//! **Ablation A2** (§3.1 / §5.2): QSense's quiescence threshold `Q` and fallback
+//! threshold `C`.
+//!
+//! `Q` controls how many operations are batched per quiescent state (larger `Q` =
+//! less bookkeeping but coarser reclamation); `C` controls how much unreclaimed
+//! memory a delayed thread may cause before QSense abandons the fast path. The sweep
+//! reports throughput, limbo tail and the number of path switches.
+
+use std::sync::Arc;
+use std::time::Duration;
+use workload::{
+    make_set, report, run_experiment, DelaySchedule, Experiment, OpMix, SchemeKind, Structure,
+    WorkloadSpec,
+};
+
+fn main() {
+    let threads = 4;
+    let spec = WorkloadSpec::new(Structure::List.default_key_range(), OpMix::updates_50());
+
+    println!("Ablation A2: QSense thresholds, linked list, {threads} threads, 50% updates");
+    report::section("quiescence threshold Q -> throughput (no delays)");
+    for q in [1_usize, 16, 64, 256, 1024] {
+        let config = workload::default_bench_config(threads + 2).with_quiescence_threshold(q);
+        let set = make_set(Structure::List, SchemeKind::QSense, config);
+        let experiment = Experiment {
+            set: Arc::clone(&set),
+            spec,
+            threads,
+            duration: Duration::from_secs_f64(bench::point_seconds()),
+            delay: None,
+            sample_interval: None,
+            limbo_cap: None,
+        };
+        let result = run_experiment(&experiment);
+        println!(
+            "Q = {:>5}   {:>9.3} Mops/s   quiescent states = {:>8}   in-limbo = {:>7}",
+            q,
+            result.mops(),
+            result.stats.quiescent_states,
+            result.stats.in_limbo()
+        );
+    }
+
+    report::section("fallback threshold C -> switches under periodic delays");
+    for c in [256_usize, 1024, 8192, 65536] {
+        let config = workload::default_bench_config(threads + 2).with_fallback_threshold(c);
+        let set = make_set(Structure::List, SchemeKind::QSense, config);
+        let run_secs = (bench::point_seconds() * 4.0).max(1.0);
+        let experiment = Experiment {
+            set: Arc::clone(&set),
+            spec,
+            threads,
+            duration: Duration::from_secs_f64(run_secs),
+            delay: Some(DelaySchedule::paper_scaled(run_secs / 100.0)),
+            sample_interval: None,
+            limbo_cap: None,
+        };
+        let result = run_experiment(&experiment);
+        println!(
+            "C = {:>6}   {:>9.3} Mops/s   fallback switches = {:>3}   fast-path switches = {:>3}   in-limbo = {:>8}",
+            c,
+            result.mops(),
+            result.stats.fallback_switches,
+            result.stats.fast_path_switches,
+            result.stats.in_limbo()
+        );
+    }
+}

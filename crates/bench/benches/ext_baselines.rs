@@ -1,0 +1,62 @@
+//! **Extension E1**: the related-work baselines of §8, measured side by side.
+//!
+//! The paper's related-work section orders the classic techniques by hot-path cost:
+//! reference counting pays an atomic read-modify-write per node visited, hazard
+//! pointers pay a fence per node, epoch/quiescence schemes pay (almost) nothing.
+//! This benchmark puts every implemented scheme — the paper's four plus the EBR and
+//! RC baselines this reproduction adds — on the same linked-list workloads so that
+//! the ordering claimed in §8 is directly observable.
+//!
+//! Expected shape: none ≥ qsbr ≈ ebr > qsense > cadence ≫ hp ≥ rc, with the gap
+//! between the left and right halves growing as the read share grows (fences and
+//! RMWs hurt read-only traversals most).
+
+use bench::{point_seconds, thread_counts};
+use std::sync::Arc;
+use std::time::Duration;
+use workload::{
+    make_set, report, run_experiment, Experiment, OpMix, SchemeKind, Structure, WorkloadSpec,
+};
+
+fn run_cell(scheme: SchemeKind, threads: usize, spec: WorkloadSpec) -> workload::RunResult {
+    let set = make_set(
+        Structure::List,
+        scheme,
+        workload::default_bench_config(threads + 2),
+    );
+    run_experiment(&Experiment {
+        set: Arc::clone(&set),
+        spec,
+        threads,
+        duration: Duration::from_secs_f64(point_seconds()),
+        delay: None,
+        sample_interval: None,
+        limbo_cap: None,
+    })
+}
+
+fn main() {
+    let threads = *thread_counts().last().unwrap_or(&4);
+    println!(
+        "Extension E1: every implemented scheme on the linked list ({} keys), {} threads",
+        Structure::List.default_key_range(),
+        threads
+    );
+
+    for (label, mix) in [
+        ("10% updates (read-mostly, the regime that punishes per-node costs)", OpMix::updates_10()),
+        ("50% updates (the paper's Figure 5 mix)", OpMix::updates_50()),
+    ] {
+        report::section(label);
+        let spec = WorkloadSpec::new(Structure::List.default_key_range(), mix);
+        let baseline = run_cell(SchemeKind::None, threads, spec);
+        println!("{}", report::throughput_row(&baseline, None));
+        for scheme in SchemeKind::extended() {
+            if scheme == SchemeKind::None {
+                continue;
+            }
+            let result = run_cell(scheme, threads, spec);
+            println!("{}", report::throughput_row(&result, Some(baseline.mops())));
+        }
+    }
+}

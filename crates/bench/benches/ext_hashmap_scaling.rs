@@ -1,0 +1,30 @@
+//! **Extension E2**: scalability on the lock-free hash map.
+//!
+//! The paper evaluates QSense on three pointer-chasing ordered sets. Michael's
+//! original hash table (an array of the same lock-free lists) is the structure the
+//! hazard-pointer methodology was designed around, and it has the *shortest*
+//! traversals of all — a handful of nodes per operation — which makes it the
+//! worst case for any scheme whose overhead is paid per operation rather than per
+//! node (QSBR's batched quiescence) and the best case for per-node-cost schemes.
+//! Running the same sweep as Figure 5 on the hash map therefore checks that the
+//! paper's ordering (None ≥ QSBR > QSense ≫ HP) is not an artifact of long
+//! traversals.
+
+use bench::{fig5_schemes, run_series, thread_counts};
+use workload::{report, OpMix, Structure, WorkloadSpec};
+
+fn main() {
+    let spec = WorkloadSpec::new(Structure::HashMap.default_key_range(), OpMix::updates_50());
+    println!(
+        "Extension E2: hash map, {} keys, 50% updates, threads = {:?}",
+        spec.key_range,
+        thread_counts()
+    );
+
+    let baseline = run_series(Structure::HashMap, fig5_schemes()[0], spec);
+    report::print_series("none (leaky baseline)", &baseline, None);
+    for scheme in &fig5_schemes()[1..] {
+        let series = run_series(Structure::HashMap, *scheme, spec);
+        report::print_series(scheme.name(), &series, Some(&baseline));
+    }
+}

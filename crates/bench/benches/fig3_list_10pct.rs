@@ -1,0 +1,21 @@
+//! **Figure 3** of the paper: QSense, HP and no reclamation on a linked list of
+//! 2 000 elements with a 10% updates workload; throughput as a function of the
+//! number of threads.
+//!
+//! Expected shape (paper): None ≥ QSense ≫ HP, with QSense two to three times the
+//! throughput of HP.
+
+use bench::{fig3_schemes, run_series, thread_counts};
+use workload::{report, Structure, WorkloadSpec};
+
+fn main() {
+    let spec = WorkloadSpec::fig3_list();
+    println!("Figure 3: linked list, {} keys, 10% updates, threads = {:?}", spec.key_range, thread_counts());
+
+    let baseline = run_series(Structure::List, bench::fig3_schemes()[0], spec);
+    report::print_series("none (leaky baseline)", &baseline, None);
+    for scheme in &fig3_schemes()[1..] {
+        let series = run_series(Structure::List, *scheme, spec);
+        report::print_series(scheme.name(), &series, Some(&baseline));
+    }
+}

@@ -1,0 +1,37 @@
+//! **Figure 5, bottom row**: path switching with process delays.
+//!
+//! 8 worker threads, 50% updates; one thread is delayed for the middle half of every
+//! cycle (the paper delays it during seconds 10–20, 30–40, … of a 100-second run).
+//! Throughput is sampled over time for QSBR, QSense and HP on each structure.
+//!
+//! Expected shape (paper): QSBR stops reclaiming at the first delay and eventually
+//! runs out of memory (reported here as an `ABORTED_AT` marker when the unreclaimed-
+//! node cap is hit); QSense keeps running, dipping to Cadence-level throughput during
+//! delays and recovering to QSBR-level afterwards; HP runs throughout at roughly a
+//! third of QSense's fallback throughput.
+
+use bench::{delay_run_seconds, delay_schemes, full_scale, run_delay_timeline};
+use workload::{report, Structure};
+
+fn main() {
+    let threads = if full_scale() { 8 } else { 4 };
+    println!(
+        "Figure 5 (bottom row): delay timelines, {} threads, {}s per series, one thread delayed half of every cycle",
+        threads,
+        delay_run_seconds()
+    );
+    for structure in [Structure::List, Structure::SkipList, Structure::Bst] {
+        report::section(&format!("{} timelines", structure.name()));
+        for scheme in delay_schemes() {
+            let result = run_delay_timeline(structure, scheme, threads);
+            report::print_timeline(&result);
+            println!(
+                "# summary {}: {:.3} Mops/s overall, fallback switches = {}, fast-path switches = {}",
+                result.scheme,
+                result.mops(),
+                result.stats.fallback_switches,
+                result.stats.fast_path_switches
+            );
+        }
+    }
+}

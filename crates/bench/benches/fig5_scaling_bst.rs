@@ -1,0 +1,24 @@
+//! **Figure 5, top-right**: scalability of memory reclamation on the binary search
+//! tree (paper: 2 000 000 keys; default here 200 000 — see DESIGN.md §3 — and the
+//! full range with `QSENSE_BENCH_FULL=1`), 50% updates — None, QSBR, QSense, HP.
+//!
+//! Expected shape (paper): same ordering as the other structures; the BST uses 6
+//! hazard pointers and short (logarithmic) traversals.
+
+use bench::{fig5_schemes, key_range, run_series, thread_counts};
+use workload::{report, OpMix, Structure, WorkloadSpec};
+
+fn main() {
+    let spec = WorkloadSpec::new(key_range(Structure::Bst), OpMix::updates_50());
+    println!(
+        "Figure 5 (top-right): BST, {} keys, 50% updates, threads = {:?}",
+        spec.key_range,
+        thread_counts()
+    );
+    let baseline = run_series(Structure::Bst, fig5_schemes()[0], spec);
+    report::print_series("none (leaky baseline)", &baseline, None);
+    for scheme in &fig5_schemes()[1..] {
+        let series = run_series(Structure::Bst, *scheme, spec);
+        report::print_series(scheme.name(), &series, Some(&baseline));
+    }
+}

@@ -1,0 +1,23 @@
+//! **Figure 5, top-left**: scalability of memory reclamation on the linked list
+//! (2 000 keys, 50% updates) — None, QSBR, QSense, HP; throughput vs threads.
+//!
+//! Expected shape (paper): QSBR within a few percent of None, QSense ~29% below
+//! None, HP far below everything (≈80% overhead).
+
+use bench::{fig5_schemes, run_series, thread_counts};
+use workload::{report, Structure, WorkloadSpec};
+
+fn main() {
+    let spec = WorkloadSpec::fig5_scaling(Structure::List);
+    println!(
+        "Figure 5 (top-left): linked list, {} keys, 50% updates, threads = {:?}",
+        spec.key_range,
+        thread_counts()
+    );
+    let baseline = run_series(Structure::List, fig5_schemes()[0], spec);
+    report::print_series("none (leaky baseline)", &baseline, None);
+    for scheme in &fig5_schemes()[1..] {
+        let series = run_series(Structure::List, *scheme, spec);
+        report::print_series(scheme.name(), &series, Some(&baseline));
+    }
+}

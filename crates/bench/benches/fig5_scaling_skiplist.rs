@@ -1,0 +1,23 @@
+//! **Figure 5, top-middle**: scalability of memory reclamation on the skip list
+//! (20 000 keys, 50% updates) — None, QSBR, QSense, HP; throughput vs threads.
+//!
+//! Expected shape (paper): as for the list, but with a larger gap between QSBR and
+//! QSense because the skip list maintains up to 35 hazard pointers per thread.
+
+use bench::{fig5_schemes, key_range, run_series, thread_counts};
+use workload::{report, OpMix, Structure, WorkloadSpec};
+
+fn main() {
+    let spec = WorkloadSpec::new(key_range(Structure::SkipList), OpMix::updates_50());
+    println!(
+        "Figure 5 (top-middle): skip list, {} keys, 50% updates, threads = {:?}",
+        spec.key_range,
+        thread_counts()
+    );
+    let baseline = run_series(Structure::SkipList, fig5_schemes()[0], spec);
+    report::print_series("none (leaky baseline)", &baseline, None);
+    for scheme in &fig5_schemes()[1..] {
+        let series = run_series(Structure::SkipList, *scheme, spec);
+        report::print_series(scheme.name(), &series, Some(&baseline));
+    }
+}

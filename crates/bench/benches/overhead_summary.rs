@@ -1,0 +1,60 @@
+//! **In-text aggregate claims of §7.3**: average overhead over the leaky baseline
+//! across the three data structures, and the QSense-vs-HP ratio.
+//!
+//! Paper-reported values: QSBR ≈ 2.3% average overhead, QSense ≈ 29%, HP ≈ 80%;
+//! QSense outperforms HP by 2–3×; Cadence (the fallback path alone) outperforms HP
+//! by ≈3×.
+
+use bench::{key_range, run_point, thread_counts};
+use workload::{report, OpMix, RunResult, SchemeKind, Structure, WorkloadSpec};
+
+fn collect(scheme: SchemeKind, threads: usize) -> Vec<RunResult> {
+    [Structure::List, Structure::SkipList, Structure::Bst]
+        .into_iter()
+        .map(|structure| {
+            let spec = WorkloadSpec::new(key_range(structure), OpMix::updates_50());
+            run_point(structure, scheme, threads, spec)
+        })
+        .collect()
+}
+
+fn main() {
+    let threads = *thread_counts().last().unwrap_or(&4);
+    println!(
+        "Overhead summary across list / skip list / BST, 50% updates, {} threads",
+        threads
+    );
+    let baseline = collect(SchemeKind::None, threads);
+    report::print_series("none (leaky baseline)", &baseline, None);
+
+    let mut qsense_mops = 0.0;
+    let mut hp_mops = 0.0;
+    for scheme in [
+        SchemeKind::Qsbr,
+        SchemeKind::QSense,
+        SchemeKind::Cadence,
+        SchemeKind::Hp,
+    ] {
+        let series = collect(scheme, threads);
+        report::print_series(scheme.name(), &series, Some(&baseline));
+        let overhead = report::average_overhead_pct(&series, &baseline);
+        let mean_mops: f64 =
+            series.iter().map(RunResult::mops).sum::<f64>() / series.len() as f64;
+        println!(
+            "-> {}: average overhead vs none = {:.1}%   (paper: qsbr 2.3%, qsense 29%, hp 80%)",
+            scheme.name(),
+            overhead
+        );
+        match scheme {
+            SchemeKind::QSense => qsense_mops = mean_mops,
+            SchemeKind::Hp => hp_mops = mean_mops,
+            _ => {}
+        }
+    }
+    if hp_mops > 0.0 {
+        println!(
+            "-> qsense / hp throughput ratio = {:.2}x   (paper: 2x-3x)",
+            qsense_mops / hp_mops
+        );
+    }
+}

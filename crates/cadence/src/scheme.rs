@@ -1,0 +1,285 @@
+//! The Cadence scheme object and per-thread handle.
+
+use crate::rooster::Rooster;
+use reclaim_core::retired::DropFn;
+use reclaim_core::stats::StatsSnapshot;
+use reclaim_core::{
+    membarrier, Registry, RetiredBag, RetiredPtr, SlotId, Smr, SmrConfig, SmrHandle, SmrStats,
+};
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Per-thread shared record: `K` hazard-pointer slots, written without fences.
+pub(crate) struct CadenceRecord {
+    slots: Box<[AtomicPtr<u8>]>,
+}
+
+impl CadenceRecord {
+    fn new(k: usize) -> Self {
+        Self {
+            slots: (0..k)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect(),
+        }
+    }
+
+    /// Publishes a hazard pointer **without a hardware fence** — the defining
+    /// difference from classic HP (paper Algorithm 3, `assign_HP`, lines 8–12:
+    /// "No need for a memory barrier here").
+    #[inline]
+    fn set(&self, index: usize, ptr: *mut u8) {
+        self.slots[index].store(ptr, Ordering::Release);
+        // Only a compiler fence: the store must not be reordered (by the compiler)
+        // after the caller's validation load; hardware-level visibility is provided
+        // by the rooster wake-up + deferred-reclamation age bound.
+        membarrier::light_barrier();
+    }
+
+    fn clear_all(&self) {
+        for slot in self.slots.iter() {
+            slot.store(std::ptr::null_mut(), Ordering::Release);
+        }
+    }
+
+    fn collect_into(&self, out: &mut Vec<*mut u8>) {
+        for slot in self.slots.iter() {
+            let p = slot.load(Ordering::Acquire);
+            if !p.is_null() {
+                out.push(p);
+            }
+        }
+    }
+}
+
+/// The Cadence reclamation scheme (the paper's fallback path, usable stand-alone).
+pub struct Cadence {
+    config: SmrConfig,
+    stats: SmrStats,
+    registry: Registry<CadenceRecord>,
+    rooster: Mutex<Rooster>,
+    parked: Mutex<Vec<RetiredBag>>,
+}
+
+impl Cadence {
+    /// Creates a Cadence scheme, spawning its rooster threads.
+    pub fn new(config: SmrConfig) -> Arc<Self> {
+        let registry = Registry::new(config.max_threads, |_| {
+            CadenceRecord::new(config.hp_per_thread)
+        });
+        let rooster = Rooster::spawn(
+            config.rooster_threads,
+            config.rooster_interval,
+            config.use_membarrier,
+        );
+        Arc::new(Self {
+            config,
+            stats: SmrStats::new(),
+            registry,
+            rooster: Mutex::new(rooster),
+            parked: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Creates a Cadence scheme with default configuration.
+    pub fn with_defaults() -> Arc<Self> {
+        Self::new(SmrConfig::default())
+    }
+
+    /// The configuration this scheme was created with.
+    pub fn config(&self) -> &SmrConfig {
+        &self.config
+    }
+
+    /// Total rooster wake-ups so far (diagnostics / tests).
+    pub fn rooster_wakeups(&self) -> u64 {
+        self.rooster
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .wakeup_count()
+    }
+
+    fn protected_snapshot(&self) -> Vec<*mut u8> {
+        let mut out = Vec::with_capacity(self.config.max_threads * self.config.hp_per_thread);
+        for (_, record) in self.registry.iter_all() {
+            record.collect_into(&mut out);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The paper's `scan` (Algorithm 3, lines 14–33): free retired nodes that are
+    /// both *old enough* (deferred reclamation) and not covered by any hazard
+    /// pointer; keep the rest for a later scan.
+    fn scan(&self, bag: &mut RetiredBag) -> usize {
+        self.stats.add_scan();
+        let protected = self.protected_snapshot();
+        let now = self.config.clock.now();
+        let min_age = self.config.min_reclaim_age_nanos();
+        // SAFETY (paper Property 1): a node that has been retired for at least
+        // T + ε was unlinked before the most recent rooster wake-up, so any hazard
+        // pointer that could protect it (published, per Condition 1, while the node
+        // was still reachable, i.e. before it was retired) is visible to this scan.
+        // If the snapshot does not contain the node, no thread holds a hazardous
+        // reference to it and freeing is safe.
+        let freed = unsafe {
+            bag.reclaim_if(|node| {
+                node.is_old_enough(now, min_age)
+                    && protected.binary_search(&node.addr()).is_err()
+            })
+        };
+        self.stats.add_freed(freed as u64);
+        freed
+    }
+}
+
+impl Smr for Cadence {
+    type Handle = CadenceHandle;
+
+    fn register(self: &Arc<Self>) -> CadenceHandle {
+        let slot = self
+            .registry
+            .acquire()
+            .expect("cadence: more threads registered than config.max_threads");
+        CadenceHandle {
+            scheme: Arc::clone(self),
+            slot,
+            retired: RetiredBag::with_capacity(self.config.scan_threshold + 1),
+            since_last_scan: 0,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "cadence"
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+impl Drop for Cadence {
+    fn drop(&mut self) {
+        self.rooster
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .shutdown();
+        let mut parked = self.parked.lock().unwrap_or_else(|e| e.into_inner());
+        for mut bag in parked.drain(..) {
+            let freed = unsafe { bag.reclaim_all() };
+            self.stats.add_freed(freed as u64);
+        }
+    }
+}
+
+/// Per-thread handle for [`Cadence`].
+pub struct CadenceHandle {
+    scheme: Arc<Cadence>,
+    slot: SlotId,
+    retired: RetiredBag,
+    since_last_scan: usize,
+}
+
+impl CadenceHandle {
+    fn record(&self) -> &CadenceRecord {
+        self.scheme.registry.get_mine(self.slot)
+    }
+}
+
+impl SmrHandle for CadenceHandle {
+    fn begin_op(&mut self) {}
+
+    fn end_op(&mut self) {}
+
+    #[inline]
+    fn protect(&mut self, index: usize, ptr: *mut u8) {
+        assert!(
+            index < self.scheme.config.hp_per_thread,
+            "hazard-pointer index {index} out of range (K = {})",
+            self.scheme.config.hp_per_thread
+        );
+        self.record().set(index, ptr);
+    }
+
+    fn clear_protections(&mut self) {
+        self.record().clear_all();
+    }
+
+    unsafe fn retire(&mut self, ptr: *mut u8, drop_fn: DropFn) {
+        self.scheme.stats.add_retired(1);
+        // Timestamp at removal time — the paper's `free_node_later` records
+        // `time_created` on the wrapper node.
+        let now = self.scheme.config.clock.now();
+        // SAFETY: forwarded from the caller's contract.
+        self.retired.push(unsafe { RetiredPtr::new(ptr, drop_fn, now) });
+        self.since_last_scan += 1;
+        if self.since_last_scan >= self.scheme.config.scan_threshold {
+            self.since_last_scan = 0;
+            self.scheme.scan(&mut self.retired);
+        }
+    }
+
+    fn flush(&mut self) {
+        self.since_last_scan = 0;
+        self.scheme.scan(&mut self.retired);
+    }
+
+    fn local_in_limbo(&self) -> usize {
+        self.retired.len()
+    }
+}
+
+impl Drop for CadenceHandle {
+    fn drop(&mut self) {
+        self.record().clear_all();
+        self.scheme.scan(&mut self.retired);
+        if !self.retired.is_empty() {
+            let mut moved = RetiredBag::new();
+            moved.append(&mut self.retired);
+            self.scheme
+                .parked
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(moved);
+        }
+        self.scheme.registry.release(self.slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_set_and_collect_without_fence() {
+        let record = CadenceRecord::new(2);
+        record.set(0, 0x42 as *mut u8);
+        let mut out = Vec::new();
+        record.collect_into(&mut out);
+        assert_eq!(out, vec![0x42 as *mut u8]);
+        record.clear_all();
+        out.clear();
+        record.collect_into(&mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn snapshot_merges_all_threads() {
+        let scheme = Cadence::new(
+            SmrConfig::default()
+                .with_max_threads(2)
+                .with_hp_per_thread(1)
+                .with_rooster_threads(0),
+        );
+        let a = scheme.register();
+        let b = scheme.register();
+        a.record().set(0, 0x10 as *mut u8);
+        b.record().set(0, 0x20 as *mut u8);
+        assert_eq!(
+            scheme.protected_snapshot(),
+            vec![0x10 as *mut u8, 0x20 as *mut u8]
+        );
+        drop(a);
+        drop(b);
+    }
+}

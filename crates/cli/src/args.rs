@@ -1,0 +1,303 @@
+//! Command-line argument parsing for `qsense-bench`.
+//!
+//! The parser is hand-rolled (no external dependency) and kept separate from
+//! `main.rs` so it can be unit-tested: every flag corresponds either to a paper
+//! parameter (`Q`, `R`, `C`, `T`, key range, update percentage) or to an experiment
+//! shape (scalability point, delay timeline, scheme comparison).
+
+use std::time::Duration;
+use workload::{OpMix, SchemeKind, Structure};
+
+/// Which schemes a run compares.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchemeSelection {
+    /// A single scheme.
+    One(SchemeKind),
+    /// The paper's legend (none, qsbr, qsense, hp, cadence).
+    Paper,
+    /// Every implemented scheme, including the related-work baselines.
+    All,
+}
+
+impl SchemeSelection {
+    /// The concrete schemes this selection expands to.
+    pub fn schemes(self) -> Vec<SchemeKind> {
+        match self {
+            SchemeSelection::One(kind) => vec![kind],
+            SchemeSelection::Paper => SchemeKind::all().to_vec(),
+            SchemeSelection::All => SchemeKind::extended().to_vec(),
+        }
+    }
+}
+
+/// Parsed command-line options.
+#[derive(Clone, Debug)]
+pub struct CliOptions {
+    /// Data structure under test.
+    pub structure: Structure,
+    /// Scheme or scheme set under test.
+    pub schemes: SchemeSelection,
+    /// Worker threads.
+    pub threads: usize,
+    /// Measured duration per run.
+    pub duration: Duration,
+    /// Percentage of update operations (split evenly between inserts and deletes).
+    pub update_pct: u8,
+    /// Key range; defaults to the structure's default range.
+    pub key_range: Option<u64>,
+    /// Inject the paper's periodic delay (one thread sleeps half of every cycle).
+    pub inject_delay: bool,
+    /// Print a throughput/limbo time series instead of a single summary row.
+    pub timeline: bool,
+    /// Quiescence threshold `Q` override.
+    pub quiescence: Option<usize>,
+    /// Scan threshold `R` override.
+    pub scan: Option<usize>,
+    /// Fallback threshold `C` override.
+    pub fallback: Option<usize>,
+    /// Rooster interval `T` override, in milliseconds.
+    pub rooster_ms: Option<u64>,
+    /// Eviction timeout override, in milliseconds (enables the extension).
+    pub eviction_ms: Option<u64>,
+    /// Print the usage text and exit.
+    pub help: bool,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        Self {
+            structure: Structure::List,
+            schemes: SchemeSelection::One(SchemeKind::QSense),
+            threads: 4,
+            duration: Duration::from_secs(1),
+            update_pct: 50,
+            key_range: None,
+            inject_delay: false,
+            timeline: false,
+            quiescence: None,
+            scan: None,
+            fallback: None,
+            rooster_ms: None,
+            eviction_ms: None,
+            help: false,
+        }
+    }
+}
+
+/// The usage text printed by `--help` and on parse errors.
+pub const USAGE: &str = "\
+qsense-bench — run one cell (or one comparison) of the QSense evaluation matrix
+
+USAGE:
+    qsense-bench [OPTIONS]
+
+OPTIONS:
+    --structure <list|skiplist|bst|hashmap>   data structure        [default: list]
+    --scheme <none|qsbr|ebr|rc|hp|cadence|qsense|paper|all>
+                                              scheme or scheme set  [default: qsense]
+    --threads <N>                             worker threads        [default: 4]
+    --duration <SECONDS>                      measured seconds      [default: 1]
+    --updates <PCT>                           update percentage     [default: 50]
+    --key-range <N>                           key range             [default: per structure]
+    --delay                                   delay one thread periodically (Figure 5 bottom)
+    --timeline                                print a time series (throughput, in-limbo)
+    --quiescence <Q>                          quiescence threshold override
+    --scan <R>                                scan threshold override
+    --fallback <C>                            fallback threshold override
+    --rooster-ms <T>                          rooster interval override (milliseconds)
+    --eviction-ms <MS>                        enable the eviction extension with this timeout
+    --help                                    print this text
+";
+
+fn parse_structure(value: &str) -> Result<Structure, String> {
+    match value {
+        "list" | "linked-list" => Ok(Structure::List),
+        "skiplist" | "skip-list" => Ok(Structure::SkipList),
+        "bst" | "tree" => Ok(Structure::Bst),
+        "hashmap" | "hash-map" | "map" => Ok(Structure::HashMap),
+        other => Err(format!("unknown structure '{other}'")),
+    }
+}
+
+fn parse_scheme(value: &str) -> Result<SchemeSelection, String> {
+    let one = |kind| Ok(SchemeSelection::One(kind));
+    match value {
+        "none" | "leaky" => one(SchemeKind::None),
+        "qsbr" => one(SchemeKind::Qsbr),
+        "ebr" => one(SchemeKind::Ebr),
+        "rc" | "refcount" => one(SchemeKind::RefCount),
+        "hp" | "hazard" => one(SchemeKind::Hp),
+        "cadence" => one(SchemeKind::Cadence),
+        "qsense" => one(SchemeKind::QSense),
+        "paper" => Ok(SchemeSelection::Paper),
+        "all" => Ok(SchemeSelection::All),
+        other => Err(format!("unknown scheme '{other}'")),
+    }
+}
+
+fn parse_number<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{flag} expects a number, got '{value}'"))
+}
+
+impl CliOptions {
+    /// Parses the given arguments (without the program name).
+    pub fn parse<I, S>(args: I) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut options = Self::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            let arg = arg.as_ref();
+            let mut value_for = |flag: &str| -> Result<String, String> {
+                iter.next()
+                    .map(|v| v.as_ref().to_string())
+                    .ok_or_else(|| format!("{flag} expects a value"))
+            };
+            match arg {
+                "--structure" => options.structure = parse_structure(&value_for(arg)?)?,
+                "--scheme" => options.schemes = parse_scheme(&value_for(arg)?)?,
+                "--threads" => options.threads = parse_number(arg, &value_for(arg)?)?,
+                "--duration" => {
+                    let secs: f64 = parse_number(arg, &value_for(arg)?)?;
+                    if !(secs > 0.0) {
+                        return Err("--duration must be positive".to_string());
+                    }
+                    options.duration = Duration::from_secs_f64(secs);
+                }
+                "--updates" => {
+                    let pct: u8 = parse_number(arg, &value_for(arg)?)?;
+                    if pct > 100 {
+                        return Err("--updates must be between 0 and 100".to_string());
+                    }
+                    options.update_pct = pct;
+                }
+                "--key-range" => options.key_range = Some(parse_number(arg, &value_for(arg)?)?),
+                "--delay" => options.inject_delay = true,
+                "--timeline" => options.timeline = true,
+                "--quiescence" => options.quiescence = Some(parse_number(arg, &value_for(arg)?)?),
+                "--scan" => options.scan = Some(parse_number(arg, &value_for(arg)?)?),
+                "--fallback" => options.fallback = Some(parse_number(arg, &value_for(arg)?)?),
+                "--rooster-ms" => options.rooster_ms = Some(parse_number(arg, &value_for(arg)?)?),
+                "--eviction-ms" => options.eviction_ms = Some(parse_number(arg, &value_for(arg)?)?),
+                "--help" | "-h" => options.help = true,
+                other => return Err(format!("unknown flag '{other}'\n\n{USAGE}")),
+            }
+        }
+        if options.threads == 0 {
+            return Err("--threads must be at least 1".to_string());
+        }
+        Ok(options)
+    }
+
+    /// The operation mix implied by `--updates` (inserts and deletes split evenly,
+    /// as in the paper).
+    pub fn op_mix(&self) -> OpMix {
+        let updates = self.update_pct;
+        let inserts = updates / 2;
+        let deletes = updates - inserts;
+        OpMix::new(100 - updates, inserts, deletes)
+    }
+
+    /// The key range to use (explicit override or the structure's default).
+    pub fn effective_key_range(&self) -> u64 {
+        self.key_range
+            .unwrap_or_else(|| self.structure.default_key_range())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CliOptions, String> {
+        CliOptions::parse(args.iter().copied())
+    }
+
+    #[test]
+    fn defaults_match_the_documented_values() {
+        let options = parse(&[]).unwrap();
+        assert_eq!(options.structure, Structure::List);
+        assert_eq!(options.schemes, SchemeSelection::One(SchemeKind::QSense));
+        assert_eq!(options.threads, 4);
+        assert_eq!(options.update_pct, 50);
+        assert!(!options.inject_delay);
+        assert!(!options.timeline);
+        assert!(!options.help);
+        assert_eq!(options.effective_key_range(), Structure::List.default_key_range());
+    }
+
+    #[test]
+    fn every_flag_is_recognized() {
+        let options = parse(&[
+            "--structure", "hashmap",
+            "--scheme", "all",
+            "--threads", "8",
+            "--duration", "0.5",
+            "--updates", "10",
+            "--key-range", "5000",
+            "--delay",
+            "--timeline",
+            "--quiescence", "32",
+            "--scan", "64",
+            "--fallback", "1024",
+            "--rooster-ms", "5",
+            "--eviction-ms", "100",
+        ])
+        .unwrap();
+        assert_eq!(options.structure, Structure::HashMap);
+        assert_eq!(options.schemes, SchemeSelection::All);
+        assert_eq!(options.threads, 8);
+        assert_eq!(options.duration, Duration::from_millis(500));
+        assert_eq!(options.update_pct, 10);
+        assert_eq!(options.key_range, Some(5_000));
+        assert!(options.inject_delay);
+        assert!(options.timeline);
+        assert_eq!(options.quiescence, Some(32));
+        assert_eq!(options.scan, Some(64));
+        assert_eq!(options.fallback, Some(1_024));
+        assert_eq!(options.rooster_ms, Some(5));
+        assert_eq!(options.eviction_ms, Some(100));
+        assert_eq!(options.effective_key_range(), 5_000);
+    }
+
+    #[test]
+    fn scheme_aliases_and_sets_expand_correctly() {
+        assert_eq!(
+            parse(&["--scheme", "rc"]).unwrap().schemes.schemes(),
+            vec![SchemeKind::RefCount]
+        );
+        assert_eq!(parse(&["--scheme", "paper"]).unwrap().schemes.schemes().len(), 5);
+        assert_eq!(parse(&["--scheme", "all"]).unwrap().schemes.schemes().len(), 7);
+    }
+
+    #[test]
+    fn op_mix_splits_updates_evenly_and_sums_to_100() {
+        let options = parse(&["--updates", "25"]).unwrap();
+        let mix = options.op_mix();
+        assert_eq!(mix.read_pct, 75);
+        assert_eq!(mix.insert_pct + mix.delete_pct, 25);
+        let all_reads = parse(&["--updates", "0"]).unwrap().op_mix();
+        assert_eq!(all_reads.read_pct, 100);
+    }
+
+    #[test]
+    fn errors_are_reported_with_context() {
+        assert!(parse(&["--structure", "btree"]).unwrap_err().contains("unknown structure"));
+        assert!(parse(&["--scheme", "gc"]).unwrap_err().contains("unknown scheme"));
+        assert!(parse(&["--threads"]).unwrap_err().contains("expects a value"));
+        assert!(parse(&["--threads", "zero"]).unwrap_err().contains("expects a number"));
+        assert!(parse(&["--threads", "0"]).unwrap_err().contains("at least 1"));
+        assert!(parse(&["--updates", "150"]).unwrap_err().contains("between 0 and 100"));
+        assert!(parse(&["--frobnicate"]).unwrap_err().contains("unknown flag"));
+    }
+
+    #[test]
+    fn help_flag_is_sticky() {
+        assert!(parse(&["--help"]).unwrap().help);
+        assert!(parse(&["-h"]).unwrap().help);
+    }
+}

@@ -1,0 +1,129 @@
+//! `qsense-bench`: run any cell of the QSense evaluation matrix from the command
+//! line.
+//!
+//! The figure-reproduction benches in `crates/bench` regenerate the paper's plots
+//! with fixed parameters; this binary is the free-form counterpart a user points at
+//! their own workload: pick a structure, a scheme (or a set of schemes to compare),
+//! an operation mix, thread count and duration, optionally inject the paper's
+//! periodic delay, and read back throughput, reclamation counters and — because the
+//! binary installs a counting allocator — the actual heap footprint.
+//!
+//! Examples:
+//!
+//! ```text
+//! qsense-bench --structure list --scheme paper --threads 8 --duration 2
+//! qsense-bench --structure hashmap --scheme all --updates 10
+//! qsense-bench --scheme qsense --delay --timeline --duration 10
+//! qsense-bench --scheme qsense --delay --eviction-ms 200
+//! ```
+
+mod args;
+
+use args::{CliOptions, SchemeSelection, USAGE};
+use reclaim_core::CountingAllocator;
+use std::sync::Arc;
+use std::time::Duration;
+use workload::{
+    make_set, report, run_experiment, DelaySchedule, Experiment, RunResult, SchemeKind,
+    WorkloadSpec,
+};
+
+/// Heap tracking for the whole process: the experiments below report live/peak
+/// bytes, which is how the paper's "QSBR runs out of memory" failure manifests to
+/// the operating system.
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+fn build_config(options: &CliOptions) -> reclaim_core::SmrConfig {
+    let mut config = workload::default_bench_config(options.threads + 2);
+    if let Some(q) = options.quiescence {
+        config = config.with_quiescence_threshold(q);
+    }
+    if let Some(r) = options.scan {
+        config = config.with_scan_threshold(r);
+    }
+    if let Some(c) = options.fallback {
+        config = config.with_fallback_threshold(c);
+    }
+    if let Some(t) = options.rooster_ms {
+        config = config.with_rooster_interval(Duration::from_millis(t));
+    }
+    if let Some(ms) = options.eviction_ms {
+        config = config.with_eviction_timeout(Some(Duration::from_millis(ms)));
+    }
+    config
+}
+
+fn run_one(options: &CliOptions, scheme: SchemeKind) -> RunResult {
+    let spec = WorkloadSpec::new(options.effective_key_range(), options.op_mix());
+    let set = make_set(options.structure, scheme, build_config(options));
+    let run_secs = options.duration.as_secs_f64();
+    run_experiment(&Experiment {
+        set: Arc::clone(&set),
+        spec,
+        threads: options.threads,
+        duration: options.duration,
+        delay: options.inject_delay.then(|| DelaySchedule::paper_scaled(run_secs / 100.0)),
+        sample_interval: options
+            .timeline
+            .then(|| Duration::from_secs_f64((run_secs / 40.0).max(0.05))),
+        limbo_cap: None,
+    })
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let options = match CliOptions::parse(raw.iter().map(String::as_str)) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    };
+    if options.help {
+        print!("{USAGE}");
+        return;
+    }
+
+    let mix = options.op_mix();
+    println!(
+        "qsense-bench: {} / {:?}, {} threads, {:.1}s, {}% reads / {}% inserts / {}% deletes, key range {}{}{}",
+        options.structure.name(),
+        options.schemes,
+        options.threads,
+        options.duration.as_secs_f64(),
+        mix.read_pct,
+        mix.insert_pct,
+        mix.delete_pct,
+        options.effective_key_range(),
+        if options.inject_delay { ", periodic delay injected" } else { "" },
+        if options.eviction_ms.is_some() { ", eviction extension on" } else { "" },
+    );
+
+    let schemes = options.schemes.schemes();
+    let mut baseline_mops = None;
+    for scheme in schemes {
+        let allocated_before = ALLOC.allocated_bytes();
+        let result = run_one(&options, scheme);
+        let allocated_during = ALLOC.allocated_bytes() - allocated_before;
+        if options.timeline {
+            report::print_timeline(&result);
+        }
+        println!("{}", report::throughput_row(&result, baseline_mops));
+        println!(
+            "{:<12} heap: {:.2} MiB allocated during the run, {:.2} MiB process peak; scans = {}, quiescent states = {}, switches = {}/{}",
+            "",
+            allocated_during as f64 / (1024.0 * 1024.0),
+            ALLOC.peak_bytes() as f64 / (1024.0 * 1024.0),
+            result.stats.scans,
+            result.stats.quiescent_states,
+            result.stats.fallback_switches,
+            result.stats.fast_path_switches,
+        );
+        if matches!(options.schemes, SchemeSelection::Paper | SchemeSelection::All)
+            && scheme == SchemeKind::None
+        {
+            baseline_mops = Some(result.mops());
+        }
+    }
+}

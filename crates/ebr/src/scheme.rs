@@ -1,0 +1,439 @@
+//! The EBR scheme object and per-thread handle.
+
+use crate::pin::PinRecord;
+use qsbr::GlobalEpoch;
+use reclaim_core::retired::DropFn;
+use reclaim_core::stats::StatsSnapshot;
+use reclaim_core::{Registry, RetiredBag, RetiredPtr, SlotId, Smr, SmrConfig, SmrHandle, SmrStats};
+use std::sync::{Arc, Mutex};
+
+/// A retired node may be freed once the global epoch has advanced this many times
+/// past the epoch in which it was retired: by then every thread that was pinned when
+/// the node was unlinked has unpinned at least once, dropping its references.
+const SAFE_EPOCH_GAP: u64 = 2;
+
+/// Epoch-based reclamation with per-operation pinning (the classic epoch scheme of
+/// the paper's related work, [13, 14] — Fraser's technique, the one crossbeam-epoch
+/// popularized).
+///
+/// Compared to [`qsbr::Qsbr`]:
+///
+/// * protection is the *operation* (a thread pins on `begin_op` and unpins on
+///   `end_op`), so an idle registered thread never blocks reclamation — under QSBR an
+///   idle thread that stops calling `manage_qsense_state` blocks everyone;
+/// * the price is one shared store per operation on the hot path (the pin) instead
+///   of one per `Q` operations;
+/// * a thread *delayed in the middle of an operation* still blocks the epoch, so the
+///   scheme remains blocking in the sense that motivates the paper: it is a faster
+///   point in the same robustness class as QSBR, not a replacement for the fallback
+///   path.
+pub struct Ebr {
+    config: SmrConfig,
+    stats: SmrStats,
+    global_epoch: GlobalEpoch,
+    registry: Registry<PinRecord>,
+    /// Limbo leftovers of threads that deregistered before their nodes became
+    /// reclaimable; freed when the scheme drops.
+    parked: Mutex<Vec<RetiredBag>>,
+}
+
+impl Ebr {
+    /// Creates an EBR scheme with the given configuration.
+    pub fn new(config: SmrConfig) -> Arc<Self> {
+        let registry = Registry::new(config.max_threads, |_| PinRecord::new());
+        Arc::new(Self {
+            config,
+            stats: SmrStats::new(),
+            global_epoch: GlobalEpoch::new(),
+            registry,
+            parked: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Creates an EBR scheme with default configuration.
+    pub fn with_defaults() -> Arc<Self> {
+        Self::new(SmrConfig::default())
+    }
+
+    /// The configuration this scheme was created with.
+    pub fn config(&self) -> &SmrConfig {
+        &self.config
+    }
+
+    /// The current global epoch (exposed for tests and diagnostics).
+    pub fn current_epoch(&self) -> u64 {
+        self.global_epoch.load()
+    }
+
+    /// Attempts to advance the global epoch by one. Succeeds only if every *pinned*
+    /// thread has already observed the current epoch; idle (unpinned) threads are
+    /// ignored — the defining difference from QSBR.
+    pub fn try_advance(&self) -> bool {
+        let global = self.global_epoch.load();
+        let all_caught_up = self
+            .registry
+            .iter_claimed()
+            .all(|(_, record)| record.permits_advance_from(global));
+        if all_caught_up && self.global_epoch.try_advance(global) {
+            self.stats.add_quiescent_state();
+            return true;
+        }
+        false
+    }
+}
+
+impl Smr for Ebr {
+    type Handle = EbrHandle;
+
+    fn register(self: &Arc<Self>) -> EbrHandle {
+        let slot = self
+            .registry
+            .acquire()
+            .expect("ebr: more threads registered than config.max_threads");
+        // A fresh thread starts unpinned; an unpinned record never blocks advancement.
+        self.registry.get_mine(slot).unpin();
+        EbrHandle {
+            scheme: Arc::clone(self),
+            slot,
+            limbo: Vec::new(),
+            retires_since_advance: 0,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "ebr"
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+impl Drop for Ebr {
+    fn drop(&mut self) {
+        // All handles are gone, so nobody can hold a reference to any parked node.
+        let mut parked = self.parked.lock().unwrap_or_else(|e| e.into_inner());
+        for mut bag in parked.drain(..) {
+            let freed = unsafe { bag.reclaim_all() };
+            self.stats.add_freed(freed as u64);
+        }
+    }
+}
+
+/// Per-thread handle for [`Ebr`].
+pub struct EbrHandle {
+    scheme: Arc<Ebr>,
+    slot: SlotId,
+    /// Retired nodes tagged with the global epoch observed at retirement time.
+    /// A node may be freed once `global >= epoch + SAFE_EPOCH_GAP`.
+    limbo: Vec<(u64, RetiredPtr)>,
+    retires_since_advance: usize,
+}
+
+impl EbrHandle {
+    fn record(&self) -> &PinRecord {
+        self.scheme.registry.get_mine(self.slot)
+    }
+
+    /// Number of retired-but-unreclaimed nodes held by this thread.
+    pub fn limbo_size(&self) -> usize {
+        self.limbo.len()
+    }
+
+    /// Frees every limbo node whose retirement epoch is at least [`SAFE_EPOCH_GAP`]
+    /// behind the current global epoch. Returns the number of nodes freed.
+    fn collect(&mut self) -> usize {
+        let global = self.scheme.global_epoch.load();
+        let mut kept = Vec::with_capacity(self.limbo.len());
+        let mut freed = 0usize;
+        for (epoch, node) in self.limbo.drain(..) {
+            if global >= epoch + SAFE_EPOCH_GAP {
+                // SAFETY: a node tagged with epoch `e` was already unlinked when the
+                // tag was taken. Only threads pinned at that moment can still hold
+                // references to it, and every epoch advance requires all pinned
+                // threads to have observed the epoch being left; by the time the
+                // global epoch reaches `e + 2` every thread that was pinned at an
+                // epoch `<= e` has unpinned at least once, dropping all references
+                // obtained before the unlink. The node is therefore unreachable.
+                unsafe { node.reclaim() };
+                freed += 1;
+            } else {
+                kept.push((epoch, node));
+            }
+        }
+        self.limbo = kept;
+        self.scheme.stats.add_freed(freed as u64);
+        freed
+    }
+}
+
+impl SmrHandle for EbrHandle {
+    fn begin_op(&mut self) {
+        // Pin: observe the global epoch and announce it together with the active
+        // flag. This store-per-operation is EBR's hot-path cost.
+        let global = self.scheme.global_epoch.load();
+        self.record().pin(global);
+        // Pinning is also the natural point to free what previous epoch advances
+        // made safe (equivalent to crossbeam's collect-on-pin).
+        if !self.limbo.is_empty() {
+            self.collect();
+        }
+    }
+
+    fn end_op(&mut self) {
+        self.record().unpin();
+    }
+
+    fn protect(&mut self, _index: usize, _ptr: *mut u8) {
+        // EBR needs no per-node protection: being pinned protects every node
+        // reachable during the operation.
+    }
+
+    fn clear_protections(&mut self) {}
+
+    unsafe fn retire(&mut self, ptr: *mut u8, drop_fn: DropFn) {
+        self.scheme.stats.add_retired(1);
+        let now = self.scheme.config.clock.now();
+        // Tag with the *current* global epoch (not the pin-time one): the global may
+        // have advanced once since this thread pinned, and the larger tag only delays
+        // reclamation, never endangers it.
+        let epoch = self.scheme.global_epoch.load();
+        // SAFETY: forwarded from the caller's contract.
+        self.limbo
+            .push((epoch, unsafe { RetiredPtr::new(ptr, drop_fn, now) }));
+        self.retires_since_advance += 1;
+        if self.retires_since_advance >= self.scheme.config.scan_threshold {
+            self.retires_since_advance = 0;
+            self.scheme.try_advance();
+        }
+    }
+
+    fn flush(&mut self) {
+        // Make a best-effort attempt to push the epoch far enough forward that every
+        // limbo node becomes reclaimable, then free whatever the advances allowed.
+        // The thread must not be pinned while doing this (flush is called between
+        // operations), so unpin defensively.
+        self.record().unpin();
+        for _ in 0..2 * SAFE_EPOCH_GAP {
+            self.scheme.try_advance();
+        }
+        self.collect();
+    }
+
+    fn local_in_limbo(&self) -> usize {
+        self.limbo.len()
+    }
+}
+
+impl Drop for EbrHandle {
+    fn drop(&mut self) {
+        self.flush();
+        if !self.limbo.is_empty() {
+            // Whatever is still too young is parked on the scheme and released when
+            // the scheme itself drops (no thread can touch the nodes by then).
+            let mut leftovers = RetiredBag::new();
+            for (_, node) in self.limbo.drain(..) {
+                leftovers.push(node);
+            }
+            self.scheme
+                .parked
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(leftovers);
+        }
+        self.scheme.registry.release(self.slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reclaim_core::retire_box;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct Tracked(Arc<AtomicUsize>);
+    impl Drop for Tracked {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn tracked(drops: &Arc<AtomicUsize>) -> *mut Tracked {
+        Box::into_raw(Box::new(Tracked(Arc::clone(drops))))
+    }
+
+    #[test]
+    fn epoch_advances_even_with_an_idle_registered_thread() {
+        let scheme = Ebr::new(SmrConfig::default().with_max_threads(2));
+        let mut a = scheme.register();
+        let _b = scheme.register(); // registered but idle: must not block
+        let start = scheme.current_epoch();
+        for _ in 0..4 {
+            a.begin_op();
+            a.end_op();
+            scheme.try_advance();
+        }
+        assert!(scheme.current_epoch() > start);
+    }
+
+    #[test]
+    fn a_thread_pinned_at_an_old_epoch_blocks_advancement() {
+        let scheme = Ebr::new(SmrConfig::default().with_max_threads(2));
+        let mut stuck = scheme.register();
+        let mut active = scheme.register();
+        stuck.begin_op(); // pins at the current epoch and never unpins
+        let pinned_epoch = scheme.current_epoch();
+        // The active thread can advance at most once (past the epoch the stuck
+        // thread has already observed), then stalls.
+        for _ in 0..10 {
+            active.begin_op();
+            active.end_op();
+            scheme.try_advance();
+        }
+        assert!(scheme.current_epoch() <= pinned_epoch + 1);
+        stuck.end_op();
+        for _ in 0..4 {
+            active.begin_op();
+            active.end_op();
+            scheme.try_advance();
+        }
+        assert!(scheme.current_epoch() > pinned_epoch + 1);
+    }
+
+    #[test]
+    fn single_thread_reclaims_everything_on_flush() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let scheme = Ebr::new(SmrConfig::default().with_scan_threshold(4));
+        let mut handle = scheme.register();
+        for _ in 0..100 {
+            handle.begin_op();
+            unsafe { retire_box(&mut handle, tracked(&drops)) };
+            handle.end_op();
+        }
+        handle.flush();
+        assert_eq!(drops.load(Ordering::SeqCst), 100);
+        let snap = scheme.stats();
+        assert_eq!(snap.retired, 100);
+        assert_eq!(snap.freed, 100);
+    }
+
+    #[test]
+    fn an_idle_registered_thread_does_not_block_reclamation() {
+        // The behavioural difference from QSBR: a registered thread that never
+        // operates (and therefore never quiesces in QSBR terms) does not stop EBR
+        // from reclaiming.
+        let drops = Arc::new(AtomicUsize::new(0));
+        let scheme = Ebr::new(
+            SmrConfig::default()
+                .with_max_threads(2)
+                .with_scan_threshold(1),
+        );
+        let _idle = scheme.register();
+        let mut worker = scheme.register();
+        for _ in 0..100 {
+            worker.begin_op();
+            unsafe { retire_box(&mut worker, tracked(&drops)) };
+            worker.end_op();
+        }
+        worker.flush();
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            100,
+            "an idle thread must not block EBR"
+        );
+    }
+
+    #[test]
+    fn a_thread_stalled_mid_operation_blocks_reclamation() {
+        // ... but a thread delayed *inside* an operation does block it — EBR is not
+        // robust in the paper's sense, which is why QSense still needs Cadence.
+        let drops = Arc::new(AtomicUsize::new(0));
+        let scheme = Ebr::new(
+            SmrConfig::default()
+                .with_max_threads(2)
+                .with_scan_threshold(1),
+        );
+        let mut stalled = scheme.register();
+        stalled.begin_op(); // never ends its operation
+        let mut worker = scheme.register();
+        for _ in 0..100 {
+            worker.begin_op();
+            unsafe { retire_box(&mut worker, tracked(&drops)) };
+            worker.end_op();
+        }
+        worker.flush();
+        // The epoch can advance at most once past the stalled pin, so nothing the
+        // worker retired can have aged by the required two epochs.
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            0,
+            "a mid-operation stall must block reclamation"
+        );
+        assert_eq!(worker.local_in_limbo(), 100);
+        stalled.end_op();
+        worker.flush();
+        assert_eq!(drops.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn nodes_are_never_freed_before_two_epoch_advances() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let scheme = Ebr::new(SmrConfig::default().with_scan_threshold(1_000_000));
+        let mut handle = scheme.register();
+        handle.begin_op();
+        for _ in 0..10 {
+            unsafe { retire_box(&mut handle, tracked(&drops)) };
+        }
+        // Still pinned, no advance attempted: nothing may have been freed.
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        assert_eq!(handle.local_in_limbo(), 10);
+        handle.end_op();
+        // One advance is not enough.
+        scheme.try_advance();
+        handle.begin_op();
+        handle.end_op();
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        handle.flush();
+        assert_eq!(drops.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn concurrent_workers_reclaim_everything_by_scheme_drop() {
+        use std::thread;
+        let drops = Arc::new(AtomicUsize::new(0));
+        let total = Arc::new(AtomicUsize::new(0));
+        let scheme = Ebr::new(
+            SmrConfig::default()
+                .with_max_threads(4)
+                .with_scan_threshold(16),
+        );
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let scheme = Arc::clone(&scheme);
+                let drops = Arc::clone(&drops);
+                let total = Arc::clone(&total);
+                thread::spawn(move || {
+                    let mut handle = scheme.register();
+                    for _ in 0..500 {
+                        handle.begin_op();
+                        unsafe { retire_box(&mut handle, tracked(&drops)) };
+                        total.fetch_add(1, Ordering::SeqCst);
+                        handle.end_op();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        drop(scheme);
+        assert_eq!(drops.load(Ordering::SeqCst), total.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn scheme_reports_name_and_config() {
+        let scheme = Ebr::with_defaults();
+        assert_eq!(scheme.name(), "ebr");
+        assert!(scheme.config().max_threads >= 1);
+    }
+}

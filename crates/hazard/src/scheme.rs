@@ -1,0 +1,280 @@
+//! The hazard-pointer scheme object and per-thread handle.
+
+use reclaim_core::retired::DropFn;
+use reclaim_core::stats::StatsSnapshot;
+use reclaim_core::{Registry, RetiredBag, RetiredPtr, SlotId, Smr, SmrConfig, SmrHandle, SmrStats};
+use std::sync::atomic::{fence, AtomicPtr, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Per-thread shared record: `K` single-writer multi-reader hazard-pointer slots.
+pub(crate) struct HpRecord {
+    slots: Box<[AtomicPtr<u8>]>,
+}
+
+impl HpRecord {
+    fn new(k: usize) -> Self {
+        Self {
+            slots: (0..k)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn set(&self, index: usize, ptr: *mut u8) {
+        self.slots[index].store(ptr, Ordering::Release);
+    }
+
+    fn clear_all(&self) {
+        for slot in self.slots.iter() {
+            slot.store(std::ptr::null_mut(), Ordering::Release);
+        }
+    }
+
+    fn collect_into(&self, out: &mut Vec<*mut u8>) {
+        for slot in self.slots.iter() {
+            let p = slot.load(Ordering::Acquire);
+            if !p.is_null() {
+                out.push(p);
+            }
+        }
+    }
+}
+
+/// Classic hazard-pointer scheme (the paper's **HP** baseline).
+pub struct Hazard {
+    config: SmrConfig,
+    stats: SmrStats,
+    registry: Registry<HpRecord>,
+    /// Retired nodes left over by exiting threads that were still protected at exit;
+    /// released when the scheme is dropped (no handle can exist at that point).
+    parked: Mutex<Vec<RetiredBag>>,
+}
+
+impl Hazard {
+    /// Creates a hazard-pointer scheme with the given configuration.
+    pub fn new(config: SmrConfig) -> Arc<Self> {
+        let registry = Registry::new(config.max_threads, |_| HpRecord::new(config.hp_per_thread));
+        Arc::new(Self {
+            config,
+            stats: SmrStats::new(),
+            registry,
+            parked: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Creates a hazard-pointer scheme with default configuration.
+    pub fn with_defaults() -> Arc<Self> {
+        Self::new(SmrConfig::default())
+    }
+
+    /// The configuration this scheme was created with.
+    pub fn config(&self) -> &SmrConfig {
+        &self.config
+    }
+
+    /// Snapshot of every currently published hazard pointer, sorted for binary search.
+    /// This is the `get_protected_nodes` step of the paper's Algorithm 3 / Michael's
+    /// scan stage 1.
+    fn protected_snapshot(&self) -> Vec<*mut u8> {
+        let mut out = Vec::with_capacity(self.config.max_threads * self.config.hp_per_thread);
+        for (_, record) in self.registry.iter_all() {
+            record.collect_into(&mut out);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Scans `bag`, freeing every node that is not covered by any hazard pointer.
+    /// Returns the number of nodes freed.
+    fn scan(&self, bag: &mut RetiredBag) -> usize {
+        self.stats.add_scan();
+        let protected = self.protected_snapshot();
+        // SAFETY: a node absent from the full hazard-pointer snapshot and already
+        // unlinked (guaranteed by the retire contract) is unreachable by any thread:
+        // Michael's scan argument. The snapshot is taken *after* the node was
+        // retired, so any hazard pointer published before the node became unreachable
+        // is visible to this scan (the publisher's fence in `protect` pairs with the
+        // acquire loads in `protected_snapshot`).
+        let freed = unsafe { bag.reclaim_if(|node| protected.binary_search(&node.addr()).is_err()) };
+        self.stats.add_freed(freed as u64);
+        freed
+    }
+}
+
+impl Smr for Hazard {
+    type Handle = HazardHandle;
+
+    fn register(self: &Arc<Self>) -> HazardHandle {
+        let slot = self
+            .registry
+            .acquire()
+            .expect("hazard: more threads registered than config.max_threads");
+        HazardHandle {
+            scheme: Arc::clone(self),
+            slot,
+            retired: RetiredBag::with_capacity(self.config.scan_threshold + 1),
+            since_last_scan: 0,
+            local_fences: 0,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "hp"
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+impl Drop for Hazard {
+    fn drop(&mut self) {
+        // No handles remain (each holds an Arc<Self>), hence no hazard pointer can be
+        // published and no thread can reach a parked node: free everything.
+        let mut parked = self.parked.lock().unwrap_or_else(|e| e.into_inner());
+        for mut bag in parked.drain(..) {
+            let freed = unsafe { bag.reclaim_all() };
+            self.stats.add_freed(freed as u64);
+        }
+    }
+}
+
+/// Per-thread handle for [`Hazard`].
+pub struct HazardHandle {
+    scheme: Arc<Hazard>,
+    slot: SlotId,
+    retired: RetiredBag,
+    since_last_scan: usize,
+    /// Traversal fences issued by this thread since the last flush to shared stats
+    /// (kept local so the hot path does not add an extra shared atomic per node).
+    local_fences: u64,
+}
+
+impl HazardHandle {
+    fn record(&self) -> &HpRecord {
+        self.scheme.registry.get_mine(self.slot)
+    }
+
+    fn publish_fence_count(&mut self) {
+        if self.local_fences > 0 {
+            self.scheme.stats.add_traversal_fences(self.local_fences);
+            self.local_fences = 0;
+        }
+    }
+}
+
+impl SmrHandle for HazardHandle {
+    fn begin_op(&mut self) {
+        // Classic HP has no per-operation bookkeeping.
+    }
+
+    fn end_op(&mut self) {
+        // Protections are cleared lazily by the next protect/clear; nothing to do.
+    }
+
+    #[inline]
+    fn protect(&mut self, index: usize, ptr: *mut u8) {
+        assert!(
+            index < self.scheme.config.hp_per_thread,
+            "hazard-pointer index {index} out of range (K = {})",
+            self.scheme.config.hp_per_thread
+        );
+        self.record().set(index, ptr);
+        // The paper's Algorithm 1, line 3: the store above must become visible before
+        // the caller's validation load, otherwise the interleaving of Algorithm 2
+        // frees a node the reader is about to use. This fence is exactly the per-node
+        // cost that Cadence removes.
+        fence(Ordering::SeqCst);
+        self.local_fences += 1;
+    }
+
+    fn clear_protections(&mut self) {
+        self.record().clear_all();
+    }
+
+    unsafe fn retire(&mut self, ptr: *mut u8, drop_fn: DropFn) {
+        self.scheme.stats.add_retired(1);
+        let now = self.scheme.config.clock.now();
+        // SAFETY: forwarded from the caller's contract.
+        self.retired.push(unsafe { RetiredPtr::new(ptr, drop_fn, now) });
+        self.since_last_scan += 1;
+        if self.since_last_scan >= self.scheme.config.scan_threshold {
+            self.since_last_scan = 0;
+            self.scheme.scan(&mut self.retired);
+        }
+    }
+
+    fn flush(&mut self) {
+        self.publish_fence_count();
+        self.since_last_scan = 0;
+        self.scheme.scan(&mut self.retired);
+    }
+
+    fn local_in_limbo(&self) -> usize {
+        self.retired.len()
+    }
+}
+
+impl Drop for HazardHandle {
+    fn drop(&mut self) {
+        self.publish_fence_count();
+        // This thread is done traversing: its own protections can go away.
+        self.record().clear_all();
+        // Last chance to free what other threads no longer protect.
+        self.scheme.scan(&mut self.retired);
+        // Whatever is still protected by *other* threads is parked on the scheme and
+        // released when the scheme itself is dropped.
+        if !self.retired.is_empty() {
+            let mut moved = RetiredBag::new();
+            moved.append(&mut self.retired);
+            self.scheme
+                .parked
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(moved);
+        }
+        self.scheme.registry.release(self.slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hp_record_set_clear_collect() {
+        let record = HpRecord::new(3);
+        record.set(0, 0x10 as *mut u8);
+        record.set(2, 0x30 as *mut u8);
+        let mut out = Vec::new();
+        record.collect_into(&mut out);
+        assert_eq!(out.len(), 2);
+        record.clear_all();
+        out.clear();
+        record.collect_into(&mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn protected_snapshot_is_sorted_and_deduplicated() {
+        let scheme = Hazard::new(SmrConfig::default().with_max_threads(2).with_hp_per_thread(2));
+        let h1 = scheme.register();
+        let h2 = scheme.register();
+        h1.record().set(0, 0x300 as *mut u8);
+        h1.record().set(1, 0x100 as *mut u8);
+        h2.record().set(0, 0x300 as *mut u8);
+        let snapshot = scheme.protected_snapshot();
+        assert_eq!(snapshot, vec![0x100 as *mut u8, 0x300 as *mut u8]);
+        drop(h1);
+        drop(h2);
+    }
+
+    #[test]
+    fn scheme_name_and_config_accessors() {
+        let scheme = Hazard::with_defaults();
+        assert_eq!(scheme.name(), "hp");
+        assert!(scheme.config().hp_per_thread >= 1);
+    }
+}

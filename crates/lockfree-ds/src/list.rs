@@ -1,0 +1,404 @@
+//! Lock-free sorted linked-list set (Harris–Michael).
+//!
+//! This is the linked list the paper evaluates (§7.1, "a lock-free linked list
+//! [24]"): Michael's hazard-pointer-compatible variant of Harris's algorithm, the
+//! same algorithm the paper's appendix (Algorithms 6 and 7) annotates with QSense
+//! calls. Nodes carry a logical-deletion mark in the low bit of their `next`
+//! pointer; removal first marks (logical delete) and then unlinks (physical delete),
+//! and traversals help unlink any marked node they encounter.
+//!
+//! ## Reclamation-scheme integration
+//!
+//! The structure is generic over [`Smr`]; each operation follows the paper's three
+//! rules (§1.3):
+//!
+//! 1. [`SmrHandle::begin_op`] (`manage_qsense_state`) at the start of every
+//!    operation;
+//! 2. [`SmrHandle::protect`] (`assign_HP`) before a node reference is used, followed
+//!    by re-validation that the predecessor still links to it unmarked;
+//! 3. retire (`free_node_later`) exactly once per node, by whichever thread performs
+//!    the successful physical unlink.
+//!
+//! Two protection slots are used (`K = 2`, matching the paper): slot 0 for the
+//! predecessor, slot 1 for the current node.
+
+use crate::keyspace::KeySlot;
+use crate::tagged::{decompose, is_marked, marked, unmarked};
+use reclaim_core::{retire_box, Smr, SmrHandle};
+use std::cmp::Ordering as CmpOrdering;
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::Arc;
+
+/// Hazard-pointer slot protecting the predecessor during traversal.
+const HP_PREV: usize = 0;
+/// Hazard-pointer slot protecting the current node during traversal.
+const HP_CURR: usize = 1;
+
+/// Number of protection slots the list needs per thread (`K` in the paper).
+pub const LIST_HP_SLOTS: usize = 2;
+
+struct Node<K> {
+    key: KeySlot<K>,
+    next: AtomicPtr<Node<K>>,
+}
+
+impl<K> Node<K> {
+    fn new(key: KeySlot<K>, next: *mut Node<K>) -> *mut Node<K> {
+        Box::into_raw(Box::new(Node {
+            key,
+            next: AtomicPtr::new(next),
+        }))
+    }
+}
+
+/// Result of a traversal: `curr` is the first node with key ≥ the search key (or
+/// null at the end of the list) and `prev` is its predecessor (possibly the head
+/// sentinel). `prev` is protected by slot 0 (unless it is the sentinel) and `curr`
+/// by slot 1.
+struct Search<K> {
+    prev: *mut Node<K>,
+    curr: *mut Node<K>,
+}
+
+/// A lock-free sorted set backed by a Harris–Michael linked list.
+pub struct HarrisMichaelList<K, S: Smr> {
+    head: Box<Node<K>>,
+    smr: Arc<S>,
+}
+
+// SAFETY: the list is a shared concurrent structure; all mutation happens through
+// atomics and the SMR protocol. Keys must be Send + Sync because nodes (and hence
+// keys) are dropped by whichever thread reclaims them.
+unsafe impl<K: Send + Sync, S: Smr> Send for HarrisMichaelList<K, S> {}
+unsafe impl<K: Send + Sync, S: Smr> Sync for HarrisMichaelList<K, S> {}
+
+impl<K, S> HarrisMichaelList<K, S>
+where
+    K: Ord + Send + Sync + 'static,
+    S: Smr,
+{
+    /// Creates an empty list using the given reclamation scheme.
+    pub fn new(smr: Arc<S>) -> Self {
+        Self {
+            head: Box::new(Node {
+                key: KeySlot::NegInf,
+                next: AtomicPtr::new(std::ptr::null_mut()),
+            }),
+            smr,
+        }
+    }
+
+    /// The reclamation scheme this list was created with.
+    pub fn smr(&self) -> &Arc<S> {
+        &self.smr
+    }
+
+    /// Registers the calling thread with the underlying reclamation scheme and
+    /// returns the handle to pass to this list's operations.
+    pub fn register(&self) -> S::Handle {
+        self.smr.register()
+    }
+
+    fn head_ptr(&self) -> *mut Node<K> {
+        (&*self.head) as *const Node<K> as *mut Node<K>
+    }
+
+    /// Core traversal (the paper's `search_and_cleanup`): positions on the first
+    /// node with key ≥ `key`, unlinking (and retiring) every marked node on the way.
+    fn search(&self, key: &K, handle: &mut S::Handle) -> Search<K> {
+        let head = self.head_ptr();
+        'retry: loop {
+            let mut prev = head;
+            // SAFETY: `prev` is the head sentinel here, owned by `self`.
+            let mut curr = unmarked(unsafe { &*prev }.next.load(Ordering::Acquire));
+            loop {
+                if curr.is_null() {
+                    return Search { prev, curr };
+                }
+                // Rule 2: protect, then re-validate that the predecessor still links
+                // to `curr` and is itself not logically deleted (its next unmarked).
+                // No fence is issued here by Cadence/QSense; classic HP issues one
+                // inside `protect`.
+                handle.protect(HP_CURR, curr.cast());
+                // SAFETY: `prev` is either the sentinel or a node currently protected
+                // by slot HP_PREV (protected before we advanced to it).
+                if unsafe { &*prev }.next.load(Ordering::Acquire) != curr {
+                    continue 'retry;
+                }
+                // SAFETY: `curr` is protected and was validated reachable above.
+                let next_raw = unsafe { &*curr }.next.load(Ordering::Acquire);
+                let (next, curr_marked) = decompose(next_raw);
+                if curr_marked {
+                    // `curr` is logically deleted: help unlink it (physical delete).
+                    // SAFETY: `prev` protected/sentinel as above.
+                    if unsafe { &*prev }
+                        .next
+                        .compare_exchange(curr, next, Ordering::AcqRel, Ordering::Acquire)
+                        .is_err()
+                    {
+                        continue 'retry;
+                    }
+                    // This thread performed the unlink, so it (and only it) retires
+                    // the node — rule 3.
+                    // SAFETY: `curr` is now unreachable (it was only reachable through
+                    // `prev`), was allocated by `Node::new` (Box) and is retired once.
+                    unsafe { retire_box(handle, curr) };
+                    curr = next;
+                    continue;
+                }
+                // SAFETY: `curr` protected and validated.
+                match unsafe { &*curr }.key.cmp_key(key) {
+                    CmpOrdering::Less => {
+                        prev = curr;
+                        // The node that becomes the predecessor stays protected by
+                        // moving it into slot HP_PREV.
+                        handle.protect(HP_PREV, curr.cast());
+                        curr = next;
+                    }
+                    _ => return Search { prev, curr },
+                }
+            }
+        }
+    }
+
+    /// Returns true if `key` is in the set.
+    pub fn contains(&self, key: &K, handle: &mut S::Handle) -> bool {
+        handle.begin_op();
+        let found = {
+            let s = self.search(key, handle);
+            // SAFETY: `s.curr` is protected by slot HP_CURR.
+            !s.curr.is_null()
+                && unsafe { &*s.curr }.key.cmp_key(key) == CmpOrdering::Equal
+        };
+        handle.clear_protections();
+        handle.end_op();
+        found
+    }
+
+    /// Inserts `key`; returns false if it was already present.
+    pub fn insert(&self, key: K, handle: &mut S::Handle) -> bool {
+        handle.begin_op();
+        let mut key = key;
+        loop {
+            let s = self.search(&key, handle);
+            // SAFETY: `s.curr` protected by slot HP_CURR.
+            if !s.curr.is_null()
+                && unsafe { &*s.curr }.key.cmp_key(&key) == CmpOrdering::Equal
+            {
+                handle.clear_protections();
+                handle.end_op();
+                return false;
+            }
+            let node = Node::new(KeySlot::Key(key), s.curr);
+            // SAFETY: `s.prev` is the sentinel or protected by slot HP_PREV.
+            match unsafe { &*s.prev }.next.compare_exchange(
+                s.curr,
+                node,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    handle.clear_protections();
+                    handle.end_op();
+                    return true;
+                }
+                Err(_) => {
+                    // The node was never shared: free it directly (paper Alg. 6,
+                    // "Node was not inserted; free the node directly") and retry.
+                    // SAFETY: `node` was just allocated and never published.
+                    let boxed = unsafe { Box::from_raw(node) };
+                    match boxed.key {
+                        KeySlot::Key(k) => key = k,
+                        _ => unreachable!("freshly inserted nodes always carry a real key"),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes `key`; returns false if it was not present.
+    pub fn remove(&self, key: &K, handle: &mut S::Handle) -> bool {
+        handle.begin_op();
+        loop {
+            let s = self.search(key, handle);
+            // SAFETY: `s.curr` protected by slot HP_CURR.
+            if s.curr.is_null()
+                || unsafe { &*s.curr }.key.cmp_key(key) != CmpOrdering::Equal
+            {
+                handle.clear_protections();
+                handle.end_op();
+                return false;
+            }
+            let curr = s.curr;
+            // SAFETY: `curr` protected.
+            let next_raw = unsafe { &*curr }.next.load(Ordering::Acquire);
+            if is_marked(next_raw) {
+                // Another thread is already deleting it; retry so the traversal can
+                // help unlink and then report "not found" or race for a later copy.
+                continue;
+            }
+            // Logical deletion: mark `curr`'s next pointer.
+            // SAFETY: `curr` protected.
+            if unsafe { &*curr }
+                .next
+                .compare_exchange(
+                    next_raw,
+                    marked(next_raw),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_err()
+            {
+                continue;
+            }
+            // Physical deletion: try to unlink. On failure another traversal will
+            // (or already did) unlink and retire it.
+            // SAFETY: `s.prev` is the sentinel or protected by slot HP_PREV.
+            if unsafe { &*s.prev }
+                .next
+                .compare_exchange(curr, unmarked(next_raw), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                // SAFETY: unlinked by this thread, allocated via Box, retired once.
+                unsafe { retire_box(handle, curr) };
+            } else {
+                // Help physical removal along the new path.
+                let _ = self.search(key, handle);
+            }
+            handle.clear_protections();
+            handle.end_op();
+            return true;
+        }
+    }
+
+    /// Counts the elements currently in the set. Linear, intended for tests,
+    /// examples and benchmark validation — not part of the hot path.
+    pub fn len(&self, handle: &mut S::Handle) -> usize {
+        handle.begin_op();
+        let mut count = 0;
+        let mut prev = self.head_ptr();
+        // SAFETY: same protection discipline as `search`, simplified: we only ever
+        // read keys of protected, validated nodes.
+        let mut curr = unmarked(unsafe { &*prev }.next.load(Ordering::Acquire));
+        'retry: loop {
+            if curr.is_null() {
+                break;
+            }
+            handle.protect(HP_CURR, curr.cast());
+            if unsafe { &*prev }.next.load(Ordering::Acquire) != curr {
+                // Restart the count from scratch on interference.
+                count = 0;
+                prev = self.head_ptr();
+                curr = unmarked(unsafe { &*prev }.next.load(Ordering::Acquire));
+                continue 'retry;
+            }
+            let (next, curr_marked) = decompose(unsafe { &*curr }.next.load(Ordering::Acquire));
+            if !curr_marked {
+                count += 1;
+                prev = curr;
+                handle.protect(HP_PREV, curr.cast());
+            }
+            curr = next;
+        }
+        handle.clear_protections();
+        handle.end_op();
+        count
+    }
+
+    /// True if the set currently holds no elements (test/diagnostic helper).
+    pub fn is_empty(&self, handle: &mut S::Handle) -> bool {
+        self.len(handle) == 0
+    }
+}
+
+impl<K, S: Smr> Drop for HarrisMichaelList<K, S> {
+    fn drop(&mut self) {
+        // Exclusive access (`&mut self`): free every node still in the chain
+        // directly. Nodes already unlinked are owned by the reclamation scheme and
+        // are freed by it, so there is no double free.
+        let mut curr = unmarked(self.head.next.load(Ordering::Relaxed));
+        while !curr.is_null() {
+            // SAFETY: exclusive access; every chained node was allocated via Box and
+            // is freed exactly once here.
+            let boxed = unsafe { Box::from_raw(curr) };
+            curr = unmarked(boxed.next.load(Ordering::Relaxed));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reclaim_core::Leaky;
+    use std::collections::BTreeSet;
+
+    fn leaky_list() -> HarrisMichaelList<u64, Leaky> {
+        HarrisMichaelList::new(Leaky::with_defaults())
+    }
+
+    #[test]
+    fn empty_list_contains_nothing() {
+        let list = leaky_list();
+        let mut h = list.register();
+        assert!(!list.contains(&1, &mut h));
+        assert!(list.is_empty(&mut h));
+        assert_eq!(list.len(&mut h), 0);
+    }
+
+    #[test]
+    fn insert_contains_remove_round_trip() {
+        let list = leaky_list();
+        let mut h = list.register();
+        assert!(list.insert(5, &mut h));
+        assert!(!list.insert(5, &mut h), "duplicate insert must fail");
+        assert!(list.contains(&5, &mut h));
+        assert!(!list.contains(&6, &mut h));
+        assert!(list.remove(&5, &mut h));
+        assert!(!list.remove(&5, &mut h), "double remove must fail");
+        assert!(!list.contains(&5, &mut h));
+    }
+
+    #[test]
+    fn keeps_keys_sorted_and_unique() {
+        let list = leaky_list();
+        let mut h = list.register();
+        for key in [5_u64, 1, 9, 3, 7, 1, 9] {
+            list.insert(key, &mut h);
+        }
+        assert_eq!(list.len(&mut h), 5);
+        for key in [1_u64, 3, 5, 7, 9] {
+            assert!(list.contains(&key, &mut h));
+        }
+    }
+
+    #[test]
+    fn matches_reference_set_on_mixed_operations() {
+        let list = leaky_list();
+        let mut h = list.register();
+        let mut reference = BTreeSet::new();
+        // Deterministic pseudo-random mix.
+        let mut state = 0x2545_f491_4f6c_dd1d_u64;
+        for _ in 0..4000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let key = (state >> 33) % 64;
+            match state % 3 {
+                0 => assert_eq!(list.insert(key, &mut h), reference.insert(key)),
+                1 => assert_eq!(list.remove(&key, &mut h), reference.remove(&key)),
+                _ => assert_eq!(list.contains(&key, &mut h), reference.contains(&key)),
+            }
+        }
+        assert_eq!(list.len(&mut h), reference.len());
+    }
+
+    #[test]
+    fn works_with_non_copy_keys() {
+        let list: HarrisMichaelList<String, Leaky> = HarrisMichaelList::new(Leaky::with_defaults());
+        let mut h = list.register();
+        assert!(list.insert("bravo".to_string(), &mut h));
+        assert!(list.insert("alpha".to_string(), &mut h));
+        assert!(!list.insert("alpha".to_string(), &mut h));
+        assert!(list.contains(&"alpha".to_string(), &mut h));
+        assert!(list.remove(&"bravo".to_string(), &mut h));
+        assert_eq!(list.len(&mut h), 1);
+    }
+}

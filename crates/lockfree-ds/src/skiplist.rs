@@ -1,0 +1,521 @@
+//! Lock-free skip-list set (Fraser / Herlihy–Shavit style).
+//!
+//! The skip list the paper evaluates (§7.1, "a lock-free skip list [11]"): a tower of
+//! Harris-style lists. Each node owns `height` forward pointers; level 0 holds every
+//! element, upper levels are express lanes. Membership is decided at level 0.
+//!
+//! * **Logical deletion** marks the low bit of every level's `next` pointer,
+//!   top-down; a node is logically deleted once its level-0 pointer is marked, and
+//!   the thread whose CAS marks level 0 owns the deletion.
+//! * **Physical deletion** is performed by `find`: any traversal that encounters a
+//!   marked node snips it out of the level it is traversing.
+//! * **Reclamation**: the owning deleter re-runs `find` until the victim no longer
+//!   appears in any level's successor array, then retires it (exactly once). As with
+//!   the linked list, validation always re-checks that the predecessor's pointer is
+//!   unmarked and still points to the protected node, so a traversal standing on a
+//!   logically deleted node can never validate a protection acquired through it.
+//!
+//! ## Hazard-pointer budget
+//!
+//! With `MAX_HEIGHT = 16` levels, a traversal keeps one predecessor and one successor
+//! protected per level plus one cursor slot: `2 × 16 + 1 = 33` slots
+//! ([`SKIPLIST_HP_SLOTS`]). This matches the paper's observation that its skip list
+//! uses up to 35 hazard pointers per thread — and is exactly why the gap between
+//! QSense and QSBR is largest on the skip list (each protection is a store even if it
+//! is fence-free).
+//!
+//! ## Known caveat (shared with the paper's HP integration)
+//!
+//! Between a `find` that returns an unmarked successor and the insert CAS that links
+//! a new node to it, the successor may become logically deleted; the new node then
+//! briefly points at a deleted node at some upper level until the next traversal
+//! snips it. The deleting thread's "absent from every successor array" check makes
+//! retirement overwhelmingly unlikely to race with such a stale link, and the
+//! epoch-based fast path (QSBR/QSense) is immune by construction, but classic HP and
+//! Cadence share the same theoretical window the original C implementation has. The
+//! stress tests in this crate and in `tests/` exercise this path heavily.
+
+use crate::keyspace::KeySlot;
+use crate::tagged::{decompose, is_marked, marked, unmarked};
+use rand::Rng;
+use reclaim_core::{retire_box, Smr, SmrHandle};
+use std::cmp::Ordering as CmpOrdering;
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::Arc;
+
+/// Maximum tower height. 2^16 ≫ the paper's 20 000-key skip list, so towers this
+/// tall are effectively never generated but the bound keeps the protection budget
+/// fixed.
+pub const MAX_HEIGHT: usize = 16;
+
+/// Number of protection slots a traversal needs per thread.
+pub const SKIPLIST_HP_SLOTS: usize = 2 * MAX_HEIGHT + 1;
+
+/// Slot protecting the predecessor retained for `level`.
+#[inline]
+fn pred_slot(level: usize) -> usize {
+    2 * level
+}
+
+/// Slot protecting the successor retained for `level`.
+#[inline]
+fn succ_slot(level: usize) -> usize {
+    2 * level + 1
+}
+
+/// Scratch slot protecting the traversal cursor.
+const HP_CURSOR: usize = 2 * MAX_HEIGHT;
+
+struct Node<K> {
+    key: KeySlot<K>,
+    height: usize,
+    next: [AtomicPtr<Node<K>>; MAX_HEIGHT],
+}
+
+impl<K> Node<K> {
+    fn alloc(key: KeySlot<K>, height: usize) -> *mut Node<K> {
+        Box::into_raw(Box::new(Node {
+            key,
+            height,
+            next: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+        }))
+    }
+}
+
+/// Traversal result: per-level predecessors and successors around the search key.
+struct FindResult<K> {
+    preds: [*mut Node<K>; MAX_HEIGHT],
+    succs: [*mut Node<K>; MAX_HEIGHT],
+    found: bool,
+}
+
+/// A lock-free sorted set backed by a skip list.
+pub struct LockFreeSkipList<K, S: Smr> {
+    head: Box<Node<K>>,
+    smr: Arc<S>,
+}
+
+// SAFETY: same argument as for the linked list — all shared mutation is atomic and
+// reclamation follows the SMR protocol.
+unsafe impl<K: Send + Sync, S: Smr> Send for LockFreeSkipList<K, S> {}
+unsafe impl<K: Send + Sync, S: Smr> Sync for LockFreeSkipList<K, S> {}
+
+impl<K, S> LockFreeSkipList<K, S>
+where
+    K: Ord + Send + Sync + 'static,
+    S: Smr,
+{
+    /// Creates an empty skip list using the given reclamation scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheme's configured `hp_per_thread` is smaller than
+    /// [`SKIPLIST_HP_SLOTS`] — the protection discipline needs one slot per retained
+    /// reference, exactly as the paper's methodology (§3.2, step 3) prescribes.
+    pub fn new(smr: Arc<S>) -> Self {
+        Self {
+            head: Box::new(Node {
+                key: KeySlot::NegInf,
+                height: MAX_HEIGHT,
+                next: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+            }),
+            smr,
+        }
+    }
+
+    /// The reclamation scheme this skip list was created with.
+    pub fn smr(&self) -> &Arc<S> {
+        &self.smr
+    }
+
+    /// Registers the calling thread with the underlying reclamation scheme.
+    pub fn register(&self) -> S::Handle {
+        self.smr.register()
+    }
+
+    fn head_ptr(&self) -> *mut Node<K> {
+        (&*self.head) as *const Node<K> as *mut Node<K>
+    }
+
+    fn random_height() -> usize {
+        // Geometric distribution with p = 1/2, capped at MAX_HEIGHT.
+        let mut rng = rand::thread_rng();
+        let mut height = 1;
+        while height < MAX_HEIGHT && rng.gen_bool(0.5) {
+            height += 1;
+        }
+        height
+    }
+
+    /// Core traversal: computes per-level predecessors/successors for `key`, snipping
+    /// every marked node it encounters, and protects each retained reference.
+    fn find(&self, key: &K, handle: &mut S::Handle) -> FindResult<K> {
+        let head = self.head_ptr();
+        'retry: loop {
+            let mut preds = [head; MAX_HEIGHT];
+            let mut succs = [std::ptr::null_mut(); MAX_HEIGHT];
+            let mut pred = head;
+            for level in (0..MAX_HEIGHT).rev() {
+                // SAFETY: `pred` is the head sentinel or a node protected in a
+                // pred/cursor slot from the level above.
+                let mut curr = unmarked(unsafe { &*pred }.next[level].load(Ordering::Acquire));
+                loop {
+                    if curr.is_null() {
+                        break;
+                    }
+                    handle.protect(HP_CURSOR, curr.cast());
+                    // Validate: predecessor unmarked at this level and still linking
+                    // to `curr`.
+                    // SAFETY: `pred` protected or sentinel as above.
+                    if unsafe { &*pred }.next[level].load(Ordering::Acquire) != curr {
+                        continue 'retry;
+                    }
+                    // SAFETY: `curr` protected and validated reachable.
+                    let (next, curr_marked) =
+                        decompose(unsafe { &*curr }.next[level].load(Ordering::Acquire));
+                    if curr_marked {
+                        // Physically remove the logically deleted node at this level.
+                        // SAFETY: `pred` protected or sentinel.
+                        if unsafe { &*pred }.next[level]
+                            .compare_exchange(curr, next, Ordering::AcqRel, Ordering::Acquire)
+                            .is_err()
+                        {
+                            continue 'retry;
+                        }
+                        curr = next;
+                        continue;
+                    }
+                    // SAFETY: `curr` protected and validated.
+                    if unsafe { &*curr }.key.cmp_key(key) == CmpOrdering::Less {
+                        pred = curr;
+                        handle.protect(pred_slot(level), curr.cast());
+                        curr = next;
+                    } else {
+                        break;
+                    }
+                }
+                preds[level] = pred;
+                succs[level] = curr;
+                handle.protect(succ_slot(level), curr.cast());
+            }
+            let found = !succs[0].is_null()
+                // SAFETY: `succs[0]` protected by `succ_slot(0)`.
+                && unsafe { &*succs[0] }.key.cmp_key(key) == CmpOrdering::Equal;
+            return FindResult {
+                preds,
+                succs,
+                found,
+            };
+        }
+    }
+
+    /// Returns true if `key` is in the set.
+    pub fn contains(&self, key: &K, handle: &mut S::Handle) -> bool {
+        handle.begin_op();
+        let found = self.find(key, handle).found;
+        handle.clear_protections();
+        handle.end_op();
+        found
+    }
+
+    /// Inserts `key`; returns false if it was already present.
+    pub fn insert(&self, key: K, handle: &mut S::Handle) -> bool {
+        handle.begin_op();
+        let height = Self::random_height();
+        let mut key = key;
+        // Phase 1: link at level 0 (this is the linearization point of a successful
+        // insert).
+        let node = loop {
+            let result = self.find(&key, handle);
+            if result.found {
+                handle.clear_protections();
+                handle.end_op();
+                return false;
+            }
+            let node = Node::alloc(KeySlot::Key(key), height);
+            // Pre-link the new node's forward pointers to the successors observed by
+            // the traversal. The node is still private, so plain stores are fine.
+            for level in 0..height {
+                // SAFETY: `node` is private until the CAS below publishes it.
+                unsafe { &*node }.next[level].store(result.succs[level], Ordering::Relaxed);
+            }
+            // SAFETY: `preds[0]` is the sentinel or protected by `pred_slot(0)`.
+            match unsafe { &*result.preds[0] }.next[0].compare_exchange(
+                result.succs[0],
+                node,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break node,
+                Err(_) => {
+                    // Never published: reclaim directly and retry.
+                    // SAFETY: `node` was never shared.
+                    let boxed = unsafe { Box::from_raw(node) };
+                    match boxed.key {
+                        KeySlot::Key(k) => key = k,
+                        _ => unreachable!("inserted nodes always carry a real key"),
+                    }
+                }
+            }
+        };
+
+        // Phase 2: link the upper levels. Failures here never affect membership —
+        // they only cost express-lane shortcuts — but each level is retried until it
+        // is linked or the node is observed logically deleted.
+        // SAFETY: `node` is published and cannot be freed while this thread keeps it
+        // protected (it is still held in `succ_slot(0)`/cursor from the linking find;
+        // protect it explicitly to be independent of `find`'s internals).
+        handle.protect(HP_CURSOR, node.cast());
+        // SAFETY: `node` protected above; reading its immutable key is safe. The key
+        // lives inside the node now, so later finds borrow it from there.
+        let key_ref: &K = match unsafe { &(*node).key } {
+            KeySlot::Key(k) => k,
+            _ => unreachable!(),
+        };
+        'levels: for level in 1..height {
+            loop {
+                let result = self.find(key_ref, handle);
+                // Re-protect the node in the cursor slot (find reused it).
+                handle.protect(HP_CURSOR, node.cast());
+                // SAFETY: `node` is protected; loads of its atomics are safe.
+                let node_next = unsafe { &*node }.next[level].load(Ordering::Acquire);
+                if is_marked(node_next) {
+                    // A concurrent remove already claimed the node: stop linking.
+                    break 'levels;
+                }
+                let succ = result.succs[level];
+                if succ == node {
+                    // Already linked at this level by a helping traversal.
+                    break;
+                }
+                if node_next != succ
+                    && unsafe { &*node }.next[level]
+                        .compare_exchange(node_next, succ, Ordering::AcqRel, Ordering::Acquire)
+                        .is_err()
+                {
+                    // The node's pointer changed under us (marking or helping);
+                    // re-evaluate.
+                    continue;
+                }
+                // Avoid knowingly linking to a logically deleted successor.
+                // SAFETY: `succ` is protected by `succ_slot(level)`.
+                if !succ.is_null()
+                    && is_marked(unsafe { &*succ }.next[level].load(Ordering::Acquire))
+                {
+                    continue;
+                }
+                // SAFETY: `preds[level]` is the sentinel or protected.
+                if unsafe { &*result.preds[level] }.next[level]
+                    .compare_exchange(succ, node, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    break;
+                }
+            }
+        }
+        handle.clear_protections();
+        handle.end_op();
+        true
+    }
+
+    /// Removes `key`; returns false if it was not present.
+    pub fn remove(&self, key: &K, handle: &mut S::Handle) -> bool {
+        handle.begin_op();
+        loop {
+            let result = self.find(key, handle);
+            if !result.found {
+                handle.clear_protections();
+                handle.end_op();
+                return false;
+            }
+            let victim = result.succs[0];
+            // SAFETY: `victim` is protected by `succ_slot(0)` for the rest of the
+            // operation (no further `find` call overwrites slot 1 of level 0 until we
+            // re-run it below, at which point we re-protect via the cursor slot).
+            handle.protect(HP_CURSOR, victim.cast());
+            let height = unsafe { &*victim }.height;
+
+            // Phase 1: logically delete the upper levels, top-down.
+            for level in (1..height).rev() {
+                loop {
+                    // SAFETY: `victim` protected.
+                    let next = unsafe { &*victim }.next[level].load(Ordering::Acquire);
+                    if is_marked(next) {
+                        break;
+                    }
+                    if unsafe { &*victim }.next[level]
+                        .compare_exchange(next, marked(next), Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        break;
+                    }
+                }
+            }
+
+            // Phase 2: logically delete level 0 — the linearization point. The thread
+            // whose CAS succeeds owns the deletion and is the only one to retire.
+            loop {
+                // SAFETY: `victim` protected.
+                let next = unsafe { &*victim }.next[0].load(Ordering::Acquire);
+                if is_marked(next) {
+                    // Another remover won; this call observes the key as absent.
+                    handle.clear_protections();
+                    handle.end_op();
+                    return false;
+                }
+                if unsafe { &*victim }.next[0]
+                    .compare_exchange(next, marked(next), Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    // Phase 3: physical removal. Re-run `find` until the victim no
+                    // longer appears among any level's successors — every pass snips
+                    // it from whatever levels it is still linked at — then retire it.
+                    loop {
+                        let sweep = self.find(key, handle);
+                        if !sweep.succs.iter().any(|&s| s == victim) {
+                            break;
+                        }
+                    }
+                    // SAFETY: the victim is unlinked from every level reachable from
+                    // the head (all traversals validate against unmarked predecessor
+                    // links, so no new protection of it can be validated), it was
+                    // allocated via `Node::alloc`, and only the level-0 winner — this
+                    // thread — retires it.
+                    unsafe { retire_box(handle, victim) };
+                    handle.clear_protections();
+                    handle.end_op();
+                    return true;
+                }
+            }
+        }
+    }
+
+    /// Counts the elements currently in the set (level-0 walk; for tests, examples
+    /// and benchmark validation).
+    pub fn len(&self, handle: &mut S::Handle) -> usize {
+        handle.begin_op();
+        let mut count = 0;
+        let mut prev = self.head_ptr();
+        // SAFETY: same discipline as `find`, restricted to level 0.
+        let mut curr = unmarked(unsafe { &*prev }.next[0].load(Ordering::Acquire));
+        loop {
+            if curr.is_null() {
+                break;
+            }
+            handle.protect(HP_CURSOR, curr.cast());
+            if unsafe { &*prev }.next[0].load(Ordering::Acquire) != curr {
+                // Restart on interference.
+                count = 0;
+                prev = self.head_ptr();
+                curr = unmarked(unsafe { &*prev }.next[0].load(Ordering::Acquire));
+                continue;
+            }
+            let (next, marked_now) = decompose(unsafe { &*curr }.next[0].load(Ordering::Acquire));
+            if !marked_now {
+                count += 1;
+                prev = curr;
+                handle.protect(pred_slot(0), curr.cast());
+            }
+            curr = next;
+        }
+        handle.clear_protections();
+        handle.end_op();
+        count
+    }
+
+    /// True if the set currently holds no elements.
+    pub fn is_empty(&self, handle: &mut S::Handle) -> bool {
+        self.len(handle) == 0
+    }
+}
+
+impl<K, S: Smr> Drop for LockFreeSkipList<K, S> {
+    fn drop(&mut self) {
+        // Exclusive access: free every node still linked at level 0. Unlinked nodes
+        // are owned by the reclamation scheme.
+        let mut curr = unmarked(self.head.next[0].load(Ordering::Relaxed));
+        while !curr.is_null() {
+            // SAFETY: exclusive access; level 0 links every live node exactly once.
+            let boxed = unsafe { Box::from_raw(curr) };
+            curr = unmarked(boxed.next[0].load(Ordering::Relaxed));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reclaim_core::{Leaky, SmrConfig};
+    use std::collections::BTreeSet;
+
+    fn leaky_skiplist() -> LockFreeSkipList<u64, Leaky> {
+        LockFreeSkipList::new(Leaky::new(
+            SmrConfig::for_skiplist().with_max_threads(8),
+        ))
+    }
+
+    #[test]
+    fn empty_skiplist_contains_nothing() {
+        let sl = leaky_skiplist();
+        let mut h = sl.register();
+        assert!(!sl.contains(&3, &mut h));
+        assert_eq!(sl.len(&mut h), 0);
+        assert!(sl.is_empty(&mut h));
+    }
+
+    #[test]
+    fn insert_contains_remove_round_trip() {
+        let sl = leaky_skiplist();
+        let mut h = sl.register();
+        assert!(sl.insert(10, &mut h));
+        assert!(!sl.insert(10, &mut h));
+        assert!(sl.contains(&10, &mut h));
+        assert!(sl.remove(&10, &mut h));
+        assert!(!sl.remove(&10, &mut h));
+        assert!(!sl.contains(&10, &mut h));
+    }
+
+    #[test]
+    fn many_keys_stay_consistent() {
+        let sl = leaky_skiplist();
+        let mut h = sl.register();
+        for key in 0..500_u64 {
+            assert!(sl.insert(key * 3, &mut h));
+        }
+        assert_eq!(sl.len(&mut h), 500);
+        for key in 0..500_u64 {
+            assert!(sl.contains(&(key * 3), &mut h));
+            assert!(!sl.contains(&(key * 3 + 1), &mut h));
+        }
+        for key in (0..500_u64).step_by(2) {
+            assert!(sl.remove(&(key * 3), &mut h));
+        }
+        assert_eq!(sl.len(&mut h), 250);
+    }
+
+    #[test]
+    fn matches_reference_set_on_mixed_operations() {
+        let sl = leaky_skiplist();
+        let mut h = sl.register();
+        let mut reference = BTreeSet::new();
+        let mut state = 0x9e37_79b9_7f4a_7c15_u64;
+        for _ in 0..4000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let key = (state >> 33) % 128;
+            match state % 3 {
+                0 => assert_eq!(sl.insert(key, &mut h), reference.insert(key)),
+                1 => assert_eq!(sl.remove(&key, &mut h), reference.remove(&key)),
+                _ => assert_eq!(sl.contains(&key, &mut h), reference.contains(&key)),
+            }
+        }
+        assert_eq!(sl.len(&mut h), reference.len());
+    }
+
+    #[test]
+    fn random_height_is_within_bounds() {
+        for _ in 0..1000 {
+            let h = LockFreeSkipList::<u64, Leaky>::random_height();
+            assert!(h >= 1 && h <= MAX_HEIGHT);
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Lock-free stack (Treiber) generic over the reclamation scheme.
+//!
+//! The stack is the canonical first example of the hazard-pointer methodology
+//! (Michael [25] uses it to introduce the technique): `pop` reads the head, must
+//! dereference it to find its successor, and that dereference is an access hazard —
+//! the head may have been popped and freed by a concurrent thread in the meantime.
+//! One protection slot per thread suffices (`K = 1`): only the current head is ever
+//! dereferenced.
+//!
+//! The structure is not part of the paper's evaluation; it is included to
+//! demonstrate the claim of §1.3/§4.2 that QSense applies wherever hazard pointers
+//! apply, beyond ordered sets, and it feeds the extension benchmarks and examples.
+
+use reclaim_core::{retire_box, Smr, SmrHandle};
+use std::mem::ManuallyDrop;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Protection slot used for the head node during `pop`.
+const HP_HEAD: usize = 0;
+
+/// Number of protection slots the stack needs per thread (`K` in the paper).
+pub const STACK_HP_SLOTS: usize = 1;
+
+struct Node<V> {
+    /// The value is taken out (moved to the caller) by the thread that pops the
+    /// node, so the node's destructor must not drop it a second time.
+    value: ManuallyDrop<V>,
+    next: *mut Node<V>,
+}
+
+/// A lock-free last-in-first-out stack (Treiber's algorithm) generic over the
+/// reclamation scheme.
+pub struct TreiberStack<V, S: Smr> {
+    head: AtomicPtr<Node<V>>,
+    /// Element count maintained at push/pop time. A traversal-based count cannot be
+    /// made safe with a single hazard pointer (nodes deep in the stack cannot be
+    /// re-validated the way the ordered structures re-validate through their
+    /// predecessor links), so the stack keeps an explicit counter instead.
+    size: AtomicUsize,
+    smr: Arc<S>,
+}
+
+// SAFETY: the stack is a shared concurrent structure; all mutation happens through
+// the head CAS and the SMR protocol. Values must be Send because nodes (and popped
+// values) move between threads; Sync is not required of V because no thread ever
+// holds a shared reference to a value another thread can reach.
+unsafe impl<V: Send, S: Smr> Send for TreiberStack<V, S> {}
+unsafe impl<V: Send, S: Smr> Sync for TreiberStack<V, S> {}
+
+impl<V, S> TreiberStack<V, S>
+where
+    V: Send + 'static,
+    S: Smr,
+{
+    /// Creates an empty stack using the given reclamation scheme.
+    pub fn new(smr: Arc<S>) -> Self {
+        Self {
+            head: AtomicPtr::new(std::ptr::null_mut()),
+            size: AtomicUsize::new(0),
+            smr,
+        }
+    }
+
+    /// The reclamation scheme this stack was created with.
+    pub fn smr(&self) -> &Arc<S> {
+        &self.smr
+    }
+
+    /// Registers the calling thread with the underlying reclamation scheme.
+    pub fn register(&self) -> S::Handle {
+        self.smr.register()
+    }
+
+    /// Pushes a value onto the stack.
+    pub fn push(&self, value: V, handle: &mut S::Handle) {
+        handle.begin_op();
+        let node = Box::into_raw(Box::new(Node {
+            value: ManuallyDrop::new(value),
+            next: std::ptr::null_mut(),
+        }));
+        loop {
+            let head = self.head.load(Ordering::Acquire);
+            // The new node is still private, so writing its next pointer needs no
+            // synchronization; the release CAS below publishes it.
+            // SAFETY: `node` was just allocated and is not yet shared.
+            unsafe { (*node).next = head };
+            if self
+                .head
+                .compare_exchange_weak(head, node, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                self.size.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+        }
+        handle.end_op();
+    }
+
+    /// Pops the most recently pushed value, or returns `None` if the stack is empty.
+    pub fn pop(&self, handle: &mut S::Handle) -> Option<V> {
+        handle.begin_op();
+        let result = loop {
+            let head = self.head.load(Ordering::Acquire);
+            if head.is_null() {
+                break None;
+            }
+            // Rule 2: protect the head, then re-validate that it is still the head.
+            // Between the load above and the protection becoming visible, a
+            // concurrent pop may have freed the node; the re-validation (against the
+            // shared head pointer, not the node) detects that without dereferencing.
+            handle.protect(HP_HEAD, head.cast());
+            if self.head.load(Ordering::Acquire) != head {
+                continue;
+            }
+            // SAFETY: `head` is protected and was re-validated as reachable, so it
+            // cannot have been reclaimed (Condition 1 of the paper).
+            let next = unsafe { (*head).next };
+            if self
+                .head
+                .compare_exchange(head, next, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue;
+            }
+            self.size.fetch_sub(1, Ordering::Relaxed);
+            // This thread unlinked `head`, so it has the exclusive right to take the
+            // value out and the obligation to retire the node exactly once (rule 3).
+            // SAFETY: `head` is protected, unlinked by this thread, and no other
+            // thread reads a popped node's value.
+            let value = unsafe { ManuallyDrop::take(&mut (*head).value) };
+            // SAFETY: unlinked by this thread, allocated via Box, retired once. The
+            // value has been moved out, and `Node`'s ManuallyDrop field means the
+            // destructor will not touch it again.
+            unsafe { retire_box(handle, head) };
+            break Some(value);
+        };
+        handle.clear_protections();
+        handle.end_op();
+        result
+    }
+
+    /// True if the stack contains no elements at the moment of the call.
+    pub fn is_empty(&self) -> bool {
+        self.head.load(Ordering::Acquire).is_null()
+    }
+
+    /// Number of elements currently on the stack (maintained counter; exact when the
+    /// stack is quiescent, momentarily approximate under concurrency like any size
+    /// probe of a lock-free container).
+    pub fn len(&self) -> usize {
+        self.size.load(Ordering::Relaxed)
+    }
+}
+
+impl<V, S: Smr> Drop for TreiberStack<V, S> {
+    fn drop(&mut self) {
+        // Exclusive access: free every node still in the chain, dropping the values
+        // they still own. Popped nodes are owned by the reclamation scheme.
+        let mut curr = self.head.load(Ordering::Relaxed);
+        while !curr.is_null() {
+            // SAFETY: exclusive access; each chained node is freed exactly once and
+            // still owns its value.
+            let mut boxed = unsafe { Box::from_raw(curr) };
+            unsafe { ManuallyDrop::drop(&mut boxed.value) };
+            curr = boxed.next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reclaim_core::Leaky;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
+    use std::thread;
+
+    fn leaky_stack<V: Send + 'static>() -> TreiberStack<V, Leaky> {
+        TreiberStack::new(Leaky::with_defaults())
+    }
+
+    #[test]
+    fn push_pop_is_lifo() {
+        let stack = leaky_stack();
+        let mut h = stack.register();
+        assert!(stack.pop(&mut h).is_none());
+        stack.push(1, &mut h);
+        stack.push(2, &mut h);
+        stack.push(3, &mut h);
+        assert_eq!(stack.len(), 3);
+        assert_eq!(stack.pop(&mut h), Some(3));
+        assert_eq!(stack.pop(&mut h), Some(2));
+        assert_eq!(stack.pop(&mut h), Some(1));
+        assert!(stack.pop(&mut h).is_none());
+        assert!(stack.is_empty());
+    }
+
+    #[test]
+    fn values_are_dropped_exactly_once() {
+        struct Counted(Arc<AtomicUsize>);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let stack = leaky_stack();
+            let mut h = stack.register();
+            for _ in 0..10 {
+                stack.push(Counted(Arc::clone(&drops)), &mut h);
+            }
+            // Pop half (their values drop when the popped value goes out of scope);
+            // the rest drop when the stack drops.
+            for _ in 0..5 {
+                assert!(stack.pop(&mut h).is_some());
+            }
+            assert_eq!(drops.load(Ordering::SeqCst), 5);
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn concurrent_pushes_and_pops_neither_lose_nor_duplicate_values() {
+        let stack = Arc::new(TreiberStack::<u64, qsense::QSense>::new(
+            qsense::QSense::new(
+                reclaim_core::SmrConfig::default()
+                    .with_max_threads(8)
+                    .with_hp_per_thread(STACK_HP_SLOTS)
+                    .with_rooster_threads(1),
+            ),
+        ));
+        const PER_THREAD: u64 = 2_000;
+        const PRODUCERS: u64 = 3;
+        let popped: Vec<_> = thread::scope(|scope| {
+            for p in 0..PRODUCERS {
+                let stack = Arc::clone(&stack);
+                scope.spawn(move || {
+                    let mut h = stack.register();
+                    for i in 0..PER_THREAD {
+                        stack.push(p * PER_THREAD + i, &mut h);
+                    }
+                });
+            }
+            let consumers: Vec<_> = (0..3)
+                .map(|_| {
+                    let stack = Arc::clone(&stack);
+                    scope.spawn(move || {
+                        let mut h = stack.register();
+                        let mut got = Vec::new();
+                        let mut idle = 0;
+                        while idle < 1_000 {
+                            match stack.pop(&mut h) {
+                                Some(v) => {
+                                    got.push(v);
+                                    idle = 0;
+                                }
+                                None => {
+                                    idle += 1;
+                                    std::hint::spin_loop();
+                                }
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect();
+            consumers
+                .into_iter()
+                .flat_map(|c| c.join().unwrap())
+                .collect()
+        });
+        // Drain anything the consumers gave up on.
+        let mut h = stack.register();
+        let mut all: Vec<u64> = popped;
+        while let Some(v) = stack.pop(&mut h) {
+            all.push(v);
+        }
+        assert_eq!(all.len() as u64, PRODUCERS * PER_THREAD);
+        let unique: HashSet<_> = all.iter().copied().collect();
+        assert_eq!(unique.len() as u64, PRODUCERS * PER_THREAD, "no duplicates");
+    }
+
+    #[test]
+    fn works_with_heap_values() {
+        let stack: TreiberStack<String, Leaky> = leaky_stack();
+        let mut h = stack.register();
+        stack.push("alpha".to_string(), &mut h);
+        stack.push("bravo".to_string(), &mut h);
+        assert_eq!(stack.pop(&mut h).as_deref(), Some("bravo"));
+        assert_eq!(stack.pop(&mut h).as_deref(), Some("alpha"));
+    }
+}

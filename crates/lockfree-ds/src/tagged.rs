@@ -1,0 +1,67 @@
+//! Marked (tagged) pointers.
+//!
+//! The Harris technique stores a *logical deletion* mark in the least-significant bit
+//! of a node's `next` pointer: a node whose `next` is marked has been logically
+//! removed and must be physically unlinked before traversals may proceed past it.
+//! All nodes are heap allocations with alignment ≥ 8, so bit 0 is always available.
+//!
+//! Keeping the mark in the *outgoing* pointer of the deleted node (rather than in the
+//! pointer *to* it) is what makes hazard-pointer validation sound: once a node is
+//! unlinked its `next` stays marked forever, so a traversal standing on a removed
+//! node can never successfully validate a protection acquired through it.
+
+/// The logical-deletion mark (bit 0).
+const MARK: usize = 1;
+
+/// Returns `ptr` with its mark bit cleared.
+#[inline]
+pub fn unmarked<T>(ptr: *mut T) -> *mut T {
+    ((ptr as usize) & !MARK) as *mut T
+}
+
+/// Returns `ptr` with its mark bit set.
+#[inline]
+pub fn marked<T>(ptr: *mut T) -> *mut T {
+    ((ptr as usize) | MARK) as *mut T
+}
+
+/// True if the mark bit of `ptr` is set.
+#[inline]
+pub fn is_marked<T>(ptr: *mut T) -> bool {
+    (ptr as usize) & MARK == MARK
+}
+
+/// Splits a possibly marked pointer into `(clean_pointer, is_marked)`.
+#[inline]
+pub fn decompose<T>(ptr: *mut T) -> (*mut T, bool) {
+    (unmarked(ptr), is_marked(ptr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_round_trip() {
+        let boxed = Box::new(7_u64);
+        let raw = Box::into_raw(boxed);
+        assert!(!is_marked(raw), "heap pointers start unmarked");
+        let m = marked(raw);
+        assert!(is_marked(m));
+        assert_eq!(unmarked(m), raw);
+        assert_eq!(marked(m), m, "marking twice is idempotent");
+        assert_eq!(unmarked(unmarked(m)), raw);
+        let (clean, flag) = decompose(m);
+        assert_eq!(clean, raw);
+        assert!(flag);
+        unsafe { drop(Box::from_raw(raw)) };
+    }
+
+    #[test]
+    fn null_handling() {
+        let null: *mut u64 = std::ptr::null_mut();
+        assert!(!is_marked(null));
+        assert!(is_marked(marked(null)));
+        assert_eq!(unmarked(marked(null)), null);
+    }
+}

@@ -1,0 +1,125 @@
+//! Epoch machinery: the global epoch counter and per-thread epoch records.
+//!
+//! Epochs are monotonically increasing `u64` values; the paper's "three logical
+//! epochs" correspond to the epoch value modulo [`EPOCH_BUCKETS`] (= 3), which is also
+//! the index of the limbo list a retired node goes into.
+
+use reclaim_core::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of limbo lists per thread (and of logical epochs), as in the paper.
+pub const EPOCH_BUCKETS: usize = 3;
+
+/// Maps an epoch value to its limbo-list index.
+#[inline]
+pub fn limbo_index(epoch: u64) -> usize {
+    (epoch % EPOCH_BUCKETS as u64) as usize
+}
+
+/// The shared global epoch (`e_G` in the paper).
+#[derive(Debug, Default)]
+pub struct GlobalEpoch {
+    value: CachePadded<AtomicU64>,
+}
+
+impl GlobalEpoch {
+    /// Creates a global epoch starting at 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads the current global epoch.
+    #[inline]
+    pub fn load(&self) -> u64 {
+        self.value.load(Ordering::SeqCst)
+    }
+
+    /// Attempts to advance the global epoch from `expected` to `expected + 1`.
+    /// Failure means another thread advanced it concurrently, which is fine — the
+    /// caller's goal (make the epoch move) has been accomplished either way.
+    pub fn try_advance(&self, expected: u64) -> bool {
+        self.value
+            .compare_exchange(expected, expected + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+}
+
+/// Per-thread epoch record (`e_p` in the paper), scanned by other threads when they
+/// try to advance the global epoch.
+#[derive(Debug, Default)]
+pub struct EpochRecord {
+    local: AtomicU64,
+}
+
+impl EpochRecord {
+    /// Creates a record at epoch 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads this thread's local epoch.
+    #[inline]
+    pub fn load(&self) -> u64 {
+        self.local.load(Ordering::SeqCst)
+    }
+
+    /// Adopts a (new) local epoch. `SeqCst` keeps the adoption totally ordered with
+    /// the global-epoch reads other threads perform in their advance checks; the cost
+    /// is irrelevant because this runs once per quiescent state, i.e. once per `Q`
+    /// operations.
+    #[inline]
+    pub fn store(&self, epoch: u64) {
+        self.local.store(epoch, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn limbo_index_cycles_mod_3() {
+        assert_eq!(limbo_index(0), 0);
+        assert_eq!(limbo_index(1), 1);
+        assert_eq!(limbo_index(2), 2);
+        assert_eq!(limbo_index(3), 0);
+        assert_eq!(limbo_index(u64::MAX), (u64::MAX % 3) as usize);
+    }
+
+    #[test]
+    fn global_epoch_advances_only_from_expected_value() {
+        let g = GlobalEpoch::new();
+        assert_eq!(g.load(), 0);
+        assert!(g.try_advance(0));
+        assert_eq!(g.load(), 1);
+        assert!(!g.try_advance(0), "stale expected value must fail");
+        assert!(g.try_advance(1));
+        assert_eq!(g.load(), 2);
+    }
+
+    #[test]
+    fn epoch_record_round_trips() {
+        let r = EpochRecord::new();
+        assert_eq!(r.load(), 0);
+        r.store(7);
+        assert_eq!(r.load(), 7);
+    }
+
+    #[test]
+    fn concurrent_advance_moves_epoch_exactly_once_per_value() {
+        use std::sync::Arc;
+        use std::thread;
+        let g = Arc::new(GlobalEpoch::new());
+        let winners: usize = (0..4)
+            .map(|_| {
+                let g = Arc::clone(&g);
+                thread::spawn(move || usize::from(g.try_advance(0)))
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .sum();
+        assert_eq!(winners, 1, "exactly one advance from 0 to 1 may succeed");
+        assert_eq!(g.load(), 1);
+    }
+}

@@ -1,0 +1,537 @@
+//! The QSense scheme object and per-thread handle (paper Algorithm 5).
+
+use crate::path::{FallbackFlag, Path, PresenceFlag};
+use cadence::Rooster;
+use qsbr::{limbo_index, EpochRecord, GlobalEpoch, EPOCH_BUCKETS};
+use reclaim_core::retired::DropFn;
+use reclaim_core::stats::StatsSnapshot;
+use reclaim_core::{
+    membarrier, Registry, RetiredBag, RetiredPtr, SlotId, Smr, SmrConfig, SmrHandle, SmrStats,
+};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Per-thread shared record: everything other threads may inspect.
+///
+/// QSense keeps *both* schemes' per-thread state up to date at all times (paper
+/// §5.2): hazard pointers and retire timestamps are maintained even on the fast path
+/// so that a switch to the fallback path finds every hazardous reference protected,
+/// and the epoch record is maintained even on the fallback path so that switching
+/// back to QSBR is immediate.
+pub(crate) struct QsenseRecord {
+    hps: Box<[AtomicPtr<u8>]>,
+    epoch: EpochRecord,
+    presence: PresenceFlag,
+    /// Timestamp (scheme clock) of the owner's last sign of activity; drives the
+    /// eviction extension (paper §5.2, future work).
+    last_active: AtomicU64,
+    /// True while the owner is evicted: it no longer counts towards the
+    /// all-processes-active check or towards grace periods, and every fast-path free
+    /// falls back to the Cadence check (age + hazard pointers) for as long as any
+    /// thread is in this state.
+    evicted: AtomicBool,
+}
+
+impl QsenseRecord {
+    fn new(k: usize) -> Self {
+        Self {
+            hps: (0..k)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect(),
+            epoch: EpochRecord::new(),
+            presence: PresenceFlag::new(),
+            last_active: AtomicU64::new(0),
+            evicted: AtomicBool::new(false),
+        }
+    }
+
+    /// Marks the owner as active right now: sets the presence flag, refreshes the
+    /// activity timestamp and clears any standing eviction (only the owner ever
+    /// clears its own eviction, and only from a point where it holds no references).
+    fn mark_active(&self, now: u64) {
+        self.presence.set_active();
+        self.last_active.store(now, Ordering::SeqCst);
+        if self.evicted.load(Ordering::SeqCst) {
+            self.evicted.store(false, Ordering::SeqCst);
+        }
+    }
+
+    fn is_evicted(&self) -> bool {
+        self.evicted.load(Ordering::SeqCst)
+    }
+
+    /// Fence-free hazard-pointer publication, exactly as in Cadence.
+    #[inline]
+    fn set_hp(&self, index: usize, ptr: *mut u8) {
+        self.hps[index].store(ptr, Ordering::Release);
+        membarrier::light_barrier();
+    }
+
+    fn clear_hps(&self) {
+        for slot in self.hps.iter() {
+            slot.store(std::ptr::null_mut(), Ordering::Release);
+        }
+    }
+
+    fn collect_hps_into(&self, out: &mut Vec<*mut u8>) {
+        for slot in self.hps.iter() {
+            let p = slot.load(Ordering::Acquire);
+            if !p.is_null() {
+                out.push(p);
+            }
+        }
+    }
+}
+
+/// The QSense hybrid reclamation scheme (the paper's primary contribution).
+pub struct QSense {
+    config: SmrConfig,
+    stats: SmrStats,
+    registry: Registry<QsenseRecord>,
+    global_epoch: GlobalEpoch,
+    fallback: FallbackFlag,
+    rooster: Mutex<Rooster>,
+    parked: Mutex<Vec<RetiredBag>>,
+}
+
+impl QSense {
+    /// Creates a QSense scheme, spawning its rooster threads.
+    pub fn new(config: SmrConfig) -> Arc<Self> {
+        let registry = Registry::new(config.max_threads, |_| {
+            QsenseRecord::new(config.hp_per_thread)
+        });
+        let rooster = Rooster::spawn(
+            config.rooster_threads,
+            config.rooster_interval,
+            config.use_membarrier,
+        );
+        Arc::new(Self {
+            config,
+            stats: SmrStats::new(),
+            registry,
+            global_epoch: GlobalEpoch::new(),
+            fallback: FallbackFlag::new(),
+            rooster: Mutex::new(rooster),
+            parked: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Creates a QSense scheme with default configuration.
+    pub fn with_defaults() -> Arc<Self> {
+        Self::new(SmrConfig::default())
+    }
+
+    /// The configuration this scheme was created with.
+    pub fn config(&self) -> &SmrConfig {
+        &self.config
+    }
+
+    /// Which path the scheme is currently on.
+    pub fn current_path(&self) -> Path {
+        self.fallback.load()
+    }
+
+    /// The current global epoch (fast-path diagnostics).
+    pub fn current_epoch(&self) -> u64 {
+        self.global_epoch.load()
+    }
+
+    /// Total rooster wake-ups so far.
+    pub fn rooster_wakeups(&self) -> u64 {
+        self.rooster
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .wakeup_count()
+    }
+
+    fn protected_snapshot(&self) -> Vec<*mut u8> {
+        let mut out = Vec::with_capacity(self.config.max_threads * self.config.hp_per_thread);
+        for (_, record) in self.registry.iter_all() {
+            record.collect_hps_into(&mut out);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// True if every registered, non-evicted thread has adopted `epoch`. Evicted
+    /// threads are excluded (extension): while any thread is evicted, fast-path frees
+    /// go through [`Self::cadence_scan`]-style checks instead of relying on the grace
+    /// period alone, so excluding them here is safe.
+    fn all_threads_at(&self, epoch: u64) -> bool {
+        self.registry
+            .iter_claimed()
+            .all(|(_, record)| record.is_evicted() || record.epoch.load() == epoch)
+    }
+
+    /// True if every registered, non-evicted thread has set its presence flag since
+    /// the last reset (paper: `all_processes_active()`).
+    fn all_processes_active(&self) -> bool {
+        self.registry
+            .iter_claimed()
+            .all(|(_, record)| record.is_evicted() || record.presence.is_active())
+    }
+
+    fn reset_presence(&self) {
+        for (_, record) in self.registry.iter_all() {
+            record.presence.reset();
+        }
+    }
+
+    /// Number of currently evicted registered threads (extension diagnostics).
+    pub fn evicted_count(&self) -> usize {
+        self.registry
+            .iter_claimed()
+            .filter(|(_, record)| record.is_evicted())
+            .count()
+    }
+
+    /// True if any registered thread is currently evicted.
+    fn any_evicted(&self) -> bool {
+        self.registry
+            .iter_claimed()
+            .any(|(_, record)| record.is_evicted())
+    }
+
+    /// Eviction sweep (extension, paper §5.2 future work): marks as evicted every
+    /// registered thread whose last sign of activity is older than the configured
+    /// eviction timeout. Called while the system is stuck on the fallback path.
+    ///
+    /// Evicting a thread never endangers safety — an evicted thread's references are
+    /// covered by its hazard pointers plus deferred reclamation, which every free
+    /// consults for as long as any thread is evicted — it only affects which threads
+    /// the progress decisions wait for. Returns the number of threads newly evicted.
+    fn evict_unresponsive(&self) -> usize {
+        let Some(timeout) = self.config.eviction_timeout_nanos() else {
+            return 0;
+        };
+        let now = self.config.clock.now();
+        let mut evicted = 0;
+        for (_, record) in self.registry.iter_claimed() {
+            if !record.is_evicted()
+                && now.saturating_sub(record.last_active.load(Ordering::SeqCst)) > timeout
+            {
+                record.evicted.store(true, Ordering::SeqCst);
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+
+    /// A Cadence-style scan over one limbo bag: free nodes that are old enough and
+    /// unprotected; keep the rest.
+    fn cadence_scan(&self, bag: &mut RetiredBag, protected: &[*mut u8]) -> usize {
+        let now = self.config.clock.now();
+        let min_age = self.config.min_reclaim_age_nanos();
+        // SAFETY: identical to Cadence's scan (paper Property 1) — QSense maintains
+        // hazard pointers at all times, so Condition 1 holds for nodes retired on
+        // either path; old-enough + unprotected therefore implies unreachable.
+        let freed = unsafe {
+            bag.reclaim_if(|node| {
+                node.is_old_enough(now, min_age) && protected.binary_search(&node.addr()).is_err()
+            })
+        };
+        self.stats.add_freed(freed as u64);
+        freed
+    }
+}
+
+impl Smr for QSense {
+    type Handle = QSenseHandle;
+
+    fn register(self: &Arc<Self>) -> QSenseHandle {
+        let slot = self
+            .registry
+            .acquire()
+            .expect("qsense: more threads registered than config.max_threads");
+        let epoch = self.global_epoch.load();
+        let record = self.registry.get_mine(slot);
+        record.epoch.store(epoch);
+        record.mark_active(self.config.clock.now());
+        QSenseHandle {
+            scheme: Arc::clone(self),
+            slot,
+            limbo: std::array::from_fn(|_| RetiredBag::new()),
+            local_epoch: epoch,
+            ops_since_quiescence: 0,
+            retires_since_scan: 0,
+            prev_seen_path: Path::Fast,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "qsense"
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+impl Drop for QSense {
+    fn drop(&mut self) {
+        self.rooster
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .shutdown();
+        let mut parked = self.parked.lock().unwrap_or_else(|e| e.into_inner());
+        for mut bag in parked.drain(..) {
+            let freed = unsafe { bag.reclaim_all() };
+            self.stats.add_freed(freed as u64);
+        }
+    }
+}
+
+/// Per-thread handle for [`QSense`].
+pub struct QSenseHandle {
+    scheme: Arc<QSense>,
+    slot: SlotId,
+    /// One limbo list per logical epoch (fast path); scanned as a whole by the
+    /// fallback path ("QSBR's limbo_list becomes the removed_nodes_list scanned by
+    /// Cadence", paper §5.2).
+    limbo: [RetiredBag; EPOCH_BUCKETS],
+    local_epoch: u64,
+    /// `call_count` in Algorithm 5.
+    ops_since_quiescence: usize,
+    /// `free_node_later_call_count` in Algorithm 5.
+    retires_since_scan: usize,
+    /// `prev_seen_fallback_flag` in Algorithm 5.
+    prev_seen_path: Path,
+}
+
+impl QSenseHandle {
+    fn record(&self) -> &QsenseRecord {
+        self.scheme.registry.get_mine(self.slot)
+    }
+
+    /// Total retired-but-unreclaimed nodes across the three limbo lists.
+    pub fn limbo_size(&self) -> usize {
+        self.limbo.iter().map(RetiredBag::len).sum()
+    }
+
+    /// The path this handle last observed (for tests and diagnostics).
+    pub fn last_seen_path(&self) -> Path {
+        self.prev_seen_path
+    }
+
+    /// QSBR-style quiescent state (fast path): adopt the global epoch — freeing the
+    /// limbo bucket the new epoch maps to — or help advance it.
+    fn quiescent_state(&mut self) {
+        self.scheme.stats.add_quiescent_state();
+        let global = self.scheme.global_epoch.load();
+        if self.local_epoch != global {
+            self.record().epoch.store(global);
+            self.local_epoch = global;
+            let bucket = limbo_index(global);
+            if self.scheme.any_evicted() {
+                // Eviction extension: grace periods no longer cover evicted threads,
+                // so while any thread is evicted the bucket is freed through the
+                // Cadence condition instead (old enough + not hazard-pointer
+                // protected), which covers evicted and non-evicted threads alike.
+                let protected = self.scheme.protected_snapshot();
+                self.scheme.cadence_scan(&mut self.limbo[bucket], &protected);
+            } else {
+                // SAFETY: Lemma 3 / Property 5 of the paper — a full grace period has
+                // elapsed since the nodes in this bucket were retired (counting every
+                // registered thread, since none is evicted), so no thread holds a
+                // hazardous reference to them. Identical argument to the `qsbr` crate.
+                let freed = unsafe { self.limbo[bucket].reclaim_all() };
+                self.scheme.stats.add_freed(freed as u64);
+            }
+        } else if self.scheme.all_threads_at(global) {
+            self.scheme.global_epoch.try_advance(global);
+        }
+    }
+
+    /// Cadence-style scan over all three limbo lists (fallback path; paper Algorithm
+    /// 5 lines 45–47 scan every epoch's list).
+    fn cadence_scan_all(&mut self) {
+        self.scheme.stats.add_scan();
+        let protected = self.scheme.protected_snapshot();
+        for bag in &mut self.limbo {
+            self.scheme.cadence_scan(bag, &protected);
+        }
+    }
+
+    /// The body of `manage_qsense_state` once the batching threshold fires
+    /// (Algorithm 5, lines 18–34).
+    fn manage_state(&mut self) {
+        // Signal that this thread is active (and lift any eviction of this thread —
+        // it holds no references here, so counting it again is safe).
+        self.record().mark_active(self.scheme.config.clock.now());
+        match self.scheme.fallback.load() {
+            Path::Fast => {
+                // Common case: run the fast path.
+                self.quiescent_state();
+                self.prev_seen_path = Path::Fast;
+            }
+            Path::Fallback => {
+                // Extension: while stuck on the fallback path, evict threads that
+                // have been silent for longer than the configured timeout so that a
+                // permanently failed thread cannot pin the system in fallback mode
+                // forever (disabled unless `eviction_timeout` is set).
+                self.scheme.evict_unresponsive();
+                // Try to switch back to the fast path if everyone (still counted) is
+                // active again.
+                if self.scheme.all_processes_active() && self.scheme.fallback.trigger_fast_path() {
+                    self.scheme.stats.add_fast_path_switch();
+                    // Start a fresh observation window for the next fallback episode.
+                    self.scheme.reset_presence();
+                    self.prev_seen_path = Path::Fast;
+                    self.quiescent_state();
+                } else {
+                    self.prev_seen_path = Path::Fallback;
+                }
+            }
+        }
+    }
+}
+
+impl SmrHandle for QSenseHandle {
+    fn begin_op(&mut self) {
+        // `manage_qsense_state`: batch the real work, once every Q calls
+        // (Algorithm 5, lines 13–17).
+        self.ops_since_quiescence += 1;
+        if self.ops_since_quiescence >= self.scheme.config.quiescence_threshold {
+            self.ops_since_quiescence = 0;
+            self.manage_state();
+        }
+    }
+
+    fn end_op(&mut self) {}
+
+    #[inline]
+    fn protect(&mut self, index: usize, ptr: *mut u8) {
+        assert!(
+            index < self.scheme.config.hp_per_thread,
+            "hazard-pointer index {index} out of range (K = {})",
+            self.scheme.config.hp_per_thread
+        );
+        // Hazard pointers are maintained on *both* paths, without fences (paper §4.1:
+        // protections from the fast path must already be in place when the system
+        // switches to the fallback path; §5.1: no fence is needed because rooster
+        // wake-ups + deferred reclamation bound visibility).
+        self.record().set_hp(index, ptr);
+    }
+
+    fn clear_protections(&mut self) {
+        self.record().clear_hps();
+    }
+
+    unsafe fn retire(&mut self, ptr: *mut u8, drop_fn: DropFn) {
+        // `free_node_later` (Algorithm 5, lines 36–61).
+        self.scheme.stats.add_retired(1);
+        let now = self.scheme.config.clock.now();
+        let bucket = limbo_index(self.local_epoch);
+        // Timestamps are recorded regardless of the current path (§5.2).
+        // SAFETY: forwarded from the caller's contract.
+        self.limbo[bucket].push(unsafe { RetiredPtr::new(ptr, drop_fn, now) });
+        self.retires_since_scan += 1;
+
+        let seen = self.scheme.fallback.load();
+        if seen == Path::Fallback
+            && self.retires_since_scan >= self.scheme.config.scan_threshold
+        {
+            // Running in fallback mode: all three limbo lists are scanned.
+            self.retires_since_scan = 0;
+            self.cadence_scan_all();
+            self.prev_seen_path = Path::Fallback;
+        } else if self.prev_seen_path == Path::Fallback && seen == Path::Fast {
+            // Switch back to the fast path was triggered by another thread.
+            self.quiescent_state();
+            self.prev_seen_path = Path::Fast;
+        } else if self.prev_seen_path == Path::Fast
+            && self.limbo_size() >= self.scheme.config.fallback_threshold
+        {
+            // This thread's limbo list has grown past C: quiescence has not been
+            // possible for a while, so trigger the switch to the fallback path.
+            if self.scheme.fallback.trigger_fallback() {
+                self.scheme.stats.add_fallback_switch();
+                self.scheme.reset_presence();
+            }
+            self.prev_seen_path = Path::Fallback;
+            self.cadence_scan_all();
+        }
+    }
+
+    fn flush(&mut self) {
+        // Give both paths a chance: cycle quiescent states (frees whole buckets if
+        // the epoch can advance) and run one Cadence scan (frees aged, unprotected
+        // nodes even if it cannot).
+        for _ in 0..2 * EPOCH_BUCKETS {
+            self.quiescent_state();
+        }
+        self.retires_since_scan = 0;
+        self.cadence_scan_all();
+    }
+
+    fn local_in_limbo(&self) -> usize {
+        self.limbo_size()
+    }
+}
+
+impl Drop for QSenseHandle {
+    fn drop(&mut self) {
+        self.record().clear_hps();
+        self.flush();
+        let mut leftovers = RetiredBag::new();
+        for bag in &mut self.limbo {
+            leftovers.append(bag);
+        }
+        if !leftovers.is_empty() {
+            self.scheme
+                .parked
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(leftovers);
+        }
+        // Leaving the system: this thread must stop blocking both the epoch advance
+        // check and the all-processes-active check, which releasing the slot does.
+        self.scheme.registry.release(self.slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_maintains_hps_epoch_and_presence() {
+        let record = QsenseRecord::new(2);
+        record.set_hp(0, 0x10 as *mut u8);
+        record.set_hp(1, 0x20 as *mut u8);
+        let mut out = Vec::new();
+        record.collect_hps_into(&mut out);
+        assert_eq!(out.len(), 2);
+        record.clear_hps();
+        out.clear();
+        record.collect_hps_into(&mut out);
+        assert!(out.is_empty());
+        record.epoch.store(3);
+        assert_eq!(record.epoch.load(), 3);
+        record.presence.set_active();
+        assert!(record.presence.is_active());
+    }
+
+    #[test]
+    fn scheme_starts_on_the_fast_path() {
+        let scheme = QSense::new(SmrConfig::default().with_rooster_threads(0));
+        assert_eq!(scheme.current_path(), Path::Fast);
+        assert_eq!(scheme.name(), "qsense");
+        assert_eq!(scheme.current_epoch(), 0);
+    }
+
+    #[test]
+    fn presence_reset_clears_every_slot() {
+        let scheme = QSense::new(
+            SmrConfig::default()
+                .with_max_threads(3)
+                .with_rooster_threads(0),
+        );
+        let handles: Vec<_> = (0..3).map(|_| scheme.register()).collect();
+        assert!(scheme.all_processes_active(), "registration marks threads active");
+        scheme.reset_presence();
+        assert!(!scheme.all_processes_active());
+        drop(handles);
+    }
+}

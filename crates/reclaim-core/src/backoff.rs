@@ -1,0 +1,114 @@
+//! Exponential backoff for contended compare-and-swap loops.
+//!
+//! The lock-free data structures retry their CAS loops on contention. Spinning
+//! immediately burns memory bandwidth that the winning thread needs to make progress;
+//! a short, exponentially growing pause (capped) is the standard remedy and is what
+//! ASCYLIB — the code base the paper builds its structures on — uses as well.
+
+use std::hint;
+use std::thread;
+
+/// Maximum exponent for the spinning phase: `2^6 = 64` `pause` instructions.
+const SPIN_LIMIT: u32 = 6;
+/// Maximum exponent overall; past this, [`Backoff::snooze`] yields to the scheduler.
+const YIELD_LIMIT: u32 = 10;
+
+/// An exponential backoff helper.
+///
+/// ```
+/// use reclaim_core::Backoff;
+///
+/// let mut backoff = Backoff::new();
+/// let mut attempts = 0;
+/// loop {
+///     attempts += 1;
+///     if attempts == 4 {
+///         break;
+///     }
+///     backoff.spin();
+/// }
+/// assert!(attempts == 4);
+/// ```
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    /// Creates a fresh backoff counter.
+    pub const fn new() -> Self {
+        Self { step: 0 }
+    }
+
+    /// Resets the counter, e.g. after the operation finally succeeded.
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    /// True once backing off has escalated past busy-spinning; callers that have an
+    /// alternative strategy (e.g. helping) may switch to it at this point.
+    pub fn is_completed(&self) -> bool {
+        self.step > YIELD_LIMIT
+    }
+
+    /// Busy-spin for `2^step` pause instructions (capped at `2^SPIN_LIMIT`).
+    pub fn spin(&mut self) {
+        let spins = 1_u32 << self.step.min(SPIN_LIMIT);
+        for _ in 0..spins {
+            hint::spin_loop();
+        }
+        if self.step <= YIELD_LIMIT {
+            self.step += 1;
+        }
+    }
+
+    /// Backs off, escalating from busy-spinning to `thread::yield_now` once the
+    /// counter passes the spin limit. This is the right call in loops that may have
+    /// to wait for another thread to be scheduled (essential on machines with fewer
+    /// cores than threads, as in this reproduction's container).
+    pub fn snooze(&mut self) {
+        if self.step <= SPIN_LIMIT {
+            self.spin();
+        } else {
+            thread::yield_now();
+            if self.step <= YIELD_LIMIT {
+                self.step += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spin_escalates_and_completes() {
+        let mut b = Backoff::new();
+        assert!(!b.is_completed());
+        for _ in 0..=YIELD_LIMIT {
+            b.spin();
+        }
+        assert!(b.is_completed());
+    }
+
+    #[test]
+    fn reset_restarts_escalation() {
+        let mut b = Backoff::new();
+        for _ in 0..20 {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+        b.reset();
+        assert!(!b.is_completed());
+    }
+
+    #[test]
+    fn snooze_never_panics_past_the_limit() {
+        let mut b = Backoff::new();
+        for _ in 0..1000 {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+    }
+}

@@ -1,0 +1,172 @@
+//! Time sources for deferred reclamation.
+//!
+//! Cadence (§5.1 of the paper) timestamps every retired node and only frees nodes that
+//! are "old enough": older than the rooster sleep interval `T` plus a tolerance `ε`.
+//! The paper reads the system clock; this module wraps that behind [`Clock`] so that
+//!
+//! * production code uses a monotonic real-time clock ([`Clock::real`]), and
+//! * tests drive a [`ManualClock`] by hand, making the aging logic — and the QSense
+//!   path-switching protocol built on top of it — fully deterministic.
+//!
+//! Timestamps are plain `u64` nanoseconds ([`Nanos`]) since an arbitrary origin
+//! (scheme creation for the real clock, zero for manual clocks).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A timestamp or duration in nanoseconds.
+pub type Nanos = u64;
+
+/// A monotonic nanosecond clock, either real or manually driven.
+///
+/// Cloning is cheap; clones share the same underlying time source.
+#[derive(Clone, Debug)]
+pub struct Clock {
+    source: Source,
+}
+
+#[derive(Clone, Debug)]
+enum Source {
+    /// Monotonic wall clock, measured from `origin`.
+    Real { origin: Instant },
+    /// Test clock advanced explicitly via [`ManualClock::advance`].
+    Manual(ManualClock),
+}
+
+impl Clock {
+    /// A real, monotonic clock starting at zero now.
+    pub fn real() -> Self {
+        Self {
+            source: Source::Real {
+                origin: Instant::now(),
+            },
+        }
+    }
+
+    /// A clock backed by the given manual source (for tests).
+    pub fn manual(manual: ManualClock) -> Self {
+        Self {
+            source: Source::Manual(manual),
+        }
+    }
+
+    /// Current time in nanoseconds since this clock's origin.
+    pub fn now(&self) -> Nanos {
+        match &self.source {
+            Source::Real { origin } => {
+                let elapsed = origin.elapsed();
+                // Saturate rather than overflow: ~584 years of nanoseconds fit in u64,
+                // so this is purely defensive.
+                elapsed.as_nanos().min(u128::from(u64::MAX)) as u64
+            }
+            Source::Manual(manual) => manual.now(),
+        }
+    }
+
+    /// True if this clock is manually driven (used by rooster threads to decide
+    /// whether to sleep for real or to wait for manual ticks).
+    pub fn is_manual(&self) -> bool {
+        matches!(self.source, Source::Manual(_))
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Self::real()
+    }
+}
+
+/// A shared, manually advanced time source for deterministic tests.
+#[derive(Clone, Debug, Default)]
+pub struct ManualClock {
+    nanos: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// A manual clock starting at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current manual time.
+    pub fn now(&self) -> Nanos {
+        self.nanos.load(Ordering::Acquire)
+    }
+
+    /// Advances the clock by `delta`.
+    pub fn advance(&self, delta: Duration) {
+        let delta = delta.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.nanos.fetch_add(delta, Ordering::AcqRel);
+    }
+
+    /// Sets the clock to an absolute value. Panics if this would move time backwards,
+    /// since every consumer assumes monotonicity.
+    pub fn set(&self, now: Nanos) {
+        let prev = self.nanos.swap(now, Ordering::AcqRel);
+        assert!(prev <= now, "ManualClock must not move backwards");
+    }
+}
+
+/// Converts a [`Duration`] to [`Nanos`], saturating on overflow.
+pub fn duration_to_nanos(d: Duration) -> Nanos {
+    d.as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn real_clock_is_monotonic() {
+        let clock = Clock::real();
+        let a = clock.now();
+        thread::sleep(Duration::from_millis(2));
+        let b = clock.now();
+        assert!(b > a, "expected time to advance: {a} -> {b}");
+        assert!(!clock.is_manual());
+    }
+
+    #[test]
+    fn manual_clock_advances_only_on_demand() {
+        let manual = ManualClock::new();
+        let clock = Clock::manual(manual.clone());
+        assert_eq!(clock.now(), 0);
+        manual.advance(Duration::from_micros(5));
+        assert_eq!(clock.now(), 5_000);
+        manual.advance(Duration::from_nanos(1));
+        assert_eq!(clock.now(), 5_001);
+        assert!(clock.is_manual());
+    }
+
+    #[test]
+    fn manual_clock_clones_share_time() {
+        let manual = ManualClock::new();
+        let other = manual.clone();
+        manual.advance(Duration::from_secs(1));
+        assert_eq!(other.now(), 1_000_000_000);
+    }
+
+    #[test]
+    fn manual_set_accepts_equal_time() {
+        let manual = ManualClock::new();
+        manual.set(10);
+        manual.set(10);
+        assert_eq!(manual.now(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not move backwards")]
+    fn manual_set_rejects_backwards_jump() {
+        let manual = ManualClock::new();
+        manual.set(10);
+        manual.set(9);
+    }
+
+    #[test]
+    fn duration_conversion() {
+        assert_eq!(duration_to_nanos(Duration::from_millis(3)), 3_000_000);
+        assert_eq!(duration_to_nanos(Duration::ZERO), 0);
+    }
+}

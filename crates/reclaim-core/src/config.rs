@@ -1,0 +1,278 @@
+//! Configuration shared by every reclamation scheme.
+//!
+//! The paper names seven tunables; [`SmrConfig`] carries all of them so that a single
+//! configuration value can be threaded through QSBR, Cadence, hazard pointers and the
+//! QSense hybrid. The field-to-symbol mapping is:
+//!
+//! | paper symbol | field | meaning |
+//! |--------------|-------|---------|
+//! | `N` | [`max_threads`](SmrConfig::max_threads) | maximum number of worker threads |
+//! | `K` | [`hp_per_thread`](SmrConfig::hp_per_thread) | hazard pointers per thread |
+//! | `Q` | [`quiescence_threshold`](SmrConfig::quiescence_threshold) | operations batched per quiescent state |
+//! | `R` | [`scan_threshold`](SmrConfig::scan_threshold) | retires between hazard-pointer scans |
+//! | `C` | [`fallback_threshold`](SmrConfig::fallback_threshold) | limbo-list size that triggers the fallback path |
+//! | `T` | [`rooster_interval`](SmrConfig::rooster_interval) | rooster-thread sleep interval |
+//! | `ε` | [`rooster_epsilon`](SmrConfig::rooster_epsilon) | clock-skew / oversleep tolerance |
+
+use crate::clock::Clock;
+use std::time::Duration;
+
+/// Tunable parameters for all schemes in the QSense family.
+#[derive(Clone, Debug)]
+pub struct SmrConfig {
+    /// `N`: maximum number of concurrently registered worker threads.
+    pub max_threads: usize,
+    /// `K`: number of hazard-pointer slots per thread. The paper uses 2 for the
+    /// linked list, 6 for the BST and up to 35 for the skip list.
+    pub hp_per_thread: usize,
+    /// `Q`: number of `begin_op` calls batched before a quiescent state is declared
+    /// (QSBR / QSense fast path).
+    pub quiescence_threshold: usize,
+    /// `R`: number of retired nodes accumulated before a hazard-pointer scan
+    /// (HP / Cadence / QSense fallback path).
+    pub scan_threshold: usize,
+    /// `C`: per-thread limbo-list size that triggers the switch to the fallback path
+    /// (QSense only). Property 4 of the paper requires
+    /// `C > max(m·Q, N·K + T, (K + T + R) / 2)`.
+    pub fallback_threshold: usize,
+    /// `T`: rooster-thread sleep interval (Cadence / QSense fallback path).
+    pub rooster_interval: Duration,
+    /// `ε`: tolerance added to `T` when deciding whether a retired node is old enough.
+    pub rooster_epsilon: Duration,
+    /// Number of rooster threads to spawn. The paper pins one per core; the default
+    /// here is one per available CPU (at least one).
+    pub rooster_threads: usize,
+    /// Use the Linux `membarrier` system call (when available) from rooster wake-ups
+    /// to force outstanding hazard-pointer stores to become visible, mirroring the
+    /// paper's "context switch implies memory barrier" assumption. When unavailable
+    /// or disabled, visibility falls back to the Rust memory model's finite-visibility
+    /// guarantee together with the deferred-reclamation wait of `T + ε`.
+    pub use_membarrier: bool,
+    /// **Extension (paper §5.2, future work).** If set, QSense *evicts* a registered
+    /// thread that has shown no activity for this long: the evicted thread stops
+    /// counting towards the all-processes-active check (so the system can switch back
+    /// to the fast path after a permanent thread failure) and towards grace periods
+    /// (so the epoch can advance past it); its safety is covered by its hazard
+    /// pointers plus deferred reclamation instead, exactly as on the fallback path.
+    /// `None` (the default) disables eviction and reproduces the paper's published
+    /// behaviour, where a crashed thread keeps the system in fallback mode forever.
+    pub eviction_timeout: Option<Duration>,
+    /// Time source; swap in a manual clock for deterministic tests.
+    pub clock: Clock,
+}
+
+impl SmrConfig {
+    /// Configuration matching the paper's linked-list experiments
+    /// (`K = 2` hazard pointers).
+    pub fn for_list() -> Self {
+        Self::default().with_hp_per_thread(2)
+    }
+
+    /// Configuration matching the paper's BST experiments (`K = 6`).
+    pub fn for_bst() -> Self {
+        Self::default().with_hp_per_thread(6)
+    }
+
+    /// Configuration matching the paper's skip-list experiments (up to `K = 35`).
+    pub fn for_skiplist() -> Self {
+        Self::default().with_hp_per_thread(35)
+    }
+
+    /// Sets `N`, the maximum number of worker threads.
+    pub fn with_max_threads(mut self, n: usize) -> Self {
+        assert!(n > 0, "max_threads must be positive");
+        self.max_threads = n;
+        self
+    }
+
+    /// Sets `K`, the number of hazard-pointer slots per thread.
+    pub fn with_hp_per_thread(mut self, k: usize) -> Self {
+        assert!(k > 0, "hp_per_thread must be positive");
+        self.hp_per_thread = k;
+        self
+    }
+
+    /// Sets `Q`, the quiescence threshold.
+    pub fn with_quiescence_threshold(mut self, q: usize) -> Self {
+        assert!(q > 0, "quiescence_threshold must be positive");
+        self.quiescence_threshold = q;
+        self
+    }
+
+    /// Sets `R`, the scan threshold.
+    pub fn with_scan_threshold(mut self, r: usize) -> Self {
+        assert!(r > 0, "scan_threshold must be positive");
+        self.scan_threshold = r;
+        self
+    }
+
+    /// Sets `C`, the fallback threshold.
+    pub fn with_fallback_threshold(mut self, c: usize) -> Self {
+        assert!(c > 0, "fallback_threshold must be positive");
+        self.fallback_threshold = c;
+        self
+    }
+
+    /// Sets `T`, the rooster sleep interval.
+    pub fn with_rooster_interval(mut self, t: Duration) -> Self {
+        self.rooster_interval = t;
+        self
+    }
+
+    /// Sets `ε`, the rooster tolerance.
+    pub fn with_rooster_epsilon(mut self, eps: Duration) -> Self {
+        self.rooster_epsilon = eps;
+        self
+    }
+
+    /// Sets the number of rooster threads.
+    pub fn with_rooster_threads(mut self, n: usize) -> Self {
+        self.rooster_threads = n;
+        self
+    }
+
+    /// Enables or disables the `membarrier`-based asymmetric fence.
+    pub fn with_membarrier(mut self, enabled: bool) -> Self {
+        self.use_membarrier = enabled;
+        self
+    }
+
+    /// Enables the eviction extension: a thread inactive for longer than `timeout` is
+    /// evicted from the presence and grace-period checks (see
+    /// [`eviction_timeout`](Self::eviction_timeout)). Pass `None` to disable (the
+    /// paper's published behaviour).
+    pub fn with_eviction_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.eviction_timeout = timeout;
+        self
+    }
+
+    /// The eviction timeout in nanoseconds, if the extension is enabled.
+    pub fn eviction_timeout_nanos(&self) -> Option<u64> {
+        self.eviction_timeout
+            .map(crate::clock::duration_to_nanos)
+    }
+
+    /// Replaces the time source (e.g. with a manual clock for tests).
+    pub fn with_clock(mut self, clock: Clock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Checks the legality condition on `C` from Property 4 of the paper,
+    /// `C > max(m·Q, N·K + T, (K + T + R)/2)`, where `m` is the maximum number of
+    /// nodes a single operation can remove and `T` is expressed — as in the paper's
+    /// proof, which counts "at most one removal per time unit" — as the number of
+    /// nodes removable during one rooster interval, approximated here by the caller
+    /// via `removals_per_interval`.
+    pub fn fallback_threshold_is_legal(&self, m: usize, removals_per_interval: usize) -> bool {
+        let c = self.fallback_threshold;
+        let t = removals_per_interval;
+        let nk_plus_t = self.max_threads * self.hp_per_thread + t;
+        let k_t_r = (self.hp_per_thread + t + self.scan_threshold).div_ceil(2);
+        c > m * self.quiescence_threshold && c > nk_plus_t && c > k_t_r
+    }
+
+    /// `T + ε` in nanoseconds — the minimum age a retired node must reach before
+    /// Cadence may free it.
+    pub fn min_reclaim_age_nanos(&self) -> u64 {
+        crate::clock::duration_to_nanos(self.rooster_interval)
+            .saturating_add(crate::clock::duration_to_nanos(self.rooster_epsilon))
+    }
+}
+
+impl Default for SmrConfig {
+    fn default() -> Self {
+        let cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self {
+            max_threads: 64,
+            hp_per_thread: 8,
+            quiescence_threshold: 100,
+            scan_threshold: 128,
+            fallback_threshold: 4096,
+            rooster_interval: Duration::from_millis(10),
+            rooster_epsilon: Duration::from_millis(1),
+            rooster_threads: cpus.max(1),
+            use_membarrier: true,
+            eviction_timeout: None,
+            clock: Clock::real(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    #[test]
+    fn defaults_are_sane() {
+        let cfg = SmrConfig::default();
+        assert!(cfg.max_threads >= 1);
+        assert!(cfg.hp_per_thread >= 1);
+        assert!(cfg.rooster_threads >= 1);
+        assert!(cfg.min_reclaim_age_nanos() > 0);
+        assert!(
+            cfg.eviction_timeout.is_none(),
+            "eviction is an opt-in extension; the default must match the paper"
+        );
+    }
+
+    #[test]
+    fn builders_set_every_field() {
+        let manual = ManualClock::new();
+        let cfg = SmrConfig::default()
+            .with_max_threads(4)
+            .with_hp_per_thread(3)
+            .with_quiescence_threshold(10)
+            .with_scan_threshold(20)
+            .with_fallback_threshold(500)
+            .with_rooster_interval(Duration::from_millis(5))
+            .with_rooster_epsilon(Duration::from_millis(2))
+            .with_rooster_threads(2)
+            .with_membarrier(false)
+            .with_eviction_timeout(Some(Duration::from_millis(50)))
+            .with_clock(Clock::manual(manual));
+        assert_eq!(cfg.max_threads, 4);
+        assert_eq!(cfg.hp_per_thread, 3);
+        assert_eq!(cfg.quiescence_threshold, 10);
+        assert_eq!(cfg.scan_threshold, 20);
+        assert_eq!(cfg.fallback_threshold, 500);
+        assert_eq!(cfg.rooster_interval, Duration::from_millis(5));
+        assert_eq!(cfg.rooster_epsilon, Duration::from_millis(2));
+        assert_eq!(cfg.rooster_threads, 2);
+        assert!(!cfg.use_membarrier);
+        assert_eq!(cfg.eviction_timeout_nanos(), Some(50_000_000));
+        assert!(cfg.clock.is_manual());
+        assert_eq!(cfg.min_reclaim_age_nanos(), 7_000_000);
+    }
+
+    #[test]
+    fn dataset_presets_match_paper_hp_counts() {
+        assert_eq!(SmrConfig::for_list().hp_per_thread, 2);
+        assert_eq!(SmrConfig::for_bst().hp_per_thread, 6);
+        assert_eq!(SmrConfig::for_skiplist().hp_per_thread, 35);
+    }
+
+    #[test]
+    fn legality_condition_matches_property_4() {
+        let cfg = SmrConfig::default()
+            .with_max_threads(8)
+            .with_hp_per_thread(2)
+            .with_quiescence_threshold(100)
+            .with_scan_threshold(128)
+            .with_fallback_threshold(4096);
+        // m = 1 removal per op, ~1000 removals per rooster interval.
+        assert!(cfg.fallback_threshold_is_legal(1, 1000));
+        // A tiny C violates the condition.
+        let tiny = cfg.clone().with_fallback_threshold(10);
+        assert!(!tiny.fallback_threshold_is_legal(1, 1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_threads_rejected() {
+        let _ = SmrConfig::default().with_max_threads(0);
+    }
+}

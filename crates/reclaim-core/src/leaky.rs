@@ -1,0 +1,193 @@
+//! The *None* baseline: no reclamation at all.
+//!
+//! The paper's evaluation compares every scheme against a "leaky" implementation that
+//! never frees removed nodes — the upper bound on throughput, since it pays zero
+//! reclamation overhead on the hot path. [`Leaky`] reproduces that baseline:
+//! `begin_op`, `protect` and `flush` are no-ops and `retire` merely records the node.
+//!
+//! Unlike a literal `free`-never-called port, retired nodes are parked in the scheme
+//! object and released when the scheme itself is dropped. During a run the behaviour
+//! is identical to the paper's leaky baseline (nothing is ever freed, no hot-path
+//! work is done), but the benchmark process does not permanently leak the memory of
+//! every experiment it has already finished.
+
+use crate::config::SmrConfig;
+use crate::retired::{DropFn, RetiredBag, RetiredPtr};
+use crate::smr::{Smr, SmrHandle};
+use crate::stats::{SmrStats, StatsSnapshot};
+use std::sync::{Arc, Mutex};
+
+/// The no-reclamation scheme (paper: *None*).
+pub struct Leaky {
+    config: SmrConfig,
+    stats: SmrStats,
+    /// Nodes retired by all threads, parked until the scheme is dropped.
+    parked: Mutex<Vec<RetiredBag>>,
+}
+
+impl Leaky {
+    /// Creates a leaky scheme instance.
+    pub fn new(config: SmrConfig) -> Arc<Self> {
+        Arc::new(Self {
+            config,
+            stats: SmrStats::new(),
+            parked: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Creates a leaky scheme with default configuration.
+    pub fn with_defaults() -> Arc<Self> {
+        Self::new(SmrConfig::default())
+    }
+
+    /// The configuration this scheme was created with.
+    pub fn config(&self) -> &SmrConfig {
+        &self.config
+    }
+}
+
+impl Smr for Leaky {
+    type Handle = LeakyHandle;
+
+    fn register(self: &Arc<Self>) -> LeakyHandle {
+        LeakyHandle {
+            scheme: Arc::clone(self),
+            bag: RetiredBag::new(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+impl Drop for Leaky {
+    fn drop(&mut self) {
+        // All handles are gone (they hold Arc<Self>), so no thread can reach any
+        // retired node any more: releasing everything is safe.
+        let mut parked = self.parked.lock().unwrap_or_else(|e| e.into_inner());
+        for mut bag in parked.drain(..) {
+            let freed = unsafe { bag.reclaim_all() };
+            self.stats.add_freed(freed as u64);
+        }
+    }
+}
+
+/// Per-thread handle for [`Leaky`].
+pub struct LeakyHandle {
+    scheme: Arc<Leaky>,
+    bag: RetiredBag,
+}
+
+impl SmrHandle for LeakyHandle {
+    fn begin_op(&mut self) {}
+
+    fn end_op(&mut self) {}
+
+    fn protect(&mut self, _index: usize, _ptr: *mut u8) {}
+
+    fn clear_protections(&mut self) {}
+
+    unsafe fn retire(&mut self, ptr: *mut u8, drop_fn: DropFn) {
+        self.scheme.stats.add_retired(1);
+        let now = self.scheme.config.clock.now();
+        // SAFETY: forwarded directly from the caller's contract.
+        self.bag.push(unsafe { RetiredPtr::new(ptr, drop_fn, now) });
+    }
+
+    fn flush(&mut self) {
+        // Leaky never reclaims while running; that is the whole point of the baseline.
+    }
+
+    fn local_in_limbo(&self) -> usize {
+        self.bag.len()
+    }
+}
+
+impl Drop for LeakyHandle {
+    fn drop(&mut self) {
+        // Park this thread's retired nodes on the scheme so they are released when
+        // the scheme itself goes away.
+        let mut bag = std::mem::take(&mut self.bag);
+        if !bag.is_empty() {
+            let mut parked = self
+                .scheme
+                .parked
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            let mut moved = RetiredBag::new();
+            moved.append(&mut bag);
+            parked.push(moved);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::retire_box;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct Tracked(Arc<AtomicUsize>);
+    impl Drop for Tracked {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn retire_does_not_free_until_scheme_drop() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let scheme = Leaky::with_defaults();
+        {
+            let mut handle = scheme.register();
+            handle.begin_op();
+            for _ in 0..10 {
+                let ptr = Box::into_raw(Box::new(Tracked(Arc::clone(&drops))));
+                unsafe { retire_box(&mut handle, ptr) };
+            }
+            handle.flush();
+            handle.end_op();
+            assert_eq!(handle.local_in_limbo(), 10);
+            assert_eq!(drops.load(Ordering::SeqCst), 0, "leaky must not free while running");
+            let snap = scheme.stats();
+            assert_eq!(snap.retired, 10);
+            assert_eq!(snap.freed, 0);
+        }
+        // Handle dropped: still nothing freed.
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        drop(scheme);
+        assert_eq!(drops.load(Ordering::SeqCst), 10, "scheme drop releases parked nodes");
+    }
+
+    #[test]
+    fn protect_and_begin_op_are_no_ops() {
+        let scheme = Leaky::with_defaults();
+        let mut handle = scheme.register();
+        handle.begin_op();
+        handle.protect(0, std::ptr::null_mut());
+        handle.protect(5, 0x1000 as *mut u8);
+        handle.clear_protections();
+        handle.end_op();
+        assert_eq!(handle.local_in_limbo(), 0);
+        assert_eq!(scheme.name(), "none");
+    }
+
+    #[test]
+    fn multiple_handles_park_independently() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let scheme = Leaky::with_defaults();
+        for _ in 0..3 {
+            let mut handle = scheme.register();
+            let ptr = Box::into_raw(Box::new(Tracked(Arc::clone(&drops))));
+            unsafe { retire_box(&mut handle, ptr) };
+        }
+        assert_eq!(scheme.stats().retired, 3);
+        drop(scheme);
+        assert_eq!(drops.load(Ordering::SeqCst), 3);
+    }
+}

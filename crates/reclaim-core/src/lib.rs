@@ -1,0 +1,77 @@
+//! # reclaim-core
+//!
+//! Shared substrate for the QSense family of safe-memory-reclamation (SMR) schemes,
+//! reproducing *"Fast and Robust Memory Reclamation for Concurrent Data Structures"*
+//! (Balmau, Guerraoui, Herlihy, Zablotchi — SPAA 2016).
+//!
+//! This crate contains everything the individual schemes (`hazard`, `qsbr`, `cadence`,
+//! `qsense`) have in common:
+//!
+//! * the [`Smr`] / [`SmrHandle`] traits — the three-function interface the paper
+//!   prescribes (`manage_qsense_state`, `assign_HP`, `free_node_later`) plus the
+//!   plumbing a real library needs (registration, statistics, forced collection);
+//! * a [`registry::Registry`] of per-thread slots with interior-mutable per-thread
+//!   state that other threads may scan (hazard pointers, epochs, presence flags);
+//! * [`retired::RetiredBag`] / [`retired::RetiredPtr`] — timestamped retired-node
+//!   bookkeeping (the paper's `timestamped_node` wrapper, Algorithm 3);
+//! * a [`clock::Clock`] abstraction (real, monotonic nanoseconds) with a manually
+//!   driven variant for deterministic tests;
+//! * low-level utilities: [`pad::CachePadded`], [`backoff::Backoff`], and the
+//!   asymmetric process-wide fence in [`membarrier`];
+//! * the [`leaky::Leaky`] "scheme" (no reclamation at all), the paper's *None*
+//!   baseline;
+//! * [`config::SmrConfig`] holding every tunable the paper names
+//!   (`Q`, `R`, `C`, `K`, `T`, `ε`, `N`).
+//!
+//! The data structures in `lockfree-ds` are generic over [`Smr`], so any scheme can be
+//! plugged into any structure exactly as in the paper's evaluation.
+//!
+//! ## Pointer-level safety contract
+//!
+//! All schemes traffic in type-erased pointers (`*mut u8` plus an `unsafe fn(*mut u8)`
+//! destructor). The contract, identical to the paper's node-state machine (§2.1):
+//!
+//! 1. a node may be retired only after it has been unlinked from the data structure
+//!    (state *removed*), and only once;
+//! 2. a thread may dereference a removed node only while one of its protection slots
+//!    (hazard pointers) covers it and the protection was validated while the node was
+//!    still reachable (Condition 1 of the paper);
+//! 3. once the scheme invokes the destructor the node is *free* and must never be
+//!    touched again.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod alloc_track;
+pub mod backoff;
+pub mod clock;
+pub mod config;
+pub mod leaky;
+pub mod membarrier;
+pub mod pad;
+pub mod registry;
+pub mod retired;
+pub mod smr;
+pub mod stats;
+
+pub use alloc_track::CountingAllocator;
+pub use backoff::Backoff;
+pub use clock::{Clock, ManualClock, Nanos};
+pub use config::SmrConfig;
+pub use leaky::{Leaky, LeakyHandle};
+pub use pad::CachePadded;
+pub use registry::{Registry, SlotId};
+pub use retired::{RetiredBag, RetiredPtr};
+pub use smr::{drop_fn_for, Smr, SmrHandle};
+pub use stats::SmrStats;
+
+/// Convenience: retire a typed, heap-allocated (`Box`-originated) pointer through any
+/// [`SmrHandle`].
+///
+/// # Safety
+///
+/// `ptr` must have been created by `Box::into_raw`, must already be unlinked from the
+/// data structure, and must not be retired more than once.
+pub unsafe fn retire_box<T, H: SmrHandle + ?Sized>(handle: &mut H, ptr: *mut T) {
+    handle.retire(ptr.cast::<u8>(), drop_fn_for::<T>());
+}

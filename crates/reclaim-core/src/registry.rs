@@ -1,0 +1,212 @@
+//! Per-thread slot registry.
+//!
+//! Every scheme in the paper keeps *per-process* shared records that other processes
+//! scan: hazard-pointer arrays (HP, Cadence), local epochs (QSBR), presence flags
+//! (QSense). The paper assumes a fixed set of `N` processes with no dynamic
+//! membership (§5.2, last paragraph); this registry implements exactly that model —
+//! a fixed-capacity array of slots — but lets threads claim and release slots so that
+//! worker threads can come and go between experiments, which the benchmarks need.
+//!
+//! The registry is generic over the per-thread record `T`. Records are constructed
+//! once at registry creation and never moved, so scanners can hold references to them
+//! while owners update their interiorly mutable fields (atomics).
+
+use crate::pad::CachePadded;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Identifier of a claimed registry slot. The wrapped index is stable for the
+/// lifetime of the claim and doubles as the "process id" in paper terms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SlotId(usize);
+
+impl SlotId {
+    /// The slot's index in `0..capacity`.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+struct Slot<T> {
+    claimed: CachePadded<AtomicBool>,
+    state: CachePadded<T>,
+}
+
+/// Fixed-capacity registry of per-thread records.
+pub struct Registry<T> {
+    slots: Box<[Slot<T>]>,
+}
+
+impl<T> Registry<T> {
+    /// Creates a registry with `capacity` slots, each initialized by `init(index)`.
+    pub fn new(capacity: usize, mut init: impl FnMut(usize) -> T) -> Self {
+        assert!(capacity > 0, "registry capacity must be positive");
+        let slots = (0..capacity)
+            .map(|i| Slot {
+                claimed: CachePadded::new(AtomicBool::new(false)),
+                state: CachePadded::new(init(i)),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self { slots }
+    }
+
+    /// Maximum number of simultaneously registered threads (`N` in the paper).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of currently claimed slots.
+    pub fn claimed_count(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.claimed.load(Ordering::Acquire))
+            .count()
+    }
+
+    /// Claims a free slot, returning its id, or `None` if all `N` slots are taken.
+    ///
+    /// The acquire/release pairing on `claimed` makes everything the previous owner
+    /// wrote to the slot's record visible to the new owner.
+    pub fn acquire(&self) -> Option<SlotId> {
+        for (i, slot) in self.slots.iter().enumerate() {
+            if !slot.claimed.load(Ordering::Relaxed)
+                && slot
+                    .claimed
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return Some(SlotId(i));
+            }
+        }
+        None
+    }
+
+    /// Releases a previously claimed slot.
+    ///
+    /// The caller must have cleaned up the slot's record (cleared hazard pointers,
+    /// drained limbo lists) before releasing; schemes do this in their handle `Drop`.
+    pub fn release(&self, id: SlotId) {
+        let was = self.slots[id.0].claimed.swap(false, Ordering::Release);
+        debug_assert!(was, "releasing a slot that was not claimed");
+    }
+
+    /// Whether the given slot index is currently claimed.
+    pub fn is_claimed(&self, index: usize) -> bool {
+        self.slots[index].claimed.load(Ordering::Acquire)
+    }
+
+    /// Returns the record stored in slot `index` regardless of claim state.
+    ///
+    /// Scanners use this to read hazard pointers / epochs of *all* slots; records of
+    /// unclaimed slots hold neutral values (null hazard pointers, quiesced epochs), so
+    /// including them is always conservative.
+    pub fn get(&self, index: usize) -> &T {
+        &self.slots[index].state
+    }
+
+    /// Returns the record for a claimed slot id (same as [`get`](Self::get), but takes
+    /// the typed id the owner holds).
+    pub fn get_mine(&self, id: SlotId) -> &T {
+        &self.slots[id.0].state
+    }
+
+    /// Iterates over `(index, record)` for every slot, claimed or not.
+    pub fn iter_all(&self) -> impl Iterator<Item = (usize, &T)> {
+        self.slots.iter().enumerate().map(|(i, s)| (i, &*s.state))
+    }
+
+    /// Iterates over `(index, record)` for currently claimed slots only.
+    ///
+    /// Note the inherent race: a slot may be claimed or released while the iteration
+    /// is in progress. Schemes must therefore make sure that *releasing* a slot leaves
+    /// its record in a state that is safe to miss (e.g. hazard pointers cleared only
+    /// after the owner's retired nodes have been handed off or reclaimed).
+    pub fn iter_claimed(&self) -> impl Iterator<Item = (usize, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.claimed.load(Ordering::Acquire))
+            .map(|(i, s)| (i, &*s.state))
+    }
+}
+
+impl<T> fmt::Debug for Registry<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Registry")
+            .field("capacity", &self.capacity())
+            .field("claimed", &self.claimed_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn acquire_release_round_trip() {
+        let reg: Registry<AtomicUsize> = Registry::new(2, |_| AtomicUsize::new(0));
+        assert_eq!(reg.capacity(), 2);
+        let a = reg.acquire().unwrap();
+        let b = reg.acquire().unwrap();
+        assert_ne!(a, b);
+        assert!(reg.acquire().is_none(), "registry should be full");
+        assert_eq!(reg.claimed_count(), 2);
+        reg.release(a);
+        assert_eq!(reg.claimed_count(), 1);
+        let c = reg.acquire().unwrap();
+        assert_eq!(c.index(), a.index(), "released slot should be reusable");
+        reg.release(b);
+        reg.release(c);
+        assert_eq!(reg.claimed_count(), 0);
+    }
+
+    #[test]
+    fn records_are_initialized_per_index() {
+        let reg: Registry<usize> = Registry::new(4, |i| i * 10);
+        for (i, v) in reg.iter_all() {
+            assert_eq!(*v, i * 10);
+        }
+    }
+
+    #[test]
+    fn iter_claimed_sees_only_claimed_slots() {
+        let reg: Registry<AtomicUsize> = Registry::new(3, |_| AtomicUsize::new(0));
+        let a = reg.acquire().unwrap();
+        reg.get_mine(a).store(7, Ordering::Relaxed);
+        let claimed: Vec<_> = reg.iter_claimed().map(|(i, _)| i).collect();
+        assert_eq!(claimed, vec![a.index()]);
+        assert!(reg.is_claimed(a.index()));
+        assert_eq!(reg.get(a.index()).load(Ordering::Relaxed), 7);
+        reg.release(a);
+        assert_eq!(reg.iter_claimed().count(), 0);
+    }
+
+    #[test]
+    fn concurrent_acquisition_hands_out_distinct_slots() {
+        let reg: Arc<Registry<AtomicUsize>> = Arc::new(Registry::new(8, |_| AtomicUsize::new(0)));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                thread::spawn(move || {
+                    let id = reg.acquire().expect("capacity is exactly the thread count");
+                    id.index()
+                })
+            })
+            .collect();
+        let mut indices: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        indices.sort_unstable();
+        indices.dedup();
+        assert_eq!(indices.len(), 8, "every thread must get a distinct slot");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _: Registry<u8> = Registry::new(0, |_| 0);
+    }
+}

@@ -1,0 +1,276 @@
+//! Retired-node bookkeeping.
+//!
+//! When a data structure unlinks a node it hands the node to the reclamation scheme
+//! via `retire` (the paper's `free_node_later`). The scheme must hold on to the node —
+//! together with the timestamp of its removal, which Cadence's deferred reclamation
+//! needs — until it can prove no other thread still uses it. [`RetiredPtr`] is the
+//! Rust equivalent of the paper's `timestamped_node` wrapper (Algorithm 3), and
+//! [`RetiredBag`] is one thread-local list of such wrappers (a limbo list in QSBR
+//! terms, a removed-nodes list in HP/Cadence terms).
+
+use crate::clock::Nanos;
+use std::fmt;
+
+/// A type-erased destructor: takes the pointer originally passed to `retire` and
+/// releases the node's memory.
+pub type DropFn = unsafe fn(*mut u8);
+
+/// A retired node awaiting reclamation: pointer, destructor and removal timestamp.
+pub struct RetiredPtr {
+    ptr: *mut u8,
+    drop_fn: DropFn,
+    retired_at: Nanos,
+}
+
+// A RetiredPtr is just a deferred destructor call; the node it points to is already
+// unreachable from the data structure, so moving the wrapper between threads is safe
+// as long as only one thread ultimately runs the destructor (guaranteed by ownership).
+unsafe impl Send for RetiredPtr {}
+
+impl RetiredPtr {
+    /// Wraps a retired node.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must be a valid, unlinked node that will not be retired again, and
+    /// `drop_fn(ptr)` must correctly release it.
+    pub unsafe fn new(ptr: *mut u8, drop_fn: DropFn, retired_at: Nanos) -> Self {
+        debug_assert!(!ptr.is_null(), "retiring a null pointer");
+        Self {
+            ptr,
+            drop_fn,
+            retired_at,
+        }
+    }
+
+    /// The retired node's address (used to match against hazard pointers).
+    pub fn addr(&self) -> *mut u8 {
+        self.ptr
+    }
+
+    /// Timestamp (scheme clock) at which the node was retired.
+    pub fn retired_at(&self) -> Nanos {
+        self.retired_at
+    }
+
+    /// `is_old_enough` from the paper (Algorithm 3, lines 36–39): the node may be
+    /// considered for reclamation only once `now - retired_at >= min_age`, where
+    /// `min_age = T + ε`.
+    pub fn is_old_enough(&self, now: Nanos, min_age: Nanos) -> bool {
+        now.saturating_sub(self.retired_at) >= min_age
+    }
+
+    /// Runs the destructor, consuming the wrapper.
+    ///
+    /// # Safety
+    ///
+    /// No thread may hold a hazardous reference to the node (this is exactly what the
+    /// scheme's scan / grace-period logic establishes before calling this).
+    pub unsafe fn reclaim(self) {
+        (self.drop_fn)(self.ptr);
+        // `self` is consumed; forgetting nothing — RetiredPtr has no Drop impl, so the
+        // wrapper itself is released trivially.
+    }
+}
+
+impl fmt::Debug for RetiredPtr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RetiredPtr")
+            .field("ptr", &self.ptr)
+            .field("retired_at", &self.retired_at)
+            .finish()
+    }
+}
+
+/// A thread-local list of retired nodes awaiting reclamation.
+///
+/// The owning thread pushes retired nodes and periodically drains the bag through a
+/// scheme-specific predicate (hazard-pointer scan, grace-period check, age check).
+/// Other threads never touch the bag, so no synchronization is needed.
+#[derive(Debug, Default)]
+pub struct RetiredBag {
+    nodes: Vec<RetiredPtr>,
+}
+
+impl RetiredBag {
+    /// Creates an empty bag.
+    pub fn new() -> Self {
+        Self { nodes: Vec::new() }
+    }
+
+    /// Creates an empty bag with pre-allocated capacity (used by schemes that know
+    /// their scan threshold `R`).
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            nodes: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of nodes currently awaiting reclamation.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes await reclamation.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds a retired node to the bag.
+    pub fn push(&mut self, node: RetiredPtr) {
+        self.nodes.push(node);
+    }
+
+    /// Moves every node out of `other` into `self` (used when QSense folds the three
+    /// QSBR limbo lists into one Cadence removed-nodes list, §5.2).
+    pub fn append(&mut self, other: &mut RetiredBag) {
+        self.nodes.append(&mut other.nodes);
+    }
+
+    /// Reclaims every node for which `can_reclaim` returns true; nodes that are not
+    /// yet safe remain in the bag. Returns the number of nodes reclaimed.
+    ///
+    /// # Safety
+    ///
+    /// The predicate must only return `true` for nodes that no other thread can still
+    /// access (retired in the paper's terminology).
+    pub unsafe fn reclaim_if(&mut self, mut can_reclaim: impl FnMut(&RetiredPtr) -> bool) -> usize {
+        let mut kept = Vec::with_capacity(self.nodes.len());
+        let mut freed = 0usize;
+        for node in self.nodes.drain(..) {
+            if can_reclaim(&node) {
+                node.reclaim();
+                freed += 1;
+            } else {
+                kept.push(node);
+            }
+        }
+        self.nodes = kept;
+        freed
+    }
+
+    /// Unconditionally reclaims every node in the bag. Returns the number reclaimed.
+    ///
+    /// # Safety
+    ///
+    /// Caller must guarantee that no thread can access any node in the bag (e.g. the
+    /// scheme is being dropped and all handles are gone).
+    pub unsafe fn reclaim_all(&mut self) -> usize {
+        self.reclaim_if(|_| true)
+    }
+
+    /// Iterates over the retired nodes without reclaiming them.
+    pub fn iter(&self) -> impl Iterator<Item = &RetiredPtr> {
+        self.nodes.iter()
+    }
+}
+
+impl Drop for RetiredBag {
+    fn drop(&mut self) {
+        // Dropping a non-empty bag would leak the nodes. Schemes drain their bags in
+        // their own Drop impls (when it is provably safe); reaching this point with
+        // leftovers indicates a scheme bug in debug builds, and in release we leak
+        // rather than risk a double free.
+        debug_assert!(
+            self.nodes.is_empty(),
+            "RetiredBag dropped with {} unreclaimed nodes",
+            self.nodes.len()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    struct DropCounter {
+        counter: Arc<AtomicUsize>,
+    }
+
+    impl Drop for DropCounter {
+        fn drop(&mut self) {
+            self.counter.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn retire_counter(counter: &Arc<AtomicUsize>, at: Nanos) -> RetiredPtr {
+        let boxed = Box::new(DropCounter {
+            counter: Arc::clone(counter),
+        });
+        let raw = Box::into_raw(boxed).cast::<u8>();
+        unsafe fn drop_counter(ptr: *mut u8) {
+            unsafe { drop(Box::from_raw(ptr.cast::<DropCounter>())) };
+        }
+        unsafe { RetiredPtr::new(raw, drop_counter, at) }
+    }
+
+    #[test]
+    fn is_old_enough_respects_min_age() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let node = retire_counter(&counter, 1_000);
+        assert!(!node.is_old_enough(1_500, 1_000));
+        assert!(node.is_old_enough(2_000, 1_000));
+        assert!(node.is_old_enough(2_500, 1_000));
+        // Clean up.
+        let mut bag = RetiredBag::new();
+        bag.push(node);
+        unsafe { bag.reclaim_all() };
+    }
+
+    #[test]
+    fn is_old_enough_handles_clock_skew_saturating() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        // Retired "in the future" relative to now: must not panic, must not be old.
+        let node = retire_counter(&counter, 5_000);
+        assert!(!node.is_old_enough(1_000, 1));
+        let mut bag = RetiredBag::new();
+        bag.push(node);
+        unsafe { bag.reclaim_all() };
+    }
+
+    #[test]
+    fn reclaim_if_frees_only_matching_nodes() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut bag = RetiredBag::with_capacity(4);
+        for t in 0..4 {
+            bag.push(retire_counter(&counter, t));
+        }
+        assert_eq!(bag.len(), 4);
+        let freed = unsafe { bag.reclaim_if(|n| n.retired_at() < 2) };
+        assert_eq!(freed, 2);
+        assert_eq!(bag.len(), 2);
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+        let freed = unsafe { bag.reclaim_all() };
+        assert_eq!(freed, 2);
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+        assert!(bag.is_empty());
+    }
+
+    #[test]
+    fn append_moves_all_nodes() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut a = RetiredBag::new();
+        let mut b = RetiredBag::new();
+        a.push(retire_counter(&counter, 1));
+        b.push(retire_counter(&counter, 2));
+        b.push(retire_counter(&counter, 3));
+        a.append(&mut b);
+        assert_eq!(a.len(), 3);
+        assert!(b.is_empty());
+        assert_eq!(a.iter().count(), 3);
+        unsafe { a.reclaim_all() };
+        assert_eq!(counter.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn retired_ptr_reports_address() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let node = retire_counter(&counter, 0);
+        assert!(!node.addr().is_null());
+        let mut bag = RetiredBag::new();
+        bag.push(node);
+        unsafe { bag.reclaim_all() };
+    }
+}

@@ -1,0 +1,143 @@
+//! The scheme-facing interface: [`Smr`] (one per scheme instance, shared) and
+//! [`SmrHandle`] (one per worker thread).
+//!
+//! The paper's QSense interface consists of exactly three functions
+//! (`manage_qsense_state`, `assign_HP`, `free_node_later`) plus the rule set in §1.3
+//! that says where to call them. This trait pair is the Rust rendering of that
+//! interface, generalized so that every scheme in the evaluation (None, QSBR, HP,
+//! Cadence, QSense) implements it and the data structures stay scheme-agnostic:
+//!
+//! | paper call | trait method | rule (paper §1.3) |
+//! |------------|--------------|--------------------|
+//! | `manage_qsense_state()` | [`SmrHandle::begin_op`] | call in states where no shared references are held — i.e. at the start of every data-structure operation |
+//! | `assign_HP(node, i)` | [`SmrHandle::protect`] | call before using a reference to a node, then re-validate the reference |
+//! | `free_node_later(node)` | [`SmrHandle::retire`] | call where `free` would be called sequentially, after the node is unlinked |
+
+use crate::retired::DropFn;
+use crate::stats::StatsSnapshot;
+use std::sync::Arc;
+
+/// A safe-memory-reclamation scheme instance.
+///
+/// The scheme object owns all shared state (hazard-pointer registry, global epoch,
+/// fallback flag, rooster threads, …). Worker threads obtain a per-thread
+/// [`SmrHandle`] through [`register`](Smr::register) and perform every data-structure
+/// operation through that handle.
+pub trait Smr: Send + Sync + 'static {
+    /// The per-thread handle type.
+    type Handle: SmrHandle;
+
+    /// Registers the calling thread, claiming one of the `N` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `max_threads` handles are simultaneously live.
+    fn register(self: &Arc<Self>) -> Self::Handle;
+
+    /// A short human-readable scheme name used by the benchmark harness
+    /// (`"none"`, `"qsbr"`, `"hp"`, `"cadence"`, `"qsense"`).
+    fn name(&self) -> &'static str;
+
+    /// A snapshot of the scheme's reclamation counters.
+    fn stats(&self) -> StatsSnapshot;
+}
+
+/// Per-thread handle to a reclamation scheme.
+///
+/// Handles are `Send` (a worker thread may be moved by a thread pool) but not `Sync`:
+/// all methods take `&mut self` and must only ever be called by the owning thread.
+pub trait SmrHandle: Send {
+    /// Declares an operation boundary — the paper's `manage_qsense_state`.
+    ///
+    /// Must be called at the start of every data-structure operation, at a point
+    /// where the thread holds no references to shared nodes. Schemes use it to batch
+    /// quiescent states (QSBR/QSense), check the fallback flag (QSense) and signal
+    /// presence (QSense).
+    fn begin_op(&mut self);
+
+    /// Declares the end of a data-structure operation. The thread must again hold no
+    /// references to shared nodes. Schemes use it to drop protections eagerly.
+    fn end_op(&mut self);
+
+    /// Publishes a protection (hazard pointer) for `ptr` in slot `index` — the
+    /// paper's `assign_HP`.
+    ///
+    /// After this returns, the caller must *re-validate* that the node is still
+    /// reachable before dereferencing it (step 4 of Michael's methodology, §3.2);
+    /// schemes guarantee that if validation succeeds the node will not be freed while
+    /// the protection stays in place. Slot indices must be `< hp_per_thread`.
+    ///
+    /// Schemes that do not rely on per-node protection (QSBR, Leaky) implement this
+    /// as a no-op — but note that QSense does *not*: it keeps hazard pointers
+    /// up to date even on the fast path (paper §4.1).
+    fn protect(&mut self, index: usize, ptr: *mut u8);
+
+    /// Clears every protection slot of this thread.
+    fn clear_protections(&mut self);
+
+    /// Hands an unlinked node to the scheme for deferred reclamation — the paper's
+    /// `free_node_later`.
+    ///
+    /// # Safety
+    ///
+    /// * `ptr` must have been unlinked from the data structure before the call (the
+    ///   node is in the *removed* state);
+    /// * the same pointer must not be retired twice;
+    /// * `drop_fn(ptr)` must correctly release the node.
+    unsafe fn retire(&mut self, ptr: *mut u8, drop_fn: DropFn);
+
+    /// Forces a best-effort reclamation pass over this thread's retired nodes,
+    /// regardless of thresholds. Useful at the end of a benchmark phase and in tests.
+    fn flush(&mut self);
+
+    /// Number of nodes this thread has retired but not yet freed (its limbo /
+    /// removed-nodes list length).
+    fn local_in_limbo(&self) -> usize;
+}
+
+/// Returns the type-erased destructor for a `Box<T>`-allocated node.
+///
+/// The returned function reconstructs the `Box` and drops it, releasing the
+/// allocation and running `T`'s destructor.
+pub fn drop_fn_for<T>() -> DropFn {
+    unsafe fn drop_box<T>(ptr: *mut u8) {
+        // SAFETY: the contract of `SmrHandle::retire` guarantees `ptr` originated
+        // from `Box::<T>::into_raw` and is dropped exactly once.
+        unsafe { drop(Box::from_raw(ptr.cast::<T>())) }
+    }
+    drop_box::<T>
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    struct Tracked {
+        counter: Arc<AtomicUsize>,
+    }
+
+    impl Drop for Tracked {
+        fn drop(&mut self) {
+            self.counter.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn drop_fn_runs_destructor_exactly_once() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let raw = Box::into_raw(Box::new(Tracked {
+            counter: Arc::clone(&counter),
+        }));
+        let f = drop_fn_for::<Tracked>();
+        unsafe { f(raw.cast()) };
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn drop_fn_is_monomorphic_per_type() {
+        // Different types produce different function pointers; same type, same pointer.
+        assert_eq!(drop_fn_for::<u32>() as usize, drop_fn_for::<u32>() as usize);
+    }
+}

@@ -1,0 +1,172 @@
+//! Scheme statistics.
+//!
+//! Every scheme exposes the same counters so that the benchmark harness can report
+//! memory behaviour uniformly: how many nodes have been retired, how many actually
+//! freed, how many hazard-pointer scans and quiescent states were executed, how many
+//! memory fences were issued on the traversal path (the quantity the paper's whole
+//! design revolves around), and — for QSense — how often the system switched paths.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Relaxed ordering is sufficient everywhere here: the counters are monotonic
+/// diagnostics, never used for synchronization decisions.
+const R: Ordering = Ordering::Relaxed;
+
+/// Monotonic counters describing a scheme's reclamation activity.
+///
+/// All methods take `&self`; the struct is meant to be shared behind an `Arc`.
+#[derive(Debug, Default)]
+pub struct SmrStats {
+    retired: AtomicU64,
+    freed: AtomicU64,
+    scans: AtomicU64,
+    quiescent_states: AtomicU64,
+    traversal_fences: AtomicU64,
+    fallback_switches: AtomicU64,
+    fast_path_switches: AtomicU64,
+}
+
+/// A plain snapshot of [`SmrStats`] at one instant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Nodes handed to `retire` (the paper's `free_node_later`).
+    pub retired: u64,
+    /// Nodes whose destructor has actually run.
+    pub freed: u64,
+    /// Hazard-pointer scans executed (HP / Cadence / QSense fallback).
+    pub scans: u64,
+    /// Quiescent states declared (QSBR / QSense fast path).
+    pub quiescent_states: u64,
+    /// Memory fences issued on the traversal path (classic HP only; Cadence's whole
+    /// point is to keep this at zero).
+    pub traversal_fences: u64,
+    /// Fast-path → fallback-path switches (QSense).
+    pub fallback_switches: u64,
+    /// Fallback-path → fast-path switches (QSense).
+    pub fast_path_switches: u64,
+}
+
+impl StatsSnapshot {
+    /// Nodes retired but not yet freed (the union of limbo / removed-node lists).
+    pub fn in_limbo(&self) -> u64 {
+        self.retired.saturating_sub(self.freed)
+    }
+}
+
+impl SmrStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `n` nodes retired.
+    pub fn add_retired(&self, n: u64) {
+        self.retired.fetch_add(n, R);
+    }
+
+    /// Records `n` nodes freed.
+    pub fn add_freed(&self, n: u64) {
+        self.freed.fetch_add(n, R);
+    }
+
+    /// Records one hazard-pointer scan.
+    pub fn add_scan(&self) {
+        self.scans.fetch_add(1, R);
+    }
+
+    /// Records one quiescent state.
+    pub fn add_quiescent_state(&self) {
+        self.quiescent_states.fetch_add(1, R);
+    }
+
+    /// Records `n` traversal-path memory fences.
+    pub fn add_traversal_fences(&self, n: u64) {
+        self.traversal_fences.fetch_add(n, R);
+    }
+
+    /// Records a switch to the fallback path.
+    pub fn add_fallback_switch(&self) {
+        self.fallback_switches.fetch_add(1, R);
+    }
+
+    /// Records a switch back to the fast path.
+    pub fn add_fast_path_switch(&self) {
+        self.fast_path_switches.fetch_add(1, R);
+    }
+
+    /// Takes a consistent-enough snapshot of all counters (each counter is read
+    /// atomically; the set is not a single atomic cut, which is fine for reporting).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            retired: self.retired.load(R),
+            freed: self.freed.load(R),
+            scans: self.scans.load(R),
+            quiescent_states: self.quiescent_states.load(R),
+            traversal_fences: self.traversal_fences.load(R),
+            fallback_switches: self.fallback_switches.load(R),
+            fast_path_switches: self.fast_path_switches.load(R),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn counters_accumulate() {
+        let stats = SmrStats::new();
+        stats.add_retired(10);
+        stats.add_freed(4);
+        stats.add_scan();
+        stats.add_scan();
+        stats.add_quiescent_state();
+        stats.add_traversal_fences(7);
+        stats.add_fallback_switch();
+        stats.add_fast_path_switch();
+        let snap = stats.snapshot();
+        assert_eq!(snap.retired, 10);
+        assert_eq!(snap.freed, 4);
+        assert_eq!(snap.in_limbo(), 6);
+        assert_eq!(snap.scans, 2);
+        assert_eq!(snap.quiescent_states, 1);
+        assert_eq!(snap.traversal_fences, 7);
+        assert_eq!(snap.fallback_switches, 1);
+        assert_eq!(snap.fast_path_switches, 1);
+    }
+
+    #[test]
+    fn in_limbo_saturates() {
+        let snap = StatsSnapshot {
+            retired: 3,
+            freed: 5,
+            ..Default::default()
+        };
+        assert_eq!(snap.in_limbo(), 0);
+    }
+
+    #[test]
+    fn concurrent_updates_are_not_lost() {
+        let stats = Arc::new(SmrStats::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let stats = Arc::clone(&stats);
+                thread::spawn(move || {
+                    for _ in 0..1000 {
+                        stats.add_retired(1);
+                        stats.add_freed(1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = stats.snapshot();
+        assert_eq!(snap.retired, 4000);
+        assert_eq!(snap.freed, 4000);
+        assert_eq!(snap.in_limbo(), 0);
+    }
+}

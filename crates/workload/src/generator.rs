@@ -1,0 +1,158 @@
+//! Per-thread operation generation.
+//!
+//! Each worker thread owns an [`OpGenerator`] seeded independently, so threads do not
+//! contend on a shared random-number generator (which would serialize the very
+//! workload whose scalability is being measured). Operations and keys are drawn
+//! uniformly, exactly as described in the paper (§7.1: "Each operation is chosen at
+//! random, according to a given probability distribution, with a randomly chosen
+//! key").
+
+use crate::spec::WorkloadSpec;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A single set operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Operation {
+    /// Membership query.
+    Contains(u64),
+    /// Insertion.
+    Insert(u64),
+    /// Removal.
+    Remove(u64),
+}
+
+impl Operation {
+    /// The key this operation targets.
+    pub fn key(&self) -> u64 {
+        match *self {
+            Operation::Contains(k) | Operation::Insert(k) | Operation::Remove(k) => k,
+        }
+    }
+
+    /// True if the operation can modify the structure.
+    pub fn is_update(&self) -> bool {
+        !matches!(self, Operation::Contains(_))
+    }
+}
+
+/// A deterministic, thread-local operation stream.
+#[derive(Debug)]
+pub struct OpGenerator {
+    spec: WorkloadSpec,
+    rng: SmallRng,
+}
+
+impl OpGenerator {
+    /// Creates a generator for `spec`, seeded by `seed` (threads use their index so
+    /// runs are reproducible).
+    pub fn new(spec: WorkloadSpec, seed: u64) -> Self {
+        Self {
+            spec,
+            // Mix the seed so consecutive thread indices do not produce correlated
+            // SmallRng streams.
+            rng: SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1)),
+        }
+    }
+
+    /// The workload this generator draws from.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Draws the next operation.
+    pub fn next_op(&mut self) -> Operation {
+        let key = self.rng.gen_range(0..self.spec.key_range);
+        let roll: u8 = self.rng.gen_range(0..100);
+        if roll < self.spec.mix.read_pct {
+            Operation::Contains(key)
+        } else if roll < self.spec.mix.read_pct + self.spec.mix.insert_pct {
+            Operation::Insert(key)
+        } else {
+            Operation::Remove(key)
+        }
+    }
+
+    /// Draws the keys used to pre-fill the structure to its initial size: distinct
+    /// keys drawn uniformly until `initial_keys` of them have been produced.
+    pub fn prefill_keys(spec: &WorkloadSpec, seed: u64) -> Vec<u64> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let target = spec.initial_keys() as usize;
+        let mut keys = Vec::with_capacity(target);
+        let mut seen = std::collections::HashSet::with_capacity(target * 2);
+        while keys.len() < target {
+            let key = rng.gen_range(0..spec.key_range);
+            if seen.insert(key) {
+                keys.push(key);
+            }
+        }
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::OpMix;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec::new(1_000, OpMix::updates_50())
+    }
+
+    #[test]
+    fn keys_stay_in_range() {
+        let mut generator = OpGenerator::new(spec(), 7);
+        for _ in 0..10_000 {
+            let op = generator.next_op();
+            assert!(op.key() < 1_000);
+        }
+    }
+
+    #[test]
+    fn mix_is_respected_within_tolerance() {
+        let mut generator = OpGenerator::new(spec(), 42);
+        let mut updates = 0;
+        let total = 100_000;
+        for _ in 0..total {
+            if generator.next_op().is_update() {
+                updates += 1;
+            }
+        }
+        let fraction = updates as f64 / total as f64;
+        assert!(
+            (fraction - 0.5).abs() < 0.02,
+            "expected ~50% updates, got {fraction}"
+        );
+    }
+
+    #[test]
+    fn read_only_mix_generates_only_contains() {
+        let spec = WorkloadSpec::new(100, OpMix::new(100, 0, 0));
+        let mut generator = OpGenerator::new(spec, 3);
+        for _ in 0..1_000 {
+            assert!(!generator.next_op().is_update());
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let mut a = OpGenerator::new(spec(), 9);
+        let mut b = OpGenerator::new(spec(), 9);
+        for _ in 0..100 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+        let mut c = OpGenerator::new(spec(), 10);
+        let differs = (0..100).any(|_| a.next_op() != c.next_op());
+        assert!(differs, "different seeds should give different streams");
+    }
+
+    #[test]
+    fn prefill_produces_distinct_keys_of_requested_size() {
+        let spec = spec();
+        let keys = OpGenerator::prefill_keys(&spec, 1);
+        assert_eq!(keys.len() as u64, spec.initial_keys());
+        let unique: std::collections::HashSet<_> = keys.iter().collect();
+        assert_eq!(unique.len(), keys.len());
+        assert!(keys.iter().all(|&k| k < spec.key_range));
+    }
+}

@@ -1,0 +1,27 @@
+//! # workload — the paper's experimental methodology as a library
+//!
+//! Reproduces §7.1–7.2 of *Fast and Robust Memory Reclamation for Concurrent Data
+//! Structures*: uniformly random operations over a key range, structures pre-filled
+//! to half their range, throughput measured either against the number of threads
+//! (scalability experiments) or against time under periodic process delays
+//! (robustness experiments).
+//!
+//! * [`spec`] — operation mixes, key ranges and the paper's presets;
+//! * [`generator`] — deterministic per-thread operation streams;
+//! * [`structures`] — the (structure × scheme) evaluation matrix behind one trait;
+//! * [`runner`] — the measurement loop, delay injection and memory-cap abort;
+//! * [`report`] — text tables matching the figures' series.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod generator;
+pub mod report;
+pub mod runner;
+pub mod spec;
+pub mod structures;
+
+pub use generator::{OpGenerator, Operation};
+pub use runner::{run_experiment, DelaySchedule, Experiment, RunResult, Sample};
+pub use spec::{OpMix, Structure, WorkloadSpec};
+pub use structures::{default_bench_config, make_set, BenchSet, SchemeKind, SetSession};

@@ -1,0 +1,150 @@
+//! Memory behaviour under a stalled thread: QSBR vs QSense, side by side.
+//!
+//! This is the scenario of the paper's Figure 5 (bottom row), reduced to its essence
+//! and made observable from a terminal: one registered thread stops participating
+//! while the others keep removing nodes. Under QSBR the stalled thread blocks every
+//! grace period, so the unreclaimed-node count grows without bound — the paper's
+//! "the system runs out of memory and eventually fails". Under QSense the growth is
+//! detected, the scheme switches to the Cadence fallback path, and the unreclaimed
+//! count stays bounded; when the stalled thread comes back, QSense returns to the
+//! fast path.
+//!
+//! Run with: `cargo run --release --example memory_budget`
+
+use qsense_repro::ds::HarrisMichaelList;
+use qsense_repro::smr::{QSense, Qsbr, Smr, SmrConfig, SmrHandle};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// One phase of the experiment: `stalled_for` of the run has a silent registered
+/// thread, the rest has everyone active.
+const RUN_FOR: Duration = Duration::from_millis(2_400);
+const STALL_UNTIL: Duration = Duration::from_millis(1_600);
+const SAMPLE_EVERY: Duration = Duration::from_millis(200);
+
+fn run_scenario<S: Smr>(label: &str, scheme: Arc<S>) -> Vec<(f64, u64, u64)> {
+    let list = Arc::new(HarrisMichaelList::new(Arc::clone(&scheme)));
+    {
+        let mut handle = list.register();
+        for key in 0..2_000u64 {
+            list.insert(key, &mut handle);
+        }
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let mut samples = Vec::new();
+
+    thread::scope(|scope| {
+        // The "stalled" participant: registers (so the scheme counts it), then does
+        // nothing until STALL_UNTIL, then participates normally.
+        {
+            let list = Arc::clone(&list);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut handle = list.register();
+                while started.elapsed() < STALL_UNTIL && !stop.load(Ordering::Relaxed) {
+                    thread::sleep(Duration::from_millis(10));
+                }
+                let mut key = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    key = (key + 1) % 2_000;
+                    list.contains(&key, &mut handle);
+                }
+                handle.flush();
+            });
+        }
+
+        // Two workers constantly inserting and removing (every remove retires a node).
+        for t in 0..2u64 {
+            let list = Arc::clone(&list);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut handle = list.register();
+                let mut state = 0xFEED_F00D_u64.wrapping_add(t);
+                while !stop.load(Ordering::Relaxed) {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let key = (state >> 33) % 2_000;
+                    if state % 2 == 0 {
+                        list.insert(key, &mut handle);
+                    } else {
+                        list.remove(&key, &mut handle);
+                    }
+                }
+                handle.flush();
+            });
+        }
+
+        // Sampler.
+        while started.elapsed() < RUN_FOR {
+            thread::sleep(SAMPLE_EVERY);
+            let stats = scheme.stats();
+            samples.push((
+                started.elapsed().as_secs_f64(),
+                stats.in_limbo(),
+                stats.freed,
+            ));
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    println!("\n{label}");
+    println!("  {:>6}  {:>14}  {:>12}", "t (s)", "in limbo", "freed");
+    for (at, in_limbo, freed) in &samples {
+        let marker = if *at < STALL_UNTIL.as_secs_f64() {
+            "  <- one thread stalled"
+        } else {
+            ""
+        };
+        println!("  {at:>6.2}  {in_limbo:>14}  {freed:>12}{marker}");
+    }
+    samples
+}
+
+fn main() {
+    println!("memory_budget: unreclaimed nodes while one registered thread is stalled");
+    println!("(the stalled thread wakes up at t = {:.1} s)", STALL_UNTIL.as_secs_f64());
+
+    let qsbr_samples = run_scenario(
+        "QSBR (fast but blocking): limbo grows for as long as the thread is stalled",
+        Qsbr::new(
+            SmrConfig::for_list()
+                .with_max_threads(4)
+                .with_quiescence_threshold(32),
+        ),
+    );
+
+    let qsense_samples = run_scenario(
+        "QSense (hybrid): limbo is capped by the switch to the Cadence fallback path",
+        QSense::new(
+            SmrConfig::for_list()
+                .with_max_threads(4)
+                .with_quiescence_threshold(32)
+                .with_scan_threshold(64)
+                .with_fallback_threshold(4_096)
+                .with_rooster_threads(1)
+                .with_rooster_interval(Duration::from_millis(5)),
+        ),
+    );
+
+    // Compare the peak unreclaimed-node counts during the stall window.
+    let stall_secs = STALL_UNTIL.as_secs_f64();
+    let peak = |samples: &[(f64, u64, u64)]| {
+        samples
+            .iter()
+            .filter(|(at, _, _)| *at <= stall_secs)
+            .map(|(_, limbo, _)| *limbo)
+            .max()
+            .unwrap_or(0)
+    };
+    let qsbr_peak = peak(&qsbr_samples);
+    let qsense_peak = peak(&qsense_samples);
+    println!("\npeak unreclaimed nodes during the stall: QSBR = {qsbr_peak}, QSense = {qsense_peak}");
+    if qsense_peak < qsbr_peak {
+        println!("QSense kept memory bounded while QSBR could only watch its limbo lists grow.");
+    } else {
+        println!("(run was too short for the difference to show on this machine; increase RUN_FOR)");
+    }
+}

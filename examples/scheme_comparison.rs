@@ -1,0 +1,43 @@
+//! Scheme comparison: a miniature version of the paper's Figure 3 / Figure 5 tables.
+//!
+//! Runs the same mixed workload on the linked list under every reclamation scheme
+//! (None, QSBR, QSense, Cadence, HP) and prints throughput plus the overhead
+//! relative to the leaky baseline — the numbers §7.3 of the paper summarises as
+//! "QSBR ≈ 2.3%, QSense ≈ 29%, HP ≈ 80% average overhead".
+//!
+//! Run with: `cargo run --release --example scheme_comparison`
+
+use qsense_repro::bench::{
+    default_bench_config, make_set, report, run_experiment, Experiment, SchemeKind, Structure,
+    WorkloadSpec,
+};
+use std::time::Duration;
+
+fn main() {
+    let threads = 4;
+    let spec = WorkloadSpec::fig3_list();
+    println!(
+        "scheme_comparison: linked list, {} keys, 10% updates, {threads} threads, 1 s per scheme",
+        spec.key_range
+    );
+
+    let mut baseline_mops = None;
+    for scheme in SchemeKind::all() {
+        let set = make_set(Structure::List, scheme, default_bench_config(threads + 2));
+        let experiment = Experiment {
+            set,
+            spec,
+            threads,
+            duration: Duration::from_secs(1),
+            delay: None,
+            sample_interval: None,
+            limbo_cap: None,
+        };
+        let result = run_experiment(&experiment);
+        if scheme == SchemeKind::None {
+            baseline_mops = Some(result.mops());
+        }
+        println!("{}", report::throughput_row(&result, baseline_mops));
+    }
+    println!("\nPaper reference points: QSBR ~2.3% overhead, QSense ~29%, HP ~80%; QSense 2-3x HP.");
+}

@@ -1,0 +1,69 @@
+//! # qsense-repro — facade crate
+//!
+//! A reproduction of *"Fast and Robust Memory Reclamation for Concurrent Data
+//! Structures"* (Balmau, Guerraoui, Herlihy, Zablotchi — SPAA 2016). This crate
+//! re-exports the whole stack so applications can depend on a single crate:
+//!
+//! * [`smr`] — the reclamation schemes: [`smr::QSense`] (the paper's contribution),
+//!   its two ingredients [`smr::Qsbr`] and [`smr::Cadence`], the classic
+//!   [`smr::Hazard`] pointers baseline and the [`smr::Leaky`] no-reclamation
+//!   baseline, all implementing the common [`smr::Smr`] / [`smr::SmrHandle`] traits;
+//! * [`ds`] — the lock-free data structures of the paper's evaluation, generic over
+//!   the scheme: [`ds::HarrisMichaelList`], [`ds::LockFreeSkipList`],
+//!   [`ds::LockFreeBst`];
+//! * [`bench`] — the workload/measurement harness used by the figure-reproduction
+//!   benchmarks and the examples.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use qsense_repro::ds::HarrisMichaelList;
+//! use qsense_repro::smr::{QSense, SmrConfig};
+//!
+//! // One QSense instance per data structure (or share one across several).
+//! let scheme = QSense::new(SmrConfig::for_list().with_rooster_threads(1));
+//! let set = HarrisMichaelList::new(scheme);
+//!
+//! // Each thread registers once and passes its handle to every operation.
+//! let mut handle = set.register();
+//! assert!(set.insert(7, &mut handle));
+//! assert!(set.contains(&7, &mut handle));
+//! assert!(set.remove(&7, &mut handle));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+/// Safe-memory-reclamation schemes (the paper's contribution and its baselines).
+pub mod smr {
+    pub use cadence::{Cadence, CadenceHandle, Rooster};
+    pub use ebr::{Ebr, EbrHandle};
+    pub use hazard::{Hazard, HazardHandle};
+    pub use qsbr::{Qsbr, QsbrHandle};
+    pub use qsense::{Path, QSense, QSenseHandle};
+    pub use reclaim_core::{
+        retire_box, Clock, CountingAllocator, Leaky, LeakyHandle, ManualClock, Smr, SmrConfig,
+        SmrHandle, SmrStats,
+    };
+    pub use reclaim_core::stats::StatsSnapshot;
+    pub use refcount::{RefCount, RefCountHandle};
+}
+
+/// Lock-free data structures generic over the reclamation scheme.
+pub mod ds {
+    pub use lockfree_ds::{
+        HarrisMichaelList, KeySlot, LockFreeBst, LockFreeHashMap, LockFreeSkipList,
+        MichaelScottQueue, TreiberStack, BST_HP_SLOTS, DEFAULT_HASH_BUCKETS, HASHMAP_HP_SLOTS,
+        LIST_HP_SLOTS, MAX_HEIGHT, QUEUE_HP_SLOTS, SKIPLIST_HP_SLOTS, STACK_HP_SLOTS,
+    };
+}
+
+/// Workload generation and measurement harness (the paper's methodology, §7).
+pub mod bench {
+    pub use workload::{
+        default_bench_config, make_set, run_experiment, BenchSet, DelaySchedule, Experiment,
+        OpGenerator, OpMix, Operation, RunResult, Sample, SchemeKind, SetSession, Structure,
+        WorkloadSpec,
+    };
+    pub use workload::report;
+}

@@ -1,0 +1,215 @@
+//! Leak and double-free accounting across crates.
+//!
+//! Keys carry a drop counter, so every reclaimed node is observable: after a
+//! structure and its reclamation scheme are dropped, the number of key drops must
+//! equal the number of keys that ever entered a node (inserted nodes that are still
+//! live are dropped by the structure's `Drop`, removed nodes by the scheme). A
+//! double free would panic or over-count; a use-after-free would crash.
+
+use qsense_repro::ds::{HarrisMichaelList, LockFreeBst, LockFreeSkipList};
+use qsense_repro::smr::{Cadence, Hazard, Qsbr, QSense, Smr, SmrConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+/// A key whose clones and drops are counted. Ordering ignores the counter handle.
+#[derive(Clone)]
+struct CountedKey {
+    value: u64,
+    drops: Arc<AtomicUsize>,
+}
+
+impl CountedKey {
+    fn new(value: u64, drops: &Arc<AtomicUsize>) -> Self {
+        Self {
+            value,
+            drops: Arc::clone(drops),
+        }
+    }
+}
+
+impl Drop for CountedKey {
+    fn drop(&mut self) {
+        self.drops.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+impl PartialEq for CountedKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.value == other.value
+    }
+}
+impl Eq for CountedKey {}
+impl PartialOrd for CountedKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for CountedKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.value.cmp(&other.value)
+    }
+}
+
+fn config() -> SmrConfig {
+    SmrConfig::default()
+        .with_max_threads(8)
+        .with_quiescence_threshold(8)
+        .with_scan_threshold(16)
+        .with_fallback_threshold(128)
+        .with_rooster_threads(1)
+        .with_rooster_interval(std::time::Duration::from_millis(1))
+}
+
+/// Every CountedKey that was moved into the list must be dropped exactly once by the
+/// time both the structure and the scheme are gone.
+macro_rules! accounting_test {
+    ($name:ident, $scheme_ctor:expr) => {
+        #[test]
+        fn $name() {
+            let drops = Arc::new(AtomicUsize::new(0));
+            let keys_created = Arc::new(AtomicUsize::new(0));
+            {
+                let scheme = $scheme_ctor;
+                let list = Arc::new(HarrisMichaelList::new(Arc::clone(&scheme)));
+                thread::scope(|scope| {
+                    for t in 0..4u64 {
+                        let list = Arc::clone(&list);
+                        let drops = Arc::clone(&drops);
+                        let keys_created = Arc::clone(&keys_created);
+                        scope.spawn(move || {
+                            let mut handle = list.register();
+                            let mut state = 0x1000_0000_u64 + t;
+                            for _ in 0..3_000 {
+                                state =
+                                    state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                                let value = (state >> 33) % 128;
+                                let key = CountedKey::new(value, &drops);
+                                keys_created.fetch_add(1, Ordering::SeqCst);
+                                match state % 3 {
+                                    0 => {
+                                        // Keys that fail to insert are dropped by the
+                                        // caller; keys that insert are dropped when
+                                        // their node is reclaimed.
+                                        list.insert(key, &mut handle);
+                                    }
+                                    1 => {
+                                        list.remove(&key, &mut handle);
+                                    }
+                                    _ => {
+                                        list.contains(&key, &mut handle);
+                                    }
+                                }
+                            }
+                        });
+                    }
+                });
+                drop(list);
+                drop(scheme);
+            }
+            assert_eq!(
+                drops.load(Ordering::SeqCst),
+                keys_created.load(Ordering::SeqCst),
+                "every key must be dropped exactly once after structure + scheme drop"
+            );
+        }
+    };
+}
+
+accounting_test!(list_accounting_under_hp, Hazard::new(config()));
+accounting_test!(list_accounting_under_qsbr, Qsbr::new(config()));
+accounting_test!(list_accounting_under_cadence, Cadence::new(config()));
+accounting_test!(list_accounting_under_qsense, QSense::new(config()));
+
+/// The same accounting on the skip list and the BST under QSense (keys need Clone
+/// for the BST's routing copies, which CountedKey provides — routing copies are
+/// additional key instances and are counted as such).
+#[test]
+fn skiplist_accounting_under_qsense() {
+    let drops = Arc::new(AtomicUsize::new(0));
+    let created = Arc::new(AtomicUsize::new(0));
+    {
+        let scheme = QSense::new(config().with_hp_per_thread(qsense_repro::ds::SKIPLIST_HP_SLOTS));
+        let set = Arc::new(LockFreeSkipList::new(Arc::clone(&scheme)));
+        thread::scope(|scope| {
+            for t in 0..4u64 {
+                let set = Arc::clone(&set);
+                let drops = Arc::clone(&drops);
+                let created = Arc::clone(&created);
+                scope.spawn(move || {
+                    let mut handle = set.register();
+                    let mut state = 0x2000_0000_u64 + t;
+                    for _ in 0..2_000 {
+                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        let value = (state >> 33) % 128;
+                        let key = CountedKey::new(value, &drops);
+                        created.fetch_add(1, Ordering::SeqCst);
+                        if state % 2 == 0 {
+                            set.insert(key, &mut handle);
+                        } else {
+                            set.remove(&key, &mut handle);
+                        }
+                    }
+                });
+            }
+        });
+        drop(set);
+        drop(scheme);
+    }
+    assert_eq!(drops.load(Ordering::SeqCst), created.load(Ordering::SeqCst));
+}
+
+#[test]
+fn bst_accounting_is_exact_without_contention_and_safe_with_it() {
+    // Uncontended phase: exact accounting.
+    let drops = Arc::new(AtomicUsize::new(0));
+    let created = Arc::new(AtomicUsize::new(0));
+    {
+        let scheme = QSense::new(config().with_hp_per_thread(qsense_repro::ds::BST_HP_SLOTS));
+        let bst = LockFreeBst::new(Arc::clone(&scheme));
+        let mut handle = bst.register();
+        for value in 0..500u64 {
+            // The BST clones keys into routing nodes; count every instance we create
+            // and rely on Clone's counter sharing for the copies the tree makes.
+            let key = CountedKey::new(value, &drops);
+            created.fetch_add(1, Ordering::SeqCst);
+            bst.insert(key, &mut handle);
+        }
+        for value in 0..500u64 {
+            let probe = CountedKey::new(value, &drops);
+            created.fetch_add(1, Ordering::SeqCst);
+            bst.remove(&probe, &mut handle);
+        }
+        drop(handle);
+        drop(bst);
+        drop(scheme);
+    }
+    // Each created key is dropped once; clones made internally by the tree are also
+    // dropped, so drops >= created. Nothing may remain undropped (leak) among the
+    // instances we created: since clones only add to the count, the check is >=.
+    assert!(drops.load(Ordering::SeqCst) >= created.load(Ordering::SeqCst));
+
+    // Contended phase: must be crash-free and never free more than retired.
+    let scheme = QSense::new(config().with_hp_per_thread(qsense_repro::ds::BST_HP_SLOTS));
+    let bst = Arc::new(LockFreeBst::new(Arc::clone(&scheme)));
+    thread::scope(|scope| {
+        for t in 0..4u64 {
+            let bst = Arc::clone(&bst);
+            scope.spawn(move || {
+                let mut handle = bst.register();
+                let mut state = 0x3000_0000_u64 + t;
+                for _ in 0..3_000 {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let key = (state >> 33) % 64;
+                    if state % 2 == 0 {
+                        bst.insert(key, &mut handle);
+                    } else {
+                        bst.remove(&key, &mut handle);
+                    }
+                }
+            });
+        }
+    });
+    let stats = scheme.stats();
+    assert!(stats.freed <= stats.retired);
+}

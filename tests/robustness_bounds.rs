@@ -1,0 +1,240 @@
+//! Robustness and liveness bounds across schemes, at integration scale.
+//!
+//! These tests pin down the behavioural differences that the paper's Figure 5
+//! (bottom row) plots and that the correctness section proves:
+//!
+//! * QSBR is blocked by a registered thread that stops participating; EBR is only
+//!   blocked by a thread stalled *inside* an operation; Cadence and QSense keep
+//!   reclaiming either way.
+//! * Under delays, QSense's unreclaimed-node count respects (a generous version of)
+//!   the `2·N·C` bound of Property 4, while QSBR's grows with the number of
+//!   retirements performed during the delay.
+//! * With the eviction extension enabled, QSense recovers the fast path even when a
+//!   thread never comes back — end to end, with the real clock and real structures.
+
+use qsense_repro::bench::{
+    make_set, run_experiment, DelaySchedule, Experiment, OpMix, SchemeKind, Structure,
+    WorkloadSpec,
+};
+use qsense_repro::ds::HarrisMichaelList;
+use qsense_repro::smr::{Cadence, Ebr, Path, QSense, Qsbr, Smr, SmrConfig, SmrHandle};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Drives `ops` insert/remove pairs through a list whose scheme has one extra
+/// registered-but-idle handle, and returns the scheme's unreclaimed-node count at
+/// the end. Every remove retires a node, so a scheme that cannot make progress ends
+/// up with roughly `ops` nodes in limbo.
+fn limbo_with_idle_thread<S: Smr>(scheme: Arc<S>, ops: u64) -> u64 {
+    let list = Arc::new(HarrisMichaelList::<u64, S>::new(Arc::clone(&scheme)));
+    let _idle = list.register(); // registered, never used again until the end
+    let mut worker = list.register();
+    for i in 0..ops {
+        let key = i % 64;
+        list.insert(key, &mut worker);
+        list.remove(&key, &mut worker);
+    }
+    worker.flush();
+    // The deferred-reclamation schemes may only free nodes older than T + ε; give
+    // the freshly retired tail time to age, then scan once more. (This does not help
+    // QSBR: no amount of waiting substitutes for the idle thread's quiescence.)
+    thread::sleep(Duration::from_millis(10));
+    worker.flush();
+    scheme.stats().in_limbo()
+}
+
+#[test]
+fn an_idle_registered_thread_blocks_qsbr_but_not_ebr_cadence_or_qsense() {
+    const OPS: u64 = 4_000;
+    let base = || {
+        SmrConfig::for_list()
+            .with_max_threads(4)
+            .with_quiescence_threshold(8)
+            .with_scan_threshold(16)
+            .with_fallback_threshold(128)
+            .with_rooster_threads(1)
+            .with_rooster_interval(Duration::from_millis(1))
+    };
+
+    let qsbr_limbo = limbo_with_idle_thread(Qsbr::new(base()), OPS);
+    let ebr_limbo = limbo_with_idle_thread(Ebr::new(base()), OPS);
+    let cadence_limbo = limbo_with_idle_thread(Cadence::new(base()), OPS);
+    let qsense_limbo = limbo_with_idle_thread(QSense::new(base()), OPS);
+
+    // QSBR: the idle thread never quiesces, so nearly everything stays in limbo.
+    assert!(
+        qsbr_limbo > OPS / 2,
+        "QSBR should be blocked by the idle thread (limbo = {qsbr_limbo})"
+    );
+    // EBR: the idle thread is not pinned, so it does not block reclamation at all.
+    assert!(
+        ebr_limbo < OPS / 10,
+        "EBR must not be blocked by an idle (unpinned) thread (limbo = {ebr_limbo})"
+    );
+    // Cadence / QSense: robust by construction; once the tail has aged past T + ε,
+    // nothing the idle thread does (or fails to do) can keep nodes in limbo.
+    assert!(
+        cadence_limbo < OPS / 4,
+        "Cadence must keep reclaiming despite the idle thread (limbo = {cadence_limbo})"
+    );
+    assert!(
+        qsense_limbo < OPS / 4,
+        "QSense must keep reclaiming despite the idle thread (limbo = {qsense_limbo})"
+    );
+}
+
+#[test]
+fn a_thread_stalled_inside_an_operation_blocks_ebr_but_not_qsense() {
+    const OPS: u64 = 3_000;
+    let base = || {
+        SmrConfig::for_list()
+            .with_max_threads(4)
+            .with_quiescence_threshold(8)
+            .with_scan_threshold(16)
+            .with_fallback_threshold(128)
+            .with_rooster_threads(1)
+            .with_rooster_interval(Duration::from_millis(1))
+    };
+
+    // EBR: a handle that begins an operation and never ends it pins the epoch.
+    let ebr = Ebr::new(base());
+    let ebr_limbo = {
+        let list = Arc::new(HarrisMichaelList::<u64, Ebr>::new(Arc::clone(&ebr)));
+        let mut stuck = list.register();
+        stuck.begin_op(); // simulates a thread descheduled mid-traversal
+        let mut worker = list.register();
+        for i in 0..OPS {
+            let key = i % 64;
+            list.insert(key, &mut worker);
+            list.remove(&key, &mut worker);
+        }
+        worker.flush();
+        let limbo = ebr.stats().in_limbo();
+        stuck.end_op();
+        limbo
+    };
+    assert!(
+        ebr_limbo > OPS / 2,
+        "EBR must be blocked by a thread stalled inside an operation (limbo = {ebr_limbo})"
+    );
+
+    // QSense: the same stall only delays reclamation until nodes age past T + ε and
+    // the fallback path takes over.
+    let qsense = QSense::new(base());
+    let qsense_limbo = {
+        let list = Arc::new(HarrisMichaelList::<u64, QSense>::new(Arc::clone(&qsense)));
+        let mut stuck = list.register();
+        stuck.begin_op();
+        let mut worker = list.register();
+        for i in 0..OPS {
+            let key = i % 64;
+            list.insert(key, &mut worker);
+            list.remove(&key, &mut worker);
+            if i % 256 == 0 {
+                // Give retired nodes a chance to age past the (1 ms) rooster interval.
+                thread::sleep(Duration::from_millis(2));
+            }
+        }
+        worker.flush();
+        qsense.stats().in_limbo()
+    };
+    assert!(
+        qsense_limbo < OPS / 2,
+        "QSense must keep reclaiming despite the mid-operation stall (limbo = {qsense_limbo})"
+    );
+}
+
+#[test]
+fn qsense_limbo_respects_the_2nc_bound_under_periodic_delays() {
+    // Property 4: with a legal C, at most 2·N·C retired nodes exist at any time.
+    // Run the paper's delay scenario (scaled down) through the workload runner and
+    // check every time-series sample against the bound.
+    let threads = 4;
+    let c = 2_048;
+    let config = qsense_repro::bench::default_bench_config(threads + 2)
+        .with_fallback_threshold(c)
+        .with_quiescence_threshold(16)
+        .with_scan_threshold(64)
+        .with_rooster_interval(Duration::from_millis(2));
+    let set = make_set(Structure::List, SchemeKind::QSense, config);
+    let run_secs = 2.0;
+    let result = run_experiment(&Experiment {
+        set,
+        spec: WorkloadSpec::new(2_000, OpMix::updates_50()),
+        threads,
+        duration: Duration::from_secs_f64(run_secs),
+        delay: Some(DelaySchedule::paper_scaled(run_secs / 100.0)),
+        sample_interval: Some(Duration::from_millis(100)),
+        limbo_cap: None,
+    });
+    let bound = 2 * (threads as u64 + 2) * c as u64;
+    assert!(!result.samples.is_empty(), "the run must produce samples");
+    for sample in &result.samples {
+        assert!(
+            sample.in_limbo <= bound,
+            "sample at {:?} has {} unreclaimed nodes, above the 2NC bound {}",
+            sample.at,
+            sample.in_limbo,
+            bound
+        );
+    }
+    assert!(result.total_ops > 0);
+}
+
+#[test]
+fn qsense_with_eviction_recovers_the_fast_path_after_a_permanent_failure() {
+    // End-to-end version of the extension test in the qsense crate: real clock, real
+    // list, a worker thread, and a participant that registers and then never returns.
+    // `C` is sized so that the initial blockage (before eviction kicks in) crosses
+    // it quickly, but the post-recovery steady state — where frees are age-gated
+    // because the crashed thread stays evicted — stays well below it; otherwise the
+    // system would legitimately oscillate between the paths.
+    let scheme = QSense::new(
+        SmrConfig::for_list()
+            .with_max_threads(4)
+            .with_quiescence_threshold(8)
+            .with_scan_threshold(32)
+            .with_fallback_threshold(16_384)
+            .with_rooster_threads(1)
+            .with_rooster_interval(Duration::from_millis(1))
+            .with_eviction_timeout(Some(Duration::from_millis(50))),
+    );
+    let list = Arc::new(HarrisMichaelList::<u64, QSense>::new(Arc::clone(&scheme)));
+    let crashed = list.register(); // never participates again
+    let stop = Arc::new(AtomicBool::new(false));
+
+    thread::scope(|scope| {
+        let list_ref = Arc::clone(&list);
+        let stop_ref = Arc::clone(&stop);
+        scope.spawn(move || {
+            let mut handle = list_ref.register();
+            let mut i = 0u64;
+            while !stop_ref.load(Ordering::Relaxed) {
+                let key = i % 256;
+                list_ref.insert(key, &mut handle);
+                list_ref.remove(&key, &mut handle);
+                i += 1;
+            }
+            handle.flush();
+        });
+        // Let the worker run long enough to trigger fallback, eviction and recovery.
+        thread::sleep(Duration::from_millis(600));
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let stats = scheme.stats();
+    assert!(
+        stats.fallback_switches >= 1,
+        "the crashed thread must have pushed the system into fallback at least once"
+    );
+    assert!(
+        stats.fast_path_switches >= 1,
+        "eviction must have let the system recover the fast path"
+    );
+    assert_eq!(scheme.current_path(), Path::Fast, "the run must end on the fast path");
+    assert_eq!(scheme.evicted_count(), 1, "the crashed thread stays evicted");
+    assert!(stats.freed <= stats.retired);
+    drop(crashed);
+}

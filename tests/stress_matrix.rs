@@ -1,0 +1,132 @@
+//! Cross-crate stress tests: every data structure under every reclamation scheme,
+//! hammered by several threads at once.
+//!
+//! These are the tests that would crash (use-after-free, double free) or deadlock if
+//! the protection / retirement protocol of any (structure, scheme) pair were wrong,
+//! and that would fail the final consistency check if operations were lost.
+
+use qsense_repro::bench::{make_set, BenchSet, SchemeKind, Structure};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+fn bench_config(threads: usize) -> reclaim_core::SmrConfig {
+    // Small thresholds so reclamation and (for QSense) path switching actually
+    // happen within a short test run.
+    qsense_repro::bench::default_bench_config(threads + 2)
+        .with_quiescence_threshold(16)
+        .with_scan_threshold(32)
+        .with_fallback_threshold(512)
+        .with_rooster_interval(std::time::Duration::from_millis(1))
+}
+
+/// Runs a mixed workload and checks that the final size matches the balance of
+/// successful inserts and removes reported by the threads themselves.
+fn stress_cell(structure: Structure, scheme: SchemeKind, threads: usize, ops: u64) {
+    let set: Arc<dyn BenchSet> = make_set(structure, scheme, bench_config(threads));
+    let balance = Arc::new(AtomicI64::new(0));
+
+    thread::scope(|scope| {
+        for t in 0..threads {
+            let set = Arc::clone(&set);
+            let balance = Arc::clone(&balance);
+            scope.spawn(move || {
+                let mut session = set.session();
+                let mut state = 0x5bd1_e995_u64.wrapping_add(t as u64);
+                let mut local: i64 = 0;
+                for _ in 0..ops {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let key = (state >> 33) % 512;
+                    match state % 4 {
+                        0 | 1 => {
+                            session.contains(key);
+                        }
+                        2 => {
+                            if session.insert(key) {
+                                local += 1;
+                            }
+                        }
+                        _ => {
+                            if session.remove(key) {
+                                local -= 1;
+                            }
+                        }
+                    }
+                }
+                session.flush();
+                balance.fetch_add(local, Ordering::SeqCst);
+            });
+        }
+    });
+
+    let expected = balance.load(Ordering::SeqCst);
+    assert!(expected >= 0, "more successful removes than inserts is impossible");
+    assert_eq!(
+        set.len() as i64,
+        expected,
+        "{structure:?}/{scheme:?}: final size must equal successful inserts - removes"
+    );
+    let stats = set.smr_stats();
+    assert!(stats.freed <= stats.retired, "cannot free more than was retired");
+}
+
+const OPS: u64 = 8_000;
+const THREADS: usize = 4;
+
+macro_rules! stress_test {
+    ($name:ident, $structure:expr, $scheme:expr) => {
+        #[test]
+        fn $name() {
+            stress_cell($structure, $scheme, THREADS, OPS);
+        }
+    };
+}
+
+stress_test!(list_none, Structure::List, SchemeKind::None);
+stress_test!(list_qsbr, Structure::List, SchemeKind::Qsbr);
+stress_test!(list_hp, Structure::List, SchemeKind::Hp);
+stress_test!(list_cadence, Structure::List, SchemeKind::Cadence);
+stress_test!(list_qsense, Structure::List, SchemeKind::QSense);
+
+stress_test!(skiplist_none, Structure::SkipList, SchemeKind::None);
+stress_test!(skiplist_qsbr, Structure::SkipList, SchemeKind::Qsbr);
+stress_test!(skiplist_hp, Structure::SkipList, SchemeKind::Hp);
+stress_test!(skiplist_cadence, Structure::SkipList, SchemeKind::Cadence);
+stress_test!(skiplist_qsense, Structure::SkipList, SchemeKind::QSense);
+
+stress_test!(bst_none, Structure::Bst, SchemeKind::None);
+stress_test!(bst_qsbr, Structure::Bst, SchemeKind::Qsbr);
+stress_test!(bst_hp, Structure::Bst, SchemeKind::Hp);
+stress_test!(bst_cadence, Structure::Bst, SchemeKind::Cadence);
+stress_test!(bst_qsense, Structure::Bst, SchemeKind::QSense);
+
+/// A heavier run on the combination the paper features most prominently.
+#[test]
+fn list_qsense_heavier_stress() {
+    stress_cell(Structure::List, SchemeKind::QSense, 6, 20_000);
+}
+
+/// Disjoint key partitions: with no key contention, every insert and remove must
+/// succeed, so the final contents are exactly predictable.
+#[test]
+fn partitioned_keys_are_never_lost() {
+    for structure in [Structure::List, Structure::SkipList, Structure::Bst] {
+        let set = make_set(structure, SchemeKind::QSense, bench_config(4));
+        thread::scope(|scope| {
+            for t in 0..4u64 {
+                let set = Arc::clone(&set);
+                scope.spawn(move || {
+                    let mut session = set.session();
+                    let base = t * 1_000;
+                    for key in base..base + 500 {
+                        assert!(session.insert(key), "{structure:?}: insert {key} must succeed");
+                    }
+                    for key in (base..base + 500).step_by(2) {
+                        assert!(session.remove(key), "{structure:?}: remove {key} must succeed");
+                    }
+                });
+            }
+        });
+        assert_eq!(set.len(), 4 * 250, "{structure:?}");
+    }
+}
