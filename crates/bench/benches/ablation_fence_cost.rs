@@ -1,14 +1,15 @@
 //! **Ablation A3** (§3.2): the cost of the per-node memory fence.
 //!
-//! A Criterion microbenchmark of the protection primitive itself: publishing one
-//! hazard pointer and re-validating, in a tight loop, under classic HP (store +
-//! `mfence`), Cadence (store + compiler fence) and QSense (same as Cadence, plus the
-//! epoch bookkeeping at operation boundaries). This isolates the instruction-level
+//! A microbenchmark of the protection primitive itself: publishing one hazard
+//! pointer and re-validating, in a tight loop, under classic HP (store + `mfence`),
+//! Cadence (store + compiler fence) and QSense (same as Cadence, plus the epoch
+//! bookkeeping at operation boundaries). This isolates the instruction-level
 //! difference that produces the figure-level gaps.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::point_seconds;
 use reclaim_core::{Smr, SmrConfig, SmrHandle};
 use std::hint::black_box;
+use std::time::Instant;
 
 fn protect_loop<H: SmrHandle>(handle: &mut H, rounds: u64) {
     for i in 0..rounds {
@@ -20,39 +21,36 @@ fn protect_loop<H: SmrHandle>(handle: &mut H, rounds: u64) {
     }
 }
 
-fn bench_protect(c: &mut Criterion) {
-    let mut group = c.benchmark_group("protect_per_node");
-    let rounds = 1_024_u64;
-    group.throughput(criterion::Throughput::Elements(rounds));
+/// Runs `protect_loop` repeatedly for roughly `point_seconds()` and reports the
+/// mean cost of one publish+validate round.
+fn measure<H: SmrHandle>(label: &str, handle: &mut H) {
+    const ROUNDS: u64 = 1_024;
+    // Warm up code and caches.
+    protect_loop(handle, ROUNDS);
+    let budget = point_seconds();
+    let start = Instant::now();
+    let mut total_rounds = 0u64;
+    while start.elapsed().as_secs_f64() < budget {
+        protect_loop(handle, ROUNDS);
+        total_rounds += ROUNDS;
+    }
+    let ns_per_round = start.elapsed().as_nanos() as f64 / total_rounds as f64;
+    println!("{label:<26} {ns_per_round:8.2} ns/protect");
+}
 
+fn main() {
+    println!("Ablation A3: cost of one hazard-pointer publication");
     let config = SmrConfig::default().with_rooster_threads(1);
 
     let hp = hazard::Hazard::new(config.clone());
-    let mut hp_handle = hp.register();
-    group.bench_function("hp_store_plus_mfence", |b| {
-        b.iter(|| protect_loop(&mut hp_handle, rounds))
-    });
+    measure("hp_store_plus_mfence", &mut hp.register());
 
     let cadence = cadence::Cadence::new(config.clone());
-    let mut cadence_handle = cadence.register();
-    group.bench_function("cadence_store_only", |b| {
-        b.iter(|| protect_loop(&mut cadence_handle, rounds))
-    });
+    measure("cadence_store_only", &mut cadence.register());
 
     let qsense = qsense::QSense::new(config.clone());
-    let mut qsense_handle = qsense.register();
-    group.bench_function("qsense_store_only", |b| {
-        b.iter(|| protect_loop(&mut qsense_handle, rounds))
-    });
+    measure("qsense_store_only", &mut qsense.register());
 
     let qsbr = qsbr::Qsbr::new(config);
-    let mut qsbr_handle = qsbr.register();
-    group.bench_function("qsbr_noop", |b| {
-        b.iter(|| protect_loop(&mut qsbr_handle, rounds))
-    });
-
-    group.finish();
+    measure("qsbr_noop", &mut qsbr.register());
 }
-
-criterion_group!(benches, bench_protect);
-criterion_main!(benches);

@@ -1,60 +1,241 @@
-//! **In-text aggregate claims of §7.3**: average overhead over the leaky baseline
-//! across the three data structures, and the QSense-vs-HP ratio.
+//! **Hot-path overhead summary** — the per-operation cost of the two primitives the
+//! paper's design optimizes (§7.3's in-text aggregate claims): `retire`
+//! (`free_node_later`) and the operation boundary (`manage_qsense_state`, i.e. the
+//! amortized quiescent-state cost), for every scheme, at 1, 4 and 8 threads.
 //!
-//! Paper-reported values: QSBR ≈ 2.3% average overhead, QSense ≈ 29%, HP ≈ 80%;
-//! QSense outperforms HP by 2–3×; Cadence (the fallback path alone) outperforms HP
-//! by ≈3×.
+//! Run with a single command from the workspace root:
+//!
+//! ```text
+//! cargo bench -p bench --bench overhead_summary
+//! ```
+//!
+//! Besides the human-readable table on stdout, the run emits a machine-readable
+//! **`BENCH_overhead.json`** (path override: `QSENSE_BENCH_OUT`) so the numbers are
+//! tracked across revisions. Measurement length per point follows
+//! `QSENSE_BENCH_SECONDS` (default 0.3 s).
+//!
+//! Paper context: QSBR ≈ 2.3% average overhead over the leaky baseline, QSense
+//! ≈ 29%, HP ≈ 80%. The per-op costs here are the microscopic version of those
+//! aggregates: `none` is the floor (allocation + bookkeeping push only), and every
+//! scheme's distance from it is pure reclamation overhead.
+//!
+//! Caveat on the baseline: `none` never frees during a measurement, so at higher
+//! thread counts its growing heap slows the *allocator* — reclaiming schemes can
+//! then show negative "overhead". Treat multi-thread overhead-vs-none as a
+//! conservative bound; the single-thread column is the clean comparison.
 
-use bench::{key_range, run_point, thread_counts};
-use workload::{report, OpMix, RunResult, SchemeKind, Structure, WorkloadSpec};
+use bench::point_seconds;
+use reclaim_core::{retire_box, Smr, SmrConfig, SmrHandle};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
 
-fn collect(scheme: SchemeKind, threads: usize) -> Vec<RunResult> {
-    [Structure::List, Structure::SkipList, Structure::Bst]
-        .into_iter()
-        .map(|structure| {
-            let spec = WorkloadSpec::new(key_range(structure), OpMix::updates_50());
-            run_point(structure, scheme, threads, spec)
-        })
-        .collect()
+/// Thread counts required by the benchmark contract (BENCH_overhead.json shows
+/// every scheme at each of these).
+const THREAD_COUNTS: [usize; 3] = [1, 4, 8];
+
+/// Upper bound on retires per thread per measurement, so the leaky baseline (which
+/// frees nothing until scheme drop) cannot exhaust container memory.
+const MAX_RETIRES_PER_THREAD: u64 = 400_000;
+
+/// Check the clock only every this many operations.
+const CHUNK: u64 = 1_024;
+
+#[derive(Clone, Copy)]
+enum Mode {
+    /// begin_op + retire(Box<u64>) + end_op per iteration.
+    Retire,
+    /// begin_op + end_op per iteration (the boundary / quiescent-state cost).
+    OpBoundary,
+}
+
+/// Runs `threads` workers hammering the given primitive for ~`point_seconds()`
+/// and returns the mean cost of one iteration in nanoseconds.
+fn measure<S: Smr>(scheme: &Arc<S>, threads: usize, mode: Mode) -> f64 {
+    let budget = point_seconds();
+    let barrier = Barrier::new(threads);
+    let total_ops = AtomicU64::new(0);
+    let total_nanos = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let scheme = Arc::clone(scheme);
+            let barrier = &barrier;
+            let total_ops = &total_ops;
+            let total_nanos = &total_nanos;
+            scope.spawn(move || {
+                let mut handle = scheme.register();
+                // Warm up: touch the code paths and let bags/scratch buffers reach
+                // their steady-state capacity before the clock starts.
+                for _ in 0..CHUNK {
+                    handle.begin_op();
+                    if matches!(mode, Mode::Retire) {
+                        let ptr = Box::into_raw(Box::new(0u64));
+                        // SAFETY: freshly boxed, never shared, retired once.
+                        unsafe { retire_box(&mut handle, ptr) };
+                    }
+                    handle.end_op();
+                }
+                barrier.wait();
+                let start = Instant::now();
+                let mut ops = 0u64;
+                loop {
+                    for _ in 0..CHUNK {
+                        handle.begin_op();
+                        if matches!(mode, Mode::Retire) {
+                            let ptr = Box::into_raw(Box::new(0u64));
+                            // SAFETY: freshly boxed, never shared, retired once.
+                            unsafe { retire_box(&mut handle, ptr) };
+                        }
+                        handle.end_op();
+                    }
+                    ops += CHUNK;
+                    if start.elapsed().as_secs_f64() >= budget
+                        || (matches!(mode, Mode::Retire) && ops >= MAX_RETIRES_PER_THREAD)
+                    {
+                        break;
+                    }
+                }
+                let nanos = start.elapsed().as_nanos() as u64;
+                handle.flush();
+                total_ops.fetch_add(ops, Ordering::Relaxed);
+                total_nanos.fetch_add(nanos, Ordering::Relaxed);
+            });
+        }
+    });
+    total_nanos.load(Ordering::Relaxed) as f64 / total_ops.load(Ordering::Relaxed) as f64
+}
+
+struct Entry {
+    scheme: &'static str,
+    threads: usize,
+    retire_ns: f64,
+    boundary_ns: f64,
+}
+
+/// Measures one scheme at every thread count. A fresh scheme instance per point
+/// keeps the points independent (and lets the leaky baseline release its memory
+/// between points).
+fn run_scheme<S: Smr>(name: &'static str, make: impl Fn(usize) -> Arc<S>, out: &mut Vec<Entry>) {
+    for &threads in &THREAD_COUNTS {
+        let retire_ns = {
+            let scheme = make(threads);
+            measure(&scheme, threads, Mode::Retire)
+        };
+        let boundary_ns = {
+            let scheme = make(threads);
+            measure(&scheme, threads, Mode::OpBoundary)
+        };
+        println!(
+            "{name:<8} {threads:>2} thread(s)   retire {retire_ns:8.1} ns/op   op-boundary {boundary_ns:8.1} ns/op"
+        );
+        out.push(Entry {
+            scheme: name,
+            threads,
+            retire_ns,
+            boundary_ns,
+        });
+    }
+}
+
+fn baseline_ns(entries: &[Entry], threads: usize) -> Option<f64> {
+    entries
+        .iter()
+        .find(|e| e.scheme == "none" && e.threads == threads)
+        .map(|e| e.retire_ns)
+}
+
+fn json_escape_free(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:.2}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn write_json(entries: &[Entry], path: &str) -> std::io::Result<()> {
+    let mut rows = Vec::with_capacity(entries.len());
+    for e in entries {
+        let overhead = baseline_ns(entries, e.threads)
+            .filter(|base| *base > 0.0)
+            .map(|base| (e.retire_ns / base - 1.0) * 100.0);
+        rows.push(format!(
+            "    {{\"scheme\": \"{}\", \"threads\": {}, \"retire_ns_per_op\": {}, \"quiescent_state_ns_per_op\": {}, \"retire_overhead_vs_none_pct\": {}}}",
+            e.scheme,
+            e.threads,
+            json_escape_free(e.retire_ns),
+            json_escape_free(e.boundary_ns),
+            overhead.map_or("null".to_string(), |v| format!("{v:.1}")),
+        ));
+    }
+    let threads_list = THREAD_COUNTS
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        "{{\n  \"bench\": \"overhead_summary\",\n  \"command\": \"cargo bench -p bench --bench overhead_summary\",\n  \"point_seconds\": {},\n  \"threads\": [{}],\n  \"unit\": \"nanoseconds per operation\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        point_seconds(),
+        threads_list,
+        rows.join(",\n")
+    );
+    std::fs::write(path, json)
 }
 
 fn main() {
-    let threads = *thread_counts().last().unwrap_or(&4);
     println!(
-        "Overhead summary across list / skip list / BST, 50% updates, {} threads",
-        threads
+        "Per-op hot-path cost (retire / op-boundary), {}s per point",
+        point_seconds()
     );
-    let baseline = collect(SchemeKind::None, threads);
-    report::print_series("none (leaky baseline)", &baseline, None);
+    // Rooster threads are capped at 1 here: this benchmark measures worker-side
+    // per-op cost, not background reclamation throughput.
+    let config = |threads: usize| {
+        SmrConfig::default()
+            .with_max_threads(threads + 2)
+            .with_rooster_threads(1)
+    };
 
-    let mut qsense_mops = 0.0;
-    let mut hp_mops = 0.0;
-    for scheme in [
-        SchemeKind::Qsbr,
-        SchemeKind::QSense,
-        SchemeKind::Cadence,
-        SchemeKind::Hp,
-    ] {
-        let series = collect(scheme, threads);
-        report::print_series(scheme.name(), &series, Some(&baseline));
-        let overhead = report::average_overhead_pct(&series, &baseline);
-        let mean_mops: f64 =
-            series.iter().map(RunResult::mops).sum::<f64>() / series.len() as f64;
-        println!(
-            "-> {}: average overhead vs none = {:.1}%   (paper: qsbr 2.3%, qsense 29%, hp 80%)",
-            scheme.name(),
-            overhead
-        );
-        match scheme {
-            SchemeKind::QSense => qsense_mops = mean_mops,
-            SchemeKind::Hp => hp_mops = mean_mops,
-            _ => {}
+    // Discarded process warm-up: the first measurement in a fresh process pays
+    // one-off costs (page faults, allocator arena growth) that would otherwise be
+    // billed entirely to whichever scheme runs first.
+    {
+        let scheme = reclaim_core::Leaky::new(config(1));
+        let _ = measure(&scheme, 1, Mode::Retire);
+    }
+
+    let mut entries = Vec::new();
+    run_scheme("none", |t| reclaim_core::Leaky::new(config(t)), &mut entries);
+    run_scheme("qsbr", |t| qsbr::Qsbr::new(config(t)), &mut entries);
+    run_scheme("ebr", |t| ebr::Ebr::new(config(t)), &mut entries);
+    run_scheme("hp", |t| hazard::Hazard::new(config(t)), &mut entries);
+    run_scheme("cadence", |t| cadence::Cadence::new(config(t)), &mut entries);
+    run_scheme("qsense", |t| qsense::QSense::new(config(t)), &mut entries);
+    run_scheme("rc", |t| refcount::RefCount::new(config(t)), &mut entries);
+
+    for &threads in &THREAD_COUNTS {
+        if let Some(base) = baseline_ns(&entries, threads) {
+            print!("overhead vs none @ {threads} thread(s):");
+            for e in entries.iter().filter(|e| e.threads == threads) {
+                if e.scheme != "none" && base > 0.0 {
+                    print!("  {} {:+.1}%", e.scheme, (e.retire_ns / base - 1.0) * 100.0);
+                }
+            }
+            println!();
         }
     }
-    if hp_mops > 0.0 {
-        println!(
-            "-> qsense / hp throughput ratio = {:.2}x   (paper: 2x-3x)",
-            qsense_mops / hp_mops
-        );
+
+    // Default to the workspace root regardless of the bench's working directory
+    // (cargo runs benches with CWD = the package directory).
+    let path = std::env::var("QSENSE_BENCH_OUT").unwrap_or_else(|_| {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("bench crate lives two levels below the workspace root")
+            .join("BENCH_overhead.json")
+            .to_string_lossy()
+            .into_owned()
+    });
+    match write_json(&entries, &path) {
+        Ok(()) => println!("wrote {path}"),
+        Err(err) => eprintln!("failed to write {path}: {err}"),
     }
 }

@@ -2,9 +2,10 @@
 
 use crate::rooster::Rooster;
 use reclaim_core::retired::DropFn;
-use reclaim_core::stats::StatsSnapshot;
+use reclaim_core::stats::{StatStripe, StatsSnapshot};
 use reclaim_core::{
-    membarrier, Registry, RetiredBag, RetiredPtr, SlotId, Smr, SmrConfig, SmrHandle, SmrStats,
+    membarrier, CachePadded, PtrScratch, Registry, RetiredBag, RetiredPtr, SlotId, Smr, SmrConfig,
+    SmrHandle,
 };
 use std::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::{Arc, Mutex};
@@ -54,8 +55,9 @@ impl CadenceRecord {
 /// The Cadence reclamation scheme (the paper's fallback path, usable stand-alone).
 pub struct Cadence {
     config: SmrConfig,
-    stats: SmrStats,
     registry: Registry<CadenceRecord>,
+    /// Counter stripe for events with no owning slot (parked-bag frees at drop).
+    scheme_stats: CachePadded<StatStripe>,
     rooster: Mutex<Rooster>,
     parked: Mutex<Vec<RetiredBag>>,
 }
@@ -73,8 +75,8 @@ impl Cadence {
         );
         Arc::new(Self {
             config,
-            stats: SmrStats::new(),
             registry,
+            scheme_stats: CachePadded::new(StatStripe::new()),
             rooster: Mutex::new(rooster),
             parked: Mutex::new(Vec::new()),
         })
@@ -98,22 +100,21 @@ impl Cadence {
             .wakeup_count()
     }
 
-    fn protected_snapshot(&self) -> Vec<*mut u8> {
-        let mut out = Vec::with_capacity(self.config.max_threads * self.config.hp_per_thread);
-        for (_, record) in self.registry.iter_all() {
-            record.collect_into(&mut out);
-        }
-        out.sort_unstable();
-        out.dedup();
-        out
+    /// Snapshots every published hazard pointer into `out`. Callers pass a
+    /// reusable scratch buffer sized at registration (`N·K` entries, the maximum
+    /// possible), so steady-state scans never allocate.
+    fn collect_protected(&self, out: &mut Vec<*mut u8>) {
+        self.registry.collect_protected(out, CadenceRecord::collect_into);
     }
 
     /// The paper's `scan` (Algorithm 3, lines 14–33): free retired nodes that are
     /// both *old enough* (deferred reclamation) and not covered by any hazard
-    /// pointer; keep the rest for a later scan.
-    fn scan(&self, bag: &mut RetiredBag) -> usize {
-        self.stats.add_scan();
-        let protected = self.protected_snapshot();
+    /// pointer; keep the rest for a later scan. Counters go to `stats` (the
+    /// calling handle's stripe).
+    fn scan_into(&self, bag: &mut RetiredBag, scratch: &mut Vec<*mut u8>, stats: &StatStripe) -> usize {
+        stats.add_scan();
+        self.collect_protected(scratch);
+        let protected: &[*mut u8] = scratch;
         let now = self.config.clock.now();
         let min_age = self.config.min_reclaim_age_nanos();
         // SAFETY (paper Property 1): a node that has been retired for at least
@@ -128,8 +129,16 @@ impl Cadence {
                     && protected.binary_search(&node.addr()).is_err()
             })
         };
-        self.stats.add_freed(freed as u64);
+        stats.add_freed(freed as u64);
         freed
+    }
+
+    /// One-off allocating snapshot, for tests and diagnostics only.
+    #[cfg(test)]
+    fn protected_snapshot(&self) -> Vec<*mut u8> {
+        let mut out = Vec::new();
+        self.collect_protected(&mut out);
+        out
     }
 }
 
@@ -145,6 +154,7 @@ impl Smr for Cadence {
             scheme: Arc::clone(self),
             slot,
             retired: RetiredBag::with_capacity(self.config.scan_threshold + 1),
+            scratch: PtrScratch::with_capacity(self.config.max_threads * self.config.hp_per_thread),
             since_last_scan: 0,
         }
     }
@@ -154,7 +164,10 @@ impl Smr for Cadence {
     }
 
     fn stats(&self) -> StatsSnapshot {
-        self.stats.snapshot()
+        let mut snap = StatsSnapshot::default();
+        self.registry.merge_stats(&mut snap);
+        self.scheme_stats.merge_into(&mut snap);
+        snap
     }
 }
 
@@ -167,7 +180,7 @@ impl Drop for Cadence {
         let mut parked = self.parked.lock().unwrap_or_else(|e| e.into_inner());
         for mut bag in parked.drain(..) {
             let freed = unsafe { bag.reclaim_all() };
-            self.stats.add_freed(freed as u64);
+            self.scheme_stats.add_freed(freed as u64);
         }
     }
 }
@@ -177,12 +190,27 @@ pub struct CadenceHandle {
     scheme: Arc<Cadence>,
     slot: SlotId,
     retired: RetiredBag,
+    /// Reusable buffer for hazard-pointer snapshots, sized for the worst case
+    /// (`N·K` pointers) at registration so scans are allocation-free.
+    scratch: PtrScratch,
     since_last_scan: usize,
 }
 
 impl CadenceHandle {
     fn record(&self) -> &CadenceRecord {
         self.scheme.registry.get_mine(self.slot)
+    }
+
+    fn stats(&self) -> &StatStripe {
+        self.scheme.registry.stats(self.slot)
+    }
+
+    fn scan(&mut self) {
+        self.scheme.scan_into(
+            &mut self.retired,
+            &mut self.scratch,
+            self.scheme.registry.stats(self.slot),
+        );
     }
 }
 
@@ -206,7 +234,7 @@ impl SmrHandle for CadenceHandle {
     }
 
     unsafe fn retire(&mut self, ptr: *mut u8, drop_fn: DropFn) {
-        self.scheme.stats.add_retired(1);
+        self.stats().add_retired(1);
         // Timestamp at removal time — the paper's `free_node_later` records
         // `time_created` on the wrapper node.
         let now = self.scheme.config.clock.now();
@@ -215,13 +243,13 @@ impl SmrHandle for CadenceHandle {
         self.since_last_scan += 1;
         if self.since_last_scan >= self.scheme.config.scan_threshold {
             self.since_last_scan = 0;
-            self.scheme.scan(&mut self.retired);
+            self.scan();
         }
     }
 
     fn flush(&mut self) {
         self.since_last_scan = 0;
-        self.scheme.scan(&mut self.retired);
+        self.scan();
     }
 
     fn local_in_limbo(&self) -> usize {
@@ -232,7 +260,7 @@ impl SmrHandle for CadenceHandle {
 impl Drop for CadenceHandle {
     fn drop(&mut self) {
         self.record().clear_all();
-        self.scheme.scan(&mut self.retired);
+        self.scan();
         if !self.retired.is_empty() {
             let mut moved = RetiredBag::new();
             moved.append(&mut self.retired);

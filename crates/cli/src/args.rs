@@ -163,7 +163,7 @@ impl CliOptions {
                 "--threads" => options.threads = parse_number(arg, &value_for(arg)?)?,
                 "--duration" => {
                     let secs: f64 = parse_number(arg, &value_for(arg)?)?;
-                    if !(secs > 0.0) {
+                    if secs.is_nan() || secs <= 0.0 {
                         return Err("--duration must be positive".to_string());
                     }
                     options.duration = Duration::from_secs_f64(secs);

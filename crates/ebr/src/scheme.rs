@@ -3,8 +3,10 @@
 use crate::pin::PinRecord;
 use qsbr::GlobalEpoch;
 use reclaim_core::retired::DropFn;
-use reclaim_core::stats::StatsSnapshot;
-use reclaim_core::{Registry, RetiredBag, RetiredPtr, SlotId, Smr, SmrConfig, SmrHandle, SmrStats};
+use reclaim_core::stats::{StatStripe, StatsSnapshot};
+use reclaim_core::{
+    CachePadded, Registry, RetiredBag, RetiredPtr, SlotId, Smr, SmrConfig, SmrHandle,
+};
 use std::sync::{Arc, Mutex};
 
 /// A retired node may be freed once the global epoch has advanced this many times
@@ -29,9 +31,11 @@ const SAFE_EPOCH_GAP: u64 = 2;
 ///   path.
 pub struct Ebr {
     config: SmrConfig,
-    stats: SmrStats,
     global_epoch: GlobalEpoch,
     registry: Registry<PinRecord>,
+    /// Counter stripe for events with no owning slot (successful epoch advances,
+    /// parked-bag frees at drop).
+    scheme_stats: CachePadded<StatStripe>,
     /// Limbo leftovers of threads that deregistered before their nodes became
     /// reclaimable; freed when the scheme drops.
     parked: Mutex<Vec<RetiredBag>>,
@@ -43,9 +47,9 @@ impl Ebr {
         let registry = Registry::new(config.max_threads, |_| PinRecord::new());
         Arc::new(Self {
             config,
-            stats: SmrStats::new(),
             global_epoch: GlobalEpoch::new(),
             registry,
+            scheme_stats: CachePadded::new(StatStripe::new()),
             parked: Mutex::new(Vec::new()),
         })
     }
@@ -75,7 +79,7 @@ impl Ebr {
             .iter_claimed()
             .all(|(_, record)| record.permits_advance_from(global));
         if all_caught_up && self.global_epoch.try_advance(global) {
-            self.stats.add_quiescent_state();
+            self.scheme_stats.add_quiescent_state();
             return true;
         }
         false
@@ -105,7 +109,10 @@ impl Smr for Ebr {
     }
 
     fn stats(&self) -> StatsSnapshot {
-        self.stats.snapshot()
+        let mut snap = StatsSnapshot::default();
+        self.registry.merge_stats(&mut snap);
+        self.scheme_stats.merge_into(&mut snap);
+        snap
     }
 }
 
@@ -115,7 +122,7 @@ impl Drop for Ebr {
         let mut parked = self.parked.lock().unwrap_or_else(|e| e.into_inner());
         for mut bag in parked.drain(..) {
             let freed = unsafe { bag.reclaim_all() };
-            self.stats.add_freed(freed as u64);
+            self.scheme_stats.add_freed(freed as u64);
         }
     }
 }
@@ -140,14 +147,22 @@ impl EbrHandle {
         self.limbo.len()
     }
 
+    fn stats(&self) -> &StatStripe {
+        self.scheme.registry.stats(self.slot)
+    }
+
     /// Frees every limbo node whose retirement epoch is at least [`SAFE_EPOCH_GAP`]
     /// behind the current global epoch. Returns the number of nodes freed.
+    ///
+    /// The partition is done in place with `swap_remove` (allocation-free; runs on
+    /// every pin once the limbo list is non-empty).
     fn collect(&mut self) -> usize {
         let global = self.scheme.global_epoch.load();
-        let mut kept = Vec::with_capacity(self.limbo.len());
         let mut freed = 0usize;
-        for (epoch, node) in self.limbo.drain(..) {
-            if global >= epoch + SAFE_EPOCH_GAP {
+        let mut i = 0usize;
+        while i < self.limbo.len() {
+            if global >= self.limbo[i].0 + SAFE_EPOCH_GAP {
+                let (_, node) = self.limbo.swap_remove(i);
                 // SAFETY: a node tagged with epoch `e` was already unlinked when the
                 // tag was taken. Only threads pinned at that moment can still hold
                 // references to it, and every epoch advance requires all pinned
@@ -157,12 +172,12 @@ impl EbrHandle {
                 // obtained before the unlink. The node is therefore unreachable.
                 unsafe { node.reclaim() };
                 freed += 1;
+                // The entry swapped into `i` is unexamined; stay put.
             } else {
-                kept.push((epoch, node));
+                i += 1;
             }
         }
-        self.limbo = kept;
-        self.scheme.stats.add_freed(freed as u64);
+        self.stats().add_freed(freed as u64);
         freed
     }
 }
@@ -192,7 +207,7 @@ impl SmrHandle for EbrHandle {
     fn clear_protections(&mut self) {}
 
     unsafe fn retire(&mut self, ptr: *mut u8, drop_fn: DropFn) {
-        self.scheme.stats.add_retired(1);
+        self.stats().add_retired(1);
         let now = self.scheme.config.clock.now();
         // Tag with the *current* global epoch (not the pin-time one): the global may
         // have advanced once since this thread pinned, and the larger tag only delays

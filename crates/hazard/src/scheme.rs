@@ -1,8 +1,10 @@
 //! The hazard-pointer scheme object and per-thread handle.
 
 use reclaim_core::retired::DropFn;
-use reclaim_core::stats::StatsSnapshot;
-use reclaim_core::{Registry, RetiredBag, RetiredPtr, SlotId, Smr, SmrConfig, SmrHandle, SmrStats};
+use reclaim_core::stats::{StatStripe, StatsSnapshot};
+use reclaim_core::{
+    CachePadded, PtrScratch, Registry, RetiredBag, RetiredPtr, SlotId, Smr, SmrConfig, SmrHandle,
+};
 use std::sync::atomic::{fence, AtomicPtr, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -44,8 +46,9 @@ impl HpRecord {
 /// Classic hazard-pointer scheme (the paper's **HP** baseline).
 pub struct Hazard {
     config: SmrConfig,
-    stats: SmrStats,
     registry: Registry<HpRecord>,
+    /// Counter stripe for events with no owning slot (parked-bag frees at drop).
+    scheme_stats: CachePadded<StatStripe>,
     /// Retired nodes left over by exiting threads that were still protected at exit;
     /// released when the scheme is dropped (no handle can exist at that point).
     parked: Mutex<Vec<RetiredBag>>,
@@ -57,8 +60,8 @@ impl Hazard {
         let registry = Registry::new(config.max_threads, |_| HpRecord::new(config.hp_per_thread));
         Arc::new(Self {
             config,
-            stats: SmrStats::new(),
             registry,
+            scheme_stats: CachePadded::new(StatStripe::new()),
             parked: Mutex::new(Vec::new()),
         })
     }
@@ -73,33 +76,38 @@ impl Hazard {
         &self.config
     }
 
-    /// Snapshot of every currently published hazard pointer, sorted for binary search.
-    /// This is the `get_protected_nodes` step of the paper's Algorithm 3 / Michael's
-    /// scan stage 1.
-    fn protected_snapshot(&self) -> Vec<*mut u8> {
-        let mut out = Vec::with_capacity(self.config.max_threads * self.config.hp_per_thread);
-        for (_, record) in self.registry.iter_all() {
-            record.collect_into(&mut out);
-        }
-        out.sort_unstable();
-        out.dedup();
-        out
+    /// Snapshots every currently published hazard pointer into `out` — the
+    /// `get_protected_nodes` step of the paper's Algorithm 3 / Michael's scan
+    /// stage 1. Callers pass a reusable scratch buffer sized at registration
+    /// (`N·K` entries, the maximum possible), so steady-state scans never allocate.
+    fn collect_protected(&self, out: &mut Vec<*mut u8>) {
+        self.registry.collect_protected(out, HpRecord::collect_into);
     }
 
-    /// Scans `bag`, freeing every node that is not covered by any hazard pointer.
-    /// Returns the number of nodes freed.
-    fn scan(&self, bag: &mut RetiredBag) -> usize {
-        self.stats.add_scan();
-        let protected = self.protected_snapshot();
+    /// Scans `bag` against the hazard pointers gathered into `scratch`, freeing
+    /// every node not covered. Returns the number of nodes freed. The counters go
+    /// to `stats` (the calling handle's stripe).
+    fn scan_into(&self, bag: &mut RetiredBag, scratch: &mut Vec<*mut u8>, stats: &StatStripe) -> usize {
+        stats.add_scan();
+        self.collect_protected(scratch);
+        let protected: &[*mut u8] = scratch;
         // SAFETY: a node absent from the full hazard-pointer snapshot and already
         // unlinked (guaranteed by the retire contract) is unreachable by any thread:
         // Michael's scan argument. The snapshot is taken *after* the node was
         // retired, so any hazard pointer published before the node became unreachable
         // is visible to this scan (the publisher's fence in `protect` pairs with the
-        // acquire loads in `protected_snapshot`).
+        // acquire loads in `collect_protected`).
         let freed = unsafe { bag.reclaim_if(|node| protected.binary_search(&node.addr()).is_err()) };
-        self.stats.add_freed(freed as u64);
+        stats.add_freed(freed as u64);
         freed
+    }
+
+    /// One-off allocating snapshot, for tests and diagnostics only.
+    #[cfg(test)]
+    fn protected_snapshot(&self) -> Vec<*mut u8> {
+        let mut out = Vec::new();
+        self.collect_protected(&mut out);
+        out
     }
 }
 
@@ -115,6 +123,7 @@ impl Smr for Hazard {
             scheme: Arc::clone(self),
             slot,
             retired: RetiredBag::with_capacity(self.config.scan_threshold + 1),
+            scratch: PtrScratch::with_capacity(self.config.max_threads * self.config.hp_per_thread),
             since_last_scan: 0,
             local_fences: 0,
         }
@@ -125,7 +134,10 @@ impl Smr for Hazard {
     }
 
     fn stats(&self) -> StatsSnapshot {
-        self.stats.snapshot()
+        let mut snap = StatsSnapshot::default();
+        self.registry.merge_stats(&mut snap);
+        self.scheme_stats.merge_into(&mut snap);
+        snap
     }
 }
 
@@ -136,7 +148,7 @@ impl Drop for Hazard {
         let mut parked = self.parked.lock().unwrap_or_else(|e| e.into_inner());
         for mut bag in parked.drain(..) {
             let freed = unsafe { bag.reclaim_all() };
-            self.stats.add_freed(freed as u64);
+            self.scheme_stats.add_freed(freed as u64);
         }
     }
 }
@@ -146,6 +158,9 @@ pub struct HazardHandle {
     scheme: Arc<Hazard>,
     slot: SlotId,
     retired: RetiredBag,
+    /// Reusable buffer for hazard-pointer snapshots, sized for the worst case
+    /// (`N·K` pointers) at registration so scans are allocation-free.
+    scratch: PtrScratch,
     since_last_scan: usize,
     /// Traversal fences issued by this thread since the last flush to shared stats
     /// (kept local so the hot path does not add an extra shared atomic per node).
@@ -157,9 +172,21 @@ impl HazardHandle {
         self.scheme.registry.get_mine(self.slot)
     }
 
+    fn stats(&self) -> &StatStripe {
+        self.scheme.registry.stats(self.slot)
+    }
+
+    fn scan(&mut self) {
+        self.scheme.scan_into(
+            &mut self.retired,
+            &mut self.scratch,
+            self.scheme.registry.stats(self.slot),
+        );
+    }
+
     fn publish_fence_count(&mut self) {
         if self.local_fences > 0 {
-            self.scheme.stats.add_traversal_fences(self.local_fences);
+            self.stats().add_traversal_fences(self.local_fences);
             self.local_fences = 0;
         }
     }
@@ -195,21 +222,21 @@ impl SmrHandle for HazardHandle {
     }
 
     unsafe fn retire(&mut self, ptr: *mut u8, drop_fn: DropFn) {
-        self.scheme.stats.add_retired(1);
+        self.stats().add_retired(1);
         let now = self.scheme.config.clock.now();
         // SAFETY: forwarded from the caller's contract.
         self.retired.push(unsafe { RetiredPtr::new(ptr, drop_fn, now) });
         self.since_last_scan += 1;
         if self.since_last_scan >= self.scheme.config.scan_threshold {
             self.since_last_scan = 0;
-            self.scheme.scan(&mut self.retired);
+            self.scan();
         }
     }
 
     fn flush(&mut self) {
         self.publish_fence_count();
         self.since_last_scan = 0;
-        self.scheme.scan(&mut self.retired);
+        self.scan();
     }
 
     fn local_in_limbo(&self) -> usize {
@@ -223,7 +250,7 @@ impl Drop for HazardHandle {
         // This thread is done traversing: its own protections can go away.
         self.record().clear_all();
         // Last chance to free what other threads no longer protect.
-        self.scheme.scan(&mut self.retired);
+        self.scan();
         // Whatever is still protected by *other* threads is parked on the scheme and
         // released when the scheme itself is dropped.
         if !self.retired.is_empty() {

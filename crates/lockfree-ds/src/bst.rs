@@ -232,8 +232,19 @@ where
                 let edge = unsafe { Self::child_edge(leaf, key) };
                 let next_raw = edge.load(Ordering::Acquire);
                 if (next_raw as usize) & BITS != 0 {
-                    // Dirty edge: a delete is in flight below; restart (writers call
-                    // cleanup first so the system keeps making progress).
+                    // Dirty edge: a delete is in flight below. *Help it complete*
+                    // before restarting — a bare restart would descend into the
+                    // same dirty edge forever if its owner is preempted, and the
+                    // owner itself can only retry through this very seek, so
+                    // without helping the whole system can spin (observed as a
+                    // livelock under single-CPU scheduling). `cleanup` only uses
+                    // the record's grandparent/parent, both still protected here.
+                    let help = SeekRecord {
+                        grandparent: parent,
+                        parent: leaf,
+                        leaf: clean(next_raw),
+                    };
+                    self.cleanup(key, &help, handle);
                     continue 'retry;
                 }
                 let next = next_raw;
@@ -258,8 +269,12 @@ where
     /// edges: tags the surviving edge and splices the survivor into the grandparent.
     /// Returns true if the splice succeeded (performed by this call).
     ///
-    /// `grandparent`, `parent` and `leaf` must come from a `seek` for `key` and still
-    /// be protected.
+    /// Only `record.grandparent` and `record.parent` are read, and both must still
+    /// be protected (or be sentinels), with `grandparent`'s key-side edge having
+    /// led to `parent` when they were protected. `record.leaf` is deliberately
+    /// unused — helpers (see `seek`) synthesize records whose `leaf` is an
+    /// unvalidated pointer read from a dirty edge, so it must never be
+    /// dereferenced here.
     fn cleanup(&self, key: &K, record: &SeekRecord<K>, handle: &mut S::Handle) -> bool {
         let SeekRecord {
             grandparent,

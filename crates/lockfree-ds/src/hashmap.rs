@@ -501,7 +501,7 @@ mod tests {
                     for _ in 0..5_000 {
                         state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
                         let key = (state >> 33) % 32;
-                        if state % 2 == 0 {
+                        if state.is_multiple_of(2) {
                             if map.insert(key, key, &mut h) {
                                 balance.fetch_add(1, AOrd::SeqCst);
                             }

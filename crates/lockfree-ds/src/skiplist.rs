@@ -49,7 +49,7 @@ use std::sync::Arc;
 pub const MAX_HEIGHT: usize = 16;
 
 /// Number of protection slots a traversal needs per thread.
-pub const SKIPLIST_HP_SLOTS: usize = 2 * MAX_HEIGHT + 1;
+pub const SKIPLIST_HP_SLOTS: usize = 2 * MAX_HEIGHT + 2;
 
 /// Slot protecting the predecessor retained for `level`.
 #[inline]
@@ -65,6 +65,12 @@ fn succ_slot(level: usize) -> usize {
 
 /// Scratch slot protecting the traversal cursor.
 const HP_CURSOR: usize = 2 * MAX_HEIGHT;
+
+/// Slot protecting the node an `insert` is currently publishing/linking. It must
+/// be distinct from every slot `find` uses: the upper-level linking phase re-runs
+/// `find` (which overwrites the cursor and pred/succ slots) while it still needs
+/// the new node — including the key borrowed from it — to stay unreclaimed.
+const HP_NODE: usize = 2 * MAX_HEIGHT + 1;
 
 struct Node<K> {
     key: KeySlot<K>,
@@ -233,6 +239,14 @@ where
                 return false;
             }
             let node = Node::alloc(KeySlot::Key(key), height);
+            // Protect the node *before* publishing it. The protection is issued
+            // while the node is still private — hence before any possible retire —
+            // so every scan that could free it is guaranteed to observe the hazard
+            // pointer (for HP via the publication fence, for Cadence/QSense via the
+            // rooster visibility bound, which the deferred-reclamation age always
+            // outwaits). Protecting only *after* the CAS below would leave a window
+            // in which a concurrent remover unlinks, retires and frees the node.
+            handle.protect(HP_NODE, node.cast());
             // Pre-link the new node's forward pointers to the successors observed by
             // the traversal. The node is still private, so plain stores are fine.
             for level in 0..height {
@@ -262,22 +276,28 @@ where
         // Phase 2: link the upper levels. Failures here never affect membership —
         // they only cost express-lane shortcuts — but each level is retried until it
         // is linked or the node is observed logically deleted.
-        // SAFETY: `node` is published and cannot be freed while this thread keeps it
-        // protected (it is still held in `succ_slot(0)`/cursor from the linking find;
-        // protect it explicitly to be independent of `find`'s internals).
-        handle.protect(HP_CURSOR, node.cast());
-        // SAFETY: `node` protected above; reading its immutable key is safe. The key
-        // lives inside the node now, so later finds borrow it from there.
+        //
+        // `node` stays protected in `HP_NODE` for the rest of the operation: the
+        // slot was published while the node was still private and `find` never
+        // touches it, so even a concurrent removal cannot get the node *freed* while
+        // we still read it (including the key borrowed from it below).
+        // SAFETY: `node` protected as described; reading its immutable key is safe.
         let key_ref: &K = match unsafe { &(*node).key } {
             KeySlot::Key(k) => k,
-            _ => unreachable!(),
+            _ => unreachable!("inserted nodes always carry a real key"),
         };
         'levels: for level in 1..height {
             loop {
                 let result = self.find(key_ref, handle);
-                // Re-protect the node in the cursor slot (find reused it).
-                handle.protect(HP_CURSOR, node.cast());
-                // SAFETY: `node` is protected; loads of its atomics are safe.
+                if result.succs[0] != node {
+                    // The node is no longer what level 0 holds for this key: a
+                    // concurrent remove unlinked it (or replaced it with a fresh
+                    // insert). Stop linking — membership was already linearized at
+                    // the level-0 CAS, upper levels are only shortcuts — and never
+                    // re-link a node whose removal may have begun.
+                    break 'levels;
+                }
+                // SAFETY: `node` is protected (HP_NODE); loads of its atomics are safe.
                 let node_next = unsafe { &*node }.next[level].load(Ordering::Acquire);
                 if is_marked(node_next) {
                     // A concurrent remove already claimed the node: stop linking.
@@ -321,71 +341,71 @@ where
     /// Removes `key`; returns false if it was not present.
     pub fn remove(&self, key: &K, handle: &mut S::Handle) -> bool {
         handle.begin_op();
+        let result = self.find(key, handle);
+        if !result.found {
+            handle.clear_protections();
+            handle.end_op();
+            return false;
+        }
+        let victim = result.succs[0];
+        // Hold the victim in the dedicated node slot for the rest of the operation:
+        // `find` never touches it, so the phase-3 sweeps below cannot leave the
+        // victim unprotected while this thread still dereferences it. (The
+        // protection is published while the victim is validated reachable by the
+        // find above, so scans honour it.)
+        handle.protect(HP_NODE, victim.cast());
+        let height = unsafe { &*victim }.height;
+
+        // Phase 1: logically delete the upper levels, top-down.
+        for level in (1..height).rev() {
+            loop {
+                // SAFETY: `victim` protected.
+                let next = unsafe { &*victim }.next[level].load(Ordering::Acquire);
+                if is_marked(next) {
+                    break;
+                }
+                if unsafe { &*victim }.next[level]
+                    .compare_exchange(next, marked(next), Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    break;
+                }
+            }
+        }
+
+        // Phase 2: logically delete level 0 — the linearization point. The thread
+        // whose CAS succeeds owns the deletion and is the only one to retire.
         loop {
-            let result = self.find(key, handle);
-            if !result.found {
+            // SAFETY: `victim` protected.
+            let next = unsafe { &*victim }.next[0].load(Ordering::Acquire);
+            if is_marked(next) {
+                // Another remover won; this call observes the key as absent.
                 handle.clear_protections();
                 handle.end_op();
                 return false;
             }
-            let victim = result.succs[0];
-            // SAFETY: `victim` is protected by `succ_slot(0)` for the rest of the
-            // operation (no further `find` call overwrites slot 1 of level 0 until we
-            // re-run it below, at which point we re-protect via the cursor slot).
-            handle.protect(HP_CURSOR, victim.cast());
-            let height = unsafe { &*victim }.height;
-
-            // Phase 1: logically delete the upper levels, top-down.
-            for level in (1..height).rev() {
+            if unsafe { &*victim }.next[0]
+                .compare_exchange(next, marked(next), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                // Phase 3: physical removal. Re-run `find` until the victim no
+                // longer appears among any level's successors — every pass snips
+                // it from whatever levels it is still linked at — then retire it.
                 loop {
-                    // SAFETY: `victim` protected.
-                    let next = unsafe { &*victim }.next[level].load(Ordering::Acquire);
-                    if is_marked(next) {
-                        break;
-                    }
-                    if unsafe { &*victim }.next[level]
-                        .compare_exchange(next, marked(next), Ordering::AcqRel, Ordering::Acquire)
-                        .is_ok()
-                    {
+                    let sweep = self.find(key, handle);
+                    if !sweep.succs.contains(&victim) {
                         break;
                     }
                 }
-            }
-
-            // Phase 2: logically delete level 0 — the linearization point. The thread
-            // whose CAS succeeds owns the deletion and is the only one to retire.
-            loop {
-                // SAFETY: `victim` protected.
-                let next = unsafe { &*victim }.next[0].load(Ordering::Acquire);
-                if is_marked(next) {
-                    // Another remover won; this call observes the key as absent.
-                    handle.clear_protections();
-                    handle.end_op();
-                    return false;
-                }
-                if unsafe { &*victim }.next[0]
-                    .compare_exchange(next, marked(next), Ordering::AcqRel, Ordering::Acquire)
-                    .is_ok()
-                {
-                    // Phase 3: physical removal. Re-run `find` until the victim no
-                    // longer appears among any level's successors — every pass snips
-                    // it from whatever levels it is still linked at — then retire it.
-                    loop {
-                        let sweep = self.find(key, handle);
-                        if !sweep.succs.iter().any(|&s| s == victim) {
-                            break;
-                        }
-                    }
-                    // SAFETY: the victim is unlinked from every level reachable from
-                    // the head (all traversals validate against unmarked predecessor
-                    // links, so no new protection of it can be validated), it was
-                    // allocated via `Node::alloc`, and only the level-0 winner — this
-                    // thread — retires it.
-                    unsafe { retire_box(handle, victim) };
-                    handle.clear_protections();
-                    handle.end_op();
-                    return true;
-                }
+                // SAFETY: the victim is unlinked from every level reachable from
+                // the head (all traversals validate against unmarked predecessor
+                // links, so no new protection of it can be validated), it was
+                // allocated via `Node::alloc`, and only the level-0 winner — this
+                // thread — retires it.
+                unsafe { retire_box(handle, victim) };
+                handle.clear_protections();
+                handle.end_op();
+                return true;
             }
         }
     }
@@ -515,7 +535,7 @@ mod tests {
     fn random_height_is_within_bounds() {
         for _ in 0..1000 {
             let h = LockFreeSkipList::<u64, Leaky>::random_height();
-            assert!(h >= 1 && h <= MAX_HEIGHT);
+            assert!((1..=MAX_HEIGHT).contains(&h));
         }
     }
 }

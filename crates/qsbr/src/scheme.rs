@@ -1,18 +1,25 @@
 //! The QSBR scheme object and per-thread handle.
 
-use crate::epoch::{limbo_index, EpochRecord, GlobalEpoch, EPOCH_BUCKETS};
+use crate::epoch::{limbo_index, CursorCheck, EpochCursor, EpochRecord, GlobalEpoch, EPOCH_BUCKETS};
 use reclaim_core::retired::DropFn;
-use reclaim_core::stats::StatsSnapshot;
-use reclaim_core::{Registry, RetiredBag, RetiredPtr, SlotId, Smr, SmrConfig, SmrHandle, SmrStats};
+use reclaim_core::stats::{StatStripe, StatsSnapshot};
+use reclaim_core::{
+    CachePadded, Registry, RetiredBag, RetiredPtr, SlotId, Smr, SmrConfig, SmrHandle,
+};
 use std::sync::{Arc, Mutex};
 
 /// Quiescent-state-based reclamation (the paper's **QSBR** baseline and the fast path
 /// of QSense).
 pub struct Qsbr {
     config: SmrConfig,
-    stats: SmrStats,
     global_epoch: GlobalEpoch,
+    /// Cooperative epoch-confirmation state: quiescent states contribute bounded
+    /// slices of the "has everyone adopted the epoch?" check instead of each
+    /// sweeping the whole registry (see [`EpochCursor`]).
+    cursor: EpochCursor,
     registry: Registry<EpochRecord>,
+    /// Counter stripe for events with no owning slot (parked-bag frees at drop).
+    scheme_stats: CachePadded<StatStripe>,
     /// Limbo leftovers of threads that deregistered before their nodes became
     /// reclaimable; freed when the scheme drops.
     parked: Mutex<Vec<RetiredBag>>,
@@ -24,9 +31,10 @@ impl Qsbr {
         let registry = Registry::new(config.max_threads, |_| EpochRecord::new());
         Arc::new(Self {
             config,
-            stats: SmrStats::new(),
             global_epoch: GlobalEpoch::new(),
+            cursor: EpochCursor::new(),
             registry,
+            scheme_stats: CachePadded::new(StatStripe::new()),
             parked: Mutex::new(Vec::new()),
         })
     }
@@ -46,11 +54,22 @@ impl Qsbr {
         self.global_epoch.load()
     }
 
-    /// True if every *registered* thread has adopted epoch `epoch`.
-    fn all_threads_at(&self, epoch: u64) -> bool {
-        self.registry
-            .iter_claimed()
-            .all(|(_, record)| record.load() == epoch)
+    /// Contributes a bounded slice of the "has every registered thread adopted
+    /// `epoch`?" check and advances the global epoch once the cooperative pass
+    /// completes. Replaces the old full-registry sweep each quiescent state paid.
+    fn poll_epoch_confirmation(&self, epoch: u64) {
+        let confirmed = self.cursor.poll(epoch, self.registry.capacity(), |i| {
+            if !self.registry.is_claimed(i) {
+                CursorCheck::Vacant
+            } else if self.registry.get(i).load() == epoch {
+                CursorCheck::Confirmed
+            } else {
+                CursorCheck::Lagging
+            }
+        });
+        if confirmed {
+            self.global_epoch.try_advance(epoch);
+        }
     }
 }
 
@@ -81,7 +100,10 @@ impl Smr for Qsbr {
     }
 
     fn stats(&self) -> StatsSnapshot {
-        self.stats.snapshot()
+        let mut snap = StatsSnapshot::default();
+        self.registry.merge_stats(&mut snap);
+        self.scheme_stats.merge_into(&mut snap);
+        snap
     }
 }
 
@@ -91,7 +113,7 @@ impl Drop for Qsbr {
         let mut parked = self.parked.lock().unwrap_or_else(|e| e.into_inner());
         for mut bag in parked.drain(..) {
             let freed = unsafe { bag.reclaim_all() };
-            self.stats.add_freed(freed as u64);
+            self.scheme_stats.add_freed(freed as u64);
         }
     }
 }
@@ -117,13 +139,17 @@ impl QsbrHandle {
     /// * otherwise, if every registered thread has adopted the global epoch, advance
     ///   it.
     pub fn quiesce(&mut self) {
-        self.scheme.stats.add_quiescent_state();
+        self.stats().add_quiescent_state();
         let global = self.scheme.global_epoch.load();
         if self.local_epoch != global {
             self.adopt(global);
-        } else if self.scheme.all_threads_at(global) {
-            self.scheme.global_epoch.try_advance(global);
+        } else {
+            self.scheme.poll_epoch_confirmation(global);
         }
+    }
+
+    fn stats(&self) -> &StatStripe {
+        self.scheme.registry.stats(self.slot)
     }
 
     fn adopt(&mut self, global: u64) {
@@ -136,7 +162,7 @@ impl QsbrHandle {
         // through a quiescent state, i.e. a grace period has elapsed. No thread can
         // therefore still hold a hazardous reference to these nodes.
         let freed = unsafe { self.limbo[bucket].reclaim_all() };
-        self.scheme.stats.add_freed(freed as u64);
+        self.stats().add_freed(freed as u64);
     }
 
     /// Total number of retired-but-unreclaimed nodes across the three limbo lists.
@@ -165,7 +191,7 @@ impl SmrHandle for QsbrHandle {
     fn clear_protections(&mut self) {}
 
     unsafe fn retire(&mut self, ptr: *mut u8, drop_fn: DropFn) {
-        self.scheme.stats.add_retired(1);
+        self.stats().add_retired(1);
         let now = self.scheme.config.clock.now();
         let bucket = limbo_index(self.local_epoch);
         // SAFETY: forwarded from the caller's contract.

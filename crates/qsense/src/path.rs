@@ -21,6 +21,19 @@ pub enum Path {
 }
 
 /// The shared fallback flag.
+///
+/// ## Memory ordering
+///
+/// The flag is *read* on the hot path (every `retire` checks it), so the load is
+/// acquire — a plain load on x86/TSO. Acquire/release suffices for correctness
+/// because the paper's safety argument never depends on *when* a thread observes a
+/// path switch (§4.1/§5.2): hazard pointers and retire timestamps are maintained
+/// on **both** paths at all times, so a thread acting on a stale path value only
+/// chooses a different — equally safe — reclamation condition. The switch CASes
+/// are AcqRel so the winner's preceding state (e.g. the presence reset) is
+/// visible to threads that subsequently observe the new path; no decision
+/// compares this flag against unrelated atomics, so no `SeqCst` total order is
+/// needed.
 #[derive(Debug, Default)]
 pub struct FallbackFlag {
     /// `false` = fast path, `true` = fallback path.
@@ -33,10 +46,10 @@ impl FallbackFlag {
         Self::default()
     }
 
-    /// Reads the current path.
+    /// Reads the current path (one acquire load — the hot-path cost).
     #[inline]
     pub fn load(&self) -> Path {
-        if self.fallback.load(Ordering::SeqCst) {
+        if self.fallback.load(Ordering::Acquire) {
             Path::Fallback
         } else {
             Path::Fast
@@ -47,7 +60,7 @@ impl FallbackFlag {
     /// transition (so exactly one thread accounts for each switch).
     pub fn trigger_fallback(&self) -> bool {
         self.fallback
-            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
             .is_ok()
     }
 
@@ -55,12 +68,17 @@ impl FallbackFlag {
     /// transition.
     pub fn trigger_fast_path(&self) -> bool {
         self.fallback
-            .compare_exchange(true, false, Ordering::SeqCst, Ordering::SeqCst)
+            .compare_exchange(true, false, Ordering::AcqRel, Ordering::Acquire)
             .is_ok()
     }
 }
 
 /// One thread's presence flag (owned slot in the registry record).
+///
+/// Release/acquire is enough: presence only feeds *liveness* decisions (when to
+/// switch back to the fast path), never a freeing decision — a stale read can
+/// delay or hasten a path switch, both of which are safe because every node's
+/// protection state is maintained identically on both paths.
 #[derive(Debug, Default)]
 pub struct PresenceFlag {
     active: AtomicBool,
@@ -75,19 +93,19 @@ impl PresenceFlag {
     /// Marks the owning thread as active (paper: `is_active(process_id)`).
     #[inline]
     pub fn set_active(&self) {
-        self.active.store(true, Ordering::SeqCst);
+        self.active.store(true, Ordering::Release);
     }
 
     /// Reads whether the owner has been active since the last reset.
     #[inline]
     pub fn is_active(&self) -> bool {
-        self.active.load(Ordering::SeqCst)
+        self.active.load(Ordering::Acquire)
     }
 
     /// Clears the flag (done collectively at path switches).
     #[inline]
     pub fn reset(&self) {
-        self.active.store(false, Ordering::SeqCst);
+        self.active.store(false, Ordering::Release);
     }
 }
 

@@ -2,11 +2,12 @@
 
 use crate::path::{FallbackFlag, Path, PresenceFlag};
 use cadence::Rooster;
-use qsbr::{limbo_index, EpochRecord, GlobalEpoch, EPOCH_BUCKETS};
+use qsbr::{limbo_index, CursorCheck, EpochCursor, EpochRecord, GlobalEpoch, EPOCH_BUCKETS};
 use reclaim_core::retired::DropFn;
-use reclaim_core::stats::StatsSnapshot;
+use reclaim_core::stats::{StatStripe, StatsSnapshot};
 use reclaim_core::{
-    membarrier, Registry, RetiredBag, RetiredPtr, SlotId, Smr, SmrConfig, SmrHandle, SmrStats,
+    membarrier, CachePadded, PtrScratch, Registry, RetiredBag, RetiredPtr, SlotId, Smr, SmrConfig,
+    SmrHandle,
 };
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -47,17 +48,31 @@ impl QsenseRecord {
 
     /// Marks the owner as active right now: sets the presence flag, refreshes the
     /// activity timestamp and clears any standing eviction (only the owner ever
-    /// clears its own eviction, and only from a point where it holds no references).
-    fn mark_active(&self, now: u64) {
+    /// clears its own eviction, and only from a point where it holds no
+    /// references). Returns `true` when a standing eviction was lifted — the
+    /// caller then balances the scheme's global eviction counter.
+    ///
+    /// The common case pays one relaxed load and no shared store for the eviction
+    /// check; only when the flag is actually set does the owner issue the swap
+    /// (which also arbitrates the benign race with a concurrent evictor so the
+    /// counter moves exactly once per lifted eviction).
+    fn mark_active(&self, now: u64) -> bool {
         self.presence.set_active();
-        self.last_active.store(now, Ordering::SeqCst);
-        if self.evicted.load(Ordering::SeqCst) {
-            self.evicted.store(false, Ordering::SeqCst);
-        }
+        self.last_active.store(now, Ordering::Release);
+        self.evicted.load(Ordering::Relaxed) && self.clear_eviction()
     }
 
+    /// Clears the eviction flag; `true` if it was set (the caller owns the
+    /// matching decrement of the scheme's eviction counter).
+    fn clear_eviction(&self) -> bool {
+        self.evicted.swap(false, Ordering::AcqRel)
+    }
+
+    /// Acquire pairs with the evictor's release: observing the flag implies
+    /// observing the counter increment that preceded it (see
+    /// [`QSense::evict_unresponsive`]).
     fn is_evicted(&self) -> bool {
-        self.evicted.load(Ordering::SeqCst)
+        self.evicted.load(Ordering::Acquire)
     }
 
     /// Fence-free hazard-pointer publication, exactly as in Cadence.
@@ -86,10 +101,22 @@ impl QsenseRecord {
 /// The QSense hybrid reclamation scheme (the paper's primary contribution).
 pub struct QSense {
     config: SmrConfig,
-    stats: SmrStats,
     registry: Registry<QsenseRecord>,
     global_epoch: GlobalEpoch,
+    /// Cooperative epoch-confirmation state (see [`EpochCursor`]): quiescent states
+    /// contribute bounded slices of the "everyone at the epoch?" check instead of
+    /// each sweeping the whole registry.
+    cursor: EpochCursor,
+    /// Number of currently evicted registered threads. Kept so the fast path's
+    /// "may I free this bucket outright?" decision is **one load** instead of the
+    /// O(N) registry sweep it used to be; the count is maintained conservatively
+    /// (incremented before an eviction becomes visible, decremented after it is
+    /// cleared), so a racing reader can only over-count — which merely routes a
+    /// free through the always-safe Cadence check.
+    evicted_threads: CachePadded<AtomicU64>,
     fallback: FallbackFlag,
+    /// Counter stripe for events with no owning slot (parked-bag frees at drop).
+    scheme_stats: CachePadded<StatStripe>,
     rooster: Mutex<Rooster>,
     parked: Mutex<Vec<RetiredBag>>,
 }
@@ -107,10 +134,12 @@ impl QSense {
         );
         Arc::new(Self {
             config,
-            stats: SmrStats::new(),
             registry,
             global_epoch: GlobalEpoch::new(),
+            cursor: EpochCursor::new(),
+            evicted_threads: CachePadded::new(AtomicU64::new(0)),
             fallback: FallbackFlag::new(),
+            scheme_stats: CachePadded::new(StatStripe::new()),
             rooster: Mutex::new(rooster),
             parked: Mutex::new(Vec::new()),
         })
@@ -144,28 +173,45 @@ impl QSense {
             .wakeup_count()
     }
 
-    fn protected_snapshot(&self) -> Vec<*mut u8> {
-        let mut out = Vec::with_capacity(self.config.max_threads * self.config.hp_per_thread);
-        for (_, record) in self.registry.iter_all() {
-            record.collect_hps_into(&mut out);
-        }
-        out.sort_unstable();
-        out.dedup();
-        out
+    /// Snapshots every published hazard pointer into `out`. Handles pass their
+    /// reusable scratch buffer, sized at registration for the `N·K` worst case,
+    /// so steady-state scans never allocate.
+    fn protected_snapshot_into(&self, out: &mut Vec<*mut u8>) {
+        self.registry
+            .collect_protected(out, QsenseRecord::collect_hps_into);
     }
 
-    /// True if every registered, non-evicted thread has adopted `epoch`. Evicted
-    /// threads are excluded (extension): while any thread is evicted, fast-path frees
-    /// go through [`Self::cadence_scan`]-style checks instead of relying on the grace
-    /// period alone, so excluding them here is safe.
-    fn all_threads_at(&self, epoch: u64) -> bool {
-        self.registry
-            .iter_claimed()
-            .all(|(_, record)| record.is_evicted() || record.epoch.load() == epoch)
+    /// Contributes a bounded slice of the "has every registered, non-evicted
+    /// thread adopted `epoch`?" check and advances the global epoch once the
+    /// cooperative pass completes. Replaces the per-quiescent-state O(N) sweep.
+    ///
+    /// Evicted threads count as confirmed (extension): while any thread is
+    /// evicted, fast-path frees go through the Cadence check (age + hazard
+    /// pointers) instead of relying on the grace period alone — see
+    /// [`Self::any_evicted`] — so excluding them here is safe. An eviction lifted
+    /// mid-pass is equally safe: lifting happens only at a reference-free
+    /// operation boundary, which is precisely a quiescent point.
+    fn poll_epoch_confirmation(&self, epoch: u64) {
+        let confirmed = self.cursor.poll(epoch, self.registry.capacity(), |i| {
+            if !self.registry.is_claimed(i) {
+                CursorCheck::Vacant
+            } else {
+                let record = self.registry.get(i);
+                if record.is_evicted() || record.epoch.load() == epoch {
+                    CursorCheck::Confirmed
+                } else {
+                    CursorCheck::Lagging
+                }
+            }
+        });
+        if confirmed {
+            self.global_epoch.try_advance(epoch);
+        }
     }
 
     /// True if every registered, non-evicted thread has set its presence flag since
-    /// the last reset (paper: `all_processes_active()`).
+    /// the last reset (paper: `all_processes_active()`). Runs only while deciding
+    /// to leave the fallback path, so the O(N) sweep is off the fast path.
     fn all_processes_active(&self) -> bool {
         self.registry
             .iter_claimed()
@@ -180,17 +226,30 @@ impl QSense {
 
     /// Number of currently evicted registered threads (extension diagnostics).
     pub fn evicted_count(&self) -> usize {
-        self.registry
-            .iter_claimed()
-            .filter(|(_, record)| record.is_evicted())
-            .count()
+        self.evicted_threads.load(Ordering::Acquire) as usize
     }
 
     /// True if any registered thread is currently evicted.
+    ///
+    /// This runs on the fast path (every epoch-adoption bucket free), so it is a
+    /// single shared load of the cache-padded eviction counter — the earlier
+    /// full-registry sweep made every fast-path free O(N). Acquire (a plain load
+    /// on x86/TSO) pairs with the evictor's release so the counter can lag only
+    /// in the conservative direction: the increment is ordered *before* the
+    /// per-record flag becomes visible, and the decrement *after* it is cleared,
+    /// so any state in which a record still reads evicted is a state in which the
+    /// counter is already nonzero.
+    #[inline]
     fn any_evicted(&self) -> bool {
-        self.registry
-            .iter_claimed()
-            .any(|(_, record)| record.is_evicted())
+        self.evicted_threads.load(Ordering::Acquire) != 0
+    }
+
+    /// Marks activity on `record`, balancing the eviction counter if a standing
+    /// eviction was lifted.
+    fn note_activity(&self, record: &QsenseRecord) {
+        if record.mark_active(self.config.clock.now()) {
+            self.evicted_threads.fetch_sub(1, Ordering::Release);
+        }
     }
 
     /// Eviction sweep (extension, paper §5.2 future work): marks as evicted every
@@ -209,18 +268,48 @@ impl QSense {
         let mut evicted = 0;
         for (_, record) in self.registry.iter_claimed() {
             if !record.is_evicted()
-                && now.saturating_sub(record.last_active.load(Ordering::SeqCst)) > timeout
+                && now.saturating_sub(record.last_active.load(Ordering::Acquire)) > timeout
             {
-                record.evicted.store(true, Ordering::SeqCst);
-                evicted += 1;
+                // Increment the counter *before* publishing the flag: a fast-path
+                // thread that observes the flagged record (or an epoch advance
+                // justified by it) is then guaranteed to observe a nonzero counter.
+                // If another evictor wins the flag race, take the increment back —
+                // the transient over-count only routes frees through the
+                // always-safe Cadence check.
+                self.evicted_threads.fetch_add(1, Ordering::Relaxed);
+                if record
+                    .evicted
+                    .compare_exchange(false, true, Ordering::Release, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    evicted += 1;
+                    // Clearing is strictly owner/claimant territory (`mark_active`):
+                    // this evictor never touches a flag again, even if the owner
+                    // deregistered between our staleness check and the CAS — a
+                    // non-owner clear could race a *successor* thread's legitimate
+                    // eviction and unsafely re-enable outright bucket frees. A flag
+                    // stranded on a vacant slot is conservative (fast-path frees use
+                    // the Cadence check) and is lifted by the slot's next claimant;
+                    // `acquire`'s first-free policy makes the slot the earliest
+                    // reuse target, and a drop having raced us implies thread
+                    // churn, hence a future registration.
+                } else {
+                    self.evicted_threads.fetch_sub(1, Ordering::Relaxed);
+                }
             }
         }
         evicted
     }
 
     /// A Cadence-style scan over one limbo bag: free nodes that are old enough and
-    /// unprotected; keep the rest.
-    fn cadence_scan(&self, bag: &mut RetiredBag, protected: &[*mut u8]) -> usize {
+    /// unprotected; keep the rest. Counters go to `stats` (the calling handle's
+    /// stripe).
+    fn cadence_scan(
+        &self,
+        bag: &mut RetiredBag,
+        protected: &[*mut u8],
+        stats: &StatStripe,
+    ) -> usize {
         let now = self.config.clock.now();
         let min_age = self.config.min_reclaim_age_nanos();
         // SAFETY: identical to Cadence's scan (paper Property 1) — QSense maintains
@@ -231,7 +320,7 @@ impl QSense {
                 node.is_old_enough(now, min_age) && protected.binary_search(&node.addr()).is_err()
             })
         };
-        self.stats.add_freed(freed as u64);
+        stats.add_freed(freed as u64);
         freed
     }
 }
@@ -247,11 +336,12 @@ impl Smr for QSense {
         let epoch = self.global_epoch.load();
         let record = self.registry.get_mine(slot);
         record.epoch.store(epoch);
-        record.mark_active(self.config.clock.now());
+        self.note_activity(record);
         QSenseHandle {
             scheme: Arc::clone(self),
             slot,
             limbo: std::array::from_fn(|_| RetiredBag::new()),
+            scratch: PtrScratch::with_capacity(self.config.max_threads * self.config.hp_per_thread),
             local_epoch: epoch,
             ops_since_quiescence: 0,
             retires_since_scan: 0,
@@ -264,7 +354,10 @@ impl Smr for QSense {
     }
 
     fn stats(&self) -> StatsSnapshot {
-        self.stats.snapshot()
+        let mut snap = StatsSnapshot::default();
+        self.registry.merge_stats(&mut snap);
+        self.scheme_stats.merge_into(&mut snap);
+        snap
     }
 }
 
@@ -277,7 +370,7 @@ impl Drop for QSense {
         let mut parked = self.parked.lock().unwrap_or_else(|e| e.into_inner());
         for mut bag in parked.drain(..) {
             let freed = unsafe { bag.reclaim_all() };
-            self.stats.add_freed(freed as u64);
+            self.scheme_stats.add_freed(freed as u64);
         }
     }
 }
@@ -290,6 +383,9 @@ pub struct QSenseHandle {
     /// fallback path ("QSBR's limbo_list becomes the removed_nodes_list scanned by
     /// Cadence", paper §5.2).
     limbo: [RetiredBag; EPOCH_BUCKETS],
+    /// Reusable buffer for hazard-pointer snapshots, sized for the worst case
+    /// (`N·K` pointers) at registration so scans are allocation-free.
+    scratch: PtrScratch,
     local_epoch: u64,
     /// `call_count` in Algorithm 5.
     ops_since_quiescence: usize,
@@ -302,6 +398,10 @@ pub struct QSenseHandle {
 impl QSenseHandle {
     fn record(&self) -> &QsenseRecord {
         self.scheme.registry.get_mine(self.slot)
+    }
+
+    fn stats(&self) -> &StatStripe {
+        self.scheme.registry.stats(self.slot)
     }
 
     /// Total retired-but-unreclaimed nodes across the three limbo lists.
@@ -317,7 +417,7 @@ impl QSenseHandle {
     /// QSBR-style quiescent state (fast path): adopt the global epoch — freeing the
     /// limbo bucket the new epoch maps to — or help advance it.
     fn quiescent_state(&mut self) {
-        self.scheme.stats.add_quiescent_state();
+        self.stats().add_quiescent_state();
         let global = self.scheme.global_epoch.load();
         if self.local_epoch != global {
             self.record().epoch.store(global);
@@ -328,28 +428,31 @@ impl QSenseHandle {
                 // so while any thread is evicted the bucket is freed through the
                 // Cadence condition instead (old enough + not hazard-pointer
                 // protected), which covers evicted and non-evicted threads alike.
-                let protected = self.scheme.protected_snapshot();
-                self.scheme.cadence_scan(&mut self.limbo[bucket], &protected);
+                self.scheme.protected_snapshot_into(&mut self.scratch);
+                let stats = self.scheme.registry.stats(self.slot);
+                self.scheme
+                    .cadence_scan(&mut self.limbo[bucket], &self.scratch, stats);
             } else {
                 // SAFETY: Lemma 3 / Property 5 of the paper — a full grace period has
                 // elapsed since the nodes in this bucket were retired (counting every
                 // registered thread, since none is evicted), so no thread holds a
                 // hazardous reference to them. Identical argument to the `qsbr` crate.
                 let freed = unsafe { self.limbo[bucket].reclaim_all() };
-                self.scheme.stats.add_freed(freed as u64);
+                self.stats().add_freed(freed as u64);
             }
-        } else if self.scheme.all_threads_at(global) {
-            self.scheme.global_epoch.try_advance(global);
+        } else {
+            self.scheme.poll_epoch_confirmation(global);
         }
     }
 
     /// Cadence-style scan over all three limbo lists (fallback path; paper Algorithm
     /// 5 lines 45–47 scan every epoch's list).
     fn cadence_scan_all(&mut self) {
-        self.scheme.stats.add_scan();
-        let protected = self.scheme.protected_snapshot();
+        self.stats().add_scan();
+        self.scheme.protected_snapshot_into(&mut self.scratch);
+        let stats = self.scheme.registry.stats(self.slot);
         for bag in &mut self.limbo {
-            self.scheme.cadence_scan(bag, &protected);
+            self.scheme.cadence_scan(bag, &self.scratch, stats);
         }
     }
 
@@ -358,7 +461,7 @@ impl QSenseHandle {
     fn manage_state(&mut self) {
         // Signal that this thread is active (and lift any eviction of this thread —
         // it holds no references here, so counting it again is safe).
-        self.record().mark_active(self.scheme.config.clock.now());
+        self.scheme.note_activity(self.record());
         match self.scheme.fallback.load() {
             Path::Fast => {
                 // Common case: run the fast path.
@@ -374,7 +477,7 @@ impl QSenseHandle {
                 // Try to switch back to the fast path if everyone (still counted) is
                 // active again.
                 if self.scheme.all_processes_active() && self.scheme.fallback.trigger_fast_path() {
-                    self.scheme.stats.add_fast_path_switch();
+                    self.stats().add_fast_path_switch();
                     // Start a fresh observation window for the next fallback episode.
                     self.scheme.reset_presence();
                     self.prev_seen_path = Path::Fast;
@@ -420,7 +523,7 @@ impl SmrHandle for QSenseHandle {
 
     unsafe fn retire(&mut self, ptr: *mut u8, drop_fn: DropFn) {
         // `free_node_later` (Algorithm 5, lines 36–61).
-        self.scheme.stats.add_retired(1);
+        self.stats().add_retired(1);
         let now = self.scheme.config.clock.now();
         let bucket = limbo_index(self.local_epoch);
         // Timestamps are recorded regardless of the current path (§5.2).
@@ -446,7 +549,7 @@ impl SmrHandle for QSenseHandle {
             // This thread's limbo list has grown past C: quiescence has not been
             // possible for a while, so trigger the switch to the fallback path.
             if self.scheme.fallback.trigger_fallback() {
-                self.scheme.stats.add_fallback_switch();
+                self.stats().add_fallback_switch();
                 self.scheme.reset_presence();
             }
             self.prev_seen_path = Path::Fallback;
@@ -485,8 +588,24 @@ impl Drop for QSenseHandle {
                 .unwrap_or_else(|e| e.into_inner())
                 .push(leftovers);
         }
+        // Refresh activity and lift any standing eviction *while still the slot
+        // owner* — the record must never be touched after `release`, because a
+        // successor thread may already own it (clearing a successor's eviction
+        // from here would let the fast path free nodes the successor still
+        // protects). The refreshed `last_active` also stops any evictor that has
+        // not yet passed its staleness check from flagging this slot during the
+        // remainder of the drop.
+        self.scheme.note_activity(self.record());
         // Leaving the system: this thread must stop blocking both the epoch advance
         // check and the all-processes-active check, which releasing the slot does.
+        //
+        // Residual window (benign): an evictor preempted between its staleness
+        // check and its flag CAS for the whole gap between the `note_activity`
+        // above and this release — and whose vacancy re-check also lands before
+        // the release — can leave the vacant slot flagged and counted. The state
+        // is conservative (fast-path frees fall back to the always-safe Cadence
+        // check) and heals at the slot's next registration, which `acquire`'s
+        // first-free-slot policy makes the earliest reuse target.
         self.scheme.registry.release(self.slot);
     }
 }
@@ -514,11 +633,25 @@ mod tests {
     }
 
     #[test]
+    fn mark_active_lifts_an_eviction_exactly_once() {
+        let record = QsenseRecord::new(1);
+        assert!(!record.mark_active(10), "no standing eviction to lift");
+        record.evicted.store(true, Ordering::Release);
+        assert!(record.is_evicted());
+        assert!(record.mark_active(20), "standing eviction must be lifted");
+        assert!(!record.is_evicted());
+        assert!(!record.mark_active(30), "second call has nothing to lift");
+        assert_eq!(record.last_active.load(Ordering::Acquire), 30);
+    }
+
+    #[test]
     fn scheme_starts_on_the_fast_path() {
         let scheme = QSense::new(SmrConfig::default().with_rooster_threads(0));
         assert_eq!(scheme.current_path(), Path::Fast);
         assert_eq!(scheme.name(), "qsense");
         assert_eq!(scheme.current_epoch(), 0);
+        assert_eq!(scheme.evicted_count(), 0);
+        assert!(!scheme.any_evicted());
     }
 
     #[test]
@@ -533,5 +666,59 @@ mod tests {
         scheme.reset_presence();
         assert!(!scheme.all_processes_active());
         drop(handles);
+    }
+
+    #[test]
+    fn eviction_counter_tracks_evict_and_lift() {
+        use reclaim_core::{Clock, ManualClock};
+        use std::time::Duration;
+        let manual = ManualClock::new();
+        let scheme = QSense::new(
+            SmrConfig::default()
+                .with_max_threads(2)
+                .with_rooster_threads(0)
+                .with_eviction_timeout(Some(Duration::from_millis(1)))
+                .with_clock(Clock::manual(manual.clone())),
+        );
+        let idle = scheme.register();
+        let active = scheme.register();
+        // Make the idle thread stale, refresh the active one.
+        manual.advance(Duration::from_millis(5));
+        scheme.note_activity(active.record());
+        assert_eq!(scheme.evict_unresponsive(), 1);
+        assert!(scheme.any_evicted());
+        assert_eq!(scheme.evicted_count(), 1);
+        // A second sweep finds nothing new.
+        assert_eq!(scheme.evict_unresponsive(), 0);
+        assert_eq!(scheme.evicted_count(), 1);
+        // The idle thread coming back lifts its own eviction.
+        scheme.note_activity(idle.record());
+        assert!(!scheme.any_evicted());
+        assert_eq!(scheme.evicted_count(), 0);
+        drop(idle);
+        drop(active);
+    }
+
+    #[test]
+    fn dropping_an_evicted_handle_balances_the_counter() {
+        use reclaim_core::{Clock, ManualClock};
+        use std::time::Duration;
+        let manual = ManualClock::new();
+        let scheme = QSense::new(
+            SmrConfig::default()
+                .with_max_threads(2)
+                .with_rooster_threads(0)
+                .with_eviction_timeout(Some(Duration::from_millis(1)))
+                .with_clock(Clock::manual(manual.clone())),
+        );
+        let idle = scheme.register();
+        let active = scheme.register();
+        manual.advance(Duration::from_millis(5));
+        scheme.note_activity(active.record());
+        assert_eq!(scheme.evict_unresponsive(), 1);
+        assert_eq!(scheme.evicted_count(), 1);
+        drop(idle);
+        assert_eq!(scheme.evicted_count(), 0, "drop must lift the eviction");
+        drop(active);
     }
 }

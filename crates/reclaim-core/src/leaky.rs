@@ -14,13 +14,16 @@
 use crate::config::SmrConfig;
 use crate::retired::{DropFn, RetiredBag, RetiredPtr};
 use crate::smr::{Smr, SmrHandle};
-use crate::stats::{SmrStats, StatsSnapshot};
+use crate::stats::{ShardedStats, StatsSnapshot};
 use std::sync::{Arc, Mutex};
 
 /// The no-reclamation scheme (paper: *None*).
 pub struct Leaky {
     config: SmrConfig,
-    stats: SmrStats,
+    /// Per-handle counter stripes: this is the throughput *baseline*, so its
+    /// `retire` accounting must not introduce the very cacheline contention the
+    /// other schemes are measured against.
+    stats: ShardedStats,
     /// Nodes retired by all threads, parked until the scheme is dropped.
     parked: Mutex<Vec<RetiredBag>>,
 }
@@ -28,9 +31,10 @@ pub struct Leaky {
 impl Leaky {
     /// Creates a leaky scheme instance.
     pub fn new(config: SmrConfig) -> Arc<Self> {
+        let stats = ShardedStats::new(config.max_threads);
         Arc::new(Self {
             config,
-            stats: SmrStats::new(),
+            stats,
             parked: Mutex::new(Vec::new()),
         })
     }
@@ -51,6 +55,7 @@ impl Smr for Leaky {
 
     fn register(self: &Arc<Self>) -> LeakyHandle {
         LeakyHandle {
+            stripe: self.stats.assign_stripe(),
             scheme: Arc::clone(self),
             bag: RetiredBag::new(),
         }
@@ -72,7 +77,7 @@ impl Drop for Leaky {
         let mut parked = self.parked.lock().unwrap_or_else(|e| e.into_inner());
         for mut bag in parked.drain(..) {
             let freed = unsafe { bag.reclaim_all() };
-            self.stats.add_freed(freed as u64);
+            self.stats.stripe(0).add_freed(freed as u64);
         }
     }
 }
@@ -80,6 +85,8 @@ impl Drop for Leaky {
 /// Per-thread handle for [`Leaky`].
 pub struct LeakyHandle {
     scheme: Arc<Leaky>,
+    /// Index of this handle's counter stripe in the scheme's [`ShardedStats`].
+    stripe: usize,
     bag: RetiredBag,
 }
 
@@ -93,7 +100,7 @@ impl SmrHandle for LeakyHandle {
     fn clear_protections(&mut self) {}
 
     unsafe fn retire(&mut self, ptr: *mut u8, drop_fn: DropFn) {
-        self.scheme.stats.add_retired(1);
+        self.scheme.stats.stripe(self.stripe).add_retired(1);
         let now = self.scheme.config.clock.now();
         // SAFETY: forwarded directly from the caller's contract.
         self.bag.push(unsafe { RetiredPtr::new(ptr, drop_fn, now) });

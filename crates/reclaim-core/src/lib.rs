@@ -11,7 +11,9 @@
 //!   prescribes (`manage_qsense_state`, `assign_HP`, `free_node_later`) plus the
 //!   plumbing a real library needs (registration, statistics, forced collection);
 //! * a [`registry::Registry`] of per-thread slots with interior-mutable per-thread
-//!   state that other threads may scan (hazard pointers, epochs, presence flags);
+//!   state that other threads may scan (hazard pointers, epochs, presence flags),
+//!   each slot carrying its own cache-padded statistics stripe
+//!   ([`stats::StatStripe`]) so hot-path counter updates never contend;
 //! * [`retired::RetiredBag`] / [`retired::RetiredPtr`] — timestamped retired-node
 //!   bookkeeping (the paper's `timestamped_node` wrapper, Algorithm 3);
 //! * a [`clock::Clock`] abstraction (real, monotonic nanoseconds) with a manually
@@ -25,6 +27,27 @@
 //!
 //! The data structures in `lockfree-ds` are generic over [`Smr`], so any scheme can be
 //! plugged into any structure exactly as in the paper's evaluation.
+//!
+//! ## Hot-path cost model
+//!
+//! The paper's thesis is that reclamation overhead on the *common path* must be near
+//! zero. This crate is therefore organized around an explicit cost budget: which
+//! work runs per operation, which runs once per `Q` operations, and which runs only
+//! per scan. Per-op work must touch only thread-private or single-writer
+//! cache-padded state; scans may sweep shared state but must not allocate.
+//!
+//! | frequency | work | shared-memory cost |
+//! |-----------|------|--------------------|
+//! | per op (`begin_op`) | a local counter bump (QSBR/QSense batching); a pin store (EBR only) | none (EBR: one release store to an owned padded line) |
+//! | per node traversed (`protect`) | hazard-pointer store (HP/Cadence/QSense) | one release store to an owned padded slot; classic HP adds the `SeqCst` fence the paper is about |
+//! | per `retire` | push into the thread-local [`retired::RetiredBag`], bump the slot's [`stats::StatStripe`], one acquire load of the fallback flag (QSense) | single-writer padded lines only — **no shared `fetch_add`** |
+//! | per `Q` ops (quiescent state) | epoch adoption (one release store) or a bounded epoch-confirmation poll (amortized O(1), see `qsbr::EpochCursor`); one eviction-counter load (QSense) | a handful of loads + at most one CAS |
+//! | per scan (every `R` retires) | snapshot all `N·K` hazard pointers into a **reusable** scratch buffer, in-place partition of the bag ([`retired::RetiredBag::reclaim_if`]) | O(N·K) loads, zero heap allocations in steady state |
+//! | per snapshot (`Smr::stats`) | sum all counter stripes | O(N) loads — diagnostic path, never on the hot path |
+//!
+//! Remaining known allocation sites are *off* the steady-state path: bag growth
+//! beyond its high-water mark, handle registration, and the parked-bag hand-off at
+//! handle drop (see ROADMAP "Open items").
 //!
 //! ## Pointer-level safety contract
 //!
@@ -51,6 +74,7 @@ pub mod membarrier;
 pub mod pad;
 pub mod registry;
 pub mod retired;
+pub mod scratch;
 pub mod smr;
 pub mod stats;
 
@@ -62,8 +86,9 @@ pub use leaky::{Leaky, LeakyHandle};
 pub use pad::CachePadded;
 pub use registry::{Registry, SlotId};
 pub use retired::{RetiredBag, RetiredPtr};
+pub use scratch::PtrScratch;
 pub use smr::{drop_fn_for, Smr, SmrHandle};
-pub use stats::SmrStats;
+pub use stats::{ShardedStats, StatStripe, StatsSnapshot};
 
 /// Convenience: retire a typed, heap-allocated (`Box`-originated) pointer through any
 /// [`SmrHandle`].

@@ -12,6 +12,7 @@
 //! while owners update their interiorly mutable fields (atomics).
 
 use crate::pad::CachePadded;
+use crate::stats::{StatStripe, StatsSnapshot};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -30,6 +31,11 @@ impl SlotId {
 struct Slot<T> {
     claimed: CachePadded<AtomicBool>,
     state: CachePadded<T>,
+    /// The slot owner's statistics stripe. Living next to the record the owner
+    /// already writes on its hot path, it turns the per-`retire` /
+    /// per-quiescent-state counter updates into single-writer traffic on a line no
+    /// other thread touches (scheme-wide snapshots sum the stripes lazily).
+    stats: CachePadded<StatStripe>,
 }
 
 /// Fixed-capacity registry of per-thread records.
@@ -45,6 +51,7 @@ impl<T> Registry<T> {
             .map(|i| Slot {
                 claimed: CachePadded::new(AtomicBool::new(false)),
                 state: CachePadded::new(init(i)),
+                stats: CachePadded::new(StatStripe::new()),
             })
             .collect::<Vec<_>>()
             .into_boxed_slice();
@@ -109,6 +116,41 @@ impl<T> Registry<T> {
     /// the typed id the owner holds).
     pub fn get_mine(&self, id: SlotId) -> &T {
         &self.slots[id.0].state
+    }
+
+    /// The statistics stripe owned by slot `id` — the counters a handle bumps on
+    /// its hot path (`retire`, quiescent states, scans).
+    #[inline]
+    pub fn stats(&self, id: SlotId) -> &StatStripe {
+        &self.slots[id.0].stats
+    }
+
+    /// Sums every slot's statistics stripe into `snap`. Stripes of released slots
+    /// are included: counts survive their writer's deregistration.
+    pub fn merge_stats(&self, snap: &mut StatsSnapshot) {
+        for slot in self.slots.iter() {
+            slot.stats.merge_into(snap);
+        }
+    }
+
+    /// Snapshots per-record pointer sets into `out` (cleared first), sorted and
+    /// deduplicated for binary search — the shared `get_protected_nodes` step of
+    /// every scanning scheme (HP, Cadence, QSense). `collect` appends one
+    /// record's published pointers to the buffer. All slots are visited, claimed
+    /// or not: unclaimed records hold null pointers, so including them is always
+    /// conservative. Allocation-free whenever `out` already has capacity for the
+    /// `N·K` worst case.
+    pub fn collect_protected(
+        &self,
+        out: &mut Vec<*mut u8>,
+        mut collect: impl FnMut(&T, &mut Vec<*mut u8>),
+    ) {
+        out.clear();
+        for slot in self.slots.iter() {
+            collect(&slot.state, out);
+        }
+        out.sort_unstable();
+        out.dedup();
     }
 
     /// Iterates over `(index, record)` for every slot, claimed or not.
@@ -208,5 +250,53 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _: Registry<u8> = Registry::new(0, |_| 0);
+    }
+
+    #[test]
+    fn per_slot_stats_merge_and_survive_release() {
+        let reg: Registry<AtomicUsize> = Registry::new(3, |_| AtomicUsize::new(0));
+        let a = reg.acquire().unwrap();
+        let b = reg.acquire().unwrap();
+        reg.stats(a).add_retired(5);
+        reg.stats(b).add_retired(2);
+        reg.stats(b).add_freed(1);
+        let mut snap = crate::stats::StatsSnapshot::default();
+        reg.merge_stats(&mut snap);
+        assert_eq!(snap.retired, 7);
+        assert_eq!(snap.freed, 1);
+        // Counts persist after the writer leaves.
+        reg.release(b);
+        let mut snap = crate::stats::StatsSnapshot::default();
+        reg.merge_stats(&mut snap);
+        assert_eq!(snap.retired, 7);
+        reg.release(a);
+    }
+
+    #[test]
+    fn concurrent_striped_registry_stats_lose_nothing() {
+        const THREADS: usize = 8;
+        const OPS: u64 = 5_000;
+        let reg: Arc<Registry<AtomicUsize>> =
+            Arc::new(Registry::new(THREADS, |_| AtomicUsize::new(0)));
+        let workers: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                thread::spawn(move || {
+                    let id = reg.acquire().expect("capacity matches thread count");
+                    for _ in 0..OPS {
+                        reg.stats(id).add_retired(1);
+                        reg.stats(id).add_freed(1);
+                    }
+                    reg.release(id);
+                })
+            })
+            .collect();
+        for t in workers {
+            t.join().unwrap();
+        }
+        let mut snap = crate::stats::StatsSnapshot::default();
+        reg.merge_stats(&mut snap);
+        assert_eq!(snap.retired, THREADS as u64 * OPS);
+        assert_eq!(snap.freed, THREADS as u64 * OPS);
     }
 }

@@ -130,22 +130,32 @@ impl RetiredBag {
     /// Reclaims every node for which `can_reclaim` returns true; nodes that are not
     /// yet safe remain in the bag. Returns the number of nodes reclaimed.
     ///
+    /// The partition is done in place with `swap_remove`, so a scan performs **zero
+    /// heap allocations** — this runs on every scheme's reclamation path, up to once
+    /// per `R` retires, and an earlier revision's drain-into-fresh-`Vec` approach
+    /// made every scan pay an allocation proportional to the bag size. The price is
+    /// that surviving nodes are reordered; no caller depends on bag order (nodes
+    /// carry their own timestamps, and scans match by address).
+    ///
     /// # Safety
     ///
     /// The predicate must only return `true` for nodes that no other thread can still
     /// access (retired in the paper's terminology).
     pub unsafe fn reclaim_if(&mut self, mut can_reclaim: impl FnMut(&RetiredPtr) -> bool) -> usize {
-        let mut kept = Vec::with_capacity(self.nodes.len());
         let mut freed = 0usize;
-        for node in self.nodes.drain(..) {
-            if can_reclaim(&node) {
-                node.reclaim();
+        let mut i = 0usize;
+        while i < self.nodes.len() {
+            if can_reclaim(&self.nodes[i]) {
+                let node = self.nodes.swap_remove(i);
+                // SAFETY: forwarded from the caller's contract on `can_reclaim`.
+                unsafe { node.reclaim() };
                 freed += 1;
+                // The node swapped into position `i` has not been examined yet; do
+                // not advance.
             } else {
-                kept.push(node);
+                i += 1;
             }
         }
-        self.nodes = kept;
         freed
     }
 
@@ -245,6 +255,53 @@ mod tests {
         let freed = unsafe { bag.reclaim_all() };
         assert_eq!(freed, 2);
         assert_eq!(counter.load(Ordering::SeqCst), 4);
+        assert!(bag.is_empty());
+    }
+
+    /// The in-place swap-remove partition reorders survivors; what must hold is
+    /// that exactly the matching nodes are freed and exactly the non-matching ones
+    /// survive, for every interleaving of keep/free positions.
+    #[test]
+    fn reclaim_if_outcome_is_independent_of_node_order() {
+        // Each mask bit selects which of 6 nodes are reclaimable this round.
+        for mask in 0u32..64 {
+            let counter = Arc::new(AtomicUsize::new(0));
+            let mut bag = RetiredBag::new();
+            for t in 0..6u64 {
+                bag.push(retire_counter(&counter, t));
+            }
+            let expected_freed = mask.count_ones() as usize;
+            let freed =
+                unsafe { bag.reclaim_if(|n| mask & (1 << n.retired_at()) != 0) };
+            assert_eq!(freed, expected_freed, "mask {mask:#b}");
+            assert_eq!(counter.load(Ordering::SeqCst), expected_freed);
+            assert_eq!(bag.len(), 6 - expected_freed);
+            // Every survivor is a non-matching node, each exactly once.
+            let mut survivors: Vec<u64> = bag.iter().map(RetiredPtr::retired_at).collect();
+            survivors.sort_unstable();
+            let expected: Vec<u64> =
+                (0..6).filter(|t| mask & (1 << t) == 0).collect();
+            assert_eq!(survivors, expected, "mask {mask:#b}");
+            unsafe { bag.reclaim_all() };
+        }
+    }
+
+    /// Steady-state scans must not allocate: repeated partitions of the same bag
+    /// never grow its backing storage.
+    #[test]
+    fn reclaim_if_never_grows_capacity() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut bag = RetiredBag::with_capacity(16);
+        for t in 0..16u64 {
+            bag.push(retire_counter(&counter, t));
+        }
+        let cap = bag.nodes.capacity();
+        for round in 0..8u64 {
+            // Free two nodes per round, keep the rest.
+            let freed = unsafe { bag.reclaim_if(|n| n.retired_at() / 2 == round) };
+            assert_eq!(freed, 2);
+            assert_eq!(bag.nodes.capacity(), cap, "scan reallocated the bag");
+        }
         assert!(bag.is_empty());
     }
 

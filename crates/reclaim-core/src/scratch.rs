@@ -1,0 +1,79 @@
+//! Reusable scan scratch space.
+//!
+//! Every scanning scheme snapshots the registry's hazard pointers into a
+//! per-handle buffer so steady-state scans allocate nothing. The buffer holds
+//! raw pointers, which would make any handle embedding a plain
+//! `Vec<*mut u8>` `!Send` — and a blanket `unsafe impl Send` on the *handle*
+//! would silently vouch for every other current and future field too.
+//! [`PtrScratch`] scopes the assertion to exactly the field it is true of.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// A reusable buffer of scanned pointer values (hazard-pointer snapshots).
+///
+/// The pointers are only a staging area during one scan: the buffer is
+/// logically empty between uses — cleared and rebuilt from shared state every
+/// time — so moving it between threads transfers no ownership or aliasing
+/// obligations.
+#[derive(Default)]
+pub struct PtrScratch {
+    buf: Vec<*mut u8>,
+}
+
+// SAFETY: see the type docs — the contained pointers are transient scan-time
+// copies with no ownership semantics; the buffer's contents are never read
+// across a use boundary.
+unsafe impl Send for PtrScratch {}
+
+impl PtrScratch {
+    /// Creates a scratch buffer pre-sized for `capacity` pointers (handles use
+    /// the `N·K` worst case so scans never reallocate).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+}
+
+impl Deref for PtrScratch {
+    type Target = Vec<*mut u8>;
+
+    fn deref(&self) -> &Vec<*mut u8> {
+        &self.buf
+    }
+}
+
+impl DerefMut for PtrScratch {
+    fn deref_mut(&mut self) -> &mut Vec<*mut u8> {
+        &mut self.buf
+    }
+}
+
+impl fmt::Debug for PtrScratch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PtrScratch")
+            .field("len", &self.buf.len())
+            .field("capacity", &self.buf.capacity())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_is_send_and_reusable() {
+        fn assert_send<T: Send>() {}
+        assert_send::<PtrScratch>();
+        let mut scratch = PtrScratch::with_capacity(8);
+        let cap = scratch.capacity();
+        scratch.push(0x10 as *mut u8);
+        scratch.clear();
+        scratch.extend([0x20 as *mut u8, 0x30 as *mut u8]);
+        assert_eq!(scratch.len(), 2);
+        assert_eq!(scratch.capacity(), cap, "reuse must not reallocate");
+        std::thread::spawn(move || drop(scratch)).join().unwrap();
+    }
+}

@@ -1,22 +1,42 @@
-//! Scheme statistics.
+//! Scheme statistics, sharded for hot-path scalability.
 //!
 //! Every scheme exposes the same counters so that the benchmark harness can report
 //! memory behaviour uniformly: how many nodes have been retired, how many actually
 //! freed, how many hazard-pointer scans and quiescent states were executed, how many
 //! memory fences were issued on the traversal path (the quantity the paper's whole
 //! design revolves around), and — for QSense — how often the system switched paths.
+//!
+//! ## Why stripes
+//!
+//! The counters are bumped on the *measured hot path*: every `retire` and every
+//! quiescent state touches them. An earlier revision kept seven unpadded `AtomicU64`s
+//! in one shared struct — one cache line that every worker thread `fetch_add`ed on
+//! every operation, i.e. a built-in contention floor of exactly the kind the paper's
+//! design (and DEBRA's / Hyaline's "keep bookkeeping per-thread") warns about. The
+//! counters now live in [`StatStripe`]s — one cache-padded stripe per writer — and
+//! are only summed when somebody asks for a [`StatsSnapshot`]. Writers touch their
+//! own line; readers pay O(#stripes) per snapshot, which is off the measured path.
+//!
+//! Registry-backed schemes (QSBR, EBR, HP, Cadence, QSense) keep one stripe per
+//! registry slot, co-located with the slot record the owning thread already writes
+//! (see [`crate::registry::Registry`]). Registry-less schemes (Leaky, RefCount) use
+//! a standalone [`ShardedStats`] and deal stripes out round-robin at registration.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::pad::CachePadded;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-/// Relaxed ordering is sufficient everywhere here: the counters are monotonic
-/// diagnostics, never used for synchronization decisions.
+/// Relaxed ordering is sufficient for most counters: they are monotonic
+/// diagnostics, never used for synchronization decisions. The exception is the
+/// `freed`/`retired` pair — see [`StatStripe::add_freed`].
 const R: Ordering = Ordering::Relaxed;
 
-/// Monotonic counters describing a scheme's reclamation activity.
+/// One cache-padded stripe of monotonic reclamation counters, written by a single
+/// logical owner (a registry slot or a round-robin shard) and summed lazily.
 ///
-/// All methods take `&self`; the struct is meant to be shared behind an `Arc`.
+/// All methods take `&self`; writes are single-writer in practice but remain safe
+/// under arbitrary sharing.
 #[derive(Debug, Default)]
-pub struct SmrStats {
+pub struct StatStripe {
     retired: AtomicU64,
     freed: AtomicU64,
     scans: AtomicU64,
@@ -26,7 +46,7 @@ pub struct SmrStats {
     fast_path_switches: AtomicU64,
 }
 
-/// A plain snapshot of [`SmrStats`] at one instant.
+/// A plain snapshot of a scheme's counters at one instant.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// Nodes handed to `retire` (the paper's `free_node_later`).
@@ -53,33 +73,44 @@ impl StatsSnapshot {
     }
 }
 
-impl SmrStats {
-    /// Creates zeroed counters.
+impl StatStripe {
+    /// Creates a zeroed stripe.
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Records `n` nodes retired.
+    #[inline]
     pub fn add_retired(&self, n: u64) {
         self.retired.fetch_add(n, R);
     }
 
     /// Records `n` nodes freed.
+    ///
+    /// The release ordering pairs with the acquire load in [`merge_into`]
+    /// (which reads `freed` *before* `retired`): any free observed by a snapshot
+    /// carries a happens-before edge to its own retire — a node is always retired
+    /// by its owner before that same owner frees it — so a snapshot can never
+    /// report `freed > retired`.
+    #[inline]
     pub fn add_freed(&self, n: u64) {
-        self.freed.fetch_add(n, R);
+        self.freed.fetch_add(n, Ordering::Release);
     }
 
     /// Records one hazard-pointer scan.
+    #[inline]
     pub fn add_scan(&self) {
         self.scans.fetch_add(1, R);
     }
 
     /// Records one quiescent state.
+    #[inline]
     pub fn add_quiescent_state(&self) {
         self.quiescent_states.fetch_add(1, R);
     }
 
     /// Records `n` traversal-path memory fences.
+    #[inline]
     pub fn add_traversal_fences(&self, n: u64) {
         self.traversal_fences.fetch_add(n, R);
     }
@@ -94,18 +125,88 @@ impl SmrStats {
         self.fast_path_switches.fetch_add(1, R);
     }
 
-    /// Takes a consistent-enough snapshot of all counters (each counter is read
-    /// atomically; the set is not a single atomic cut, which is fine for reporting).
+    /// Accumulates this stripe into `snap`.
+    ///
+    /// `freed` is read first (acquire): every free it observes happened-after the
+    /// matching retire on the same stripe, so the subsequent `retired` read is
+    /// guaranteed to include that retire. This keeps the aggregate
+    /// `retired >= freed` invariant visible to concurrent snapshots.
+    pub fn merge_into(&self, snap: &mut StatsSnapshot) {
+        snap.freed += self.freed.load(Ordering::Acquire);
+        snap.retired += self.retired.load(R);
+        snap.scans += self.scans.load(R);
+        snap.quiescent_states += self.quiescent_states.load(R);
+        snap.traversal_fences += self.traversal_fences.load(R);
+        snap.fallback_switches += self.fallback_switches.load(R);
+        snap.fast_path_switches += self.fast_path_switches.load(R);
+    }
+
+    /// Snapshot of this stripe alone (tests and diagnostics).
     pub fn snapshot(&self) -> StatsSnapshot {
-        StatsSnapshot {
-            retired: self.retired.load(R),
-            freed: self.freed.load(R),
-            scans: self.scans.load(R),
-            quiescent_states: self.quiescent_states.load(R),
-            traversal_fences: self.traversal_fences.load(R),
-            fallback_switches: self.fallback_switches.load(R),
-            fast_path_switches: self.fast_path_switches.load(R),
+        let mut snap = StatsSnapshot::default();
+        self.merge_into(&mut snap);
+        snap
+    }
+}
+
+/// Standalone sharded counters for schemes that have no slot registry (Leaky,
+/// RefCount): a fixed array of cache-padded stripes dealt out round-robin.
+///
+/// Registry-backed schemes should use the stripes embedded in
+/// [`crate::registry::Registry`] instead, which co-locates each stripe with the
+/// slot record its owner already touches.
+#[derive(Debug)]
+pub struct ShardedStats {
+    stripes: Box<[CachePadded<StatStripe>]>,
+    next: AtomicUsize,
+}
+
+impl ShardedStats {
+    /// Creates `shards` zeroed stripes (at least one).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            stripes: (0..shards)
+                .map(|_| CachePadded::new(StatStripe::new()))
+                .collect(),
+            next: AtomicUsize::new(0),
         }
+    }
+
+    /// Number of stripes.
+    pub fn shards(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// The stripe for shard `index`, which must be in range — handles pass the
+    /// index [`assign_stripe`](Self::assign_stripe) gave them. Direct indexing
+    /// (no modulo): this runs on every `retire` of the registry-less schemes,
+    /// including the Leaky throughput *baseline*, where even an integer division
+    /// would inflate the floor every overhead number is measured against.
+    #[inline]
+    pub fn stripe(&self, index: usize) -> &StatStripe {
+        &self.stripes[index]
+    }
+
+    /// Deals out the next stripe index round-robin. Handles grab one at
+    /// registration; two handles never share a line as long as no more handles
+    /// are **ever registered** than there are stripes (the counter does not
+    /// reclaim stripes of dropped handles, so under handle churn assignments
+    /// wrap and sharing — harmless but contended — can recur).
+    pub fn assign_stripe(&self) -> usize {
+        self.next.fetch_add(1, Ordering::Relaxed) % self.stripes.len()
+    }
+
+    /// Sums every stripe into one consistent-enough snapshot (each counter is read
+    /// atomically; the set is not a single atomic cut, which is fine for
+    /// reporting — except `retired >= freed`, which *is* guaranteed; see
+    /// [`StatStripe::add_freed`]).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut snap = StatsSnapshot::default();
+        for stripe in self.stripes.iter() {
+            stripe.merge_into(&mut snap);
+        }
+        snap
     }
 }
 
@@ -116,8 +217,8 @@ mod tests {
     use std::thread;
 
     #[test]
-    fn counters_accumulate() {
-        let stats = SmrStats::new();
+    fn stripe_counters_accumulate() {
+        let stats = StatStripe::new();
         stats.add_retired(10);
         stats.add_freed(4);
         stats.add_scan();
@@ -148,25 +249,93 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_updates_are_not_lost() {
-        let stats = Arc::new(SmrStats::new());
-        let threads: Vec<_> = (0..4)
+    fn sharded_snapshot_merges_all_stripes() {
+        let stats = ShardedStats::new(4);
+        for i in 0..4 {
+            stats.stripe(i).add_retired(i as u64 + 1);
+        }
+        stats.stripe(0).add_freed(1);
+        let snap = stats.snapshot();
+        assert_eq!(snap.retired, 1 + 2 + 3 + 4);
+        assert_eq!(snap.freed, 1);
+    }
+
+    #[test]
+    fn stripe_assignment_round_robins() {
+        let stats = ShardedStats::new(3);
+        let dealt: Vec<_> = (0..6).map(|_| stats.assign_stripe()).collect();
+        assert_eq!(dealt, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let stats = ShardedStats::new(0);
+        assert_eq!(stats.shards(), 1);
+        stats.stripe(stats.assign_stripe()).add_retired(1);
+        assert_eq!(stats.snapshot().retired, 1);
+    }
+
+    /// Satellite requirement: concurrent updates across stripes must never lose
+    /// counts — the whole point of striping is to decontend, not to approximate.
+    #[test]
+    fn concurrent_striped_updates_are_not_lost() {
+        const THREADS: usize = 8;
+        const OPS: u64 = 10_000;
+        let stats = Arc::new(ShardedStats::new(THREADS));
+        let workers: Vec<_> = (0..THREADS)
             .map(|_| {
                 let stats = Arc::clone(&stats);
                 thread::spawn(move || {
-                    for _ in 0..1000 {
-                        stats.add_retired(1);
-                        stats.add_freed(1);
+                    let shard = stats.assign_stripe();
+                    for _ in 0..OPS {
+                        stats.stripe(shard).add_retired(1);
+                        stats.stripe(shard).add_freed(1);
+                        stats.stripe(shard).add_quiescent_state();
                     }
                 })
             })
             .collect();
-        for t in threads {
+        for t in workers {
             t.join().unwrap();
         }
         let snap = stats.snapshot();
-        assert_eq!(snap.retired, 4000);
-        assert_eq!(snap.freed, 4000);
+        assert_eq!(snap.retired, THREADS as u64 * OPS);
+        assert_eq!(snap.freed, THREADS as u64 * OPS);
+        assert_eq!(snap.quiescent_states, THREADS as u64 * OPS);
         assert_eq!(snap.in_limbo(), 0);
+    }
+
+    /// Satellite requirement: a snapshot taken at any instant, concurrent with
+    /// writers that always retire before freeing, must report `retired >= freed`.
+    #[test]
+    fn snapshot_never_reports_more_freed_than_retired() {
+        use std::sync::atomic::AtomicBool;
+        let stats = Arc::new(ShardedStats::new(4));
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..4)
+            .map(|shard| {
+                let stats = Arc::clone(&stats);
+                let stop = Arc::clone(&stop);
+                thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        stats.stripe(shard).add_retired(1);
+                        stats.stripe(shard).add_freed(1);
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..20_000 {
+            let snap = stats.snapshot();
+            assert!(
+                snap.retired >= snap.freed,
+                "snapshot tore: retired {} < freed {}",
+                snap.retired,
+                snap.freed
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+        for t in writers {
+            t.join().unwrap();
+        }
     }
 }

@@ -2,8 +2,8 @@
 
 use crate::table::{CountTable, DEFAULT_BUCKETS};
 use reclaim_core::retired::DropFn;
-use reclaim_core::stats::StatsSnapshot;
-use reclaim_core::{RetiredBag, RetiredPtr, Smr, SmrConfig, SmrHandle, SmrStats};
+use reclaim_core::stats::{StatStripe, StatsSnapshot};
+use reclaim_core::{RetiredBag, RetiredPtr, ShardedStats, Smr, SmrConfig, SmrHandle};
 use std::sync::{Arc, Mutex};
 
 /// Reference-counting reclamation (the paper's related-work baseline, §8
@@ -18,7 +18,9 @@ use std::sync::{Arc, Mutex};
 /// techniques on read-mostly workloads.
 pub struct RefCount {
     config: SmrConfig,
-    stats: SmrStats,
+    /// Per-handle counter stripes (RefCount has no slot registry, so stripes are
+    /// dealt out round-robin at registration).
+    stats: ShardedStats,
     table: CountTable,
     /// Retired nodes left behind by exiting threads while still referenced; freed
     /// when the scheme drops.
@@ -34,9 +36,10 @@ impl RefCount {
     /// Creates a scheme with an explicit counter-table size (tests use small tables
     /// to exercise collisions).
     pub fn with_buckets(config: SmrConfig, buckets: usize) -> Arc<Self> {
+        let stats = ShardedStats::new(config.max_threads);
         Arc::new(Self {
             config,
-            stats: SmrStats::new(),
+            stats,
             table: CountTable::new(buckets),
             parked: Mutex::new(Vec::new()),
         })
@@ -58,9 +61,9 @@ impl RefCount {
     }
 
     /// Frees every node in `bag` whose counter bucket is currently zero. Returns the
-    /// number of nodes freed.
-    fn scan(&self, bag: &mut RetiredBag) -> usize {
-        self.stats.add_scan();
+    /// number of nodes freed; counters go to `stats` (the calling handle's stripe).
+    fn scan_into(&self, bag: &mut RetiredBag, stats: &StatStripe) -> usize {
+        stats.add_scan();
         // SAFETY: a retired node is already unlinked. If its counter bucket is zero
         // then no thread currently announces a reference that could cover it; a
         // thread announcing a reference *after* this load must re-validate the node's
@@ -71,7 +74,7 @@ impl RefCount {
         // bucket is non-zero" in place of "a hazard pointer matches".
         let freed =
             unsafe { bag.reclaim_if(|node| self.table.is_unreferenced(node.addr())) };
-        self.stats.add_freed(freed as u64);
+        stats.add_freed(freed as u64);
         freed
     }
 }
@@ -81,6 +84,7 @@ impl Smr for RefCount {
 
     fn register(self: &Arc<Self>) -> RefCountHandle {
         RefCountHandle {
+            stripe: self.stats.assign_stripe(),
             scheme: Arc::clone(self),
             slots: vec![std::ptr::null_mut(); self.config.hp_per_thread],
             retired: RetiredBag::with_capacity(self.config.scan_threshold + 1),
@@ -103,7 +107,7 @@ impl Drop for RefCount {
         let mut parked = self.parked.lock().unwrap_or_else(|e| e.into_inner());
         for mut bag in parked.drain(..) {
             let freed = unsafe { bag.reclaim_all() };
-            self.stats.add_freed(freed as u64);
+            self.stats.stripe(0).add_freed(freed as u64);
         }
     }
 }
@@ -111,6 +115,8 @@ impl Drop for RefCount {
 /// Per-thread handle for [`RefCount`].
 pub struct RefCountHandle {
     scheme: Arc<RefCount>,
+    /// Index of this handle's counter stripe in the scheme's [`ShardedStats`].
+    stripe: usize,
     /// The pointer currently announced through each protection slot (so the matching
     /// decrement can be issued when the slot is overwritten or cleared).
     slots: Vec<*mut u8>,
@@ -124,6 +130,15 @@ pub struct RefCountHandle {
 unsafe impl Send for RefCountHandle {}
 
 impl RefCountHandle {
+    fn stats(&self) -> &StatStripe {
+        self.scheme.stats.stripe(self.stripe)
+    }
+
+    fn scan(&mut self) {
+        self.scheme
+            .scan_into(&mut self.retired, self.scheme.stats.stripe(self.stripe));
+    }
+
     fn release_slot(&mut self, index: usize) {
         let old = self.slots[index];
         if !old.is_null() {
@@ -174,20 +189,20 @@ impl SmrHandle for RefCountHandle {
     }
 
     unsafe fn retire(&mut self, ptr: *mut u8, drop_fn: DropFn) {
-        self.scheme.stats.add_retired(1);
+        self.stats().add_retired(1);
         let now = self.scheme.config.clock.now();
         // SAFETY: forwarded from the caller's contract.
         self.retired.push(unsafe { RetiredPtr::new(ptr, drop_fn, now) });
         self.since_last_scan += 1;
         if self.since_last_scan >= self.scheme.config.scan_threshold {
             self.since_last_scan = 0;
-            self.scheme.scan(&mut self.retired);
+            self.scan();
         }
     }
 
     fn flush(&mut self) {
         self.since_last_scan = 0;
-        self.scheme.scan(&mut self.retired);
+        self.scan();
     }
 
     fn local_in_limbo(&self) -> usize {
@@ -198,7 +213,7 @@ impl SmrHandle for RefCountHandle {
 impl Drop for RefCountHandle {
     fn drop(&mut self) {
         self.clear_protections();
-        self.scheme.scan(&mut self.retired);
+        self.scan();
         if !self.retired.is_empty() {
             let mut moved = RetiredBag::new();
             moved.append(&mut self.retired);

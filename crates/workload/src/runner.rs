@@ -124,7 +124,7 @@ pub fn run_experiment(experiment: &Experiment) -> RunResult {
     let threads = (*threads).max(1);
 
     // Pre-fill to half the key range, as in the paper.
-    let prefill = OpGenerator::prefill_keys(spec, 0xC0FF_EE);
+    let prefill = OpGenerator::prefill_keys(spec, 0x00C0_FFEE);
     set.prefill(&prefill);
 
     let stop = Arc::new(AtomicBool::new(false));

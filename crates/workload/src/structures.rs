@@ -99,6 +99,10 @@ pub trait BenchSet: Send + Sync {
     fn prefill(&self, keys: &[u64]);
     /// Number of elements (quiescent-only; used to sanity-check experiments).
     fn len(&self) -> usize;
+    /// True when the set holds no elements (quiescent-only).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
     /// Reclamation counters of the underlying scheme.
     fn smr_stats(&self) -> StatsSnapshot;
     /// Scheme name ("none", "qsbr", "hp", "cadence", "qsense").

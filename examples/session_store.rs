@@ -100,7 +100,7 @@ fn main() {
                 while !stop.load(Ordering::Relaxed) {
                     state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
                     let user_id = (state >> 33) % user_space;
-                    if state % 2 == 0 {
+                    if state.is_multiple_of(2) {
                         let session = Session {
                             user_id,
                             login_at_ms: started.elapsed().as_millis() as u64,

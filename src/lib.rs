@@ -42,8 +42,8 @@ pub mod smr {
     pub use qsbr::{Qsbr, QsbrHandle};
     pub use qsense::{Path, QSense, QSenseHandle};
     pub use reclaim_core::{
-        retire_box, Clock, CountingAllocator, Leaky, LeakyHandle, ManualClock, Smr, SmrConfig,
-        SmrHandle, SmrStats,
+        retire_box, Clock, CountingAllocator, Leaky, LeakyHandle, ManualClock, ShardedStats, Smr,
+        SmrConfig, SmrHandle, StatStripe,
     };
     pub use reclaim_core::stats::StatsSnapshot;
     pub use refcount::{RefCount, RefCountHandle};

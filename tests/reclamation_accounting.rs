@@ -144,7 +144,7 @@ fn skiplist_accounting_under_qsense() {
                         let value = (state >> 33) % 128;
                         let key = CountedKey::new(value, &drops);
                         created.fetch_add(1, Ordering::SeqCst);
-                        if state % 2 == 0 {
+                        if state.is_multiple_of(2) {
                             set.insert(key, &mut handle);
                         } else {
                             set.remove(&key, &mut handle);
@@ -201,7 +201,7 @@ fn bst_accounting_is_exact_without_contention_and_safe_with_it() {
                 for _ in 0..3_000 {
                     state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
                     let key = (state >> 33) % 64;
-                    if state % 2 == 0 {
+                    if state.is_multiple_of(2) {
                         bst.insert(key, &mut handle);
                     } else {
                         bst.remove(&key, &mut handle);
