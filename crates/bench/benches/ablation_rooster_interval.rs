@@ -15,7 +15,9 @@ use workload::{
 fn main() {
     let threads = 4;
     let spec = WorkloadSpec::new(Structure::List.default_key_range(), OpMix::updates_50());
-    println!("Ablation A1: Cadence rooster interval sweep, linked list, {threads} threads, 50% updates");
+    println!(
+        "Ablation A1: Cadence rooster interval sweep, linked list, {threads} threads, 50% updates"
+    );
     report::section("rooster interval T -> throughput / unreclaimed tail");
     for interval_ms in [1_u64, 5, 20, 50, 100] {
         let config = workload::default_bench_config(threads + 2)

@@ -44,8 +44,14 @@ fn main() {
     );
 
     for (label, mix) in [
-        ("10% updates (read-mostly, the regime that punishes per-node costs)", OpMix::updates_10()),
-        ("50% updates (the paper's Figure 5 mix)", OpMix::updates_50()),
+        (
+            "10% updates (read-mostly, the regime that punishes per-node costs)",
+            OpMix::updates_10(),
+        ),
+        (
+            "50% updates (the paper's Figure 5 mix)",
+            OpMix::updates_50(),
+        ),
     ] {
         report::section(label);
         let spec = WorkloadSpec::new(Structure::List.default_key_range(), mix);

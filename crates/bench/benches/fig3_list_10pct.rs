@@ -4,18 +4,27 @@
 //!
 //! Expected shape (paper): None ≥ QSense ≫ HP, with QSense two to three times the
 //! throughput of HP.
+//!
+//! Besides the text table, the run emits **`BENCH_fig3_list.json`** in the
+//! workspace root so the figure's numbers are tracked across revisions alongside
+//! `BENCH_overhead.json`.
 
-use bench::{fig3_schemes, run_series, thread_counts};
-use workload::{report, Structure, WorkloadSpec};
+use bench::{fig3_schemes, run_and_emit_series, thread_counts};
+use workload::{Structure, WorkloadSpec};
 
 fn main() {
     let spec = WorkloadSpec::fig3_list();
-    println!("Figure 3: linked list, {} keys, 10% updates, threads = {:?}", spec.key_range, thread_counts());
-
-    let baseline = run_series(Structure::List, bench::fig3_schemes()[0], spec);
-    report::print_series("none (leaky baseline)", &baseline, None);
-    for scheme in &fig3_schemes()[1..] {
-        let series = run_series(Structure::List, *scheme, spec);
-        report::print_series(scheme.name(), &series, Some(&baseline));
-    }
+    println!(
+        "Figure 3: linked list, {} keys, 10% updates, threads = {:?}",
+        spec.key_range,
+        thread_counts()
+    );
+    run_and_emit_series(
+        Structure::List,
+        &fig3_schemes(),
+        spec,
+        "BENCH_fig3_list.json",
+        "fig3_list_10pct",
+        "cargo bench -p bench --bench fig3_list_10pct",
+    );
 }

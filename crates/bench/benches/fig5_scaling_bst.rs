@@ -4,9 +4,12 @@
 //!
 //! Expected shape (paper): same ordering as the other structures; the BST uses 6
 //! hazard pointers and short (logarithmic) traversals.
+//!
+//! Besides the text table, the run emits **`BENCH_fig5_scaling_bst.json`** in
+//! the workspace root so the figure's numbers are tracked across revisions.
 
-use bench::{fig5_schemes, key_range, run_series, thread_counts};
-use workload::{report, OpMix, Structure, WorkloadSpec};
+use bench::{fig5_schemes, key_range, run_and_emit_series, thread_counts};
+use workload::{OpMix, Structure, WorkloadSpec};
 
 fn main() {
     let spec = WorkloadSpec::new(key_range(Structure::Bst), OpMix::updates_50());
@@ -15,10 +18,12 @@ fn main() {
         spec.key_range,
         thread_counts()
     );
-    let baseline = run_series(Structure::Bst, fig5_schemes()[0], spec);
-    report::print_series("none (leaky baseline)", &baseline, None);
-    for scheme in &fig5_schemes()[1..] {
-        let series = run_series(Structure::Bst, *scheme, spec);
-        report::print_series(scheme.name(), &series, Some(&baseline));
-    }
+    run_and_emit_series(
+        Structure::Bst,
+        &fig5_schemes(),
+        spec,
+        "BENCH_fig5_scaling_bst.json",
+        "fig5_scaling_bst",
+        "cargo bench -p bench --bench fig5_scaling_bst",
+    );
 }

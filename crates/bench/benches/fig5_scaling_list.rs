@@ -3,9 +3,12 @@
 //!
 //! Expected shape (paper): QSBR within a few percent of None, QSense ~29% below
 //! None, HP far below everything (≈80% overhead).
+//!
+//! Besides the text table, the run emits **`BENCH_fig5_scaling_list.json`** in
+//! the workspace root so the figure's numbers are tracked across revisions.
 
-use bench::{fig5_schemes, run_series, thread_counts};
-use workload::{report, Structure, WorkloadSpec};
+use bench::{fig5_schemes, run_and_emit_series, thread_counts};
+use workload::{Structure, WorkloadSpec};
 
 fn main() {
     let spec = WorkloadSpec::fig5_scaling(Structure::List);
@@ -14,10 +17,12 @@ fn main() {
         spec.key_range,
         thread_counts()
     );
-    let baseline = run_series(Structure::List, fig5_schemes()[0], spec);
-    report::print_series("none (leaky baseline)", &baseline, None);
-    for scheme in &fig5_schemes()[1..] {
-        let series = run_series(Structure::List, *scheme, spec);
-        report::print_series(scheme.name(), &series, Some(&baseline));
-    }
+    run_and_emit_series(
+        Structure::List,
+        &fig5_schemes(),
+        spec,
+        "BENCH_fig5_scaling_list.json",
+        "fig5_scaling_list",
+        "cargo bench -p bench --bench fig5_scaling_list",
+    );
 }

@@ -3,9 +3,12 @@
 //!
 //! Expected shape (paper): as for the list, but with a larger gap between QSBR and
 //! QSense because the skip list maintains up to 35 hazard pointers per thread.
+//!
+//! Besides the text table, the run emits **`BENCH_fig5_scaling_skiplist.json`**
+//! in the workspace root so the figure's numbers are tracked across revisions.
 
-use bench::{fig5_schemes, key_range, run_series, thread_counts};
-use workload::{report, OpMix, Structure, WorkloadSpec};
+use bench::{fig5_schemes, key_range, run_and_emit_series, thread_counts};
+use workload::{OpMix, Structure, WorkloadSpec};
 
 fn main() {
     let spec = WorkloadSpec::new(key_range(Structure::SkipList), OpMix::updates_50());
@@ -14,10 +17,12 @@ fn main() {
         spec.key_range,
         thread_counts()
     );
-    let baseline = run_series(Structure::SkipList, fig5_schemes()[0], spec);
-    report::print_series("none (leaky baseline)", &baseline, None);
-    for scheme in &fig5_schemes()[1..] {
-        let series = run_series(Structure::SkipList, *scheme, spec);
-        report::print_series(scheme.name(), &series, Some(&baseline));
-    }
+    run_and_emit_series(
+        Structure::SkipList,
+        &fig5_schemes(),
+        spec,
+        "BENCH_fig5_scaling_skiplist.json",
+        "fig5_scaling_skiplist",
+        "cargo bench -p bench --bench fig5_scaling_skiplist",
+    );
 }

@@ -24,6 +24,7 @@
 //! then show negative "overhead". Treat multi-thread overhead-vs-none as a
 //! conservative bound; the single-thread column is the clean comparison.
 
+use bench::json::{self, JsonObject};
 use bench::point_seconds;
 use reclaim_core::{retire_box, Smr, SmrConfig, SmrHandle};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -144,41 +145,38 @@ fn baseline_ns(entries: &[Entry], threads: usize) -> Option<f64> {
         .map(|e| e.retire_ns)
 }
 
-fn json_escape_free(value: f64) -> String {
-    if value.is_finite() {
-        format!("{value:.2}")
-    } else {
-        "null".to_string()
-    }
-}
-
-fn write_json(entries: &[Entry], path: &str) -> std::io::Result<()> {
-    let mut rows = Vec::with_capacity(entries.len());
-    for e in entries {
-        let overhead = baseline_ns(entries, e.threads)
-            .filter(|base| *base > 0.0)
-            .map(|base| (e.retire_ns / base - 1.0) * 100.0);
-        rows.push(format!(
-            "    {{\"scheme\": \"{}\", \"threads\": {}, \"retire_ns_per_op\": {}, \"quiescent_state_ns_per_op\": {}, \"retire_overhead_vs_none_pct\": {}}}",
-            e.scheme,
-            e.threads,
-            json_escape_free(e.retire_ns),
-            json_escape_free(e.boundary_ns),
-            overhead.map_or("null".to_string(), |v| format!("{v:.1}")),
-        ));
-    }
+fn write_json(entries: &[Entry], path: &std::path::Path) -> std::io::Result<()> {
+    let rows: Vec<JsonObject> = entries
+        .iter()
+        .map(|e| {
+            let overhead = baseline_ns(entries, e.threads)
+                .filter(|base| *base > 0.0)
+                .map(|base| (e.retire_ns / base - 1.0) * 100.0);
+            JsonObject::new()
+                .str_field("scheme", e.scheme)
+                .int_field("threads", e.threads as u64)
+                .num_field("retire_ns_per_op", e.retire_ns, 2)
+                .num_field("quiescent_state_ns_per_op", e.boundary_ns, 2)
+                .opt_num_field("retire_overhead_vs_none_pct", overhead, 1)
+        })
+        .collect();
     let threads_list = THREAD_COUNTS
         .iter()
         .map(|t| t.to_string())
         .collect::<Vec<_>>()
         .join(", ");
-    let json = format!(
-        "{{\n  \"bench\": \"overhead_summary\",\n  \"command\": \"cargo bench -p bench --bench overhead_summary\",\n  \"point_seconds\": {},\n  \"threads\": [{}],\n  \"unit\": \"nanoseconds per operation\",\n  \"results\": [\n{}\n  ]\n}}\n",
-        point_seconds(),
-        threads_list,
-        rows.join(",\n")
-    );
-    std::fs::write(path, json)
+    let meta = [
+        ("point_seconds", format!("{}", point_seconds())),
+        ("threads", format!("[{threads_list}]")),
+        ("unit", "\"nanoseconds per operation\"".to_string()),
+    ];
+    json::write_report(
+        path,
+        "overhead_summary",
+        "cargo bench -p bench --bench overhead_summary",
+        &meta,
+        &rows,
+    )
 }
 
 fn main() {
@@ -203,11 +201,19 @@ fn main() {
     }
 
     let mut entries = Vec::new();
-    run_scheme("none", |t| reclaim_core::Leaky::new(config(t)), &mut entries);
+    run_scheme(
+        "none",
+        |t| reclaim_core::Leaky::new(config(t)),
+        &mut entries,
+    );
     run_scheme("qsbr", |t| qsbr::Qsbr::new(config(t)), &mut entries);
     run_scheme("ebr", |t| ebr::Ebr::new(config(t)), &mut entries);
     run_scheme("hp", |t| hazard::Hazard::new(config(t)), &mut entries);
-    run_scheme("cadence", |t| cadence::Cadence::new(config(t)), &mut entries);
+    run_scheme(
+        "cadence",
+        |t| cadence::Cadence::new(config(t)),
+        &mut entries,
+    );
     run_scheme("qsense", |t| qsense::QSense::new(config(t)), &mut entries);
     run_scheme("rc", |t| refcount::RefCount::new(config(t)), &mut entries);
 
@@ -225,17 +231,11 @@ fn main() {
 
     // Default to the workspace root regardless of the bench's working directory
     // (cargo runs benches with CWD = the package directory).
-    let path = std::env::var("QSENSE_BENCH_OUT").unwrap_or_else(|_| {
-        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-            .ancestors()
-            .nth(2)
-            .expect("bench crate lives two levels below the workspace root")
-            .join("BENCH_overhead.json")
-            .to_string_lossy()
-            .into_owned()
-    });
+    let path = std::env::var("QSENSE_BENCH_OUT")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| json::workspace_file("BENCH_overhead.json"));
     match write_json(&entries, &path) {
-        Ok(()) => println!("wrote {path}"),
-        Err(err) => eprintln!("failed to write {path}: {err}"),
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(err) => eprintln!("failed to write {}: {err}", path.display()),
     }
 }

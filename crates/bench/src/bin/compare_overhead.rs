@@ -1,0 +1,83 @@
+//! CI regression gate over `BENCH_overhead.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench --bin compare_overhead -- \
+//!     BENCH_overhead.json BENCH_overhead.fresh.json [--max-ratio 3.0]
+//! ```
+//!
+//! Compares every `(scheme, threads)` point's `retire_ns_per_op` in the fresh
+//! report against the checked-in baseline and exits nonzero when any point
+//! regressed by more than the given ratio (default 3x — wide enough for shared
+//! CI runners, tight enough to catch an accidental O(n) on the retire path).
+
+use bench::json::{compare_overhead, parse_rows};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: compare_overhead <baseline.json> <fresh.json> [--max-ratio <ratio>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut max_ratio = 3.0f64;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--max-ratio" {
+            match iter.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(r) if r > 0.0 => max_ratio = r,
+                _ => return usage(),
+            }
+        } else {
+            paths.push(arg.clone());
+        }
+    }
+    let [baseline_path, fresh_path] = paths.as_slice() else {
+        return usage();
+    };
+
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(contents) => Some(contents),
+        Err(err) => {
+            eprintln!("compare_overhead: cannot read {path}: {err}");
+            None
+        }
+    };
+    let (Some(baseline_json), Some(fresh_json)) = (read(baseline_path), read(fresh_path)) else {
+        return ExitCode::from(2);
+    };
+
+    let baseline = parse_rows(&baseline_json);
+    let fresh = parse_rows(&fresh_json);
+    if baseline.is_empty() || fresh.is_empty() {
+        eprintln!(
+            "compare_overhead: no result rows parsed (baseline: {}, fresh: {})",
+            baseline.len(),
+            fresh.len()
+        );
+        return ExitCode::from(2);
+    }
+    println!(
+        "comparing {} fresh points against {} baseline points (max ratio {max_ratio}x)",
+        fresh.len(),
+        baseline.len()
+    );
+
+    let regressions = compare_overhead(&baseline, &fresh, max_ratio);
+    if regressions.is_empty() {
+        println!("OK: no retire-path point regressed beyond {max_ratio}x");
+        ExitCode::SUCCESS
+    } else {
+        for regression in &regressions {
+            eprintln!("REGRESSION: {regression}");
+        }
+        eprintln!(
+            "{} point(s) regressed beyond {max_ratio}x",
+            regressions.len()
+        );
+        ExitCode::FAILURE
+    }
+}

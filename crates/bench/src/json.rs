@@ -1,0 +1,332 @@
+//! Minimal JSON emission and parsing for the `BENCH_*.json` reports.
+//!
+//! The offline build has no `serde`, and the reports are flat (one object with
+//! scalar metadata plus an array of flat result rows), so this module hand-rolls
+//! exactly that shape. Every benchmark that emits a JSON report goes through
+//! [`write_report`] so the envelope (`bench`, `command`, metadata, `results`)
+//! stays uniform across `BENCH_overhead.json`, `BENCH_fig3_list.json` and the
+//! `BENCH_fig5_scaling_*.json` family — and so the CI regression gate
+//! ([`parse_rows`] / `compare_overhead` in the `compare_overhead` binary) can
+//! parse any of them with one scanner.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Builder for one flat JSON object (a result row), preserving field order.
+#[derive(Default)]
+pub struct JsonObject {
+    parts: Vec<String>,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a string field (the value is assumed not to need escaping — scheme
+    /// and structure names are ASCII identifiers).
+    pub fn str_field(mut self, key: &str, value: &str) -> Self {
+        self.parts.push(format!("\"{key}\": \"{value}\""));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int_field(mut self, key: &str, value: u64) -> Self {
+        self.parts.push(format!("\"{key}\": {value}"));
+        self
+    }
+
+    /// Adds a fixed-precision numeric field; non-finite values become `null`.
+    pub fn num_field(mut self, key: &str, value: f64, decimals: usize) -> Self {
+        let rendered = if value.is_finite() {
+            format!("{value:.decimals$}")
+        } else {
+            "null".to_string()
+        };
+        self.parts.push(format!("\"{key}\": {rendered}"));
+        self
+    }
+
+    /// Adds a numeric field that may be absent (`null`).
+    pub fn opt_num_field(self, key: &str, value: Option<f64>, decimals: usize) -> Self {
+        match value {
+            Some(v) => self.num_field(key, v, decimals),
+            None => {
+                let mut this = self;
+                this.parts.push(format!("\"{key}\": null"));
+                this
+            }
+        }
+    }
+
+    /// Renders the object on one line (the row style the reports use).
+    pub fn render(&self) -> String {
+        format!("{{{}}}", self.parts.join(", "))
+    }
+}
+
+/// Writes one benchmark report: the standard envelope, caller-supplied metadata
+/// (values are raw JSON fragments, e.g. `"0.3"` or `"[1, 4, 8]"`), and the
+/// result rows.
+pub fn write_report(
+    path: &Path,
+    bench: &str,
+    command: &str,
+    meta: &[(&str, String)],
+    results: &[JsonObject],
+) -> io::Result<()> {
+    let mut lines = Vec::with_capacity(meta.len() + 2);
+    lines.push(format!("  \"bench\": \"{bench}\""));
+    lines.push(format!("  \"command\": \"{command}\""));
+    for (key, value) in meta {
+        lines.push(format!("  \"{key}\": {value}"));
+    }
+    let rows = results
+        .iter()
+        .map(|r| format!("    {}", r.render()))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n{},\n  \"results\": [\n{}\n  ]\n}}\n",
+        lines.join(",\n"),
+        rows
+    );
+    std::fs::write(path, json)
+}
+
+/// Resolves `file_name` against the workspace root, regardless of the working
+/// directory cargo runs the bench with (CWD = the package directory).
+pub fn workspace_file(file_name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate lives two levels below the workspace root")
+        .join(file_name)
+}
+
+/// One parsed result row: the string fields and numeric fields that appeared in
+/// it, in no particular order. Field lookup is by key.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParsedRow {
+    strings: Vec<(String, String)>,
+    numbers: Vec<(String, f64)>,
+}
+
+impl ParsedRow {
+    /// The row's value for a string field, if present.
+    pub fn str_value(&self, key: &str) -> Option<&str> {
+        self.strings
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The row's value for a numeric field, if present and non-null.
+    pub fn num_value(&self, key: &str) -> Option<f64> {
+        self.numbers.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+    }
+}
+
+/// Parses the `results` rows out of a report written by [`write_report`] (or the
+/// checked-in baselines, which share the shape): every `{...}` object that
+/// contains a `"scheme"` field. Tolerant of whitespace and field order; null
+/// fields are simply absent from the parsed row.
+pub fn parse_rows(json: &str) -> Vec<ParsedRow> {
+    let mut rows = Vec::new();
+    for fragment in json.split('{').skip(1) {
+        let Some(end) = fragment.find('}') else {
+            continue;
+        };
+        let body = &fragment[..end];
+        if !body.contains("\"scheme\"") {
+            continue;
+        }
+        let mut row = ParsedRow::default();
+        for field in body.split(',') {
+            let Some((key, value)) = field.split_once(':') else {
+                continue;
+            };
+            let key = key.trim().trim_matches('"').to_string();
+            let value = value.trim();
+            if let Some(stripped) = value.strip_prefix('"') {
+                row.strings
+                    .push((key, stripped.trim_end_matches('"').to_string()));
+            } else if let Ok(num) = value.parse::<f64>() {
+                row.numbers.push((key, num));
+            }
+        }
+        rows.push(row);
+    }
+    rows
+}
+
+/// One regression found by [`compare_overhead`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Scheme name of the regressed point.
+    pub scheme: String,
+    /// Thread count of the regressed point.
+    pub threads: u64,
+    /// Baseline ns/op.
+    pub baseline_ns: f64,
+    /// Fresh ns/op.
+    pub fresh_ns: f64,
+    /// `fresh / baseline`.
+    pub ratio: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} @ {} thread(s): retire {:.1} ns/op vs baseline {:.1} ns/op ({:.2}x)",
+            self.scheme, self.threads, self.fresh_ns, self.baseline_ns, self.ratio
+        )
+    }
+}
+
+/// Compares a fresh overhead report against the checked-in baseline: every
+/// `(scheme, threads)` point present in both is a regression when its fresh
+/// `retire_ns_per_op` exceeds `max_ratio` times the baseline value. Points
+/// missing from either side are ignored (the gate catches regressions, not
+/// matrix changes — those show up in review).
+pub fn compare_overhead(
+    baseline: &[ParsedRow],
+    fresh: &[ParsedRow],
+    max_ratio: f64,
+) -> Vec<Regression> {
+    let mut regressions = Vec::new();
+    for base in baseline {
+        let (Some(scheme), Some(threads), Some(base_ns)) = (
+            base.str_value("scheme"),
+            base.num_value("threads"),
+            base.num_value("retire_ns_per_op"),
+        ) else {
+            continue;
+        };
+        if base_ns <= 0.0 {
+            continue;
+        }
+        let fresh_ns = fresh.iter().find_map(|row| {
+            (row.str_value("scheme") == Some(scheme) && row.num_value("threads") == Some(threads))
+                .then(|| row.num_value("retire_ns_per_op"))
+                .flatten()
+        });
+        if let Some(fresh_ns) = fresh_ns {
+            let ratio = fresh_ns / base_ns;
+            if ratio > max_ratio {
+                regressions.push(Regression {
+                    scheme: scheme.to_string(),
+                    threads: threads as u64,
+                    baseline_ns: base_ns,
+                    fresh_ns,
+                    ratio,
+                });
+            }
+        }
+    }
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(rows: &[(&str, u64, f64)]) -> String {
+        let objects: Vec<JsonObject> = rows
+            .iter()
+            .map(|(scheme, threads, ns)| {
+                JsonObject::new()
+                    .str_field("scheme", scheme)
+                    .int_field("threads", *threads)
+                    .num_field("retire_ns_per_op", *ns, 2)
+                    .opt_num_field("retire_overhead_vs_none_pct", None, 1)
+            })
+            .collect();
+        let mut lines = vec![
+            "  \"bench\": \"overhead_summary\"".to_string(),
+            "  \"command\": \"cargo bench\"".to_string(),
+        ];
+        lines.push("  \"unit\": \"nanoseconds per operation\"".to_string());
+        format!(
+            "{{\n{},\n  \"results\": [\n{}\n  ]\n}}\n",
+            lines.join(",\n"),
+            objects
+                .iter()
+                .map(|o| format!("    {}", o.render()))
+                .collect::<Vec<_>>()
+                .join(",\n")
+        )
+    }
+
+    #[test]
+    fn object_renders_in_field_order_with_null_for_non_finite() {
+        let row = JsonObject::new()
+            .str_field("scheme", "qsbr")
+            .int_field("threads", 4)
+            .num_field("retire_ns_per_op", 12.345, 2)
+            .num_field("bad", f64::NAN, 2)
+            .opt_num_field("missing", None, 1);
+        assert_eq!(
+            row.render(),
+            "{\"scheme\": \"qsbr\", \"threads\": 4, \"retire_ns_per_op\": 12.35, \
+             \"bad\": null, \"missing\": null}"
+        );
+    }
+
+    #[test]
+    fn parse_rows_round_trips_written_rows() {
+        let json = report(&[("none", 1, 91.52), ("qsbr", 8, 729.21)]);
+        let rows = parse_rows(&json);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].str_value("scheme"), Some("none"));
+        assert_eq!(rows[0].num_value("threads"), Some(1.0));
+        assert_eq!(rows[1].num_value("retire_ns_per_op"), Some(729.21));
+        assert_eq!(
+            rows[1].num_value("retire_overhead_vs_none_pct"),
+            None,
+            "null is absent"
+        );
+    }
+
+    #[test]
+    fn parse_rows_reads_the_checked_in_baseline_shape() {
+        let json = r#"{
+  "bench": "overhead_summary",
+  "results": [
+    {"scheme": "ebr", "threads": 8, "retire_ns_per_op": 14796.77, "quiescent_state_ns_per_op": 170.22, "retire_overhead_vs_none_pct": 1349.1}
+  ]
+}"#;
+        let rows = parse_rows(json);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].str_value("scheme"), Some("ebr"));
+        assert_eq!(rows[0].num_value("retire_ns_per_op"), Some(14796.77));
+    }
+
+    #[test]
+    fn compare_flags_only_points_beyond_the_ratio() {
+        let baseline = parse_rows(&report(&[("hp", 1, 100.0), ("hp", 8, 600.0)]));
+        let fresh = parse_rows(&report(&[("hp", 1, 250.0), ("hp", 8, 2000.0)]));
+        let regressions = compare_overhead(&baseline, &fresh, 3.0);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].scheme, "hp");
+        assert_eq!(regressions[0].threads, 8);
+        assert!((regressions[0].ratio - 2000.0 / 600.0).abs() < 1e-9);
+        assert!(regressions[0].to_string().contains("hp @ 8 thread(s)"));
+    }
+
+    #[test]
+    fn compare_ignores_points_missing_from_either_side() {
+        let baseline = parse_rows(&report(&[("hp", 1, 100.0), ("rc", 4, 100.0)]));
+        let fresh = parse_rows(&report(&[("hp", 1, 100.0)]));
+        assert!(compare_overhead(&baseline, &fresh, 3.0).is_empty());
+    }
+
+    #[test]
+    fn workspace_file_targets_the_repo_root() {
+        let path = workspace_file("BENCH_test.json");
+        assert!(path.ends_with("BENCH_test.json"));
+        assert!(path.parent().unwrap().join("Cargo.toml").exists());
+    }
+}

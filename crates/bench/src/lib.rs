@@ -11,6 +11,7 @@
 //! | variable | default | meaning |
 //! |----------|---------|---------|
 //! | `QSENSE_BENCH_SECONDS` | `0.3` | measured seconds per data point |
+//! | `BENCH_POINT_SECONDS` | — | alias for `QSENSE_BENCH_SECONDS` (lower precedence); used by the CI bench-smoke job |
 //! | `QSENSE_BENCH_THREADS` | `1,2,4,8` | thread counts for the scalability sweeps |
 //! | `QSENSE_BENCH_DELAY_SECONDS` | `8` | run length of each delay-timeline series |
 //! | `QSENSE_BENCH_FULL` | unset | set to `1` to use the paper's full parameters (32 threads, 100 s timelines, 2 000 000-key BST) |
@@ -21,15 +22,19 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
+
 use std::time::Duration;
 use workload::{
-    default_bench_config, make_set, run_experiment, DelaySchedule, Experiment, RunResult,
+    default_bench_config, make_set, report, run_experiment, DelaySchedule, Experiment, RunResult,
     SchemeKind, Structure, WorkloadSpec,
 };
 
-/// Seconds of measurement per data point.
+/// Seconds of measurement per data point. `QSENSE_BENCH_SECONDS` wins;
+/// `BENCH_POINT_SECONDS` is the alias the CI bench-smoke job sets.
 pub fn point_seconds() -> f64 {
     std::env::var("QSENSE_BENCH_SECONDS")
+        .or_else(|_| std::env::var("BENCH_POINT_SECONDS"))
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(0.3)
@@ -37,7 +42,9 @@ pub fn point_seconds() -> f64 {
 
 /// Whether the full paper-scale parameters were requested.
 pub fn full_scale() -> bool {
-    std::env::var("QSENSE_BENCH_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("QSENSE_BENCH_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Thread counts for the scalability sweeps.
@@ -108,11 +115,7 @@ pub fn run_series(structure: Structure, scheme: SchemeKind, spec: WorkloadSpec) 
 /// thread periodically delayed, throughput sampled over time. QSBR runs get an
 /// unreclaimed-memory cap so that "runs out of memory and eventually fails" shows up
 /// as an abort marker instead of taking the harness down.
-pub fn run_delay_timeline(
-    structure: Structure,
-    scheme: SchemeKind,
-    threads: usize,
-) -> RunResult {
+pub fn run_delay_timeline(structure: Structure, scheme: SchemeKind, threads: usize) -> RunResult {
     let spec = WorkloadSpec::new(key_range(structure), workload::OpMix::updates_50());
     let run_secs = delay_run_seconds();
     // The paper delays one process for 10 s out of every 20 s of a 100 s run; the
@@ -138,6 +141,88 @@ pub fn run_delay_timeline(
         },
     };
     run_experiment(&experiment)
+}
+
+/// Emits one scalability report (`file_name` in the workspace root) from a set
+/// of per-scheme series: one row per `(scheme, threads)` point with throughput,
+/// overhead vs. the `"none"` series (when present) and the end-of-run in-limbo
+/// count. This is the JSON twin of `report::print_series`, shared by the fig3
+/// and fig5 benches so their emitters stay in lockstep with
+/// `BENCH_overhead.json`'s envelope.
+pub fn write_series_json(
+    file_name: &str,
+    bench_name: &str,
+    command: &str,
+    structure: Structure,
+    series: &[(&str, Vec<RunResult>)],
+) {
+    let baseline = series
+        .iter()
+        .find(|(name, _)| *name == "none")
+        .map(|(_, runs)| runs.as_slice());
+    let mut rows = Vec::new();
+    for (name, runs) in series {
+        for run in runs {
+            let overhead = baseline
+                .and_then(|base| base.iter().find(|b| b.threads == run.threads))
+                .map(RunResult::mops)
+                .filter(|base_mops| *base_mops > 0.0 && *name != "none")
+                .map(|base_mops| (1.0 - run.mops() / base_mops) * 100.0);
+            rows.push(
+                json::JsonObject::new()
+                    .str_field("scheme", name)
+                    .str_field("structure", &run.structure)
+                    .int_field("threads", run.threads as u64)
+                    .num_field("mops_per_sec", run.mops(), 4)
+                    .opt_num_field("overhead_vs_none_pct", overhead, 1)
+                    .int_field("in_limbo_at_end", run.stats.in_limbo()),
+            );
+        }
+    }
+    let threads_list = thread_counts()
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let meta = [
+        ("point_seconds", format!("{}", point_seconds())),
+        ("threads", format!("[{threads_list}]")),
+        ("structure", format!("\"{}\"", structure.name())),
+        ("unit", "\"million operations per second\"".to_string()),
+    ];
+    let path = json::workspace_file(file_name);
+    match json::write_report(&path, bench_name, command, &meta, &rows) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(err) => eprintln!("failed to write {}: {err}", path.display()),
+    }
+}
+
+/// Runs a whole scalability comparison — a baseline-first scheme list over the
+/// configured thread sweep — printing each series as it lands and emitting the
+/// JSON report at the end. This is the entire body the fig3/fig5 benches share;
+/// `schemes[0]` must be the leaky baseline.
+pub fn run_and_emit_series(
+    structure: Structure,
+    schemes: &[SchemeKind],
+    spec: WorkloadSpec,
+    file_name: &str,
+    bench_name: &str,
+    command: &str,
+) {
+    assert_eq!(
+        schemes[0],
+        SchemeKind::None,
+        "the first scheme is the baseline"
+    );
+    let baseline = run_series(structure, schemes[0], spec);
+    report::print_series("none (leaky baseline)", &baseline, None);
+    let mut series = vec![(schemes[0].name(), baseline)];
+    for scheme in &schemes[1..] {
+        let runs = run_series(structure, *scheme, spec);
+        report::print_series(scheme.name(), &runs, Some(&series[0].1));
+        series.push((scheme.name(), runs));
+    }
+    write_series_json(file_name, bench_name, command, structure, &series);
 }
 
 /// The schemes compared in Figure 3 (None, QSense, HP).

@@ -51,7 +51,10 @@ mod tests {
 
     /// A Cadence instance driven by a manual clock and without real rooster threads,
     /// so tests control the passage of time deterministically.
-    fn manual_cadence(manual: &ManualClock, extra: impl FnOnce(SmrConfig) -> SmrConfig) -> Arc<Cadence> {
+    fn manual_cadence(
+        manual: &ManualClock,
+        extra: impl FnOnce(SmrConfig) -> SmrConfig,
+    ) -> Arc<Cadence> {
         let config = SmrConfig::default()
             .with_clock(Clock::manual(manual.clone()))
             .with_rooster_threads(0)
@@ -91,7 +94,11 @@ mod tests {
         unsafe { retire_box(&mut owner, ptr) };
         manual.advance(Duration::from_millis(100));
         owner.flush();
-        assert_eq!(drops.load(Ordering::SeqCst), 0, "hazard pointer must still protect");
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            0,
+            "hazard pointer must still protect"
+        );
         reader.clear_protections();
         owner.flush();
         assert_eq!(drops.load(Ordering::SeqCst), 1);

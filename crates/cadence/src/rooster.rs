@@ -141,7 +141,11 @@ mod tests {
     fn roosters_wake_up_and_count() {
         let rooster = Rooster::spawn(2, Duration::from_millis(2), false);
         std::thread::sleep(Duration::from_millis(30));
-        assert!(rooster.wakeup_count() >= 4, "wakeups = {}", rooster.wakeup_count());
+        assert!(
+            rooster.wakeup_count() >= 4,
+            "wakeups = {}",
+            rooster.wakeup_count()
+        );
         assert_eq!(rooster.thread_count(), 2);
         assert_eq!(rooster.interval(), Duration::from_millis(2));
     }

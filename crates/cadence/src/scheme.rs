@@ -4,8 +4,8 @@ use crate::rooster::Rooster;
 use reclaim_core::retired::DropFn;
 use reclaim_core::stats::{StatStripe, StatsSnapshot};
 use reclaim_core::{
-    membarrier, CachePadded, PtrScratch, Registry, RetiredBag, RetiredPtr, SlotId, Smr, SmrConfig,
-    SmrHandle,
+    membarrier, CachePadded, ParkedChain, PtrScratch, Registry, RetiredPtr, SegBag, SegPool,
+    SlotId, Smr, SmrConfig, SmrHandle,
 };
 use std::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::{Arc, Mutex};
@@ -59,7 +59,9 @@ pub struct Cadence {
     /// Counter stripe for events with no owning slot (parked-bag frees at drop).
     scheme_stats: CachePadded<StatStripe>,
     rooster: Mutex<Rooster>,
-    parked: Mutex<Vec<RetiredBag>>,
+    /// Leftovers of exited threads: dying handles park, the next surviving
+    /// handle to flush adopts, and scheme drop drains (see [`ParkedChain`]).
+    parked: ParkedChain,
 }
 
 impl Cadence {
@@ -78,7 +80,7 @@ impl Cadence {
             registry,
             scheme_stats: CachePadded::new(StatStripe::new()),
             rooster: Mutex::new(rooster),
-            parked: Mutex::new(Vec::new()),
+            parked: ParkedChain::new(),
         })
     }
 
@@ -104,14 +106,21 @@ impl Cadence {
     /// reusable scratch buffer sized at registration (`N·K` entries, the maximum
     /// possible), so steady-state scans never allocate.
     fn collect_protected(&self, out: &mut Vec<*mut u8>) {
-        self.registry.collect_protected(out, CadenceRecord::collect_into);
+        self.registry
+            .collect_protected(out, CadenceRecord::collect_into);
     }
 
     /// The paper's `scan` (Algorithm 3, lines 14–33): free retired nodes that are
     /// both *old enough* (deferred reclamation) and not covered by any hazard
     /// pointer; keep the rest for a later scan. Counters go to `stats` (the
-    /// calling handle's stripe).
-    fn scan_into(&self, bag: &mut RetiredBag, scratch: &mut Vec<*mut u8>, stats: &StatStripe) -> usize {
+    /// calling handle's stripe); drained segments return to `pool`.
+    fn scan_into(
+        &self,
+        bag: &mut SegBag,
+        pool: &mut SegPool,
+        scratch: &mut Vec<*mut u8>,
+        stats: &StatStripe,
+    ) -> usize {
         stats.add_scan();
         self.collect_protected(scratch);
         let protected: &[*mut u8] = scratch;
@@ -123,11 +132,17 @@ impl Cadence {
         // was still reachable, i.e. before it was retired) is visible to this scan.
         // If the snapshot does not contain the node, no thread holds a hazardous
         // reference to it and freeing is safe.
+        //
+        // The walk stops at the first too-young node: the bag is pushed in
+        // retirement order, so everything behind it is younger still — the scan
+        // is O(aged prefix), not O(bag). (Adopted parked chains spliced behind
+        // younger nodes are only delayed by this, never endangered.)
         let freed = unsafe {
-            bag.reclaim_if(|node| {
-                node.is_old_enough(now, min_age)
-                    && protected.binary_search(&node.addr()).is_err()
-            })
+            bag.reclaim_if_while(
+                pool,
+                |node| node.is_old_enough(now, min_age),
+                |node| protected.binary_search(&node.addr()).is_err(),
+            )
         };
         stats.add_freed(freed as u64);
         freed
@@ -153,7 +168,11 @@ impl Smr for Cadence {
         CadenceHandle {
             scheme: Arc::clone(self),
             slot,
-            retired: RetiredBag::with_capacity(self.config.scan_threshold + 1),
+            retired: SegBag::new(),
+            // Pre-warm for the scan threshold (capped: a test-sized huge `R` must
+            // not balloon registration) so even the first bag fill recycles
+            // instead of allocating; recycling covers everything after that.
+            pool: SegPool::with_node_capacity((self.config.scan_threshold + 1).min(2048)),
             scratch: PtrScratch::with_capacity(self.config.max_threads * self.config.hp_per_thread),
             since_last_scan: 0,
         }
@@ -177,11 +196,9 @@ impl Drop for Cadence {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .shutdown();
-        let mut parked = self.parked.lock().unwrap_or_else(|e| e.into_inner());
-        for mut bag in parked.drain(..) {
-            let freed = unsafe { bag.reclaim_all() };
-            self.scheme_stats.add_freed(freed as u64);
-        }
+        // No handles remain, so nothing can reference a parked node.
+        let freed = unsafe { self.parked.drain_all() };
+        self.scheme_stats.add_freed(freed as u64);
     }
 }
 
@@ -189,7 +206,10 @@ impl Drop for Cadence {
 pub struct CadenceHandle {
     scheme: Arc<Cadence>,
     slot: SlotId,
-    retired: RetiredBag,
+    retired: SegBag,
+    /// Recycled segments backing `retired`, pre-warmed for the scan threshold so
+    /// even the first bag fill never allocates.
+    pool: SegPool,
     /// Reusable buffer for hazard-pointer snapshots, sized for the worst case
     /// (`N·K` pointers) at registration so scans are allocation-free.
     scratch: PtrScratch,
@@ -208,6 +228,7 @@ impl CadenceHandle {
     fn scan(&mut self) {
         self.scheme.scan_into(
             &mut self.retired,
+            &mut self.pool,
             &mut self.scratch,
             self.scheme.registry.stats(self.slot),
         );
@@ -239,7 +260,9 @@ impl SmrHandle for CadenceHandle {
         // `time_created` on the wrapper node.
         let now = self.scheme.config.clock.now();
         // SAFETY: forwarded from the caller's contract.
-        self.retired.push(unsafe { RetiredPtr::new(ptr, drop_fn, now) });
+        self.retired.push(&mut self.pool, unsafe {
+            RetiredPtr::new(ptr, drop_fn, now)
+        });
         self.since_last_scan += 1;
         if self.since_last_scan >= self.scheme.config.scan_threshold {
             self.since_last_scan = 0;
@@ -248,6 +271,8 @@ impl SmrHandle for CadenceHandle {
     }
 
     fn flush(&mut self) {
+        // Adopt leftovers of exited threads so they rejoin the scan cycle.
+        self.scheme.parked.adopt_into(&mut self.retired);
         self.since_last_scan = 0;
         self.scan();
     }
@@ -261,15 +286,9 @@ impl Drop for CadenceHandle {
     fn drop(&mut self) {
         self.record().clear_all();
         self.scan();
-        if !self.retired.is_empty() {
-            let mut moved = RetiredBag::new();
-            moved.append(&mut self.retired);
-            self.scheme
-                .parked
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .push(moved);
-        }
+        // O(1) chain splice; adopted by the next flushing handle or freed at
+        // scheme drop.
+        self.scheme.parked.park(&mut self.retired);
         self.scheme.registry.release(self.slot);
     }
 }

@@ -227,25 +227,39 @@ mod tests {
         assert!(!options.inject_delay);
         assert!(!options.timeline);
         assert!(!options.help);
-        assert_eq!(options.effective_key_range(), Structure::List.default_key_range());
+        assert_eq!(
+            options.effective_key_range(),
+            Structure::List.default_key_range()
+        );
     }
 
     #[test]
     fn every_flag_is_recognized() {
         let options = parse(&[
-            "--structure", "hashmap",
-            "--scheme", "all",
-            "--threads", "8",
-            "--duration", "0.5",
-            "--updates", "10",
-            "--key-range", "5000",
+            "--structure",
+            "hashmap",
+            "--scheme",
+            "all",
+            "--threads",
+            "8",
+            "--duration",
+            "0.5",
+            "--updates",
+            "10",
+            "--key-range",
+            "5000",
             "--delay",
             "--timeline",
-            "--quiescence", "32",
-            "--scan", "64",
-            "--fallback", "1024",
-            "--rooster-ms", "5",
-            "--eviction-ms", "100",
+            "--quiescence",
+            "32",
+            "--scan",
+            "64",
+            "--fallback",
+            "1024",
+            "--rooster-ms",
+            "5",
+            "--eviction-ms",
+            "100",
         ])
         .unwrap();
         assert_eq!(options.structure, Structure::HashMap);
@@ -270,8 +284,18 @@ mod tests {
             parse(&["--scheme", "rc"]).unwrap().schemes.schemes(),
             vec![SchemeKind::RefCount]
         );
-        assert_eq!(parse(&["--scheme", "paper"]).unwrap().schemes.schemes().len(), 5);
-        assert_eq!(parse(&["--scheme", "all"]).unwrap().schemes.schemes().len(), 7);
+        assert_eq!(
+            parse(&["--scheme", "paper"])
+                .unwrap()
+                .schemes
+                .schemes()
+                .len(),
+            5
+        );
+        assert_eq!(
+            parse(&["--scheme", "all"]).unwrap().schemes.schemes().len(),
+            7
+        );
     }
 
     #[test]
@@ -286,13 +310,27 @@ mod tests {
 
     #[test]
     fn errors_are_reported_with_context() {
-        assert!(parse(&["--structure", "btree"]).unwrap_err().contains("unknown structure"));
-        assert!(parse(&["--scheme", "gc"]).unwrap_err().contains("unknown scheme"));
-        assert!(parse(&["--threads"]).unwrap_err().contains("expects a value"));
-        assert!(parse(&["--threads", "zero"]).unwrap_err().contains("expects a number"));
-        assert!(parse(&["--threads", "0"]).unwrap_err().contains("at least 1"));
-        assert!(parse(&["--updates", "150"]).unwrap_err().contains("between 0 and 100"));
-        assert!(parse(&["--frobnicate"]).unwrap_err().contains("unknown flag"));
+        assert!(parse(&["--structure", "btree"])
+            .unwrap_err()
+            .contains("unknown structure"));
+        assert!(parse(&["--scheme", "gc"])
+            .unwrap_err()
+            .contains("unknown scheme"));
+        assert!(parse(&["--threads"])
+            .unwrap_err()
+            .contains("expects a value"));
+        assert!(parse(&["--threads", "zero"])
+            .unwrap_err()
+            .contains("expects a number"));
+        assert!(parse(&["--threads", "0"])
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse(&["--updates", "150"])
+            .unwrap_err()
+            .contains("between 0 and 100"));
+        assert!(parse(&["--frobnicate"])
+            .unwrap_err()
+            .contains("unknown flag"));
     }
 
     #[test]

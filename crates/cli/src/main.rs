@@ -63,7 +63,9 @@ fn run_one(options: &CliOptions, scheme: SchemeKind) -> RunResult {
         spec,
         threads: options.threads,
         duration: options.duration,
-        delay: options.inject_delay.then(|| DelaySchedule::paper_scaled(run_secs / 100.0)),
+        delay: options
+            .inject_delay
+            .then(|| DelaySchedule::paper_scaled(run_secs / 100.0)),
         sample_interval: options
             .timeline
             .then(|| Duration::from_secs_f64((run_secs / 40.0).max(0.05))),
@@ -120,8 +122,10 @@ fn main() {
             result.stats.fallback_switches,
             result.stats.fast_path_switches,
         );
-        if matches!(options.schemes, SchemeSelection::Paper | SchemeSelection::All)
-            && scheme == SchemeKind::None
+        if matches!(
+            options.schemes,
+            SchemeSelection::Paper | SchemeSelection::All
+        ) && scheme == SchemeKind::None
         {
             baseline_mops = Some(result.mops());
         }

@@ -119,10 +119,18 @@ mod tests {
             worker.end_op();
             // worker drops here with its nodes still too young to free
         }
-        assert_eq!(drops.load(Ordering::SeqCst), 0, "nothing freed while blocked");
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            0,
+            "nothing freed while blocked"
+        );
         blocker.end_op();
         drop(blocker);
         drop(scheme);
-        assert_eq!(drops.load(Ordering::SeqCst), 10, "scheme drop releases parked nodes");
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            10,
+            "scheme drop releases parked nodes"
+        );
     }
 }

@@ -77,7 +77,10 @@ mod tests {
         assert!(!r.is_pinned());
         assert_eq!(r.epoch(), 0);
         assert!(r.permits_advance_from(0));
-        assert!(r.permits_advance_from(17), "an unpinned thread never blocks");
+        assert!(
+            r.permits_advance_from(17),
+            "an unpinned thread never blocks"
+        );
     }
 
     #[test]
@@ -87,7 +90,10 @@ mod tests {
         assert!(r.is_pinned());
         assert_eq!(r.epoch(), 4);
         assert!(r.permits_advance_from(4));
-        assert!(!r.permits_advance_from(5), "a pinned thread at an older epoch blocks");
+        assert!(
+            !r.permits_advance_from(5),
+            "a pinned thread at an older epoch blocks"
+        );
         r.unpin();
         assert!(!r.is_pinned());
         assert!(r.permits_advance_from(5));

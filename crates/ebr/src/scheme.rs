@@ -5,14 +5,29 @@ use qsbr::GlobalEpoch;
 use reclaim_core::retired::DropFn;
 use reclaim_core::stats::{StatStripe, StatsSnapshot};
 use reclaim_core::{
-    CachePadded, Registry, RetiredBag, RetiredPtr, SlotId, Smr, SmrConfig, SmrHandle,
+    CachePadded, ParkedChain, Registry, RetiredPtr, SegBag, SegPool, SlotId, Smr, SmrConfig,
+    SmrHandle,
 };
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// A retired node may be freed once the global epoch has advanced this many times
-/// past the epoch in which it was retired: by then every thread that was pinned when
-/// the node was unlinked has unpinned at least once, dropping its references.
-const SAFE_EPOCH_GAP: u64 = 2;
+/// past its **pin-time** tag. Three, not the classic two, because the tag is the
+/// epoch the retirer observed when it *pinned*, which can lag the global epoch at
+/// unlink time by one: a node tagged `T` may have been unlinked while the global
+/// was already `T + 1`, and a reader that pinned at `T + 1` before the unlink can
+/// hold a reference without ever blocking the advances to `T + 2` (a pin at `p`
+/// only blocks advancement beyond `p + 1`). Only once the global reaches
+/// `T + 3 >= p + 2` for every possible reader pin `p <= T + 1` is each such
+/// reader guaranteed to have unpinned since the unlink. (A gap of 2 is sound
+/// only for tags taken from a fresh global load *at retire time*, which is the
+/// shared load per retire this design removes.)
+const SAFE_EPOCH_GAP: u64 = 3;
+
+/// Number of per-epoch limbo chains a handle keeps. Nodes tagged with epoch `e`
+/// land in chain `e % LIMBO_BUCKETS`; two tags can collide in a bucket only when
+/// they differ by at least `LIMBO_BUCKETS > SAFE_EPOCH_GAP` epochs, by which time
+/// the older tag's nodes are reclaimable wholesale (see `EbrHandle::retire`).
+const LIMBO_BUCKETS: usize = SAFE_EPOCH_GAP as usize + 1;
 
 /// Epoch-based reclamation with per-operation pinning (the classic epoch scheme of
 /// the paper's related work, [13, 14] — Fraser's technique, the one crossbeam-epoch
@@ -37,8 +52,10 @@ pub struct Ebr {
     /// parked-bag frees at drop).
     scheme_stats: CachePadded<StatStripe>,
     /// Limbo leftovers of threads that deregistered before their nodes became
-    /// reclaimable; freed when the scheme drops.
-    parked: Mutex<Vec<RetiredBag>>,
+    /// reclaimable: the next surviving handle to flush adopts the chain into its
+    /// current-epoch bucket, so the nodes are freed after an ordinary grace
+    /// period instead of waiting for scheme drop (see [`ParkedChain`]).
+    parked: ParkedChain,
 }
 
 impl Ebr {
@@ -50,7 +67,7 @@ impl Ebr {
             global_epoch: GlobalEpoch::new(),
             registry,
             scheme_stats: CachePadded::new(StatStripe::new()),
-            parked: Mutex::new(Vec::new()),
+            parked: ParkedChain::new(),
         })
     }
 
@@ -99,7 +116,13 @@ impl Smr for Ebr {
         EbrHandle {
             scheme: Arc::clone(self),
             slot,
-            limbo: Vec::new(),
+            limbo: std::array::from_fn(|_| EpochChain {
+                epoch: 0,
+                bag: SegBag::new(),
+            }),
+            pool: SegPool::new(),
+            pin_epoch: self.global_epoch.load(),
+            pinned: false,
             retires_since_advance: 0,
         }
     }
@@ -119,21 +142,51 @@ impl Smr for Ebr {
 impl Drop for Ebr {
     fn drop(&mut self) {
         // All handles are gone, so nobody can hold a reference to any parked node.
-        let mut parked = self.parked.lock().unwrap_or_else(|e| e.into_inner());
-        for mut bag in parked.drain(..) {
-            let freed = unsafe { bag.reclaim_all() };
-            self.scheme_stats.add_freed(freed as u64);
-        }
+        let freed = unsafe { self.parked.drain_all() };
+        self.scheme_stats.add_freed(freed as u64);
     }
 }
 
+/// One per-epoch limbo chain: every node in `bag` was retired while the owner
+/// was pinned at `epoch`, so the whole chain becomes reclaimable at once when
+/// `global >= epoch + SAFE_EPOCH_GAP` — no per-node examination needed.
+struct EpochChain {
+    epoch: u64,
+    bag: SegBag,
+}
+
 /// Per-thread handle for [`Ebr`].
+///
+/// The limbo state is the heart of EBR's retire-path cost model. A previous
+/// revision kept one flat `Vec<(epoch, node)>` and re-examined *every* entry on
+/// *every* pin; whenever the epoch stalled (one preempted thread suffices — the
+/// single-CPU pathology behind the 8-thread retire blowup in
+/// `BENCH_overhead.json`), the list grew while each pin rescanned all of it:
+/// quadratic work, on top of one shared global-epoch load per retire. Nodes now
+/// land in one of [`LIMBO_BUCKETS`] per-epoch segment chains, tagged with the
+/// **pin-time** epoch the handle already holds, so `retire` touches no shared
+/// state at all and freeing is a whole-chain `reclaim_all` at segment
+/// granularity: each pin checks `LIMBO_BUCKETS` bucket tags, never individual
+/// nodes.
 pub struct EbrHandle {
     scheme: Arc<Ebr>,
     slot: SlotId,
-    /// Retired nodes tagged with the global epoch observed at retirement time.
-    /// A node may be freed once `global >= epoch + SAFE_EPOCH_GAP`.
-    limbo: Vec<(u64, RetiredPtr)>,
+    limbo: [EpochChain; LIMBO_BUCKETS],
+    /// Recycled segments shared by all limbo buckets.
+    pool: SegPool,
+    /// The global epoch observed at the last pin. While pinned, `retire` tags
+    /// nodes with this cached value instead of re-loading the (contended)
+    /// global epoch: a pin at `pin_epoch` bounds the global at
+    /// `pin_epoch + 1`, and the grace-period argument below covers the
+    /// difference.
+    pin_epoch: u64,
+    /// Whether the owner is currently inside an operation. Handle-local mirror
+    /// of the shared active flag: it decides, without a shared load, whether
+    /// `retire` may trust `pin_epoch` (the [`SmrHandle::retire`] contract does
+    /// not require being inside an operation, and an *unpinned* retire must
+    /// not use a stale cached tag — that would free nodes before a real grace
+    /// period).
+    pinned: bool,
     retires_since_advance: usize,
 }
 
@@ -144,59 +197,83 @@ impl EbrHandle {
 
     /// Number of retired-but-unreclaimed nodes held by this thread.
     pub fn limbo_size(&self) -> usize {
-        self.limbo.len()
+        self.limbo.iter().map(|chain| chain.bag.len()).sum()
     }
 
     fn stats(&self) -> &StatStripe {
         self.scheme.registry.stats(self.slot)
     }
 
-    /// Frees every limbo node whose retirement epoch is at least [`SAFE_EPOCH_GAP`]
-    /// behind the current global epoch. Returns the number of nodes freed.
-    ///
-    /// The partition is done in place with `swap_remove` (allocation-free; runs on
-    /// every pin once the limbo list is non-empty).
-    fn collect(&mut self) -> usize {
-        let global = self.scheme.global_epoch.load();
+    /// Frees every limbo bucket whose tag is at least [`SAFE_EPOCH_GAP`] behind
+    /// `global`, wholesale. Returns the number of nodes freed. O([`LIMBO_BUCKETS`])
+    /// bucket checks regardless of limbo size — this runs on every pin.
+    fn collect(&mut self, global: u64) -> usize {
         let mut freed = 0usize;
-        let mut i = 0usize;
-        while i < self.limbo.len() {
-            if global >= self.limbo[i].0 + SAFE_EPOCH_GAP {
-                let (_, node) = self.limbo.swap_remove(i);
-                // SAFETY: a node tagged with epoch `e` was already unlinked when the
-                // tag was taken. Only threads pinned at that moment can still hold
-                // references to it, and every epoch advance requires all pinned
-                // threads to have observed the epoch being left; by the time the
-                // global epoch reaches `e + 2` every thread that was pinned at an
-                // epoch `<= e` has unpinned at least once, dropping all references
-                // obtained before the unlink. The node is therefore unreachable.
-                unsafe { node.reclaim() };
-                freed += 1;
-                // The entry swapped into `i` is unexamined; stay put.
-            } else {
-                i += 1;
+        for chain in &mut self.limbo {
+            if !chain.bag.is_empty() && global >= chain.epoch + SAFE_EPOCH_GAP {
+                // SAFETY: every node in this bucket was unlinked while its owner
+                // was pinned at `chain.epoch`, i.e. at a global epoch of at most
+                // `chain.epoch + 1`. Any thread still holding a reference has
+                // been pinned continuously since before that unlink, so its pin
+                // epoch is at most `chain.epoch + 1` — and a continuous pin at
+                // `p` blocks every advance beyond `p + 1`. The global having
+                // reached `chain.epoch + 3 >= p + 2` therefore proves each such
+                // thread has unpinned at least once since the unlink, dropping
+                // all references obtained before it (see [`SAFE_EPOCH_GAP`] for
+                // why 3 and not the retire-time-tag gap of 2). The nodes are
+                // unreachable.
+                freed += unsafe { chain.bag.reclaim_all(&mut self.pool) };
             }
         }
-        self.stats().add_freed(freed as u64);
+        if freed > 0 {
+            self.stats().add_freed(freed as u64);
+        }
         freed
+    }
+
+    /// Index of the limbo bucket for nodes tagged `epoch`, retagging (and
+    /// draining) it if it still carries an older epoch's tag.
+    fn bucket_for(&mut self, epoch: u64) -> usize {
+        let b = (epoch % LIMBO_BUCKETS as u64) as usize;
+        let chain = &mut self.limbo[b];
+        if chain.epoch != epoch {
+            if !chain.bag.is_empty() {
+                // A colliding tag differs by >= LIMBO_BUCKETS epochs, and the
+                // owner's epoch tags are monotone, so the old contents are at
+                // least LIMBO_BUCKETS > SAFE_EPOCH_GAP advances old — and the
+                // global epoch has reached at least `epoch` (the owner observed
+                // it) — hence reclaimable wholesale (same argument as `collect`).
+                debug_assert!(epoch >= chain.epoch + LIMBO_BUCKETS as u64);
+                let freed = unsafe { chain.bag.reclaim_all(&mut self.pool) };
+                self.scheme
+                    .registry
+                    .stats(self.slot)
+                    .add_freed(freed as u64);
+            }
+            chain.epoch = epoch;
+        }
+        b
     }
 }
 
 impl SmrHandle for EbrHandle {
     fn begin_op(&mut self) {
         // Pin: observe the global epoch and announce it together with the active
-        // flag. This store-per-operation is EBR's hot-path cost.
+        // flag. This store-per-operation is EBR's hot-path cost; the loaded epoch
+        // is cached so `retire` never touches the shared counter.
         let global = self.scheme.global_epoch.load();
         self.record().pin(global);
+        self.pin_epoch = global;
+        self.pinned = true;
         // Pinning is also the natural point to free what previous epoch advances
-        // made safe (equivalent to crossbeam's collect-on-pin).
-        if !self.limbo.is_empty() {
-            self.collect();
-        }
+        // made safe (equivalent to crossbeam's collect-on-pin) — a constant-time
+        // bucket-tag check, not a walk of the limbo contents.
+        self.collect(global);
     }
 
     fn end_op(&mut self) {
         self.record().unpin();
+        self.pinned = false;
     }
 
     fn protect(&mut self, _index: usize, _ptr: *mut u8) {
@@ -209,13 +286,28 @@ impl SmrHandle for EbrHandle {
     unsafe fn retire(&mut self, ptr: *mut u8, drop_fn: DropFn) {
         self.stats().add_retired(1);
         let now = self.scheme.config.clock.now();
-        // Tag with the *current* global epoch (not the pin-time one): the global may
-        // have advanced once since this thread pinned, and the larger tag only delays
-        // reclamation, never endangers it.
-        let epoch = self.scheme.global_epoch.load();
+        // While pinned (the normal case — retires happen inside operations),
+        // tag with the cached pin-time epoch: the pin bounds the global at
+        // `pin_epoch + 1`, which is exactly why [`SAFE_EPOCH_GAP`] is 3 rather
+        // than the 2 a fresh retire-time tag would need. Re-loading the global
+        // here (as a previous revision did) put one shared acquire load on
+        // every retire, the dominant contention source at high thread counts.
+        //
+        // The `SmrHandle::retire` contract does NOT require being inside an
+        // operation, and an unpinned handle's `pin_epoch` can be arbitrarily
+        // stale — tagging with it would free nodes arbitrarily early. Unpinned
+        // retires therefore pay the fresh global load: any reader still
+        // holding a reference was pinned before the (earlier) unlink, so its
+        // pin epoch is at most the loaded value and the same gap covers it.
+        let epoch = if self.pinned {
+            self.pin_epoch
+        } else {
+            self.scheme.global_epoch.load()
+        };
         // SAFETY: forwarded from the caller's contract.
-        self.limbo
-            .push((epoch, unsafe { RetiredPtr::new(ptr, drop_fn, now) }));
+        let node = unsafe { RetiredPtr::new(ptr, drop_fn, now) };
+        let b = self.bucket_for(epoch);
+        self.limbo[b].bag.push(&mut self.pool, node);
         self.retires_since_advance += 1;
         if self.retires_since_advance >= self.scheme.config.scan_threshold {
             self.retires_since_advance = 0;
@@ -224,38 +316,42 @@ impl SmrHandle for EbrHandle {
     }
 
     fn flush(&mut self) {
+        // Adopt limbo leftovers of exited threads into the current-epoch bucket:
+        // they were unlinked before this adoption, so any reader still holding a
+        // reference pinned at an epoch <= global + 1, and the bucket's
+        // `SAFE_EPOCH_GAP` wait covers it. O(1) splices, no allocation.
+        let global = self.scheme.global_epoch.load();
+        let b = self.bucket_for(global);
+        self.scheme.parked.adopt_into(&mut self.limbo[b].bag);
         // Make a best-effort attempt to push the epoch far enough forward that every
         // limbo node becomes reclaimable, then free whatever the advances allowed.
         // The thread must not be pinned while doing this (flush is called between
         // operations), so unpin defensively.
         self.record().unpin();
+        self.pinned = false;
         for _ in 0..2 * SAFE_EPOCH_GAP {
             self.scheme.try_advance();
         }
-        self.collect();
+        let global = self.scheme.global_epoch.load();
+        self.collect(global);
     }
 
     fn local_in_limbo(&self) -> usize {
-        self.limbo.len()
+        self.limbo_size()
     }
 }
 
 impl Drop for EbrHandle {
     fn drop(&mut self) {
         self.flush();
-        if !self.limbo.is_empty() {
-            // Whatever is still too young is parked on the scheme and released when
-            // the scheme itself drops (no thread can touch the nodes by then).
-            let mut leftovers = RetiredBag::new();
-            for (_, node) in self.limbo.drain(..) {
-                leftovers.push(node);
-            }
-            self.scheme
-                .parked
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .push(leftovers);
+        // Whatever is still too young is parked on the scheme with O(1) splices
+        // and adopted by the next flushing handle (or released when the scheme
+        // itself drops; no thread can touch the nodes by then).
+        let mut leftovers = SegBag::new();
+        for chain in &mut self.limbo {
+            leftovers.splice(&mut chain.bag);
         }
+        self.scheme.parked.park(&mut leftovers);
         self.scheme.registry.release(self.slot);
     }
 }
@@ -391,11 +487,12 @@ mod tests {
     }
 
     #[test]
-    fn nodes_are_never_freed_before_two_epoch_advances() {
+    fn nodes_are_never_freed_before_three_epoch_advances_past_their_pin_tag() {
         let drops = Arc::new(AtomicUsize::new(0));
         let scheme = Ebr::new(SmrConfig::default().with_scan_threshold(1_000_000));
         let mut handle = scheme.register();
         handle.begin_op();
+        let tag = scheme.current_epoch();
         for _ in 0..10 {
             unsafe { retire_box(&mut handle, tracked(&drops)) };
         }
@@ -403,13 +500,69 @@ mod tests {
         assert_eq!(drops.load(Ordering::SeqCst), 0);
         assert_eq!(handle.local_in_limbo(), 10);
         handle.end_op();
-        // One advance is not enough.
-        scheme.try_advance();
+        // Nodes are tagged with the *pin-time* epoch, which can lag the global
+        // at unlink time by one — so even two advances are not enough: a reader
+        // pinned at `tag + 1` since before the unlink never blocks them (the
+        // use-after-free a SAFE_EPOCH_GAP of 2 would reintroduce).
+        for expected_gap in 1..SAFE_EPOCH_GAP {
+            assert!(scheme.try_advance());
+            handle.begin_op();
+            handle.end_op();
+            assert_eq!(
+                drops.load(Ordering::SeqCst),
+                0,
+                "freed after only {expected_gap} advance(s) past the pin tag"
+            );
+        }
+        // The third advance completes the grace period.
+        assert!(scheme.try_advance());
+        assert_eq!(scheme.current_epoch(), tag + SAFE_EPOCH_GAP);
         handle.begin_op();
         handle.end_op();
-        assert_eq!(drops.load(Ordering::SeqCst), 0);
-        handle.flush();
         assert_eq!(drops.load(Ordering::SeqCst), 10);
+    }
+
+    /// The `SmrHandle::retire` contract allows retiring outside an operation;
+    /// an unpinned handle must not tag such nodes with its stale cached pin
+    /// epoch (which would free them while a current reader is still pinned).
+    #[test]
+    fn out_of_op_retires_use_a_fresh_epoch_tag() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let scheme = Ebr::new(
+            SmrConfig::default()
+                .with_max_threads(2)
+                .with_scan_threshold(1_000_000),
+        );
+        let mut idle = scheme.register();
+        // Cache a pin epoch, then go idle while the epoch moves far past it.
+        idle.begin_op();
+        idle.end_op();
+        let stale_tag = scheme.current_epoch();
+        let mut reader = scheme.register();
+        for _ in 0..SAFE_EPOCH_GAP + 1 {
+            reader.begin_op();
+            reader.end_op();
+            assert!(scheme.try_advance());
+        }
+        assert!(scheme.current_epoch() > stale_tag + SAFE_EPOCH_GAP);
+        // The reader pins at the current epoch and keeps holding references.
+        reader.begin_op();
+        // Out-of-op retire on the idle handle (legal per the trait contract).
+        // Tagging with the stale cached epoch would make the node immediately
+        // "old enough" and free it under the still-pinned reader.
+        unsafe { retire_box(&mut idle, tracked(&drops)) };
+        idle.begin_op();
+        idle.end_op();
+        idle.flush();
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            0,
+            "out-of-op retire must not be freed while a current reader is pinned"
+        );
+        assert_eq!(idle.local_in_limbo(), 1);
+        reader.end_op();
+        idle.flush();
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
     }
 
     #[test]

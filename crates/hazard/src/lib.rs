@@ -10,7 +10,8 @@
 //!
 //! Layout: every registered thread owns `K` single-writer multi-reader hazard-pointer
 //! slots in a shared [`Registry`]. Retired nodes accumulate in a thread-local
-//! [`RetiredBag`]; every `R` retirements the owner runs [`scan`](HazardHandle::flush),
+//! segment-chain bag ([`reclaim_core::SegBag`]); every `R` retirements the owner
+//! runs [`scan`](HazardHandle::flush),
 //! which snapshots all `N·K` hazard pointers and frees every retired node not present
 //! in the snapshot (Michael's wait-free scan).
 
@@ -113,9 +114,17 @@ mod tests {
         for _ in 0..9 {
             unsafe { retire_box(&mut handle, tracked(&drops)) };
         }
-        assert_eq!(drops.load(Ordering::SeqCst), 0, "below threshold: no scan yet");
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            0,
+            "below threshold: no scan yet"
+        );
         unsafe { retire_box(&mut handle, tracked(&drops)) };
-        assert_eq!(drops.load(Ordering::SeqCst), 10, "threshold reached: scan runs");
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            10,
+            "threshold reached: scan runs"
+        );
     }
 
     #[test]

@@ -3,10 +3,11 @@
 use reclaim_core::retired::DropFn;
 use reclaim_core::stats::{StatStripe, StatsSnapshot};
 use reclaim_core::{
-    CachePadded, PtrScratch, Registry, RetiredBag, RetiredPtr, SlotId, Smr, SmrConfig, SmrHandle,
+    CachePadded, ParkedChain, PtrScratch, Registry, RetiredPtr, SegBag, SegPool, SlotId, Smr,
+    SmrConfig, SmrHandle,
 };
 use std::sync::atomic::{fence, AtomicPtr, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Per-thread shared record: `K` single-writer multi-reader hazard-pointer slots.
 pub(crate) struct HpRecord {
@@ -49,9 +50,10 @@ pub struct Hazard {
     registry: Registry<HpRecord>,
     /// Counter stripe for events with no owning slot (parked-bag frees at drop).
     scheme_stats: CachePadded<StatStripe>,
-    /// Retired nodes left over by exiting threads that were still protected at exit;
-    /// released when the scheme is dropped (no handle can exist at that point).
-    parked: Mutex<Vec<RetiredBag>>,
+    /// Retired nodes left over by exiting threads that were still protected at
+    /// exit: dying handles park, the next surviving handle to flush adopts, and
+    /// scheme drop drains the remainder (see [`ParkedChain`]).
+    parked: ParkedChain,
 }
 
 impl Hazard {
@@ -62,7 +64,7 @@ impl Hazard {
             config,
             registry,
             scheme_stats: CachePadded::new(StatStripe::new()),
-            parked: Mutex::new(Vec::new()),
+            parked: ParkedChain::new(),
         })
     }
 
@@ -86,8 +88,14 @@ impl Hazard {
 
     /// Scans `bag` against the hazard pointers gathered into `scratch`, freeing
     /// every node not covered. Returns the number of nodes freed. The counters go
-    /// to `stats` (the calling handle's stripe).
-    fn scan_into(&self, bag: &mut RetiredBag, scratch: &mut Vec<*mut u8>, stats: &StatStripe) -> usize {
+    /// to `stats` (the calling handle's stripe); drained segments return to `pool`.
+    fn scan_into(
+        &self,
+        bag: &mut SegBag,
+        pool: &mut SegPool,
+        scratch: &mut Vec<*mut u8>,
+        stats: &StatStripe,
+    ) -> usize {
         stats.add_scan();
         self.collect_protected(scratch);
         let protected: &[*mut u8] = scratch;
@@ -97,7 +105,8 @@ impl Hazard {
         // retired, so any hazard pointer published before the node became unreachable
         // is visible to this scan (the publisher's fence in `protect` pairs with the
         // acquire loads in `collect_protected`).
-        let freed = unsafe { bag.reclaim_if(|node| protected.binary_search(&node.addr()).is_err()) };
+        let freed =
+            unsafe { bag.reclaim_if(pool, |node| protected.binary_search(&node.addr()).is_err()) };
         stats.add_freed(freed as u64);
         freed
     }
@@ -122,7 +131,11 @@ impl Smr for Hazard {
         HazardHandle {
             scheme: Arc::clone(self),
             slot,
-            retired: RetiredBag::with_capacity(self.config.scan_threshold + 1),
+            retired: SegBag::new(),
+            // Pre-warm for the scan threshold (capped: a test-sized huge `R` must
+            // not balloon registration) so even the first bag fill recycles
+            // instead of allocating; recycling covers everything after that.
+            pool: SegPool::with_node_capacity((self.config.scan_threshold + 1).min(2048)),
             scratch: PtrScratch::with_capacity(self.config.max_threads * self.config.hp_per_thread),
             since_last_scan: 0,
             local_fences: 0,
@@ -145,11 +158,8 @@ impl Drop for Hazard {
     fn drop(&mut self) {
         // No handles remain (each holds an Arc<Self>), hence no hazard pointer can be
         // published and no thread can reach a parked node: free everything.
-        let mut parked = self.parked.lock().unwrap_or_else(|e| e.into_inner());
-        for mut bag in parked.drain(..) {
-            let freed = unsafe { bag.reclaim_all() };
-            self.scheme_stats.add_freed(freed as u64);
-        }
+        let freed = unsafe { self.parked.drain_all() };
+        self.scheme_stats.add_freed(freed as u64);
     }
 }
 
@@ -157,7 +167,10 @@ impl Drop for Hazard {
 pub struct HazardHandle {
     scheme: Arc<Hazard>,
     slot: SlotId,
-    retired: RetiredBag,
+    retired: SegBag,
+    /// Recycled segments backing `retired`, pre-warmed for the scan threshold so
+    /// even the first bag fill never allocates.
+    pool: SegPool,
     /// Reusable buffer for hazard-pointer snapshots, sized for the worst case
     /// (`N·K` pointers) at registration so scans are allocation-free.
     scratch: PtrScratch,
@@ -179,6 +192,7 @@ impl HazardHandle {
     fn scan(&mut self) {
         self.scheme.scan_into(
             &mut self.retired,
+            &mut self.pool,
             &mut self.scratch,
             self.scheme.registry.stats(self.slot),
         );
@@ -225,7 +239,9 @@ impl SmrHandle for HazardHandle {
         self.stats().add_retired(1);
         let now = self.scheme.config.clock.now();
         // SAFETY: forwarded from the caller's contract.
-        self.retired.push(unsafe { RetiredPtr::new(ptr, drop_fn, now) });
+        self.retired.push(&mut self.pool, unsafe {
+            RetiredPtr::new(ptr, drop_fn, now)
+        });
         self.since_last_scan += 1;
         if self.since_last_scan >= self.scheme.config.scan_threshold {
             self.since_last_scan = 0;
@@ -235,6 +251,8 @@ impl SmrHandle for HazardHandle {
 
     fn flush(&mut self) {
         self.publish_fence_count();
+        // Adopt leftovers of exited threads so they rejoin the scan cycle.
+        self.scheme.parked.adopt_into(&mut self.retired);
         self.since_last_scan = 0;
         self.scan();
     }
@@ -251,17 +269,10 @@ impl Drop for HazardHandle {
         self.record().clear_all();
         // Last chance to free what other threads no longer protect.
         self.scan();
-        // Whatever is still protected by *other* threads is parked on the scheme and
+        // Whatever is still protected by *other* threads is parked on the scheme
+        // (an O(1) chain splice) and either adopted by the next handle to flush or
         // released when the scheme itself is dropped.
-        if !self.retired.is_empty() {
-            let mut moved = RetiredBag::new();
-            moved.append(&mut self.retired);
-            self.scheme
-                .parked
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .push(moved);
-        }
+        self.scheme.parked.park(&mut self.retired);
         self.scheme.registry.release(self.slot);
     }
 }
@@ -286,7 +297,11 @@ mod tests {
 
     #[test]
     fn protected_snapshot_is_sorted_and_deduplicated() {
-        let scheme = Hazard::new(SmrConfig::default().with_max_threads(2).with_hp_per_thread(2));
+        let scheme = Hazard::new(
+            SmrConfig::default()
+                .with_max_threads(2)
+                .with_hp_per_thread(2),
+        );
         let h1 = scheme.register();
         let h2 = scheme.register();
         h1.record().set(0, 0x300 as *mut u8);

@@ -593,8 +593,16 @@ mod tests {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
             let key = (state >> 33) % 128;
             match state % 3 {
-                0 => assert_eq!(bst.insert(key, &mut h), reference.insert(key), "insert {key}"),
-                1 => assert_eq!(bst.remove(&key, &mut h), reference.remove(&key), "remove {key}"),
+                0 => assert_eq!(
+                    bst.insert(key, &mut h),
+                    reference.insert(key),
+                    "insert {key}"
+                ),
+                1 => assert_eq!(
+                    bst.remove(&key, &mut h),
+                    reference.remove(&key),
+                    "remove {key}"
+                ),
                 _ => assert_eq!(
                     bst.contains(&key, &mut h),
                     reference.contains(&key),
@@ -607,8 +615,7 @@ mod tests {
 
     #[test]
     fn works_with_clonable_non_copy_keys() {
-        let bst: LockFreeBst<String, Leaky> =
-            LockFreeBst::new(Leaky::new(SmrConfig::for_bst()));
+        let bst: LockFreeBst<String, Leaky> = LockFreeBst::new(Leaky::new(SmrConfig::for_bst()));
         let mut h = bst.register();
         assert!(bst.insert("m".to_string(), &mut h));
         assert!(bst.insert("a".to_string(), &mut h));

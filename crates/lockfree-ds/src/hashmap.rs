@@ -189,8 +189,7 @@ where
         let found = {
             let s = self.search(key, handle);
             // SAFETY: `s.curr` is protected by slot HP_CURR.
-            !s.curr.is_null()
-                && unsafe { &*s.curr }.key.cmp_key(key) == CmpOrdering::Equal
+            !s.curr.is_null() && unsafe { &*s.curr }.key.cmp_key(key) == CmpOrdering::Equal
         };
         handle.clear_protections();
         handle.end_op();
@@ -207,9 +206,7 @@ where
         loop {
             let s = self.search(&key, handle);
             // SAFETY: `s.curr` protected by slot HP_CURR.
-            if !s.curr.is_null()
-                && unsafe { &*s.curr }.key.cmp_key(&key) == CmpOrdering::Equal
-            {
+            if !s.curr.is_null() && unsafe { &*s.curr }.key.cmp_key(&key) == CmpOrdering::Equal {
                 handle.clear_protections();
                 handle.end_op();
                 return false;
@@ -250,9 +247,7 @@ where
         loop {
             let s = self.search(key, handle);
             // SAFETY: `s.curr` protected by slot HP_CURR.
-            if s.curr.is_null()
-                || unsafe { &*s.curr }.key.cmp_key(key) != CmpOrdering::Equal
-            {
+            if s.curr.is_null() || unsafe { &*s.curr }.key.cmp_key(key) != CmpOrdering::Equal {
                 handle.clear_protections();
                 handle.end_op();
                 return false;
@@ -282,7 +277,12 @@ where
             // SAFETY: `s.prev` is the sentinel or protected by slot HP_PREV.
             if unsafe { &*s.prev }
                 .next
-                .compare_exchange(curr, unmarked(next_raw), Ordering::AcqRel, Ordering::Acquire)
+                .compare_exchange(
+                    curr,
+                    unmarked(next_raw),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
                 .is_ok()
             {
                 // SAFETY: unlinked by this thread, Box-allocated, retired once.
@@ -364,7 +364,10 @@ mod tests {
         let mut h = map.register();
         assert!(map.is_empty());
         assert!(map.insert(7_u64, "seven", &mut h));
-        assert!(!map.insert(7, "SEVEN", &mut h), "no replace on duplicate insert");
+        assert!(
+            !map.insert(7, "SEVEN", &mut h),
+            "no replace on duplicate insert"
+        );
         assert_eq!(map.get(&7, &mut h), Some("seven"));
         assert!(map.contains_key(&7, &mut h));
         assert_eq!(map.get(&8, &mut h), None);
@@ -434,7 +437,10 @@ mod tests {
         let mut h = map.register();
         assert!(map.insert("user:1".into(), "alice".into(), &mut h));
         assert!(map.insert("user:2".into(), "bob".into(), &mut h));
-        assert_eq!(map.get(&"user:1".to_string(), &mut h).as_deref(), Some("alice"));
+        assert_eq!(
+            map.get(&"user:1".to_string(), &mut h).as_deref(),
+            Some("alice")
+        );
         assert!(map.remove(&"user:2".to_string(), &mut h));
         assert_eq!(map.len(), 1);
     }
@@ -512,6 +518,9 @@ mod tests {
                 });
             }
         });
-        assert_eq!(map.len() as i64, balance.load(std::sync::atomic::Ordering::SeqCst));
+        assert_eq!(
+            map.len() as i64,
+            balance.load(std::sync::atomic::Ordering::SeqCst)
+        );
     }
 }

@@ -167,8 +167,7 @@ where
         let found = {
             let s = self.search(key, handle);
             // SAFETY: `s.curr` is protected by slot HP_CURR.
-            !s.curr.is_null()
-                && unsafe { &*s.curr }.key.cmp_key(key) == CmpOrdering::Equal
+            !s.curr.is_null() && unsafe { &*s.curr }.key.cmp_key(key) == CmpOrdering::Equal
         };
         handle.clear_protections();
         handle.end_op();
@@ -182,9 +181,7 @@ where
         loop {
             let s = self.search(&key, handle);
             // SAFETY: `s.curr` protected by slot HP_CURR.
-            if !s.curr.is_null()
-                && unsafe { &*s.curr }.key.cmp_key(&key) == CmpOrdering::Equal
-            {
+            if !s.curr.is_null() && unsafe { &*s.curr }.key.cmp_key(&key) == CmpOrdering::Equal {
                 handle.clear_protections();
                 handle.end_op();
                 return false;
@@ -222,9 +219,7 @@ where
         loop {
             let s = self.search(key, handle);
             // SAFETY: `s.curr` protected by slot HP_CURR.
-            if s.curr.is_null()
-                || unsafe { &*s.curr }.key.cmp_key(key) != CmpOrdering::Equal
-            {
+            if s.curr.is_null() || unsafe { &*s.curr }.key.cmp_key(key) != CmpOrdering::Equal {
                 handle.clear_protections();
                 handle.end_op();
                 return false;
@@ -256,7 +251,12 @@ where
             // SAFETY: `s.prev` is the sentinel or protected by slot HP_PREV.
             if unsafe { &*s.prev }
                 .next
-                .compare_exchange(curr, unmarked(next_raw), Ordering::AcqRel, Ordering::Acquire)
+                .compare_exchange(
+                    curr,
+                    unmarked(next_raw),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
                 .is_ok()
             {
                 // SAFETY: unlinked by this thread, allocated via Box, retired once.

@@ -102,12 +102,9 @@ where
             let next = unsafe { &*tail }.next.load(Ordering::Acquire);
             if !next.is_null() {
                 // The tail pointer lags behind; help it along and retry.
-                let _ = self.tail.compare_exchange(
-                    tail,
-                    next,
-                    Ordering::AcqRel,
-                    Ordering::Acquire,
-                );
+                let _ = self
+                    .tail
+                    .compare_exchange(tail, next, Ordering::AcqRel, Ordering::Acquire);
                 continue;
             }
             // SAFETY: `tail` protected as above.
@@ -122,12 +119,9 @@ where
                 .is_ok()
             {
                 // Link succeeded; swing the tail (failure means someone helped us).
-                let _ = self.tail.compare_exchange(
-                    tail,
-                    node,
-                    Ordering::AcqRel,
-                    Ordering::Acquire,
-                );
+                let _ = self
+                    .tail
+                    .compare_exchange(tail, node, Ordering::AcqRel, Ordering::Acquire);
                 self.size.fetch_add(1, Ordering::Relaxed);
                 break;
             }
@@ -160,12 +154,9 @@ where
             }
             if head == tail {
                 // The tail lags behind the real last node; help and retry.
-                let _ = self.tail.compare_exchange(
-                    tail,
-                    next,
-                    Ordering::AcqRel,
-                    Ordering::Acquire,
-                );
+                let _ = self
+                    .tail
+                    .compare_exchange(tail, next, Ordering::AcqRel, Ordering::Acquire);
                 continue;
             }
             if self
@@ -182,7 +173,10 @@ where
             // only the CAS winner takes its value, so the `UnsafeCell` access is
             // exclusive.
             let value = unsafe { (*(*next).value.get()).take() };
-            debug_assert!(value.is_some(), "a linked non-dummy node always has a value");
+            debug_assert!(
+                value.is_some(),
+                "a linked non-dummy node always has a value"
+            );
             // SAFETY: `head` (the old dummy) was unlinked by this thread's CAS, was
             // allocated via Box, and is retired exactly once. Its value slot is
             // `None` (it was the dummy), so the destructor drops nothing extra.
@@ -386,7 +380,10 @@ mod tests {
         for (producer, seq) in output {
             let last = &mut last_seen[producer as usize];
             if let Some(prev) = *last {
-                assert!(seq > prev, "producer {producer} order violated: {seq} after {prev}");
+                assert!(
+                    seq > prev,
+                    "producer {producer} order violated: {seq} after {prev}"
+                );
             }
             *last = Some(seq);
         }

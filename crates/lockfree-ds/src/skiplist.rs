@@ -469,9 +469,7 @@ mod tests {
     use std::collections::BTreeSet;
 
     fn leaky_skiplist() -> LockFreeSkipList<u64, Leaky> {
-        LockFreeSkipList::new(Leaky::new(
-            SmrConfig::for_skiplist().with_max_threads(8),
-        ))
+        LockFreeSkipList::new(Leaky::new(SmrConfig::for_skiplist().with_max_threads(8)))
     }
 
     #[test]

@@ -1,12 +1,15 @@
 //! The QSBR scheme object and per-thread handle.
 
-use crate::epoch::{limbo_index, CursorCheck, EpochCursor, EpochRecord, GlobalEpoch, EPOCH_BUCKETS};
+use crate::epoch::{
+    limbo_index, CursorCheck, EpochCursor, EpochRecord, GlobalEpoch, EPOCH_BUCKETS,
+};
 use reclaim_core::retired::DropFn;
 use reclaim_core::stats::{StatStripe, StatsSnapshot};
 use reclaim_core::{
-    CachePadded, Registry, RetiredBag, RetiredPtr, SlotId, Smr, SmrConfig, SmrHandle,
+    CachePadded, ParkedChain, Registry, RetiredPtr, SegBag, SegPool, SlotId, Smr, SmrConfig,
+    SmrHandle,
 };
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Quiescent-state-based reclamation (the paper's **QSBR** baseline and the fast path
 /// of QSense).
@@ -21,8 +24,10 @@ pub struct Qsbr {
     /// Counter stripe for events with no owning slot (parked-bag frees at drop).
     scheme_stats: CachePadded<StatStripe>,
     /// Limbo leftovers of threads that deregistered before their nodes became
-    /// reclaimable; freed when the scheme drops.
-    parked: Mutex<Vec<RetiredBag>>,
+    /// reclaimable: the next surviving handle to flush adopts the chain into its
+    /// current limbo bucket, so the nodes are freed after an ordinary grace
+    /// period instead of waiting for scheme drop (see [`ParkedChain`]).
+    parked: ParkedChain,
 }
 
 impl Qsbr {
@@ -35,7 +40,7 @@ impl Qsbr {
             cursor: EpochCursor::new(),
             registry,
             scheme_stats: CachePadded::new(StatStripe::new()),
-            parked: Mutex::new(Vec::new()),
+            parked: ParkedChain::new(),
         })
     }
 
@@ -89,7 +94,8 @@ impl Smr for Qsbr {
         QsbrHandle {
             scheme: Arc::clone(self),
             slot,
-            limbo: std::array::from_fn(|_| RetiredBag::new()),
+            limbo: std::array::from_fn(|_| SegBag::new()),
+            pool: SegPool::new(),
             local_epoch: epoch,
             ops_since_quiescence: 0,
         }
@@ -110,11 +116,8 @@ impl Smr for Qsbr {
 impl Drop for Qsbr {
     fn drop(&mut self) {
         // All handles are gone, so nobody holds references to any parked node.
-        let mut parked = self.parked.lock().unwrap_or_else(|e| e.into_inner());
-        for mut bag in parked.drain(..) {
-            let freed = unsafe { bag.reclaim_all() };
-            self.scheme_stats.add_freed(freed as u64);
-        }
+        let freed = unsafe { self.parked.drain_all() };
+        self.scheme_stats.add_freed(freed as u64);
     }
 }
 
@@ -123,7 +126,12 @@ pub struct QsbrHandle {
     scheme: Arc<Qsbr>,
     slot: SlotId,
     /// One limbo list per logical epoch, as in the paper (§3.1).
-    limbo: [RetiredBag; EPOCH_BUCKETS],
+    limbo: [SegBag; EPOCH_BUCKETS],
+    /// Recycled segments shared by all three limbo buckets: a bucket freed on
+    /// epoch adoption feeds the segments the next bucket grows into, so the
+    /// retire path stays allocation-free even when one bucket grows past
+    /// another's high-water mark.
+    pool: SegPool,
     /// Cached copy of this thread's published epoch.
     local_epoch: u64,
     ops_since_quiescence: usize,
@@ -161,13 +169,13 @@ impl QsbrHandle {
         // since, and each advance requires every registered thread to have passed
         // through a quiescent state, i.e. a grace period has elapsed. No thread can
         // therefore still hold a hazardous reference to these nodes.
-        let freed = unsafe { self.limbo[bucket].reclaim_all() };
+        let freed = unsafe { self.limbo[bucket].reclaim_all(&mut self.pool) };
         self.stats().add_freed(freed as u64);
     }
 
     /// Total number of retired-but-unreclaimed nodes across the three limbo lists.
     pub fn limbo_size(&self) -> usize {
-        self.limbo.iter().map(RetiredBag::len).sum()
+        self.limbo.iter().map(SegBag::len).sum()
     }
 }
 
@@ -195,10 +203,18 @@ impl SmrHandle for QsbrHandle {
         let now = self.scheme.config.clock.now();
         let bucket = limbo_index(self.local_epoch);
         // SAFETY: forwarded from the caller's contract.
-        self.limbo[bucket].push(unsafe { RetiredPtr::new(ptr, drop_fn, now) });
+        self.limbo[bucket].push(&mut self.pool, unsafe {
+            RetiredPtr::new(ptr, drop_fn, now)
+        });
     }
 
     fn flush(&mut self) {
+        // Adopt limbo leftovers of exited threads into the current bucket: they
+        // were retired (unlinked) before the adoption, so freeing them after this
+        // bucket's next full grace period is safe. O(1) splice, no allocation.
+        self.scheme
+            .parked
+            .adopt_into(&mut self.limbo[limbo_index(self.local_epoch)]);
         // Cycle through enough quiescent states to let the epoch advance and every
         // limbo bucket be visited, assuming no other thread is blocking advancement.
         // (If one is, this frees whatever a partial cycle allows — same as QSBR's
@@ -216,19 +232,14 @@ impl SmrHandle for QsbrHandle {
 impl Drop for QsbrHandle {
     fn drop(&mut self) {
         // Try to reclaim what a final set of quiescent states allows, then park the
-        // rest on the scheme (freed at scheme drop, when no thread can touch them).
+        // rest on the scheme with O(1) splices (adopted by the next flushing handle
+        // or freed at scheme drop, when no thread can touch them).
         self.flush();
-        let mut leftovers = RetiredBag::new();
+        let mut leftovers = SegBag::new();
         for bag in &mut self.limbo {
-            leftovers.append(bag);
+            leftovers.splice(bag);
         }
-        if !leftovers.is_empty() {
-            self.scheme
-                .parked
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .push(leftovers);
-        }
+        self.scheme.parked.park(&mut leftovers);
         self.scheme.registry.release(self.slot);
     }
 }

@@ -200,7 +200,10 @@ mod tests {
         manual.advance(Duration::from_millis(50));
         worker.flush();
         let freed_before_release = drops.load(Ordering::SeqCst);
-        assert!(freed_before_release >= 9, "unprotected aged nodes are freed");
+        assert!(
+            freed_before_release >= 9,
+            "unprotected aged nodes are freed"
+        );
         assert_eq!(worker.local_in_limbo(), 11 - freed_before_release);
 
         reader.clear_protections();
@@ -245,7 +248,10 @@ mod tests {
             t.join().unwrap();
         }
         drop(scheme);
-        assert_eq!(drops.load(Ordering::SeqCst), allocated.load(Ordering::SeqCst));
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            allocated.load(Ordering::SeqCst)
+        );
     }
 
     #[test]
@@ -332,7 +338,11 @@ mod tests {
             worker.end_op();
             manual.advance(Duration::from_millis(5));
         }
-        assert_eq!(scheme.evicted_count(), 1, "the silent thread must be evicted");
+        assert_eq!(
+            scheme.evicted_count(),
+            1,
+            "the silent thread must be evicted"
+        );
         assert_eq!(
             scheme.current_path(),
             Path::Fast,

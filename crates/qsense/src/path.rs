@@ -123,7 +123,10 @@ mod tests {
     fn only_one_thread_wins_each_transition() {
         let flag = FallbackFlag::new();
         assert!(flag.trigger_fallback());
-        assert!(!flag.trigger_fallback(), "second trigger must observe it is already set");
+        assert!(
+            !flag.trigger_fallback(),
+            "second trigger must observe it is already set"
+        );
         assert_eq!(flag.load(), Path::Fallback);
         assert!(flag.trigger_fast_path());
         assert!(!flag.trigger_fast_path());

@@ -6,10 +6,10 @@ use qsbr::{limbo_index, CursorCheck, EpochCursor, EpochRecord, GlobalEpoch, EPOC
 use reclaim_core::retired::DropFn;
 use reclaim_core::stats::{StatStripe, StatsSnapshot};
 use reclaim_core::{
-    membarrier, CachePadded, PtrScratch, Registry, RetiredBag, RetiredPtr, SlotId, Smr, SmrConfig,
-    SmrHandle,
+    membarrier, CachePadded, ParkedChain, PtrScratch, Registry, RetiredPtr, SegBag, SegPool,
+    SlotId, Smr, SmrConfig, SmrHandle,
 };
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Per-thread shared record: everything other threads may inspect.
@@ -26,11 +26,19 @@ pub(crate) struct QsenseRecord {
     /// Timestamp (scheme clock) of the owner's last sign of activity; drives the
     /// eviction extension (paper §5.2, future work).
     last_active: AtomicU64,
-    /// True while the owner is evicted: it no longer counts towards the
-    /// all-processes-active check or towards grace periods, and every fast-path free
-    /// falls back to the Cadence check (age + hazard pointers) for as long as any
-    /// thread is in this state.
-    evicted: AtomicBool,
+    /// Eviction flag, tagged with the registry **generation** of the tenancy it
+    /// applies to: 0 means no eviction; a nonzero value is the (odd) generation
+    /// the evictor observed before its staleness check. The flag is *effective*
+    /// only while it equals the slot's current generation — a flag planted by an
+    /// evictor that raced a handle drop carries a dead generation and is ignored
+    /// by every reader, which closes the old residual window where a stranded
+    /// flag could be mistaken for an eviction of the slot's next tenant (the
+    /// matching counter increment can still linger briefly; eviction sweeps
+    /// retract dead-generation flags on vacant slots). While effective, the owner no
+    /// longer counts towards the all-processes-active check or towards grace
+    /// periods, and every fast-path free falls back to the Cadence check (age +
+    /// hazard pointers) for as long as any thread is in this state.
+    evicted: AtomicU64,
 }
 
 impl QsenseRecord {
@@ -42,7 +50,7 @@ impl QsenseRecord {
             epoch: EpochRecord::new(),
             presence: PresenceFlag::new(),
             last_active: AtomicU64::new(0),
-            evicted: AtomicBool::new(false),
+            evicted: AtomicU64::new(0),
         }
     }
 
@@ -59,20 +67,25 @@ impl QsenseRecord {
     fn mark_active(&self, now: u64) -> bool {
         self.presence.set_active();
         self.last_active.store(now, Ordering::Release);
-        self.evicted.load(Ordering::Relaxed) && self.clear_eviction()
+        self.evicted.load(Ordering::Relaxed) != 0 && self.clear_eviction()
     }
 
-    /// Clears the eviction flag; `true` if it was set (the caller owns the
-    /// matching decrement of the scheme's eviction counter).
+    /// Clears the eviction flag regardless of which generation it tags; `true`
+    /// if it was set (the caller owns the matching decrement of the scheme's
+    /// eviction counter). Clearing a dead-generation flag is exactly how a
+    /// re-registered slot's owner balances the stranded increment of an evictor
+    /// that lost the race with its predecessor's drop.
     fn clear_eviction(&self) -> bool {
-        self.evicted.swap(false, Ordering::AcqRel)
+        self.evicted.swap(0, Ordering::AcqRel) != 0
     }
 
-    /// Acquire pairs with the evictor's release: observing the flag implies
-    /// observing the counter increment that preceded it (see
+    /// Whether the record carries an eviction *effective for* the tenancy
+    /// identified by `gen` (the slot's current registry generation). Acquire
+    /// pairs with the evictor's release: observing the flag implies observing
+    /// the counter increment that preceded it (see
     /// [`QSense::evict_unresponsive`]).
-    fn is_evicted(&self) -> bool {
-        self.evicted.load(Ordering::Acquire)
+    fn is_evicted(&self, gen: u64) -> bool {
+        self.evicted.load(Ordering::Acquire) == gen
     }
 
     /// Fence-free hazard-pointer publication, exactly as in Cadence.
@@ -118,7 +131,9 @@ pub struct QSense {
     /// Counter stripe for events with no owning slot (parked-bag frees at drop).
     scheme_stats: CachePadded<StatStripe>,
     rooster: Mutex<Rooster>,
-    parked: Mutex<Vec<RetiredBag>>,
+    /// Limbo leftovers of exited threads: the next surviving handle to flush
+    /// adopts the chain into its current limbo bucket (see [`ParkedChain`]).
+    parked: ParkedChain,
 }
 
 impl QSense {
@@ -141,7 +156,7 @@ impl QSense {
             fallback: FallbackFlag::new(),
             scheme_stats: CachePadded::new(StatStripe::new()),
             rooster: Mutex::new(rooster),
-            parked: Mutex::new(Vec::new()),
+            parked: ParkedChain::new(),
         })
     }
 
@@ -197,7 +212,7 @@ impl QSense {
                 CursorCheck::Vacant
             } else {
                 let record = self.registry.get(i);
-                if record.is_evicted() || record.epoch.load() == epoch {
+                if record.is_evicted(self.registry.generation(i)) || record.epoch.load() == epoch {
                     CursorCheck::Confirmed
                 } else {
                     CursorCheck::Lagging
@@ -213,9 +228,9 @@ impl QSense {
     /// the last reset (paper: `all_processes_active()`). Runs only while deciding
     /// to leave the fallback path, so the O(N) sweep is off the fast path.
     fn all_processes_active(&self) -> bool {
-        self.registry
-            .iter_claimed()
-            .all(|(_, record)| record.is_evicted() || record.presence.is_active())
+        self.registry.iter_claimed().all(|(i, record)| {
+            record.is_evicted(self.registry.generation(i)) || record.presence.is_active()
+        })
     }
 
     fn reset_presence(&self) {
@@ -266,8 +281,37 @@ impl QSense {
         };
         let now = self.config.clock.now();
         let mut evicted = 0;
-        for (_, record) in self.registry.iter_claimed() {
-            if !record.is_evicted()
+        for (i, record) in self.registry.iter_all() {
+            // Snapshot the slot's generation *before* the staleness check: the
+            // eviction is planted tagged with this value and re-validated after
+            // the CAS, so a handle drop (and possible re-registration) slipping
+            // into the gap is detected instead of stranding a flag.
+            let gen = self.registry.generation(i);
+            if gen.is_multiple_of(2) {
+                // Vacant slot. An evictor that raced the previous owner's drop
+                // (its plant landing between the owner's final `mark_active` and
+                // the release's generation bump passes the post-CAS re-check) can
+                // have left a dead-generation flag and its counter increment
+                // behind; retract it here so the over-count lasts at most until
+                // the next sweep rather than until the slot's next registration.
+                // Only values *below* the observed vacant generation are
+                // provably dead — if the slot was re-claimed between our two
+                // reads, a fresh legitimate eviction carries a *larger* (odd)
+                // generation and must not be disturbed; the exact-value CAS
+                // likewise loses to any concurrent owner clear.
+                let stale = record.evicted.load(Ordering::Acquire);
+                if stale != 0
+                    && stale < gen
+                    && record
+                        .evicted
+                        .compare_exchange(stale, 0, Ordering::AcqRel, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    self.evicted_threads.fetch_sub(1, Ordering::Relaxed);
+                }
+                continue;
+            }
+            if !record.is_evicted(gen)
                 && now.saturating_sub(record.last_active.load(Ordering::Acquire)) > timeout
             {
                 // Increment the counter *before* publishing the flag: a fast-path
@@ -279,20 +323,28 @@ impl QSense {
                 self.evicted_threads.fetch_add(1, Ordering::Relaxed);
                 if record
                     .evicted
-                    .compare_exchange(false, true, Ordering::Release, Ordering::Relaxed)
+                    .compare_exchange(0, gen, Ordering::Release, Ordering::Relaxed)
                     .is_ok()
                 {
-                    evicted += 1;
-                    // Clearing is strictly owner/claimant territory (`mark_active`):
-                    // this evictor never touches a flag again, even if the owner
-                    // deregistered between our staleness check and the CAS — a
-                    // non-owner clear could race a *successor* thread's legitimate
-                    // eviction and unsafely re-enable outright bucket frees. A flag
-                    // stranded on a vacant slot is conservative (fast-path frees use
-                    // the Cadence check) and is lifted by the slot's next claimant;
-                    // `acquire`'s first-free policy makes the slot the earliest
-                    // reuse target, and a drop having raced us implies thread
-                    // churn, hence a future registration.
+                    if self.registry.generation(i) != gen {
+                        // The slot changed hands between the staleness check and
+                        // the flag CAS: the flag we just planted tags a dead
+                        // generation, so no reader will honour it. Retract it —
+                        // but only our exact value; a successor tenancy's
+                        // legitimate eviction would carry a different generation
+                        // and must not be disturbed. If the retraction CAS fails,
+                        // the new owner already cleared the flag (and decremented
+                        // the counter) through `mark_active`.
+                        if record
+                            .evicted
+                            .compare_exchange(gen, 0, Ordering::AcqRel, Ordering::Relaxed)
+                            .is_ok()
+                        {
+                            self.evicted_threads.fetch_sub(1, Ordering::Relaxed);
+                        }
+                    } else {
+                        evicted += 1;
+                    }
                 } else {
                     self.evicted_threads.fetch_sub(1, Ordering::Relaxed);
                 }
@@ -306,7 +358,8 @@ impl QSense {
     /// stripe).
     fn cadence_scan(
         &self,
-        bag: &mut RetiredBag,
+        bag: &mut SegBag,
+        pool: &mut SegPool,
         protected: &[*mut u8],
         stats: &StatStripe,
     ) -> usize {
@@ -315,10 +368,17 @@ impl QSense {
         // SAFETY: identical to Cadence's scan (paper Property 1) — QSense maintains
         // hazard pointers at all times, so Condition 1 holds for nodes retired on
         // either path; old-enough + unprotected therefore implies unreachable.
+        //
+        // As in Cadence, the walk stops at the first too-young node: limbo bags
+        // are pushed in retirement order, so the scan touches only the aged
+        // prefix (adopted parked chains behind younger nodes are merely
+        // delayed, never endangered).
         let freed = unsafe {
-            bag.reclaim_if(|node| {
-                node.is_old_enough(now, min_age) && protected.binary_search(&node.addr()).is_err()
-            })
+            bag.reclaim_if_while(
+                pool,
+                |node| node.is_old_enough(now, min_age),
+                |node| protected.binary_search(&node.addr()).is_err(),
+            )
         };
         stats.add_freed(freed as u64);
         freed
@@ -340,7 +400,8 @@ impl Smr for QSense {
         QSenseHandle {
             scheme: Arc::clone(self),
             slot,
-            limbo: std::array::from_fn(|_| RetiredBag::new()),
+            limbo: std::array::from_fn(|_| SegBag::new()),
+            pool: SegPool::new(),
             scratch: PtrScratch::with_capacity(self.config.max_threads * self.config.hp_per_thread),
             local_epoch: epoch,
             ops_since_quiescence: 0,
@@ -367,11 +428,9 @@ impl Drop for QSense {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .shutdown();
-        let mut parked = self.parked.lock().unwrap_or_else(|e| e.into_inner());
-        for mut bag in parked.drain(..) {
-            let freed = unsafe { bag.reclaim_all() };
-            self.scheme_stats.add_freed(freed as u64);
-        }
+        // No handles remain, so nothing can reference a parked node.
+        let freed = unsafe { self.parked.drain_all() };
+        self.scheme_stats.add_freed(freed as u64);
     }
 }
 
@@ -382,7 +441,10 @@ pub struct QSenseHandle {
     /// One limbo list per logical epoch (fast path); scanned as a whole by the
     /// fallback path ("QSBR's limbo_list becomes the removed_nodes_list scanned by
     /// Cadence", paper §5.2).
-    limbo: [RetiredBag; EPOCH_BUCKETS],
+    limbo: [SegBag; EPOCH_BUCKETS],
+    /// Recycled segments shared by all three limbo buckets, so a bucket growing
+    /// past another's high-water mark still never allocates.
+    pool: SegPool,
     /// Reusable buffer for hazard-pointer snapshots, sized for the worst case
     /// (`N·K` pointers) at registration so scans are allocation-free.
     scratch: PtrScratch,
@@ -406,7 +468,7 @@ impl QSenseHandle {
 
     /// Total retired-but-unreclaimed nodes across the three limbo lists.
     pub fn limbo_size(&self) -> usize {
-        self.limbo.iter().map(RetiredBag::len).sum()
+        self.limbo.iter().map(SegBag::len).sum()
     }
 
     /// The path this handle last observed (for tests and diagnostics).
@@ -430,14 +492,18 @@ impl QSenseHandle {
                 // protected), which covers evicted and non-evicted threads alike.
                 self.scheme.protected_snapshot_into(&mut self.scratch);
                 let stats = self.scheme.registry.stats(self.slot);
-                self.scheme
-                    .cadence_scan(&mut self.limbo[bucket], &self.scratch, stats);
+                self.scheme.cadence_scan(
+                    &mut self.limbo[bucket],
+                    &mut self.pool,
+                    &self.scratch,
+                    stats,
+                );
             } else {
                 // SAFETY: Lemma 3 / Property 5 of the paper — a full grace period has
                 // elapsed since the nodes in this bucket were retired (counting every
                 // registered thread, since none is evicted), so no thread holds a
                 // hazardous reference to them. Identical argument to the `qsbr` crate.
-                let freed = unsafe { self.limbo[bucket].reclaim_all() };
+                let freed = unsafe { self.limbo[bucket].reclaim_all(&mut self.pool) };
                 self.stats().add_freed(freed as u64);
             }
         } else {
@@ -452,7 +518,8 @@ impl QSenseHandle {
         self.scheme.protected_snapshot_into(&mut self.scratch);
         let stats = self.scheme.registry.stats(self.slot);
         for bag in &mut self.limbo {
-            self.scheme.cadence_scan(bag, &self.scratch, stats);
+            self.scheme
+                .cadence_scan(bag, &mut self.pool, &self.scratch, stats);
         }
     }
 
@@ -528,13 +595,13 @@ impl SmrHandle for QSenseHandle {
         let bucket = limbo_index(self.local_epoch);
         // Timestamps are recorded regardless of the current path (§5.2).
         // SAFETY: forwarded from the caller's contract.
-        self.limbo[bucket].push(unsafe { RetiredPtr::new(ptr, drop_fn, now) });
+        self.limbo[bucket].push(&mut self.pool, unsafe {
+            RetiredPtr::new(ptr, drop_fn, now)
+        });
         self.retires_since_scan += 1;
 
         let seen = self.scheme.fallback.load();
-        if seen == Path::Fallback
-            && self.retires_since_scan >= self.scheme.config.scan_threshold
-        {
+        if seen == Path::Fallback && self.retires_since_scan >= self.scheme.config.scan_threshold {
             // Running in fallback mode: all three limbo lists are scanned.
             self.retires_since_scan = 0;
             self.cadence_scan_all();
@@ -558,6 +625,12 @@ impl SmrHandle for QSenseHandle {
     }
 
     fn flush(&mut self) {
+        // Adopt limbo leftovers of exited threads into the current bucket: they
+        // were unlinked before the adoption, so both the grace-period argument and
+        // the Cadence age check cover them from here on. O(1) splice.
+        self.scheme
+            .parked
+            .adopt_into(&mut self.limbo[limbo_index(self.local_epoch)]);
         // Give both paths a chance: cycle quiescent states (frees whole buckets if
         // the epoch can advance) and run one Cadence scan (frees aged, unprotected
         // nodes even if it cannot).
@@ -577,17 +650,11 @@ impl Drop for QSenseHandle {
     fn drop(&mut self) {
         self.record().clear_hps();
         self.flush();
-        let mut leftovers = RetiredBag::new();
+        let mut leftovers = SegBag::new();
         for bag in &mut self.limbo {
-            leftovers.append(bag);
+            leftovers.splice(bag);
         }
-        if !leftovers.is_empty() {
-            self.scheme
-                .parked
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .push(leftovers);
-        }
+        self.scheme.parked.park(&mut leftovers);
         // Refresh activity and lift any standing eviction *while still the slot
         // owner* — the record must never be touched after `release`, because a
         // successor thread may already own it (clearing a successor's eviction
@@ -599,13 +666,18 @@ impl Drop for QSenseHandle {
         // Leaving the system: this thread must stop blocking both the epoch advance
         // check and the all-processes-active check, which releasing the slot does.
         //
-        // Residual window (benign): an evictor preempted between its staleness
-        // check and its flag CAS for the whole gap between the `note_activity`
-        // above and this release — and whose vacancy re-check also lands before
-        // the release — can leave the vacant slot flagged and counted. The state
-        // is conservative (fast-path frees fall back to the always-safe Cadence
-        // check) and heals at the slot's next registration, which `acquire`'s
-        // first-free-slot policy makes the earliest reuse target.
+        // An evictor preempted between its staleness check and its flag CAS across
+        // this entire drop can still plant a flag around this release — but the
+        // flag carries the generation the evictor observed, which the release
+        // retires, so no reader ever honours it for a successor tenancy
+        // (`is_evicted` compares against the current generation): the *unsafe*
+        // half of the old residual window is closed exactly. The bookkeeping
+        // half is merely transient rather than exact: a plant landing after the
+        // `note_activity` above but before the release's generation bump passes
+        // the evictor's own post-CAS re-check, stranding one counter increment
+        // (conservative — fast-path frees route through the always-safe Cadence
+        // check) until the next eviction sweep's vacant-slot retraction or the
+        // slot's next registration clears it.
         self.scheme.registry.release(self.slot);
     }
 }
@@ -635,13 +707,28 @@ mod tests {
     #[test]
     fn mark_active_lifts_an_eviction_exactly_once() {
         let record = QsenseRecord::new(1);
+        let gen = 7; // any odd (claimed) generation
         assert!(!record.mark_active(10), "no standing eviction to lift");
-        record.evicted.store(true, Ordering::Release);
-        assert!(record.is_evicted());
+        record.evicted.store(gen, Ordering::Release);
+        assert!(record.is_evicted(gen));
         assert!(record.mark_active(20), "standing eviction must be lifted");
-        assert!(!record.is_evicted());
+        assert!(!record.is_evicted(gen));
         assert!(!record.mark_active(30), "second call has nothing to lift");
         assert_eq!(record.last_active.load(Ordering::Acquire), 30);
+    }
+
+    #[test]
+    fn eviction_flags_of_dead_generations_are_ignored_but_still_liftable() {
+        let record = QsenseRecord::new(1);
+        record.evicted.store(5, Ordering::Release);
+        assert!(
+            !record.is_evicted(7),
+            "a flag tagged with a previous tenancy's generation must not be honoured"
+        );
+        assert!(record.is_evicted(5));
+        // The current owner can still lift it (balancing the stray counter bump).
+        assert!(record.mark_active(1));
+        assert!(!record.is_evicted(5));
     }
 
     #[test]
@@ -662,7 +749,10 @@ mod tests {
                 .with_rooster_threads(0),
         );
         let handles: Vec<_> = (0..3).map(|_| scheme.register()).collect();
-        assert!(scheme.all_processes_active(), "registration marks threads active");
+        assert!(
+            scheme.all_processes_active(),
+            "registration marks threads active"
+        );
         scheme.reset_presence();
         assert!(!scheme.all_processes_active());
         drop(handles);
@@ -697,6 +787,98 @@ mod tests {
         assert_eq!(scheme.evicted_count(), 0);
         drop(idle);
         drop(active);
+    }
+
+    /// The residual window the generation tags close: an evictor that snapshotted
+    /// a slot's generation, then stalled across the owner's drop and a successor's
+    /// registration, plants a flag tagged with the *dead* generation. The flag
+    /// must not be honoured for the successor, and the counter must return to
+    /// balance through the successor's normal activity path.
+    #[test]
+    fn stale_evictor_flag_on_a_rereigstered_slot_is_rejected_and_rebalanced() {
+        let scheme = QSense::new(
+            SmrConfig::default()
+                .with_max_threads(1)
+                .with_rooster_threads(0),
+        );
+        let stale_gen = {
+            let first = scheme.register();
+            scheme.registry.generation(first.slot.index())
+        }; // first owner deregisters here
+        let successor = scheme.register();
+        let slot = successor.slot.index();
+        let gen_now = scheme.registry.generation(slot);
+        assert_eq!(gen_now, stale_gen + 2, "same slot, next tenancy");
+
+        // Replay the stalled evictor's writes: increment, then the flag CAS with
+        // the generation it observed before the turnover. The CAS itself succeeds
+        // (the word was 0) — rejection happens at the generation comparison every
+        // reader performs.
+        scheme.evicted_threads.fetch_add(1, Ordering::Relaxed);
+        let record = scheme.registry.get(slot);
+        assert!(record
+            .evicted
+            .compare_exchange(0, stale_gen, Ordering::Release, Ordering::Relaxed)
+            .is_ok());
+
+        // No reader honours the dead-generation flag: the successor still counts
+        // towards presence and grace periods.
+        assert!(!record.is_evicted(gen_now));
+        scheme.reset_presence();
+        assert!(
+            !scheme.all_processes_active(),
+            "successor must not be excluded by a stale flag"
+        );
+
+        // The counter transiently over-counts (conservative: frees route through
+        // the Cadence check) until the successor's next activity lifts the stray
+        // flag and rebalances it exactly.
+        assert_eq!(scheme.evicted_count(), 1);
+        scheme.note_activity(record);
+        assert_eq!(scheme.evicted_count(), 0, "counter must rebalance");
+        assert_eq!(record.evicted.load(Ordering::Acquire), 0);
+
+        // A legitimate eviction of the successor still works afterwards.
+        drop(successor);
+        assert_eq!(scheme.evicted_count(), 0);
+    }
+
+    /// The bookkeeping half of the drop race: an evictor whose plant lands
+    /// between the dying owner's final `mark_active` and the release passes its
+    /// own post-CAS generation re-check, stranding a counter increment on the
+    /// now-vacant slot. The next eviction sweep must retract it.
+    #[test]
+    fn eviction_sweep_retracts_counter_strands_on_vacant_slots() {
+        use reclaim_core::{Clock, ManualClock};
+        use std::time::Duration;
+        let manual = ManualClock::new();
+        let scheme = QSense::new(
+            SmrConfig::default()
+                .with_max_threads(1)
+                .with_rooster_threads(0)
+                .with_eviction_timeout(Some(Duration::from_millis(1)))
+                .with_clock(Clock::manual(manual.clone())),
+        );
+        let stale_gen = {
+            let handle = scheme.register();
+            scheme.registry.generation(handle.slot.index())
+        }; // owner deregisters; the slot is now vacant
+           // Replay the raced evictor's plant against the vacant slot.
+        scheme.evicted_threads.fetch_add(1, Ordering::Relaxed);
+        let record = scheme.registry.get(0);
+        record.evicted.store(stale_gen, Ordering::Release);
+        assert_eq!(scheme.evicted_count(), 1, "stranded over-count");
+        // The sweep evicts nobody (no claimed slots) but retracts the strand.
+        assert_eq!(scheme.evict_unresponsive(), 0);
+        assert_eq!(
+            scheme.evicted_count(),
+            0,
+            "sweep must rebalance the counter"
+        );
+        assert_eq!(record.evicted.load(Ordering::Acquire), 0);
+        // Idempotent: a second sweep changes nothing.
+        assert_eq!(scheme.evict_unresponsive(), 0);
+        assert_eq!(scheme.evicted_count(), 0);
     }
 
     #[test]

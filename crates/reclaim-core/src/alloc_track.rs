@@ -58,8 +58,7 @@ impl CountingAllocator {
 
     /// Bytes currently live (allocated minus freed).
     pub fn live_bytes(&self) -> u64 {
-        self.allocated_bytes()
-            .saturating_sub(self.freed_bytes())
+        self.allocated_bytes().saturating_sub(self.freed_bytes())
     }
 
     /// High-water mark of live bytes observed so far.
@@ -76,12 +75,10 @@ impl CountingAllocator {
             - self.freed.load(Ordering::Relaxed);
         let mut peak = self.peak.load(Ordering::Relaxed);
         while live > peak {
-            match self.peak.compare_exchange_weak(
-                peak,
-                live,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
+            match self
+                .peak
+                .compare_exchange_weak(peak, live, Ordering::Relaxed, Ordering::Relaxed)
+            {
                 Ok(_) => break,
                 Err(observed) => peak = observed,
             }

@@ -148,8 +148,7 @@ impl SmrConfig {
 
     /// The eviction timeout in nanoseconds, if the extension is enabled.
     pub fn eviction_timeout_nanos(&self) -> Option<u64> {
-        self.eviction_timeout
-            .map(crate::clock::duration_to_nanos)
+        self.eviction_timeout.map(crate::clock::duration_to_nanos)
     }
 
     /// Replaces the time source (e.g. with a manual clock for tests).

@@ -12,10 +12,11 @@
 //! every experiment it has already finished.
 
 use crate::config::SmrConfig;
-use crate::retired::{DropFn, RetiredBag, RetiredPtr};
+use crate::retired::{DropFn, RetiredPtr};
+use crate::segbag::{ParkedChain, SegBag, SegPool};
 use crate::smr::{Smr, SmrHandle};
 use crate::stats::{ShardedStats, StatsSnapshot};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// The no-reclamation scheme (paper: *None*).
 pub struct Leaky {
@@ -24,8 +25,9 @@ pub struct Leaky {
     /// `retire` accounting must not introduce the very cacheline contention the
     /// other schemes are measured against.
     stats: ShardedStats,
-    /// Nodes retired by all threads, parked until the scheme is dropped.
-    parked: Mutex<Vec<RetiredBag>>,
+    /// Nodes retired by all threads, parked until the scheme is dropped (one
+    /// segment chain; dying handles splice into it in O(1)).
+    parked: ParkedChain,
 }
 
 impl Leaky {
@@ -35,7 +37,7 @@ impl Leaky {
         Arc::new(Self {
             config,
             stats,
-            parked: Mutex::new(Vec::new()),
+            parked: ParkedChain::new(),
         })
     }
 
@@ -57,7 +59,8 @@ impl Smr for Leaky {
         LeakyHandle {
             stripe: self.stats.assign_stripe(),
             scheme: Arc::clone(self),
-            bag: RetiredBag::new(),
+            pool: SegPool::new(),
+            bag: SegBag::new(),
         }
     }
 
@@ -74,11 +77,8 @@ impl Drop for Leaky {
     fn drop(&mut self) {
         // All handles are gone (they hold Arc<Self>), so no thread can reach any
         // retired node any more: releasing everything is safe.
-        let mut parked = self.parked.lock().unwrap_or_else(|e| e.into_inner());
-        for mut bag in parked.drain(..) {
-            let freed = unsafe { bag.reclaim_all() };
-            self.stats.stripe(0).add_freed(freed as u64);
-        }
+        let freed = unsafe { self.parked.drain_all() };
+        self.stats.stripe(0).add_freed(freed as u64);
     }
 }
 
@@ -87,7 +87,8 @@ pub struct LeakyHandle {
     scheme: Arc<Leaky>,
     /// Index of this handle's counter stripe in the scheme's [`ShardedStats`].
     stripe: usize,
-    bag: RetiredBag,
+    pool: SegPool,
+    bag: SegBag,
 }
 
 impl SmrHandle for LeakyHandle {
@@ -103,7 +104,9 @@ impl SmrHandle for LeakyHandle {
         self.scheme.stats.stripe(self.stripe).add_retired(1);
         let now = self.scheme.config.clock.now();
         // SAFETY: forwarded directly from the caller's contract.
-        self.bag.push(unsafe { RetiredPtr::new(ptr, drop_fn, now) });
+        self.bag.push(&mut self.pool, unsafe {
+            RetiredPtr::new(ptr, drop_fn, now)
+        });
     }
 
     fn flush(&mut self) {
@@ -118,18 +121,8 @@ impl SmrHandle for LeakyHandle {
 impl Drop for LeakyHandle {
     fn drop(&mut self) {
         // Park this thread's retired nodes on the scheme so they are released when
-        // the scheme itself goes away.
-        let mut bag = std::mem::take(&mut self.bag);
-        if !bag.is_empty() {
-            let mut parked = self
-                .scheme
-                .parked
-                .lock()
-                .unwrap_or_else(|e| e.into_inner());
-            let mut moved = RetiredBag::new();
-            moved.append(&mut bag);
-            parked.push(moved);
-        }
+        // the scheme itself goes away — an O(1) chain splice, no allocation.
+        self.scheme.parked.park(&mut self.bag);
     }
 }
 
@@ -160,7 +153,11 @@ mod tests {
             handle.flush();
             handle.end_op();
             assert_eq!(handle.local_in_limbo(), 10);
-            assert_eq!(drops.load(Ordering::SeqCst), 0, "leaky must not free while running");
+            assert_eq!(
+                drops.load(Ordering::SeqCst),
+                0,
+                "leaky must not free while running"
+            );
             let snap = scheme.stats();
             assert_eq!(snap.retired, 10);
             assert_eq!(snap.freed, 0);
@@ -168,7 +165,11 @@ mod tests {
         // Handle dropped: still nothing freed.
         assert_eq!(drops.load(Ordering::SeqCst), 0);
         drop(scheme);
-        assert_eq!(drops.load(Ordering::SeqCst), 10, "scheme drop releases parked nodes");
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            10,
+            "scheme drop releases parked nodes"
+        );
     }
 
     #[test]

@@ -13,9 +13,13 @@
 //! * a [`registry::Registry`] of per-thread slots with interior-mutable per-thread
 //!   state that other threads may scan (hazard pointers, epochs, presence flags),
 //!   each slot carrying its own cache-padded statistics stripe
-//!   ([`stats::StatStripe`]) so hot-path counter updates never contend;
-//! * [`retired::RetiredBag`] / [`retired::RetiredPtr`] — timestamped retired-node
-//!   bookkeeping (the paper's `timestamped_node` wrapper, Algorithm 3);
+//!   ([`stats::StatStripe`]) so hot-path counter updates never contend, and a
+//!   per-slot generation counter that lets asynchronous actors (QSense's evictor)
+//!   detect slot turnover exactly;
+//! * [`retired::RetiredPtr`] — the timestamped retired-node wrapper (the paper's
+//!   `timestamped_node`, Algorithm 3) — collected in [`segbag::SegBag`]
+//!   segment chains recycled through a per-handle [`segbag::SegPool`], so the
+//!   steady-state retire/scan/reclaim pipeline never touches the allocator;
 //! * a [`clock::Clock`] abstraction (real, monotonic nanoseconds) with a manually
 //!   driven variant for deterministic tests;
 //! * low-level utilities: [`pad::CachePadded`], [`backoff::Backoff`], and the
@@ -38,16 +42,22 @@
 //!
 //! | frequency | work | shared-memory cost |
 //! |-----------|------|--------------------|
-//! | per op (`begin_op`) | a local counter bump (QSBR/QSense batching); a pin store (EBR only) | none (EBR: one release store to an owned padded line) |
+//! | per op (`begin_op`) | a local counter bump (QSBR/QSense batching); a pin store plus an O(#buckets) bucket-age check (EBR only) | none (EBR: one release store to an owned padded line) |
 //! | per node traversed (`protect`) | hazard-pointer store (HP/Cadence/QSense) | one release store to an owned padded slot; classic HP adds the `SeqCst` fence the paper is about |
-//! | per `retire` | push into the thread-local [`retired::RetiredBag`], bump the slot's [`stats::StatStripe`], one acquire load of the fallback flag (QSense) | single-writer padded lines only — **no shared `fetch_add`** |
+//! | per `retire` | write into the tail segment of the thread-local [`segbag::SegBag`], bump the slot's [`stats::StatStripe`], one acquire load of the fallback flag (QSense) | single-writer padded lines only — **no shared `fetch_add`**, no shared epoch load (EBR tags with its pin-time epoch) |
+//! | per segment (every [`segbag::SEG_CAP`] retires) | pop a recycled segment from the per-handle [`segbag::SegPool`] | none — the allocator is touched only past the handle's all-time peak |
 //! | per `Q` ops (quiescent state) | epoch adoption (one release store) or a bounded epoch-confirmation poll (amortized O(1), see `qsbr::EpochCursor`); one eviction-counter load (QSense) | a handful of loads + at most one CAS |
-//! | per scan (every `R` retires) | snapshot all `N·K` hazard pointers into a **reusable** scratch buffer, in-place partition of the bag ([`retired::RetiredBag::reclaim_if`]) | O(N·K) loads, zero heap allocations in steady state |
+//! | per scan (every `R` retires) | snapshot all `N·K` hazard pointers into a **reusable** scratch buffer, two-cursor compaction of the segment chain ([`segbag::SegBag::reclaim_if`]) | O(N·K) loads, zero heap allocations in steady state |
+//! | per handle drop | splice leftovers into the scheme's parked chain ([`segbag::SegBag::splice`]) | O(1) pointer surgery under a mutex — no allocation |
 //! | per snapshot (`Smr::stats`) | sum all counter stripes | O(N) loads — diagnostic path, never on the hot path |
 //!
-//! Remaining known allocation sites are *off* the steady-state path: bag growth
-//! beyond its high-water mark, handle registration, and the parked-bag hand-off at
-//! handle drop (see ROADMAP "Open items").
+//! Segment recycling makes the whole retire→scan→reclaim pipeline allocation-free
+//! in steady state, *including* bag growth past a single bag's previous high-water
+//! mark (the per-handle pool backs all of a handle's bags) and the parked-bag
+//! hand-off at handle drop (an O(1) chain splice; surviving handles re-adopt the
+//! parked chain on their next flush). The remaining allocation site is handle
+//! registration itself (scratch buffers, handle struct) — once per thread
+//! lifetime, never on an operation path.
 //!
 //! ## Pointer-level safety contract
 //!
@@ -75,6 +85,7 @@ pub mod pad;
 pub mod registry;
 pub mod retired;
 pub mod scratch;
+pub mod segbag;
 pub mod smr;
 pub mod stats;
 
@@ -85,8 +96,9 @@ pub use config::SmrConfig;
 pub use leaky::{Leaky, LeakyHandle};
 pub use pad::CachePadded;
 pub use registry::{Registry, SlotId};
-pub use retired::{RetiredBag, RetiredPtr};
+pub use retired::RetiredPtr;
 pub use scratch::PtrScratch;
+pub use segbag::{ParkedChain, SegBag, SegPool, SEG_CAP};
 pub use smr::{drop_fn_for, Smr, SmrHandle};
 pub use stats::{ShardedStats, StatStripe, StatsSnapshot};
 

@@ -71,7 +71,10 @@ unsafe fn sys_membarrier(cmd: i64, flags: i64) -> i64 {
     ret
 }
 
-#[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
 unsafe fn sys_membarrier(_cmd: i64, _flags: i64) -> i64 {
     // Unsupported platform: report "not implemented" so callers fall back.
     -38 // -ENOSYS

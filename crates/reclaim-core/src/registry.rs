@@ -14,7 +14,7 @@
 use crate::pad::CachePadded;
 use crate::stats::{StatStripe, StatsSnapshot};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Identifier of a claimed registry slot. The wrapped index is stable for the
 /// lifetime of the claim and doubles as the "process id" in paper terms.
@@ -28,8 +28,22 @@ impl SlotId {
     }
 }
 
+/// A slot's claim flag and generation counter, sharing one cache line: both are
+/// written only at (de)registration, so co-locating them costs nothing on the
+/// hot path and saves a padded line per slot.
+struct SlotControl {
+    claimed: AtomicBool,
+    /// Bumped on every claim *and* every release, so the value is odd exactly
+    /// while the slot is claimed and each tenancy has a unique generation.
+    /// Asynchronous actors (e.g. QSense's evictor) snapshot the generation
+    /// before acting on a slot's record and re-validate it afterwards, which
+    /// closes the ABA window where a slot is released and re-claimed between an
+    /// actor's check and its write.
+    gen: AtomicU64,
+}
+
 struct Slot<T> {
-    claimed: CachePadded<AtomicBool>,
+    control: CachePadded<SlotControl>,
     state: CachePadded<T>,
     /// The slot owner's statistics stripe. Living next to the record the owner
     /// already writes on its hot path, it turns the per-`retire` /
@@ -49,7 +63,10 @@ impl<T> Registry<T> {
         assert!(capacity > 0, "registry capacity must be positive");
         let slots = (0..capacity)
             .map(|i| Slot {
-                claimed: CachePadded::new(AtomicBool::new(false)),
+                control: CachePadded::new(SlotControl {
+                    claimed: AtomicBool::new(false),
+                    gen: AtomicU64::new(0),
+                }),
                 state: CachePadded::new(init(i)),
                 stats: CachePadded::new(StatStripe::new()),
             })
@@ -67,22 +84,29 @@ impl<T> Registry<T> {
     pub fn claimed_count(&self) -> usize {
         self.slots
             .iter()
-            .filter(|s| s.claimed.load(Ordering::Acquire))
+            .filter(|s| s.control.claimed.load(Ordering::Acquire))
             .count()
     }
 
     /// Claims a free slot, returning its id, or `None` if all `N` slots are taken.
     ///
     /// The acquire/release pairing on `claimed` makes everything the previous owner
-    /// wrote to the slot's record visible to the new owner.
+    /// wrote to the slot's record visible to the new owner. The claim bumps the
+    /// slot's generation to a fresh odd value (see [`generation`](Self::generation)).
     pub fn acquire(&self) -> Option<SlotId> {
         for (i, slot) in self.slots.iter().enumerate() {
-            if !slot.claimed.load(Ordering::Relaxed)
+            if !slot.control.claimed.load(Ordering::Relaxed)
                 && slot
+                    .control
                     .claimed
                     .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
                     .is_ok()
             {
+                // Only the (unique) winner of the claim CAS bumps, so generations
+                // step by exactly one per ownership transition. Release pairs with
+                // the acquire in `generation`: an observer that reads this
+                // generation also observes the claim.
+                slot.control.gen.fetch_add(1, Ordering::Release);
                 return Some(SlotId(i));
             }
         }
@@ -93,14 +117,29 @@ impl<T> Registry<T> {
     ///
     /// The caller must have cleaned up the slot's record (cleared hazard pointers,
     /// drained limbo lists) before releasing; schemes do this in their handle `Drop`.
+    /// The release bumps the generation (back to even) *before* clearing the claim
+    /// flag, so any observer that still sees the slot claimed also sees the tenancy's
+    /// own generation.
     pub fn release(&self, id: SlotId) {
-        let was = self.slots[id.0].claimed.swap(false, Ordering::Release);
+        let slot = &self.slots[id.0];
+        slot.control.gen.fetch_add(1, Ordering::Release);
+        let was = slot.control.claimed.swap(false, Ordering::Release);
         debug_assert!(was, "releasing a slot that was not claimed");
     }
 
     /// Whether the given slot index is currently claimed.
     pub fn is_claimed(&self, index: usize) -> bool {
-        self.slots[index].claimed.load(Ordering::Acquire)
+        self.slots[index].control.claimed.load(Ordering::Acquire)
+    }
+
+    /// The slot's current generation: bumped on every claim and every release, so
+    /// it is odd exactly while the slot is claimed, and no two tenancies of the
+    /// same slot share a value. Asynchronous actors (QSense's evictor) tag their
+    /// writes with the generation they observed and re-validate it afterwards to
+    /// detect that the slot changed hands underneath them.
+    #[inline]
+    pub fn generation(&self, index: usize) -> u64 {
+        self.slots[index].control.gen.load(Ordering::Acquire)
     }
 
     /// Returns the record stored in slot `index` regardless of claim state.
@@ -168,7 +207,7 @@ impl<T> Registry<T> {
         self.slots
             .iter()
             .enumerate()
-            .filter(|(_, s)| s.claimed.load(Ordering::Acquire))
+            .filter(|(_, s)| s.control.claimed.load(Ordering::Acquire))
             .map(|(i, s)| (i, &*s.state))
     }
 }
@@ -205,6 +244,22 @@ mod tests {
         reg.release(b);
         reg.release(c);
         assert_eq!(reg.claimed_count(), 0);
+    }
+
+    #[test]
+    fn generations_are_odd_while_claimed_and_unique_per_tenancy() {
+        let reg: Registry<AtomicUsize> = Registry::new(2, |_| AtomicUsize::new(0));
+        assert_eq!(reg.generation(0), 0, "vacant slots start at generation 0");
+        let a = reg.acquire().unwrap();
+        let g1 = reg.generation(a.index());
+        assert_eq!(g1 % 2, 1, "claimed slots have odd generations");
+        reg.release(a);
+        assert_eq!(reg.generation(a.index()), g1 + 1, "release bumps to even");
+        let b = reg.acquire().unwrap();
+        assert_eq!(b.index(), a.index(), "first-free policy reuses the slot");
+        let g2 = reg.generation(b.index());
+        assert_eq!(g2, g1 + 2, "each tenancy gets a fresh generation");
+        reg.release(b);
     }
 
     #[test]

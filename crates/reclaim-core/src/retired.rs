@@ -4,9 +4,9 @@
 //! via `retire` (the paper's `free_node_later`). The scheme must hold on to the node —
 //! together with the timestamp of its removal, which Cadence's deferred reclamation
 //! needs — until it can prove no other thread still uses it. [`RetiredPtr`] is the
-//! Rust equivalent of the paper's `timestamped_node` wrapper (Algorithm 3), and
-//! [`RetiredBag`] is one thread-local list of such wrappers (a limbo list in QSBR
-//! terms, a removed-nodes list in HP/Cadence terms).
+//! Rust equivalent of the paper's `timestamped_node` wrapper (Algorithm 3); threads
+//! collect these wrappers in [`crate::segbag::SegBag`] segment chains (a limbo list
+//! in QSBR terms, a removed-nodes list in HP/Cadence terms).
 
 use crate::clock::Nanos;
 use std::fmt;
@@ -82,113 +82,6 @@ impl fmt::Debug for RetiredPtr {
     }
 }
 
-/// A thread-local list of retired nodes awaiting reclamation.
-///
-/// The owning thread pushes retired nodes and periodically drains the bag through a
-/// scheme-specific predicate (hazard-pointer scan, grace-period check, age check).
-/// Other threads never touch the bag, so no synchronization is needed.
-#[derive(Debug, Default)]
-pub struct RetiredBag {
-    nodes: Vec<RetiredPtr>,
-}
-
-impl RetiredBag {
-    /// Creates an empty bag.
-    pub fn new() -> Self {
-        Self { nodes: Vec::new() }
-    }
-
-    /// Creates an empty bag with pre-allocated capacity (used by schemes that know
-    /// their scan threshold `R`).
-    pub fn with_capacity(cap: usize) -> Self {
-        Self {
-            nodes: Vec::with_capacity(cap),
-        }
-    }
-
-    /// Number of nodes currently awaiting reclamation.
-    pub fn len(&self) -> usize {
-        self.nodes.len()
-    }
-
-    /// True when no nodes await reclamation.
-    pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
-    }
-
-    /// Adds a retired node to the bag.
-    pub fn push(&mut self, node: RetiredPtr) {
-        self.nodes.push(node);
-    }
-
-    /// Moves every node out of `other` into `self` (used when QSense folds the three
-    /// QSBR limbo lists into one Cadence removed-nodes list, §5.2).
-    pub fn append(&mut self, other: &mut RetiredBag) {
-        self.nodes.append(&mut other.nodes);
-    }
-
-    /// Reclaims every node for which `can_reclaim` returns true; nodes that are not
-    /// yet safe remain in the bag. Returns the number of nodes reclaimed.
-    ///
-    /// The partition is done in place with `swap_remove`, so a scan performs **zero
-    /// heap allocations** — this runs on every scheme's reclamation path, up to once
-    /// per `R` retires, and an earlier revision's drain-into-fresh-`Vec` approach
-    /// made every scan pay an allocation proportional to the bag size. The price is
-    /// that surviving nodes are reordered; no caller depends on bag order (nodes
-    /// carry their own timestamps, and scans match by address).
-    ///
-    /// # Safety
-    ///
-    /// The predicate must only return `true` for nodes that no other thread can still
-    /// access (retired in the paper's terminology).
-    pub unsafe fn reclaim_if(&mut self, mut can_reclaim: impl FnMut(&RetiredPtr) -> bool) -> usize {
-        let mut freed = 0usize;
-        let mut i = 0usize;
-        while i < self.nodes.len() {
-            if can_reclaim(&self.nodes[i]) {
-                let node = self.nodes.swap_remove(i);
-                // SAFETY: forwarded from the caller's contract on `can_reclaim`.
-                unsafe { node.reclaim() };
-                freed += 1;
-                // The node swapped into position `i` has not been examined yet; do
-                // not advance.
-            } else {
-                i += 1;
-            }
-        }
-        freed
-    }
-
-    /// Unconditionally reclaims every node in the bag. Returns the number reclaimed.
-    ///
-    /// # Safety
-    ///
-    /// Caller must guarantee that no thread can access any node in the bag (e.g. the
-    /// scheme is being dropped and all handles are gone).
-    pub unsafe fn reclaim_all(&mut self) -> usize {
-        self.reclaim_if(|_| true)
-    }
-
-    /// Iterates over the retired nodes without reclaiming them.
-    pub fn iter(&self) -> impl Iterator<Item = &RetiredPtr> {
-        self.nodes.iter()
-    }
-}
-
-impl Drop for RetiredBag {
-    fn drop(&mut self) {
-        // Dropping a non-empty bag would leak the nodes. Schemes drain their bags in
-        // their own Drop impls (when it is provably safe); reaching this point with
-        // leftovers indicates a scheme bug in debug builds, and in release we leak
-        // rather than risk a double free.
-        debug_assert!(
-            self.nodes.is_empty(),
-            "RetiredBag dropped with {} unreclaimed nodes",
-            self.nodes.len()
-        );
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,10 +116,8 @@ mod tests {
         assert!(!node.is_old_enough(1_500, 1_000));
         assert!(node.is_old_enough(2_000, 1_000));
         assert!(node.is_old_enough(2_500, 1_000));
-        // Clean up.
-        let mut bag = RetiredBag::new();
-        bag.push(node);
-        unsafe { bag.reclaim_all() };
+        unsafe { node.reclaim() };
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
     }
 
     #[test]
@@ -235,99 +126,15 @@ mod tests {
         // Retired "in the future" relative to now: must not panic, must not be old.
         let node = retire_counter(&counter, 5_000);
         assert!(!node.is_old_enough(1_000, 1));
-        let mut bag = RetiredBag::new();
-        bag.push(node);
-        unsafe { bag.reclaim_all() };
+        unsafe { node.reclaim() };
     }
 
     #[test]
-    fn reclaim_if_frees_only_matching_nodes() {
-        let counter = Arc::new(AtomicUsize::new(0));
-        let mut bag = RetiredBag::with_capacity(4);
-        for t in 0..4 {
-            bag.push(retire_counter(&counter, t));
-        }
-        assert_eq!(bag.len(), 4);
-        let freed = unsafe { bag.reclaim_if(|n| n.retired_at() < 2) };
-        assert_eq!(freed, 2);
-        assert_eq!(bag.len(), 2);
-        assert_eq!(counter.load(Ordering::SeqCst), 2);
-        let freed = unsafe { bag.reclaim_all() };
-        assert_eq!(freed, 2);
-        assert_eq!(counter.load(Ordering::SeqCst), 4);
-        assert!(bag.is_empty());
-    }
-
-    /// The in-place swap-remove partition reorders survivors; what must hold is
-    /// that exactly the matching nodes are freed and exactly the non-matching ones
-    /// survive, for every interleaving of keep/free positions.
-    #[test]
-    fn reclaim_if_outcome_is_independent_of_node_order() {
-        // Each mask bit selects which of 6 nodes are reclaimable this round.
-        for mask in 0u32..64 {
-            let counter = Arc::new(AtomicUsize::new(0));
-            let mut bag = RetiredBag::new();
-            for t in 0..6u64 {
-                bag.push(retire_counter(&counter, t));
-            }
-            let expected_freed = mask.count_ones() as usize;
-            let freed =
-                unsafe { bag.reclaim_if(|n| mask & (1 << n.retired_at()) != 0) };
-            assert_eq!(freed, expected_freed, "mask {mask:#b}");
-            assert_eq!(counter.load(Ordering::SeqCst), expected_freed);
-            assert_eq!(bag.len(), 6 - expected_freed);
-            // Every survivor is a non-matching node, each exactly once.
-            let mut survivors: Vec<u64> = bag.iter().map(RetiredPtr::retired_at).collect();
-            survivors.sort_unstable();
-            let expected: Vec<u64> =
-                (0..6).filter(|t| mask & (1 << t) == 0).collect();
-            assert_eq!(survivors, expected, "mask {mask:#b}");
-            unsafe { bag.reclaim_all() };
-        }
-    }
-
-    /// Steady-state scans must not allocate: repeated partitions of the same bag
-    /// never grow its backing storage.
-    #[test]
-    fn reclaim_if_never_grows_capacity() {
-        let counter = Arc::new(AtomicUsize::new(0));
-        let mut bag = RetiredBag::with_capacity(16);
-        for t in 0..16u64 {
-            bag.push(retire_counter(&counter, t));
-        }
-        let cap = bag.nodes.capacity();
-        for round in 0..8u64 {
-            // Free two nodes per round, keep the rest.
-            let freed = unsafe { bag.reclaim_if(|n| n.retired_at() / 2 == round) };
-            assert_eq!(freed, 2);
-            assert_eq!(bag.nodes.capacity(), cap, "scan reallocated the bag");
-        }
-        assert!(bag.is_empty());
-    }
-
-    #[test]
-    fn append_moves_all_nodes() {
-        let counter = Arc::new(AtomicUsize::new(0));
-        let mut a = RetiredBag::new();
-        let mut b = RetiredBag::new();
-        a.push(retire_counter(&counter, 1));
-        b.push(retire_counter(&counter, 2));
-        b.push(retire_counter(&counter, 3));
-        a.append(&mut b);
-        assert_eq!(a.len(), 3);
-        assert!(b.is_empty());
-        assert_eq!(a.iter().count(), 3);
-        unsafe { a.reclaim_all() };
-        assert_eq!(counter.load(Ordering::SeqCst), 3);
-    }
-
-    #[test]
-    fn retired_ptr_reports_address() {
+    fn retired_ptr_reports_address_and_reclaims_once() {
         let counter = Arc::new(AtomicUsize::new(0));
         let node = retire_counter(&counter, 0);
         assert!(!node.addr().is_null());
-        let mut bag = RetiredBag::new();
-        bag.push(node);
-        unsafe { bag.reclaim_all() };
+        unsafe { node.reclaim() };
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
     }
 }

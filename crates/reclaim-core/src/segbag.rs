@@ -1,0 +1,860 @@
+//! Segment-chain retired-node bags: the allocation-free steady-state retire path.
+//!
+//! `RetiredBag` (the previous generation of this module's job) stored retired
+//! nodes in a `Vec<RetiredPtr>`. That left two allocation sites *on* the retire
+//! path — `Vec` doubling when a bag grew past its high-water mark, and a fresh
+//! `Vec` per parked bag at handle drop — plus an O(n) copy at every doubling.
+//! [`SegBag`] removes all of them by storing nodes in fixed-size **segments**
+//! linked into a chain:
+//!
+//! * **push** writes into the tail segment; when it fills, the next segment is
+//!   popped from a per-handle free list ([`SegPool`]) in O(1). The allocator is
+//!   touched only when the pool is empty, i.e. only while a thread's *total*
+//!   outstanding retired-node count exceeds everything it has seen before.
+//!   Because the pool is shared by all of a handle's bags (the three epoch limbo
+//!   lists of QSBR/QSense, the four of EBR), a bag can grow far past its own
+//!   previous high-water mark without allocating, as long as the handle's
+//!   segments cover it.
+//! * **reclaim** compacts survivors in place *within their segment* and
+//!   unlinks drained segments back to the pool — zero heap traffic, O(freed)
+//!   moves (survivors never migrate across segments), same cost class as the
+//!   old `swap_remove` partition but with segment recycling instead of a
+//!   retained `Vec` capacity.
+//! * **splice** moves another bag's entire chain in O(1) pointer surgery. This
+//!   is what makes the parked-bag hand-off at handle drop allocation-free: the
+//!   scheme keeps one [`ParkedChain`] and dying handles splice their leftovers
+//!   into it; surviving handles adopt the parked chain back (another splice) on
+//!   their next flush.
+//!
+//! ## Segment size
+//!
+//! A [`RetiredPtr`] is 24 bytes (pointer, destructor, timestamp). With
+//! [`SEG_CAP`] = 20 slots plus the `next`/`len` header a segment is 496 bytes —
+//! eight cache lines, comfortably under one 512-byte allocator size class. The
+//! size is a balance: large enough that the amortized per-retire overhead
+//! (chain link maintenance, pool pop) is under 1/20th of a pointer push, small
+//! enough that a mostly-empty bag wastes at most a few hundred bytes and that
+//! EBR's "touch shared epoch state once per segment" batching still reacts
+//! quickly (every 20 retires).
+//!
+//! ## Safety model
+//!
+//! A `SegBag` is owned by one thread at a time (all methods take `&mut self`);
+//! `splice` transfers whole chains between owners, which is safe because a
+//! [`RetiredPtr`] is `Send`. Segments are manually managed `Box` allocations;
+//! the only `unsafe` is the slot bookkeeping, where the compaction's
+//! within-segment write index never passes its read index — see `reclaim_if`.
+
+use crate::retired::RetiredPtr;
+use std::fmt;
+use std::mem::MaybeUninit;
+use std::ptr;
+use std::sync::Mutex;
+
+/// Retired nodes per segment (see the module docs for the size rationale).
+pub const SEG_CAP: usize = 20;
+
+/// One fixed-size link of a [`SegBag`] chain.
+struct Segment {
+    next: *mut Segment,
+    /// Number of initialized slots. Pushes fill only the tail, but partial
+    /// segments can sit mid-chain (after a `splice`, or where `reclaim_if`
+    /// freed some of a segment's nodes); every traversal honours per-segment
+    /// `len`.
+    len: usize,
+    slots: [MaybeUninit<RetiredPtr>; SEG_CAP],
+}
+
+impl Segment {
+    fn alloc() -> *mut Segment {
+        Box::into_raw(Box::new(Segment {
+            next: ptr::null_mut(),
+            len: 0,
+            slots: [const { MaybeUninit::uninit() }; SEG_CAP],
+        }))
+    }
+
+    /// # Safety
+    ///
+    /// `seg` must have come from [`Segment::alloc`] and hold no initialized
+    /// slots the caller still cares about (moved out or already dropped).
+    unsafe fn dealloc(seg: *mut Segment) {
+        // SAFETY: forwarded from the caller's contract; the slots are
+        // `MaybeUninit`, so dropping the box never runs `RetiredPtr` work.
+        drop(unsafe { Box::from_raw(seg) });
+    }
+}
+
+/// A per-handle free list of empty segments.
+///
+/// Bags draw empty segments from the pool on push and return drained segments
+/// on reclaim. The pool is unbounded but can only grow to the owning handle's
+/// all-time peak segment count — the classic high-water-mark retention that
+/// makes the steady state allocation-free. It is deliberately a separate type
+/// (not embedded in [`SegBag`]) so one handle's pool can back several bags.
+pub struct SegPool {
+    free: *mut Segment,
+    free_len: usize,
+}
+
+// SAFETY: the pool owns its (empty) segments outright; there is no aliasing —
+// moving it to another thread moves plain heap blocks.
+unsafe impl Send for SegPool {}
+
+impl SegPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self {
+            free: ptr::null_mut(),
+            free_len: 0,
+        }
+    }
+
+    /// Creates a pool pre-warmed with enough segments to hold `nodes` retired
+    /// nodes, so a handle that knows its scan threshold never allocates on the
+    /// retire path at all — not even the first time its bag fills up.
+    pub fn with_node_capacity(nodes: usize) -> Self {
+        let mut pool = Self::new();
+        for _ in 0..nodes.div_ceil(SEG_CAP) {
+            let seg = Segment::alloc();
+            // SAFETY: freshly allocated, empty.
+            unsafe { pool.put(seg) };
+        }
+        pool
+    }
+
+    /// Number of empty segments currently pooled.
+    pub fn free_segments(&self) -> usize {
+        self.free_len
+    }
+
+    /// Pops an empty segment, allocating only when the pool is dry.
+    fn get(&mut self) -> *mut Segment {
+        if self.free.is_null() {
+            return Segment::alloc();
+        }
+        let seg = self.free;
+        // SAFETY: `seg` came from `put`, which keeps the free list well formed.
+        self.free = unsafe { (*seg).next };
+        self.free_len -= 1;
+        unsafe {
+            (*seg).next = ptr::null_mut();
+        }
+        seg
+    }
+
+    /// Returns a drained segment to the free list.
+    ///
+    /// # Safety
+    ///
+    /// Every slot of `seg` must be uninitialized (moved out or reclaimed).
+    unsafe fn put(&mut self, seg: *mut Segment) {
+        // SAFETY: the caller guarantees the segment is drained; resetting `len`
+        // makes that state canonical before it is reused.
+        unsafe {
+            (*seg).len = 0;
+            (*seg).next = self.free;
+        }
+        self.free = seg;
+        self.free_len += 1;
+    }
+}
+
+impl Default for SegPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for SegPool {
+    fn drop(&mut self) {
+        let mut seg = self.free;
+        while !seg.is_null() {
+            // SAFETY: free-list segments are empty and owned by the pool.
+            let next = unsafe { (*seg).next };
+            unsafe { Segment::dealloc(seg) };
+            seg = next;
+        }
+    }
+}
+
+impl fmt::Debug for SegPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SegPool")
+            .field("free_segments", &self.free_len)
+            .finish()
+    }
+}
+
+/// A thread-local bag of retired nodes stored as a chain of fixed segments.
+///
+/// The owning thread pushes retired nodes and periodically drains the bag
+/// through a scheme-specific predicate (hazard-pointer scan, grace-period
+/// check, age check). Other threads never touch a live bag; whole bags change
+/// owners only via [`splice`](Self::splice) (parked-bag hand-off).
+pub struct SegBag {
+    /// Oldest segment (start of the chain); null iff the bag is empty.
+    head: *mut Segment,
+    /// Newest segment — the push target; null iff the bag is empty.
+    tail: *mut Segment,
+    len: usize,
+}
+
+// SAFETY: the chain is uniquely owned by the bag and `RetiredPtr` is `Send`;
+// moving the bag moves ownership of every pending destructor call.
+unsafe impl Send for SegBag {}
+
+impl SegBag {
+    /// Creates an empty bag.
+    pub fn new() -> Self {
+        Self {
+            head: ptr::null_mut(),
+            tail: ptr::null_mut(),
+            len: 0,
+        }
+    }
+
+    /// Number of nodes currently awaiting reclamation.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no nodes await reclamation.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of segments currently linked into the chain (diagnostics/tests).
+    pub fn segments(&self) -> usize {
+        let mut count = 0;
+        let mut seg = self.head;
+        while !seg.is_null() {
+            count += 1;
+            // SAFETY: chain segments are owned by the bag and well formed.
+            seg = unsafe { (*seg).next };
+        }
+        count
+    }
+
+    /// Adds a retired node, drawing a segment from `pool` if the tail is full.
+    pub fn push(&mut self, pool: &mut SegPool, node: RetiredPtr) {
+        unsafe {
+            if self.tail.is_null() {
+                let seg = pool.get();
+                self.head = seg;
+                self.tail = seg;
+            } else if (*self.tail).len == SEG_CAP {
+                let seg = pool.get();
+                (*self.tail).next = seg;
+                self.tail = seg;
+            }
+            // SAFETY: the tail now has a free slot at `len`.
+            let tail = &mut *self.tail;
+            tail.slots[tail.len].write(node);
+            tail.len += 1;
+        }
+        self.len += 1;
+    }
+
+    /// Moves every node out of `other` into `self` with O(1) pointer surgery —
+    /// no copy, no allocation. Used for the parked-bag hand-off at handle drop
+    /// (dying handle → scheme) and for parked-chain adoption (scheme →
+    /// surviving handle), and when QSense folds its limbo lists together.
+    pub fn splice(&mut self, other: &mut SegBag) {
+        if other.head.is_null() {
+            return;
+        }
+        if self.head.is_null() {
+            self.head = other.head;
+            self.tail = other.tail;
+        } else {
+            // SAFETY: both chains are well formed and uniquely owned.
+            unsafe { (*self.tail).next = other.head };
+            self.tail = other.tail;
+        }
+        self.len += other.len;
+        other.head = ptr::null_mut();
+        other.tail = ptr::null_mut();
+        other.len = 0;
+    }
+
+    /// Reclaims every node for which `can_reclaim` returns true; nodes that are
+    /// not yet safe remain in the bag. Returns the number of nodes reclaimed.
+    ///
+    /// Survivors are compacted **within their segment only** (a local write
+    /// cursor trailing the read index), and segments left empty are unlinked
+    /// and returned to `pool` — zero heap allocations either way. Crucially,
+    /// survivors never migrate across segments: an earlier revision repacked
+    /// the whole chain densely, which moved *every* survivor whenever a prefix
+    /// of the bag was freed — exactly Cadence's steady state, where each scan
+    /// frees the oldest few nodes of an age-ordered bag holding tens of
+    /// thousands of still-young survivors, turning an O(freed) partition into
+    /// an O(bag) copy per scan. The price is segment-granular fragmentation:
+    /// a partially drained segment keeps its slack until its last survivor
+    /// goes (pushes refill only the tail). That slack is bounded by the
+    /// survivor count — at worst one segment per long-lived survivor, which
+    /// for real schemes is the hazard-pointer residue (≤ `N·K` nodes).
+    ///
+    /// Survivor order is preserved; no caller relies on it, but the tests do
+    /// check it to pin the compaction down.
+    ///
+    /// # Safety
+    ///
+    /// The predicate must only return `true` for nodes that no other thread can
+    /// still access (*retired* in the paper's terminology).
+    pub unsafe fn reclaim_if(
+        &mut self,
+        pool: &mut SegPool,
+        mut can_reclaim: impl FnMut(&RetiredPtr) -> bool,
+    ) -> usize {
+        // SAFETY: forwarded from the caller's contract.
+        unsafe { self.reclaim_impl(pool, |_| true, &mut can_reclaim) }
+    }
+
+    /// Like [`reclaim_if`](Self::reclaim_if), but the walk stops for good at
+    /// the first node for which `keep_scanning` returns false; later nodes are
+    /// not examined (and not reclaimed) this pass.
+    ///
+    /// This is the age-ordered fast path for deferred-reclamation scans
+    /// (Cadence, QSense's fallback): a thread pushes in retirement order, so
+    /// once a node is too young to free, everything behind it is younger
+    /// still — the scan touches only the reclaimable prefix plus one node,
+    /// O(freed), instead of walking tens of thousands of still-young
+    /// survivors. A [`splice`](Self::splice) can append *older* nodes behind
+    /// younger ones (parked-chain adoption); stopping early merely delays
+    /// those until the nodes in front of them age too, which is always safe.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`reclaim_if`](Self::reclaim_if).
+    pub unsafe fn reclaim_if_while(
+        &mut self,
+        pool: &mut SegPool,
+        mut keep_scanning: impl FnMut(&RetiredPtr) -> bool,
+        mut can_reclaim: impl FnMut(&RetiredPtr) -> bool,
+    ) -> usize {
+        // SAFETY: forwarded from the caller's contract.
+        unsafe { self.reclaim_impl(pool, &mut keep_scanning, &mut can_reclaim) }
+    }
+
+    /// Shared walk for the two reclaim entry points (see their docs).
+    ///
+    /// # Safety
+    ///
+    /// `can_reclaim` must only return `true` for nodes no other thread can
+    /// still access.
+    unsafe fn reclaim_impl(
+        &mut self,
+        pool: &mut SegPool,
+        mut keep_scanning: impl FnMut(&RetiredPtr) -> bool,
+        can_reclaim: &mut impl FnMut(&RetiredPtr) -> bool,
+    ) -> usize {
+        let mut freed = 0usize;
+        let mut prev: *mut Segment = ptr::null_mut();
+        let mut seg = self.head;
+        let mut stopped = false;
+        unsafe {
+            while !seg.is_null() && !stopped {
+                let next = (*seg).next;
+                let len = (*seg).len;
+                let mut write = 0usize;
+                for read in 0..len {
+                    let slot = (*seg).slots.as_mut_ptr().add(read);
+                    // SAFETY: `read < len`, so the slot is initialized.
+                    let node_ref = (*slot).assume_init_ref();
+                    if !stopped && !keep_scanning(node_ref) {
+                        stopped = true;
+                    }
+                    if !stopped && can_reclaim(node_ref) {
+                        let node = (*slot).assume_init_read();
+                        // SAFETY: forwarded from the caller's contract.
+                        node.reclaim();
+                        freed += 1;
+                    } else {
+                        // Survivor (or unexamined remainder after a stop):
+                        // compact within the segment.
+                        if write != read {
+                            // SAFETY: `write < read`, so the target slot was
+                            // already read out of; the move neither drops a
+                            // live node nor duplicates one.
+                            let node = (*slot).assume_init_read();
+                            (*seg)
+                                .slots
+                                .as_mut_ptr()
+                                .add(write)
+                                .write(MaybeUninit::new(node));
+                        }
+                        write += 1;
+                    }
+                }
+                (*seg).len = write;
+                if write == 0 {
+                    // Drained: unlink and recycle. SAFETY: every slot was
+                    // reclaimed above.
+                    if prev.is_null() {
+                        self.head = next;
+                    } else {
+                        (*prev).next = next;
+                    }
+                    if self.tail == seg {
+                        self.tail = prev;
+                    }
+                    pool.put(seg);
+                } else {
+                    prev = seg;
+                }
+                seg = next;
+            }
+        }
+        self.len -= freed;
+        freed
+    }
+
+    /// Unconditionally reclaims every node in the bag. Returns the number
+    /// reclaimed.
+    ///
+    /// # Safety
+    ///
+    /// Caller must guarantee that no thread can access any node in the bag
+    /// (e.g. the scheme is being dropped and all handles are gone).
+    pub unsafe fn reclaim_all(&mut self, pool: &mut SegPool) -> usize {
+        // SAFETY: forwarded from the caller's contract.
+        unsafe { self.reclaim_if(pool, |_| true) }
+    }
+
+    /// Iterates over the retired nodes without reclaiming them.
+    pub fn iter(&self) -> SegBagIter<'_> {
+        SegBagIter {
+            seg: self.head,
+            idx: 0,
+            _bag: std::marker::PhantomData,
+        }
+    }
+}
+
+impl Default for SegBag {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for SegBag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SegBag")
+            .field("len", &self.len)
+            .field("segments", &self.segments())
+            .finish()
+    }
+}
+
+impl Drop for SegBag {
+    fn drop(&mut self) {
+        // Dropping a non-empty bag would leak the nodes. Schemes drain their
+        // bags (or splice them into the scheme's parked bag) in their own Drop
+        // impls; reaching this point with leftovers indicates a scheme bug in
+        // debug builds, and in release we leak the *nodes* rather than risk a
+        // double free — but the segment memory itself is always released.
+        debug_assert!(
+            self.len == 0,
+            "SegBag dropped with {} unreclaimed nodes",
+            self.len
+        );
+        let mut seg = self.head;
+        while !seg.is_null() {
+            // SAFETY: the chain is uniquely owned; any still-initialized
+            // RetiredPtr slots carry no Drop impl of their own (the pointed-to
+            // nodes leak deliberately, see above).
+            let next = unsafe { (*seg).next };
+            unsafe { Segment::dealloc(seg) };
+            seg = next;
+        }
+    }
+}
+
+/// Scheme-level parking lot for the limbo leftovers of exited threads.
+///
+/// A dying handle [`park`](Self::park)s whatever its final scan could not free
+/// (an O(1) chain splice under the lock, no allocation); the next surviving
+/// handle to flush [`adopt`](Self::adopt_into)s the whole chain back into its
+/// own bag, where the nodes rejoin normal scanning; anything never adopted is
+/// [`drain`](Self::drain_all)ed when the scheme itself drops. Every scheme
+/// embeds one of these — the protocol lives here exactly once instead of being
+/// repeated per scheme crate.
+pub struct ParkedChain {
+    chain: Mutex<SegBag>,
+}
+
+impl ParkedChain {
+    /// Creates an empty parking lot.
+    pub fn new() -> Self {
+        Self {
+            chain: Mutex::new(SegBag::new()),
+        }
+    }
+
+    /// Splices `leftovers` into the parked chain. O(1); skips the lock when
+    /// there is nothing to park.
+    pub fn park(&self, leftovers: &mut SegBag) {
+        if leftovers.is_empty() {
+            return;
+        }
+        self.chain
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .splice(leftovers);
+    }
+
+    /// Splices the entire parked chain into `into`. O(1).
+    pub fn adopt_into(&self, into: &mut SegBag) {
+        let mut parked = self.chain.lock().unwrap_or_else(|e| e.into_inner());
+        into.splice(&mut parked);
+    }
+
+    /// Unconditionally frees every parked node, returning the count. The
+    /// drained segments are released to the allocator (via a throwaway pool) —
+    /// this runs at scheme drop, not on any hot path.
+    ///
+    /// # Safety
+    ///
+    /// Caller must guarantee no thread can access any parked node (e.g. the
+    /// scheme is being dropped and every handle is gone).
+    pub unsafe fn drain_all(&self) -> usize {
+        let mut parked = self.chain.lock().unwrap_or_else(|e| e.into_inner());
+        let mut pool = SegPool::new();
+        // SAFETY: forwarded from the caller's contract.
+        unsafe { parked.reclaim_all(&mut pool) }
+    }
+}
+
+impl Default for ParkedChain {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for ParkedChain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let len = self
+            .chain
+            .lock()
+            .map(|chain| chain.len())
+            .unwrap_or_default();
+        f.debug_struct("ParkedChain").field("len", &len).finish()
+    }
+}
+
+/// Borrowing iterator over a [`SegBag`]'s nodes, segment by segment.
+pub struct SegBagIter<'a> {
+    seg: *mut Segment,
+    idx: usize,
+    _bag: std::marker::PhantomData<&'a SegBag>,
+}
+
+impl<'a> Iterator for SegBagIter<'a> {
+    type Item = &'a RetiredPtr;
+
+    fn next(&mut self) -> Option<&'a RetiredPtr> {
+        loop {
+            if self.seg.is_null() {
+                return None;
+            }
+            // SAFETY: the borrow on the bag keeps the chain alive and unmodified.
+            unsafe {
+                if self.idx < (*self.seg).len {
+                    let item = (*self.seg).slots[self.idx].assume_init_ref();
+                    self.idx += 1;
+                    return Some(item);
+                }
+                self.seg = (*self.seg).next;
+                self.idx = 0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::Nanos;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    struct DropCounter {
+        counter: Arc<AtomicUsize>,
+    }
+
+    impl Drop for DropCounter {
+        fn drop(&mut self) {
+            self.counter.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn retire_counter(counter: &Arc<AtomicUsize>, at: Nanos) -> RetiredPtr {
+        let boxed = Box::new(DropCounter {
+            counter: Arc::clone(counter),
+        });
+        let raw = Box::into_raw(boxed).cast::<u8>();
+        unsafe fn drop_counter(ptr: *mut u8) {
+            unsafe { drop(Box::from_raw(ptr.cast::<DropCounter>())) };
+        }
+        unsafe { RetiredPtr::new(raw, drop_counter, at) }
+    }
+
+    #[test]
+    fn segment_fits_eight_cache_lines() {
+        assert!(
+            std::mem::size_of::<Segment>() <= 512,
+            "segment grew past its size class: {} bytes",
+            std::mem::size_of::<Segment>()
+        );
+    }
+
+    #[test]
+    fn push_links_segments_and_reclaim_recycles_them() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut pool = SegPool::new();
+        let mut bag = SegBag::new();
+        let n = 3 * SEG_CAP + 5;
+        for t in 0..n as u64 {
+            bag.push(&mut pool, retire_counter(&counter, t));
+        }
+        assert_eq!(bag.len(), n);
+        assert_eq!(bag.segments(), 4);
+        let freed = unsafe { bag.reclaim_all(&mut pool) };
+        assert_eq!(freed, n);
+        assert!(bag.is_empty());
+        assert_eq!(bag.segments(), 0);
+        assert_eq!(pool.free_segments(), 4, "drained segments must be pooled");
+        assert_eq!(counter.load(Ordering::SeqCst), n);
+    }
+
+    #[test]
+    fn reclaim_if_frees_only_matching_nodes_and_preserves_survivors() {
+        // Each mask bit selects which of 2*SEG_CAP nodes are reclaimable.
+        for round in 0..64u64 {
+            let counter = Arc::new(AtomicUsize::new(0));
+            let mut pool = SegPool::new();
+            let mut bag = SegBag::new();
+            let n = 2 * SEG_CAP as u64;
+            for t in 0..n {
+                bag.push(&mut pool, retire_counter(&counter, t));
+            }
+            // A different pseudo-random keep/free pattern per round.
+            let keep =
+                |t: u64| (t.wrapping_mul(2654435761).wrapping_add(round * 97)).is_multiple_of(3);
+            let expected_freed = (0..n).filter(|&t| !keep(t)).count();
+            let freed = unsafe { bag.reclaim_if(&mut pool, |node| !keep(node.retired_at())) };
+            assert_eq!(freed, expected_freed, "round {round}");
+            assert_eq!(counter.load(Ordering::SeqCst), expected_freed);
+            assert_eq!(bag.len(), n as usize - expected_freed);
+            let survivors: Vec<u64> = bag.iter().map(RetiredPtr::retired_at).collect();
+            let expected: Vec<u64> = (0..n).filter(|&t| keep(t)).collect();
+            assert_eq!(
+                survivors, expected,
+                "round {round}: compaction must keep order"
+            );
+            unsafe { bag.reclaim_all(&mut pool) };
+        }
+    }
+
+    #[test]
+    fn steady_state_cycles_never_touch_the_allocator_pool_side() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut pool = SegPool::new();
+        let mut bag = SegBag::new();
+        // Warm up to the high-water mark, then drain.
+        for t in 0..(4 * SEG_CAP) as u64 {
+            bag.push(&mut pool, retire_counter(&counter, t));
+        }
+        unsafe { bag.reclaim_all(&mut pool) };
+        let pooled = pool.free_segments();
+        assert_eq!(pooled, 4);
+        // Refill/drain cycles at or below the high-water mark recycle segments
+        // instead of allocating: the pool never grows past its peak.
+        for _ in 0..8 {
+            for t in 0..(4 * SEG_CAP) as u64 {
+                bag.push(&mut pool, retire_counter(&counter, t));
+            }
+            assert_eq!(pool.free_segments(), 0, "all segments in use");
+            unsafe { bag.reclaim_all(&mut pool) };
+            assert_eq!(pool.free_segments(), pooled, "segments fully recycled");
+        }
+    }
+
+    #[test]
+    fn drained_segments_are_unlinked_at_head_middle_and_tail() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut pool = SegPool::new();
+        let mut bag = SegBag::new();
+        for t in 0..(3 * SEG_CAP) as u64 {
+            bag.push(&mut pool, retire_counter(&counter, t));
+        }
+        // Free the first and last segment's nodes entirely: both drained
+        // segments (the head and the tail) must be unlinked and pooled while
+        // the middle segment's survivors stay in place, unmoved.
+        let keep = |t: u64| (SEG_CAP as u64..2 * SEG_CAP as u64).contains(&t);
+        let freed = unsafe { bag.reclaim_if(&mut pool, |n| !keep(n.retired_at())) };
+        assert_eq!(freed, 2 * SEG_CAP);
+        assert_eq!(bag.len(), SEG_CAP);
+        assert_eq!(bag.segments(), 1, "drained segments must be unlinked");
+        assert_eq!(pool.free_segments(), 2);
+        let survivors: Vec<u64> = bag.iter().map(RetiredPtr::retired_at).collect();
+        assert_eq!(
+            survivors,
+            (SEG_CAP as u64..2 * SEG_CAP as u64).collect::<Vec<_>>()
+        );
+        // Pushing after the tail was unlinked continues on the surviving
+        // (now full) segment's successor, drawn from the pool.
+        bag.push(&mut pool, retire_counter(&counter, 1_000));
+        assert_eq!(bag.segments(), 2);
+        assert_eq!(pool.free_segments(), 1);
+        unsafe { bag.reclaim_all(&mut pool) };
+    }
+
+    #[test]
+    fn partial_reclaims_compact_within_segments_without_migration() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut pool = SegPool::new();
+        let mut bag = SegBag::new();
+        for t in 0..(3 * SEG_CAP) as u64 {
+            bag.push(&mut pool, retire_counter(&counter, t));
+        }
+        // Free two thirds, scattered: every segment keeps some survivors, so no
+        // segment is unlinked — survivors never migrate across segments, the
+        // deliberate trade (segment-granular slack) that keeps a scan's move
+        // cost O(freed), not O(bag).
+        let freed = unsafe { bag.reclaim_if(&mut pool, |n| !n.retired_at().is_multiple_of(3)) };
+        assert_eq!(freed, 2 * SEG_CAP);
+        assert_eq!(bag.len(), SEG_CAP);
+        assert_eq!(bag.segments(), 3, "no segment drained, none unlinked");
+        assert_eq!(pool.free_segments(), 0);
+        let survivors: Vec<u64> = bag.iter().map(RetiredPtr::retired_at).collect();
+        let expected: Vec<u64> = (0..3 * SEG_CAP as u64)
+            .filter(|t| t.is_multiple_of(3))
+            .collect();
+        assert_eq!(
+            survivors, expected,
+            "order preserved within and across segments"
+        );
+        unsafe { bag.reclaim_all(&mut pool) };
+        assert_eq!(pool.free_segments(), 3);
+    }
+
+    #[test]
+    fn reclaim_if_while_stops_at_the_first_blocking_node() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut pool = SegPool::new();
+        let mut bag = SegBag::new();
+        let n = 2 * SEG_CAP as u64 + 5;
+        for t in 0..n {
+            bag.push(&mut pool, retire_counter(&counter, t));
+        }
+        // Age cutoff mid-chain: nodes 0..cutoff are "old enough"; node 7 is
+        // protected and must survive even inside the scanned prefix.
+        let cutoff = SEG_CAP as u64 + 3;
+        let freed = unsafe {
+            bag.reclaim_if_while(
+                &mut pool,
+                |node| node.retired_at() < cutoff,
+                |node| node.retired_at() != 7,
+            )
+        };
+        assert_eq!(
+            freed,
+            cutoff as usize - 1,
+            "prefix minus the protected node"
+        );
+        assert_eq!(bag.len(), n as usize - freed);
+        // Everything at or past the cutoff was never examined; node 7 survived.
+        let survivors: Vec<u64> = bag.iter().map(RetiredPtr::retired_at).collect();
+        let expected: Vec<u64> = std::iter::once(7).chain(cutoff..n).collect();
+        assert_eq!(survivors, expected);
+        assert_eq!(counter.load(Ordering::SeqCst), freed);
+        // A later unrestricted pass can still free the rest.
+        let freed = unsafe { bag.reclaim_all(&mut pool) };
+        assert_eq!(freed, n as usize - (cutoff as usize - 1));
+        assert!(bag.is_empty());
+    }
+
+    #[test]
+    fn splice_is_o1_and_moves_everything() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut pool = SegPool::new();
+        let mut a = SegBag::new();
+        let mut b = SegBag::new();
+        for t in 0..5u64 {
+            a.push(&mut pool, retire_counter(&counter, t));
+        }
+        for t in 5..(SEG_CAP as u64 + 9) {
+            b.push(&mut pool, retire_counter(&counter, t));
+        }
+        let total = a.len() + b.len();
+        a.splice(&mut b);
+        assert_eq!(a.len(), total);
+        assert!(b.is_empty());
+        assert_eq!(b.segments(), 0);
+        // Splicing leaves a partial segment mid-chain; iteration and reclaim
+        // must both handle it.
+        let seen: Vec<u64> = a.iter().map(RetiredPtr::retired_at).collect();
+        assert_eq!(seen.len(), total);
+        let freed = unsafe { a.reclaim_all(&mut pool) };
+        assert_eq!(freed, total);
+        assert_eq!(counter.load(Ordering::SeqCst), total);
+        // Splicing an empty bag into an empty bag is a no-op.
+        a.splice(&mut b);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn splice_into_empty_adopts_the_chain() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut pool = SegPool::new();
+        let mut a = SegBag::new();
+        let mut b = SegBag::new();
+        for t in 0..3u64 {
+            b.push(&mut pool, retire_counter(&counter, t));
+        }
+        a.splice(&mut b);
+        assert_eq!(a.len(), 3);
+        // The adopted chain is writable (push goes to the adopted tail).
+        a.push(&mut pool, retire_counter(&counter, 3));
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.segments(), 1);
+        unsafe { a.reclaim_all(&mut pool) };
+    }
+
+    #[test]
+    fn pool_prewarm_covers_the_requested_node_count() {
+        let pool = SegPool::with_node_capacity(3 * SEG_CAP + 1);
+        assert_eq!(pool.free_segments(), 4);
+        let empty = SegPool::with_node_capacity(0);
+        assert_eq!(empty.free_segments(), 0);
+    }
+
+    #[test]
+    fn reclaim_after_splice_handles_partial_segments_mid_chain() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut pool = SegPool::new();
+        let mut a = SegBag::new();
+        for t in 0..2u64 {
+            a.push(&mut pool, retire_counter(&counter, t));
+        }
+        let mut b = SegBag::new();
+        for t in 2..(2 + 2 * SEG_CAP as u64) {
+            b.push(&mut pool, retire_counter(&counter, t));
+        }
+        a.splice(&mut b); // chain: [2-node partial] -> [full] -> [full]
+        let total = a.len();
+        // Keep everything: the pass must traverse the partial segment mid-chain
+        // without losing, duplicating, or migrating nodes.
+        let freed = unsafe { a.reclaim_if(&mut pool, |_| false) };
+        assert_eq!(freed, 0);
+        assert_eq!(a.len(), total);
+        let survivors: Vec<u64> = a.iter().map(RetiredPtr::retired_at).collect();
+        assert_eq!(survivors, (0..total as u64).collect::<Vec<_>>());
+        // Nothing was freed, so all 3 segments (partial one included) remain.
+        assert_eq!(a.segments(), 3);
+        unsafe { a.reclaim_all(&mut pool) };
+        assert_eq!(counter.load(Ordering::SeqCst), total);
+    }
+}

@@ -59,8 +59,7 @@ mod tests {
                     let mut handle = scheme.register();
                     for i in 0..400_u64 {
                         handle.begin_op();
-                        let node =
-                            Box::into_raw(Box::new(Tracked(Arc::clone(&drops))));
+                        let node = Box::into_raw(Box::new(Tracked(Arc::clone(&drops))));
                         // Briefly protect our own allocation (as a traversal would),
                         // then unprotect and retire it.
                         handle.protect((i % 2) as usize, node.cast());

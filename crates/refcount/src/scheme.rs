@@ -3,8 +3,10 @@
 use crate::table::{CountTable, DEFAULT_BUCKETS};
 use reclaim_core::retired::DropFn;
 use reclaim_core::stats::{StatStripe, StatsSnapshot};
-use reclaim_core::{RetiredBag, RetiredPtr, ShardedStats, Smr, SmrConfig, SmrHandle};
-use std::sync::{Arc, Mutex};
+use reclaim_core::{
+    ParkedChain, RetiredPtr, SegBag, SegPool, ShardedStats, Smr, SmrConfig, SmrHandle,
+};
+use std::sync::Arc;
 
 /// Reference-counting reclamation (the paper's related-work baseline, §8
 /// "Reference counting" [9, 12, 15, 30]).
@@ -22,9 +24,10 @@ pub struct RefCount {
     /// dealt out round-robin at registration).
     stats: ShardedStats,
     table: CountTable,
-    /// Retired nodes left behind by exiting threads while still referenced; freed
-    /// when the scheme drops.
-    parked: Mutex<Vec<RetiredBag>>,
+    /// Retired nodes left behind by exiting threads while still referenced;
+    /// adopted by the next flushing handle or drained at scheme drop (see
+    /// [`ParkedChain`]).
+    parked: ParkedChain,
 }
 
 impl RefCount {
@@ -41,7 +44,7 @@ impl RefCount {
             config,
             stats,
             table: CountTable::new(buckets),
-            parked: Mutex::new(Vec::new()),
+            parked: ParkedChain::new(),
         })
     }
 
@@ -61,8 +64,9 @@ impl RefCount {
     }
 
     /// Frees every node in `bag` whose counter bucket is currently zero. Returns the
-    /// number of nodes freed; counters go to `stats` (the calling handle's stripe).
-    fn scan_into(&self, bag: &mut RetiredBag, stats: &StatStripe) -> usize {
+    /// number of nodes freed; counters go to `stats` (the calling handle's stripe),
+    /// drained segments to `pool`.
+    fn scan_into(&self, bag: &mut SegBag, pool: &mut SegPool, stats: &StatStripe) -> usize {
         stats.add_scan();
         // SAFETY: a retired node is already unlinked. If its counter bucket is zero
         // then no thread currently announces a reference that could cover it; a
@@ -72,8 +76,7 @@ impl RefCount {
         // operations on both sides give the total order this argument needs — the
         // same structure as Michael's hazard-pointer scan proof, with "counter
         // bucket is non-zero" in place of "a hazard pointer matches".
-        let freed =
-            unsafe { bag.reclaim_if(|node| self.table.is_unreferenced(node.addr())) };
+        let freed = unsafe { bag.reclaim_if(pool, |node| self.table.is_unreferenced(node.addr())) };
         stats.add_freed(freed as u64);
         freed
     }
@@ -87,7 +90,11 @@ impl Smr for RefCount {
             stripe: self.stats.assign_stripe(),
             scheme: Arc::clone(self),
             slots: vec![std::ptr::null_mut(); self.config.hp_per_thread],
-            retired: RetiredBag::with_capacity(self.config.scan_threshold + 1),
+            retired: SegBag::new(),
+            // Pre-warm for the scan threshold (capped: a test-sized huge `R` must
+            // not balloon registration) so even the first bag fill recycles
+            // instead of allocating; recycling covers everything after that.
+            pool: SegPool::with_node_capacity((self.config.scan_threshold + 1).min(2048)),
             since_last_scan: 0,
         }
     }
@@ -104,11 +111,8 @@ impl Smr for RefCount {
 impl Drop for RefCount {
     fn drop(&mut self) {
         // No handle remains, so no reference announcement remains either.
-        let mut parked = self.parked.lock().unwrap_or_else(|e| e.into_inner());
-        for mut bag in parked.drain(..) {
-            let freed = unsafe { bag.reclaim_all() };
-            self.stats.stripe(0).add_freed(freed as u64);
-        }
+        let freed = unsafe { self.parked.drain_all() };
+        self.stats.stripe(0).add_freed(freed as u64);
     }
 }
 
@@ -120,7 +124,10 @@ pub struct RefCountHandle {
     /// The pointer currently announced through each protection slot (so the matching
     /// decrement can be issued when the slot is overwritten or cleared).
     slots: Vec<*mut u8>,
-    retired: RetiredBag,
+    retired: SegBag,
+    /// Recycled segments backing `retired`, pre-warmed for the scan threshold so
+    /// even the first bag fill never allocates.
+    pool: SegPool,
     since_last_scan: usize,
 }
 
@@ -135,8 +142,11 @@ impl RefCountHandle {
     }
 
     fn scan(&mut self) {
-        self.scheme
-            .scan_into(&mut self.retired, self.scheme.stats.stripe(self.stripe));
+        self.scheme.scan_into(
+            &mut self.retired,
+            &mut self.pool,
+            self.scheme.stats.stripe(self.stripe),
+        );
     }
 
     fn release_slot(&mut self, index: usize) {
@@ -192,7 +202,9 @@ impl SmrHandle for RefCountHandle {
         self.stats().add_retired(1);
         let now = self.scheme.config.clock.now();
         // SAFETY: forwarded from the caller's contract.
-        self.retired.push(unsafe { RetiredPtr::new(ptr, drop_fn, now) });
+        self.retired.push(&mut self.pool, unsafe {
+            RetiredPtr::new(ptr, drop_fn, now)
+        });
         self.since_last_scan += 1;
         if self.since_last_scan >= self.scheme.config.scan_threshold {
             self.since_last_scan = 0;
@@ -201,6 +213,8 @@ impl SmrHandle for RefCountHandle {
     }
 
     fn flush(&mut self) {
+        // Adopt leftovers of exited threads so they rejoin the scan cycle.
+        self.scheme.parked.adopt_into(&mut self.retired);
         self.since_last_scan = 0;
         self.scan();
     }
@@ -214,15 +228,9 @@ impl Drop for RefCountHandle {
     fn drop(&mut self) {
         self.clear_protections();
         self.scan();
-        if !self.retired.is_empty() {
-            let mut moved = RetiredBag::new();
-            moved.append(&mut self.retired);
-            self.scheme
-                .parked
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .push(moved);
-        }
+        // O(1) chain splice; adopted by the next flushing handle or freed at
+        // scheme drop.
+        self.scheme.parked.park(&mut self.retired);
     }
 }
 
@@ -278,7 +286,11 @@ mod tests {
         reader.protect(0, node.cast());
         unsafe { retire_box(&mut deleter, node) };
         deleter.flush();
-        assert_eq!(drops.load(Ordering::SeqCst), 0, "referenced node must survive");
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            0,
+            "referenced node must survive"
+        );
         reader.clear_protections();
         deleter.flush();
         assert_eq!(drops.load(Ordering::SeqCst), 1);
@@ -349,7 +361,11 @@ mod tests {
         assert_eq!(drops.load(Ordering::SeqCst), 0);
         drop(reader);
         drop(scheme);
-        assert_eq!(drops.load(Ordering::SeqCst), 1, "scheme drop frees parked nodes");
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            1,
+            "scheme drop frees parked nodes"
+        );
     }
 
     #[test]

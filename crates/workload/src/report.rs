@@ -50,7 +50,10 @@ pub fn print_timeline(result: &RunResult) {
         result.structure,
         result.threads,
         match result.aborted_at {
-            Some(at) => format!(" ABORTED_AT={:.1}s (unreclaimed-memory cap reached)", at.as_secs_f64()),
+            Some(at) => format!(
+                " ABORTED_AT={:.1}s (unreclaimed-memory cap reached)",
+                at.as_secs_f64()
+            ),
             None => String::new(),
         }
     );

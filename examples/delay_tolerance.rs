@@ -9,8 +9,7 @@
 //! Run with: `cargo run --release --example delay_tolerance`
 
 use qsense_repro::bench::{
-    make_set, run_experiment, DelaySchedule, Experiment, OpMix, SchemeKind, Structure,
-    WorkloadSpec,
+    make_set, run_experiment, DelaySchedule, Experiment, OpMix, SchemeKind, Structure, WorkloadSpec,
 };
 use std::time::Duration;
 

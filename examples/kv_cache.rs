@@ -87,11 +87,23 @@ fn main() {
     let stats = scheme.stats();
     let mut handle = index.register();
     println!("kv_cache: {readers} readers + {writers} writer for {run_for:?}");
-    println!("  lookups: {} hits / {} misses", hits.load(Ordering::Relaxed), misses.load(Ordering::Relaxed));
-    println!("  evictions                : {}", evictions.load(Ordering::Relaxed));
+    println!(
+        "  lookups: {} hits / {} misses",
+        hits.load(Ordering::Relaxed),
+        misses.load(Ordering::Relaxed)
+    );
+    println!(
+        "  evictions                : {}",
+        evictions.load(Ordering::Relaxed)
+    );
     println!("  entries in index now     : {}", index.len(&mut handle));
-    println!("  nodes retired / freed    : {} / {}", stats.retired, stats.freed);
+    println!(
+        "  nodes retired / freed    : {} / {}",
+        stats.retired, stats.freed
+    );
     println!("  nodes still in limbo     : {}", stats.in_limbo());
-    println!("  reclamation path switches: {} to fallback, {} back to fast",
-        stats.fallback_switches, stats.fast_path_switches);
+    println!(
+        "  reclamation path switches: {} to fallback, {} back to fast",
+        stats.fallback_switches, stats.fast_path_switches
+    );
 }

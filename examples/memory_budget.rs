@@ -105,7 +105,10 @@ fn run_scenario<S: Smr>(label: &str, scheme: Arc<S>) -> Vec<(f64, u64, u64)> {
 
 fn main() {
     println!("memory_budget: unreclaimed nodes while one registered thread is stalled");
-    println!("(the stalled thread wakes up at t = {:.1} s)", STALL_UNTIL.as_secs_f64());
+    println!(
+        "(the stalled thread wakes up at t = {:.1} s)",
+        STALL_UNTIL.as_secs_f64()
+    );
 
     let qsbr_samples = run_scenario(
         "QSBR (fast but blocking): limbo grows for as long as the thread is stalled",
@@ -141,10 +144,14 @@ fn main() {
     };
     let qsbr_peak = peak(&qsbr_samples);
     let qsense_peak = peak(&qsense_samples);
-    println!("\npeak unreclaimed nodes during the stall: QSBR = {qsbr_peak}, QSense = {qsense_peak}");
+    println!(
+        "\npeak unreclaimed nodes during the stall: QSBR = {qsbr_peak}, QSense = {qsense_peak}"
+    );
     if qsense_peak < qsbr_peak {
         println!("QSense kept memory bounded while QSBR could only watch its limbo lists grow.");
     } else {
-        println!("(run was too short for the difference to show on this machine; increase RUN_FOR)");
+        println!(
+            "(run was too short for the difference to show on this machine; increase RUN_FOR)"
+        );
     }
 }

@@ -53,7 +53,10 @@ fn main() {
     let mut handle = set.register();
     let live = set.len(&mut handle);
     let stats = scheme.stats();
-    println!("quickstart: {} threads x {} ops finished", threads, ops_per_thread);
+    println!(
+        "quickstart: {} threads x {} ops finished",
+        threads, ops_per_thread
+    );
     println!("  live keys in the set now : {live}");
     println!("  nodes retired            : {}", stats.retired);
     println!("  nodes freed              : {}", stats.freed);

@@ -39,5 +39,7 @@ fn main() {
         }
         println!("{}", report::throughput_row(&result, baseline_mops));
     }
-    println!("\nPaper reference points: QSBR ~2.3% overhead, QSense ~29%, HP ~80%; QSense 2-3x HP.");
+    println!(
+        "\nPaper reference points: QSBR ~2.3% overhead, QSense ~29%, HP ~80%; QSense 2-3x HP."
+    );
 }

@@ -121,18 +121,28 @@ fn main() {
 
     let stats = scheme.stats();
     let secs = started.elapsed().as_secs_f64();
-    println!("session_store: {request_threads} request threads + 1 maintenance thread, {:.1}s", secs);
+    println!(
+        "session_store: {request_threads} request threads + 1 maintenance thread, {:.1}s",
+        secs
+    );
     println!(
         "  lookups                  : {} ({:.2} M/s, {:.1}% hit rate)",
         lookups.load(Ordering::Relaxed),
         lookups.load(Ordering::Relaxed) as f64 / secs / 1e6,
         100.0 * hits.load(Ordering::Relaxed) as f64 / lookups.load(Ordering::Relaxed).max(1) as f64,
     );
-    println!("  logins / logouts         : {} / {}", logins.load(Ordering::Relaxed), logouts.load(Ordering::Relaxed));
+    println!(
+        "  logins / logouts         : {} / {}",
+        logins.load(Ordering::Relaxed),
+        logouts.load(Ordering::Relaxed)
+    );
     println!("  sessions currently live  : {}", store.len());
     println!("  nodes retired            : {}", stats.retired);
     println!("  nodes freed              : {}", stats.freed);
     println!("  nodes still in limbo     : {}", stats.in_limbo());
-    println!("  traversal fences issued  : {} (QSense never issues any)", stats.traversal_fences);
+    println!(
+        "  traversal fences issued  : {} (QSense never issues any)",
+        stats.traversal_fences
+    );
     assert!(stats.freed <= stats.retired);
 }

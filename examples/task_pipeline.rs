@@ -155,14 +155,30 @@ fn main() {
     let secs = started.elapsed().as_secs_f64();
     println!("task_pipeline: {producers} producers -> transformer -> consumer");
     println!("  jobs produced            : {total}");
-    println!("  jobs transformed         : {}", transformed.load(Ordering::Relaxed));
-    println!("  outcomes consumed        : {}", consumed.load(Ordering::Relaxed));
-    println!("  pipeline throughput      : {:.2} M jobs/s", total as f64 / secs / 1e6);
-    println!("  checksum                 : {:#018x}", checksum.load(Ordering::Relaxed));
+    println!(
+        "  jobs transformed         : {}",
+        transformed.load(Ordering::Relaxed)
+    );
+    println!(
+        "  outcomes consumed        : {}",
+        consumed.load(Ordering::Relaxed)
+    );
+    println!(
+        "  pipeline throughput      : {:.2} M jobs/s",
+        total as f64 / secs / 1e6
+    );
+    println!(
+        "  checksum                 : {:#018x}",
+        checksum.load(Ordering::Relaxed)
+    );
     println!("  queue nodes retired      : {}", stats.retired);
     println!("  queue nodes freed        : {}", stats.freed);
     println!("  nodes still in limbo     : {}", stats.in_limbo());
-    assert_eq!(consumed.load(Ordering::Relaxed), total, "no job may be lost");
+    assert_eq!(
+        consumed.load(Ordering::Relaxed),
+        total,
+        "no job may be lost"
+    );
     // Every dequeue retires exactly one dummy node: 2 * total dequeues happened.
     assert_eq!(stats.retired, 2 * total, "one retired dummy per dequeue");
 }

@@ -41,11 +41,11 @@ pub mod smr {
     pub use hazard::{Hazard, HazardHandle};
     pub use qsbr::{Qsbr, QsbrHandle};
     pub use qsense::{Path, QSense, QSenseHandle};
+    pub use reclaim_core::stats::StatsSnapshot;
     pub use reclaim_core::{
         retire_box, Clock, CountingAllocator, Leaky, LeakyHandle, ManualClock, ShardedStats, Smr,
         SmrConfig, SmrHandle, StatStripe,
     };
-    pub use reclaim_core::stats::StatsSnapshot;
     pub use refcount::{RefCount, RefCountHandle};
 }
 
@@ -60,10 +60,10 @@ pub mod ds {
 
 /// Workload generation and measurement harness (the paper's methodology, §7).
 pub mod bench {
+    pub use workload::report;
     pub use workload::{
         default_bench_config, make_set, run_experiment, BenchSet, DelaySchedule, Experiment,
         OpGenerator, OpMix, Operation, RunResult, Sample, SchemeKind, SetSession, Structure,
         WorkloadSpec,
     };
-    pub use workload::report;
 }

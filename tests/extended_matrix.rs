@@ -70,7 +70,10 @@ fn stress_cell(structure: Structure, scheme: SchemeKind, threads: usize, ops: u6
         "{structure:?}/{scheme:?}: final size must equal successful inserts - removes"
     );
     let stats = set.smr_stats();
-    assert!(stats.freed <= stats.retired, "cannot free more than was retired");
+    assert!(
+        stats.freed <= stats.retired,
+        "cannot free more than was retired"
+    );
 }
 
 #[test]
@@ -144,11 +147,19 @@ fn queue_conservation<S: Smr>(scheme: Arc<S>) {
         all.push(v);
     }
     handle.flush();
-    assert_eq!(all.len() as u64, PRODUCERS * PER_PRODUCER, "every element exactly once");
+    assert_eq!(
+        all.len() as u64,
+        PRODUCERS * PER_PRODUCER,
+        "every element exactly once"
+    );
     let unique: HashSet<u64> = all.iter().copied().collect();
     assert_eq!(unique.len(), all.len(), "no element may be duplicated");
     let stats = scheme.stats();
-    assert_eq!(stats.retired, PRODUCERS * PER_PRODUCER, "one dummy retired per dequeue");
+    assert_eq!(
+        stats.retired,
+        PRODUCERS * PER_PRODUCER,
+        "one dummy retired per dequeue"
+    );
     assert!(stats.freed <= stats.retired);
 }
 
@@ -242,7 +253,11 @@ fn stack_conservation<S: Smr>(scheme: Arc<S>) {
     assert_eq!(unique.len(), all.len(), "no element may be duplicated");
     assert!(stack.is_empty());
     let stats = scheme.stats();
-    assert_eq!(stats.retired, PUSHERS * PER_PUSHER, "one node retired per pop");
+    assert_eq!(
+        stats.retired,
+        PUSHERS * PER_PUSHER,
+        "one node retired per pop"
+    );
     assert!(stats.freed <= stats.retired);
 }
 
@@ -310,7 +325,10 @@ fn everything_is_reclaimed_once_structure_and_scheme_are_dropped() {
             "{scheme_kind:?}: freed more than retired"
         );
         if scheme_kind != SchemeKind::None {
-            assert_eq!(stats_after.retired, 500, "{scheme_kind:?}: every remove retires once");
+            assert_eq!(
+                stats_after.retired, 500,
+                "{scheme_kind:?}: every remove retires once"
+            );
         }
     }
 }

@@ -159,7 +159,11 @@ fn set_step(key_range: u64) -> impl Strategy<Value = SetStep> {
     ]
 }
 
-fn check_set(structure: Structure, scheme: SchemeKind, steps: &[SetStep]) -> Result<(), TestCaseError> {
+fn check_set(
+    structure: Structure,
+    scheme: SchemeKind,
+    steps: &[SetStep],
+) -> Result<(), TestCaseError> {
     let config = qsense_repro::bench::default_bench_config(4)
         .with_quiescence_threshold(4)
         .with_scan_threshold(8)
@@ -221,6 +225,10 @@ fn one_scheme_instance_can_back_several_structures() {
     queue_handle.flush();
     use qsense_repro::smr::Smr;
     let stats = Smr::stats(&*scheme);
-    assert_eq!(stats.retired, 200 + 200, "both structures retire through the same scheme");
+    assert_eq!(
+        stats.retired,
+        200 + 200,
+        "both structures retire through the same scheme"
+    );
     assert!(stats.freed <= stats.retired);
 }

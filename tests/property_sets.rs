@@ -55,7 +55,11 @@ fn check_against_reference(structure: Structure, scheme: SchemeKind, steps: &[St
         }
     }
     drop(session);
-    assert_eq!(set.len(), reference.len(), "{structure:?}/{scheme:?} final size");
+    assert_eq!(
+        set.len(),
+        reference.len(),
+        "{structure:?}/{scheme:?} final size"
+    );
 }
 
 proptest! {

@@ -7,7 +7,7 @@
 //! double free would panic or over-count; a use-after-free would crash.
 
 use qsense_repro::ds::{HarrisMichaelList, LockFreeBst, LockFreeSkipList};
-use qsense_repro::smr::{Cadence, Hazard, Qsbr, QSense, Smr, SmrConfig};
+use qsense_repro::smr::{Cadence, Hazard, QSense, Qsbr, Smr, SmrConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -81,8 +81,7 @@ macro_rules! accounting_test {
                             let mut handle = list.register();
                             let mut state = 0x1000_0000_u64 + t;
                             for _ in 0..3_000 {
-                                state =
-                                    state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
                                 let value = (state >> 33) % 128;
                                 let key = CountedKey::new(value, &drops);
                                 keys_created.fetch_add(1, Ordering::SeqCst);

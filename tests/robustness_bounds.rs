@@ -13,8 +13,7 @@
 //!   thread never comes back — end to end, with the real clock and real structures.
 
 use qsense_repro::bench::{
-    make_set, run_experiment, DelaySchedule, Experiment, OpMix, SchemeKind, Structure,
-    WorkloadSpec,
+    make_set, run_experiment, DelaySchedule, Experiment, OpMix, SchemeKind, Structure, WorkloadSpec,
 };
 use qsense_repro::ds::HarrisMichaelList;
 use qsense_repro::smr::{Cadence, Ebr, Path, QSense, Qsbr, Smr, SmrConfig, SmrHandle};
@@ -233,8 +232,16 @@ fn qsense_with_eviction_recovers_the_fast_path_after_a_permanent_failure() {
         stats.fast_path_switches >= 1,
         "eviction must have let the system recover the fast path"
     );
-    assert_eq!(scheme.current_path(), Path::Fast, "the run must end on the fast path");
-    assert_eq!(scheme.evicted_count(), 1, "the crashed thread stays evicted");
+    assert_eq!(
+        scheme.current_path(),
+        Path::Fast,
+        "the run must end on the fast path"
+    );
+    assert_eq!(
+        scheme.evicted_count(),
+        1,
+        "the crashed thread stays evicted"
+    );
     assert!(stats.freed <= stats.retired);
     drop(crashed);
 }

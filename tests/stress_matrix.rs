@@ -60,14 +60,20 @@ fn stress_cell(structure: Structure, scheme: SchemeKind, threads: usize, ops: u6
     });
 
     let expected = balance.load(Ordering::SeqCst);
-    assert!(expected >= 0, "more successful removes than inserts is impossible");
+    assert!(
+        expected >= 0,
+        "more successful removes than inserts is impossible"
+    );
     assert_eq!(
         set.len() as i64,
         expected,
         "{structure:?}/{scheme:?}: final size must equal successful inserts - removes"
     );
     let stats = set.smr_stats();
-    assert!(stats.freed <= stats.retired, "cannot free more than was retired");
+    assert!(
+        stats.freed <= stats.retired,
+        "cannot free more than was retired"
+    );
 }
 
 const OPS: u64 = 8_000;
@@ -119,10 +125,16 @@ fn partitioned_keys_are_never_lost() {
                     let mut session = set.session();
                     let base = t * 1_000;
                     for key in base..base + 500 {
-                        assert!(session.insert(key), "{structure:?}: insert {key} must succeed");
+                        assert!(
+                            session.insert(key),
+                            "{structure:?}: insert {key} must succeed"
+                        );
                     }
                     for key in (base..base + 500).step_by(2) {
-                        assert!(session.remove(key), "{structure:?}: remove {key} must succeed");
+                        assert!(
+                            session.remove(key),
+                            "{structure:?}: remove {key} must succeed"
+                        );
                     }
                 });
             }
