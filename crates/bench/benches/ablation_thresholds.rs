@@ -5,17 +5,38 @@
 //! less bookkeeping but coarser reclamation); `C` controls how much unreclaimed
 //! memory a delayed thread may cause before QSense abandons the fast path. The sweep
 //! reports throughput, limbo tail and the number of path switches.
+//!
+//! Besides the text table, the run emits **`BENCH_ablation.json`** in the
+//! workspace root (same envelope as `BENCH_overhead.json`): one row per sweep
+//! point, keyed by the swept parameter (`"Q"` or `"C"`) and its value.
 
+use bench::json::{self, JsonObject};
 use std::sync::Arc;
 use std::time::Duration;
 use workload::{
-    make_set, report, run_experiment, DelaySchedule, Experiment, OpMix, SchemeKind, Structure,
-    WorkloadSpec,
+    make_set, report, run_experiment, DelaySchedule, Experiment, OpMix, RunResult, SchemeKind,
+    Structure, WorkloadSpec,
 };
+
+/// One sweep point, flattened for the JSON report.
+fn row(parameter: &str, value: usize, result: &RunResult) -> JsonObject {
+    JsonObject::new()
+        .str_field("scheme", &result.scheme)
+        .str_field("structure", &result.structure)
+        .str_field("parameter", parameter)
+        .int_field("value", value as u64)
+        .int_field("threads", result.threads as u64)
+        .num_field("mops_per_sec", result.mops(), 4)
+        .int_field("quiescent_states", result.stats.quiescent_states)
+        .int_field("fallback_switches", result.stats.fallback_switches)
+        .int_field("fast_path_switches", result.stats.fast_path_switches)
+        .int_field("in_limbo_at_end", result.stats.in_limbo())
+}
 
 fn main() {
     let threads = 4;
     let spec = WorkloadSpec::new(Structure::List.default_key_range(), OpMix::updates_50());
+    let mut rows = Vec::new();
 
     println!("Ablation A2: QSense thresholds, linked list, {threads} threads, 50% updates");
     report::section("quiescence threshold Q -> throughput (no delays)");
@@ -39,6 +60,7 @@ fn main() {
             result.stats.quiescent_states,
             result.stats.in_limbo()
         );
+        rows.push(row("Q", q, &result));
     }
 
     report::section("fallback threshold C -> switches under periodic delays");
@@ -64,5 +86,24 @@ fn main() {
             result.stats.fast_path_switches,
             result.stats.in_limbo()
         );
+        rows.push(row("C", c, &result));
+    }
+
+    let meta = [
+        ("point_seconds", format!("{}", bench::point_seconds())),
+        ("threads", format!("{threads}")),
+        ("structure", "\"linked-list\"".to_string()),
+        ("unit", "\"million operations per second\"".to_string()),
+    ];
+    let path = json::workspace_file("BENCH_ablation.json");
+    match json::write_report(
+        &path,
+        "ablation_thresholds",
+        "cargo bench -p bench --bench ablation_thresholds",
+        &meta,
+        &rows,
+    ) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(err) => eprintln!("failed to write {}: {err}", path.display()),
     }
 }

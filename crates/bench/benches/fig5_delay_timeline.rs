@@ -10,7 +10,7 @@
 //! delays and recovering to QSBR-level afterwards; HP runs throughout at roughly a
 //! third of QSense's fallback throughput.
 
-use bench::{delay_run_seconds, delay_schemes, full_scale, run_delay_timeline};
+use bench::{delay_run_seconds, delay_schemes, full_scale, run_delay_timeline, write_delay_json};
 use workload::{report, Structure};
 
 fn main() {
@@ -20,8 +20,13 @@ fn main() {
         threads,
         delay_run_seconds()
     );
-    for structure in [Structure::List, Structure::SkipList, Structure::Bst] {
+    for (structure, file_name) in [
+        (Structure::List, "BENCH_fig5_delay_list.json"),
+        (Structure::SkipList, "BENCH_fig5_delay_skiplist.json"),
+        (Structure::Bst, "BENCH_fig5_delay_bst.json"),
+    ] {
         report::section(&format!("{} timelines", structure.name()));
+        let mut results = Vec::new();
         for scheme in delay_schemes() {
             let result = run_delay_timeline(structure, scheme, threads);
             report::print_timeline(&result);
@@ -32,6 +37,15 @@ fn main() {
                 result.stats.fallback_switches,
                 result.stats.fast_path_switches
             );
+            results.push(result);
         }
+        write_delay_json(
+            file_name,
+            "fig5_delay_timeline",
+            "cargo bench -p bench --bench fig5_delay_timeline",
+            structure,
+            threads,
+            &results,
+        );
     }
 }

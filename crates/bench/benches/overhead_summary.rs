@@ -208,6 +208,7 @@ fn main() {
     );
     run_scheme("qsbr", |t| qsbr::Qsbr::new(config(t)), &mut entries);
     run_scheme("ebr", |t| ebr::Ebr::new(config(t)), &mut entries);
+    run_scheme("he", |t| he::He::new(config(t)), &mut entries);
     run_scheme("hp", |t| hazard::Hazard::new(config(t)), &mut entries);
     run_scheme(
         "cadence",

@@ -225,24 +225,89 @@ pub fn run_and_emit_series(
     write_series_json(file_name, bench_name, command, structure, &series);
 }
 
-/// The schemes compared in Figure 3 (None, QSense, HP).
-pub fn fig3_schemes() -> [SchemeKind; 3] {
-    [SchemeKind::None, SchemeKind::QSense, SchemeKind::Hp]
+/// The schemes compared in Figure 3 (the paper's None, QSense, HP — plus the
+/// Hazard-Eras extension, which the matrix tracks everywhere the HP family
+/// appears).
+pub fn fig3_schemes() -> [SchemeKind; 4] {
+    [
+        SchemeKind::None,
+        SchemeKind::QSense,
+        SchemeKind::Hp,
+        SchemeKind::He,
+    ]
 }
 
-/// The schemes compared in the Figure 5 scalability row (None, QSBR, QSense, HP).
-pub fn fig5_schemes() -> [SchemeKind; 4] {
+/// The schemes compared in the Figure 5 scalability row (the paper's None,
+/// QSBR, QSense, HP — plus Hazard Eras).
+pub fn fig5_schemes() -> [SchemeKind; 5] {
     [
         SchemeKind::None,
         SchemeKind::Qsbr,
         SchemeKind::QSense,
         SchemeKind::Hp,
+        SchemeKind::He,
     ]
 }
 
-/// The schemes compared in the Figure 5 delay row (QSBR, QSense, HP).
-pub fn delay_schemes() -> [SchemeKind; 3] {
-    [SchemeKind::Qsbr, SchemeKind::QSense, SchemeKind::Hp]
+/// The schemes compared in the Figure 5 delay row (the paper's QSBR, QSense,
+/// HP — plus Hazard Eras, whose bounded-garbage behaviour under a stalled
+/// thread is exactly what this row probes).
+pub fn delay_schemes() -> [SchemeKind; 4] {
+    [
+        SchemeKind::Qsbr,
+        SchemeKind::QSense,
+        SchemeKind::Hp,
+        SchemeKind::He,
+    ]
+}
+
+/// Emits one delay-timeline report (`file_name` in the workspace root): one row
+/// per scheme with throughput, path switches, the end-of-run in-limbo count,
+/// the limbo tail's peak across the sampled series, and — for the schemes that
+/// hit the unreclaimed-memory cap, as the paper's QSBR does — the abort time.
+/// Shares the `bench::json` envelope with every other `BENCH_*.json`.
+pub fn write_delay_json(
+    file_name: &str,
+    bench_name: &str,
+    command: &str,
+    structure: Structure,
+    threads: usize,
+    results: &[RunResult],
+) {
+    let rows: Vec<json::JsonObject> = results
+        .iter()
+        .map(|run| {
+            let peak_limbo = run.samples.iter().map(|s| s.in_limbo).max().unwrap_or(0);
+            json::JsonObject::new()
+                .str_field("scheme", &run.scheme)
+                .str_field("structure", &run.structure)
+                .int_field("threads", run.threads as u64)
+                .num_field("mops_per_sec", run.mops(), 4)
+                .int_field("fallback_switches", run.stats.fallback_switches)
+                .int_field("fast_path_switches", run.stats.fast_path_switches)
+                .int_field("in_limbo_at_end", run.stats.in_limbo())
+                .int_field("peak_in_limbo", peak_limbo)
+                .opt_num_field(
+                    "aborted_at_secs",
+                    run.aborted_at.map(|at| at.as_secs_f64()),
+                    3,
+                )
+        })
+        .collect();
+    let meta = [
+        ("run_seconds", format!("{}", delay_run_seconds())),
+        ("threads", format!("{threads}")),
+        ("structure", format!("\"{}\"", structure.name())),
+        (
+            "delay",
+            "\"one thread delayed half of every cycle (paper-scaled)\"".to_string(),
+        ),
+    ];
+    let path = json::workspace_file(file_name);
+    match json::write_report(&path, bench_name, command, &meta, &rows) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(err) => eprintln!("failed to write {}: {err}", path.display()),
+    }
 }
 
 #[cfg(test)]

@@ -4,8 +4,8 @@ use crate::rooster::Rooster;
 use reclaim_core::retired::DropFn;
 use reclaim_core::stats::{StatStripe, StatsSnapshot};
 use reclaim_core::{
-    membarrier, CachePadded, ParkedChain, PtrScratch, Registry, RetiredPtr, SegBag, SegPool,
-    SlotId, Smr, SmrConfig, SmrHandle,
+    membarrier, CachePadded, HandleCache, ParkedChain, PtrScratch, Registry, RetiredPtr, ScanParts,
+    SegBag, SegPool, SlotId, Smr, SmrConfig, SmrHandle,
 };
 use std::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::{Arc, Mutex};
@@ -62,6 +62,9 @@ pub struct Cadence {
     /// Leftovers of exited threads: dying handles park, the next surviving
     /// handle to flush adopts, and scheme drop drains (see [`ParkedChain`]).
     parked: ParkedChain,
+    /// Pools + scratch buffers of exited threads, adopted by the next
+    /// registrant so handle churn is allocation-free after the first wave.
+    handle_cache: HandleCache<ScanParts>,
 }
 
 impl Cadence {
@@ -75,12 +78,14 @@ impl Cadence {
             config.rooster_interval,
             config.use_membarrier,
         );
+        let handle_cache = HandleCache::with_capacity(config.max_threads);
         Arc::new(Self {
             config,
             registry,
             scheme_stats: CachePadded::new(StatStripe::new()),
             rooster: Mutex::new(rooster),
             parked: ParkedChain::new(),
+            handle_cache,
         })
     }
 
@@ -165,15 +170,19 @@ impl Smr for Cadence {
             .registry
             .acquire()
             .expect("cadence: more threads registered than config.max_threads");
+        // Adopt a previous tenant's pool + scratch when available (thread-pool
+        // churn); otherwise pre-warm for the scan threshold (capped) so even
+        // the first bag fill recycles instead of allocating.
+        let parts = self.handle_cache.adopt().unwrap_or_else(|| ScanParts {
+            pool: SegPool::with_node_capacity((self.config.scan_threshold + 1).min(2048)),
+            scratch: PtrScratch::with_capacity(self.config.max_threads * self.config.hp_per_thread),
+        });
         CadenceHandle {
             scheme: Arc::clone(self),
             slot,
             retired: SegBag::new(),
-            // Pre-warm for the scan threshold (capped: a test-sized huge `R` must
-            // not balloon registration) so even the first bag fill recycles
-            // instead of allocating; recycling covers everything after that.
-            pool: SegPool::with_node_capacity((self.config.scan_threshold + 1).min(2048)),
-            scratch: PtrScratch::with_capacity(self.config.max_threads * self.config.hp_per_thread),
+            pool: parts.pool,
+            scratch: parts.scratch,
             since_last_scan: 0,
         }
     }
@@ -290,6 +299,11 @@ impl Drop for CadenceHandle {
         // scheme drop.
         self.scheme.parked.park(&mut self.retired);
         self.scheme.registry.release(self.slot);
+        // Recycle the workspace to the next registrant (see `HandleCache`).
+        self.scheme.handle_cache.park(ScanParts {
+            pool: std::mem::take(&mut self.pool),
+            scratch: std::mem::take(&mut self.scratch),
+        });
     }
 }
 

@@ -93,7 +93,7 @@ USAGE:
 
 OPTIONS:
     --structure <list|skiplist|bst|hashmap>   data structure        [default: list]
-    --scheme <none|qsbr|ebr|rc|hp|cadence|qsense|paper|all>
+    --scheme <none|qsbr|ebr|he|rc|hp|cadence|qsense|paper|all>
                                               scheme or scheme set  [default: qsense]
     --threads <N>                             worker threads        [default: 4]
     --duration <SECONDS>                      measured seconds      [default: 1]
@@ -125,6 +125,7 @@ fn parse_scheme(value: &str) -> Result<SchemeSelection, String> {
         "none" | "leaky" => one(SchemeKind::None),
         "qsbr" => one(SchemeKind::Qsbr),
         "ebr" => one(SchemeKind::Ebr),
+        "he" | "hazard-eras" | "ibr" => one(SchemeKind::He),
         "rc" | "refcount" => one(SchemeKind::RefCount),
         "hp" | "hazard" => one(SchemeKind::Hp),
         "cadence" => one(SchemeKind::Cadence),
@@ -293,8 +294,19 @@ mod tests {
             5
         );
         assert_eq!(
+            parse(&["--scheme", "he"]).unwrap().schemes.schemes(),
+            vec![SchemeKind::He]
+        );
+        assert_eq!(
+            parse(&["--scheme", "hazard-eras"])
+                .unwrap()
+                .schemes
+                .schemes(),
+            vec![SchemeKind::He]
+        );
+        assert_eq!(
             parse(&["--scheme", "all"]).unwrap().schemes.schemes().len(),
-            7
+            8
         );
     }
 

@@ -5,8 +5,8 @@ use qsbr::GlobalEpoch;
 use reclaim_core::retired::DropFn;
 use reclaim_core::stats::{StatStripe, StatsSnapshot};
 use reclaim_core::{
-    CachePadded, ParkedChain, Registry, RetiredPtr, SegBag, SegPool, SlotId, Smr, SmrConfig,
-    SmrHandle,
+    CachePadded, HandleCache, ParkedChain, Registry, RetiredPtr, SegBag, SegPool, SlotId, Smr,
+    SmrConfig, SmrHandle,
 };
 use std::sync::Arc;
 
@@ -56,18 +56,23 @@ pub struct Ebr {
     /// current-epoch bucket, so the nodes are freed after an ordinary grace
     /// period instead of waiting for scheme drop (see [`ParkedChain`]).
     parked: ParkedChain,
+    /// Segment pools of exited threads, adopted by the next registrant so
+    /// handle churn is allocation-free after the first wave.
+    handle_cache: HandleCache<SegPool>,
 }
 
 impl Ebr {
     /// Creates an EBR scheme with the given configuration.
     pub fn new(config: SmrConfig) -> Arc<Self> {
         let registry = Registry::new(config.max_threads, |_| PinRecord::new());
+        let handle_cache = HandleCache::with_capacity(config.max_threads);
         Arc::new(Self {
             config,
             global_epoch: GlobalEpoch::new(),
             registry,
             scheme_stats: CachePadded::new(StatStripe::new()),
             parked: ParkedChain::new(),
+            handle_cache,
         })
     }
 
@@ -120,7 +125,9 @@ impl Smr for Ebr {
                 epoch: 0,
                 bag: SegBag::new(),
             }),
-            pool: SegPool::new(),
+            // Adopt a previous tenant's segment pool when available
+            // (thread-pool churn; see `HandleCache`).
+            pool: self.handle_cache.adopt().unwrap_or_default(),
             pin_epoch: self.global_epoch.load(),
             pinned: false,
             retires_since_advance: 0,
@@ -353,6 +360,10 @@ impl Drop for EbrHandle {
         }
         self.scheme.parked.park(&mut leftovers);
         self.scheme.registry.release(self.slot);
+        // Recycle the segment pool to the next registrant.
+        self.scheme
+            .handle_cache
+            .park(std::mem::take(&mut self.pool));
     }
 }
 

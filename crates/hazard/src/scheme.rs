@@ -3,8 +3,8 @@
 use reclaim_core::retired::DropFn;
 use reclaim_core::stats::{StatStripe, StatsSnapshot};
 use reclaim_core::{
-    CachePadded, ParkedChain, PtrScratch, Registry, RetiredPtr, SegBag, SegPool, SlotId, Smr,
-    SmrConfig, SmrHandle,
+    CachePadded, HandleCache, ParkedChain, PtrScratch, Registry, RetiredPtr, ScanParts, SegBag,
+    SegPool, SlotId, Smr, SmrConfig, SmrHandle,
 };
 use std::sync::atomic::{fence, AtomicPtr, Ordering};
 use std::sync::Arc;
@@ -54,17 +54,22 @@ pub struct Hazard {
     /// exit: dying handles park, the next surviving handle to flush adopts, and
     /// scheme drop drains the remainder (see [`ParkedChain`]).
     parked: ParkedChain,
+    /// Pools + scratch buffers of exited threads, adopted by the next
+    /// registrant so handle churn is allocation-free after the first wave.
+    handle_cache: HandleCache<ScanParts>,
 }
 
 impl Hazard {
     /// Creates a hazard-pointer scheme with the given configuration.
     pub fn new(config: SmrConfig) -> Arc<Self> {
         let registry = Registry::new(config.max_threads, |_| HpRecord::new(config.hp_per_thread));
+        let handle_cache = HandleCache::with_capacity(config.max_threads);
         Arc::new(Self {
             config,
             registry,
             scheme_stats: CachePadded::new(StatStripe::new()),
             parked: ParkedChain::new(),
+            handle_cache,
         })
     }
 
@@ -128,15 +133,20 @@ impl Smr for Hazard {
             .registry
             .acquire()
             .expect("hazard: more threads registered than config.max_threads");
+        // Adopt a previous tenant's pool + scratch when available (thread-pool
+        // churn); otherwise pre-warm for the scan threshold (capped: a
+        // test-sized huge `R` must not balloon registration) so even the first
+        // bag fill recycles instead of allocating.
+        let parts = self.handle_cache.adopt().unwrap_or_else(|| ScanParts {
+            pool: SegPool::with_node_capacity((self.config.scan_threshold + 1).min(2048)),
+            scratch: PtrScratch::with_capacity(self.config.max_threads * self.config.hp_per_thread),
+        });
         HazardHandle {
             scheme: Arc::clone(self),
             slot,
             retired: SegBag::new(),
-            // Pre-warm for the scan threshold (capped: a test-sized huge `R` must
-            // not balloon registration) so even the first bag fill recycles
-            // instead of allocating; recycling covers everything after that.
-            pool: SegPool::with_node_capacity((self.config.scan_threshold + 1).min(2048)),
-            scratch: PtrScratch::with_capacity(self.config.max_threads * self.config.hp_per_thread),
+            pool: parts.pool,
+            scratch: parts.scratch,
             since_last_scan: 0,
             local_fences: 0,
         }
@@ -274,6 +284,12 @@ impl Drop for HazardHandle {
         // released when the scheme itself is dropped.
         self.scheme.parked.park(&mut self.retired);
         self.scheme.registry.release(self.slot);
+        // Recycle the workspace to the next registrant: after the first wave of
+        // handles, registration allocates nothing.
+        self.scheme.handle_cache.park(ScanParts {
+            pool: std::mem::take(&mut self.pool),
+            scratch: std::mem::take(&mut self.scratch),
+        });
     }
 }
 

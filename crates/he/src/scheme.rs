@@ -1,0 +1,688 @@
+//! The Hazard-Eras scheme object and per-thread handle.
+
+use crate::era::{EraRecord, INACTIVE_LOWER};
+use reclaim_core::retired::DropFn;
+use reclaim_core::stats::{StatStripe, StatsSnapshot};
+use reclaim_core::{
+    CachePadded, Era, EraClock, HandleCache, ParkedChain, Registry, RetiredPtr, SegBag, SegPool,
+    SlotId, Smr, SmrConfig, SmrHandle,
+};
+use std::sync::atomic::{fence, Ordering};
+use std::sync::Arc;
+
+/// Number of per-retire-era limbo chains a handle keeps. Nodes retired at era
+/// `R` land in chain `R % ERA_BUCKETS`, whose tag is the **maximum** retire era
+/// it holds — colliding tags widen the chain's conservative interval instead of
+/// forcing a (possibly unsafe) drain, so correctness never depends on the
+/// bucket count; more buckets only make the wholesale-free fast path finer
+/// grained.
+const ERA_BUCKETS: usize = 8;
+
+/// One limbo chain: every node in `bag` was retired at an era `<= tag`, so the
+/// chain's conservative lifetime interval is `[birth_of_each_node, tag]`.
+///
+/// `min_birth`/`max_birth` bracket the birth eras in the bag so a scan can
+/// dispatch the whole chain in O(1): free it wholesale when even the oldest
+/// birth clears every reachable reservation, or *skip the walk entirely* when
+/// even the youngest birth is covered. The skip is what keeps a blocked bag —
+/// e.g. unstamped (birth-0) nodes pinned by a stalled reader — from turning
+/// every scan into an O(bag) walk. Both bounds may go stale after a partial
+/// reclaim (survivors' true range can be narrower); stale bounds only cost
+/// walks, never correctness, and they reset when the bag next drains.
+struct EraChain {
+    tag: Era,
+    min_birth: Era,
+    max_birth: Era,
+    bag: SegBag,
+}
+
+/// The reusable per-handle resources recycled through the scheme's
+/// [`HandleCache`]: the segment pool and the reservation-snapshot scratch.
+struct HeParts {
+    pool: SegPool,
+    reservations: Vec<(Era, Era)>,
+}
+
+/// Hazard-Eras / interval-based reclamation (2GE-style IBR) — the eighth scheme
+/// of the comparison matrix.
+///
+/// The design point between the epoch schemes and hazard pointers:
+///
+/// * like hazard pointers it is **robust** — a reader stalled mid-operation
+///   pins only the nodes whose birth era does not exceed its announced
+///   interval, i.e. roughly the nodes that already existed when it stalled;
+///   nodes allocated afterwards keep getting freed (QSBR/EBR, by contrast, stop
+///   reclaiming *everything*);
+/// * like the epoch schemes it **amortizes protection** — one era announcement
+///   per operation (a store to an owned padded line plus one fence) instead of
+///   one fenced store per node traversed; mid-operation the announcement is
+///   refreshed only when the global era actually advanced, which happens once
+///   per `era_advance_interval` allocations, not per node.
+///
+/// ## Protocol
+///
+/// * **allocation** ([`SmrHandle::alloc_node`]): stamp the node with the
+///   current era (its *birth era*); every `era_advance_interval` allocations,
+///   advance the global [`EraClock`].
+/// * **begin_op**: announce the point reservation `[e, e]` (one fenced store).
+/// * **protect**: if the global era moved since the announcement, extend the
+///   reservation's upper bound and fence; the caller then re-validates the
+///   reference as usual. The fence-then-revalidate pairing is exactly classic
+///   HP's, applied to the era announcement instead of a node address: if the
+///   validation succeeds, the node was still reachable *after* the announcement
+///   became visible, so its unlinker's later era reads and reservation scan
+///   both observe an interval that covers the reference.
+/// * **retire**: stamp the node with a **fresh** load of the era clock (the
+///   *retire era*) and push it into the matching era bucket. The load must be
+///   fresh, not the cached announcement: any reader still holding the node
+///   announced some era `e` before this retire, and monotonicity gives
+///   `birth <= e <= retire-era-read-now` — the cached announcement could
+///   predate `e` and under-stamp the interval.
+/// * **scan** (every `scan_threshold` retires): snapshot all `N` reservations
+///   — O(N) era reads, not the O(N·K) pointer snapshot of the HP family — and
+///   free every chain whose tag no active reservation reaches (`reclaim_all`,
+///   wholesale); for blocked chains, free the nodes born *after* every
+///   reservation that reaches the chain (`birth > max{upper : lower <= tag}`),
+///   O(1) per node after the O(N) precomputation.
+///
+/// The retire path flows through the same [`SegBag`]/[`SegPool`] segment chains
+/// as every other scheme, so steady-state retire/scan/reclaim is
+/// allocation-free, parked leftovers of dying handles are adopted by survivors,
+/// and the pool + scratch are recycled to the next registrant through the
+/// scheme's [`HandleCache`].
+pub struct He {
+    config: SmrConfig,
+    era: EraClock,
+    registry: Registry<EraRecord>,
+    /// Counter stripe for events with no owning slot (parked-bag frees at drop).
+    scheme_stats: CachePadded<StatStripe>,
+    /// Limbo leftovers of exited threads (see [`ParkedChain`]).
+    parked: ParkedChain,
+    /// Pools + scratch buffers of exited threads, adopted by the next
+    /// registrant so handle churn is allocation-free after the first wave.
+    handle_cache: HandleCache<HeParts>,
+}
+
+impl He {
+    /// Creates a Hazard-Eras scheme with the given configuration.
+    pub fn new(config: SmrConfig) -> Arc<Self> {
+        let registry = Registry::new(config.max_threads, |_| EraRecord::new());
+        let handle_cache = HandleCache::with_capacity(config.max_threads);
+        Arc::new(Self {
+            config,
+            era: EraClock::new(),
+            registry,
+            scheme_stats: CachePadded::new(StatStripe::new()),
+            parked: ParkedChain::new(),
+            handle_cache,
+        })
+    }
+
+    /// Creates a Hazard-Eras scheme with default configuration.
+    pub fn with_defaults() -> Arc<Self> {
+        Self::new(SmrConfig::default())
+    }
+
+    /// The configuration this scheme was created with.
+    pub fn config(&self) -> &SmrConfig {
+        &self.config
+    }
+
+    /// The current global era (tests and diagnostics).
+    pub fn current_era(&self) -> Era {
+        self.era.current()
+    }
+
+    /// Number of handle-resource bundles currently parked for reuse (tests).
+    pub fn cached_handle_parts(&self) -> usize {
+        self.handle_cache.parked()
+    }
+}
+
+impl Smr for He {
+    type Handle = HeHandle;
+
+    fn register(self: &Arc<Self>) -> HeHandle {
+        let slot = self
+            .registry
+            .acquire()
+            .expect("he: more threads registered than config.max_threads");
+        // A fresh tenant must not inherit the previous tenant's reservation.
+        self.registry.get_mine(slot).deactivate();
+        let parts = self.handle_cache.adopt().unwrap_or_else(|| HeParts {
+            // Pre-warm for the scan threshold (capped, as in the HP family) so
+            // even the first bag fill recycles instead of allocating.
+            pool: SegPool::with_node_capacity((self.config.scan_threshold + 1).min(2048)),
+            reservations: Vec::with_capacity(self.config.max_threads),
+        });
+        HeHandle {
+            scheme: Arc::clone(self),
+            slot,
+            limbo: std::array::from_fn(|_| EraChain {
+                tag: 0,
+                min_birth: 0,
+                max_birth: 0,
+                bag: SegBag::new(),
+            }),
+            pool: parts.pool,
+            reservations: parts.reservations,
+            active: false,
+            announced_upper: 0,
+            allocs_since_tick: 0,
+            retires_since_scan: 0,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "he"
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        let mut snap = StatsSnapshot::default();
+        self.registry.merge_stats(&mut snap);
+        self.scheme_stats.merge_into(&mut snap);
+        snap
+    }
+}
+
+impl Drop for He {
+    fn drop(&mut self) {
+        // All handles are gone (each holds an Arc<Self>), so no reservation is
+        // announced and no thread can reach a parked node.
+        let freed = unsafe { self.parked.drain_all() };
+        self.scheme_stats.add_freed(freed as u64);
+    }
+}
+
+/// Per-thread handle for [`He`].
+pub struct HeHandle {
+    scheme: Arc<He>,
+    slot: SlotId,
+    limbo: [EraChain; ERA_BUCKETS],
+    /// Recycled segments shared by all era buckets.
+    pool: SegPool,
+    /// Reusable snapshot buffer for the `N` era reservations, sized at
+    /// registration (or adopted from the handle cache) so scans never allocate.
+    reservations: Vec<(Era, Era)>,
+    /// Whether the owner is inside an operation (handle-local mirror of the
+    /// shared reservation, so `protect` can skip the shared load path cheaply
+    /// and `retire` never confuses an out-of-op state for an announced one).
+    active: bool,
+    /// The era last published as the reservation's upper bound; `protect`
+    /// re-publishes only when the global era moved past it.
+    announced_upper: Era,
+    allocs_since_tick: usize,
+    retires_since_scan: usize,
+}
+
+impl HeHandle {
+    fn record(&self) -> &EraRecord {
+        self.scheme.registry.get_mine(self.slot)
+    }
+
+    fn stats(&self) -> &StatStripe {
+        self.scheme.registry.stats(self.slot)
+    }
+
+    /// Total retired-but-unreclaimed nodes across the era buckets.
+    pub fn limbo_size(&self) -> usize {
+        self.limbo.iter().map(|chain| chain.bag.len()).sum()
+    }
+
+    /// Publishes (or extends) the reservation to cover `era` and fences, so the
+    /// caller's subsequent validation load happens after the announcement is
+    /// visible — the HP publication argument, per era change instead of per
+    /// node.
+    fn announce(&mut self, era: Era) {
+        if self.active {
+            self.record().extend_upper(era);
+        } else {
+            self.record().activate(era);
+            self.active = true;
+        }
+        fence(Ordering::SeqCst);
+        self.announced_upper = era;
+    }
+
+    /// One reclamation pass: snapshot the reservations, then walk the era
+    /// buckets freeing whatever no reservation can still reach (see the scheme
+    /// docs for the overlap argument).
+    fn scan(&mut self) {
+        self.stats().add_scan();
+        // Advance the era so the generation the current reservations announce
+        // can age out even in allocation-free (pure-remove) workloads; without
+        // this, a retire-only phase would never see `lower > tag` become true.
+        self.scheme.era.advance();
+        self.reservations.clear();
+        for (_, record) in self.scheme.registry.iter_all() {
+            let (lower, upper) = record.load();
+            if lower != INACTIVE_LOWER {
+                self.reservations.push((lower, upper));
+            }
+        }
+        let mut freed = 0usize;
+        for chain in &mut self.limbo {
+            if chain.bag.is_empty() {
+                continue;
+            }
+            let tag = chain.tag;
+            // Precompute, per chain, the highest announced upper bound among
+            // reservations that reach it (lower <= tag). A node in this chain
+            // is unreachable iff its birth era exceeds that bound: its interval
+            // [birth, tag] then overlaps no reservation.
+            let mut reached = false;
+            let mut max_upper: Era = 0;
+            for &(lower, upper) in &self.reservations {
+                if lower <= tag {
+                    reached = true;
+                    max_upper = max_upper.max(upper);
+                }
+            }
+            // SAFETY (free-time condition of Hazard Eras / IBR): every node in
+            // the chain was unlinked before being retired, and its conservative
+            // lifetime interval is [birth_era, tag]. A thread can only hold a
+            // reference if its reservation — announced before the node's
+            // unlink, per the fence-then-revalidate protocol — overlaps that
+            // interval. The snapshot above was taken after every such retire,
+            // so any covering reservation is visible in it; freeing nodes whose
+            // interval overlaps no snapshot entry is therefore safe.
+            freed += if !reached || chain.min_birth > max_upper {
+                // Either no active reservation starts at or below this chain's
+                // newest retire era, or even the chain's *oldest* birth clears
+                // every reachable upper bound: the whole chain is unreachable.
+                unsafe { chain.bag.reclaim_all(&mut self.pool) }
+            } else if chain.max_birth <= max_upper {
+                // Even the chain's *youngest* birth is covered by a reachable
+                // reservation: nothing can free this pass. Skipping the walk
+                // keeps a blocked bag O(1) per scan instead of O(bag) — the
+                // Cadence early-stop analogue for era intervals.
+                0
+            } else {
+                unsafe {
+                    chain
+                        .bag
+                        .reclaim_if(&mut self.pool, |node| node.birth_era() > max_upper)
+                }
+            };
+        }
+        if freed > 0 {
+            self.stats().add_freed(freed as u64);
+        }
+    }
+}
+
+impl SmrHandle for HeHandle {
+    fn begin_op(&mut self) {
+        // One era announcement per operation: HE's whole hot-path protection
+        // cost (plus the fence inside `announce`).
+        let era = self.scheme.era.current();
+        self.active = false; // a fresh op narrows the reservation to a point
+        self.announce(era);
+    }
+
+    fn end_op(&mut self) {
+        self.record().deactivate();
+        self.active = false;
+    }
+
+    #[inline]
+    fn protect(&mut self, _index: usize, _ptr: *mut u8) {
+        // Era protection is per interval, not per pointer: the slot index and
+        // address are irrelevant. All that matters is that the reservation
+        // covers the era at which the caller acquired the reference — so
+        // re-announce only when the global era moved since the last
+        // publication (amortized: eras advance once per `era_advance_interval`
+        // allocations, not per node).
+        let era = self.scheme.era.current();
+        if era != self.announced_upper || !self.active {
+            self.announce(era);
+        }
+    }
+
+    fn clear_protections(&mut self) {
+        // Dropping every protection = withdrawing the reservation. Data
+        // structures call this when they hold no more shared references
+        // (just before `end_op`), which is exactly when it is safe.
+        self.record().deactivate();
+        self.active = false;
+    }
+
+    fn alloc_node(&mut self) -> Era {
+        self.allocs_since_tick += 1;
+        if self.allocs_since_tick >= self.scheme.config.era_advance_interval {
+            self.allocs_since_tick = 0;
+            self.scheme.era.advance();
+        }
+        // The stamp may lag the era at link time (the node is published later),
+        // which is the safe direction: a smaller birth era widens the node's
+        // lifetime interval.
+        self.scheme.era.current()
+    }
+
+    unsafe fn retire(&mut self, ptr: *mut u8, drop_fn: DropFn) {
+        // Unstamped retire: NO_BIRTH_ERA (= 0) makes the node's interval start
+        // before every announced era — maximally conservative, always safe.
+        // SAFETY: forwarded from the caller's contract.
+        unsafe { self.retire_with_birth(ptr, drop_fn, reclaim_core::NO_BIRTH_ERA) }
+    }
+
+    unsafe fn retire_with_birth(&mut self, ptr: *mut u8, drop_fn: DropFn, birth_era: Era) {
+        self.stats().add_retired(1);
+        // The retire era must be a *fresh* read (see the scheme docs): any
+        // reader still holding this node announced its reservation before now,
+        // so monotonicity puts that announcement inside [birth, retire].
+        let retire_era = self.scheme.era.current();
+        // SAFETY: forwarded from the caller's contract. `retired_at` carries
+        // the logical retire era — HE never consults wall-clock age.
+        let node = unsafe { RetiredPtr::with_birth(ptr, drop_fn, retire_era, birth_era) };
+        let chain = &mut self.limbo[(retire_era % ERA_BUCKETS as u64) as usize];
+        if chain.bag.is_empty() {
+            chain.tag = retire_era;
+            chain.min_birth = birth_era;
+            chain.max_birth = birth_era;
+        } else {
+            // A tag collision (eras ERA_BUCKETS apart) widens the chain's
+            // conservative interval instead of draining: always safe, and the
+            // stale cohabitants free as soon as no reservation reaches the
+            // merged tag.
+            chain.tag = chain.tag.max(retire_era);
+            chain.min_birth = chain.min_birth.min(birth_era);
+            chain.max_birth = chain.max_birth.max(birth_era);
+        }
+        chain.bag.push(&mut self.pool, node);
+        self.retires_since_scan += 1;
+        if self.retires_since_scan >= self.scheme.config.scan_threshold {
+            self.retires_since_scan = 0;
+            self.scan();
+        }
+    }
+
+    fn flush(&mut self) {
+        // Flush runs between operations: withdraw our own reservation so it
+        // cannot block the scan below (mirror of EBR's defensive unpin).
+        self.record().deactivate();
+        self.active = false;
+        // Adopt limbo leftovers of exited threads into the current era's
+        // bucket, tagged with the current era — conservative for every adopted
+        // node, whose true retire era can only be older. The era for the tag
+        // is read *after* taking the parked chain: `adopt_into`'s mutex
+        // acquire happens-after every parker's release, and coherence on the
+        // monotone era counter then guarantees this load is at least every
+        // retire era in the adopted chain. (Reading the era first would race:
+        // a handle retiring at a newer era and parking between our load and
+        // the adopt would leave the tag below its nodes' retire eras, and the
+        // scan's `lower <= tag` reach test could miss a reservation that
+        // still covers them — a wholesale free under a live reader.)
+        let mut adopted = SegBag::new();
+        self.scheme.parked.adopt_into(&mut adopted);
+        if !adopted.is_empty() {
+            let era = self.scheme.era.current();
+            let chain = &mut self.limbo[(era % ERA_BUCKETS as u64) as usize];
+            // Adopted nodes carry their own per-node birth stamps, but the
+            // chain-level bounds must cover them: births are unknown here
+            // (conservatively "before every era") and at most the current era.
+            if chain.bag.is_empty() {
+                chain.tag = era;
+                chain.min_birth = reclaim_core::NO_BIRTH_ERA;
+                chain.max_birth = era;
+            } else {
+                chain.tag = chain.tag.max(era);
+                chain.min_birth = reclaim_core::NO_BIRTH_ERA;
+                chain.max_birth = chain.max_birth.max(era);
+            }
+            chain.bag.splice(&mut adopted);
+        }
+        self.retires_since_scan = 0;
+        self.scan();
+    }
+
+    fn local_in_limbo(&self) -> usize {
+        self.limbo_size()
+    }
+}
+
+impl Drop for HeHandle {
+    fn drop(&mut self) {
+        self.flush();
+        // Whatever is still pinned by other readers is parked on the scheme
+        // with O(1) splices and adopted by the next flushing handle (or
+        // released at scheme drop).
+        let mut leftovers = SegBag::new();
+        for chain in &mut self.limbo {
+            leftovers.splice(&mut chain.bag);
+        }
+        self.scheme.parked.park(&mut leftovers);
+        self.scheme.registry.release(self.slot);
+        // Recycle the workspace to the next registrant: after the first wave of
+        // handles, registration allocates nothing.
+        self.scheme.handle_cache.park(HeParts {
+            pool: std::mem::take(&mut self.pool),
+            reservations: std::mem::take(&mut self.reservations),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reclaim_core::{retire_box, retire_box_with_birth};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct Tracked(Arc<AtomicUsize>);
+    impl Drop for Tracked {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn tracked(drops: &Arc<AtomicUsize>) -> *mut Tracked {
+        Box::into_raw(Box::new(Tracked(Arc::clone(drops))))
+    }
+
+    fn small_config() -> SmrConfig {
+        SmrConfig::default()
+            .with_max_threads(4)
+            .with_scan_threshold(8)
+            .with_era_advance_interval(4)
+    }
+
+    #[test]
+    fn single_thread_reclaims_everything_on_flush() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let scheme = He::new(small_config());
+        let mut handle = scheme.register();
+        for _ in 0..100 {
+            handle.begin_op();
+            let birth = handle.alloc_node();
+            unsafe { retire_box_with_birth(&mut handle, tracked(&drops), birth) };
+            handle.end_op();
+        }
+        handle.flush();
+        assert_eq!(drops.load(Ordering::SeqCst), 100);
+        let snap = Smr::stats(&*scheme);
+        assert_eq!(snap.retired, 100);
+        assert_eq!(snap.freed, 100);
+    }
+
+    #[test]
+    fn an_active_reservation_blocks_only_nodes_born_inside_it() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let scheme = He::new(small_config().with_scan_threshold(1_000_000));
+        let mut reader = scheme.register();
+        let mut writer = scheme.register();
+
+        // The reader announces at the current era and stalls mid-operation.
+        reader.begin_op();
+        let stall_era = scheme.current_era();
+
+        // Nodes born before/at the stall era are pinned by the reservation.
+        let old = tracked(&drops);
+        let old_birth = scheme.current_era();
+        assert!(old_birth >= stall_era);
+        unsafe { retire_box_with_birth(&mut writer, old, old_birth) };
+        writer.flush();
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            0,
+            "a node born inside the reservation must survive"
+        );
+
+        // Advance the era well past the stall; nodes born afterwards are not
+        // covered by the stalled reader's [e, e] reservation and must free.
+        for _ in 0..4 {
+            scheme.era.advance();
+        }
+        let young_birth = writer.alloc_node();
+        assert!(young_birth > stall_era);
+        unsafe { retire_box_with_birth(&mut writer, tracked(&drops), young_birth) };
+        writer.flush();
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            1,
+            "a node born after the stalled reservation must be freed"
+        );
+        assert_eq!(writer.local_in_limbo(), 1, "the old node is still pinned");
+
+        // Releasing the reservation frees the rest.
+        reader.end_op();
+        writer.flush();
+        assert_eq!(drops.load(Ordering::SeqCst), 2);
+        assert_eq!(writer.local_in_limbo(), 0);
+    }
+
+    #[test]
+    fn unstamped_retires_are_maximally_conservative() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let scheme = He::new(small_config().with_scan_threshold(1_000_000));
+        let mut reader = scheme.register();
+        let mut writer = scheme.register();
+        reader.begin_op();
+        // Plain `retire` (birth = NO_BIRTH_ERA): treated as born before every
+        // era, so any active reservation pins it.
+        unsafe { retire_box(&mut writer, tracked(&drops)) };
+        writer.flush();
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        reader.end_op();
+        writer.flush();
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn protect_extends_the_reservation_when_the_era_advances() {
+        let scheme = He::new(small_config());
+        let mut reader = scheme.register();
+        reader.begin_op();
+        let (lower, upper) = reader.record().load();
+        assert_eq!(lower, upper, "begin_op announces a point interval");
+        // The era advances mid-operation (another thread allocating).
+        scheme.era.advance();
+        scheme.era.advance();
+        reader.protect(0, std::ptr::null_mut());
+        let (lower2, upper2) = reader.record().load();
+        assert_eq!(lower2, lower, "lower is pinned for the whole operation");
+        assert_eq!(upper2, scheme.current_era(), "upper follows the era");
+        reader.end_op();
+        assert!(reader.record().is_inactive());
+    }
+
+    #[test]
+    fn alloc_node_ticks_the_global_era_every_interval() {
+        let scheme = He::new(small_config().with_era_advance_interval(4));
+        let mut handle = scheme.register();
+        let start = scheme.current_era();
+        let mut births = Vec::new();
+        for _ in 0..8 {
+            births.push(handle.alloc_node());
+        }
+        assert_eq!(
+            scheme.current_era(),
+            start + 2,
+            "8 allocations at interval 4 advance the era twice"
+        );
+        assert!(
+            births.windows(2).all(|w| w[0] <= w[1]),
+            "births are monotone"
+        );
+    }
+
+    #[test]
+    fn concurrent_workers_reclaim_everything_by_scheme_drop() {
+        use std::thread;
+        let drops = Arc::new(AtomicUsize::new(0));
+        let total = Arc::new(AtomicUsize::new(0));
+        let scheme = He::new(
+            SmrConfig::default()
+                .with_max_threads(4)
+                .with_scan_threshold(16)
+                .with_era_advance_interval(8),
+        );
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let scheme = Arc::clone(&scheme);
+                let drops = Arc::clone(&drops);
+                let total = Arc::clone(&total);
+                thread::spawn(move || {
+                    let mut handle = scheme.register();
+                    for _ in 0..500 {
+                        handle.begin_op();
+                        let birth = handle.alloc_node();
+                        unsafe { retire_box_with_birth(&mut handle, tracked(&drops), birth) };
+                        total.fetch_add(1, Ordering::SeqCst);
+                        handle.end_op();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        drop(scheme);
+        assert_eq!(drops.load(Ordering::SeqCst), total.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn dying_handles_park_leftovers_for_the_next_flush() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let scheme = He::new(small_config().with_scan_threshold(1_000_000));
+        let mut reader = scheme.register();
+        reader.begin_op();
+        {
+            let mut dying = scheme.register();
+            unsafe { retire_box(&mut dying, tracked(&drops)) };
+            // The reader's reservation pins the (unstamped) node through the
+            // dying handle's final flush.
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 0, "parked, not freed");
+        let mut survivor = scheme.register();
+        reader.end_op();
+        survivor.flush();
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            1,
+            "the survivor adopts and frees the parked node"
+        );
+    }
+
+    #[test]
+    fn handle_cache_recycles_pool_and_scratch_across_registrations() {
+        let scheme = He::new(small_config());
+        assert_eq!(scheme.cached_handle_parts(), 0);
+        {
+            let _a = scheme.register();
+        }
+        assert_eq!(scheme.cached_handle_parts(), 1);
+        {
+            let _b = scheme.register(); // adopts the parked parts
+            assert_eq!(scheme.cached_handle_parts(), 0);
+        }
+        assert_eq!(scheme.cached_handle_parts(), 1);
+    }
+
+    #[test]
+    fn scheme_reports_name_and_config() {
+        let scheme = He::with_defaults();
+        assert_eq!(scheme.name(), "he");
+        assert!(scheme.config().max_threads >= 1);
+        assert!(scheme.current_era() >= 1);
+    }
+}

@@ -37,7 +37,7 @@
 
 use crate::keyspace::KeySlot;
 use rand as _; // keep the workspace dependency graph uniform; randomness is not needed here
-use reclaim_core::{retire_box, Smr, SmrHandle};
+use reclaim_core::{retire_box_with_birth, Era, Smr, SmrHandle, NO_BIRTH_ERA};
 use std::cmp::Ordering as CmpOrdering;
 use std::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::Arc;
@@ -84,24 +84,36 @@ fn without_tag<T>(ptr: *mut T) -> *mut T {
 struct Node<K> {
     key: KeySlot<K>,
     is_leaf: bool,
+    /// Era the node was allocated in (`SmrHandle::alloc_node`); immutable after
+    /// allocation, read back by the splicing thread at the retire sites.
+    /// `NO_BIRTH_ERA` on the sentinel scaffolding built before any handle
+    /// exists.
+    birth_era: Era,
     left: AtomicPtr<Node<K>>,
     right: AtomicPtr<Node<K>>,
 }
 
 impl<K> Node<K> {
-    fn leaf(key: KeySlot<K>) -> *mut Node<K> {
+    fn leaf(key: KeySlot<K>, birth_era: Era) -> *mut Node<K> {
         Box::into_raw(Box::new(Node {
             key,
             is_leaf: true,
+            birth_era,
             left: AtomicPtr::new(std::ptr::null_mut()),
             right: AtomicPtr::new(std::ptr::null_mut()),
         }))
     }
 
-    fn internal(key: KeySlot<K>, left: *mut Node<K>, right: *mut Node<K>) -> *mut Node<K> {
+    fn internal(
+        key: KeySlot<K>,
+        left: *mut Node<K>,
+        right: *mut Node<K>,
+        birth_era: Era,
+    ) -> *mut Node<K> {
         Box::into_raw(Box::new(Node {
             key,
             is_leaf: false,
+            birth_era,
             left: AtomicPtr::new(left),
             right: AtomicPtr::new(right),
         }))
@@ -136,13 +148,14 @@ where
     pub fn new(smr: Arc<S>) -> Self {
         // S sentinel: left = -∞ leaf (where the first real insert lands),
         // right = +∞ leaf (never reached by real keys).
-        let s_left = Node::leaf(KeySlot::NegInf);
-        let s_right = Node::leaf(KeySlot::PosInf);
-        let s = Node::internal(KeySlot::PosInf, s_left, s_right);
-        let r_right = Node::leaf(KeySlot::PosInf);
+        let s_left = Node::leaf(KeySlot::NegInf, NO_BIRTH_ERA);
+        let s_right = Node::leaf(KeySlot::PosInf, NO_BIRTH_ERA);
+        let s = Node::internal(KeySlot::PosInf, s_left, s_right, NO_BIRTH_ERA);
+        let r_right = Node::leaf(KeySlot::PosInf, NO_BIRTH_ERA);
         let root = Box::new(Node {
             key: KeySlot::PosInf,
             is_leaf: false,
+            birth_era: NO_BIRTH_ERA,
             left: AtomicPtr::new(s),
             right: AtomicPtr::new(r_right),
         });
@@ -332,8 +345,8 @@ where
             // replaced, and the only edge into `removed_leaf` (from `parent`) is
             // flagged, so no traversal can validate a new protection for either.
             unsafe {
-                retire_box(handle, parent);
-                retire_box(handle, removed_leaf);
+                retire_box_with_birth(handle, parent, (*parent).birth_era);
+                retire_box_with_birth(handle, removed_leaf, (*removed_leaf).birth_era);
             }
             true
         } else {
@@ -368,12 +381,12 @@ where
             // Build the replacement subtree: a new internal node whose children are
             // the existing leaf and the new leaf, ordered by key. The internal node's
             // routing key is the larger of the two (search goes left iff key < node).
-            let new_leaf = Node::leaf(KeySlot::Key(key.clone()));
+            let new_leaf = Node::leaf(KeySlot::Key(key.clone()), handle.alloc_node());
             let (internal_key, left, right) = match leaf_key.cmp_key(&key) {
                 CmpOrdering::Greater => (leaf_key.clone(), new_leaf, leaf),
                 _ => (KeySlot::Key(key.clone()), leaf, new_leaf),
             };
-            let new_internal = Node::internal(internal_key, left, right);
+            let new_internal = Node::internal(internal_key, left, right, handle.alloc_node());
             // SAFETY: `record.parent` protected by the seek.
             let edge = unsafe { Self::child_edge(record.parent, &key) };
             match edge.compare_exchange(leaf, new_internal, Ordering::AcqRel, Ordering::Acquire) {

@@ -15,7 +15,7 @@
 
 use crate::keyspace::KeySlot;
 use crate::tagged::{decompose, is_marked, marked, unmarked};
-use reclaim_core::{retire_box, Smr, SmrHandle};
+use reclaim_core::{retire_box_with_birth, Era, Smr, SmrHandle, NO_BIRTH_ERA};
 use std::cmp::Ordering as CmpOrdering;
 use std::hash::{BuildHasher, BuildHasherDefault, DefaultHasher, Hash};
 use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
@@ -38,14 +38,23 @@ struct Node<K, V> {
     /// `None` only in bucket sentinels. Written once at allocation, never mutated
     /// afterwards, so readers may clone it while the node is protected.
     value: Option<V>,
+    /// Era the node was allocated in (`SmrHandle::alloc_node`); immutable after
+    /// allocation, read back at the retire sites. `NO_BIRTH_ERA` on sentinels.
+    birth_era: Era,
     next: AtomicPtr<Node<K, V>>,
 }
 
 impl<K, V> Node<K, V> {
-    fn new(key: KeySlot<K>, value: Option<V>, next: *mut Node<K, V>) -> *mut Node<K, V> {
+    fn new(
+        key: KeySlot<K>,
+        value: Option<V>,
+        next: *mut Node<K, V>,
+        birth_era: Era,
+    ) -> *mut Node<K, V> {
         Box::into_raw(Box::new(Node {
             key,
             value,
+            birth_era,
             next: AtomicPtr::new(next),
         }))
     }
@@ -91,6 +100,7 @@ where
             .map(|_| Node {
                 key: KeySlot::NegInf,
                 value: None,
+                birth_era: NO_BIRTH_ERA,
                 next: AtomicPtr::new(std::ptr::null_mut()),
             })
             .collect::<Vec<_>>()
@@ -166,7 +176,7 @@ where
                         continue 'retry;
                     }
                     // SAFETY: unlinked by this thread, Box-allocated, retired once.
-                    unsafe { retire_box(handle, curr) };
+                    unsafe { retire_box_with_birth(handle, curr, (*curr).birth_era) };
                     curr = next;
                     continue;
                 }
@@ -211,7 +221,7 @@ where
                 handle.end_op();
                 return false;
             }
-            let node = Node::new(KeySlot::Key(key), Some(value), s.curr);
+            let node = Node::new(KeySlot::Key(key), Some(value), s.curr, handle.alloc_node());
             // SAFETY: `s.prev` is the bucket sentinel or protected by slot HP_PREV.
             match unsafe { &*s.prev }.next.compare_exchange(
                 s.curr,
@@ -286,7 +296,7 @@ where
                 .is_ok()
             {
                 // SAFETY: unlinked by this thread, Box-allocated, retired once.
-                unsafe { retire_box(handle, curr) };
+                unsafe { retire_box_with_birth(handle, curr, (*curr).birth_era) };
             } else {
                 let _ = self.search(key, handle);
             }

@@ -24,7 +24,7 @@
 
 use crate::keyspace::KeySlot;
 use crate::tagged::{decompose, is_marked, marked, unmarked};
-use reclaim_core::{retire_box, Smr, SmrHandle};
+use reclaim_core::{retire_box_with_birth, Era, Smr, SmrHandle, NO_BIRTH_ERA};
 use std::cmp::Ordering as CmpOrdering;
 use std::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::Arc;
@@ -39,13 +39,17 @@ pub const LIST_HP_SLOTS: usize = 2;
 
 struct Node<K> {
     key: KeySlot<K>,
+    /// Era the node was allocated in (`SmrHandle::alloc_node`); immutable after
+    /// allocation, read back at the retire site. `NO_BIRTH_ERA` on sentinels.
+    birth_era: Era,
     next: AtomicPtr<Node<K>>,
 }
 
 impl<K> Node<K> {
-    fn new(key: KeySlot<K>, next: *mut Node<K>) -> *mut Node<K> {
+    fn new(key: KeySlot<K>, next: *mut Node<K>, birth_era: Era) -> *mut Node<K> {
         Box::into_raw(Box::new(Node {
             key,
+            birth_era,
             next: AtomicPtr::new(next),
         }))
     }
@@ -82,6 +86,7 @@ where
         Self {
             head: Box::new(Node {
                 key: KeySlot::NegInf,
+                birth_era: NO_BIRTH_ERA,
                 next: AtomicPtr::new(std::ptr::null_mut()),
             }),
             smr,
@@ -141,8 +146,9 @@ where
                     // This thread performed the unlink, so it (and only it) retires
                     // the node — rule 3.
                     // SAFETY: `curr` is now unreachable (it was only reachable through
-                    // `prev`), was allocated by `Node::new` (Box) and is retired once.
-                    unsafe { retire_box(handle, curr) };
+                    // `prev`), was allocated by `Node::new` (Box) and is retired once;
+                    // its birth-era stamp is immutable and still readable pre-retire.
+                    unsafe { retire_box_with_birth(handle, curr, (*curr).birth_era) };
                     curr = next;
                     continue;
                 }
@@ -186,7 +192,7 @@ where
                 handle.end_op();
                 return false;
             }
-            let node = Node::new(KeySlot::Key(key), s.curr);
+            let node = Node::new(KeySlot::Key(key), s.curr, handle.alloc_node());
             // SAFETY: `s.prev` is the sentinel or protected by slot HP_PREV.
             match unsafe { &*s.prev }.next.compare_exchange(
                 s.curr,
@@ -259,8 +265,9 @@ where
                 )
                 .is_ok()
             {
-                // SAFETY: unlinked by this thread, allocated via Box, retired once.
-                unsafe { retire_box(handle, curr) };
+                // SAFETY: unlinked by this thread, allocated via Box, retired once;
+                // the birth-era stamp is immutable and still readable pre-retire.
+                unsafe { retire_box_with_birth(handle, curr, (*curr).birth_era) };
             } else {
                 // Help physical removal along the new path.
                 let _ = self.search(key, handle);

@@ -12,7 +12,7 @@
 //! applicability claim beyond ordered sets and feeds the extension benchmarks and
 //! the producer/consumer example.
 
-use reclaim_core::{retire_box, Smr, SmrHandle};
+use reclaim_core::{retire_box_with_birth, Era, Smr, SmrHandle, NO_BIRTH_ERA};
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -32,13 +32,19 @@ struct Node<V> {
     /// `UnsafeCell` because that take happens through a shared pointer — exclusivity
     /// is guaranteed by winning the CAS, not by the type system.
     value: UnsafeCell<Option<V>>,
+    /// Era the node was allocated in (`SmrHandle::alloc_node`); read back by
+    /// the dequeuer that retires the node once it has become the old dummy.
+    /// `NO_BIRTH_ERA` for the initial dummy, which is allocated before any
+    /// handle exists.
+    birth_era: Era,
     next: AtomicPtr<Node<V>>,
 }
 
 impl<V> Node<V> {
-    fn new(value: Option<V>) -> *mut Node<V> {
+    fn new(value: Option<V>, birth_era: Era) -> *mut Node<V> {
         Box::into_raw(Box::new(Node {
             value: UnsafeCell::new(value),
+            birth_era,
             next: AtomicPtr::new(std::ptr::null_mut()),
         }))
     }
@@ -67,7 +73,7 @@ where
 {
     /// Creates an empty queue using the given reclamation scheme.
     pub fn new(smr: Arc<S>) -> Self {
-        let dummy = Node::new(None);
+        let dummy = Node::new(None, NO_BIRTH_ERA);
         Self {
             head: AtomicPtr::new(dummy),
             tail: AtomicPtr::new(dummy),
@@ -89,7 +95,7 @@ where
     /// Appends a value at the tail of the queue.
     pub fn enqueue(&self, value: V, handle: &mut S::Handle) {
         handle.begin_op();
-        let node = Node::new(Some(value));
+        let node = Node::new(Some(value), handle.alloc_node());
         loop {
             let tail = self.tail.load(Ordering::Acquire);
             // Rule 2: protect the tail, then re-validate it is still the tail before
@@ -180,7 +186,7 @@ where
             // SAFETY: `head` (the old dummy) was unlinked by this thread's CAS, was
             // allocated via Box, and is retired exactly once. Its value slot is
             // `None` (it was the dummy), so the destructor drops nothing extra.
-            unsafe { retire_box(handle, head) };
+            unsafe { retire_box_with_birth(handle, head, (*head).birth_era) };
             break value;
         };
         handle.clear_protections();

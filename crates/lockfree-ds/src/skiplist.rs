@@ -38,7 +38,7 @@
 use crate::keyspace::KeySlot;
 use crate::tagged::{decompose, is_marked, marked, unmarked};
 use rand::Rng;
-use reclaim_core::{retire_box, Smr, SmrHandle};
+use reclaim_core::{retire_box_with_birth, Era, Smr, SmrHandle, NO_BIRTH_ERA};
 use std::cmp::Ordering as CmpOrdering;
 use std::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::Arc;
@@ -75,14 +75,18 @@ const HP_NODE: usize = 2 * MAX_HEIGHT + 1;
 struct Node<K> {
     key: KeySlot<K>,
     height: usize,
+    /// Era the node was allocated in (`SmrHandle::alloc_node`); immutable after
+    /// allocation, read back by the level-0 deletion winner at the retire site.
+    birth_era: Era,
     next: [AtomicPtr<Node<K>>; MAX_HEIGHT],
 }
 
 impl<K> Node<K> {
-    fn alloc(key: KeySlot<K>, height: usize) -> *mut Node<K> {
+    fn alloc(key: KeySlot<K>, height: usize, birth_era: Era) -> *mut Node<K> {
         Box::into_raw(Box::new(Node {
             key,
             height,
+            birth_era,
             next: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
         }))
     }
@@ -123,6 +127,7 @@ where
             head: Box::new(Node {
                 key: KeySlot::NegInf,
                 height: MAX_HEIGHT,
+                birth_era: NO_BIRTH_ERA,
                 next: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
             }),
             smr,
@@ -238,7 +243,7 @@ where
                 handle.end_op();
                 return false;
             }
-            let node = Node::alloc(KeySlot::Key(key), height);
+            let node = Node::alloc(KeySlot::Key(key), height, handle.alloc_node());
             // Protect the node *before* publishing it. The protection is issued
             // while the node is still private — hence before any possible retire —
             // so every scan that could free it is guaranteed to observe the hazard
@@ -402,7 +407,7 @@ where
                 // links, so no new protection of it can be validated), it was
                 // allocated via `Node::alloc`, and only the level-0 winner — this
                 // thread — retires it.
-                unsafe { retire_box(handle, victim) };
+                unsafe { retire_box_with_birth(handle, victim, (*victim).birth_era) };
                 handle.clear_protections();
                 handle.end_op();
                 return true;

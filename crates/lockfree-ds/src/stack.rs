@@ -11,7 +11,7 @@
 //! demonstrate the claim of §1.3/§4.2 that QSense applies wherever hazard pointers
 //! apply, beyond ordered sets, and it feeds the extension benchmarks and examples.
 
-use reclaim_core::{retire_box, Smr, SmrHandle};
+use reclaim_core::{retire_box_with_birth, Era, Smr, SmrHandle};
 use std::mem::ManuallyDrop;
 use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -26,6 +26,9 @@ struct Node<V> {
     /// The value is taken out (moved to the caller) by the thread that pops the
     /// node, so the node's destructor must not drop it a second time.
     value: ManuallyDrop<V>,
+    /// Era the node was allocated in (`SmrHandle::alloc_node`); read back by
+    /// the popping thread at the retire site.
+    birth_era: Era,
     next: *mut Node<V>,
 }
 
@@ -77,6 +80,7 @@ where
         handle.begin_op();
         let node = Box::into_raw(Box::new(Node {
             value: ManuallyDrop::new(value),
+            birth_era: handle.alloc_node(),
             next: std::ptr::null_mut(),
         }));
         loop {
@@ -132,7 +136,7 @@ where
             // SAFETY: unlinked by this thread, allocated via Box, retired once. The
             // value has been moved out, and `Node`'s ManuallyDrop field means the
             // destructor will not touch it again.
-            unsafe { retire_box(handle, head) };
+            unsafe { retire_box_with_birth(handle, head, (*head).birth_era) };
             break Some(value);
         };
         handle.clear_protections();

@@ -6,8 +6,8 @@ use crate::epoch::{
 use reclaim_core::retired::DropFn;
 use reclaim_core::stats::{StatStripe, StatsSnapshot};
 use reclaim_core::{
-    CachePadded, ParkedChain, Registry, RetiredPtr, SegBag, SegPool, SlotId, Smr, SmrConfig,
-    SmrHandle,
+    CachePadded, HandleCache, ParkedChain, Registry, RetiredPtr, SegBag, SegPool, SlotId, Smr,
+    SmrConfig, SmrHandle,
 };
 use std::sync::Arc;
 
@@ -28,12 +28,16 @@ pub struct Qsbr {
     /// current limbo bucket, so the nodes are freed after an ordinary grace
     /// period instead of waiting for scheme drop (see [`ParkedChain`]).
     parked: ParkedChain,
+    /// Segment pools of exited threads, adopted by the next registrant so
+    /// handle churn is allocation-free after the first wave.
+    handle_cache: HandleCache<SegPool>,
 }
 
 impl Qsbr {
     /// Creates a QSBR scheme with the given configuration.
     pub fn new(config: SmrConfig) -> Arc<Self> {
         let registry = Registry::new(config.max_threads, |_| EpochRecord::new());
+        let handle_cache = HandleCache::with_capacity(config.max_threads);
         Arc::new(Self {
             config,
             global_epoch: GlobalEpoch::new(),
@@ -41,6 +45,7 @@ impl Qsbr {
             registry,
             scheme_stats: CachePadded::new(StatStripe::new()),
             parked: ParkedChain::new(),
+            handle_cache,
         })
     }
 
@@ -95,7 +100,9 @@ impl Smr for Qsbr {
             scheme: Arc::clone(self),
             slot,
             limbo: std::array::from_fn(|_| SegBag::new()),
-            pool: SegPool::new(),
+            // Adopt a previous tenant's segment pool when available
+            // (thread-pool churn; see `HandleCache`).
+            pool: self.handle_cache.adopt().unwrap_or_default(),
             local_epoch: epoch,
             ops_since_quiescence: 0,
         }
@@ -241,6 +248,10 @@ impl Drop for QsbrHandle {
         }
         self.scheme.parked.park(&mut leftovers);
         self.scheme.registry.release(self.slot);
+        // Recycle the segment pool to the next registrant.
+        self.scheme
+            .handle_cache
+            .park(std::mem::take(&mut self.pool));
     }
 }
 

@@ -6,8 +6,8 @@ use qsbr::{limbo_index, CursorCheck, EpochCursor, EpochRecord, GlobalEpoch, EPOC
 use reclaim_core::retired::DropFn;
 use reclaim_core::stats::{StatStripe, StatsSnapshot};
 use reclaim_core::{
-    membarrier, CachePadded, ParkedChain, PtrScratch, Registry, RetiredPtr, SegBag, SegPool,
-    SlotId, Smr, SmrConfig, SmrHandle,
+    membarrier, CachePadded, HandleCache, ParkedChain, PtrScratch, Registry, RetiredPtr, ScanParts,
+    SegBag, SegPool, SlotId, Smr, SmrConfig, SmrHandle,
 };
 use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -134,6 +134,9 @@ pub struct QSense {
     /// Limbo leftovers of exited threads: the next surviving handle to flush
     /// adopts the chain into its current limbo bucket (see [`ParkedChain`]).
     parked: ParkedChain,
+    /// Pools + scratch buffers of exited threads, adopted by the next
+    /// registrant so handle churn is allocation-free after the first wave.
+    handle_cache: HandleCache<ScanParts>,
 }
 
 impl QSense {
@@ -147,6 +150,7 @@ impl QSense {
             config.rooster_interval,
             config.use_membarrier,
         );
+        let handle_cache = HandleCache::with_capacity(config.max_threads);
         Arc::new(Self {
             config,
             registry,
@@ -157,6 +161,7 @@ impl QSense {
             scheme_stats: CachePadded::new(StatStripe::new()),
             rooster: Mutex::new(rooster),
             parked: ParkedChain::new(),
+            handle_cache,
         })
     }
 
@@ -397,12 +402,18 @@ impl Smr for QSense {
         let record = self.registry.get_mine(slot);
         record.epoch.store(epoch);
         self.note_activity(record);
+        // Adopt a previous tenant's pool + scratch when available (thread-pool
+        // churn; see `HandleCache`).
+        let parts = self.handle_cache.adopt().unwrap_or_else(|| ScanParts {
+            pool: SegPool::new(),
+            scratch: PtrScratch::with_capacity(self.config.max_threads * self.config.hp_per_thread),
+        });
         QSenseHandle {
             scheme: Arc::clone(self),
             slot,
             limbo: std::array::from_fn(|_| SegBag::new()),
-            pool: SegPool::new(),
-            scratch: PtrScratch::with_capacity(self.config.max_threads * self.config.hp_per_thread),
+            pool: parts.pool,
+            scratch: parts.scratch,
             local_epoch: epoch,
             ops_since_quiescence: 0,
             retires_since_scan: 0,
@@ -679,6 +690,11 @@ impl Drop for QSenseHandle {
         // check) until the next eviction sweep's vacant-slot retraction or the
         // slot's next registration clears it.
         self.scheme.registry.release(self.slot);
+        // Recycle the workspace to the next registrant (see `HandleCache`).
+        self.scheme.handle_cache.park(ScanParts {
+            pool: std::mem::take(&mut self.pool),
+            scratch: std::mem::take(&mut self.scratch),
+        });
     }
 }
 

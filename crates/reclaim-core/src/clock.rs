@@ -10,7 +10,16 @@
 //!
 //! Timestamps are plain `u64` nanoseconds ([`Nanos`]) since an arbitrary origin
 //! (scheme creation for the real clock, zero for manual clocks).
+//!
+//! The module also holds the *logical* clock of the era/interval-based schemes:
+//! [`EraClock`], a shared monotone counter advanced on allocation batches rather
+//! than by wall time (Hazard Eras / 2GE-IBR — the `he` crate). Both clocks solve
+//! the same problem (ordering retirements against reader activity) with opposite
+//! trade-offs: real time needs no shared writes but ties reclamation latency to
+//! `T + ε`; eras need an occasional shared `fetch_add` but make the "old enough"
+//! decision exact.
 
+use crate::pad::CachePadded;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -113,6 +122,58 @@ pub fn duration_to_nanos(d: Duration) -> Nanos {
     d.as_nanos().min(u128::from(u64::MAX)) as u64
 }
 
+/// An era value: a tick of the global logical clock used by interval-based
+/// reclamation (Hazard Eras / 2GE-IBR).
+pub type Era = u64;
+
+/// Era `0` never occurs as a reading of a live [`EraClock`] (the clock starts at
+/// 1), so it is free to mean "before every era": nodes whose birth was never
+/// stamped carry [`NO_BIRTH_ERA`] and are treated maximally conservatively by
+/// the interval overlap check.
+pub const NO_BIRTH_ERA: Era = 0;
+
+/// The global era counter of the interval-based schemes.
+///
+/// A single cache-padded monotone `u64`, read on every allocation / retirement
+/// of an era scheme and advanced once per allocation batch (see
+/// `SmrConfig::era_advance_interval`) plus once per scan. Reads are acquire and
+/// the advance is AcqRel so that observing era `e` also observes everything the
+/// advancer did before publishing `e` — the same pairing `GlobalEpoch` uses.
+#[derive(Debug)]
+pub struct EraClock {
+    era: CachePadded<AtomicU64>,
+}
+
+impl EraClock {
+    /// Creates a clock at era 1 (era 0 is reserved, see [`NO_BIRTH_ERA`]).
+    pub fn new() -> Self {
+        Self {
+            era: CachePadded::new(AtomicU64::new(1)),
+        }
+    }
+
+    /// The current era.
+    #[inline]
+    pub fn current(&self) -> Era {
+        self.era.load(Ordering::Acquire)
+    }
+
+    /// Advances the era by one, returning the value *before* the advance.
+    /// Unconditional (unlike `GlobalEpoch::try_advance`): era safety never
+    /// depends on readers having caught up, only on the free-time interval
+    /// overlap check, so concurrent advances merely skip numbers.
+    #[inline]
+    pub fn advance(&self) -> Era {
+        self.era.fetch_add(1, Ordering::AcqRel)
+    }
+}
+
+impl Default for EraClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,5 +229,33 @@ mod tests {
     fn duration_conversion() {
         assert_eq!(duration_to_nanos(Duration::from_millis(3)), 3_000_000);
         assert_eq!(duration_to_nanos(Duration::ZERO), 0);
+    }
+
+    #[test]
+    fn era_clock_starts_past_the_reserved_era_and_advances() {
+        let clock = EraClock::new();
+        assert!(clock.current() > NO_BIRTH_ERA, "era 0 is reserved");
+        assert_eq!(clock.current(), 1);
+        assert_eq!(clock.advance(), 1, "advance returns the pre-advance era");
+        assert_eq!(clock.current(), 2);
+    }
+
+    #[test]
+    fn concurrent_era_advances_all_land() {
+        let clock = Arc::new(EraClock::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let clock = Arc::clone(&clock);
+                thread::spawn(move || {
+                    for _ in 0..1_000 {
+                        clock.advance();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(clock.current(), 1 + 4 * 1_000);
     }
 }

@@ -57,6 +57,12 @@ pub struct SmrConfig {
     /// `None` (the default) disables eviction and reproduces the paper's published
     /// behaviour, where a crashed thread keeps the system in fallback mode forever.
     pub eviction_timeout: Option<Duration>,
+    /// **Extension (era schemes).** Number of node allocations between advances
+    /// of the global era clock (Hazard Eras / 2GE-IBR, the `he` crate). Smaller
+    /// values bound the garbage a stalled reader pins more tightly (fewer nodes
+    /// share its announced era) at the cost of more shared `fetch_add` traffic;
+    /// the default matches the IBR literature's `epoch_freq` ballpark.
+    pub era_advance_interval: usize,
     /// Time source; swap in a manual clock for deterministic tests.
     pub clock: Clock,
 }
@@ -151,6 +157,14 @@ impl SmrConfig {
         self.eviction_timeout.map(crate::clock::duration_to_nanos)
     }
 
+    /// Sets the era-advance interval of the era schemes (allocations per global
+    /// era tick).
+    pub fn with_era_advance_interval(mut self, allocs: usize) -> Self {
+        assert!(allocs > 0, "era_advance_interval must be positive");
+        self.era_advance_interval = allocs;
+        self
+    }
+
     /// Replaces the time source (e.g. with a manual clock for tests).
     pub fn with_clock(mut self, clock: Clock) -> Self {
         self.clock = clock;
@@ -195,6 +209,7 @@ impl Default for SmrConfig {
             rooster_threads: cpus.max(1),
             use_membarrier: true,
             eviction_timeout: None,
+            era_advance_interval: 64,
             clock: Clock::real(),
         }
     }
@@ -232,6 +247,7 @@ mod tests {
             .with_rooster_threads(2)
             .with_membarrier(false)
             .with_eviction_timeout(Some(Duration::from_millis(50)))
+            .with_era_advance_interval(16)
             .with_clock(Clock::manual(manual));
         assert_eq!(cfg.max_threads, 4);
         assert_eq!(cfg.hp_per_thread, 3);
@@ -243,6 +259,7 @@ mod tests {
         assert_eq!(cfg.rooster_threads, 2);
         assert!(!cfg.use_membarrier);
         assert_eq!(cfg.eviction_timeout_nanos(), Some(50_000_000));
+        assert_eq!(cfg.era_advance_interval, 16);
         assert!(cfg.clock.is_manual());
         assert_eq!(cfg.min_reclaim_age_nanos(), 7_000_000);
     }

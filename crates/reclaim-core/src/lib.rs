@@ -9,7 +9,11 @@
 //!
 //! * the [`Smr`] / [`SmrHandle`] traits — the three-function interface the paper
 //!   prescribes (`manage_qsense_state`, `assign_HP`, `free_node_later`) plus the
-//!   plumbing a real library needs (registration, statistics, forced collection);
+//!   plumbing a real library needs (registration, statistics, forced collection)
+//!   and an allocation-side hook ([`SmrHandle::alloc_node`] /
+//!   [`SmrHandle::retire_with_birth`]) that stamps nodes with the birth era the
+//!   interval-based `he` scheme (Hazard Eras / 2GE-IBR) reasons about — a no-op
+//!   for every other scheme;
 //! * a [`registry::Registry`] of per-thread slots with interior-mutable per-thread
 //!   state that other threads may scan (hazard pointers, epochs, presence flags),
 //!   each slot carrying its own cache-padded statistics stripe
@@ -21,7 +25,11 @@
 //!   segment chains recycled through a per-handle [`segbag::SegPool`], so the
 //!   steady-state retire/scan/reclaim pipeline never touches the allocator;
 //! * a [`clock::Clock`] abstraction (real, monotonic nanoseconds) with a manually
-//!   driven variant for deterministic tests;
+//!   driven variant for deterministic tests, and the global [`clock::EraClock`]
+//!   logical clock of the era schemes;
+//! * a [`handle_cache::HandleCache`] that recycles dying handles' pools and
+//!   scratch buffers to the next registrant, so thread-pool churn stays
+//!   allocation-free after the first wave;
 //! * low-level utilities: [`pad::CachePadded`], [`backoff::Backoff`], and the
 //!   asymmetric process-wide fence in [`membarrier`];
 //! * the [`leaky::Leaky`] "scheme" (no reclamation at all), the paper's *None*
@@ -42,22 +50,25 @@
 //!
 //! | frequency | work | shared-memory cost |
 //! |-----------|------|--------------------|
-//! | per op (`begin_op`) | a local counter bump (QSBR/QSense batching); a pin store plus an O(#buckets) bucket-age check (EBR only) | none (EBR: one release store to an owned padded line) |
-//! | per node traversed (`protect`) | hazard-pointer store (HP/Cadence/QSense) | one release store to an owned padded slot; classic HP adds the `SeqCst` fence the paper is about |
-//! | per `retire` | write into the tail segment of the thread-local [`segbag::SegBag`], bump the slot's [`stats::StatStripe`], one acquire load of the fallback flag (QSense) | single-writer padded lines only — **no shared `fetch_add`**, no shared epoch load (EBR tags with its pin-time epoch) |
+//! | per op (`begin_op`) | a local counter bump (QSBR/QSense batching); a pin store plus an O(#buckets) bucket-age check (EBR only); one era announcement — an era load plus, on change, a fenced reservation store (HE only) | none (EBR: one release store to an owned padded line; HE: one era store per op to an owned padded line, fenced only when the era moved) |
+//! | per node traversed (`protect`) | hazard-pointer store (HP/Cadence/QSense); era re-announcement only when the global era advanced mid-operation (HE) | one release store to an owned padded slot; classic HP adds the `SeqCst` fence the paper is about; HE's amortized cost here is ~zero (eras advance every `era_advance_interval` allocations, not per node) |
+//! | per node allocated ([`smr::SmrHandle::alloc_node`]) | birth-era stamp: one era load, plus one shared `fetch_add` every `era_advance_interval` allocations (HE only; no-op for every other scheme) | one acquire load of the (mostly read-shared) era line |
+//! | per `retire` | write into the tail segment of the thread-local [`segbag::SegBag`], bump the slot's [`stats::StatStripe`], one acquire load of the fallback flag (QSense) or of the era clock (HE — the retire-era stamp must be fresh, see `he`) | single-writer padded lines only — **no shared `fetch_add`**, no shared epoch load (EBR tags with its pin-time epoch) |
 //! | per segment (every [`segbag::SEG_CAP`] retires) | pop a recycled segment from the per-handle [`segbag::SegPool`] | none — the allocator is touched only past the handle's all-time peak |
 //! | per `Q` ops (quiescent state) | epoch adoption (one release store) or a bounded epoch-confirmation poll (amortized O(1), see `qsbr::EpochCursor`); one eviction-counter load (QSense) | a handful of loads + at most one CAS |
-//! | per scan (every `R` retires) | snapshot all `N·K` hazard pointers into a **reusable** scratch buffer, two-cursor compaction of the segment chain ([`segbag::SegBag::reclaim_if`]) | O(N·K) loads, zero heap allocations in steady state |
-//! | per handle drop | splice leftovers into the scheme's parked chain ([`segbag::SegBag::splice`]) | O(1) pointer surgery under a mutex — no allocation |
+//! | per scan (every `R` retires) | snapshot all `N·K` hazard pointers into a **reusable** scratch buffer (HP/Cadence/QSense) or all `N` era reservations — O(N) era reads, not O(N·K) (HE); two-cursor compaction of the segment chain ([`segbag::SegBag::reclaim_if`]) plus at most one O(1) adjacent-segment merge | O(N·K) loads (O(N) for HE), zero heap allocations in steady state |
+//! | per handle drop | splice leftovers into the scheme's parked chain ([`segbag::SegBag::splice`]); park the pool + scratch on the scheme's [`handle_cache::HandleCache`] | O(1) pointer surgery under a mutex — no allocation |
 //! | per snapshot (`Smr::stats`) | sum all counter stripes | O(N) loads — diagnostic path, never on the hot path |
 //!
 //! Segment recycling makes the whole retire→scan→reclaim pipeline allocation-free
 //! in steady state, *including* bag growth past a single bag's previous high-water
 //! mark (the per-handle pool backs all of a handle's bags) and the parked-bag
 //! hand-off at handle drop (an O(1) chain splice; surviving handles re-adopt the
-//! parked chain on their next flush). The remaining allocation site is handle
-//! registration itself (scratch buffers, handle struct) — once per thread
-//! lifetime, never on an operation path.
+//! parked chain on their next flush). Handle registration itself allocates only
+//! on the *first* wave: a dying handle parks its pool and scratch buffers on the
+//! scheme's [`handle_cache::HandleCache`] and the next registrant adopts them,
+//! so thread-pool churn (register → work → drop, repeatedly) is allocation-free
+//! after the pool's first generation of handles.
 //!
 //! ## Pointer-level safety contract
 //!
@@ -79,6 +90,7 @@ pub mod alloc_track;
 pub mod backoff;
 pub mod clock;
 pub mod config;
+pub mod handle_cache;
 pub mod leaky;
 pub mod membarrier;
 pub mod pad;
@@ -91,8 +103,9 @@ pub mod stats;
 
 pub use alloc_track::CountingAllocator;
 pub use backoff::Backoff;
-pub use clock::{Clock, ManualClock, Nanos};
+pub use clock::{Clock, Era, EraClock, ManualClock, Nanos, NO_BIRTH_ERA};
 pub use config::SmrConfig;
+pub use handle_cache::{HandleCache, ScanParts};
 pub use leaky::{Leaky, LeakyHandle};
 pub use pad::CachePadded;
 pub use registry::{Registry, SlotId};
@@ -111,4 +124,20 @@ pub use stats::{ShardedStats, StatStripe, StatsSnapshot};
 /// data structure, and must not be retired more than once.
 pub unsafe fn retire_box<T, H: SmrHandle + ?Sized>(handle: &mut H, ptr: *mut T) {
     handle.retire(ptr.cast::<u8>(), drop_fn_for::<T>());
+}
+
+/// Convenience: retire a typed, heap-allocated pointer together with its
+/// allocation-time birth era (the stamp [`SmrHandle::alloc_node`] produced when
+/// the node was created; see [`SmrHandle::retire_with_birth`]).
+///
+/// # Safety
+///
+/// Same contract as [`retire_box`]; `birth_era` must be the node's stamp or
+/// [`NO_BIRTH_ERA`].
+pub unsafe fn retire_box_with_birth<T, H: SmrHandle + ?Sized>(
+    handle: &mut H,
+    ptr: *mut T,
+    birth_era: Era,
+) {
+    handle.retire_with_birth(ptr.cast::<u8>(), drop_fn_for::<T>(), birth_era);
 }

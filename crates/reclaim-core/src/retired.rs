@@ -8,18 +8,27 @@
 //! collect these wrappers in [`crate::segbag::SegBag`] segment chains (a limbo list
 //! in QSBR terms, a removed-nodes list in HP/Cadence terms).
 
-use crate::clock::Nanos;
+use crate::clock::{Era, Nanos, NO_BIRTH_ERA};
 use std::fmt;
 
 /// A type-erased destructor: takes the pointer originally passed to `retire` and
 /// releases the node's memory.
 pub type DropFn = unsafe fn(*mut u8);
 
-/// A retired node awaiting reclamation: pointer, destructor and removal timestamp.
+/// A retired node awaiting reclamation: pointer, destructor, removal timestamp,
+/// and — for the interval-based schemes — the era the node was allocated in.
+///
+/// `retired_at` is whatever the retiring scheme's notion of "now" is: wall-clock
+/// nanoseconds for the deferred-reclamation schemes (Cadence, QSense), the
+/// logical retire era for Hazard Eras. `birth_era` is [`NO_BIRTH_ERA`] unless
+/// the allocation site stamped the node through `SmrHandle::alloc_node` — the
+/// era schemes treat an unstamped node as born before every announced era,
+/// which is conservative (wider lifetime interval, never freed early).
 pub struct RetiredPtr {
     ptr: *mut u8,
     drop_fn: DropFn,
     retired_at: Nanos,
+    birth_era: Era,
 }
 
 // A RetiredPtr is just a deferred destructor call; the node it points to is already
@@ -35,17 +44,41 @@ impl RetiredPtr {
     /// `ptr` must be a valid, unlinked node that will not be retired again, and
     /// `drop_fn(ptr)` must correctly release it.
     pub unsafe fn new(ptr: *mut u8, drop_fn: DropFn, retired_at: Nanos) -> Self {
+        // SAFETY: forwarded from the caller's contract.
+        unsafe { Self::with_birth(ptr, drop_fn, retired_at, NO_BIRTH_ERA) }
+    }
+
+    /// Wraps a retired node together with its allocation-time birth era
+    /// (interval-based schemes).
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`new`](Self::new); additionally `birth_era` must be the
+    /// era stamped into the node at allocation (or [`NO_BIRTH_ERA`], which the
+    /// era schemes treat maximally conservatively).
+    pub unsafe fn with_birth(
+        ptr: *mut u8,
+        drop_fn: DropFn,
+        retired_at: Nanos,
+        birth_era: Era,
+    ) -> Self {
         debug_assert!(!ptr.is_null(), "retiring a null pointer");
         Self {
             ptr,
             drop_fn,
             retired_at,
+            birth_era,
         }
     }
 
     /// The retired node's address (used to match against hazard pointers).
     pub fn addr(&self) -> *mut u8 {
         self.ptr
+    }
+
+    /// The era the node was allocated in ([`NO_BIRTH_ERA`] if never stamped).
+    pub fn birth_era(&self) -> Era {
+        self.birth_era
     }
 
     /// Timestamp (scheme clock) at which the node was retired.
@@ -136,5 +169,26 @@ mod tests {
         assert!(!node.addr().is_null());
         unsafe { node.reclaim() };
         assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn birth_era_defaults_to_reserved_and_round_trips_when_stamped() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let unstamped = retire_counter(&counter, 5);
+        assert_eq!(unstamped.birth_era(), NO_BIRTH_ERA);
+        unsafe { unstamped.reclaim() };
+
+        let boxed = Box::new(DropCounter {
+            counter: Arc::clone(&counter),
+        });
+        let raw = Box::into_raw(boxed).cast::<u8>();
+        unsafe fn drop_counter(ptr: *mut u8) {
+            unsafe { drop(Box::from_raw(ptr.cast::<DropCounter>())) };
+        }
+        let stamped = unsafe { RetiredPtr::with_birth(raw, drop_counter, 9, 42) };
+        assert_eq!(stamped.birth_era(), 42);
+        assert_eq!(stamped.retired_at(), 9);
+        unsafe { stamped.reclaim() };
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
     }
 }

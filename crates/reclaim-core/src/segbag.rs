@@ -17,9 +17,17 @@
 //!   segments cover it.
 //! * **reclaim** compacts survivors in place *within their segment* and
 //!   unlinks drained segments back to the pool — zero heap traffic, O(freed)
-//!   moves (survivors never migrate across segments), same cost class as the
-//!   old `swap_remove` partition but with segment recycling instead of a
-//!   retained `Vec` capacity.
+//!   moves (survivors never migrate across segments, with one bounded
+//!   exception: at most one *adjacent-segment merge* per pass, see below), same
+//!   cost class as the old `swap_remove` partition but with segment recycling
+//!   instead of a retained `Vec` capacity.
+//! * **adjacent-segment merge**: when a pass leaves two neighbouring segments
+//!   whose combined survivors fit one segment, the later segment's survivors
+//!   are appended to the earlier one and the drained shell is pooled. At most
+//!   one merge happens per pass (≤ [`SEG_CAP`] moves, i.e. O(1) extra work per
+//!   scan), which is enough to stop scattered long-lived survivors — the
+//!   hazard-pointer residue — from pinning one near-empty segment each: every
+//!   scan shrinks such a chain by one segment until the survivors share one.
 //! * **splice** moves another bag's entire chain in O(1) pointer surgery. This
 //!   is what makes the parked-bag hand-off at handle drop allocation-free: the
 //!   scheme keeps one [`ParkedChain`] and dying handles splice their leftovers
@@ -28,14 +36,14 @@
 //!
 //! ## Segment size
 //!
-//! A [`RetiredPtr`] is 24 bytes (pointer, destructor, timestamp). With
-//! [`SEG_CAP`] = 20 slots plus the `next`/`len` header a segment is 496 bytes —
-//! eight cache lines, comfortably under one 512-byte allocator size class. The
-//! size is a balance: large enough that the amortized per-retire overhead
-//! (chain link maintenance, pool pop) is under 1/20th of a pointer push, small
-//! enough that a mostly-empty bag wastes at most a few hundred bytes and that
-//! EBR's "touch shared epoch state once per segment" batching still reacts
-//! quickly (every 20 retires).
+//! A [`RetiredPtr`] is 32 bytes (pointer, destructor, timestamp, birth era).
+//! With [`SEG_CAP`] = 15 slots plus the `next`/`len` header a segment is 496
+//! bytes — eight cache lines, comfortably under one 512-byte allocator size
+//! class. The size is a balance: large enough that the amortized per-retire
+//! overhead (chain link maintenance, pool pop) is a small fraction of a pointer
+//! push, small enough that a mostly-empty bag wastes at most a few hundred
+//! bytes and that EBR's "touch shared epoch state once per segment" batching
+//! still reacts quickly (every 15 retires).
 //!
 //! ## Safety model
 //!
@@ -52,7 +60,7 @@ use std::ptr;
 use std::sync::Mutex;
 
 /// Retired nodes per segment (see the module docs for the size rationale).
-pub const SEG_CAP: usize = 20;
+pub const SEG_CAP: usize = 15;
 
 /// One fixed-size link of a [`SegBag`] chain.
 struct Segment {
@@ -284,16 +292,20 @@ impl SegBag {
     /// Survivors are compacted **within their segment only** (a local write
     /// cursor trailing the read index), and segments left empty are unlinked
     /// and returned to `pool` — zero heap allocations either way. Crucially,
-    /// survivors never migrate across segments: an earlier revision repacked
-    /// the whole chain densely, which moved *every* survivor whenever a prefix
-    /// of the bag was freed — exactly Cadence's steady state, where each scan
-    /// frees the oldest few nodes of an age-ordered bag holding tens of
-    /// thousands of still-young survivors, turning an O(freed) partition into
-    /// an O(bag) copy per scan. The price is segment-granular fragmentation:
-    /// a partially drained segment keeps its slack until its last survivor
-    /// goes (pushes refill only the tail). That slack is bounded by the
-    /// survivor count — at worst one segment per long-lived survivor, which
-    /// for real schemes is the hazard-pointer residue (≤ `N·K` nodes).
+    /// survivors never migrate across segments wholesale: an earlier revision
+    /// repacked the whole chain densely, which moved *every* survivor whenever
+    /// a prefix of the bag was freed — exactly Cadence's steady state, where
+    /// each scan frees the oldest few nodes of an age-ordered bag holding tens
+    /// of thousands of still-young survivors, turning an O(freed) partition
+    /// into an O(bag) copy per scan. The one bounded exception is the
+    /// opportunistic **adjacent-segment merge**: at most once per pass, two
+    /// neighbouring segments whose combined survivors fit one segment are
+    /// folded together (≤ [`SEG_CAP`] moves — O(1)), so scattered long-lived
+    /// survivors converge toward one shared segment over successive scans
+    /// instead of pinning one near-empty segment each. The residual slack is
+    /// still bounded by the survivor count — for real schemes the
+    /// hazard-pointer residue (≤ `N·K` nodes) — it just stops being one
+    /// *segment* per survivor.
     ///
     /// Survivor order is preserved; no caller relies on it, but the tests do
     /// check it to pin the compaction down.
@@ -353,6 +365,7 @@ impl SegBag {
         let mut prev: *mut Segment = ptr::null_mut();
         let mut seg = self.head;
         let mut stopped = false;
+        let mut merged = false;
         unsafe {
             while !seg.is_null() && !stopped {
                 let next = (*seg).next;
@@ -400,6 +413,34 @@ impl SegBag {
                         self.tail = prev;
                     }
                     pool.put(seg);
+                } else if !merged && !prev.is_null() && (*prev).len + write <= SEG_CAP {
+                    // Opportunistic adjacent-segment merge (at most one per
+                    // pass, ≤ SEG_CAP moves): append this segment's survivors
+                    // to the previous one and recycle the drained shell.
+                    // Appending after the predecessor's survivors preserves
+                    // global order, since `prev` precedes `seg` in the chain.
+                    let plen = (*prev).len;
+                    for i in 0..write {
+                        // SAFETY: slots `0..write` of `seg` are initialized
+                        // (just compacted) and slots `plen..plen + write` of
+                        // `prev` are free (`plen + write <= SEG_CAP`); each
+                        // node is moved exactly once.
+                        let node = (*seg).slots[i].assume_init_read();
+                        (*prev)
+                            .slots
+                            .as_mut_ptr()
+                            .add(plen + i)
+                            .write(MaybeUninit::new(node));
+                    }
+                    (*prev).len = plen + write;
+                    (*seg).len = 0;
+                    (*prev).next = next;
+                    if self.tail == seg {
+                        self.tail = prev;
+                    }
+                    // SAFETY: every slot of `seg` was moved out above.
+                    pool.put(seg);
+                    merged = true;
                 } else {
                     prev = seg;
                 }
@@ -712,7 +753,7 @@ mod tests {
     }
 
     #[test]
-    fn partial_reclaims_compact_within_segments_without_migration() {
+    fn partial_reclaims_compact_within_segments_with_one_merge_per_pass() {
         let counter = Arc::new(AtomicUsize::new(0));
         let mut pool = SegPool::new();
         let mut bag = SegBag::new();
@@ -720,14 +761,19 @@ mod tests {
             bag.push(&mut pool, retire_counter(&counter, t));
         }
         // Free two thirds, scattered: every segment keeps some survivors, so no
-        // segment is unlinked — survivors never migrate across segments, the
-        // deliberate trade (segment-granular slack) that keeps a scan's move
-        // cost O(freed), not O(bag).
+        // segment is *drained* — survivors compact within their segment, and
+        // exactly one adjacent pair (whose combined survivors fit one segment)
+        // is merged this pass. The move cost stays O(freed) + one bounded merge,
+        // never O(bag).
         let freed = unsafe { bag.reclaim_if(&mut pool, |n| !n.retired_at().is_multiple_of(3)) };
         assert_eq!(freed, 2 * SEG_CAP);
         assert_eq!(bag.len(), SEG_CAP);
-        assert_eq!(bag.segments(), 3, "no segment drained, none unlinked");
-        assert_eq!(pool.free_segments(), 0);
+        assert_eq!(
+            bag.segments(),
+            2,
+            "exactly one adjacent pair merged this pass"
+        );
+        assert_eq!(pool.free_segments(), 1, "the merged shell is recycled");
         let survivors: Vec<u64> = bag.iter().map(RetiredPtr::retired_at).collect();
         let expected: Vec<u64> = (0..3 * SEG_CAP as u64)
             .filter(|t| t.is_multiple_of(3))
@@ -738,6 +784,45 @@ mod tests {
         );
         unsafe { bag.reclaim_all(&mut pool) };
         assert_eq!(pool.free_segments(), 3);
+    }
+
+    #[test]
+    fn scattered_survivors_converge_to_one_segment_over_passes() {
+        // The fragmentation scenario from the ROADMAP: long-lived survivors
+        // scattered one per segment. Each no-op pass performs one adjacent
+        // merge, so the chain shrinks by one segment per scan until every
+        // survivor shares a single segment — instead of each pinning its own.
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut pool = SegPool::new();
+        let mut bag = SegBag::new();
+        let segments = 4;
+        for t in 0..(segments * SEG_CAP) as u64 {
+            bag.push(&mut pool, retire_counter(&counter, t));
+        }
+        // Keep exactly one node per segment.
+        let keep = |t: u64| t.is_multiple_of(SEG_CAP as u64);
+        let freed = unsafe { bag.reclaim_if(&mut pool, |n| !keep(n.retired_at())) };
+        assert_eq!(freed, segments * (SEG_CAP - 1));
+        // Pass 1 already merged one pair; every further (empty) pass merges one
+        // more until a single segment remains.
+        assert_eq!(bag.segments(), segments - 1);
+        for remaining in (1..segments - 1).rev() {
+            let freed = unsafe { bag.reclaim_if(&mut pool, |_| false) };
+            assert_eq!(freed, 0);
+            assert_eq!(bag.segments(), remaining);
+        }
+        assert_eq!(bag.len(), segments);
+        let survivors: Vec<u64> = bag.iter().map(RetiredPtr::retired_at).collect();
+        let expected: Vec<u64> = (0..segments as u64).map(|i| i * SEG_CAP as u64).collect();
+        assert_eq!(survivors, expected, "merges preserve order");
+        // Converged: further passes are no-ops.
+        unsafe { bag.reclaim_if(&mut pool, |_| false) };
+        assert_eq!(bag.segments(), 1);
+        // The bag is still writable after merges relocated the tail.
+        bag.push(&mut pool, retire_counter(&counter, 1_000));
+        assert_eq!(bag.len(), segments + 1);
+        unsafe { bag.reclaim_all(&mut pool) };
+        assert_eq!(pool.free_segments(), segments);
     }
 
     #[test]

@@ -12,7 +12,23 @@
 //! | `manage_qsense_state()` | [`SmrHandle::begin_op`] | call in states where no shared references are held — i.e. at the start of every data-structure operation |
 //! | `assign_HP(node, i)` | [`SmrHandle::protect`] | call before using a reference to a node, then re-validate the reference |
 //! | `free_node_later(node)` | [`SmrHandle::retire`] | call where `free` would be called sequentially, after the node is unlinked |
+//!
+//! ## The allocation-side hook
+//!
+//! The paper's three calls cover protection and retirement, but era/interval
+//! reclamation (Hazard Eras, 2GE-IBR — the `he` crate) needs one more touch
+//! point: every node must be **stamped with the era it was allocated in**, so
+//! that its lifetime interval `[birth, retire]` can later be tested against
+//! readers' announced eras. [`SmrHandle::alloc_node`] is that hook: data
+//! structures call it at every node allocation site, store the returned stamp
+//! in the node, and pass the stamp back through
+//! [`SmrHandle::retire_with_birth`] when the node is unlinked. For the seven
+//! non-era schemes both are free: `alloc_node` defaults to returning
+//! [`NO_BIRTH_ERA`](crate::clock::NO_BIRTH_ERA) without touching shared state,
+//! and `retire_with_birth` defaults to discarding the stamp and delegating to
+//! [`retire`](SmrHandle::retire).
 
+use crate::clock::{Era, NO_BIRTH_ERA};
 use crate::retired::DropFn;
 use crate::stats::StatsSnapshot;
 use std::sync::Arc;
@@ -75,6 +91,22 @@ pub trait SmrHandle: Send {
     /// Clears every protection slot of this thread.
     fn clear_protections(&mut self);
 
+    /// Allocation-side hook: returns the **birth era** to stamp into a node the
+    /// caller is about to allocate, and lets the scheme account for the
+    /// allocation (the era schemes advance their global era clock every
+    /// `era_advance_interval` allocations, which is what bounds the garbage a
+    /// stalled reader can pin).
+    ///
+    /// Data structures call this once per node allocation, store the returned
+    /// value in the node, and hand it back via
+    /// [`retire_with_birth`](Self::retire_with_birth) when the node is
+    /// unlinked. The default implementation returns
+    /// [`NO_BIRTH_ERA`](crate::clock::NO_BIRTH_ERA) and touches nothing — the
+    /// no-op for every non-era scheme.
+    fn alloc_node(&mut self) -> Era {
+        NO_BIRTH_ERA
+    }
+
     /// Hands an unlinked node to the scheme for deferred reclamation — the paper's
     /// `free_node_later`.
     ///
@@ -85,6 +117,24 @@ pub trait SmrHandle: Send {
     /// * the same pointer must not be retired twice;
     /// * `drop_fn(ptr)` must correctly release the node.
     unsafe fn retire(&mut self, ptr: *mut u8, drop_fn: DropFn);
+
+    /// Like [`retire`](Self::retire), but also passes the node's allocation-time
+    /// birth era (the value [`alloc_node`](Self::alloc_node) returned when the
+    /// node was created). Era schemes use it to bound the node's lifetime
+    /// interval `[birth, retire]`; the default implementation discards the
+    /// stamp and delegates to `retire`.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`retire`](Self::retire). `birth_era` must be the stamp
+    /// `alloc_node` produced for this node, or
+    /// [`NO_BIRTH_ERA`](crate::clock::NO_BIRTH_ERA) (always safe: the era
+    /// schemes treat an unstamped node as born before every announced era).
+    unsafe fn retire_with_birth(&mut self, ptr: *mut u8, drop_fn: DropFn, birth_era: Era) {
+        let _ = birth_era;
+        // SAFETY: forwarded from the caller's contract.
+        unsafe { self.retire(ptr, drop_fn) }
+    }
 
     /// Forces a best-effort reclamation pass over this thread's retired nodes,
     /// regardless of thresholds. Useful at the end of a benchmark phase and in tests.

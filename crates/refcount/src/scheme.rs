@@ -4,7 +4,8 @@ use crate::table::{CountTable, DEFAULT_BUCKETS};
 use reclaim_core::retired::DropFn;
 use reclaim_core::stats::{StatStripe, StatsSnapshot};
 use reclaim_core::{
-    ParkedChain, RetiredPtr, SegBag, SegPool, ShardedStats, Smr, SmrConfig, SmrHandle,
+    HandleCache, ParkedChain, PtrScratch, RetiredPtr, ScanParts, SegBag, SegPool, ShardedStats,
+    Smr, SmrConfig, SmrHandle,
 };
 use std::sync::Arc;
 
@@ -28,6 +29,9 @@ pub struct RefCount {
     /// adopted by the next flushing handle or drained at scheme drop (see
     /// [`ParkedChain`]).
     parked: ParkedChain,
+    /// Pools + slot buffers of exited threads, adopted by the next registrant
+    /// so handle churn is allocation-free after the first wave.
+    handle_cache: HandleCache<ScanParts>,
 }
 
 impl RefCount {
@@ -40,11 +44,13 @@ impl RefCount {
     /// to exercise collisions).
     pub fn with_buckets(config: SmrConfig, buckets: usize) -> Arc<Self> {
         let stats = ShardedStats::new(config.max_threads);
+        let handle_cache = HandleCache::with_capacity(config.max_threads);
         Arc::new(Self {
             config,
             stats,
             table: CountTable::new(buckets),
             parked: ParkedChain::new(),
+            handle_cache,
         })
     }
 
@@ -86,15 +92,27 @@ impl Smr for RefCount {
     type Handle = RefCountHandle;
 
     fn register(self: &Arc<Self>) -> RefCountHandle {
+        // Adopt a previous tenant's pool + slot buffer when available
+        // (thread-pool churn; see `HandleCache`); otherwise pre-warm for the
+        // scan threshold (capped) so even the first bag fill recycles instead
+        // of allocating.
+        let mut parts = self.handle_cache.adopt().unwrap_or_else(|| ScanParts {
+            pool: SegPool::with_node_capacity((self.config.scan_threshold + 1).min(2048)),
+            scratch: PtrScratch::with_capacity(self.config.hp_per_thread),
+        });
+        // Fresh buffers are empty; adopted ones are already all-null with the
+        // right length (the previous owner's drop ran `clear_protections`).
+        // Either way this is in-capacity and allocation-free.
+        parts.scratch.clear();
+        parts
+            .scratch
+            .resize(self.config.hp_per_thread, std::ptr::null_mut());
         RefCountHandle {
             stripe: self.stats.assign_stripe(),
             scheme: Arc::clone(self),
-            slots: vec![std::ptr::null_mut(); self.config.hp_per_thread],
+            slots: parts.scratch,
             retired: SegBag::new(),
-            // Pre-warm for the scan threshold (capped: a test-sized huge `R` must
-            // not balloon registration) so even the first bag fill recycles
-            // instead of allocating; recycling covers everything after that.
-            pool: SegPool::with_node_capacity((self.config.scan_threshold + 1).min(2048)),
+            pool: parts.pool,
             since_last_scan: 0,
         }
     }
@@ -122,8 +140,10 @@ pub struct RefCountHandle {
     /// Index of this handle's counter stripe in the scheme's [`ShardedStats`].
     stripe: usize,
     /// The pointer currently announced through each protection slot (so the matching
-    /// decrement can be issued when the slot is overwritten or cleared).
-    slots: Vec<*mut u8>,
+    /// decrement can be issued when the slot is overwritten or cleared). Stored
+    /// in a [`PtrScratch`] so the buffer can be recycled through the scheme's
+    /// [`HandleCache`]; it is all-null whenever it changes hands.
+    slots: PtrScratch,
     retired: SegBag,
     /// Recycled segments backing `retired`, pre-warmed for the scan threshold so
     /// even the first bag fill never allocates.
@@ -231,6 +251,12 @@ impl Drop for RefCountHandle {
         // O(1) chain splice; adopted by the next flushing handle or freed at
         // scheme drop.
         self.scheme.parked.park(&mut self.retired);
+        // Recycle the pool + (all-null, post-`clear_protections`) slot buffer
+        // to the next registrant.
+        self.scheme.handle_cache.park(ScanParts {
+            pool: std::mem::take(&mut self.pool),
+            scratch: std::mem::take(&mut self.slots),
+        });
     }
 }
 

@@ -32,6 +32,9 @@ pub enum SchemeKind {
     QSense,
     /// Epoch-based reclamation with per-operation pinning (related-work baseline).
     Ebr,
+    /// Hazard Eras / interval-based reclamation (robust like HP, amortized like
+    /// the epoch schemes; nodes carry birth/retire era stamps).
+    He,
     /// Reference counting (related-work baseline).
     RefCount,
 }
@@ -46,6 +49,7 @@ impl SchemeKind {
             SchemeKind::Cadence => "cadence",
             SchemeKind::QSense => "qsense",
             SchemeKind::Ebr => "ebr",
+            SchemeKind::He => "he",
             SchemeKind::RefCount => "rc",
         }
     }
@@ -63,13 +67,14 @@ impl SchemeKind {
     }
 
     /// Every implemented scheme, including the related-work baselines that the paper
-    /// discusses but does not plot (EBR, reference counting). Used by the extension
-    /// benchmarks.
-    pub fn extended() -> [SchemeKind; 7] {
+    /// discusses but does not plot (EBR, reference counting) and the Hazard-Eras
+    /// extension. Used by the extension benchmarks.
+    pub fn extended() -> [SchemeKind; 8] {
         [
             SchemeKind::None,
             SchemeKind::Qsbr,
             SchemeKind::Ebr,
+            SchemeKind::He,
             SchemeKind::QSense,
             SchemeKind::Cadence,
             SchemeKind::Hp,
@@ -285,6 +290,7 @@ pub fn make_set(structure: Structure, scheme: SchemeKind, base: SmrConfig) -> Ar
         SchemeKind::Cadence => build(structure, cadence::Cadence::new(config)),
         SchemeKind::QSense => build(structure, qsense::QSense::new(config)),
         SchemeKind::Ebr => build(structure, ebr::Ebr::new(config)),
+        SchemeKind::He => build(structure, he::He::new(config)),
         SchemeKind::RefCount => build(structure, refcount::RefCount::new(config)),
     }
 }
@@ -334,9 +340,10 @@ mod tests {
         assert_eq!(SchemeKind::Cadence.name(), "cadence");
         assert_eq!(SchemeKind::QSense.name(), "qsense");
         assert_eq!(SchemeKind::Ebr.name(), "ebr");
+        assert_eq!(SchemeKind::He.name(), "he");
         assert_eq!(SchemeKind::RefCount.name(), "rc");
         assert_eq!(SchemeKind::all().len(), 5);
-        assert_eq!(SchemeKind::extended().len(), 7);
+        assert_eq!(SchemeKind::extended().len(), 8);
         for kind in SchemeKind::all() {
             assert!(
                 SchemeKind::extended().contains(&kind),

@@ -1,9 +1,13 @@
 //! Scheme comparison: a miniature version of the paper's Figure 3 / Figure 5 tables.
 //!
-//! Runs the same mixed workload on the linked list under every reclamation scheme
+//! Runs the same mixed workload on the linked list under the paper's legend
 //! (None, QSBR, QSense, Cadence, HP) and prints throughput plus the overhead
 //! relative to the leaky baseline — the numbers §7.3 of the paper summarises as
-//! "QSBR ≈ 2.3%, QSense ≈ 29%, HP ≈ 80% average overhead".
+//! "QSBR ≈ 2.3%, QSense ≈ 29%, HP ≈ 80% average overhead" — then adds the
+//! reproduction's eighth scheme, Hazard Eras (`he`): robust like HP (a stalled
+//! reader bounds garbage by eras instead of freezing reclamation), amortized
+//! like the epoch schemes (one era announcement per operation instead of one
+//! fenced store per node).
 //!
 //! Run with: `cargo run --release --example scheme_comparison`
 
@@ -22,7 +26,10 @@ fn main() {
     );
 
     let mut baseline_mops = None;
-    for scheme in SchemeKind::all() {
+    // The paper's legend first, then the eighth scheme added by this
+    // reproduction (Hazard Eras — see the module docs).
+    let schemes = SchemeKind::all().into_iter().chain([SchemeKind::He]);
+    for scheme in schemes {
         let set = make_set(Structure::List, scheme, default_bench_config(threads + 2));
         let experiment = Experiment {
             set,

@@ -6,8 +6,12 @@
 //!
 //! * [`smr`] — the reclamation schemes: [`smr::QSense`] (the paper's contribution),
 //!   its two ingredients [`smr::Qsbr`] and [`smr::Cadence`], the classic
-//!   [`smr::Hazard`] pointers baseline and the [`smr::Leaky`] no-reclamation
-//!   baseline, all implementing the common [`smr::Smr`] / [`smr::SmrHandle`] traits;
+//!   [`smr::Hazard`] pointers baseline, the [`smr::Leaky`] no-reclamation
+//!   baseline, the related-work [`smr::Ebr`] and [`smr::RefCount`] baselines,
+//!   and the eighth scheme of the matrix — [`smr::He`], Hazard-Eras /
+//!   interval-based reclamation (robust like HP, amortized like the epoch
+//!   schemes) — all implementing the common [`smr::Smr`] / [`smr::SmrHandle`]
+//!   traits;
 //! * [`ds`] — the lock-free data structures of the paper's evaluation, generic over
 //!   the scheme: [`ds::HarrisMichaelList`], [`ds::LockFreeSkipList`],
 //!   [`ds::LockFreeBst`];
@@ -39,12 +43,14 @@ pub mod smr {
     pub use cadence::{Cadence, CadenceHandle, Rooster};
     pub use ebr::{Ebr, EbrHandle};
     pub use hazard::{Hazard, HazardHandle};
+    pub use he::{He, HeHandle};
     pub use qsbr::{Qsbr, QsbrHandle};
     pub use qsense::{Path, QSense, QSenseHandle};
     pub use reclaim_core::stats::StatsSnapshot;
     pub use reclaim_core::{
-        retire_box, Clock, CountingAllocator, Leaky, LeakyHandle, ManualClock, ShardedStats, Smr,
-        SmrConfig, SmrHandle, StatStripe,
+        retire_box, retire_box_with_birth, Clock, CountingAllocator, Era, EraClock, HandleCache,
+        Leaky, LeakyHandle, ManualClock, ShardedStats, Smr, SmrConfig, SmrHandle, StatStripe,
+        NO_BIRTH_ERA,
     };
     pub use refcount::{RefCount, RefCountHandle};
 }

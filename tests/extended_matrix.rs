@@ -9,7 +9,7 @@
 
 use qsense_repro::bench::{make_set, BenchSet, SchemeKind, Structure};
 use qsense_repro::ds::{MichaelScottQueue, TreiberStack, QUEUE_HP_SLOTS, STACK_HP_SLOTS};
-use qsense_repro::smr::{Ebr, Hazard, QSense, Smr, SmrConfig, SmrHandle};
+use qsense_repro::smr::{Ebr, Hazard, He, QSense, Smr, SmrConfig, SmrHandle};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
@@ -85,10 +85,11 @@ fn hash_map_survives_every_scheme() {
 
 #[test]
 fn paper_structures_survive_the_new_baseline_schemes() {
-    // The original stress matrix covers the paper's schemes; this covers the two
-    // baselines added by the reproduction on the paper's structures.
+    // The original stress matrix covers the paper's schemes; this covers the
+    // baselines added by the reproduction (EBR, reference counting) and the
+    // Hazard-Eras extension on the paper's structures.
     for structure in [Structure::List, Structure::SkipList, Structure::Bst] {
-        for scheme in [SchemeKind::Ebr, SchemeKind::RefCount] {
+        for scheme in [SchemeKind::Ebr, SchemeKind::RefCount, SchemeKind::He] {
             stress_cell(structure, scheme, 3, 2_000);
         }
     }
@@ -197,6 +198,17 @@ fn queue_conserves_elements_under_ebr() {
     ));
 }
 
+#[test]
+fn queue_conserves_elements_under_hazard_eras() {
+    queue_conservation(He::new(
+        SmrConfig::default()
+            .with_max_threads(8)
+            .with_hp_per_thread(QUEUE_HP_SLOTS)
+            .with_scan_threshold(16)
+            .with_era_advance_interval(16),
+    ));
+}
+
 /// Push/pop stress on the stack: element conservation plus reclamation accounting.
 fn stack_conservation<S: Smr>(scheme: Arc<S>) {
     const PUSHERS: u64 = 2;
@@ -282,6 +294,17 @@ fn stack_conserves_elements_under_classic_hazard_pointers() {
             .with_max_threads(8)
             .with_hp_per_thread(STACK_HP_SLOTS)
             .with_scan_threshold(16),
+    ));
+}
+
+#[test]
+fn stack_conserves_elements_under_hazard_eras() {
+    stack_conservation(He::new(
+        SmrConfig::default()
+            .with_max_threads(8)
+            .with_hp_per_thread(STACK_HP_SLOTS)
+            .with_scan_threshold(16)
+            .with_era_advance_interval(16),
     ));
 }
 

@@ -79,8 +79,18 @@ proptest! {
     }
 
     #[test]
+    fn list_matches_btreeset_under_hazard_eras(steps in prop::collection::vec(step_strategy(64), 1..400)) {
+        check_against_reference(Structure::List, SchemeKind::He, &steps);
+    }
+
+    #[test]
     fn skiplist_matches_btreeset_under_qsense(steps in prop::collection::vec(step_strategy(64), 1..300)) {
         check_against_reference(Structure::SkipList, SchemeKind::QSense, &steps);
+    }
+
+    #[test]
+    fn skiplist_matches_btreeset_under_hazard_eras(steps in prop::collection::vec(step_strategy(64), 1..300)) {
+        check_against_reference(Structure::SkipList, SchemeKind::He, &steps);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use qsense_repro::bench::{
     make_set, run_experiment, DelaySchedule, Experiment, OpMix, SchemeKind, Structure, WorkloadSpec,
 };
 use qsense_repro::ds::HarrisMichaelList;
-use qsense_repro::smr::{Cadence, Ebr, Path, QSense, Qsbr, Smr, SmrConfig, SmrHandle};
+use qsense_repro::smr::{Cadence, Ebr, He, Path, QSense, Qsbr, Smr, SmrConfig, SmrHandle};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -59,6 +59,7 @@ fn an_idle_registered_thread_blocks_qsbr_but_not_ebr_cadence_or_qsense() {
 
     let qsbr_limbo = limbo_with_idle_thread(Qsbr::new(base()), OPS);
     let ebr_limbo = limbo_with_idle_thread(Ebr::new(base()), OPS);
+    let he_limbo = limbo_with_idle_thread(He::new(base()), OPS);
     let cadence_limbo = limbo_with_idle_thread(Cadence::new(base()), OPS);
     let qsense_limbo = limbo_with_idle_thread(QSense::new(base()), OPS);
 
@@ -71,6 +72,11 @@ fn an_idle_registered_thread_blocks_qsbr_but_not_ebr_cadence_or_qsense() {
     assert!(
         ebr_limbo < OPS / 10,
         "EBR must not be blocked by an idle (unpinned) thread (limbo = {ebr_limbo})"
+    );
+    // HE: the idle thread's era reservation is inactive, so it blocks nothing.
+    assert!(
+        he_limbo < OPS / 10,
+        "HE must not be blocked by an idle (inactive-reservation) thread (limbo = {he_limbo})"
     );
     // Cadence / QSense: robust by construction; once the tail has aged past T + ε,
     // nothing the idle thread does (or fails to do) can keep nodes in limbo.
@@ -142,6 +148,85 @@ fn a_thread_stalled_inside_an_operation_blocks_ebr_but_not_qsense() {
     assert!(
         qsense_limbo < OPS / 2,
         "QSense must keep reclaiming despite the mid-operation stall (limbo = {qsense_limbo})"
+    );
+}
+
+/// The acceptance scenario for the Hazard-Eras extension: a reader stalled
+/// *mid-operation* — the case that freezes the epoch schemes outright — bounds
+/// HE's garbage by eras. The stalled reservation covers only the eras up to the
+/// stall, so every node allocated afterwards (whose birth era is newer) keeps
+/// being freed; the pinned residue is limited to the nodes that existed when
+/// the reader stalled. The matching bounded-garbage assertion must *fail* for
+/// QSBR: the same stalled participant never quiesces again, so QSBR's limbo
+/// grows with the number of retirements performed during the stall — the
+/// unbounded behaviour the paper's Figure 5 (bottom row) plots.
+#[test]
+fn a_stalled_reader_bounds_he_garbage_by_eras_but_not_qsbr() {
+    const OPS: u64 = 4_000;
+    let base = || {
+        SmrConfig::for_list()
+            .with_max_threads(4)
+            .with_quiescence_threshold(8)
+            .with_scan_threshold(16)
+            .with_era_advance_interval(16)
+    };
+
+    // HE: stall a reader inside an operation (announced reservation), then churn.
+    let he = He::new(base());
+    let he_limbo = {
+        let list = Arc::new(HarrisMichaelList::<u64, He>::new(Arc::clone(&he)));
+        let mut stuck = list.register();
+        stuck.begin_op(); // announces [e, e] and never ends the operation
+        let mut worker = list.register();
+        for i in 0..OPS {
+            let key = i % 64;
+            list.insert(key, &mut worker);
+            list.remove(&key, &mut worker);
+        }
+        worker.flush();
+        let limbo = he.stats().in_limbo();
+        stuck.end_op();
+        limbo
+    };
+    // Bounded: only nodes born at or before the stall era stay pinned — the
+    // first era's worth of allocations plus scan-timing slack, nowhere near
+    // the OPS retirements performed during the stall.
+    assert!(
+        he_limbo < OPS / 10,
+        "HE must bound the garbage a mid-operation stall pins by eras (limbo = {he_limbo})"
+    );
+
+    // QSBR: the matching scenario (a participant that stops going quiescent).
+    // The bounded-garbage assertion that HE satisfies must fail here.
+    let qsbr = Qsbr::new(base());
+    let qsbr_limbo = {
+        let list = Arc::new(HarrisMichaelList::<u64, Qsbr>::new(Arc::clone(&qsbr)));
+        let mut stuck = list.register();
+        stuck.begin_op(); // one op boundary, then silence: never quiesces again
+        let mut worker = list.register();
+        for i in 0..OPS {
+            let key = i % 64;
+            list.insert(key, &mut worker);
+            list.remove(&key, &mut worker);
+        }
+        worker.flush();
+        let limbo = qsbr.stats().in_limbo();
+        stuck.end_op();
+        limbo
+    };
+    assert!(
+        qsbr_limbo >= OPS / 10,
+        "the HE garbage bound must NOT hold for QSBR (limbo = {qsbr_limbo})"
+    );
+    assert!(
+        qsbr_limbo > OPS / 2,
+        "QSBR's limbo must grow with the retirements performed during the stall          (limbo = {qsbr_limbo})"
+    );
+    // And the asymmetry itself: eras keep HE's pinned residue orders of
+    // magnitude below QSBR's unbounded growth in the same scenario.
+    assert!(
+        he_limbo < qsbr_limbo / 4,
+        "HE ({he_limbo}) must stay far below QSBR ({qsbr_limbo}) under the same stall"
     );
 }
 

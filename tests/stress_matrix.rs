@@ -93,18 +93,21 @@ stress_test!(list_qsbr, Structure::List, SchemeKind::Qsbr);
 stress_test!(list_hp, Structure::List, SchemeKind::Hp);
 stress_test!(list_cadence, Structure::List, SchemeKind::Cadence);
 stress_test!(list_qsense, Structure::List, SchemeKind::QSense);
+stress_test!(list_he, Structure::List, SchemeKind::He);
 
 stress_test!(skiplist_none, Structure::SkipList, SchemeKind::None);
 stress_test!(skiplist_qsbr, Structure::SkipList, SchemeKind::Qsbr);
 stress_test!(skiplist_hp, Structure::SkipList, SchemeKind::Hp);
 stress_test!(skiplist_cadence, Structure::SkipList, SchemeKind::Cadence);
 stress_test!(skiplist_qsense, Structure::SkipList, SchemeKind::QSense);
+stress_test!(skiplist_he, Structure::SkipList, SchemeKind::He);
 
 stress_test!(bst_none, Structure::Bst, SchemeKind::None);
 stress_test!(bst_qsbr, Structure::Bst, SchemeKind::Qsbr);
 stress_test!(bst_hp, Structure::Bst, SchemeKind::Hp);
 stress_test!(bst_cadence, Structure::Bst, SchemeKind::Cadence);
 stress_test!(bst_qsense, Structure::Bst, SchemeKind::QSense);
+stress_test!(bst_he, Structure::Bst, SchemeKind::He);
 
 /// A heavier run on the combination the paper features most prominently.
 #[test]

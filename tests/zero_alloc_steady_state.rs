@@ -15,7 +15,10 @@
 //!   themselves (`Box<u64>`, 8 bytes each) and nothing for the bookkeeping,
 //!   because drained segments are recycled through the per-handle pool;
 //! * dropping a handle with leftovers (park) and the next surviving handle's
-//!   flush (adopt) are O(1) chain splices that allocate nothing.
+//!   flush (adopt) are O(1) chain splices that allocate nothing;
+//! * register/drop/register churn (the thread-pool pattern) allocates only the
+//!   retired nodes once the first wave of handles has parked its pool and
+//!   scratch buffers on the scheme's `HandleCache` for successors to adopt.
 //!
 //! Everything runs in a single `#[test]` so no concurrent test case can disturb
 //! the global allocation counters. The assertions are *exact*; because the
@@ -24,7 +27,8 @@
 //! bookkeeping allocation is deterministic and fails every attempt.
 
 use qsense_repro::smr::{
-    Cadence, Clock, CountingAllocator, Ebr, Hazard, ManualClock, QSense, Smr, SmrConfig, SmrHandle,
+    Cadence, Clock, CountingAllocator, Ebr, Hazard, He, ManualClock, QSense, Qsbr, RefCount, Smr,
+    SmrConfig, SmrHandle,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -148,6 +152,53 @@ fn assert_growth_allocates_nodes_only<H: SmrHandle>(
                 before_flush();
                 writer.flush();
                 assert_eq!(writer.local_in_limbo(), residue);
+            }
+            ALLOC.allocated_bytes() - before_alloc
+        },
+    );
+}
+
+/// Register → retire a batch → flush → drop, repeatedly: after the first
+/// (unmeasured) wave parks its pool and scratch on the scheme's `HandleCache`,
+/// the measured cycles must allocate exactly the retired nodes and nothing for
+/// registration, scanning, or the drop-time hand-off. `before_flush` runs
+/// between the retires and the flush of every cycle (the Cadence-family
+/// schemes advance their manual clock there so the nodes age past `T + ε`);
+/// it must not allocate.
+fn churn_allocates_nodes_only<S: Smr>(
+    scheme_name: &str,
+    scheme: std::sync::Arc<S>,
+    mut before_flush: impl FnMut(),
+) {
+    // First wave: builds the pool + scratch at their steady-state capacity,
+    // then parks them in the scheme's handle cache at drop.
+    {
+        let mut first = scheme.register();
+        for _ in 0..GROWTH_BATCH {
+            let ptr = Box::into_raw(Box::new(0u64));
+            // SAFETY: freshly boxed, unlinked by construction, retired once.
+            unsafe { qsense_repro::smr::retire_box(&mut first, ptr) };
+        }
+        before_flush();
+        first.flush();
+        assert_eq!(first.local_in_limbo(), 0, "{scheme_name}: warm-up drains");
+    }
+    let node_bytes = (GROWTH_CYCLES * GROWTH_BATCH * std::mem::size_of::<u64>()) as u64;
+    assert_alloc_delta(
+        &format!("{scheme_name}: register/drop/register churn (nodes only)"),
+        node_bytes,
+        || {
+            let before_alloc = ALLOC.allocated_bytes();
+            for _ in 0..GROWTH_CYCLES {
+                let mut handle = scheme.register();
+                for _ in 0..GROWTH_BATCH {
+                    let ptr = Box::into_raw(Box::new(0u64));
+                    // SAFETY: freshly boxed, unlinked by construction, retired once.
+                    unsafe { qsense_repro::smr::retire_box(&mut handle, ptr) };
+                }
+                before_flush();
+                handle.flush();
+                assert_eq!(handle.local_in_limbo(), 0);
             }
             ALLOC.allocated_bytes() - before_alloc
         },
@@ -299,6 +350,84 @@ fn steady_state_scans_perform_zero_heap_allocations() {
             0,
             "ebr: unpinning drains the limbo"
         );
+    }
+
+    // --- Hazard Eras (era-interval chains) ----------------------------------
+    {
+        let clock = ManualClock::new();
+        let scheme = He::new(config(&clock));
+        let mut blocker = scheme.register();
+        let mut writer = scheme.register();
+        // Growth cycles with no active reservation: every flush advances the
+        // era and frees the chains wholesale, so the pool feeds each regrowth.
+        assert_growth_allocates_nodes_only("he", &mut writer, 0, || {});
+
+        // Keep path: a reader stalled mid-operation announces an era interval;
+        // unstamped (birth-0) retires are treated as born before every era, so
+        // the reservation pins them all. Flushes must retain the chains while
+        // snapshotting the N reservations into the pre-sized scratch —
+        // allocating nothing, no matter how many nodes are in limbo.
+        let node_bytes = (GROWTH_BATCH * std::mem::size_of::<u64>()) as u64;
+        assert_alloc_delta(
+            "he: stalled-reservation retires (nodes only)",
+            node_bytes,
+            || {
+                blocker.end_op();
+                writer.flush();
+                assert_eq!(writer.local_in_limbo(), 0);
+                blocker.begin_op();
+
+                let before_alloc = ALLOC.allocated_bytes();
+                for _ in 0..GROWTH_BATCH {
+                    writer.begin_op();
+                    let ptr = Box::into_raw(Box::new(0u64));
+                    // SAFETY: freshly boxed, unlinked by construction, retired once.
+                    unsafe { qsense_repro::smr::retire_box(&mut writer, ptr) };
+                    writer.end_op();
+                }
+                for _ in 0..MEASURED_SCANS {
+                    writer.flush();
+                }
+                let delta = ALLOC.allocated_bytes() - before_alloc;
+                assert_eq!(
+                    writer.local_in_limbo(),
+                    GROWTH_BATCH,
+                    "he: a stalled reservation must keep unstamped nodes in limbo"
+                );
+                delta
+            },
+        );
+        blocker.end_op();
+        writer.flush();
+        assert_eq!(
+            writer.local_in_limbo(),
+            0,
+            "he: withdrawing the reservation drains the limbo"
+        );
+    }
+
+    // --- handle churn (register / drop / register) --------------------------
+    // Thread-pool pattern: each cycle registers a fresh handle, retires a
+    // batch, flushes and drops the handle. After the unmeasured first wave has
+    // stocked the scheme's HandleCache, every later registration adopts the
+    // parked pool (+ scratch), so churn cycles allocate only the retired nodes
+    // themselves.
+    churn_allocates_nodes_only("hp", Hazard::new(config(&ManualClock::new())), || {});
+    churn_allocates_nodes_only("qsbr", Qsbr::new(config(&ManualClock::new())), || {});
+    churn_allocates_nodes_only("ebr", Ebr::new(config(&ManualClock::new())), || {});
+    churn_allocates_nodes_only("he", He::new(config(&ManualClock::new())), || {});
+    churn_allocates_nodes_only("rc", RefCount::new(config(&ManualClock::new())), || {});
+    {
+        // The deferred-reclamation schemes free only nodes older than T + ε:
+        // advance their manual clock each cycle so every flush drains.
+        let clock = ManualClock::new();
+        churn_allocates_nodes_only("cadence", Cadence::new(config(&clock)), || {
+            clock.advance(Duration::from_millis(10));
+        });
+        let clock = ManualClock::new();
+        churn_allocates_nodes_only("qsense", QSense::new(config(&clock)), || {
+            clock.advance(Duration::from_millis(10));
+        });
     }
 
     // --- stats snapshots ---------------------------------------------------
