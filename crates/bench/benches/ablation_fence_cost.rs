@@ -5,7 +5,12 @@
 //! Cadence (store + compiler fence) and QSense (same as Cadence, plus the epoch
 //! bookkeeping at operation boundaries). This isolates the instruction-level
 //! difference that produces the figure-level gaps.
+//!
+//! Besides the text table, the run emits **`BENCH_ablation_fence.json`** in the
+//! workspace root (same envelope as `BENCH_overhead.json`): one row per scheme
+//! with the mean cost of one publish+validate round.
 
+use bench::json::{self, JsonObject};
 use bench::point_seconds;
 use reclaim_core::{Smr, SmrConfig, SmrHandle};
 use std::hint::black_box;
@@ -21,9 +26,9 @@ fn protect_loop<H: SmrHandle>(handle: &mut H, rounds: u64) {
     }
 }
 
-/// Runs `protect_loop` repeatedly for roughly `point_seconds()` and reports the
+/// Runs `protect_loop` repeatedly for roughly `point_seconds()` and returns the
 /// mean cost of one publish+validate round.
-fn measure<H: SmrHandle>(label: &str, handle: &mut H) {
+fn measure<H: SmrHandle>(label: &str, handle: &mut H) -> f64 {
     const ROUNDS: u64 = 1_024;
     // Warm up code and caches.
     protect_loop(handle, ROUNDS);
@@ -36,21 +41,51 @@ fn measure<H: SmrHandle>(label: &str, handle: &mut H) {
     }
     let ns_per_round = start.elapsed().as_nanos() as f64 / total_rounds as f64;
     println!("{label:<26} {ns_per_round:8.2} ns/protect");
+    ns_per_round
+}
+
+fn row(scheme: &str, variant: &str, ns: f64) -> JsonObject {
+    JsonObject::new()
+        .str_field("scheme", scheme)
+        .str_field("variant", variant)
+        .int_field("threads", 1)
+        .num_field("protect_ns_per_op", ns, 2)
 }
 
 fn main() {
     println!("Ablation A3: cost of one hazard-pointer publication");
     let config = SmrConfig::default().with_rooster_threads(1);
+    let mut rows = Vec::new();
 
     let hp = hazard::Hazard::new(config.clone());
-    measure("hp_store_plus_mfence", &mut hp.register());
+    let ns = measure("hp_store_plus_mfence", &mut hp.register());
+    rows.push(row("hp", "store_plus_mfence", ns));
 
     let cadence = cadence::Cadence::new(config.clone());
-    measure("cadence_store_only", &mut cadence.register());
+    let ns = measure("cadence_store_only", &mut cadence.register());
+    rows.push(row("cadence", "store_only", ns));
 
     let qsense = qsense::QSense::new(config.clone());
-    measure("qsense_store_only", &mut qsense.register());
+    let ns = measure("qsense_store_only", &mut qsense.register());
+    rows.push(row("qsense", "store_only", ns));
 
     let qsbr = qsbr::Qsbr::new(config);
-    measure("qsbr_noop", &mut qsbr.register());
+    let ns = measure("qsbr_noop", &mut qsbr.register());
+    rows.push(row("qsbr", "noop", ns));
+
+    let meta = [
+        ("point_seconds", format!("{}", point_seconds())),
+        ("unit", "\"nanoseconds per protect round\"".to_string()),
+    ];
+    let path = json::workspace_file("BENCH_ablation_fence.json");
+    match json::write_report(
+        &path,
+        "ablation_fence_cost",
+        "cargo bench -p bench --bench ablation_fence_cost",
+        &meta,
+        &rows,
+    ) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(err) => eprintln!("failed to write {}: {err}", path.display()),
+    }
 }

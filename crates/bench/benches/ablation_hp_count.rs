@@ -10,10 +10,16 @@
 //! fence-free schemes grow with a small slope (one local store per slot), classic HP
 //! grows with a steep slope (one fence per slot), and reference counting grows with
 //! the steepest slope (one shared read-modify-write per slot).
+//!
+//! Besides the text table, the run emits **`BENCH_ablation_hp_count.json`** in
+//! the workspace root (shared `bench::json` envelope): one row per
+//! `(scheme, K)` cell.
 
-use reclaim_core::{Smr, SmrConfig, SmrHandle};
+use bench::json::{self, JsonObject};
 use std::hint::black_box;
 use std::time::Instant;
+
+use reclaim_core::{Smr, SmrConfig, SmrHandle};
 
 /// Operations per (K, scheme) measurement.
 const OPS: u64 = 200_000;
@@ -43,6 +49,14 @@ fn measure<S: Smr>(scheme: &std::sync::Arc<S>, k: usize) -> f64 {
     elapsed.as_nanos() as f64 / OPS as f64
 }
 
+fn row(scheme: &str, k: usize, ns: f64) -> JsonObject {
+    JsonObject::new()
+        .str_field("scheme", scheme)
+        .int_field("k", k as u64)
+        .int_field("threads", 1)
+        .num_field("protect_ns_per_op", ns, 2)
+}
+
 fn main() {
     println!("Ablation A4: per-operation protection cost vs K (ns/op, {OPS} ops per cell)");
     println!("K values bracket the paper's structures: list = 2, BST = 6, skip list = up to 35");
@@ -52,6 +66,7 @@ fn main() {
         "K", "qsbr", "ebr", "qsense", "cadence", "hp", "rc"
     );
 
+    let mut rows = Vec::new();
     for k in [2usize, 6, 12, 24, 35] {
         let config = SmrConfig::default()
             .with_hp_per_thread(k)
@@ -65,16 +80,21 @@ fn main() {
         let hp = hazard::Hazard::new(config.clone());
         let rc = refcount::RefCount::new(config);
 
+        let cells = [
+            ("qsbr", measure(&qsbr, k)),
+            ("ebr", measure(&ebr, k)),
+            ("qsense", measure(&qsense, k)),
+            ("cadence", measure(&cadence, k)),
+            ("hp", measure(&hp, k)),
+            ("rc", measure(&rc, k)),
+        ];
         println!(
             "{:>4}  {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
-            k,
-            measure(&qsbr, k),
-            measure(&ebr, k),
-            measure(&qsense, k),
-            measure(&cadence, k),
-            measure(&hp, k),
-            measure(&rc, k),
+            k, cells[0].1, cells[1].1, cells[2].1, cells[3].1, cells[4].1, cells[5].1,
         );
+        for (scheme, ns) in cells {
+            rows.push(row(scheme, k, ns));
+        }
     }
 
     println!();
@@ -82,4 +102,20 @@ fn main() {
     println!("# hp grows by one fence per slot; rc grows by one shared RMW per slot.");
     println!("# This slope difference is why the skip list (large K) shows the paper's");
     println!("# largest QSBR-to-QSense gap and its largest QSense-to-HP win.");
+
+    let meta = [
+        ("ops_per_cell", format!("{OPS}")),
+        ("unit", "\"nanoseconds per operation\"".to_string()),
+    ];
+    let path = json::workspace_file("BENCH_ablation_hp_count.json");
+    match json::write_report(
+        &path,
+        "ablation_hp_count",
+        "cargo bench -p bench --bench ablation_hp_count",
+        &meta,
+        &rows,
+    ) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(err) => eprintln!("failed to write {}: {err}", path.display()),
+    }
 }

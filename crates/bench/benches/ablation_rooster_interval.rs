@@ -5,12 +5,30 @@
 //! wake-ups. This sweep runs the stand-alone Cadence scheme on the linked list with
 //! several values of `T` and reports throughput and the retired-but-unreclaimed node
 //! count at the end of the run.
+//!
+//! Besides the text table, the run emits **`BENCH_ablation_rooster.json`** in
+//! the workspace root (shared `bench::json` envelope): one row per sweep point,
+//! keyed by the swept parameter (`"T_ms"`) and its value.
 
+use bench::json::{self, JsonObject};
 use std::sync::Arc;
 use std::time::Duration;
 use workload::{
-    make_set, report, run_experiment, Experiment, OpMix, SchemeKind, Structure, WorkloadSpec,
+    make_set, report, run_experiment, Experiment, OpMix, RunResult, SchemeKind, Structure,
+    WorkloadSpec,
 };
+
+fn row(interval_ms: u64, result: &RunResult) -> JsonObject {
+    JsonObject::new()
+        .str_field("scheme", &result.scheme)
+        .str_field("structure", &result.structure)
+        .str_field("parameter", "T_ms")
+        .int_field("value", interval_ms)
+        .int_field("threads", result.threads as u64)
+        .num_field("mops_per_sec", result.mops(), 4)
+        .int_field("scans", result.stats.scans)
+        .int_field("in_limbo_at_end", result.stats.in_limbo())
+}
 
 fn main() {
     let threads = 4;
@@ -19,6 +37,7 @@ fn main() {
         "Ablation A1: Cadence rooster interval sweep, linked list, {threads} threads, 50% updates"
     );
     report::section("rooster interval T -> throughput / unreclaimed tail");
+    let mut rows = Vec::new();
     for interval_ms in [1_u64, 5, 20, 50, 100] {
         let config = workload::default_bench_config(threads + 2)
             .with_rooster_interval(Duration::from_millis(interval_ms))
@@ -41,5 +60,24 @@ fn main() {
             result.stats.in_limbo(),
             result.stats.scans
         );
+        rows.push(row(interval_ms, &result));
+    }
+
+    let meta = [
+        ("point_seconds", format!("{}", bench::point_seconds())),
+        ("threads", format!("{threads}")),
+        ("structure", "\"linked-list\"".to_string()),
+        ("unit", "\"million operations per second\"".to_string()),
+    ];
+    let path = json::workspace_file("BENCH_ablation_rooster.json");
+    match json::write_report(
+        &path,
+        "ablation_rooster_interval",
+        "cargo bench -p bench --bench ablation_rooster_interval",
+        &meta,
+        &rows,
+    ) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(err) => eprintln!("failed to write {}: {err}", path.display()),
     }
 }

@@ -5,19 +5,39 @@
 //! liveness bound (Property 2) is `N·(K + T + R)` retired nodes, so `R` trades scan
 //! frequency (amortized CPU cost) against the size of the unreclaimed tail. The
 //! sweep measures both sides of the trade for classic HP and for Cadence.
+//!
+//! Besides the text table, the run emits **`BENCH_ablation_scan_threshold.json`**
+//! in the workspace root (shared `bench::json` envelope): one row per
+//! `(scheme, R)` sweep point.
 
+use bench::json::{self, JsonObject};
 use bench::point_seconds;
 use std::sync::Arc;
 use std::time::Duration;
 use workload::{
-    make_set, report, run_experiment, Experiment, OpMix, SchemeKind, Structure, WorkloadSpec,
+    make_set, report, run_experiment, Experiment, OpMix, RunResult, SchemeKind, Structure,
+    WorkloadSpec,
 };
+
+fn row(r_value: usize, result: &RunResult) -> JsonObject {
+    JsonObject::new()
+        .str_field("scheme", &result.scheme)
+        .str_field("structure", &result.structure)
+        .str_field("parameter", "R")
+        .int_field("value", r_value as u64)
+        .int_field("threads", result.threads as u64)
+        .num_field("mops_per_sec", result.mops(), 4)
+        .int_field("scans", result.stats.scans)
+        .int_field("freed", result.stats.freed)
+        .int_field("in_limbo_at_end", result.stats.in_limbo())
+}
 
 fn main() {
     let threads = 4;
     let spec = WorkloadSpec::new(Structure::List.default_key_range(), OpMix::updates_50());
     println!("Ablation A5: scan threshold R, linked list, {threads} threads, 50% updates");
 
+    let mut rows = Vec::new();
     for scheme in [SchemeKind::Hp, SchemeKind::Cadence, SchemeKind::QSense] {
         report::section(&format!("scheme = {}", scheme.name()));
         for r in [16usize, 64, 256, 1024] {
@@ -40,10 +60,29 @@ fn main() {
                 result.stats.freed,
                 result.stats.in_limbo()
             );
+            rows.push(row(r, &result));
         }
     }
 
     println!();
     println!("# Larger R amortizes scan cost over more retires but lengthens the unreclaimed");
     println!("# tail, exactly as Property 2's N*(K + T + R) bound predicts.");
+
+    let meta = [
+        ("point_seconds", format!("{}", point_seconds())),
+        ("threads", format!("{threads}")),
+        ("structure", "\"linked-list\"".to_string()),
+        ("unit", "\"million operations per second\"".to_string()),
+    ];
+    let path = json::workspace_file("BENCH_ablation_scan_threshold.json");
+    match json::write_report(
+        &path,
+        "ablation_scan_threshold",
+        "cargo bench -p bench --bench ablation_scan_threshold",
+        &meta,
+        &rows,
+    ) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(err) => eprintln!("failed to write {}: {err}", path.display()),
+    }
 }

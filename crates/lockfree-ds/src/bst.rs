@@ -387,6 +387,23 @@ where
                 _ => (KeySlot::Key(key.clone()), leaf, new_leaf),
             };
             let new_internal = Node::internal(internal_key, left, right, handle.alloc_node());
+            // Pause point: the validate-then-CAS window (audited against the
+            // skip list's upper-level re-link race; see the note below).
+            crate::interleave::hit("bst::insert::pre_link_cas");
+            // Why this window is closed *without* versioned links (unlike the
+            // skip list): the CAS below expects a completely clean edge holding
+            // the leaf the seek validated. A remove completing in the window
+            // dirties that exact word no matter how it overlaps — deleting our
+            // leaf flags the edge (injection), deleting the *sibling* tags our
+            // edge before the parent is spliced out (cleanup tags the survivor
+            // edge first), and a spliced-out parent's edges stay flagged/tagged
+            // forever, so even a CAS against a retired parent's edge fails. A
+            // retired node is never re-linked (splices only move *surviving*
+            // subtrees up), and the seek's protection slots keep `parent` and
+            // `leaf` from being freed and re-allocated under us. So clean-edge
+            // equality is equivalent to "nothing happened since validation".
+            // The forced schedules in `tests/interleaving_harness.rs` pin both
+            // the leaf-removal and the sibling-removal (parent splice) cases.
             // SAFETY: `record.parent` protected by the seek.
             let edge = unsafe { Self::child_edge(record.parent, &key) };
             match edge.compare_exchange(leaf, new_internal, Ordering::AcqRel, Ordering::Acquire) {

@@ -1,0 +1,266 @@
+//! Deterministic interleaving harness (test-only).
+//!
+//! The races this crate's structures have to defend against live in windows of a
+//! few instructions — between a traversal's *validation* of a link and the CAS
+//! that acts on what was validated. Stress tests cross those windows once in
+//! millions of runs; this module makes the crossing *deterministic* instead.
+//!
+//! Structures call [`hit`] at named **pause points** placed exactly at the
+//! validate/CAS boundaries. With the `interleave` feature disabled (the default,
+//! and always the case for release builds: the feature is only enabled by test
+//! targets), `hit` compiles to an empty inline function — zero cost, no
+//! dependencies. With the feature enabled, a test installs a hook for a point
+//! and can park the thread that reaches it, run a conflicting operation to
+//! completion on another thread, and only then let the parked thread take its
+//! CAS — forcing the exact schedule a bug report describes, every run.
+//!
+//! The primary client is the skip-list upper-level re-link race (see
+//! `skiplist.rs`): a complete `remove` (mark all levels + sweep + retire) is
+//! driven through the window between `insert`'s per-level validation
+//! (`succs[0] == node`) and its `pred.next[level]` CAS. The same harness audits
+//! the analogous windows in `list.rs` and `bst.rs`.
+//!
+//! Hooks are process-global (the pause points are reached deep inside data
+//! structure internals), so tests that install hooks must serialize themselves
+//! (e.g. with a shared `Mutex`) if they can run in the same process.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Fast-path gate: pause points only take the hook lock while at least one hook
+/// is installed, so an instrumented binary with no active test pays one relaxed
+/// load per pause point.
+static ACTIVE_HOOKS: AtomicUsize = AtomicUsize::new(0);
+
+type Hook = Arc<dyn Fn() + Send + Sync>;
+
+/// Installed hooks, each tagged with a unique token so a [`HookGuard`] whose
+/// hook was since *replaced* cannot remove (or mis-account) its successor.
+fn hooks() -> &'static Mutex<HashMap<&'static str, (u64, Hook)>> {
+    static HOOKS: OnceLock<Mutex<HashMap<&'static str, (u64, Hook)>>> = OnceLock::new();
+    HOOKS.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn next_token() -> u64 {
+    static TOKEN: AtomicUsize = AtomicUsize::new(1);
+    TOKEN.fetch_add(1, Ordering::Relaxed) as u64
+}
+
+/// A pause point. Structures call this at validate/CAS boundaries; if a test
+/// installed a hook for `point`, the hook runs on the calling thread (and may
+/// block it until the test releases it).
+#[inline]
+pub fn hit(point: &'static str) {
+    if ACTIVE_HOOKS.load(Ordering::Acquire) == 0 {
+        return;
+    }
+    let hook = hooks()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .get(point)
+        .map(|(_, hook)| Arc::clone(hook));
+    if let Some(hook) = hook {
+        hook();
+    }
+}
+
+/// Uninstalls its hook on drop — but only if that exact hook is still the one
+/// installed: a guard whose hook was replaced by a later [`install`] at the
+/// same point is stale and must neither remove the successor nor decrement the
+/// active count (the replacing `install` already absorbed this guard's share).
+pub struct HookGuard {
+    point: &'static str,
+    token: u64,
+}
+
+impl Drop for HookGuard {
+    fn drop(&mut self) {
+        let mut map = hooks().lock().unwrap_or_else(|e| e.into_inner());
+        if map.get(self.point).is_some_and(|(t, _)| *t == self.token)
+            && map.remove(self.point).is_some()
+        {
+            ACTIVE_HOOKS.fetch_sub(1, Ordering::Release);
+        }
+    }
+}
+
+/// Installs `hook` at `point`, replacing any previous hook there (the previous
+/// hook's guard becomes inert). The hook runs on whichever thread reaches the
+/// point.
+pub fn install(point: &'static str, hook: impl Fn() + Send + Sync + 'static) -> HookGuard {
+    let token = next_token();
+    let mut map = hooks().lock().unwrap_or_else(|e| e.into_inner());
+    if map.insert(point, (token, Arc::new(hook))).is_none() {
+        ACTIVE_HOOKS.fetch_add(1, Ordering::Release);
+    }
+    HookGuard { point, token }
+}
+
+#[derive(Default)]
+struct TrapState {
+    /// Number of threads that have reached the point so far.
+    arrivals: usize,
+    /// True once the test has released the trap; later arrivals pass through.
+    released: bool,
+}
+
+/// A one-shot rendezvous at a pause point: the **first** thread to reach the
+/// point parks until [`release`](Trap::release); every later (or post-release)
+/// arrival passes straight through. This is the shape every forced schedule in
+/// this repo needs — park the victim thread in its window once, drive the
+/// conflicting operation to completion, resume.
+pub struct Trap {
+    state: Arc<(Mutex<TrapState>, Condvar)>,
+    _guard: HookGuard,
+}
+
+impl Trap {
+    /// Arms a one-shot trap at `point`.
+    pub fn arm(point: &'static str) -> Self {
+        let state = Arc::new((Mutex::new(TrapState::default()), Condvar::new()));
+        let hook_state = Arc::clone(&state);
+        let guard = install(point, move || {
+            let (lock, cvar) = &*hook_state;
+            let mut s = lock.lock().unwrap_or_else(|e| e.into_inner());
+            s.arrivals += 1;
+            if s.arrivals > 1 || s.released {
+                return; // one-shot: only the first arrival parks
+            }
+            cvar.notify_all(); // wake `wait_for_parked`
+            while !s.released {
+                s = cvar.wait(s).unwrap_or_else(|e| e.into_inner());
+            }
+        });
+        Self {
+            state,
+            _guard: guard,
+        }
+    }
+
+    /// Blocks until a thread is parked at the point (i.e. the window is open).
+    pub fn wait_for_parked(&self) {
+        let (lock, cvar) = &*self.state;
+        let mut s = lock.lock().unwrap_or_else(|e| e.into_inner());
+        while s.arrivals == 0 {
+            s = cvar.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Releases the parked thread (and lets every future arrival pass through).
+    pub fn release(&self) {
+        let (lock, cvar) = &*self.state;
+        let mut s = lock.lock().unwrap_or_else(|e| e.into_inner());
+        s.released = true;
+        cvar.notify_all();
+    }
+
+    /// How many times the point has been reached so far.
+    pub fn arrivals(&self) -> usize {
+        let (lock, _) = &*self.state;
+        lock.lock().unwrap_or_else(|e| e.into_inner()).arrivals
+    }
+}
+
+/// Counts hits at a pause point without blocking anyone (for asserting that a
+/// forced schedule actually drove the code through the instrumented window).
+pub struct Counter {
+    count: Arc<AtomicUsize>,
+    _guard: HookGuard,
+}
+
+impl Counter {
+    /// Installs a counting hook at `point`.
+    pub fn arm(point: &'static str) -> Self {
+        let count = Arc::new(AtomicUsize::new(0));
+        let hook_count = Arc::clone(&count);
+        let guard = install(point, move || {
+            hook_count.fetch_add(1, Ordering::Relaxed);
+        });
+        Self {
+            count,
+            _guard: guard,
+        }
+    }
+
+    /// Number of times the point has been hit since arming.
+    pub fn count(&self) -> usize {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+/// Whether any hook is currently installed (diagnostics).
+pub fn any_active() -> bool {
+    ACTIVE_HOOKS.load(Ordering::Acquire) != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    // The hook registry is process-global; these unit tests use distinct point
+    // names so they can run concurrently with each other.
+
+    #[test]
+    fn hit_without_hooks_is_a_no_op() {
+        hit("interleave::test::never-installed");
+    }
+
+    #[test]
+    fn install_and_drop_toggle_activity() {
+        let before = ACTIVE_HOOKS.load(Ordering::Acquire);
+        let guard = install("interleave::test::toggle", || {});
+        assert!(ACTIVE_HOOKS.load(Ordering::Acquire) > before);
+        drop(guard);
+        assert_eq!(ACTIVE_HOOKS.load(Ordering::Acquire), before);
+    }
+
+    #[test]
+    fn replacing_a_hook_leaves_the_successor_live_after_the_stale_guard_drops() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let first = install("interleave::test::replace", || {});
+        let hook_count = Arc::clone(&count);
+        let second = install("interleave::test::replace", move || {
+            hook_count.fetch_add(1, Ordering::Relaxed);
+        });
+        // Dropping the *replaced* guard must not uninstall (or de-activate) the
+        // replacement.
+        drop(first);
+        hit("interleave::test::replace");
+        assert_eq!(count.load(Ordering::Relaxed), 1, "successor hook must fire");
+        drop(second);
+        hit("interleave::test::replace");
+        assert_eq!(count.load(Ordering::Relaxed), 1, "now uninstalled");
+    }
+
+    #[test]
+    fn counter_counts_hits() {
+        let counter = Counter::arm("interleave::test::counter");
+        hit("interleave::test::counter");
+        hit("interleave::test::counter");
+        assert_eq!(counter.count(), 2);
+    }
+
+    #[test]
+    fn trap_parks_first_arrival_until_release() {
+        let trap = Trap::arm("interleave::test::trap");
+        let worker = thread::spawn(|| {
+            hit("interleave::test::trap");
+            hit("interleave::test::trap"); // second arrival passes through
+        });
+        trap.wait_for_parked();
+        assert_eq!(trap.arrivals(), 1);
+        trap.release();
+        worker.join().unwrap();
+        assert_eq!(trap.arrivals(), 2);
+    }
+
+    #[test]
+    fn released_trap_never_blocks() {
+        let trap = Trap::arm("interleave::test::released");
+        trap.release();
+        hit("interleave::test::released"); // must not deadlock
+        assert_eq!(trap.arrivals(), 1);
+    }
+}

@@ -29,12 +29,22 @@
 
 pub mod bst;
 pub mod hashmap;
+#[cfg(feature = "interleave")]
+pub mod interleave;
 pub mod keyspace;
 pub mod list;
 pub mod queue;
 pub mod skiplist;
 pub mod stack;
 pub mod tagged;
+
+/// No-op stand-in for the [`interleave`] pause points when the harness feature
+/// is disabled (every production build): `hit` inlines to nothing.
+#[cfg(not(feature = "interleave"))]
+pub(crate) mod interleave {
+    #[inline(always)]
+    pub(crate) fn hit(_point: &'static str) {}
+}
 
 pub use bst::{LockFreeBst, BST_HP_SLOTS};
 pub use hashmap::{LockFreeHashMap, DEFAULT_HASH_BUCKETS, HASHMAP_HP_SLOTS};

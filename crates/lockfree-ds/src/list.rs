@@ -193,6 +193,24 @@ where
                 return false;
             }
             let node = Node::new(KeySlot::Key(key), s.curr, handle.alloc_node());
+            // Pause point: the validate-then-CAS window (audited against the
+            // skip list's upper-level re-link race; see the note below).
+            crate::interleave::hit("list::insert::pre_link_cas");
+            // Why this window is closed *without* versioned links (unlike the
+            // skip list): the CAS below targets the very link the search
+            // validated, with the validated successor as its expected value. A
+            // remove completing in the window changes that link no matter which
+            // neighbour it hits — removing `curr` swings `prev.next` to
+            // `curr`'s successor; removing `prev` marks `prev.next` (the mark
+            // lives in the *outgoing* pointer, so the word differs even though
+            // the pointer half still reads `curr`) — and a retired list node
+            // can never be re-linked (nodes are linked only by their own
+            // insert's CAS, with a fresh private allocation), while slot
+            // HP_CURR keeps `curr` from being freed and re-allocated under us.
+            // So pointer+mark equality at this link is equivalent to "nothing
+            // happened since validation", and the stale CAS always fails. The
+            // forced schedules in `tests/interleaving_harness.rs` pin both
+            // neighbour removals.
             // SAFETY: `s.prev` is the sentinel or protected by slot HP_PREV.
             match unsafe { &*s.prev }.next.compare_exchange(
                 s.curr,

@@ -1,19 +1,58 @@
-//! Lock-free skip-list set (Fraser / Herlihy–Shavit style).
+//! Lock-free skip-list set (Fraser / Herlihy–Shavit style) on **versioned links**.
 //!
 //! The skip list the paper evaluates (§7.1, "a lock-free skip list [11]"): a tower of
 //! Harris-style lists. Each node owns `height` forward pointers; level 0 holds every
 //! element, upper levels are express lanes. Membership is decided at level 0.
 //!
-//! * **Logical deletion** marks the low bit of every level's `next` pointer,
-//!   top-down; a node is logically deleted once its level-0 pointer is marked, and
-//!   the thread whose CAS marks level 0 owns the deletion.
+//! * **Logical deletion** marks every level's link word, top-down; a node is
+//!   logically deleted once its level-0 link is marked, and the thread whose CAS
+//!   marks level 0 owns the deletion.
 //! * **Physical deletion** is performed by `find`: any traversal that encounters a
 //!   marked node snips it out of the level it is traversing.
-//! * **Reclamation**: the owning deleter re-runs `find` until the victim no longer
-//!   appears in any level's successor array, then retires it (exactly once). As with
-//!   the linked list, validation always re-checks that the predecessor's pointer is
-//!   unmarked and still points to the protected node, so a traversal standing on a
-//!   logically deleted node can never validate a protection acquired through it.
+//! * **Reclamation**: the owning deleter sweeps the victim out of every level,
+//!   *fences* the upper levels (below), then retires it exactly once.
+//!
+//! ## Versioned links and the upper-level re-link race
+//!
+//! Every link is a [`VersionedAtomic`](crate::tagged::VersionedAtomic): pointer +
+//! mark + a per-link version that every successful CAS bumps. The version is what
+//! closes the classic HP-integration race this file used to document as a "known
+//! caveat":
+//!
+//! > between `insert`'s per-level validation (`succs[0] == node`, observed by a
+//! > `find`) and its `pred.next[level]` CAS, a complete `remove` — mark all
+//! > levels, sweep, retire — can slip in; the CAS then re-links a **retired**
+//! > node at an upper level, and a later traversal can validate a protection for
+//! > (and dereference) memory the scheme is free to reclaim.
+//!
+//! Pointer-equality CAS cannot see that window: the CASed link (`pred`, level
+//! `L ≥ 1`) is typically *untouched* by the remove, whose snips happen at the
+//! levels the victim is actually linked at. Two cooperating rules close it:
+//!
+//! 1. **Validate-on-link** (`insert`, phase 2): the link CAS's expected value is
+//!    the full [`LinkWord`](crate::tagged::LinkWord) — pointer *and version* —
+//!    observed by the very traversal that validated `succs[0] == node`. The CAS
+//!    succeeds only if the pred link was never modified in between.
+//! 2. **Upper-level fencing** (`remove`, phase 3): one sweep pass unlinks the
+//!    victim from every level — walking *through equal-key runs*, because a
+//!    marked victim can transiently hide behind an equal-key node that a plain
+//!    `find` stops short of — and, being top-down, ends with the victim's
+//!    permanent absence from level 0. The deleter then bumps the version of the
+//!    canonical pred link at every upper level of the victim's tower, each CAS
+//!    expecting the exact word the sweep last observed there; a successful bump
+//!    certifies the link was untouched from the sweep's visit until after the
+//!    level-0 unlink and poisons every older snapshot, and any insert
+//!    validating later observes `succs[0] != node` and stops linking — so once
+//!    the fence completes, **no level can re-acquire the victim**, and retiring
+//!    it is sound under every scheme (HP, Cadence, QSense, HE: a protection can
+//!    only be validated through a link the victim is still reachable from;
+//!    QSBR/EBR were already covered by grace periods). Victims of height 1 skip
+//!    all of this: no upper level ever existed for them.
+//!
+//! The full interleaving argument lives in `reclaim-core`'s crate docs
+//! ("Skip-list linking safety argument"); the deterministic regression schedule
+//! lives in `tests/interleaving_harness.rs`, driven through this file's
+//! [`interleave`](crate::interleave) pause points.
 //!
 //! ## Hazard-pointer budget
 //!
@@ -23,24 +62,13 @@
 //! uses up to 35 hazard pointers per thread — and is exactly why the gap between
 //! QSense and QSBR is largest on the skip list (each protection is a store even if it
 //! is fence-free).
-//!
-//! ## Known caveat (shared with the paper's HP integration)
-//!
-//! Between a `find` that returns an unmarked successor and the insert CAS that links
-//! a new node to it, the successor may become logically deleted; the new node then
-//! briefly points at a deleted node at some upper level until the next traversal
-//! snips it. The deleting thread's "absent from every successor array" check makes
-//! retirement overwhelmingly unlikely to race with such a stale link, and the
-//! epoch-based fast path (QSBR/QSense) is immune by construction, but classic HP and
-//! Cadence share the same theoretical window the original C implementation has. The
-//! stress tests in this crate and in `tests/` exercise this path heavily.
 
 use crate::keyspace::KeySlot;
-use crate::tagged::{decompose, is_marked, marked, unmarked};
+use crate::tagged::{LinkWord, VersionedAtomic};
 use rand::Rng;
 use reclaim_core::{retire_box_with_birth, Era, Smr, SmrHandle, NO_BIRTH_ERA};
 use std::cmp::Ordering as CmpOrdering;
-use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Maximum tower height. 2^16 ≫ the paper's 20 000-key skip list, so towers this
@@ -57,7 +85,9 @@ fn pred_slot(level: usize) -> usize {
     2 * level
 }
 
-/// Slot protecting the successor retained for `level`.
+/// Slot protecting the successor retained for `level`. The phase-3 sweep reuses
+/// it for its equal-run walking predecessor (the successor is not retained
+/// there), so the budget stays [`SKIPLIST_HP_SLOTS`].
 #[inline]
 fn succ_slot(level: usize) -> usize {
     2 * level + 1
@@ -66,10 +96,10 @@ fn succ_slot(level: usize) -> usize {
 /// Scratch slot protecting the traversal cursor.
 const HP_CURSOR: usize = 2 * MAX_HEIGHT;
 
-/// Slot protecting the node an `insert` is currently publishing/linking. It must
-/// be distinct from every slot `find` uses: the upper-level linking phase re-runs
-/// `find` (which overwrites the cursor and pred/succ slots) while it still needs
-/// the new node — including the key borrowed from it — to stay unreclaimed.
+/// Slot protecting the node an `insert` is currently publishing/linking, or the
+/// victim a `remove` is deleting. It must be distinct from every slot `find`
+/// uses: both operations re-run `find` (which overwrites the cursor and
+/// pred/succ slots) while they still need that node to stay unreclaimed.
 const HP_NODE: usize = 2 * MAX_HEIGHT + 1;
 
 struct Node<K> {
@@ -78,7 +108,7 @@ struct Node<K> {
     /// Era the node was allocated in (`SmrHandle::alloc_node`); immutable after
     /// allocation, read back by the level-0 deletion winner at the retire site.
     birth_era: Era,
-    next: [AtomicPtr<Node<K>>; MAX_HEIGHT],
+    next: [VersionedAtomic<Node<K>>; MAX_HEIGHT],
 }
 
 impl<K> Node<K> {
@@ -87,16 +117,27 @@ impl<K> Node<K> {
             key,
             height,
             birth_era,
-            next: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+            next: std::array::from_fn(|_| VersionedAtomic::new(std::ptr::null_mut())),
         }))
     }
 }
 
-/// Traversal result: per-level predecessors and successors around the search key.
+/// Traversal result: per-level predecessors and successors around the search
+/// key, plus the exact pred link word each `(pred, succ)` pair was observed
+/// through — the evidence the validate-on-link CAS presents.
 struct FindResult<K> {
     preds: [*mut Node<K>; MAX_HEIGHT],
     succs: [*mut Node<K>; MAX_HEIGHT],
+    pred_links: [LinkWord<Node<K>>; MAX_HEIGHT],
     found: bool,
+}
+
+/// Phase-3 sweep result: the canonical (strictly-less) predecessor and the
+/// latest observed (or self-written, after a snip) word of its link per level —
+/// the evidence the fence pass CASes against.
+struct SweepResult<K> {
+    preds: [*mut Node<K>; MAX_HEIGHT],
+    pred_links: [LinkWord<Node<K>>; MAX_HEIGHT],
 }
 
 /// A lock-free sorted set backed by a skip list.
@@ -128,7 +169,7 @@ where
                 key: KeySlot::NegInf,
                 height: MAX_HEIGHT,
                 birth_era: NO_BIRTH_ERA,
-                next: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+                next: std::array::from_fn(|_| VersionedAtomic::new(std::ptr::null_mut())),
             }),
             smr,
         }
@@ -158,56 +199,87 @@ where
         height
     }
 
-    /// Core traversal: computes per-level predecessors/successors for `key`, snipping
-    /// every marked node it encounters, and protects each retained reference.
+    /// Core traversal: computes per-level predecessors/successors for `key`,
+    /// snipping every marked node it encounters, and protects each retained
+    /// reference. The returned `pred_links[level]` is the exact word
+    /// `preds[level].next[level]` held when the position was last validated
+    /// (with `ptr() == succs[level]`) — the evidence insert's validate-on-link
+    /// CAS presents. It is marked only in the deleted-pred/null-successor case
+    /// (see the loop comment below), which every CAS consumer must refuse.
     fn find(&self, key: &K, handle: &mut S::Handle) -> FindResult<K> {
         let head = self.head_ptr();
         'retry: loop {
             let mut preds = [head; MAX_HEIGHT];
             let mut succs = [std::ptr::null_mut(); MAX_HEIGHT];
+            let mut pred_links = [LinkWord::null(); MAX_HEIGHT];
             let mut pred = head;
             for level in (0..MAX_HEIGHT).rev() {
                 // SAFETY: `pred` is the head sentinel or a node protected in a
-                // pred/cursor slot from the level above.
-                let mut curr = unmarked(unsafe { &*pred }.next[level].load(Ordering::Acquire));
+                // pred slot from this or the level above.
+                let mut w = unsafe { &*pred }.next[level].load(Ordering::Acquire);
                 loop {
+                    // `w` can be marked only on a level's first iteration (the
+                    // pred carried down from above was logically deleted at this
+                    // level): with a non-null successor the validation below
+                    // catches it; with a null successor the position is recorded
+                    // *as observed* — the marked word — and the insert CASes
+                    // refuse marked expected words, re-finding instead (an
+                    // unguarded versioned CAS would otherwise *unmark* the
+                    // link). This mirrors the pre-versioned code, which reported
+                    // the position and let the pointer-equality CAS fail.
+                    let curr = w.ptr();
                     if curr.is_null() {
                         break;
                     }
                     handle.protect(HP_CURSOR, curr.cast());
-                    // Validate: predecessor unmarked at this level and still linking
-                    // to `curr`.
+                    // Validate: the pred link still leads to `curr` unmarked —
+                    // `curr` is reachable and the protection is sound. The
+                    // *refreshed* word (same pointer, possibly newer version —
+                    // e.g. a concurrent fence bump) becomes the observation this
+                    // position reports: traversal tolerates benign version
+                    // traffic, while the eventual CAS still demands the exact
+                    // word it was handed.
                     // SAFETY: `pred` protected or sentinel as above.
-                    if unsafe { &*pred }.next[level].load(Ordering::Acquire) != curr {
+                    let w2 = unsafe { &*pred }.next[level].load(Ordering::Acquire);
+                    if w2.ptr() != curr || w2.is_marked() {
                         continue 'retry;
                     }
+                    w = w2;
                     // SAFETY: `curr` protected and validated reachable.
-                    let (next, curr_marked) =
-                        decompose(unsafe { &*curr }.next[level].load(Ordering::Acquire));
-                    if curr_marked {
-                        // Physically remove the logically deleted node at this level.
+                    let cw = unsafe { &*curr }.next[level].load(Ordering::Acquire);
+                    if cw.is_marked() {
+                        // Physically remove the logically deleted node at this
+                        // level. A successful CAS tells us the link's new word
+                        // exactly; on failure some other thread moved the link and
+                        // the position must be recomputed.
                         // SAFETY: `pred` protected or sentinel.
-                        if unsafe { &*pred }.next[level]
-                            .compare_exchange(curr, next, Ordering::AcqRel, Ordering::Acquire)
-                            .is_err()
-                        {
-                            continue 'retry;
+                        match unsafe { &*pred }.next[level].compare_exchange(
+                            w,
+                            cw.ptr(),
+                            false,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        ) {
+                            Ok(new_word) => {
+                                w = new_word;
+                                continue;
+                            }
+                            Err(_) => continue 'retry,
                         }
-                        curr = next;
-                        continue;
                     }
                     // SAFETY: `curr` protected and validated.
                     if unsafe { &*curr }.key.cmp_key(key) == CmpOrdering::Less {
                         pred = curr;
                         handle.protect(pred_slot(level), curr.cast());
-                        curr = next;
+                        w = cw;
                     } else {
                         break;
                     }
                 }
                 preds[level] = pred;
-                succs[level] = curr;
-                handle.protect(succ_slot(level), curr.cast());
+                succs[level] = w.ptr();
+                pred_links[level] = w;
+                handle.protect(succ_slot(level), w.ptr().cast());
             }
             let found = !succs[0].is_null()
                 // SAFETY: `succs[0]` protected by `succ_slot(0)`.
@@ -215,6 +287,7 @@ where
             return FindResult {
                 preds,
                 succs,
+                pred_links,
                 found,
             };
         }
@@ -231,8 +304,36 @@ where
 
     /// Inserts `key`; returns false if it was already present.
     pub fn insert(&self, key: K, handle: &mut S::Handle) -> bool {
+        self.insert_impl(key, Self::random_height(), handle)
+    }
+
+    /// Test-only: insert with a forced tower height, so deterministic
+    /// interleaving schedules can rely on the node having upper levels.
+    #[cfg(feature = "interleave")]
+    pub fn insert_with_height(&self, key: K, height: usize, handle: &mut S::Handle) -> bool {
+        assert!((1..=MAX_HEIGHT).contains(&height));
+        self.insert_impl(key, height, handle)
+    }
+
+    /// Test-only: the addresses currently linked at `level`, in list order.
+    /// Walks raw link words without dereferencing the final node, so it is safe
+    /// to call while the structure is quiescent even if some previously retired
+    /// node were still (erroneously) linked.
+    #[cfg(feature = "interleave")]
+    pub fn level_addrs(&self, level: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut curr = self.head.next[level].load(Ordering::Acquire).ptr();
+        while !curr.is_null() {
+            out.push(curr as usize);
+            // SAFETY: quiescence is the caller's contract; we only read the
+            // link word, never the key.
+            curr = unsafe { &*curr }.next[level].load(Ordering::Acquire).ptr();
+        }
+        out
+    }
+
+    fn insert_impl(&self, key: K, height: usize, handle: &mut S::Handle) -> bool {
         handle.begin_op();
-        let height = Self::random_height();
         let mut key = key;
         // Phase 1: link at level 0 (this is the linearization point of a successful
         // insert).
@@ -242,6 +343,12 @@ where
                 handle.clear_protections();
                 handle.end_op();
                 return false;
+            }
+            if result.pred_links[0].is_marked() {
+                // The level-0 pred was deleted under the traversal (possible
+                // only with a null successor — see `find`): re-find rather than
+                // CAS a marked link.
+                continue;
             }
             let node = Node::alloc(KeySlot::Key(key), height, handle.alloc_node());
             // Protect the node *before* publishing it. The protection is issued
@@ -256,12 +363,13 @@ where
             // the traversal. The node is still private, so plain stores are fine.
             for level in 0..height {
                 // SAFETY: `node` is private until the CAS below publishes it.
-                unsafe { &*node }.next[level].store(result.succs[level], Ordering::Relaxed);
+                unsafe { &*node }.next[level].store_private(result.succs[level], Ordering::Relaxed);
             }
             // SAFETY: `preds[0]` is the sentinel or protected by `pred_slot(0)`.
             match unsafe { &*result.preds[0] }.next[0].compare_exchange(
-                result.succs[0],
+                result.pred_links[0],
                 node,
+                false,
                 Ordering::AcqRel,
                 Ordering::Acquire,
             ) {
@@ -302,36 +410,59 @@ where
                     // re-link a node whose removal may have begun.
                     break 'levels;
                 }
-                // SAFETY: `node` is protected (HP_NODE); loads of its atomics are safe.
-                let node_next = unsafe { &*node }.next[level].load(Ordering::Acquire);
-                if is_marked(node_next) {
+                // SAFETY: `node` is protected (HP_NODE); loads of its links are safe.
+                let node_w = unsafe { &*node }.next[level].load(Ordering::Acquire);
+                if node_w.is_marked() {
                     // A concurrent remove already claimed the node: stop linking.
                     break 'levels;
                 }
                 let succ = result.succs[level];
                 if succ == node {
-                    // Already linked at this level by a helping traversal.
+                    // Already linked at this level by this loop's previous pass.
                     break;
                 }
-                if node_next != succ
+                if node_w.ptr() != succ
                     && unsafe { &*node }.next[level]
-                        .compare_exchange(node_next, succ, Ordering::AcqRel, Ordering::Acquire)
+                        .compare_exchange(node_w, succ, false, Ordering::AcqRel, Ordering::Acquire)
                         .is_err()
                 {
-                    // The node's pointer changed under us (marking or helping);
+                    // The node's pointer changed under us (a concurrent marking);
                     // re-evaluate.
                     continue;
                 }
                 // Avoid knowingly linking to a logically deleted successor.
                 // SAFETY: `succ` is protected by `succ_slot(level)`.
                 if !succ.is_null()
-                    && is_marked(unsafe { &*succ }.next[level].load(Ordering::Acquire))
+                    && unsafe { &*succ }.next[level]
+                        .load(Ordering::Acquire)
+                        .is_marked()
                 {
                     continue;
                 }
+                if result.pred_links[level].is_marked() {
+                    // Deleted pred (null-successor case, see `find`): never CAS
+                    // a marked link — re-find.
+                    continue;
+                }
+                // Pause point: the remove-between-validate-and-CAS window. A
+                // complete `remove` of `node` driven through here is the
+                // upper-level re-link race the interleaving harness forces.
+                crate::interleave::hit("skiplist::insert::upper::pre_link_cas");
+                // Validate-on-link: the expected value is the full word (pointer +
+                // version) the traversal above observed while it also validated
+                // `succs[0] == node`. A remove that completed in between has
+                // either snipped through this very link or bumped its version in
+                // the fence pass — either way the CAS fails and the loop
+                // re-validates from scratch, observing the removal.
                 // SAFETY: `preds[level]` is the sentinel or protected.
                 if unsafe { &*result.preds[level] }.next[level]
-                    .compare_exchange(succ, node, Ordering::AcqRel, Ordering::Acquire)
+                    .compare_exchange(
+                        result.pred_links[level],
+                        node,
+                        false,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    )
                     .is_ok()
                 {
                     break;
@@ -341,6 +472,155 @@ where
         handle.clear_protections();
         handle.end_op();
         true
+    }
+
+    /// Phase-3 traversal of `remove`: like `find`, but at every level it keeps
+    /// walking through the *equal-key run* (nodes whose key equals `key`),
+    /// snipping marked nodes as it goes — so a marked victim hiding behind an
+    /// equal-key node (which `find` stops short of) is still found and
+    /// unlinked. A completed pass guarantees the victim was unlinked from
+    /// level 0 no later than the pass's level-0 visit (the walk is top-down, so
+    /// level 0 comes last), and returns the canonical strictly-less predecessor
+    /// plus the latest observed (or self-written, after a snip) word of its
+    /// link per level — the words the fence pass validates against.
+    ///
+    /// Slot discipline: the canonical predecessor stays in `pred_slot(level)`
+    /// for the rest of the operation (the fence pass CASes through it);
+    /// equal-run walking predecessors rotate through `succ_slot(level)`, which
+    /// phase 3 does not otherwise use.
+    fn sweep(
+        &self,
+        key: &K,
+        victim: *mut Node<K>,
+        height: usize,
+        handle: &mut S::Handle,
+    ) -> SweepResult<K> {
+        let head = self.head_ptr();
+        'retry: loop {
+            let mut preds = [head; MAX_HEIGHT];
+            let mut pred_links = [LinkWord::null(); MAX_HEIGHT];
+            let mut pred = head;
+            for level in (0..MAX_HEIGHT).rev() {
+                // Canonical position: the last strictly-less node and the word it
+                // was passed through; fixed the first time an equal-key node is
+                // reached.
+                let mut canonical: Option<(*mut Node<K>, LinkWord<Node<K>>)> = None;
+                // SAFETY: `pred` is the sentinel or protected (pred slot of this
+                // or an upper level).
+                let mut w = unsafe { &*pred }.next[level].load(Ordering::Acquire);
+                loop {
+                    // Unlike `find`, a marked `w` (the carried-down pred was
+                    // logically deleted at this level) must RESTART the sweep:
+                    // recording the dead node as the canonical predecessor would
+                    // make the fence bump the dead link while a stale inserter
+                    // may hold the *live* canonical pred's word — the one link
+                    // the fence exists to poison. (`find` can tolerate it
+                    // because its consumers refuse marked pred words.) The
+                    // restart always progresses: marking is top-down, so a pred
+                    // marked here is already marked one level up, where the
+                    // fresh walk snips it instead of carrying it down.
+                    if w.is_marked() {
+                        continue 'retry;
+                    }
+                    let curr = w.ptr();
+                    if curr.is_null() {
+                        break;
+                    }
+                    handle.protect(HP_CURSOR, curr.cast());
+                    // Same refresh-on-validate as `find`: tolerate version-only
+                    // traffic, report the freshest validated word.
+                    // SAFETY: `pred` protected or sentinel.
+                    let w2 = unsafe { &*pred }.next[level].load(Ordering::Acquire);
+                    if w2.ptr() != curr || w2.is_marked() {
+                        continue 'retry;
+                    }
+                    w = w2;
+                    // SAFETY: `curr` protected and validated reachable.
+                    let cw = unsafe { &*curr }.next[level].load(Ordering::Acquire);
+                    if cw.is_marked() {
+                        // A marked node (possibly the victim itself): snip it. If
+                        // the snip goes through the canonical link, the returned
+                        // word is the snip's own result, so a later successful
+                        // fence bump proves no re-link slipped in after it.
+                        // SAFETY: `pred` protected or sentinel.
+                        match unsafe { &*pred }.next[level].compare_exchange(
+                            w,
+                            cw.ptr(),
+                            false,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        ) {
+                            Ok(new_word) => {
+                                w = new_word;
+                                continue;
+                            }
+                            Err(_) => continue 'retry,
+                        }
+                    }
+                    // SAFETY: `curr` protected and validated.
+                    match unsafe { &*curr }.key.cmp_key(key) {
+                        CmpOrdering::Less => {
+                            pred = curr;
+                            handle.protect(pred_slot(level), curr.cast());
+                            w = cw;
+                        }
+                        CmpOrdering::Equal => {
+                            // An unmarked equal-key node: another tenant of the
+                            // key (the victim is fully marked by phases 1–2).
+                            // Above the victim's tower nothing can hide the
+                            // victim, so the walk stops like `find`; within the
+                            // tower's levels, record the canonical position
+                            // once, then walk through the run so nothing can
+                            // hide behind it.
+                            debug_assert!(curr != victim, "victim must be marked");
+                            if level >= height {
+                                break;
+                            }
+                            if canonical.is_none() {
+                                canonical = Some((pred, w));
+                            }
+                            pred = curr;
+                            handle.protect(succ_slot(level), curr.cast());
+                            w = cw;
+                        }
+                        CmpOrdering::Greater => break,
+                    }
+                }
+                let (cp, cw) = canonical.unwrap_or((pred, w));
+                preds[level] = cp;
+                pred_links[level] = cw;
+                // Descend from the canonical (strictly-less) predecessor so the
+                // next level's walk covers the whole equal-key region. It is
+                // protected in the pred slot of this or a higher level (or is
+                // the sentinel).
+                pred = cp;
+            }
+            return SweepResult { preds, pred_links };
+        }
+    }
+
+    /// Sweep-and-fence loop of `remove`'s phase 3 for victims with upper levels
+    /// (see the narration at the call site): sweeps, then bumps every upper
+    /// level's canonical pred link against the sweep's observed words; retries
+    /// the whole pass on any interference.
+    fn fence(&self, key: &K, victim: *mut Node<K>, height: usize, handle: &mut S::Handle) {
+        'fence: loop {
+            let sweep = self.sweep(key, victim, height, handle);
+            for level in 1..height {
+                // SAFETY: `preds[level]` is the sentinel or still protected in
+                // the pred slot of this *or a higher* level since the sweep
+                // above (a canonical pred carried down without a Less-step at
+                // this level was protected where it was last advanced, and
+                // lower-level iterations never overwrite higher pred slots).
+                if unsafe { &*sweep.preds[level] }.next[level]
+                    .bump_version(sweep.pred_links[level], Ordering::AcqRel, Ordering::Acquire)
+                    .is_err()
+                {
+                    continue 'fence;
+                }
+            }
+            return;
+        }
     }
 
     /// Removes `key`; returns false if it was not present.
@@ -365,12 +645,12 @@ where
         for level in (1..height).rev() {
             loop {
                 // SAFETY: `victim` protected.
-                let next = unsafe { &*victim }.next[level].load(Ordering::Acquire);
-                if is_marked(next) {
+                let w = unsafe { &*victim }.next[level].load(Ordering::Acquire);
+                if w.is_marked() {
                     break;
                 }
                 if unsafe { &*victim }.next[level]
-                    .compare_exchange(next, marked(next), Ordering::AcqRel, Ordering::Acquire)
+                    .try_mark(w, Ordering::AcqRel, Ordering::Acquire)
                     .is_ok()
                 {
                     break;
@@ -382,36 +662,67 @@ where
         // whose CAS succeeds owns the deletion and is the only one to retire.
         loop {
             // SAFETY: `victim` protected.
-            let next = unsafe { &*victim }.next[0].load(Ordering::Acquire);
-            if is_marked(next) {
+            let w = unsafe { &*victim }.next[0].load(Ordering::Acquire);
+            if w.is_marked() {
                 // Another remover won; this call observes the key as absent.
                 handle.clear_protections();
                 handle.end_op();
                 return false;
             }
             if unsafe { &*victim }.next[0]
-                .compare_exchange(next, marked(next), Ordering::AcqRel, Ordering::Acquire)
-                .is_ok()
+                .try_mark(w, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
             {
-                // Phase 3: physical removal. Re-run `find` until the victim no
-                // longer appears among any level's successors — every pass snips
-                // it from whatever levels it is still linked at — then retire it.
+                continue;
+            }
+            // Phase 3: physical removal, then upper-level fencing, then retire.
+            //
+            // One `sweep` pass walks every level through the whole equal-key
+            // run, snipping the (marked) victim wherever it is still linked —
+            // also when it hides behind an equal-key node that a plain `find`
+            // stops at — and, because the walk is top-down, ends with the
+            // victim's *permanent* absence from level 0 (a node is never
+            // re-linked at level 0). The fence pass then bumps the version of
+            // the canonical pred link at every upper level of the victim's
+            // tower, each CAS expecting the exact word the sweep last observed
+            // (or wrote) there. A successful bump therefore certifies the link
+            // was untouched from the sweep's visit until a moment *after* the
+            // level-0 unlink — so every stale insert capture of that link
+            // predates the bump and fails its validate-on-link CAS, while any
+            // insert validating later observes `succs[0] != node` and never
+            // CASes. A failed bump means something (possibly a stale re-link of
+            // the victim) touched the link: re-sweep — which snips any
+            // re-linked victim — and re-fence. Each stale inserter can disturb
+            // a level at most once (its next validation sees the victim gone),
+            // so the loop converges.
+            if height == 1 {
+                // A level-0-only victim has no upper levels: no phase-2 link CAS
+                // for it exists anywhere, level 0 never re-links a node, and it
+                // cannot hide behind an equal-key node at level 0 (a new
+                // equal-key insert can only observe it marked, in which case its
+                // `find` snips it rather than linking in front of it). Sweeping
+                // until it leaves level 0 is therefore a complete phase 3 — no
+                // fence pass needed.
                 loop {
-                    let sweep = self.find(key, handle);
-                    if !sweep.succs.contains(&victim) {
+                    let r = self.find(key, handle);
+                    if r.succs[0] != victim {
                         break;
                     }
                 }
-                // SAFETY: the victim is unlinked from every level reachable from
-                // the head (all traversals validate against unmarked predecessor
-                // links, so no new protection of it can be validated), it was
-                // allocated via `Node::alloc`, and only the level-0 winner — this
-                // thread — retires it.
-                unsafe { retire_box_with_birth(handle, victim, (*victim).birth_era) };
-                handle.clear_protections();
-                handle.end_op();
-                return true;
+            } else {
+                self.fence(key, victim, height, handle);
             }
+            // Pause point: retire is now decided; audits schedule against it.
+            crate::interleave::hit("skiplist::remove::pre_retire");
+            // SAFETY: the victim is unlinked from every level reachable from the
+            // head and every upper-level pred link has been version-fenced, so no
+            // stale insert CAS can re-link it and no traversal can validate a new
+            // protection for it; it was allocated via `Node::alloc`, and only the
+            // level-0 winner — this thread — retires it.
+            unsafe { retire_box_with_birth(handle, victim, (*victim).birth_era) };
+            handle.clear_protections();
+            handle.end_op();
+            return true;
         }
     }
 
@@ -422,26 +733,28 @@ where
         let mut count = 0;
         let mut prev = self.head_ptr();
         // SAFETY: same discipline as `find`, restricted to level 0.
-        let mut curr = unmarked(unsafe { &*prev }.next[0].load(Ordering::Acquire));
+        let mut w = unsafe { &*prev }.next[0].load(Ordering::Acquire);
         loop {
+            let curr = w.ptr();
             if curr.is_null() {
                 break;
             }
             handle.protect(HP_CURSOR, curr.cast());
-            if unsafe { &*prev }.next[0].load(Ordering::Acquire) != curr {
+            let w2 = unsafe { &*prev }.next[0].load(Ordering::Acquire);
+            if w2.ptr() != curr || w2.is_marked() {
                 // Restart on interference.
                 count = 0;
                 prev = self.head_ptr();
-                curr = unmarked(unsafe { &*prev }.next[0].load(Ordering::Acquire));
+                w = unsafe { &*prev }.next[0].load(Ordering::Acquire);
                 continue;
             }
-            let (next, marked_now) = decompose(unsafe { &*curr }.next[0].load(Ordering::Acquire));
-            if !marked_now {
+            let cw = unsafe { &*curr }.next[0].load(Ordering::Acquire);
+            if !cw.is_marked() {
                 count += 1;
                 prev = curr;
                 handle.protect(pred_slot(0), curr.cast());
             }
-            curr = next;
+            w = cw;
         }
         handle.clear_protections();
         handle.end_op();
@@ -458,11 +771,11 @@ impl<K, S: Smr> Drop for LockFreeSkipList<K, S> {
     fn drop(&mut self) {
         // Exclusive access: free every node still linked at level 0. Unlinked nodes
         // are owned by the reclamation scheme.
-        let mut curr = unmarked(self.head.next[0].load(Ordering::Relaxed));
+        let mut curr = self.head.next[0].load(Ordering::Relaxed).ptr();
         while !curr.is_null() {
             // SAFETY: exclusive access; level 0 links every live node exactly once.
             let boxed = unsafe { Box::from_raw(curr) };
-            curr = unmarked(boxed.next[0].load(Ordering::Relaxed));
+            curr = boxed.next[0].load(Ordering::Relaxed).ptr();
         }
     }
 }
@@ -532,6 +845,21 @@ mod tests {
             }
         }
         assert_eq!(sl.len(&mut h), reference.len());
+    }
+
+    #[test]
+    fn same_key_churn_single_thread() {
+        // Exercises the phase-3 sweep + fence pass on every removal, including
+        // re-insertions of the same key right after a remove (fresh node, same
+        // key — the configuration the equal-run sweep exists for).
+        let sl = leaky_skiplist();
+        let mut h = sl.register();
+        for round in 0..2000_u64 {
+            assert!(sl.insert(42, &mut h), "round {round}: insert");
+            assert!(sl.remove(&42, &mut h), "round {round}: remove");
+            assert!(!sl.contains(&42, &mut h));
+        }
+        assert_eq!(sl.len(&mut h), 0);
     }
 
     #[test]

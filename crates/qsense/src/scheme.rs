@@ -292,28 +292,30 @@ impl QSense {
             // the CAS, so a handle drop (and possible re-registration) slipping
             // into the gap is detected instead of stranding a flag.
             let gen = self.registry.generation(i);
+            // Dead-generation flags — strands of an evictor whose plant landed
+            // between a dying owner's final `mark_active` and its release, or
+            // of an evictor that died between its plant and its own post-CAS
+            // retraction — are retracted here, flag and counter **in the same
+            // pass**, so a strand heals in exactly one sweep. This covers both
+            // a vacant slot (even `gen`) and a slot that was already re-claimed
+            // (odd `gen`, where previously only the successor's next
+            // `mark_active` would rebalance). Only values *below* the observed
+            // generation are provably dead — a value equal to an odd `gen` is a
+            // live eviction of the current tenant and must not be disturbed —
+            // and the exact-value CAS loses to any concurrent owner clear
+            // (which then owns the matching decrement).
+            let stale = record.evicted.load(Ordering::Acquire);
+            if stale != 0
+                && stale < gen
+                && record
+                    .evicted
+                    .compare_exchange(stale, 0, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            {
+                self.evicted_threads.fetch_sub(1, Ordering::Relaxed);
+            }
             if gen.is_multiple_of(2) {
-                // Vacant slot. An evictor that raced the previous owner's drop
-                // (its plant landing between the owner's final `mark_active` and
-                // the release's generation bump passes the post-CAS re-check) can
-                // have left a dead-generation flag and its counter increment
-                // behind; retract it here so the over-count lasts at most until
-                // the next sweep rather than until the slot's next registration.
-                // Only values *below* the observed vacant generation are
-                // provably dead — if the slot was re-claimed between our two
-                // reads, a fresh legitimate eviction carries a *larger* (odd)
-                // generation and must not be disturbed; the exact-value CAS
-                // likewise loses to any concurrent owner clear.
-                let stale = record.evicted.load(Ordering::Acquire);
-                if stale != 0
-                    && stale < gen
-                    && record
-                        .evicted
-                        .compare_exchange(stale, 0, Ordering::AcqRel, Ordering::Relaxed)
-                        .is_ok()
-                {
-                    self.evicted_threads.fetch_sub(1, Ordering::Relaxed);
-                }
+                // Vacant slot: nothing to evict.
                 continue;
             }
             if !record.is_evicted(gen)
@@ -687,8 +689,9 @@ impl Drop for QSenseHandle {
         // `note_activity` above but before the release's generation bump passes
         // the evictor's own post-CAS re-check, stranding one counter increment
         // (conservative — fast-path frees route through the always-safe Cadence
-        // check) until the next eviction sweep's vacant-slot retraction or the
-        // slot's next registration clears it.
+        // check) until the next eviction sweep's dead-flag retraction (which
+        // rebalances flag and counter in one pass, whether the slot is still
+        // vacant or already re-claimed) or the slot's next registration.
         self.scheme.registry.release(self.slot);
         // Recycle the workspace to the next registrant (see `HandleCache`).
         self.scheme.handle_cache.park(ScanParts {
@@ -894,6 +897,51 @@ mod tests {
         assert_eq!(record.evicted.load(Ordering::Acquire), 0);
         // Idempotent: a second sweep changes nothing.
         assert_eq!(scheme.evict_unresponsive(), 0);
+        assert_eq!(scheme.evicted_count(), 0);
+    }
+
+    /// The drop-race strand must heal in **exactly one sweep** even when the
+    /// slot has already been re-claimed by a successor: the planting evictor
+    /// died before its own retraction, the flag carries the dead generation,
+    /// and the successor has not passed an operation boundary since — the
+    /// sweep's dead-flag pass (not the successor's activity) rebalances.
+    #[test]
+    fn eviction_sweep_retracts_counter_strands_on_reclaimed_slots_in_one_sweep() {
+        use reclaim_core::{Clock, ManualClock};
+        use std::time::Duration;
+        let manual = ManualClock::new();
+        let scheme = QSense::new(
+            SmrConfig::default()
+                .with_max_threads(1)
+                .with_rooster_threads(0)
+                .with_eviction_timeout(Some(Duration::from_millis(1)))
+                .with_clock(Clock::manual(manual.clone())),
+        );
+        let stale_gen = {
+            let handle = scheme.register();
+            scheme.registry.generation(handle.slot.index())
+        }; // first owner deregisters
+        let successor = scheme.register();
+        let slot = successor.slot.index();
+        let gen_now = scheme.registry.generation(slot);
+        assert_eq!(gen_now, stale_gen + 2, "same slot, next tenancy");
+        // Replay the dead evictor's writes against the re-claimed slot.
+        scheme.evicted_threads.fetch_add(1, Ordering::Relaxed);
+        let record = scheme.registry.get(slot);
+        record.evicted.store(stale_gen, Ordering::Release);
+        assert_eq!(scheme.evicted_count(), 1, "stranded over-count");
+        assert!(!record.is_evicted(gen_now), "dead flag is never honoured");
+        // One sweep heals both halves — without evicting the (fresh) successor.
+        assert_eq!(scheme.evict_unresponsive(), 0);
+        assert_eq!(scheme.evicted_count(), 0, "counter rebalanced in one sweep");
+        assert_eq!(record.evicted.load(Ordering::Acquire), 0, "flag retracted");
+        // The successor's tenancy is untouched: it can still be legitimately
+        // evicted afterwards.
+        manual.advance(Duration::from_millis(5));
+        assert_eq!(scheme.evict_unresponsive(), 1);
+        assert!(record.is_evicted(gen_now));
+        assert_eq!(scheme.evicted_count(), 1);
+        drop(successor);
         assert_eq!(scheme.evicted_count(), 0);
     }
 

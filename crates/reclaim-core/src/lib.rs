@@ -82,6 +82,77 @@
 //!    still reachable (Condition 1 of the paper);
 //! 3. once the scheme invokes the destructor the node is *free* and must never be
 //!    touched again.
+//!
+//! ## Skip-list linking safety argument
+//!
+//! Rule 2's "validated while the node was still reachable" silently assumes a
+//! fourth rule that every scanning scheme needs from the *data structure*:
+//!
+//! 4. **a retired node is never re-linked** — otherwise a reader could validate
+//!    a fresh protection for it through the stale link *after* a scan already
+//!    found it unprotected and freed it.
+//!
+//! The linked list and the BST get rule 4 for free, because their
+//! validate-then-CAS pattern targets the very word it validated: any overlap of
+//! a removal changes that word (the list marks the *outgoing* pointer of the
+//! deleted node; the BST flags/tags the edge before splicing), so a stale CAS
+//! fails on plain pointer+mark/clean-edge equality, and hazard-pointer
+//! protection of the expected successor rules out address-reuse ABA (the
+//! in-code notes at the `list::insert::pre_link_cas` and
+//! `bst::insert::pre_link_cas` pause points carry the per-structure argument,
+//! each pinned by a forced-schedule test in `tests/interleaving_harness.rs`).
+//!
+//! The skip list is the one structure where the pattern is *split*: `insert`'s
+//! phase-2 membership validation (`succs[0] == node`, level 0) and its link CAS
+//! (`pred.next[level]`, level ≥ 1) touch **different words**. A complete
+//! `remove` — mark all levels, sweep, retire — fits between them while leaving
+//! the CASed word bit-identical, so pointer equality proves nothing and the
+//! stale CAS would re-link a retired node, violating rule 4. The fix is a
+//! two-sided protocol over **versioned links** (`lockfree-ds::tagged`
+//! `VersionedAtomic`: pointer + mark + a 16-bit per-link version that every
+//! successful CAS bumps):
+//!
+//! * **Validate-on-link** — the link CAS's expected value is the full
+//!   `LinkWord` (pointer *and* version) observed by the same traversal that
+//!   validated membership, so "the link looks unchanged" and "the link is
+//!   unchanged since my validation" coincide;
+//! * **Upper-level fencing** — the remover's phase 3 first sweeps the victim
+//!   out of every level *walking through equal-key runs* (a marked victim can
+//!   transiently hide behind an equal-key node, where a plain `find` — which
+//!   stops at the first key ≥ k — would never see it), then bumps the version
+//!   of the canonical pred link at every upper level of the victim's tower. Any
+//!   insert whose validation predates the sweep now fails its versioned CAS;
+//!   any insert validating afterwards observes `succs[0] != node` and stops
+//!   linking. Only after every fence bump lands while the victim is observed
+//!   absent does the remover retire.
+//!
+//! Why each scheme's validation is sound given rule 4:
+//!
+//! * **HP / Cadence / QSense (fallback)** — a protection is honoured only if
+//!   validated through a link the node is still reachable from; rule 4 makes
+//!   "retired" imply "never again reachable", so every honoured protection was
+//!   published before the retire and is seen by every subsequent scan (HP: the
+//!   publication fence; Cadence/QSense: rooster-bounded store visibility, which
+//!   the deferred-reclamation age outwaits).
+//! * **HE** — era reservations cover a node only while the reader's `[lower,
+//!   upper]` interval overlaps the node's birth–retire interval; a re-linked
+//!   retired node could be validated by a reader whose interval starts entirely
+//!   *after* the retire era, which no scan would wait for. Rule 4 removes the
+//!   case.
+//! * **QSBR / EBR / QSense (fast path)** — already safe without rule 4: the
+//!   stale re-link is performed by a thread inside an operation, so the grace
+//!   period that must elapse before the victim is freed cannot complete while
+//!   that thread still holds (and could republish) the reference. The fix turns
+//!   their probabilistic non-exposure into the same structural guarantee the
+//!   scanning schemes get.
+//!
+//! Version wrap (2¹⁶) is analyzed in `lockfree-ds::tagged`'s module docs: a
+//! dangerous wrap requires one traversal to stall across ≥ 32 768 successful
+//! unlink/re-link cycles of one node its own protection keeps alive — and
+//! retired nodes, the only dangerous targets, are never re-linked at all. The
+//! deterministic regression schedule (which re-linked a retired node on the
+//! pre-versioned skip list under hp, cadence, he and qsense alike) lives in
+//! `tests/interleaving_harness.rs`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

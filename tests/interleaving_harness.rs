@@ -1,0 +1,265 @@
+//! Deterministic interleaving regression tests.
+//!
+//! These tests use the `lockfree_ds::interleave` harness (cfg-gated pause
+//! points at the validate/CAS boundaries of every structure) to force, every
+//! run, the thread schedules that stress tests cross only once in millions of
+//! operations. Each test documents the window it drives and the invariant that
+//! makes (or made) the window dangerous.
+//!
+//! The headline schedule is the **skip-list upper-level re-link race**: a
+//! complete `remove` (mark all levels + sweep + retire) slipped between
+//! `insert`'s per-level validation (`succs[0] == node`) and its
+//! `pred.next[level]` CAS. On the pre-versioned-link skip list this schedule
+//! re-linked a *retired* node at an upper level (the assertion below failed
+//! with the victim's address present in the level-1 chain); with versioned
+//! links + remove's upper-level bump pass the stale CAS loses its version
+//! validation and the victim stays unreachable, under every scheme.
+//!
+//! The harness hooks are process-global, so every test here serializes on
+//! [`schedule_lock`].
+
+use lockfree_ds::interleave::Trap;
+use lockfree_ds::{HarrisMichaelList, LockFreeBst, LockFreeSkipList, SKIPLIST_HP_SLOTS};
+use reclaim_core::{Smr, SmrConfig};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::thread;
+
+/// Serializes the tests in this binary: the pause-point registry is global.
+fn schedule_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// A scheme config that never frees during the schedule: scans and quiescent
+/// bookkeeping are pushed past the horizon so the post-schedule structure walk
+/// (addresses only) is safe even when a schedule exposes a bug, and the forced
+/// window is not perturbed by reclamation work inside `begin_op`.
+fn deferred_config() -> SmrConfig {
+    SmrConfig::for_skiplist()
+        .with_max_threads(4)
+        .with_hp_per_thread(SKIPLIST_HP_SLOTS)
+        .with_scan_threshold(1 << 30)
+        .with_quiescence_threshold(1 << 30)
+        .with_fallback_threshold(1 << 30)
+        .with_rooster_threads(0)
+}
+
+/// Forces the skip-list schedule:
+///
+/// 1. thread A runs `insert_with_height(10, 2)`: phase 1 links the node at
+///    level 0, phase 2 validates `succs[0] == node` for level 1 and parks at
+///    the pause point immediately before the `pred.next[1]` CAS;
+/// 2. the main thread runs `remove(&10)` to completion — logical deletion of
+///    every level, physical sweep, retire;
+/// 3. thread A is released and takes (or, fixed: fails) its stale CAS.
+///
+/// Returns the victim's address and the level-1 chain after both threads
+/// finished, so callers can assert the victim was not re-linked.
+fn force_skiplist_relink_schedule<S: Smr>(scheme: Arc<S>) -> (usize, Vec<usize>) {
+    let set = Arc::new(LockFreeSkipList::<u64, S>::new(scheme));
+    let mut main_handle = set.register();
+
+    // Neighbor keys so the victim has non-sentinel predecessors at level 0.
+    assert!(set.insert(5, &mut main_handle));
+
+    let trap = Trap::arm("skiplist::insert::upper::pre_link_cas");
+    let inserter = {
+        let set = Arc::clone(&set);
+        thread::spawn(move || {
+            let mut handle = set.register();
+            // Forced height 2: the node must have an upper level to link.
+            assert!(
+                set.insert_with_height(10, 2, &mut handle),
+                "level-0 linking (the linearization point) must succeed"
+            );
+        })
+    };
+
+    // Window open: the inserter has validated `succs[0] == node` for level 1
+    // and sits right before its pred-link CAS.
+    trap.wait_for_parked();
+
+    // The victim is the unique key-10 node: last in level-0 order (after 5),
+    // currently linked at level 0 only.
+    let level0_before = set.level_addrs(0);
+    assert_eq!(
+        level0_before.len(),
+        2,
+        "keys 5 and 10 are linked at level 0"
+    );
+    let victim = *level0_before.last().unwrap();
+
+    // A complete remove slips through the window: marks every level, sweeps
+    // the victim out of the level-0 chain, and retires it.
+    assert!(
+        set.remove(&10, &mut main_handle),
+        "the remover owns the level-0 logical deletion"
+    );
+    assert!(
+        !set.level_addrs(0).contains(&victim),
+        "after remove the victim is physically unlinked from level 0"
+    );
+
+    // Close the window: the inserter resumes with its stale validation.
+    trap.release();
+    inserter.join().unwrap();
+
+    let level1_after = set.level_addrs(1);
+    (victim, level1_after)
+}
+
+/// The invariant the race breaks: once `remove` has retired the victim, no
+/// level may ever link it again — a reader traversing the upper level could
+/// otherwise validate a protection for (and dereference) freed memory.
+fn assert_victim_not_relinked<S: Smr>(scheme: Arc<S>, scheme_name: &str) {
+    let _serial = schedule_lock();
+    let (victim, level1) = force_skiplist_relink_schedule(scheme);
+    assert!(
+        !level1.contains(&victim),
+        "{scheme_name}: retired victim {victim:#x} was re-linked at level 1 \
+         by a stale insert CAS (upper-level re-link race): level 1 = {level1:x?}"
+    );
+}
+
+#[test]
+fn skiplist_remove_between_validate_and_cas_is_harmless_under_hp() {
+    assert_victim_not_relinked(hazard::Hazard::new(deferred_config()), "hp");
+}
+
+#[test]
+fn skiplist_remove_between_validate_and_cas_is_harmless_under_cadence() {
+    assert_victim_not_relinked(cadence::Cadence::new(deferred_config()), "cadence");
+}
+
+#[test]
+fn skiplist_remove_between_validate_and_cas_is_harmless_under_he() {
+    assert_victim_not_relinked(he::He::new(deferred_config()), "he");
+}
+
+#[test]
+fn skiplist_remove_between_validate_and_cas_is_harmless_under_qsense() {
+    assert_victim_not_relinked(qsense::QSense::new(deferred_config()), "qsense");
+}
+
+// ---------------------------------------------------------------------------
+// Audit: the analogous validate-then-CAS windows in the linked list. These are
+// closed *without* versioned links because the insert CAS targets the very
+// link the search validated (see the in-code note at the pause point in
+// `list.rs`); the schedules below prove the stale CAS fails and the insert
+// recovers by retrying.
+// ---------------------------------------------------------------------------
+
+/// Parks an inserter of key 10 (between 5 and 15) right before its link CAS,
+/// completes `remove(&removed_key)` on the main thread, then releases the
+/// inserter. `Trap::arrivals() >= 2` proves the stale CAS failed and the
+/// insert went around its retry loop — the window closed the safe way.
+fn force_list_schedule(removed_key: u64) {
+    let _serial = schedule_lock();
+    let set = Arc::new(HarrisMichaelList::<u64, _>::new(hazard::Hazard::new(
+        deferred_config(),
+    )));
+    let mut main_handle = set.register();
+    assert!(set.insert(5, &mut main_handle));
+    assert!(set.insert(15, &mut main_handle));
+
+    let trap = Trap::arm("list::insert::pre_link_cas");
+    let inserter = {
+        let set = Arc::clone(&set);
+        thread::spawn(move || {
+            let mut handle = set.register();
+            assert!(set.insert(10, &mut handle), "insert must eventually win");
+        })
+    };
+    trap.wait_for_parked();
+    // The window: the inserter holds a validated (prev = 5, curr = 15)
+    // position; a complete remove (mark + unlink + retire) slips through it.
+    assert!(set.remove(&removed_key, &mut main_handle));
+    trap.release();
+    inserter.join().unwrap();
+
+    assert!(
+        trap.arrivals() >= 2,
+        "the stale CAS must fail and retry (arrivals = {})",
+        trap.arrivals()
+    );
+    assert!(set.contains(&10, &mut main_handle));
+    assert!(!set.contains(&removed_key, &mut main_handle));
+    let survivors = [5_u64, 15]
+        .iter()
+        .filter(|k| **k != removed_key)
+        .filter(|k| set.contains(k, &mut main_handle))
+        .count();
+    assert_eq!(survivors, 1, "the untouched neighbour must survive");
+}
+
+#[test]
+fn list_insert_survives_successor_removed_in_the_window() {
+    // Removing `curr` (15) swings `prev.next` to its successor: the stale CAS
+    // expecting 15 fails on pointer inequality.
+    force_list_schedule(15);
+}
+
+#[test]
+fn list_insert_survives_predecessor_removed_in_the_window() {
+    // Removing `prev` (5) marks its outgoing pointer: the stale CAS fails on
+    // the mark bit even though the pointer half still reads `curr` — the
+    // reason the mark lives in the *outgoing* link.
+    force_list_schedule(5);
+}
+
+// ---------------------------------------------------------------------------
+// Audit: the analogous windows in the external BST. Closed without versions
+// because removal dirties (flags/tags) the exact edge word the insert CAS
+// expects clean (see the in-code note at the pause point in `bst.rs`).
+// ---------------------------------------------------------------------------
+
+/// Builds {10, 30} (so inserting 20 targets the edge internal(30).left →
+/// leaf(10) with sibling leaf(30)), parks the inserter of 20 right before its
+/// edge CAS, completes `remove(&removed_key)`, then releases.
+fn force_bst_schedule(removed_key: u64) {
+    let _serial = schedule_lock();
+    let set = Arc::new(LockFreeBst::<u64, _>::new(hazard::Hazard::new(
+        deferred_config(),
+    )));
+    let mut main_handle = set.register();
+    assert!(set.insert(10, &mut main_handle));
+    assert!(set.insert(30, &mut main_handle));
+
+    let trap = Trap::arm("bst::insert::pre_link_cas");
+    let inserter = {
+        let set = Arc::clone(&set);
+        thread::spawn(move || {
+            let mut handle = set.register();
+            assert!(set.insert(20, &mut handle), "insert must eventually win");
+        })
+    };
+    trap.wait_for_parked();
+    // The window: removing 10 flags the inserter's target edge (injection);
+    // removing 30 tags that edge as the survivor and splices the inserter's
+    // validated *parent* out of the tree entirely (the parent is retired).
+    assert!(set.remove(&removed_key, &mut main_handle));
+    trap.release();
+    inserter.join().unwrap();
+
+    assert!(
+        trap.arrivals() >= 2,
+        "the stale edge CAS must fail and retry (arrivals = {})",
+        trap.arrivals()
+    );
+    assert!(set.contains(&20, &mut main_handle));
+    assert!(!set.contains(&removed_key, &mut main_handle));
+    let untouched = if removed_key == 10 { 30 } else { 10 };
+    assert!(set.contains(&untouched, &mut main_handle));
+}
+
+#[test]
+fn bst_insert_survives_target_leaf_removed_in_the_window() {
+    force_bst_schedule(10);
+}
+
+#[test]
+fn bst_insert_survives_parent_spliced_out_in_the_window() {
+    force_bst_schedule(30);
+}

@@ -115,6 +115,96 @@ fn list_qsense_heavier_stress() {
     stress_cell(Structure::List, SchemeKind::QSense, 6, 20_000);
 }
 
+/// High-contention same-key insert/remove storm over the skip list: every
+/// thread hammers the *same* key, so remove's sweep + upper-level fence pass
+/// and insert's validate-on-link CAS collide constantly — the workload whose
+/// interleavings brush the (closed) upper-level re-link window hardest, with
+/// equal-key nodes transiently coexisting at upper levels.
+///
+/// Reclamation accounting must stay exact through the storm:
+/// * **no double retire** — every successful remove retires its victim exactly
+///   once, so the schemes' retired counter equals the thread-reported number of
+///   successful removes plus the final flush (nothing else retires);
+/// * **retired ≥ freed** — nothing is freed that was not first retired.
+fn skiplist_same_key_storm(scheme: SchemeKind) {
+    const THREADS: usize = 6;
+    const OPS: u64 = 12_000;
+    let set: Arc<dyn BenchSet> = make_set(Structure::SkipList, scheme, bench_config(THREADS));
+    let balance = Arc::new(AtomicI64::new(0));
+    let removes = Arc::new(AtomicI64::new(0));
+
+    thread::scope(|scope| {
+        for t in 0..THREADS {
+            let set = Arc::clone(&set);
+            let balance = Arc::clone(&balance);
+            let removes = Arc::clone(&removes);
+            scope.spawn(move || {
+                let mut session = set.session();
+                let mut state = 0x94d0_49bb_u64.wrapping_add(t as u64);
+                let mut local: i64 = 0;
+                let mut local_removes: i64 = 0;
+                for _ in 0..OPS {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    // One single key: maximal same-key contention.
+                    if state.is_multiple_of(2) {
+                        if session.insert(7) {
+                            local += 1;
+                        }
+                    } else if session.remove(7) {
+                        local -= 1;
+                        local_removes += 1;
+                    }
+                }
+                session.flush();
+                balance.fetch_add(local, Ordering::SeqCst);
+                removes.fetch_add(local_removes, Ordering::SeqCst);
+            });
+        }
+    });
+
+    let expected = balance.load(Ordering::SeqCst);
+    assert!(
+        (0..=1).contains(&expected),
+        "one key: net balance is 0 or 1"
+    );
+    assert_eq!(
+        set.len() as i64,
+        expected,
+        "{scheme:?}: final size must equal successful inserts - removes"
+    );
+    let stats = set.smr_stats();
+    assert!(
+        stats.freed <= stats.retired,
+        "{scheme:?}: cannot free more than was retired"
+    );
+    assert_eq!(
+        stats.retired as i64,
+        removes.load(Ordering::SeqCst),
+        "{scheme:?}: exactly one retire per successful remove (no double retire, \
+         no lost retire)"
+    );
+}
+
+#[test]
+fn skiplist_same_key_storm_hp() {
+    skiplist_same_key_storm(SchemeKind::Hp);
+}
+
+#[test]
+fn skiplist_same_key_storm_cadence() {
+    skiplist_same_key_storm(SchemeKind::Cadence);
+}
+
+#[test]
+fn skiplist_same_key_storm_qsense() {
+    skiplist_same_key_storm(SchemeKind::QSense);
+}
+
+#[test]
+fn skiplist_same_key_storm_he() {
+    skiplist_same_key_storm(SchemeKind::He);
+}
+
 /// Disjoint key partitions: with no key contention, every insert and remove must
 /// succeed, so the final contents are exactly predictable.
 #[test]
