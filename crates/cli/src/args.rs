@@ -5,6 +5,7 @@
 //! parameter (`Q`, `R`, `C`, `T`, key range, update percentage) or to an experiment
 //! shape (scalability point, delay timeline, scheme comparison).
 
+use reclaim_core::EraAdvancePolicy;
 use std::time::Duration;
 use workload::{OpMix, SchemeKind, Structure};
 
@@ -59,6 +60,8 @@ pub struct CliOptions {
     pub rooster_ms: Option<u64>,
     /// Eviction timeout override, in milliseconds (enables the extension).
     pub eviction_ms: Option<u64>,
+    /// Era-advance policy override for the era schemes (`--scheme he`).
+    pub era_policy: Option<EraAdvancePolicy>,
     /// Print the usage text and exit.
     pub help: bool,
 }
@@ -79,6 +82,7 @@ impl Default for CliOptions {
             fallback: None,
             rooster_ms: None,
             eviction_ms: None,
+            era_policy: None,
             help: false,
         }
     }
@@ -106,8 +110,48 @@ OPTIONS:
     --fallback <C>                            fallback threshold override
     --rooster-ms <T>                          rooster interval override (milliseconds)
     --eviction-ms <MS>                        enable the eviction extension with this timeout
+    --era-policy <static:N | adaptive[:MIN,MAX,LOW]>
+                                              era-advance policy of the era schemes (he):
+                                              a fixed allocations-per-tick interval, or an
+                                              interval adapting between MIN and MAX driven
+                                              by the LOW in-limbo low-water mark
     --help                                    print this text
 ";
+
+fn parse_era_policy(value: &str) -> Result<EraAdvancePolicy, String> {
+    if let Some(interval) = value.strip_prefix("static:") {
+        let interval: usize = parse_number("--era-policy static", interval)?;
+        if interval == 0 {
+            return Err("--era-policy static interval must be positive".to_string());
+        }
+        return Ok(EraAdvancePolicy::Static(interval));
+    }
+    if value == "adaptive" {
+        return Ok(EraAdvancePolicy::adaptive());
+    }
+    if let Some(params) = value.strip_prefix("adaptive:") {
+        let parts: Vec<&str> = params.split(',').collect();
+        if parts.len() != 3 {
+            return Err(format!(
+                "--era-policy adaptive expects MIN,MAX,LOW — got '{params}'"
+            ));
+        }
+        let min_interval: usize = parse_number("--era-policy adaptive MIN", parts[0])?;
+        let max_interval: usize = parse_number("--era-policy adaptive MAX", parts[1])?;
+        let limbo_low_water: usize = parse_number("--era-policy adaptive LOW", parts[2])?;
+        if min_interval == 0 || min_interval > max_interval {
+            return Err("--era-policy adaptive requires 0 < MIN <= MAX".to_string());
+        }
+        return Ok(EraAdvancePolicy::Adaptive {
+            min_interval,
+            max_interval,
+            limbo_low_water,
+        });
+    }
+    Err(format!(
+        "unknown era policy '{value}' (expected static:N, adaptive, or adaptive:MIN,MAX,LOW)"
+    ))
+}
 
 fn parse_structure(value: &str) -> Result<Structure, String> {
     match value {
@@ -184,6 +228,7 @@ impl CliOptions {
                 "--fallback" => options.fallback = Some(parse_number(arg, &value_for(arg)?)?),
                 "--rooster-ms" => options.rooster_ms = Some(parse_number(arg, &value_for(arg)?)?),
                 "--eviction-ms" => options.eviction_ms = Some(parse_number(arg, &value_for(arg)?)?),
+                "--era-policy" => options.era_policy = Some(parse_era_policy(&value_for(arg)?)?),
                 "--help" | "-h" => options.help = true,
                 other => return Err(format!("unknown flag '{other}'\n\n{USAGE}")),
             }
@@ -261,6 +306,8 @@ mod tests {
             "5",
             "--eviction-ms",
             "100",
+            "--era-policy",
+            "adaptive:4,256,512",
         ])
         .unwrap();
         assert_eq!(options.structure, Structure::HashMap);
@@ -276,7 +323,40 @@ mod tests {
         assert_eq!(options.fallback, Some(1_024));
         assert_eq!(options.rooster_ms, Some(5));
         assert_eq!(options.eviction_ms, Some(100));
+        assert_eq!(
+            options.era_policy,
+            Some(EraAdvancePolicy::Adaptive {
+                min_interval: 4,
+                max_interval: 256,
+                limbo_low_water: 512,
+            })
+        );
         assert_eq!(options.effective_key_range(), 5_000);
+    }
+
+    #[test]
+    fn era_policy_flag_parses_every_shape() {
+        assert_eq!(
+            parse(&["--era-policy", "static:32"]).unwrap().era_policy,
+            Some(EraAdvancePolicy::Static(32))
+        );
+        assert_eq!(
+            parse(&["--era-policy", "adaptive"]).unwrap().era_policy,
+            Some(EraAdvancePolicy::adaptive())
+        );
+        assert_eq!(parse(&[]).unwrap().era_policy, None);
+        assert!(parse(&["--era-policy", "static:0"])
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse(&["--era-policy", "adaptive:9,3,0"])
+            .unwrap_err()
+            .contains("MIN <= MAX"));
+        assert!(parse(&["--era-policy", "adaptive:1,2"])
+            .unwrap_err()
+            .contains("MIN,MAX,LOW"));
+        assert!(parse(&["--era-policy", "sometimes"])
+            .unwrap_err()
+            .contains("unknown era policy"));
     }
 
     #[test]

@@ -51,6 +51,9 @@ fn build_config(options: &CliOptions) -> reclaim_core::SmrConfig {
     if let Some(ms) = options.eviction_ms {
         config = config.with_eviction_timeout(Some(Duration::from_millis(ms)));
     }
+    if let Some(policy) = options.era_policy {
+        config = config.with_era_policy(policy);
+    }
     config
 }
 
@@ -89,7 +92,7 @@ fn main() {
 
     let mix = options.op_mix();
     println!(
-        "qsense-bench: {} / {:?}, {} threads, {:.1}s, {}% reads / {}% inserts / {}% deletes, key range {}{}{}",
+        "qsense-bench: {} / {:?}, {} threads, {:.1}s, {}% reads / {}% inserts / {}% deletes, key range {}{}{}{}",
         options.structure.name(),
         options.schemes,
         options.threads,
@@ -100,6 +103,11 @@ fn main() {
         options.effective_key_range(),
         if options.inject_delay { ", periodic delay injected" } else { "" },
         if options.eviction_ms.is_some() { ", eviction extension on" } else { "" },
+        match options.era_policy {
+            Some(reclaim_core::EraAdvancePolicy::Static(_)) => ", era policy: static",
+            Some(reclaim_core::EraAdvancePolicy::Adaptive { .. }) => ", era policy: adaptive",
+            None => "",
+        },
     );
 
     let schemes = options.schemes.schemes();

@@ -4,7 +4,7 @@ use crate::era::{EraRecord, INACTIVE_LOWER};
 use reclaim_core::retired::DropFn;
 use reclaim_core::stats::{StatStripe, StatsSnapshot};
 use reclaim_core::{
-    CachePadded, Era, EraClock, HandleCache, ParkedChain, Registry, RetiredPtr, SegBag, SegPool,
+    CachePadded, Era, EraPacer, HandleCache, ParkedChain, Registry, RetiredPtr, SegBag, SegPool,
     SlotId, Smr, SmrConfig, SmrHandle,
 };
 use std::sync::atomic::{fence, Ordering};
@@ -26,9 +26,11 @@ const ERA_BUCKETS: usize = 8;
 /// birth clears every reachable reservation, or *skip the walk entirely* when
 /// even the youngest birth is covered. The skip is what keeps a blocked bag —
 /// e.g. unstamped (birth-0) nodes pinned by a stalled reader — from turning
-/// every scan into an O(bag) walk. Both bounds may go stale after a partial
-/// reclaim (survivors' true range can be narrower); stale bounds only cost
-/// walks, never correctness, and they reset when the bag next drains.
+/// every scan into an O(bag) walk. Both bounds are **recomputed from the
+/// survivors** during the walk a partial reclaim already performs
+/// ([`SegBag::reclaim_if_visit`]), so a chain whose survivors are all old
+/// takes the skip fast path on the very next scan instead of re-walking the
+/// bag until it fully drains.
 struct EraChain {
     tag: Era,
     min_birth: Era,
@@ -57,13 +59,16 @@ struct HeParts {
 ///   per operation (a store to an owned padded line plus one fence) instead of
 ///   one fenced store per node traversed; mid-operation the announcement is
 ///   refreshed only when the global era actually advanced, which happens once
-///   per `era_advance_interval` allocations, not per node.
+///   per era-advance interval of allocations — a constant under
+///   [`reclaim_core::EraAdvancePolicy::Static`], limbo-adaptive under
+///   [`reclaim_core::EraAdvancePolicy::Adaptive`] (see [`EraPacer`]) — not
+///   per node.
 ///
 /// ## Protocol
 ///
 /// * **allocation** ([`SmrHandle::alloc_node`]): stamp the node with the
-///   current era (its *birth era*); every `era_advance_interval` allocations,
-///   advance the global [`EraClock`].
+///   current era (its *birth era*); every [`EraPacer::current_interval`]
+///   allocations, advance the global era clock.
 /// * **begin_op**: announce the point reservation `[e, e]` (one fenced store).
 /// * **protect**: if the global era moved since the announcement, extend the
 ///   reservation's upper bound and fence; the caller then re-validates the
@@ -92,7 +97,9 @@ struct HeParts {
 /// scheme's [`HandleCache`].
 pub struct He {
     config: SmrConfig,
-    era: EraClock,
+    /// The global era clock plus the policy that paces its advances
+    /// (static interval or limbo-adaptive; see [`EraPacer`]).
+    pacer: EraPacer,
     registry: Registry<EraRecord>,
     /// Counter stripe for events with no owning slot (parked-bag frees at drop).
     scheme_stats: CachePadded<StatStripe>,
@@ -108,9 +115,10 @@ impl He {
     pub fn new(config: SmrConfig) -> Arc<Self> {
         let registry = Registry::new(config.max_threads, |_| EraRecord::new());
         let handle_cache = HandleCache::with_capacity(config.max_threads);
+        let pacer = EraPacer::new(config.era_policy);
         Arc::new(Self {
             config,
-            era: EraClock::new(),
+            pacer,
             registry,
             scheme_stats: CachePadded::new(StatStripe::new()),
             parked: ParkedChain::new(),
@@ -130,7 +138,13 @@ impl He {
 
     /// The current global era (tests and diagnostics).
     pub fn current_era(&self) -> Era {
-        self.era.current()
+        self.pacer.current()
+    }
+
+    /// The era pacer (tests and diagnostics): exposes the current
+    /// allocations-per-tick interval and the scheme-wide limbo estimate.
+    pub fn pacer(&self) -> &EraPacer {
+        &self.pacer
     }
 
     /// Number of handle-resource bundles currently parked for reuse (tests).
@@ -155,9 +169,11 @@ impl Smr for He {
             pool: SegPool::with_node_capacity((self.config.scan_threshold + 1).min(2048)),
             reservations: Vec::with_capacity(self.config.max_threads),
         });
+        let stripe = EraPacer::stripe_for(slot.index());
         HeHandle {
             scheme: Arc::clone(self),
             slot,
+            stripe,
             limbo: std::array::from_fn(|_| EraChain {
                 tag: 0,
                 min_birth: 0,
@@ -170,6 +186,10 @@ impl Smr for He {
             announced_upper: 0,
             allocs_since_tick: 0,
             retires_since_scan: 0,
+            limbo_reported: 0,
+            scan_wholesale: 0,
+            scan_skips: 0,
+            scan_walks: 0,
         }
     }
 
@@ -211,8 +231,24 @@ pub struct HeHandle {
     /// The era last published as the reservation's upper bound; `protect`
     /// re-publishes only when the global era moved past it.
     announced_upper: Era,
+    /// Limbo stripe of the scheme's [`EraPacer`] this handle reports into.
+    stripe: usize,
+    /// Allocations since the last era tick this handle caused. Reset on
+    /// `flush` (whose scan just ticked the era) so a partial count never
+    /// carries a phantom tick across a flush or a handle generation.
     allocs_since_tick: usize,
     retires_since_scan: usize,
+    /// In-limbo count as last reported to the pacer's striped aggregate
+    /// (adaptive policy only; the pacer keeps this cursor exact across scans
+    /// and retracts it wholesale at handle exit).
+    limbo_reported: usize,
+    /// Diagnostics: chains dispatched wholesale (O(1) `reclaim_all`) by this
+    /// handle's scans.
+    scan_wholesale: u64,
+    /// Diagnostics: chains whose walk was skipped (every birth covered).
+    scan_skips: u64,
+    /// Diagnostics: chains walked node-by-node (O(bag) partial reclaim).
+    scan_walks: u64,
 }
 
 impl HeHandle {
@@ -227,6 +263,15 @@ impl HeHandle {
     /// Total retired-but-unreclaimed nodes across the era buckets.
     pub fn limbo_size(&self) -> usize {
         self.limbo.iter().map(|chain| chain.bag.len()).sum()
+    }
+
+    /// Diagnostics: how this handle's scans dispatched era chains, as
+    /// `(wholesale frees, skipped walks, node-by-node walks)`. The first two
+    /// are the O(1) fast paths; the third is the O(bag) partial reclaim. Used
+    /// by the tests that pin the cost class of blocked bags (a chain whose
+    /// survivors are all old must take a fast path, not re-walk every scan).
+    pub fn scan_dispatch_counts(&self) -> (u64, u64, u64) {
+        (self.scan_wholesale, self.scan_skips, self.scan_walks)
     }
 
     /// Publishes (or extends) the reservation to cover `era` and fences, so the
@@ -252,7 +297,13 @@ impl HeHandle {
         // Advance the era so the generation the current reservations announce
         // can age out even in allocation-free (pure-remove) workloads; without
         // this, a retire-only phase would never see `lower > tag` become true.
-        self.scheme.era.advance();
+        self.scheme.pacer.advance();
+        // That advance IS this handle's tick: drop any partial allocation
+        // count so the next allocation tick needs a full interval again.
+        // Without the reset, every scan (threshold-triggered, flush or drop)
+        // is followed by a phantom near-complete allocation tick and the era
+        // cadence drifts away from the policy.
+        self.allocs_since_tick = 0;
         self.reservations.clear();
         for (_, record) in self.scheme.registry.iter_all() {
             let (lower, upper) = record.load();
@@ -290,24 +341,54 @@ impl HeHandle {
                 // Either no active reservation starts at or below this chain's
                 // newest retire era, or even the chain's *oldest* birth clears
                 // every reachable upper bound: the whole chain is unreachable.
+                self.scan_wholesale += 1;
                 unsafe { chain.bag.reclaim_all(&mut self.pool) }
             } else if chain.max_birth <= max_upper {
                 // Even the chain's *youngest* birth is covered by a reachable
                 // reservation: nothing can free this pass. Skipping the walk
                 // keeps a blocked bag O(1) per scan instead of O(bag) — the
                 // Cadence early-stop analogue for era intervals.
+                self.scan_skips += 1;
                 0
             } else {
-                unsafe {
-                    chain
-                        .bag
-                        .reclaim_if(&mut self.pool, |node| node.birth_era() > max_upper)
+                // Partial reclaim: recompute both birth bounds from the
+                // survivors the walk already touches, so a chain whose
+                // survivors are all old takes a fast path next scan instead
+                // of re-walking until it fully drains (stale bounds also
+                // blocked the wholesale dispatch when the true survivor
+                // minimum had risen past every reachable upper bound).
+                self.scan_walks += 1;
+                let mut new_min = Era::MAX;
+                let mut new_max = 0;
+                let freed_here = unsafe {
+                    chain.bag.reclaim_if_visit(
+                        &mut self.pool,
+                        |node| node.birth_era() > max_upper,
+                        |survivor| {
+                            let birth = survivor.birth_era();
+                            new_min = new_min.min(birth);
+                            new_max = new_max.max(birth);
+                        },
+                    )
+                };
+                if !chain.bag.is_empty() {
+                    chain.min_birth = new_min;
+                    chain.max_birth = new_max;
                 }
+                freed_here
             };
         }
         if freed > 0 {
             self.stats().add_freed(freed as u64);
         }
+        // Report this handle's in-limbo delta into the pacer's striped
+        // aggregate and let it adapt the tick interval (no-op under the
+        // static policy). Runs after the frees so the estimate tracks the
+        // *residue* — the garbage reservations are actually pinning.
+        let in_limbo = self.limbo_size();
+        self.scheme
+            .pacer
+            .note_scan(self.stripe, in_limbo, &mut self.limbo_reported);
     }
 }
 
@@ -315,7 +396,7 @@ impl SmrHandle for HeHandle {
     fn begin_op(&mut self) {
         // One era announcement per operation: HE's whole hot-path protection
         // cost (plus the fence inside `announce`).
-        let era = self.scheme.era.current();
+        let era = self.scheme.pacer.current();
         self.active = false; // a fresh op narrows the reservation to a point
         self.announce(era);
     }
@@ -331,9 +412,9 @@ impl SmrHandle for HeHandle {
         // address are irrelevant. All that matters is that the reservation
         // covers the era at which the caller acquired the reference — so
         // re-announce only when the global era moved since the last
-        // publication (amortized: eras advance once per `era_advance_interval`
+        // publication (amortized: eras advance once per pacer interval of
         // allocations, not per node).
-        let era = self.scheme.era.current();
+        let era = self.scheme.pacer.current();
         if era != self.announced_upper || !self.active {
             self.announce(era);
         }
@@ -349,14 +430,17 @@ impl SmrHandle for HeHandle {
 
     fn alloc_node(&mut self) -> Era {
         self.allocs_since_tick += 1;
-        if self.allocs_since_tick >= self.scheme.config.era_advance_interval {
+        // The interval is the pacer's current allocations-per-tick: a policy
+        // constant (static) or tracking the scheme-wide limbo estimate
+        // (adaptive) — one relaxed load of a read-mostly padded line.
+        if self.allocs_since_tick >= self.scheme.pacer.current_interval() {
             self.allocs_since_tick = 0;
-            self.scheme.era.advance();
+            self.scheme.pacer.advance();
         }
         // The stamp may lag the era at link time (the node is published later),
         // which is the safe direction: a smaller birth era widens the node's
         // lifetime interval.
-        self.scheme.era.current()
+        self.scheme.pacer.current()
     }
 
     unsafe fn retire(&mut self, ptr: *mut u8, drop_fn: DropFn) {
@@ -371,7 +455,7 @@ impl SmrHandle for HeHandle {
         // The retire era must be a *fresh* read (see the scheme docs): any
         // reader still holding this node announced its reservation before now,
         // so monotonicity puts that announcement inside [birth, retire].
-        let retire_era = self.scheme.era.current();
+        let retire_era = self.scheme.pacer.current();
         // SAFETY: forwarded from the caller's contract. `retired_at` carries
         // the logical retire era — HE never consults wall-clock age.
         let node = unsafe { RetiredPtr::with_birth(ptr, drop_fn, retire_era, birth_era) };
@@ -416,23 +500,44 @@ impl SmrHandle for HeHandle {
         let mut adopted = SegBag::new();
         self.scheme.parked.adopt_into(&mut adopted);
         if !adopted.is_empty() {
-            let era = self.scheme.era.current();
+            // The adopted nodes leave the pacer's parked counter and re-enter
+            // this handle's own limbo reports (the scan below files the first
+            // one) — the hand-off conserves the scheme-wide estimate.
+            self.scheme.pacer.note_parked(-(adopted.len() as i64));
+            let era = self.scheme.pacer.current();
+            // Adopted nodes carry real per-node birth stamps: compute the true
+            // birth bounds while splicing (an O(adopted) walk on a churn-only
+            // path) instead of clamping `min_birth` to NO_BIRTH_ERA /
+            // `max_birth` to the current era. The clamp cost the chain both
+            // O(1) dispatches for as long as any reservation was active: the
+            // wholesale test compared the stalled reader against "born before
+            // every era" and the skip test against "born just now", so one
+            // handle-churn event degraded the whole adopted chain to O(bag)
+            // walks. Genuinely unstamped nodes still carry NO_BIRTH_ERA per
+            // node, which the minimum picks up naturally.
+            let mut adopted_min = Era::MAX;
+            let mut adopted_max = reclaim_core::NO_BIRTH_ERA;
+            for node in adopted.iter() {
+                let birth = node.birth_era();
+                adopted_min = adopted_min.min(birth);
+                adopted_max = adopted_max.max(birth);
+            }
             let chain = &mut self.limbo[(era % ERA_BUCKETS as u64) as usize];
-            // Adopted nodes carry their own per-node birth stamps, but the
-            // chain-level bounds must cover them: births are unknown here
-            // (conservatively "before every era") and at most the current era.
             if chain.bag.is_empty() {
                 chain.tag = era;
-                chain.min_birth = reclaim_core::NO_BIRTH_ERA;
-                chain.max_birth = era;
+                chain.min_birth = adopted_min;
+                chain.max_birth = adopted_max;
             } else {
                 chain.tag = chain.tag.max(era);
-                chain.min_birth = reclaim_core::NO_BIRTH_ERA;
-                chain.max_birth = chain.max_birth.max(era);
+                chain.min_birth = chain.min_birth.min(adopted_min);
+                chain.max_birth = chain.max_birth.max(adopted_max);
             }
             chain.bag.splice(&mut adopted);
         }
         self.retires_since_scan = 0;
+        // The scan also resets `allocs_since_tick` next to its era advance,
+        // so a flush (and the drop path through it) never leaves a phantom
+        // partial tick behind.
         self.scan();
     }
 
@@ -451,7 +556,18 @@ impl Drop for HeHandle {
         for chain in &mut self.limbo {
             leftovers.splice(&mut chain.bag);
         }
+        let parked = leftovers.len();
         self.scheme.parked.park(&mut leftovers);
+        // Move this handle's limbo contribution from its stripe to the
+        // pacer's parked counter: retract the per-handle report (whoever
+        // adopts the chain re-reports it as its own delta — leaving both
+        // would double count across churn) but keep the parked nodes pressing
+        // on the estimate, so the interval cannot decay to the idle floor
+        // while real garbage sits in the parking lot waiting for a flush.
+        self.scheme
+            .pacer
+            .note_handle_exit(self.stripe, &mut self.limbo_reported);
+        self.scheme.pacer.note_parked(parked as i64);
         self.scheme.registry.release(self.slot);
         // Recycle the workspace to the next registrant: after the first wave of
         // handles, registration allocates nothing.
@@ -530,7 +646,7 @@ mod tests {
         // Advance the era well past the stall; nodes born afterwards are not
         // covered by the stalled reader's [e, e] reservation and must free.
         for _ in 0..4 {
-            scheme.era.advance();
+            scheme.pacer.advance();
         }
         let young_birth = writer.alloc_node();
         assert!(young_birth > stall_era);
@@ -575,8 +691,8 @@ mod tests {
         let (lower, upper) = reader.record().load();
         assert_eq!(lower, upper, "begin_op announces a point interval");
         // The era advances mid-operation (another thread allocating).
-        scheme.era.advance();
-        scheme.era.advance();
+        scheme.pacer.advance();
+        scheme.pacer.advance();
         reader.protect(0, std::ptr::null_mut());
         let (lower2, upper2) = reader.record().load();
         assert_eq!(lower2, lower, "lower is pinned for the whole operation");
@@ -676,6 +792,286 @@ mod tests {
             assert_eq!(scheme.cached_handle_parts(), 0);
         }
         assert_eq!(scheme.cached_handle_parts(), 1);
+    }
+
+    #[test]
+    fn partial_reclaim_recomputes_birth_bounds_for_the_fast_path() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let scheme = He::new(small_config().with_scan_threshold(1_000_000));
+        let mut reader = scheme.register();
+        let mut writer = scheme.register();
+
+        // The reader stalls at era `e`; nodes born at `e` are pinned by it.
+        reader.begin_op();
+        let stall = scheme.current_era();
+        let old: Vec<(*mut Tracked, Era)> = (0..3)
+            .map(|_| {
+                let birth = writer.alloc_node();
+                assert_eq!(birth, stall);
+                (tracked(&drops), birth)
+            })
+            .collect();
+        // Advance well past the stall; later allocations are *young*.
+        for _ in 0..3 {
+            scheme.pacer.advance();
+        }
+        let young: Vec<(*mut Tracked, Era)> = (0..3)
+            .map(|_| {
+                let birth = writer.alloc_node();
+                assert!(birth > stall);
+                (tracked(&drops), birth)
+            })
+            .collect();
+        // Retire everything at one era so the whole mix shares one chain.
+        for (ptr, birth) in old.iter().chain(young.iter()) {
+            unsafe { retire_box_with_birth(&mut writer, *ptr, *birth) };
+        }
+
+        // First scan: a partial walk frees the young nodes (born after the
+        // stalled reservation) and must recompute the chain bounds from the
+        // old survivors.
+        writer.flush();
+        assert_eq!(drops.load(Ordering::SeqCst), 3, "young nodes freed");
+        assert_eq!(writer.local_in_limbo(), 3, "old nodes pinned");
+        let (_, skips_before, walks_before) = writer.scan_dispatch_counts();
+        assert_eq!(walks_before, 1, "the mixed chain was walked once");
+
+        // Second scan: the survivors are all old (birth <= the stalled
+        // reader's upper bound), so with recomputed bounds the chain takes
+        // the O(1) skip fast path instead of another O(bag) walk.
+        writer.flush();
+        let (_, skips_after, walks_after) = writer.scan_dispatch_counts();
+        assert_eq!(
+            walks_after, walks_before,
+            "a chain of all-old survivors must not be re-walked"
+        );
+        assert_eq!(skips_after, skips_before + 1, "skip fast path taken");
+        assert_eq!(drops.load(Ordering::SeqCst), 3);
+
+        // Releasing the reservation frees the rest wholesale.
+        reader.end_op();
+        writer.flush();
+        assert_eq!(drops.load(Ordering::SeqCst), 6);
+        let (wholesale, _, walks_final) = writer.scan_dispatch_counts();
+        assert!(wholesale >= 1, "the drained chain went wholesale");
+        assert_eq!(walks_final, walks_before);
+    }
+
+    #[test]
+    fn adopted_chains_keep_real_birth_bounds_under_a_stalled_reader() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let scheme = He::new(
+            small_config()
+                .with_max_threads(8)
+                .with_scan_threshold(1_000_000),
+        );
+        // Reader 1 stalls at era `e` for the whole test.
+        let mut stalled = scheme.register();
+        stalled.begin_op();
+        let stall = scheme.current_era();
+
+        // The era moves on; reader 2 covers the young era while a writer
+        // handle churns (retire young nodes, then die with them pinned).
+        for _ in 0..4 {
+            scheme.pacer.advance();
+        }
+        let mut cover = scheme.register();
+        cover.begin_op();
+        {
+            let mut dying = scheme.register();
+            for _ in 0..3 {
+                let birth = dying.alloc_node();
+                assert!(birth > stall, "churned nodes are born after the stall");
+                unsafe { retire_box_with_birth(&mut dying, tracked(&drops), birth) };
+            }
+            // Drop: the final flush cannot free the nodes (reader 2 covers
+            // their births), so they are parked with their real stamps.
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 0, "parked, not freed");
+        cover.end_op();
+
+        // The survivor adopts the parked chain. Only the *stalled* reader is
+        // active, and every adopted birth is younger than its upper bound —
+        // with true bounds computed while splicing, the whole chain frees
+        // wholesale in O(1). (The old clamp to NO_BIRTH_ERA made the chain
+        // look born-before-every-era: one churn event under a stalled reader
+        // degraded it to an O(bag) walk on every scan.)
+        let mut survivor = scheme.register();
+        survivor.flush();
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            3,
+            "young adopted nodes must free despite the stalled reader"
+        );
+        let (wholesale, _, walks) = survivor.scan_dispatch_counts();
+        assert_eq!(wholesale, 1, "adoption frees wholesale, not via a walk");
+        assert_eq!(walks, 0);
+        stalled.end_op();
+    }
+
+    #[test]
+    fn flush_resets_the_partial_allocation_tick_exactly() {
+        let scheme = He::new(
+            small_config()
+                .with_era_advance_interval(4)
+                .with_scan_threshold(1_000_000),
+        );
+        let mut handle = scheme.register();
+        let start = scheme.current_era();
+        for _ in 0..3 {
+            handle.alloc_node(); // partial interval: no tick
+        }
+        assert_eq!(scheme.current_era(), start);
+        handle.flush(); // the flush's scan ticks exactly once
+        let after_flush = scheme.current_era();
+        assert_eq!(after_flush, start + 1);
+        // The partial count must not survive the flush: the next tick needs a
+        // full interval again (without the reset, the 4th allocation below
+        // would fire a phantom tick inherited from before the flush).
+        for _ in 0..3 {
+            handle.alloc_node();
+        }
+        assert_eq!(
+            scheme.current_era(),
+            after_flush,
+            "no phantom partial tick may survive a flush"
+        );
+        handle.alloc_node();
+        assert_eq!(scheme.current_era(), after_flush + 1, "full interval ticks");
+
+        // Register/drop/register churn: the era arithmetic stays exact —
+        // one scan tick per flush (the drop path flushes), and each handle
+        // generation starts a fresh interval.
+        let e0 = scheme.current_era();
+        drop(handle);
+        assert_eq!(scheme.current_era(), e0 + 1, "drop = one flush tick");
+        let mut next = scheme.register();
+        for _ in 0..3 {
+            next.alloc_node();
+        }
+        assert_eq!(
+            scheme.current_era(),
+            e0 + 1,
+            "a recycled generation starts with a clean tick counter"
+        );
+        next.alloc_node();
+        assert_eq!(scheme.current_era(), e0 + 2);
+        drop(next);
+
+        // Threshold-driven scans reset the partial count too: the reset lives
+        // in scan() next to the era advance, so every scan trigger (retire
+        // threshold, flush, drop) behaves alike.
+        let scheme = He::new(
+            small_config()
+                .with_era_advance_interval(4)
+                .with_scan_threshold(2),
+        );
+        let mut handle = scheme.register();
+        let e0 = scheme.current_era();
+        for _ in 0..3 {
+            handle.alloc_node(); // partial interval
+        }
+        assert_eq!(scheme.current_era(), e0);
+        for _ in 0..2 {
+            // Two retires hit the scan threshold: the scan ticks the era once.
+            unsafe { retire_box(&mut handle, tracked(&Arc::new(AtomicUsize::new(0)))) };
+        }
+        assert_eq!(scheme.current_era(), e0 + 1, "one scan tick");
+        for _ in 0..3 {
+            handle.alloc_node();
+        }
+        assert_eq!(
+            scheme.current_era(),
+            e0 + 1,
+            "no phantom partial tick after a threshold scan"
+        );
+        handle.alloc_node();
+        assert_eq!(scheme.current_era(), e0 + 2);
+    }
+
+    #[test]
+    fn parked_leftovers_keep_pressing_on_the_adaptive_estimate() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let policy = reclaim_core::EraAdvancePolicy::Adaptive {
+            min_interval: 2,
+            max_interval: 16,
+            limbo_low_water: 8,
+        };
+        let scheme = He::new(
+            small_config()
+                .with_scan_threshold(1_000_000)
+                .with_era_policy(policy),
+        );
+        let mut reader = scheme.register();
+        reader.begin_op();
+        {
+            let mut dying = scheme.register();
+            for _ in 0..32 {
+                unsafe { retire_box(&mut dying, tracked(&drops)) };
+            }
+            // Drop: the reader pins the unstamped nodes, so they are parked.
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        assert_eq!(
+            scheme.pacer().limbo_estimate(),
+            32,
+            "parked limbo must stay visible with no live reporter"
+        );
+        // Adoption hands the contribution over without a dip or a double count.
+        let mut survivor = scheme.register();
+        survivor.flush();
+        assert_eq!(
+            scheme.pacer().limbo_estimate(),
+            32,
+            "the adopter's report replaces the parked counter exactly"
+        );
+        reader.end_op();
+        survivor.flush();
+        assert_eq!(drops.load(Ordering::SeqCst), 32);
+        assert_eq!(scheme.pacer().limbo_estimate(), 0);
+    }
+
+    #[test]
+    fn adaptive_policy_ticks_faster_under_limbo_pressure() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let policy = reclaim_core::EraAdvancePolicy::Adaptive {
+            min_interval: 2,
+            max_interval: 16,
+            limbo_low_water: 8,
+        };
+        let scheme = He::new(
+            small_config()
+                .with_scan_threshold(16)
+                .with_era_policy(policy),
+        );
+        let mut reader = scheme.register();
+        let mut writer = scheme.register();
+        // Idle decay: dry scans creep the interval up to the floor.
+        for _ in 0..8 {
+            writer.flush();
+        }
+        assert_eq!(scheme.pacer().current_interval(), 16, "idle floor");
+        // A stalled reader pins unstamped retires; once the reported limbo
+        // passes the low-water mark, the interval halves toward the fast end.
+        reader.begin_op();
+        for _ in 0..64 {
+            unsafe { retire_box(&mut writer, tracked(&drops)) };
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        assert!(scheme.pacer().limbo_estimate() >= 48, "pressure reported");
+        assert!(
+            scheme.pacer().current_interval() <= 4,
+            "interval shrank under pressure (got {})",
+            scheme.pacer().current_interval()
+        );
+        // Draining the limbo decays the cadence back to the idle floor.
+        reader.end_op();
+        for _ in 0..8 {
+            writer.flush();
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 64);
+        assert_eq!(scheme.pacer().limbo_estimate(), 0);
+        assert_eq!(scheme.pacer().current_interval(), 16);
     }
 
     #[test]

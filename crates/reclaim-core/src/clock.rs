@@ -18,9 +18,17 @@
 //! trade-offs: real time needs no shared writes but ties reclamation latency to
 //! `T + ε`; eras need an occasional shared `fetch_add` but make the "old enough"
 //! decision exact.
+//!
+//! *When* the era ticks is a policy, not a constant: [`EraPacer`] co-locates
+//! the clock with an [`EraAdvancePolicy`] that either fixes the
+//! allocations-per-tick interval (the classic `epoch_freq` cadence) or adapts
+//! it to a striped scheme-wide limbo estimate — faster ticks while garbage
+//! accumulates behind a stalled reader, decaying to an idle floor when scans
+//! run dry (the DEBRA/Hyaline observation that advancement should follow
+//! *reclamation pressure*, not allocation count).
 
 use crate::pad::CachePadded;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -135,8 +143,9 @@ pub const NO_BIRTH_ERA: Era = 0;
 /// The global era counter of the interval-based schemes.
 ///
 /// A single cache-padded monotone `u64`, read on every allocation / retirement
-/// of an era scheme and advanced once per allocation batch (see
-/// `SmrConfig::era_advance_interval`) plus once per scan. Reads are acquire and
+/// of an era scheme and advanced once per allocation batch (the interval the
+/// scheme's [`EraPacer`] currently dictates) plus once per scan. Reads are
+/// acquire and
 /// the advance is AcqRel so that observing era `e` also observes everything the
 /// advancer did before publishing `e` — the same pairing `GlobalEpoch` uses.
 #[derive(Debug)]
@@ -171,6 +180,269 @@ impl EraClock {
 impl Default for EraClock {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// How the era schemes pace advances of the global [`EraClock`] relative to
+/// allocation and reclamation activity (see [`EraPacer`]).
+///
+/// The interval is the number of node allocations between era ticks. A smaller
+/// interval bounds the garbage a stalled reader pins more tightly — fewer nodes
+/// share its announced era — at the cost of more shared `fetch_add` traffic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EraAdvancePolicy {
+    /// Advance once per a fixed number of allocations (plus once per scan):
+    /// the original Hazard-Eras / IBR `epoch_freq` cadence. The garbage a
+    /// stalled reader pins is bounded only as tightly as this constant.
+    Static(usize),
+    /// Advance on a variable interval driven by the scheme-wide limbo
+    /// estimate: each scan reports its handle's in-limbo delta into a striped
+    /// aggregate, and the interval adapts AIMD-style — it *halves* (down to
+    /// `min_interval`) while the estimate sits above `limbo_low_water`, and
+    /// creeps back up by `min_interval` per dry scan (up to `max_interval`,
+    /// the idle floor). The asymmetry reacts to a stall within one scan but
+    /// does not forget it within one quiet episode. Stalled-reader garbage is
+    /// then bounded by *work retired*, not by an allocation count: the more
+    /// limbo accumulates, the faster fresh allocations age past any stalled
+    /// reservation.
+    Adaptive {
+        /// Fastest tick: era advances at least every `min_interval` allocations
+        /// under limbo pressure.
+        min_interval: usize,
+        /// Idle floor: with no limbo pressure the interval decays up to this,
+        /// bounding steady-state shared `fetch_add` traffic.
+        max_interval: usize,
+        /// Scheme-wide in-limbo node count above which the pacer speeds up.
+        limbo_low_water: usize,
+    },
+}
+
+/// The allocation count of the default static cadence (the IBR literature's
+/// `epoch_freq` ballpark).
+pub const DEFAULT_ERA_ADVANCE_INTERVAL: usize = 64;
+
+impl EraAdvancePolicy {
+    /// The adaptive policy with default bounds: ticks between every 8 and
+    /// every 512 allocations, speeding up once more than 1024 nodes sit in
+    /// limbo scheme-wide.
+    pub fn adaptive() -> Self {
+        EraAdvancePolicy::Adaptive {
+            min_interval: 8,
+            max_interval: 512,
+            limbo_low_water: 1024,
+        }
+    }
+
+    /// Panics unless the policy's parameters are coherent (positive intervals,
+    /// `min <= max`). Called by [`EraPacer::new`] and the config builder.
+    pub fn validate(&self) {
+        match *self {
+            EraAdvancePolicy::Static(interval) => {
+                assert!(interval > 0, "era advance interval must be positive");
+            }
+            EraAdvancePolicy::Adaptive {
+                min_interval,
+                max_interval,
+                ..
+            } => {
+                assert!(min_interval > 0, "min_interval must be positive");
+                assert!(
+                    min_interval <= max_interval,
+                    "min_interval must not exceed max_interval"
+                );
+            }
+        }
+    }
+}
+
+impl Default for EraAdvancePolicy {
+    /// The static cadence at [`DEFAULT_ERA_ADVANCE_INTERVAL`] — the behaviour
+    /// every pre-policy release shipped.
+    fn default() -> Self {
+        EraAdvancePolicy::Static(DEFAULT_ERA_ADVANCE_INTERVAL)
+    }
+}
+
+/// Stripes of the pacer's limbo aggregate. Handles map to a stripe by registry
+/// slot, so up to this many concurrent reporters never share a line; beyond it
+/// the stripes are shared (contended but still exact).
+const LIMBO_STRIPES: usize = 8;
+
+/// The era clock plus the policy state that decides *when* it ticks.
+///
+/// [`EraClock`] answers "what era is it"; `EraPacer` co-locates the answer to
+/// "how often should allocations move it forward". Under the
+/// [`Static`](EraAdvancePolicy::Static) policy it is a constant; under the
+/// [`Adaptive`](EraAdvancePolicy::Adaptive) policy the interval tracks a
+/// scheme-wide limbo estimate fed by per-scan reports.
+///
+/// ## Invariants
+///
+/// * The tick interval always stays inside the policy's `[min_interval,
+///   max_interval]` range (a static policy's range is a single point).
+/// * The limbo estimate is **advisory**: it only modulates reclamation
+///   *latency*, never the free-time safety condition, so torn reads, racing
+///   interval stores and transiently negative stripes are all harmless.
+/// * The estimate is conserved across handle churn: a scan reports the delta
+///   since the handle's previous report; a dying handle retracts its whole
+///   contribution ([`note_handle_exit`](Self::note_handle_exit)) and moves
+///   the parked leftovers to the dedicated parked counter
+///   ([`note_parked`](Self::note_parked)), which the adopting handle debits
+///   when it splices the chain back in (the nodes then re-enter its own
+///   reports). Parked nodes are never double counted — and never invisible:
+///   limbo sitting in the scheme's parking lot keeps pressing on the
+///   interval even if no surviving handle flushes for a long time.
+/// * Nothing here allocates after construction: the stripes are a fixed
+///   inline array and every report is one `fetch_add` to a cache-padded line.
+#[derive(Debug)]
+pub struct EraPacer {
+    clock: EraClock,
+    policy: EraAdvancePolicy,
+    /// Current allocations-per-tick interval (read on every `alloc_node`;
+    /// written only by scans, and only under the adaptive policy).
+    interval: CachePadded<AtomicUsize>,
+    /// Striped scheme-wide in-limbo estimate. Signed: deltas may transiently
+    /// drive an individual stripe negative (reporter and retractor on
+    /// different stripes is impossible — a handle always uses its own — but a
+    /// stripe shared by two handles can interleave below zero).
+    limbo: [CachePadded<AtomicI64>; LIMBO_STRIPES],
+    /// Nodes currently sitting in the scheme's parking lot (dying handles'
+    /// leftovers awaiting adoption). Folded into the estimate so parked limbo
+    /// keeps pressing on the interval even while no handle has adopted it.
+    parked: CachePadded<AtomicI64>,
+}
+
+impl EraPacer {
+    /// Creates a pacer at era 1. The adaptive policy starts at `min_interval`
+    /// (the robust end): a fresh scheme cannot know whether a reader is about
+    /// to stall, and the idle decay recovers the cheap cadence within a few
+    /// dry scans.
+    pub fn new(policy: EraAdvancePolicy) -> Self {
+        policy.validate();
+        let start = match policy {
+            EraAdvancePolicy::Static(interval) => interval,
+            EraAdvancePolicy::Adaptive { min_interval, .. } => min_interval,
+        };
+        Self {
+            clock: EraClock::new(),
+            policy,
+            interval: CachePadded::new(AtomicUsize::new(start)),
+            limbo: std::array::from_fn(|_| CachePadded::new(AtomicI64::new(0))),
+            parked: CachePadded::new(AtomicI64::new(0)),
+        }
+    }
+
+    /// The policy this pacer runs.
+    pub fn policy(&self) -> EraAdvancePolicy {
+        self.policy
+    }
+
+    /// The current era (delegates to the inner [`EraClock`]).
+    #[inline]
+    pub fn current(&self) -> Era {
+        self.clock.current()
+    }
+
+    /// Advances the era by one (delegates to the inner [`EraClock`]).
+    #[inline]
+    pub fn advance(&self) -> Era {
+        self.clock.advance()
+    }
+
+    /// The current allocations-per-tick interval. One relaxed load of a
+    /// read-mostly padded line — the only pacer cost on the allocation path.
+    #[inline]
+    pub fn current_interval(&self) -> usize {
+        self.interval.load(Ordering::Relaxed)
+    }
+
+    /// Maps a registry slot to the limbo stripe its handle reports into.
+    pub fn stripe_for(slot_index: usize) -> usize {
+        slot_index % LIMBO_STRIPES
+    }
+
+    /// The scheme-wide in-limbo estimate (sum of the stripes, clamped at 0).
+    /// O(`LIMBO_STRIPES`) relaxed loads; diagnostics and scan-time adaptation
+    /// only, never on a per-op path.
+    pub fn limbo_estimate(&self) -> usize {
+        let total: i64 = self
+            .limbo
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .sum::<i64>()
+            + self.parked.load(Ordering::Relaxed);
+        total.max(0) as usize
+    }
+
+    /// Accounts nodes entering (`delta > 0`, handle drop parks leftovers) or
+    /// leaving (`delta < 0`, a flush adopts the chain) the scheme's parking
+    /// lot. Adopted nodes re-enter the adopter's own scan reports, so the
+    /// hand-off conserves the estimate. No-op under the static policy.
+    pub fn note_parked(&self, delta: i64) {
+        if !matches!(self.policy, EraAdvancePolicy::Adaptive { .. }) {
+            return;
+        }
+        if delta != 0 {
+            self.parked.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Scan-time hook: reports the delta between the handle's current in-limbo
+    /// count and its last report into the handle's stripe, then adapts the
+    /// tick interval. `last_reported` is the handle-owned cursor this pacer
+    /// maintains. No-op under the static policy.
+    pub fn note_scan(&self, stripe: usize, in_limbo_now: usize, last_reported: &mut usize) {
+        let EraAdvancePolicy::Adaptive {
+            min_interval,
+            max_interval,
+            limbo_low_water,
+        } = self.policy
+        else {
+            return;
+        };
+        let delta = in_limbo_now as i64 - *last_reported as i64;
+        if delta != 0 {
+            self.limbo[stripe % LIMBO_STRIPES].fetch_add(delta, Ordering::Relaxed);
+            *last_reported = in_limbo_now;
+        }
+        let estimate = self.limbo_estimate();
+        let current = self.interval.load(Ordering::Relaxed);
+        let next = if estimate > limbo_low_water {
+            // Pressure: halve toward the fast end so fresh allocations age
+            // past any stalled reservation sooner.
+            (current / 2).max(min_interval)
+        } else {
+            // Dry: creep toward the idle floor so a quiet scheme stops paying
+            // shared fetch_add traffic for robustness it does not need. The
+            // increase is additive (AIMD) so one quiet episode cannot undo
+            // the speed-up a stall earned — re-inflating multiplicatively let
+            // the next stall pin a full idle-interval's worth again.
+            current.saturating_add(min_interval).min(max_interval)
+        };
+        if next != current {
+            // A racing store from a concurrent scan is fine: both values are
+            // inside [min, max] and the estimate re-converges next scan.
+            self.interval.store(next, Ordering::Relaxed);
+        }
+    }
+
+    /// Retracts a dying handle's entire limbo contribution before its
+    /// leftovers are parked, so the adopting handle's next scan can re-report
+    /// them without double counting. No-op under the static policy.
+    pub fn note_handle_exit(&self, stripe: usize, last_reported: &mut usize) {
+        if !matches!(self.policy, EraAdvancePolicy::Adaptive { .. }) {
+            return;
+        }
+        if *last_reported != 0 {
+            self.limbo[stripe % LIMBO_STRIPES].fetch_sub(*last_reported as i64, Ordering::Relaxed);
+            *last_reported = 0;
+        }
+    }
+}
+
+impl Default for EraPacer {
+    fn default() -> Self {
+        Self::new(EraAdvancePolicy::default())
     }
 }
 
@@ -238,6 +510,168 @@ mod tests {
         assert_eq!(clock.current(), 1);
         assert_eq!(clock.advance(), 1, "advance returns the pre-advance era");
         assert_eq!(clock.current(), 2);
+    }
+
+    #[test]
+    fn static_pacer_keeps_a_constant_interval_and_ignores_reports() {
+        let pacer = EraPacer::new(EraAdvancePolicy::Static(32));
+        assert_eq!(pacer.current_interval(), 32);
+        let mut cursor = 0usize;
+        pacer.note_scan(0, 10_000, &mut cursor);
+        assert_eq!(cursor, 0, "static policy must not track reports");
+        assert_eq!(pacer.current_interval(), 32);
+        assert_eq!(pacer.limbo_estimate(), 0);
+        pacer.note_handle_exit(0, &mut cursor);
+        pacer.note_parked(123);
+        assert_eq!(pacer.limbo_estimate(), 0, "parked is a no-op when static");
+        assert_eq!(pacer.current_interval(), 32);
+        assert_eq!(pacer.current(), 1);
+        pacer.advance();
+        assert_eq!(pacer.current(), 2, "clock delegation works");
+    }
+
+    #[test]
+    fn adaptive_pacer_speeds_up_under_pressure_and_decays_when_dry() {
+        let policy = EraAdvancePolicy::Adaptive {
+            min_interval: 4,
+            max_interval: 64,
+            limbo_low_water: 100,
+        };
+        let pacer = EraPacer::new(policy);
+        assert_eq!(
+            pacer.current_interval(),
+            4,
+            "adaptive starts at the robust (fast) end"
+        );
+        let mut cursor = 0usize;
+        // Dry scans creep toward the idle floor (+min per scan), never past it.
+        for scans in 1..=15 {
+            pacer.note_scan(0, 0, &mut cursor);
+            assert_eq!(pacer.current_interval(), (4 + 4 * scans).min(64));
+        }
+        assert_eq!(pacer.current_interval(), 64, "idle floor reached");
+        pacer.note_scan(0, 0, &mut cursor);
+        assert_eq!(pacer.current_interval(), 64, "never past the floor");
+        // Limbo past the low-water mark halves the interval down to the
+        // minimum and no further.
+        pacer.note_scan(0, 500, &mut cursor);
+        assert_eq!(cursor, 500);
+        assert_eq!(pacer.limbo_estimate(), 500);
+        assert_eq!(pacer.current_interval(), 32);
+        for _ in 0..10 {
+            pacer.note_scan(0, 500, &mut cursor);
+        }
+        assert_eq!(pacer.current_interval(), 4, "clamped at min_interval");
+        // Draining the limbo lets the interval creep up again (additively:
+        // one quiet scan must not undo the speed-up the stall earned).
+        pacer.note_scan(0, 0, &mut cursor);
+        assert_eq!(pacer.limbo_estimate(), 0);
+        assert_eq!(pacer.current_interval(), 8);
+    }
+
+    #[test]
+    fn adaptive_reports_are_deltas_and_handle_exit_retracts_them() {
+        let policy = EraAdvancePolicy::Adaptive {
+            min_interval: 4,
+            max_interval: 64,
+            limbo_low_water: 100,
+        };
+        let pacer = EraPacer::new(policy);
+        let mut a = 0usize;
+        let mut b = 0usize;
+        pacer.note_scan(0, 300, &mut a);
+        pacer.note_scan(1, 200, &mut b);
+        assert_eq!(pacer.limbo_estimate(), 500);
+        // A shrinking handle count reports a negative delta.
+        pacer.note_scan(0, 50, &mut a);
+        assert_eq!(pacer.limbo_estimate(), 250);
+        // Handle exit retracts the whole remaining contribution (the parked
+        // leftovers are re-reported by whichever handle adopts them).
+        pacer.note_handle_exit(0, &mut a);
+        assert_eq!(a, 0);
+        assert_eq!(pacer.limbo_estimate(), 200);
+        pacer.note_handle_exit(1, &mut b);
+        assert_eq!(pacer.limbo_estimate(), 0);
+    }
+
+    #[test]
+    fn parked_nodes_stay_visible_to_the_estimate_until_adopted() {
+        let policy = EraAdvancePolicy::Adaptive {
+            min_interval: 4,
+            max_interval: 64,
+            limbo_low_water: 100,
+        };
+        let pacer = EraPacer::new(policy);
+        let mut cursor = 0usize;
+        pacer.note_scan(0, 300, &mut cursor);
+        // Handle exit: the contribution moves from the handle's stripe to the
+        // parked counter — the estimate must not dip while the leftovers sit
+        // in the parking lot with no live reporter.
+        pacer.note_handle_exit(0, &mut cursor);
+        pacer.note_parked(300);
+        assert_eq!(
+            pacer.limbo_estimate(),
+            300,
+            "parked limbo keeps pressing on the estimate"
+        );
+        // Adoption debits the parked counter; the adopter's own report takes
+        // over — net conservation across the hand-off.
+        pacer.note_parked(-300);
+        let mut adopter = 0usize;
+        pacer.note_scan(1, 300, &mut adopter);
+        assert_eq!(pacer.limbo_estimate(), 300);
+    }
+
+    #[test]
+    fn pacer_interval_stays_inside_policy_bounds_under_concurrent_scans() {
+        let policy = EraAdvancePolicy::Adaptive {
+            min_interval: 2,
+            max_interval: 128,
+            limbo_low_water: 10,
+        };
+        let pacer = Arc::new(EraPacer::new(policy));
+        let handles: Vec<_> = (0..4)
+            .map(|stripe| {
+                let pacer = Arc::clone(&pacer);
+                thread::spawn(move || {
+                    let mut cursor = 0usize;
+                    for round in 0..1_000usize {
+                        let limbo = if round % 2 == 0 { 100 } else { 0 };
+                        pacer.note_scan(stripe, limbo, &mut cursor);
+                        let interval = pacer.current_interval();
+                        assert!((2..=128).contains(&interval), "interval {interval}");
+                    }
+                    pacer.note_handle_exit(stripe, &mut cursor);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            pacer.limbo_estimate(),
+            0,
+            "every contribution was retracted"
+        );
+    }
+
+    #[test]
+    fn default_policy_is_the_compatible_static_cadence() {
+        assert_eq!(
+            EraAdvancePolicy::default(),
+            EraAdvancePolicy::Static(DEFAULT_ERA_ADVANCE_INTERVAL)
+        );
+        EraAdvancePolicy::adaptive().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "min_interval must not exceed max_interval")]
+    fn inverted_adaptive_bounds_are_rejected() {
+        EraPacer::new(EraAdvancePolicy::Adaptive {
+            min_interval: 64,
+            max_interval: 8,
+            limbo_low_water: 0,
+        });
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! | `T` | [`rooster_interval`](SmrConfig::rooster_interval) | rooster-thread sleep interval |
 //! | `ε` | [`rooster_epsilon`](SmrConfig::rooster_epsilon) | clock-skew / oversleep tolerance |
 
-use crate::clock::Clock;
+use crate::clock::{Clock, EraAdvancePolicy};
 use std::time::Duration;
 
 /// Tunable parameters for all schemes in the QSense family.
@@ -57,12 +57,15 @@ pub struct SmrConfig {
     /// `None` (the default) disables eviction and reproduces the paper's published
     /// behaviour, where a crashed thread keeps the system in fallback mode forever.
     pub eviction_timeout: Option<Duration>,
-    /// **Extension (era schemes).** Number of node allocations between advances
-    /// of the global era clock (Hazard Eras / 2GE-IBR, the `he` crate). Smaller
-    /// values bound the garbage a stalled reader pins more tightly (fewer nodes
-    /// share its announced era) at the cost of more shared `fetch_add` traffic;
-    /// the default matches the IBR literature's `epoch_freq` ballpark.
-    pub era_advance_interval: usize,
+    /// **Extension (era schemes).** How the global era clock is paced relative
+    /// to allocation and reclamation activity (Hazard Eras / 2GE-IBR, the `he`
+    /// crate): a fixed allocations-per-tick interval
+    /// ([`EraAdvancePolicy::Static`], the default — the IBR literature's
+    /// `epoch_freq` ballpark) or an interval that adapts to the scheme-wide
+    /// limbo estimate ([`EraAdvancePolicy::Adaptive`]), bounding
+    /// stalled-reader garbage by work retired instead of a constant. See
+    /// [`crate::clock::EraPacer`].
+    pub era_policy: EraAdvancePolicy,
     /// Time source; swap in a manual clock for deterministic tests.
     pub clock: Clock,
 }
@@ -157,11 +160,20 @@ impl SmrConfig {
         self.eviction_timeout.map(crate::clock::duration_to_nanos)
     }
 
-    /// Sets the era-advance interval of the era schemes (allocations per global
-    /// era tick).
+    /// Sets a *static* era-advance interval (allocations per global era tick)
+    /// — shorthand for `with_era_policy(EraAdvancePolicy::Static(allocs))`,
+    /// kept for every caller that predates the adaptive policy.
     pub fn with_era_advance_interval(mut self, allocs: usize) -> Self {
         assert!(allocs > 0, "era_advance_interval must be positive");
-        self.era_advance_interval = allocs;
+        self.era_policy = EraAdvancePolicy::Static(allocs);
+        self
+    }
+
+    /// Sets the era-advance policy of the era schemes (see
+    /// [`SmrConfig::era_policy`]).
+    pub fn with_era_policy(mut self, policy: EraAdvancePolicy) -> Self {
+        policy.validate();
+        self.era_policy = policy;
         self
     }
 
@@ -209,7 +221,7 @@ impl Default for SmrConfig {
             rooster_threads: cpus.max(1),
             use_membarrier: true,
             eviction_timeout: None,
-            era_advance_interval: 64,
+            era_policy: EraAdvancePolicy::default(),
             clock: Clock::real(),
         }
     }
@@ -231,6 +243,33 @@ mod tests {
             cfg.eviction_timeout.is_none(),
             "eviction is an opt-in extension; the default must match the paper"
         );
+        assert_eq!(
+            cfg.era_policy,
+            EraAdvancePolicy::Static(crate::clock::DEFAULT_ERA_ADVANCE_INTERVAL),
+            "the era policy defaults to the pre-policy static cadence"
+        );
+    }
+
+    #[test]
+    fn era_policy_builder_accepts_both_shapes() {
+        let cfg = SmrConfig::default().with_era_policy(EraAdvancePolicy::adaptive());
+        assert_eq!(cfg.era_policy, EraAdvancePolicy::adaptive());
+        let cfg = cfg.with_era_advance_interval(32);
+        assert_eq!(
+            cfg.era_policy,
+            EraAdvancePolicy::Static(32),
+            "the interval shorthand overwrites the policy"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "min_interval must not exceed max_interval")]
+    fn incoherent_era_policy_is_rejected_at_the_builder() {
+        let _ = SmrConfig::default().with_era_policy(EraAdvancePolicy::Adaptive {
+            min_interval: 9,
+            max_interval: 3,
+            limbo_low_water: 0,
+        });
     }
 
     #[test]
@@ -259,7 +298,7 @@ mod tests {
         assert_eq!(cfg.rooster_threads, 2);
         assert!(!cfg.use_membarrier);
         assert_eq!(cfg.eviction_timeout_nanos(), Some(50_000_000));
-        assert_eq!(cfg.era_advance_interval, 16);
+        assert_eq!(cfg.era_policy, EraAdvancePolicy::Static(16));
         assert!(cfg.clock.is_manual());
         assert_eq!(cfg.min_reclaim_age_nanos(), 7_000_000);
     }

@@ -51,12 +51,12 @@
 //! | frequency | work | shared-memory cost |
 //! |-----------|------|--------------------|
 //! | per op (`begin_op`) | a local counter bump (QSBR/QSense batching); a pin store plus an O(#buckets) bucket-age check (EBR only); one era announcement — an era load plus, on change, a fenced reservation store (HE only) | none (EBR: one release store to an owned padded line; HE: one era store per op to an owned padded line, fenced only when the era moved) |
-//! | per node traversed (`protect`) | hazard-pointer store (HP/Cadence/QSense); era re-announcement only when the global era advanced mid-operation (HE) | one release store to an owned padded slot; classic HP adds the `SeqCst` fence the paper is about; HE's amortized cost here is ~zero (eras advance every `era_advance_interval` allocations, not per node) |
-//! | per node allocated ([`smr::SmrHandle::alloc_node`]) | birth-era stamp: one era load, plus one shared `fetch_add` every `era_advance_interval` allocations (HE only; no-op for every other scheme) | one acquire load of the (mostly read-shared) era line |
+//! | per node traversed (`protect`) | hazard-pointer store (HP/Cadence/QSense); era re-announcement only when the global era advanced mid-operation (HE) | one release store to an owned padded slot; classic HP adds the `SeqCst` fence the paper is about; HE's amortized cost here is ~zero (eras advance once per [`clock::EraPacer::current_interval`] allocations, not per node) |
+//! | per node allocated ([`smr::SmrHandle::alloc_node`]) | birth-era stamp: one era load, plus one shared `fetch_add` every [`clock::EraPacer::current_interval`] allocations (HE only; no-op for every other scheme). The interval is a constant under [`clock::EraAdvancePolicy::Static`]; under the adaptive policy it is one extra relaxed load of a read-mostly padded line — the pacer's entire allocation-side cost is amortized zero | one acquire load of the (mostly read-shared) era line |
 //! | per `retire` | write into the tail segment of the thread-local [`segbag::SegBag`], bump the slot's [`stats::StatStripe`], one acquire load of the fallback flag (QSense) or of the era clock (HE — the retire-era stamp must be fresh, see `he`) | single-writer padded lines only — **no shared `fetch_add`**, no shared epoch load (EBR tags with its pin-time epoch) |
 //! | per segment (every [`segbag::SEG_CAP`] retires) | pop a recycled segment from the per-handle [`segbag::SegPool`] | none — the allocator is touched only past the handle's all-time peak |
 //! | per `Q` ops (quiescent state) | epoch adoption (one release store) or a bounded epoch-confirmation poll (amortized O(1), see `qsbr::EpochCursor`); one eviction-counter load (QSense) | a handful of loads + at most one CAS |
-//! | per scan (every `R` retires) | snapshot all `N·K` hazard pointers into a **reusable** scratch buffer (HP/Cadence/QSense) or all `N` era reservations — O(N) era reads, not O(N·K) (HE); two-cursor compaction of the segment chain ([`segbag::SegBag::reclaim_if`]) plus at most one O(1) adjacent-segment merge | O(N·K) loads (O(N) for HE), zero heap allocations in steady state |
+//! | per scan (every `R` retires) | snapshot all `N·K` hazard pointers into a **reusable** scratch buffer (HP/Cadence/QSense) or all `N` era reservations — O(N) era reads, not O(N·K) (HE); two-cursor compaction of the segment chain ([`segbag::SegBag::reclaim_if`]) plus at most one O(1) adjacent-segment merge; under the adaptive era policy, one striped limbo report (a single `fetch_add` to the handle's padded stripe) plus an O(#stripes) estimate read to adapt the tick interval ([`clock::EraPacer::note_scan`]) | O(N·K) loads (O(N) for HE), zero heap allocations in steady state |
 //! | per handle drop | splice leftovers into the scheme's parked chain ([`segbag::SegBag::splice`]); park the pool + scratch on the scheme's [`handle_cache::HandleCache`] | O(1) pointer surgery under a mutex — no allocation |
 //! | per snapshot (`Smr::stats`) | sum all counter stripes | O(N) loads — diagnostic path, never on the hot path |
 //!
@@ -174,7 +174,10 @@ pub mod stats;
 
 pub use alloc_track::CountingAllocator;
 pub use backoff::Backoff;
-pub use clock::{Clock, Era, EraClock, ManualClock, Nanos, NO_BIRTH_ERA};
+pub use clock::{
+    Clock, Era, EraAdvancePolicy, EraClock, EraPacer, ManualClock, Nanos,
+    DEFAULT_ERA_ADVANCE_INTERVAL, NO_BIRTH_ERA,
+};
 pub use config::SmrConfig;
 pub use handle_cache::{HandleCache, ScanParts};
 pub use leaky::{Leaky, LeakyHandle};

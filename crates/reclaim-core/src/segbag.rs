@@ -320,7 +320,28 @@ impl SegBag {
         mut can_reclaim: impl FnMut(&RetiredPtr) -> bool,
     ) -> usize {
         // SAFETY: forwarded from the caller's contract.
-        unsafe { self.reclaim_impl(pool, |_| true, &mut can_reclaim) }
+        unsafe { self.reclaim_impl(pool, |_| true, &mut can_reclaim, |_| {}) }
+    }
+
+    /// Like [`reclaim_if`](Self::reclaim_if), but additionally calls
+    /// `visit_survivor` exactly once for every node that *remains* in the bag
+    /// after the pass. The walk already touches every survivor to compact it,
+    /// so the visit is free; callers use it to recompute aggregate bounds
+    /// (e.g. the era chains' min/max birth) that would otherwise go stale
+    /// after a partial reclaim — stale bounds cost O(bag) walks on every
+    /// later scan until the bag fully drains.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`reclaim_if`](Self::reclaim_if).
+    pub unsafe fn reclaim_if_visit(
+        &mut self,
+        pool: &mut SegPool,
+        mut can_reclaim: impl FnMut(&RetiredPtr) -> bool,
+        mut visit_survivor: impl FnMut(&RetiredPtr),
+    ) -> usize {
+        // SAFETY: forwarded from the caller's contract.
+        unsafe { self.reclaim_impl(pool, |_| true, &mut can_reclaim, &mut visit_survivor) }
     }
 
     /// Like [`reclaim_if`](Self::reclaim_if), but the walk stops for good at
@@ -346,7 +367,7 @@ impl SegBag {
         mut can_reclaim: impl FnMut(&RetiredPtr) -> bool,
     ) -> usize {
         // SAFETY: forwarded from the caller's contract.
-        unsafe { self.reclaim_impl(pool, &mut keep_scanning, &mut can_reclaim) }
+        unsafe { self.reclaim_impl(pool, &mut keep_scanning, &mut can_reclaim, |_| {}) }
     }
 
     /// Shared walk for the two reclaim entry points (see their docs).
@@ -360,6 +381,7 @@ impl SegBag {
         pool: &mut SegPool,
         mut keep_scanning: impl FnMut(&RetiredPtr) -> bool,
         can_reclaim: &mut impl FnMut(&RetiredPtr) -> bool,
+        mut visit_survivor: impl FnMut(&RetiredPtr),
     ) -> usize {
         let mut freed = 0usize;
         let mut prev: *mut Segment = ptr::null_mut();
@@ -386,6 +408,7 @@ impl SegBag {
                     } else {
                         // Survivor (or unexamined remainder after a stop):
                         // compact within the segment.
+                        visit_survivor(node_ref);
                         if write != read {
                             // SAFETY: `write < read`, so the target slot was
                             // already read out of; the move neither drops a
@@ -823,6 +846,42 @@ mod tests {
         assert_eq!(bag.len(), segments + 1);
         unsafe { bag.reclaim_all(&mut pool) };
         assert_eq!(pool.free_segments(), segments);
+    }
+
+    #[test]
+    fn reclaim_if_visit_sees_every_survivor_exactly_once() {
+        for round in 0..16u64 {
+            let counter = Arc::new(AtomicUsize::new(0));
+            let mut pool = SegPool::new();
+            let mut bag = SegBag::new();
+            let n = 3 * SEG_CAP as u64;
+            for t in 0..n {
+                bag.push(&mut pool, retire_counter(&counter, t));
+            }
+            let keep =
+                |t: u64| !(t.wrapping_mul(2654435761).wrapping_add(round * 31)).is_multiple_of(4);
+            let mut visited = Vec::new();
+            let freed = unsafe {
+                bag.reclaim_if_visit(
+                    &mut pool,
+                    |node| !keep(node.retired_at()),
+                    |survivor| visited.push(survivor.retired_at()),
+                )
+            };
+            let expected: Vec<u64> = (0..n).filter(|&t| keep(t)).collect();
+            assert_eq!(
+                visited, expected,
+                "round {round}: every survivor visited once, in order"
+            );
+            assert_eq!(freed, n as usize - expected.len());
+            assert_eq!(bag.len(), expected.len());
+            let remaining: Vec<u64> = bag.iter().map(RetiredPtr::retired_at).collect();
+            assert_eq!(
+                remaining, expected,
+                "round {round}: visited set matches the bag after merges"
+            );
+            unsafe { bag.reclaim_all(&mut pool) };
+        }
     }
 
     #[test]

@@ -93,8 +93,9 @@ pub trait SmrHandle: Send {
 
     /// Allocation-side hook: returns the **birth era** to stamp into a node the
     /// caller is about to allocate, and lets the scheme account for the
-    /// allocation (the era schemes advance their global era clock every
-    /// `era_advance_interval` allocations, which is what bounds the garbage a
+    /// allocation (the era schemes advance their global era clock once per
+    /// era-advance interval of allocations — a constant or limbo-adaptive,
+    /// per `SmrConfig::era_policy` — which is what bounds the garbage a
     /// stalled reader can pin).
     ///
     /// Data structures call this once per node allocation, store the returned

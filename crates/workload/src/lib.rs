@@ -10,6 +10,8 @@
 //! * [`generator`] — deterministic per-thread operation streams;
 //! * [`structures`] — the (structure × scheme) evaluation matrix behind one trait;
 //! * [`runner`] — the measurement loop, delay injection and memory-cap abort;
+//! * [`stall_churn`] — the deterministic stalled-reader / writer-burst /
+//!   handle-churn robustness scenario (the era-advance policy's showcase);
 //! * [`report`] — text tables matching the figures' series.
 
 #![warn(missing_docs)]
@@ -19,9 +21,11 @@ pub mod generator;
 pub mod report;
 pub mod runner;
 pub mod spec;
+pub mod stall_churn;
 pub mod structures;
 
 pub use generator::{OpGenerator, Operation};
 pub use runner::{run_experiment, DelaySchedule, Experiment, RunResult, Sample};
 pub use spec::{OpMix, Structure, WorkloadSpec};
+pub use stall_churn::{run_stall_churn, StallChurnResult, StallChurnSpec};
 pub use structures::{default_bench_config, make_set, BenchSet, SchemeKind, SetSession};

@@ -48,9 +48,9 @@ pub mod smr {
     pub use qsense::{Path, QSense, QSenseHandle};
     pub use reclaim_core::stats::StatsSnapshot;
     pub use reclaim_core::{
-        retire_box, retire_box_with_birth, Clock, CountingAllocator, Era, EraClock, HandleCache,
-        Leaky, LeakyHandle, ManualClock, ShardedStats, Smr, SmrConfig, SmrHandle, StatStripe,
-        NO_BIRTH_ERA,
+        retire_box, retire_box_with_birth, Clock, CountingAllocator, Era, EraAdvancePolicy,
+        EraClock, EraPacer, HandleCache, Leaky, LeakyHandle, ManualClock, ShardedStats, Smr,
+        SmrConfig, SmrHandle, StatStripe, DEFAULT_ERA_ADVANCE_INTERVAL, NO_BIRTH_ERA,
     };
     pub use refcount::{RefCount, RefCountHandle};
 }
@@ -68,8 +68,8 @@ pub mod ds {
 pub mod bench {
     pub use workload::report;
     pub use workload::{
-        default_bench_config, make_set, run_experiment, BenchSet, DelaySchedule, Experiment,
-        OpGenerator, OpMix, Operation, RunResult, Sample, SchemeKind, SetSession, Structure,
-        WorkloadSpec,
+        default_bench_config, make_set, run_experiment, run_stall_churn, BenchSet, DelaySchedule,
+        Experiment, OpGenerator, OpMix, Operation, RunResult, Sample, SchemeKind, SetSession,
+        StallChurnResult, StallChurnSpec, Structure, WorkloadSpec,
     };
 }

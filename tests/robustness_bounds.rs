@@ -13,10 +13,13 @@
 //!   thread never comes back — end to end, with the real clock and real structures.
 
 use qsense_repro::bench::{
-    make_set, run_experiment, DelaySchedule, Experiment, OpMix, SchemeKind, Structure, WorkloadSpec,
+    make_set, run_experiment, run_stall_churn, DelaySchedule, Experiment, OpMix, SchemeKind,
+    StallChurnSpec, Structure, WorkloadSpec,
 };
 use qsense_repro::ds::HarrisMichaelList;
-use qsense_repro::smr::{Cadence, Ebr, He, Path, QSense, Qsbr, Smr, SmrConfig, SmrHandle};
+use qsense_repro::smr::{
+    Cadence, Ebr, EraAdvancePolicy, He, Path, QSense, Qsbr, Smr, SmrConfig, SmrHandle,
+};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -228,6 +231,94 @@ fn a_stalled_reader_bounds_he_garbage_by_eras_but_not_qsbr() {
         he_limbo < qsbr_limbo / 4,
         "HE ({he_limbo}) must stay far below QSBR ({qsbr_limbo}) under the same stall"
     );
+}
+
+/// The `stall-churn` scenario (one reader repeatedly stalls mid-operation
+/// while a writer burst-allocates and handle churn runs) is where the
+/// era-advance policy *matters*: every stall pins the allocations that share
+/// its announced era, i.e. up to one era-advance interval's worth of the
+/// burst. The static policy pins a constant per stall; the adaptive policy
+/// reacts to the limbo the first stalls pin and keeps the cadence fast for as
+/// long as pressure persists — so with the same interval range its limbo
+/// trajectory sits at or below the static one at **every** sampled point,
+/// its peak strictly below, and both sit orders of magnitude below QSBR,
+/// which the same stall blocks outright.
+///
+/// The scenario is single-threaded and the two HE runs execute the identical
+/// operation sequence, so the sample-by-sample comparison is deterministic.
+#[test]
+fn stall_churn_adaptive_era_policy_tightens_the_static_limbo_bound() {
+    let spec = StallChurnSpec {
+        episodes: 24,
+        burst: 256,
+        churn_every: 8,
+    };
+    let base = || {
+        SmrConfig::for_list()
+            .with_max_threads(4)
+            .with_scan_threshold(128)
+            .with_quiescence_threshold(1_000_000)
+            .with_rooster_threads(0)
+    };
+    // Same range: the static interval is the adaptive policy's idle ceiling,
+    // so every difference below is the adaptation, not a smaller constant.
+    let static_run = run_stall_churn(
+        &He::new(base().with_era_policy(EraAdvancePolicy::Static(64))),
+        &spec,
+    );
+    let adaptive_run = run_stall_churn(
+        &He::new(base().with_era_policy(EraAdvancePolicy::Adaptive {
+            min_interval: 8,
+            max_interval: 64,
+            limbo_low_water: 4,
+        })),
+        &spec,
+    );
+    let qsbr_run = run_stall_churn(&Qsbr::new(base()), &spec);
+
+    assert_eq!(adaptive_run.total_retired, static_run.total_retired);
+    assert_eq!(adaptive_run.limbo_samples.len(), spec.episodes);
+    for (episode, (adaptive, fixed)) in adaptive_run
+        .limbo_samples
+        .iter()
+        .zip(&static_run.limbo_samples)
+        .enumerate()
+    {
+        assert!(
+            adaptive <= fixed,
+            "episode {episode}: adaptive limbo {adaptive} above static {fixed}          (adaptive {:?} vs static {:?})",
+            adaptive_run.limbo_samples,
+            static_run.limbo_samples
+        );
+    }
+    assert!(
+        adaptive_run.peak_limbo() < static_run.peak_limbo(),
+        "adaptive peak {} must be strictly below static peak {}",
+        adaptive_run.peak_limbo(),
+        static_run.peak_limbo()
+    );
+    // QSBR cannot reclaim at all while the reader stalls: its limbo tracks
+    // the total retirement count, far above either HE bound.
+    assert_eq!(
+        qsbr_run.peak_limbo(),
+        qsbr_run.total_retired,
+        "the stalled reader must block QSBR outright"
+    );
+    assert!(
+        static_run.peak_limbo() < qsbr_run.peak_limbo() / 4,
+        "static HE ({}) must stay far below QSBR ({})",
+        static_run.peak_limbo(),
+        qsbr_run.peak_limbo()
+    );
+    assert!(
+        adaptive_run.peak_limbo() < qsbr_run.peak_limbo() / 8,
+        "adaptive HE ({}) must stay farther below QSBR ({})",
+        adaptive_run.peak_limbo(),
+        qsbr_run.peak_limbo()
+    );
+    // Releasing the reader drains both HE runs completely.
+    assert_eq!(static_run.end_limbo, 0);
+    assert_eq!(adaptive_run.end_limbo, 0);
 }
 
 #[test]

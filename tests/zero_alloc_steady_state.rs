@@ -27,8 +27,8 @@
 //! bookkeeping allocation is deterministic and fails every attempt.
 
 use qsense_repro::smr::{
-    Cadence, Clock, CountingAllocator, Ebr, Hazard, He, ManualClock, QSense, Qsbr, RefCount, Smr,
-    SmrConfig, SmrHandle,
+    Cadence, Clock, CountingAllocator, Ebr, EraAdvancePolicy, Hazard, He, ManualClock, QSense,
+    Qsbr, RefCount, Smr, SmrConfig, SmrHandle,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -404,6 +404,69 @@ fn steady_state_scans_perform_zero_heap_allocations() {
             0,
             "he: withdrawing the reservation drains the limbo"
         );
+    }
+
+    // --- Hazard Eras, adaptive era policy ------------------------------------
+    // The pacer's machinery — the striped limbo report each scan files, the
+    // interval adaptation, the per-alloc interval load — runs on a fixed
+    // inline array built at scheme creation, so switching HE to the adaptive
+    // policy must add exactly zero steady-state allocations: growth cycles
+    // still allocate the nodes alone, and keep-path scans under a stalled
+    // reservation (the exact state that drives the adaptation hardest, with
+    // limbo far past the low-water mark) still allocate nothing at all.
+    {
+        let clock = ManualClock::new();
+        let scheme = He::new(config(&clock).with_era_policy(EraAdvancePolicy::Adaptive {
+            min_interval: 8,
+            max_interval: 64,
+            limbo_low_water: 32,
+        }));
+        let mut blocker = scheme.register();
+        let mut writer = scheme.register();
+        assert_growth_allocates_nodes_only("he-adaptive", &mut writer, 0, || {});
+
+        let node_bytes = (GROWTH_BATCH * std::mem::size_of::<u64>()) as u64;
+        assert_alloc_delta(
+            "he-adaptive: stalled-reservation retires (nodes only)",
+            node_bytes,
+            || {
+                blocker.end_op();
+                writer.flush();
+                assert_eq!(writer.local_in_limbo(), 0);
+                blocker.begin_op();
+
+                let before_alloc = ALLOC.allocated_bytes();
+                for _ in 0..GROWTH_BATCH {
+                    writer.begin_op();
+                    let ptr = Box::into_raw(Box::new(0u64));
+                    // SAFETY: freshly boxed, unlinked by construction, retired once.
+                    unsafe { qsense_repro::smr::retire_box(&mut writer, ptr) };
+                    writer.end_op();
+                }
+                for _ in 0..MEASURED_SCANS {
+                    writer.flush();
+                }
+                let delta = ALLOC.allocated_bytes() - before_alloc;
+                assert_eq!(
+                    writer.local_in_limbo(),
+                    GROWTH_BATCH,
+                    "he-adaptive: a stalled reservation must keep unstamped nodes in limbo"
+                );
+                delta
+            },
+        );
+        assert!(
+            scheme.pacer().limbo_estimate() >= GROWTH_BATCH,
+            "the measured scans reported the limbo pressure"
+        );
+        assert_eq!(
+            scheme.pacer().current_interval(),
+            8,
+            "pressure drove the interval to the fast end without allocating"
+        );
+        blocker.end_op();
+        writer.flush();
+        assert_eq!(writer.local_in_limbo(), 0);
     }
 
     // --- handle churn (register / drop / register) --------------------------
