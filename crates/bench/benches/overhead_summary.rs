@@ -12,7 +12,10 @@
 //! Besides the human-readable table on stdout, the run emits a machine-readable
 //! **`BENCH_overhead.json`** (path override: `QSENSE_BENCH_OUT`) so the numbers are
 //! tracked across revisions. Measurement length per point follows
-//! `QSENSE_BENCH_SECONDS` (default 0.3 s).
+//! `QSENSE_BENCH_SECONDS` (default 0.3 s). Every point is measured
+//! `QSENSE_BENCH_REPEATS` times (default 3); the JSON records the mean (the
+//! field the CI gate compares) plus the min/max across repeats, so a noisy
+//! runner is distinguishable from a real regression when reading the artifact.
 //!
 //! Paper context: QSBR ≈ 2.3% average overhead over the leaky baseline, QSense
 //! ≈ 29%, HP ≈ 80%. The per-op costs here are the microscopic version of those
@@ -41,6 +44,33 @@ const MAX_RETIRES_PER_THREAD: u64 = 400_000;
 
 /// Check the clock only every this many operations.
 const CHUNK: u64 = 1_024;
+
+/// Measurements per point (`QSENSE_BENCH_REPEATS`, default 3): the JSON keeps
+/// mean, min and max across them.
+fn repeats() -> usize {
+    std::env::var("QSENSE_BENCH_REPEATS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|r| *r > 0)
+        .unwrap_or(3)
+}
+
+/// Mean / min / max of one point's repeated measurements.
+#[derive(Clone, Copy)]
+struct Spread {
+    mean: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Spread {
+    fn from_samples(samples: &[f64]) -> Self {
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Self { mean, min, max }
+    }
+}
 
 #[derive(Clone, Copy)]
 enum Mode {
@@ -109,31 +139,36 @@ fn measure<S: Smr>(scheme: &Arc<S>, threads: usize, mode: Mode) -> f64 {
 struct Entry {
     scheme: &'static str,
     threads: usize,
-    retire_ns: f64,
-    boundary_ns: f64,
+    retire: Spread,
+    boundary: Spread,
 }
 
-/// Measures one scheme at every thread count. A fresh scheme instance per point
-/// keeps the points independent (and lets the leaky baseline release its memory
-/// between points).
+/// Measures one scheme at every thread count, `repeats()` times per point. A
+/// fresh scheme instance per measurement keeps the points independent (and lets
+/// the leaky baseline release its memory between points).
 fn run_scheme<S: Smr>(name: &'static str, make: impl Fn(usize) -> Arc<S>, out: &mut Vec<Entry>) {
+    let repeats = repeats();
     for &threads in &THREAD_COUNTS {
-        let retire_ns = {
-            let scheme = make(threads);
-            measure(&scheme, threads, Mode::Retire)
+        let sample = |mode: Mode| {
+            let samples: Vec<f64> = (0..repeats)
+                .map(|_| {
+                    let scheme = make(threads);
+                    measure(&scheme, threads, mode)
+                })
+                .collect();
+            Spread::from_samples(&samples)
         };
-        let boundary_ns = {
-            let scheme = make(threads);
-            measure(&scheme, threads, Mode::OpBoundary)
-        };
+        let retire = sample(Mode::Retire);
+        let boundary = sample(Mode::OpBoundary);
         println!(
-            "{name:<8} {threads:>2} thread(s)   retire {retire_ns:8.1} ns/op   op-boundary {boundary_ns:8.1} ns/op"
+            "{name:<8} {threads:>2} thread(s)   retire {:8.1} ns/op [{:.1}, {:.1}]   op-boundary {:8.1} ns/op [{:.1}, {:.1}]",
+            retire.mean, retire.min, retire.max, boundary.mean, boundary.min, boundary.max
         );
         out.push(Entry {
             scheme: name,
             threads,
-            retire_ns,
-            boundary_ns,
+            retire,
+            boundary,
         });
     }
 }
@@ -142,7 +177,7 @@ fn baseline_ns(entries: &[Entry], threads: usize) -> Option<f64> {
     entries
         .iter()
         .find(|e| e.scheme == "none" && e.threads == threads)
-        .map(|e| e.retire_ns)
+        .map(|e| e.retire.mean)
 }
 
 fn write_json(entries: &[Entry], path: &std::path::Path) -> std::io::Result<()> {
@@ -151,12 +186,16 @@ fn write_json(entries: &[Entry], path: &std::path::Path) -> std::io::Result<()> 
         .map(|e| {
             let overhead = baseline_ns(entries, e.threads)
                 .filter(|base| *base > 0.0)
-                .map(|base| (e.retire_ns / base - 1.0) * 100.0);
+                .map(|base| (e.retire.mean / base - 1.0) * 100.0);
             JsonObject::new()
                 .str_field("scheme", e.scheme)
                 .int_field("threads", e.threads as u64)
-                .num_field("retire_ns_per_op", e.retire_ns, 2)
-                .num_field("quiescent_state_ns_per_op", e.boundary_ns, 2)
+                .num_field("retire_ns_per_op", e.retire.mean, 2)
+                .num_field("retire_ns_min", e.retire.min, 2)
+                .num_field("retire_ns_max", e.retire.max, 2)
+                .num_field("quiescent_state_ns_per_op", e.boundary.mean, 2)
+                .num_field("quiescent_state_ns_min", e.boundary.min, 2)
+                .num_field("quiescent_state_ns_max", e.boundary.max, 2)
                 .opt_num_field("retire_overhead_vs_none_pct", overhead, 1)
         })
         .collect();
@@ -167,6 +206,7 @@ fn write_json(entries: &[Entry], path: &std::path::Path) -> std::io::Result<()> 
         .join(", ");
     let meta = [
         ("point_seconds", format!("{}", point_seconds())),
+        ("repeats", format!("{}", repeats())),
         ("threads", format!("[{threads_list}]")),
         ("unit", "\"nanoseconds per operation\"".to_string()),
     ];
@@ -230,7 +270,11 @@ fn main() {
             print!("overhead vs none @ {threads} thread(s):");
             for e in entries.iter().filter(|e| e.threads == threads) {
                 if e.scheme != "none" && base > 0.0 {
-                    print!("  {} {:+.1}%", e.scheme, (e.retire_ns / base - 1.0) * 100.0);
+                    print!(
+                        "  {} {:+.1}%",
+                        e.scheme,
+                        (e.retire.mean / base - 1.0) * 100.0
+                    );
                 }
             }
             println!();

@@ -4,8 +4,9 @@ use crate::rooster::Rooster;
 use reclaim_core::retired::DropFn;
 use reclaim_core::stats::{StatStripe, StatsSnapshot};
 use reclaim_core::{
-    membarrier, CachePadded, HandleCache, ParkedChain, PtrScratch, Registry, RetiredPtr, ScanParts,
-    SegBag, SegPool, SlotId, Smr, SmrConfig, SmrHandle,
+    membarrier, BudgetGovernor, BudgetVerdict, CachePadded, Era, HandleCache, ParkedChain,
+    PtrScratch, Registry, RetiredPtr, ScanParts, SegBag, SegPool, SlotId, Smr, SmrConfig,
+    SmrHandle, NO_BIRTH_ERA,
 };
 use std::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::{Arc, Mutex};
@@ -65,6 +66,12 @@ pub struct Cadence {
     /// Pools + scratch buffers of exited threads, adopted by the next
     /// registrant so handle churn is allocation-free after the first wave.
     handle_cache: HandleCache<ScanParts>,
+    /// Limbo-byte accounting and the budget escalation ladder. A forced scan
+    /// still honours the `T + ε` age gate — bypassing it would forfeit exactly
+    /// the fence-free safety argument Cadence exists for — so under a very
+    /// coarse `rooster_interval` the budget can only be met by scanning more
+    /// often, never by freeing younger nodes.
+    governor: BudgetGovernor,
 }
 
 impl Cadence {
@@ -79,6 +86,7 @@ impl Cadence {
             config.use_membarrier,
         );
         let handle_cache = HandleCache::with_capacity(config.max_threads);
+        let governor = BudgetGovernor::new(config.limbo_budget, config.clock.clone());
         Arc::new(Self {
             config,
             registry,
@@ -86,6 +94,7 @@ impl Cadence {
             rooster: Mutex::new(rooster),
             parked: ParkedChain::new(),
             handle_cache,
+            governor,
         })
     }
 
@@ -129,6 +138,7 @@ impl Cadence {
         stats.add_scan();
         self.collect_protected(scratch);
         let protected: &[*mut u8] = scratch;
+        let bytes_before = bag.bytes();
         let now = self.config.clock.now();
         let min_age = self.config.min_reclaim_age_nanos();
         // SAFETY (paper Property 1): a node that has been retired for at least
@@ -150,6 +160,7 @@ impl Cadence {
             )
         };
         stats.add_freed(freed as u64);
+        stats.add_freed_bytes((bytes_before - bag.bytes()) as u64);
         freed
     }
 
@@ -178,6 +189,8 @@ impl Smr for Cadence {
             scratch: PtrScratch::with_capacity(self.config.max_threads * self.config.hp_per_thread),
         });
         CadenceHandle {
+            budget_stripe: BudgetGovernor::stripe_for(slot.index()),
+            budget_reported: 0,
             scheme: Arc::clone(self),
             slot,
             retired: SegBag::new(),
@@ -195,7 +208,12 @@ impl Smr for Cadence {
         let mut snap = StatsSnapshot::default();
         self.registry.merge_stats(&mut snap);
         self.scheme_stats.merge_into(&mut snap);
+        snap.peak_limbo_bytes = self.governor.peak_bytes();
         snap
+    }
+
+    fn budget_verdict(&self) -> Option<BudgetVerdict> {
+        Some(self.governor.verdict())
     }
 }
 
@@ -206,8 +224,10 @@ impl Drop for Cadence {
             .unwrap_or_else(|e| e.into_inner())
             .shutdown();
         // No handles remain, so nothing can reference a parked node.
-        let freed = unsafe { self.parked.drain_all() };
+        let (freed, freed_bytes) = unsafe { self.parked.drain_all() };
         self.scheme_stats.add_freed(freed as u64);
+        self.scheme_stats.add_freed_bytes(freed_bytes as u64);
+        self.governor.note_parked(-(freed_bytes as i64));
     }
 }
 
@@ -223,6 +243,10 @@ pub struct CadenceHandle {
     /// (`N·K` pointers) at registration so scans are allocation-free.
     scratch: PtrScratch,
     since_last_scan: usize,
+    /// This handle's stripe in the scheme's [`BudgetGovernor`].
+    budget_stripe: usize,
+    /// Local-bytes figure last pushed into the governor (delta-report cursor).
+    budget_reported: usize,
 }
 
 impl CadenceHandle {
@@ -234,13 +258,21 @@ impl CadenceHandle {
         self.scheme.registry.stats(self.slot)
     }
 
-    fn scan(&mut self) {
+    /// Scans and then re-reports the post-scan byte total, so the governor's
+    /// estimate credits what the scan just freed. Returns whether the scheme
+    /// is still over budget afterwards.
+    fn scan(&mut self) -> bool {
         self.scheme.scan_into(
             &mut self.retired,
             &mut self.pool,
             &mut self.scratch,
             self.scheme.registry.stats(self.slot),
         );
+        self.scheme.governor.report(
+            self.budget_stripe,
+            self.retired.bytes(),
+            &mut self.budget_reported,
+        )
     }
 }
 
@@ -264,30 +296,68 @@ impl SmrHandle for CadenceHandle {
     }
 
     unsafe fn retire(&mut self, ptr: *mut u8, drop_fn: DropFn) {
-        self.stats().add_retired(1);
+        // SAFETY: forwarded from the caller's contract.
+        unsafe { self.retire_sized(ptr, drop_fn, NO_BIRTH_ERA, 0) }
+    }
+
+    unsafe fn retire_sized(
+        &mut self,
+        ptr: *mut u8,
+        drop_fn: DropFn,
+        _birth_era: Era,
+        size_bytes: usize,
+    ) {
+        let stats = self.stats();
+        stats.add_retired(1);
+        stats.add_retired_bytes(size_bytes as u64);
         // Timestamp at removal time — the paper's `free_node_later` records
         // `time_created` on the wrapper node.
         let now = self.scheme.config.clock.now();
         // SAFETY: forwarded from the caller's contract.
         self.retired.push(&mut self.pool, unsafe {
-            RetiredPtr::new(ptr, drop_fn, now)
+            RetiredPtr::with_birth_sized(ptr, drop_fn, now, NO_BIRTH_ERA, size_bytes)
         });
         self.since_last_scan += 1;
         if self.since_last_scan >= self.scheme.config.scan_threshold {
             self.since_last_scan = 0;
             self.scan();
+        } else if self.scheme.governor.observe(
+            self.budget_stripe,
+            self.retired.bytes(),
+            &mut self.budget_reported,
+        ) {
+            // Budget breach: force a scan ahead of the count threshold (rung
+            // 1). The scan still enforces the age gate, so if everything aged
+            // out is freed but young garbage keeps us over budget, take one
+            // bounded backpressure yield (rung 3) — time is the only thing
+            // that makes Cadence garbage reclaimable.
+            self.scheme.governor.count_forced_scan();
+            self.since_last_scan = 0;
+            if self.scan() {
+                self.scheme.governor.count_backpressure();
+                std::thread::yield_now();
+            }
         }
     }
 
     fn flush(&mut self) {
-        // Adopt leftovers of exited threads so they rejoin the scan cycle.
+        // Adopt leftovers of exited threads so they rejoin the scan cycle. The
+        // adopted bytes move from the governor's parked counter to this
+        // handle's stripe (the post-scan report picks them up).
+        let before = self.retired.bytes();
         self.scheme.parked.adopt_into(&mut self.retired);
+        let adopted = self.retired.bytes() - before;
+        self.scheme.governor.note_parked(-(adopted as i64));
         self.since_last_scan = 0;
         self.scan();
     }
 
     fn local_in_limbo(&self) -> usize {
         self.retired.len()
+    }
+
+    fn local_limbo_bytes(&self) -> usize {
+        self.retired.bytes()
     }
 }
 
@@ -296,7 +366,13 @@ impl Drop for CadenceHandle {
         self.record().clear_all();
         self.scan();
         // O(1) chain splice; adopted by the next flushing handle or freed at
-        // scheme drop.
+        // scheme drop. The governor's parked counter takes over the byte
+        // accounting so a leaked handle's limbo never goes invisible.
+        let parked_bytes = self.retired.bytes();
+        self.scheme
+            .governor
+            .note_handle_exit(self.budget_stripe, &mut self.budget_reported);
+        self.scheme.governor.note_parked(parked_bytes as i64);
         self.scheme.parked.park(&mut self.retired);
         self.scheme.registry.release(self.slot);
         // Recycle the workspace to the next registrant (see `HandleCache`).

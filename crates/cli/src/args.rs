@@ -7,7 +7,7 @@
 
 use reclaim_core::EraAdvancePolicy;
 use std::time::Duration;
-use workload::{OpMix, SchemeKind, Structure};
+use workload::{FaultKind, OpMix, SchemeKind, Structure};
 
 /// Which schemes a run compares.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -27,6 +27,25 @@ impl SchemeSelection {
             SchemeSelection::One(kind) => vec![kind],
             SchemeSelection::Paper => SchemeKind::all().to_vec(),
             SchemeSelection::All => SchemeKind::extended().to_vec(),
+        }
+    }
+}
+
+/// Which faults a `--fault` run injects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultSelection {
+    /// A single fault.
+    One(FaultKind),
+    /// The whole fault matrix.
+    All,
+}
+
+impl FaultSelection {
+    /// The concrete faults this selection expands to.
+    pub fn faults(self) -> Vec<FaultKind> {
+        match self {
+            FaultSelection::One(kind) => vec![kind],
+            FaultSelection::All => FaultKind::all().to_vec(),
         }
     }
 }
@@ -62,6 +81,10 @@ pub struct CliOptions {
     pub eviction_ms: Option<u64>,
     /// Era-advance policy override for the era schemes (`--scheme he`).
     pub era_policy: Option<EraAdvancePolicy>,
+    /// Run the fault-injection matrix instead of the throughput experiment.
+    pub fault: Option<FaultSelection>,
+    /// Limbo budget in bytes (enables byte-budget enforcement and verdicts).
+    pub limbo_budget: Option<usize>,
     /// Print the usage text and exit.
     pub help: bool,
 }
@@ -83,6 +106,8 @@ impl Default for CliOptions {
             rooster_ms: None,
             eviction_ms: None,
             era_policy: None,
+            fault: None,
+            limbo_budget: None,
             help: false,
         }
     }
@@ -115,6 +140,14 @@ OPTIONS:
                                               a fixed allocations-per-tick interval, or an
                                               interval adapting between MIN and MAX driven
                                               by the LOW in-limbo low-water mark
+    --fault <stalled-reader|silent-thread|leaked-handle|random-delay|all>
+                                              run the fault-injection matrix instead of a
+                                              throughput experiment: inject this fault (or
+                                              all four) into each selected scheme and print
+                                              the limbo trajectory plus the budget verdict
+    --limbo-budget <BYTES>                    enforce a limbo byte budget (suffixes k/m ok);
+                                              schemes escalate when limbo crosses it and the
+                                              verdict records peak, time-over and escalations
     --help                                    print this text
 ";
 
@@ -186,6 +219,34 @@ fn parse_number<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, Stri
         .map_err(|_| format!("{flag} expects a number, got '{value}'"))
 }
 
+fn parse_fault(value: &str) -> Result<FaultSelection, String> {
+    if value == "all" {
+        return Ok(FaultSelection::All);
+    }
+    FaultKind::parse(value)
+        .map(FaultSelection::One)
+        .ok_or_else(|| {
+            format!(
+                "unknown fault '{value}' (expected stalled-reader, silent-thread, \
+                 leaked-handle, random-delay or all)"
+            )
+        })
+}
+
+/// Parses a byte count with an optional `k`/`m` (KiB/MiB) suffix.
+fn parse_bytes(flag: &str, value: &str) -> Result<usize, String> {
+    let (digits, scale) = match value.as_bytes().last() {
+        Some(b'k') | Some(b'K') => (&value[..value.len() - 1], 1024),
+        Some(b'm') | Some(b'M') => (&value[..value.len() - 1], 1024 * 1024),
+        _ => (value, 1),
+    };
+    let count: usize = parse_number(flag, digits)?;
+    if count == 0 {
+        return Err(format!("{flag} must be positive"));
+    }
+    Ok(count * scale)
+}
+
 impl CliOptions {
     /// Parses the given arguments (without the program name).
     pub fn parse<I, S>(args: I) -> Result<Self, String>
@@ -229,6 +290,10 @@ impl CliOptions {
                 "--rooster-ms" => options.rooster_ms = Some(parse_number(arg, &value_for(arg)?)?),
                 "--eviction-ms" => options.eviction_ms = Some(parse_number(arg, &value_for(arg)?)?),
                 "--era-policy" => options.era_policy = Some(parse_era_policy(&value_for(arg)?)?),
+                "--fault" => options.fault = Some(parse_fault(&value_for(arg)?)?),
+                "--limbo-budget" => {
+                    options.limbo_budget = Some(parse_bytes(arg, &value_for(arg)?)?)
+                }
                 "--help" | "-h" => options.help = true,
                 other => return Err(format!("unknown flag '{other}'\n\n{USAGE}")),
             }
@@ -429,5 +494,47 @@ mod tests {
     fn help_flag_is_sticky() {
         assert!(parse(&["--help"]).unwrap().help);
         assert!(parse(&["-h"]).unwrap().help);
+    }
+
+    #[test]
+    fn fault_flag_parses_every_kind_and_the_matrix() {
+        assert_eq!(parse(&[]).unwrap().fault, None);
+        for kind in FaultKind::all() {
+            assert_eq!(
+                parse(&["--fault", kind.name()]).unwrap().fault,
+                Some(FaultSelection::One(kind))
+            );
+        }
+        assert_eq!(
+            parse(&["--fault", "all"]).unwrap().fault,
+            Some(FaultSelection::All)
+        );
+        assert_eq!(FaultSelection::All.faults().len(), 4);
+        assert!(parse(&["--fault", "gremlin"])
+            .unwrap_err()
+            .contains("unknown fault"));
+    }
+
+    #[test]
+    fn limbo_budget_accepts_byte_counts_with_suffixes() {
+        assert_eq!(parse(&[]).unwrap().limbo_budget, None);
+        assert_eq!(
+            parse(&["--limbo-budget", "65536"]).unwrap().limbo_budget,
+            Some(65_536)
+        );
+        assert_eq!(
+            parse(&["--limbo-budget", "256k"]).unwrap().limbo_budget,
+            Some(256 * 1024)
+        );
+        assert_eq!(
+            parse(&["--limbo-budget", "2M"]).unwrap().limbo_budget,
+            Some(2 * 1024 * 1024)
+        );
+        assert!(parse(&["--limbo-budget", "0"])
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse(&["--limbo-budget", "lots"])
+            .unwrap_err()
+            .contains("expects a number"));
     }
 }

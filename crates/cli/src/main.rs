@@ -15,6 +15,7 @@
 //! qsense-bench --structure hashmap --scheme all --updates 10
 //! qsense-bench --scheme qsense --delay --timeline --duration 10
 //! qsense-bench --scheme qsense --delay --eviction-ms 200
+//! qsense-bench --scheme all --fault all --limbo-budget 256k
 //! ```
 
 mod args;
@@ -24,8 +25,8 @@ use reclaim_core::CountingAllocator;
 use std::sync::Arc;
 use std::time::Duration;
 use workload::{
-    make_set, report, run_experiment, DelaySchedule, Experiment, RunResult, SchemeKind,
-    WorkloadSpec,
+    default_fault_config, make_set, report, run_experiment, run_fault_for, DelaySchedule,
+    Experiment, FaultPlan, RunResult, SchemeKind, WorkloadSpec,
 };
 
 /// Heap tracking for the whole process: the experiments below report live/peak
@@ -54,7 +55,63 @@ fn build_config(options: &CliOptions) -> reclaim_core::SmrConfig {
     if let Some(policy) = options.era_policy {
         config = config.with_era_policy(policy);
     }
+    config.with_limbo_budget(options.limbo_budget)
+}
+
+/// The fault matrix's reclamation configuration: the shared fault defaults,
+/// with the same CLI overrides the throughput path honours.
+fn build_fault_config(options: &CliOptions) -> reclaim_core::SmrConfig {
+    let mut config = default_fault_config(options.limbo_budget);
+    if let Some(q) = options.quiescence {
+        config = config.with_quiescence_threshold(q);
+    }
+    if let Some(r) = options.scan {
+        config = config.with_scan_threshold(r);
+    }
+    if let Some(c) = options.fallback {
+        config = config.with_fallback_threshold(c);
+    }
+    if let Some(t) = options.rooster_ms {
+        config = config.with_rooster_interval(Duration::from_millis(t));
+    }
+    if let Some(ms) = options.eviction_ms {
+        config = config.with_eviction_timeout(Some(Duration::from_millis(ms)));
+    }
+    if let Some(policy) = options.era_policy {
+        config = config.with_era_policy(policy);
+    }
     config
+}
+
+/// Runs the scheme × fault matrix and prints one verdict row per cell.
+fn run_fault_matrix(options: &CliOptions, faults: &[workload::FaultKind]) {
+    println!(
+        "{:<8} {:<15} {:>12} {:>12} {:>10} {:>12} {:>8}",
+        "scheme", "fault", "peak KiB", "end nodes", "esc.", "over (ms)", "bounded"
+    );
+    for scheme in options.schemes.schemes() {
+        for &fault in faults {
+            let plan = FaultPlan::new(fault);
+            let result = run_fault_for(scheme, build_fault_config(options), &plan);
+            let verdict = result.verdict.unwrap_or_default();
+            println!(
+                "{:<8} {:<15} {:>12.1} {:>12} {:>10} {:>12.2} {:>8}",
+                result.scheme,
+                fault.name(),
+                result.peak_limbo_bytes as f64 / 1024.0,
+                result.end_limbo,
+                verdict.escalations(),
+                verdict.time_over_budget.as_secs_f64() * 1e3,
+                if options.limbo_budget.is_none() {
+                    "n/a"
+                } else if verdict.within_budget() {
+                    "yes"
+                } else {
+                    "no"
+                },
+            );
+        }
+    }
 }
 
 fn run_one(options: &CliOptions, scheme: SchemeKind) -> RunResult {
@@ -87,6 +144,19 @@ fn main() {
     };
     if options.help {
         print!("{USAGE}");
+        return;
+    }
+
+    if let Some(selection) = options.fault {
+        println!(
+            "qsense-bench: fault matrix, {:?}, budget {}",
+            options.schemes,
+            options
+                .limbo_budget
+                .map(|b| format!("{:.0} KiB", b as f64 / 1024.0))
+                .unwrap_or_else(|| "none (tracking only)".to_string()),
+        );
+        run_fault_matrix(&options, &selection.faults());
         return;
     }
 

@@ -5,8 +5,8 @@ use qsbr::GlobalEpoch;
 use reclaim_core::retired::DropFn;
 use reclaim_core::stats::{StatStripe, StatsSnapshot};
 use reclaim_core::{
-    CachePadded, HandleCache, ParkedChain, Registry, RetiredPtr, SegBag, SegPool, SlotId, Smr,
-    SmrConfig, SmrHandle,
+    BudgetGovernor, BudgetVerdict, CachePadded, Era, HandleCache, ParkedChain, Registry,
+    RetiredPtr, SegBag, SegPool, SlotId, Smr, SmrConfig, SmrHandle, NO_BIRTH_ERA,
 };
 use std::sync::Arc;
 
@@ -59,6 +59,12 @@ pub struct Ebr {
     /// Segment pools of exited threads, adopted by the next registrant so
     /// handle churn is allocation-free after the first wave.
     handle_cache: HandleCache<SegPool>,
+    /// Limbo-byte accounting and the budget escalation ladder. Unlike QSBR,
+    /// EBR *can* escalate mid-operation — `try_advance` plus a bucket collect
+    /// are safe at any point — but a thread stalled inside an operation still
+    /// caps the epoch at `pin + 1`, so escalation helps against bursty load
+    /// and is powerless against a mid-op stall (the verdict records which).
+    governor: BudgetGovernor,
 }
 
 impl Ebr {
@@ -66,6 +72,7 @@ impl Ebr {
     pub fn new(config: SmrConfig) -> Arc<Self> {
         let registry = Registry::new(config.max_threads, |_| PinRecord::new());
         let handle_cache = HandleCache::with_capacity(config.max_threads);
+        let governor = BudgetGovernor::new(config.limbo_budget, config.clock.clone());
         Arc::new(Self {
             config,
             global_epoch: GlobalEpoch::new(),
@@ -73,6 +80,7 @@ impl Ebr {
             scheme_stats: CachePadded::new(StatStripe::new()),
             parked: ParkedChain::new(),
             handle_cache,
+            governor,
         })
     }
 
@@ -119,6 +127,8 @@ impl Smr for Ebr {
         // A fresh thread starts unpinned; an unpinned record never blocks advancement.
         self.registry.get_mine(slot).unpin();
         EbrHandle {
+            budget_stripe: BudgetGovernor::stripe_for(slot.index()),
+            budget_reported: 0,
             scheme: Arc::clone(self),
             slot,
             limbo: std::array::from_fn(|_| EpochChain {
@@ -142,15 +152,22 @@ impl Smr for Ebr {
         let mut snap = StatsSnapshot::default();
         self.registry.merge_stats(&mut snap);
         self.scheme_stats.merge_into(&mut snap);
+        snap.peak_limbo_bytes = self.governor.peak_bytes();
         snap
+    }
+
+    fn budget_verdict(&self) -> Option<BudgetVerdict> {
+        Some(self.governor.verdict())
     }
 }
 
 impl Drop for Ebr {
     fn drop(&mut self) {
         // All handles are gone, so nobody can hold a reference to any parked node.
-        let freed = unsafe { self.parked.drain_all() };
+        let (freed, freed_bytes) = unsafe { self.parked.drain_all() };
         self.scheme_stats.add_freed(freed as u64);
+        self.scheme_stats.add_freed_bytes(freed_bytes as u64);
+        self.governor.note_parked(-(freed_bytes as i64));
     }
 }
 
@@ -195,6 +212,10 @@ pub struct EbrHandle {
     /// period).
     pinned: bool,
     retires_since_advance: usize,
+    /// This handle's stripe in the scheme's [`BudgetGovernor`].
+    budget_stripe: usize,
+    /// Local-bytes figure last pushed into the governor (delta-report cursor).
+    budget_reported: usize,
 }
 
 impl EbrHandle {
@@ -207,6 +228,11 @@ impl EbrHandle {
         self.limbo.iter().map(|chain| chain.bag.len()).sum()
     }
 
+    /// Total stamped bytes across the per-epoch limbo chains.
+    pub fn limbo_bytes(&self) -> usize {
+        self.limbo.iter().map(|chain| chain.bag.bytes()).sum()
+    }
+
     fn stats(&self) -> &StatStripe {
         self.scheme.registry.stats(self.slot)
     }
@@ -216,8 +242,10 @@ impl EbrHandle {
     /// bucket checks regardless of limbo size — this runs on every pin.
     fn collect(&mut self, global: u64) -> usize {
         let mut freed = 0usize;
+        let mut freed_bytes = 0usize;
         for chain in &mut self.limbo {
             if !chain.bag.is_empty() && global >= chain.epoch + SAFE_EPOCH_GAP {
+                freed_bytes += chain.bag.bytes();
                 // SAFETY: every node in this bucket was unlinked while its owner
                 // was pinned at `chain.epoch`, i.e. at a global epoch of at most
                 // `chain.epoch + 1`. Any thread still holding a reference has
@@ -234,6 +262,12 @@ impl EbrHandle {
         }
         if freed > 0 {
             self.stats().add_freed(freed as u64);
+            self.stats().add_freed_bytes(freed_bytes as u64);
+            self.scheme.governor.report(
+                self.budget_stripe,
+                self.limbo_bytes(),
+                &mut self.budget_reported,
+            );
         }
         freed
     }
@@ -251,11 +285,11 @@ impl EbrHandle {
                 // global epoch has reached at least `epoch` (the owner observed
                 // it) — hence reclaimable wholesale (same argument as `collect`).
                 debug_assert!(epoch >= chain.epoch + LIMBO_BUCKETS as u64);
+                let freed_bytes = chain.bag.bytes();
                 let freed = unsafe { chain.bag.reclaim_all(&mut self.pool) };
-                self.scheme
-                    .registry
-                    .stats(self.slot)
-                    .add_freed(freed as u64);
+                let stats = self.scheme.registry.stats(self.slot);
+                stats.add_freed(freed as u64);
+                stats.add_freed_bytes(freed_bytes as u64);
             }
             chain.epoch = epoch;
         }
@@ -291,7 +325,19 @@ impl SmrHandle for EbrHandle {
     fn clear_protections(&mut self) {}
 
     unsafe fn retire(&mut self, ptr: *mut u8, drop_fn: DropFn) {
+        // SAFETY: forwarded from the caller's contract.
+        unsafe { self.retire_sized(ptr, drop_fn, NO_BIRTH_ERA, 0) }
+    }
+
+    unsafe fn retire_sized(
+        &mut self,
+        ptr: *mut u8,
+        drop_fn: DropFn,
+        _birth_era: Era,
+        size_bytes: usize,
+    ) {
         self.stats().add_retired(1);
+        self.stats().add_retired_bytes(size_bytes as u64);
         let now = self.scheme.config.clock.now();
         // While pinned (the normal case — retires happen inside operations),
         // tag with the cached pin-time epoch: the pin bounds the global at
@@ -312,13 +358,36 @@ impl SmrHandle for EbrHandle {
             self.scheme.global_epoch.load()
         };
         // SAFETY: forwarded from the caller's contract.
-        let node = unsafe { RetiredPtr::new(ptr, drop_fn, now) };
+        let node =
+            unsafe { RetiredPtr::with_birth_sized(ptr, drop_fn, now, NO_BIRTH_ERA, size_bytes) };
         let b = self.bucket_for(epoch);
         self.limbo[b].bag.push(&mut self.pool, node);
         self.retires_since_advance += 1;
         if self.retires_since_advance >= self.scheme.config.scan_threshold {
             self.retires_since_advance = 0;
             self.scheme.try_advance();
+        } else if self.scheme.governor.observe(
+            self.budget_stripe,
+            self.limbo_bytes(),
+            &mut self.budget_reported,
+        ) {
+            // Budget breach: push the epoch forward and collect what aged out
+            // (rung 1 — both are safe mid-operation). If a mid-op stall
+            // elsewhere keeps the epoch capped and us over budget, take one
+            // bounded backpressure yield (rung 3).
+            self.scheme.governor.count_forced_scan();
+            self.retires_since_advance = 0;
+            self.scheme.try_advance();
+            let global = self.scheme.global_epoch.load();
+            self.collect(global);
+            if self.scheme.governor.report(
+                self.budget_stripe,
+                self.limbo_bytes(),
+                &mut self.budget_reported,
+            ) {
+                self.scheme.governor.count_backpressure();
+                std::thread::yield_now();
+            }
         }
     }
 
@@ -329,7 +398,10 @@ impl SmrHandle for EbrHandle {
         // `SAFE_EPOCH_GAP` wait covers it. O(1) splices, no allocation.
         let global = self.scheme.global_epoch.load();
         let b = self.bucket_for(global);
+        let before = self.limbo[b].bag.bytes();
         self.scheme.parked.adopt_into(&mut self.limbo[b].bag);
+        let adopted = self.limbo[b].bag.bytes() - before;
+        self.scheme.governor.note_parked(-(adopted as i64));
         // Make a best-effort attempt to push the epoch far enough forward that every
         // limbo node becomes reclaimable, then free whatever the advances allowed.
         // The thread must not be pinned while doing this (flush is called between
@@ -341,10 +413,19 @@ impl SmrHandle for EbrHandle {
         }
         let global = self.scheme.global_epoch.load();
         self.collect(global);
+        self.scheme.governor.report(
+            self.budget_stripe,
+            self.limbo_bytes(),
+            &mut self.budget_reported,
+        );
     }
 
     fn local_in_limbo(&self) -> usize {
         self.limbo_size()
+    }
+
+    fn local_limbo_bytes(&self) -> usize {
+        self.limbo_bytes()
     }
 }
 
@@ -358,6 +439,13 @@ impl Drop for EbrHandle {
         for chain in &mut self.limbo {
             leftovers.splice(&mut chain.bag);
         }
+        // The governor's parked counter takes over the byte accounting so a
+        // leaked handle's limbo never goes invisible.
+        let parked_bytes = leftovers.bytes();
+        self.scheme
+            .governor
+            .note_handle_exit(self.budget_stripe, &mut self.budget_reported);
+        self.scheme.governor.note_parked(parked_bytes as i64);
         self.scheme.parked.park(&mut leftovers);
         self.scheme.registry.release(self.slot);
         // Recycle the segment pool to the next registrant.

@@ -3,8 +3,9 @@
 use reclaim_core::retired::DropFn;
 use reclaim_core::stats::{StatStripe, StatsSnapshot};
 use reclaim_core::{
-    CachePadded, HandleCache, ParkedChain, PtrScratch, Registry, RetiredPtr, ScanParts, SegBag,
-    SegPool, SlotId, Smr, SmrConfig, SmrHandle,
+    BudgetGovernor, BudgetVerdict, CachePadded, Era, HandleCache, ParkedChain, PtrScratch,
+    Registry, RetiredPtr, ScanParts, SegBag, SegPool, SlotId, Smr, SmrConfig, SmrHandle,
+    NO_BIRTH_ERA,
 };
 use std::sync::atomic::{fence, AtomicPtr, Ordering};
 use std::sync::Arc;
@@ -57,6 +58,10 @@ pub struct Hazard {
     /// Pools + scratch buffers of exited threads, adopted by the next
     /// registrant so handle churn is allocation-free after the first wave.
     handle_cache: HandleCache<ScanParts>,
+    /// Limbo-byte accounting and (when `config.limbo_budget` is set) the
+    /// escalation ladder: HP scans are hazard-gated and therefore safe at any
+    /// point of the retire path, so a breach forces an immediate scan.
+    governor: BudgetGovernor,
 }
 
 impl Hazard {
@@ -64,12 +69,14 @@ impl Hazard {
     pub fn new(config: SmrConfig) -> Arc<Self> {
         let registry = Registry::new(config.max_threads, |_| HpRecord::new(config.hp_per_thread));
         let handle_cache = HandleCache::with_capacity(config.max_threads);
+        let governor = BudgetGovernor::new(config.limbo_budget, config.clock.clone());
         Arc::new(Self {
             config,
             registry,
             scheme_stats: CachePadded::new(StatStripe::new()),
             parked: ParkedChain::new(),
             handle_cache,
+            governor,
         })
     }
 
@@ -104,6 +111,7 @@ impl Hazard {
         stats.add_scan();
         self.collect_protected(scratch);
         let protected: &[*mut u8] = scratch;
+        let bytes_before = bag.bytes();
         // SAFETY: a node absent from the full hazard-pointer snapshot and already
         // unlinked (guaranteed by the retire contract) is unreachable by any thread:
         // Michael's scan argument. The snapshot is taken *after* the node was
@@ -113,6 +121,7 @@ impl Hazard {
         let freed =
             unsafe { bag.reclaim_if(pool, |node| protected.binary_search(&node.addr()).is_err()) };
         stats.add_freed(freed as u64);
+        stats.add_freed_bytes((bytes_before - bag.bytes()) as u64);
         freed
     }
 
@@ -142,6 +151,8 @@ impl Smr for Hazard {
             scratch: PtrScratch::with_capacity(self.config.max_threads * self.config.hp_per_thread),
         });
         HazardHandle {
+            budget_stripe: BudgetGovernor::stripe_for(slot.index()),
+            budget_reported: 0,
             scheme: Arc::clone(self),
             slot,
             retired: SegBag::new(),
@@ -160,7 +171,12 @@ impl Smr for Hazard {
         let mut snap = StatsSnapshot::default();
         self.registry.merge_stats(&mut snap);
         self.scheme_stats.merge_into(&mut snap);
+        snap.peak_limbo_bytes = self.governor.peak_bytes();
         snap
+    }
+
+    fn budget_verdict(&self) -> Option<BudgetVerdict> {
+        Some(self.governor.verdict())
     }
 }
 
@@ -168,8 +184,10 @@ impl Drop for Hazard {
     fn drop(&mut self) {
         // No handles remain (each holds an Arc<Self>), hence no hazard pointer can be
         // published and no thread can reach a parked node: free everything.
-        let freed = unsafe { self.parked.drain_all() };
+        let (freed, freed_bytes) = unsafe { self.parked.drain_all() };
         self.scheme_stats.add_freed(freed as u64);
+        self.scheme_stats.add_freed_bytes(freed_bytes as u64);
+        self.governor.note_parked(-(freed_bytes as i64));
     }
 }
 
@@ -188,6 +206,10 @@ pub struct HazardHandle {
     /// Traversal fences issued by this thread since the last flush to shared stats
     /// (kept local so the hot path does not add an extra shared atomic per node).
     local_fences: u64,
+    /// This handle's stripe in the scheme's [`BudgetGovernor`].
+    budget_stripe: usize,
+    /// Local-bytes figure last pushed into the governor (delta-report cursor).
+    budget_reported: usize,
 }
 
 impl HazardHandle {
@@ -199,13 +221,21 @@ impl HazardHandle {
         self.scheme.registry.stats(self.slot)
     }
 
-    fn scan(&mut self) {
+    /// Scans and then re-reports the post-scan byte total, so the governor's
+    /// estimate credits what the scan just freed. Returns whether the scheme
+    /// is still over budget afterwards.
+    fn scan(&mut self) -> bool {
         self.scheme.scan_into(
             &mut self.retired,
             &mut self.pool,
             &mut self.scratch,
             self.scheme.registry.stats(self.slot),
         );
+        self.scheme.governor.report(
+            self.budget_stripe,
+            self.retired.bytes(),
+            &mut self.budget_reported,
+        )
     }
 
     fn publish_fence_count(&mut self) {
@@ -246,29 +276,66 @@ impl SmrHandle for HazardHandle {
     }
 
     unsafe fn retire(&mut self, ptr: *mut u8, drop_fn: DropFn) {
-        self.stats().add_retired(1);
+        // SAFETY: forwarded from the caller's contract.
+        unsafe { self.retire_sized(ptr, drop_fn, NO_BIRTH_ERA, 0) }
+    }
+
+    unsafe fn retire_sized(
+        &mut self,
+        ptr: *mut u8,
+        drop_fn: DropFn,
+        _birth_era: Era,
+        size_bytes: usize,
+    ) {
+        let stats = self.stats();
+        stats.add_retired(1);
+        stats.add_retired_bytes(size_bytes as u64);
         let now = self.scheme.config.clock.now();
         // SAFETY: forwarded from the caller's contract.
         self.retired.push(&mut self.pool, unsafe {
-            RetiredPtr::new(ptr, drop_fn, now)
+            RetiredPtr::with_birth_sized(ptr, drop_fn, now, NO_BIRTH_ERA, size_bytes)
         });
         self.since_last_scan += 1;
         if self.since_last_scan >= self.scheme.config.scan_threshold {
             self.since_last_scan = 0;
             self.scan();
+        } else if self.scheme.governor.observe(
+            self.budget_stripe,
+            self.retired.bytes(),
+            &mut self.budget_reported,
+        ) {
+            // Budget breach: force a scan ahead of the count threshold (rung 1);
+            // if hazard pointers still pin us over budget, take one bounded
+            // backpressure yield (rung 3) so stalled readers get CPU time to
+            // move on instead of this thread piling garbage ever faster.
+            self.scheme.governor.count_forced_scan();
+            self.since_last_scan = 0;
+            if self.scan() {
+                self.scheme.governor.count_backpressure();
+                std::thread::yield_now();
+            }
         }
     }
 
     fn flush(&mut self) {
         self.publish_fence_count();
-        // Adopt leftovers of exited threads so they rejoin the scan cycle.
+        // Adopt leftovers of exited threads so they rejoin the scan cycle. The
+        // adopted bytes move from the governor's parked counter to this
+        // handle's stripe (the post-scan report picks them up).
+        let before = self.retired.bytes();
         self.scheme.parked.adopt_into(&mut self.retired);
+        let adopted = self.retired.bytes() - before;
+        self.scheme.governor.note_parked(-(adopted as i64));
         self.since_last_scan = 0;
         self.scan();
     }
 
     fn local_in_limbo(&self) -> usize {
         self.retired.len()
+    }
+
+    fn local_limbo_bytes(&self) -> usize {
+        self.retired.bytes()
     }
 }
 
@@ -281,7 +348,14 @@ impl Drop for HazardHandle {
         self.scan();
         // Whatever is still protected by *other* threads is parked on the scheme
         // (an O(1) chain splice) and either adopted by the next handle to flush or
-        // released when the scheme itself is dropped.
+        // released when the scheme itself is dropped. The governor's parked
+        // counter takes over the byte accounting so a leaked handle's limbo
+        // never goes invisible.
+        let parked_bytes = self.retired.bytes();
+        self.scheme
+            .governor
+            .note_handle_exit(self.budget_stripe, &mut self.budget_reported);
+        self.scheme.governor.note_parked(parked_bytes as i64);
         self.scheme.parked.park(&mut self.retired);
         self.scheme.registry.release(self.slot);
         // Recycle the workspace to the next registrant: after the first wave of

@@ -4,8 +4,8 @@ use crate::era::{EraRecord, INACTIVE_LOWER};
 use reclaim_core::retired::DropFn;
 use reclaim_core::stats::{StatStripe, StatsSnapshot};
 use reclaim_core::{
-    CachePadded, Era, EraPacer, HandleCache, ParkedChain, Registry, RetiredPtr, SegBag, SegPool,
-    SlotId, Smr, SmrConfig, SmrHandle,
+    BudgetGovernor, BudgetVerdict, CachePadded, Era, EraAdvancePolicy, EraPacer, HandleCache,
+    ParkedChain, Registry, RetiredPtr, SegBag, SegPool, SlotId, Smr, SmrConfig, SmrHandle,
 };
 use std::sync::atomic::{fence, Ordering};
 use std::sync::Arc;
@@ -108,6 +108,15 @@ pub struct He {
     /// Pools + scratch buffers of exited threads, adopted by the next
     /// registrant so handle churn is allocation-free after the first wave.
     handle_cache: HandleCache<HeParts>,
+    /// Limbo-byte accounting and the budget escalation ladder (forced scans
+    /// plus byte-driven pacer boosts; see [`pacer_in_bytes`](Self)).
+    governor: BudgetGovernor,
+    /// When true, the pacer's limbo aggregate is denominated in **bytes**
+    /// instead of nodes: an adaptive policy combined with a byte budget
+    /// re-anchors the pacer's low-water mark at a quarter of the budget, so
+    /// era cadence reacts to the quantity the budget is written in. Off
+    /// (node denomination, the PR 5 behaviour) when either is absent.
+    pacer_in_bytes: bool,
 }
 
 impl He {
@@ -116,6 +125,12 @@ impl He {
         let registry = Registry::new(config.max_threads, |_| EraRecord::new());
         let handle_cache = HandleCache::with_capacity(config.max_threads);
         let pacer = EraPacer::new(config.era_policy);
+        let governor = BudgetGovernor::new(config.limbo_budget, config.clock.clone());
+        let pacer_in_bytes =
+            governor.enforcing() && matches!(config.era_policy, EraAdvancePolicy::Adaptive { .. });
+        if pacer_in_bytes {
+            pacer.set_limbo_low_water(((governor.budget_bytes() / 4) as usize).max(1));
+        }
         Arc::new(Self {
             config,
             pacer,
@@ -123,6 +138,8 @@ impl He {
             scheme_stats: CachePadded::new(StatStripe::new()),
             parked: ParkedChain::new(),
             handle_cache,
+            governor,
+            pacer_in_bytes,
         })
     }
 
@@ -187,6 +204,8 @@ impl Smr for He {
             allocs_since_tick: 0,
             retires_since_scan: 0,
             limbo_reported: 0,
+            budget_stripe: BudgetGovernor::stripe_for(slot.index()),
+            budget_reported: 0,
             scan_wholesale: 0,
             scan_skips: 0,
             scan_walks: 0,
@@ -201,7 +220,12 @@ impl Smr for He {
         let mut snap = StatsSnapshot::default();
         self.registry.merge_stats(&mut snap);
         self.scheme_stats.merge_into(&mut snap);
+        snap.peak_limbo_bytes = self.governor.peak_bytes();
         snap
+    }
+
+    fn budget_verdict(&self) -> Option<BudgetVerdict> {
+        Some(self.governor.verdict())
     }
 }
 
@@ -209,8 +233,10 @@ impl Drop for He {
     fn drop(&mut self) {
         // All handles are gone (each holds an Arc<Self>), so no reservation is
         // announced and no thread can reach a parked node.
-        let freed = unsafe { self.parked.drain_all() };
+        let (freed, freed_bytes) = unsafe { self.parked.drain_all() };
         self.scheme_stats.add_freed(freed as u64);
+        self.scheme_stats.add_freed_bytes(freed_bytes as u64);
+        self.governor.note_parked(-(freed_bytes as i64));
     }
 }
 
@@ -238,10 +264,15 @@ pub struct HeHandle {
     /// carries a phantom tick across a flush or a handle generation.
     allocs_since_tick: usize,
     retires_since_scan: usize,
-    /// In-limbo count as last reported to the pacer's striped aggregate
+    /// In-limbo figure as last reported to the pacer's striped aggregate
     /// (adaptive policy only; the pacer keeps this cursor exact across scans
-    /// and retracts it wholesale at handle exit).
+    /// and retracts it wholesale at handle exit). Denominated in nodes, or in
+    /// bytes when the scheme runs the pacer in byte mode.
     limbo_reported: usize,
+    /// This handle's stripe in the scheme's [`BudgetGovernor`].
+    budget_stripe: usize,
+    /// Local-bytes figure last pushed into the governor (delta-report cursor).
+    budget_reported: usize,
     /// Diagnostics: chains dispatched wholesale (O(1) `reclaim_all`) by this
     /// handle's scans.
     scan_wholesale: u64,
@@ -263,6 +294,11 @@ impl HeHandle {
     /// Total retired-but-unreclaimed nodes across the era buckets.
     pub fn limbo_size(&self) -> usize {
         self.limbo.iter().map(|chain| chain.bag.len()).sum()
+    }
+
+    /// Total stamped bytes across the era buckets.
+    pub fn limbo_bytes(&self) -> usize {
+        self.limbo.iter().map(|chain| chain.bag.bytes()).sum()
     }
 
     /// Diagnostics: how this handle's scans dispatched era chains, as
@@ -311,6 +347,7 @@ impl HeHandle {
                 self.reservations.push((lower, upper));
             }
         }
+        let bytes_before = self.limbo_bytes();
         let mut freed = 0usize;
         for chain in &mut self.limbo {
             if chain.bag.is_empty() {
@@ -380,15 +417,32 @@ impl HeHandle {
         }
         if freed > 0 {
             self.stats().add_freed(freed as u64);
+            self.stats()
+                .add_freed_bytes((bytes_before - self.limbo_bytes()) as u64);
         }
         // Report this handle's in-limbo delta into the pacer's striped
         // aggregate and let it adapt the tick interval (no-op under the
         // static policy). Runs after the frees so the estimate tracks the
-        // *residue* — the garbage reservations are actually pinning.
-        let in_limbo = self.limbo_size();
-        self.scheme
+        // *residue* — the garbage reservations are actually pinning. In byte
+        // mode the figure is bytes against a low-water mark of budget/4; a
+        // resulting speed-up is a budget escalation and is counted as such.
+        let in_limbo = if self.scheme.pacer_in_bytes {
+            self.limbo_bytes()
+        } else {
+            self.limbo_size()
+        };
+        let sped_up = self
+            .scheme
             .pacer
             .note_scan(self.stripe, in_limbo, &mut self.limbo_reported);
+        if sped_up && self.scheme.pacer_in_bytes {
+            self.scheme.governor.count_pacer_boost();
+        }
+        self.scheme.governor.report(
+            self.budget_stripe,
+            self.limbo_bytes(),
+            &mut self.budget_reported,
+        );
     }
 }
 
@@ -447,18 +501,32 @@ impl SmrHandle for HeHandle {
         // Unstamped retire: NO_BIRTH_ERA (= 0) makes the node's interval start
         // before every announced era — maximally conservative, always safe.
         // SAFETY: forwarded from the caller's contract.
-        unsafe { self.retire_with_birth(ptr, drop_fn, reclaim_core::NO_BIRTH_ERA) }
+        unsafe { self.retire_sized(ptr, drop_fn, reclaim_core::NO_BIRTH_ERA, 0) }
     }
 
     unsafe fn retire_with_birth(&mut self, ptr: *mut u8, drop_fn: DropFn, birth_era: Era) {
+        // SAFETY: forwarded from the caller's contract.
+        unsafe { self.retire_sized(ptr, drop_fn, birth_era, 0) }
+    }
+
+    unsafe fn retire_sized(
+        &mut self,
+        ptr: *mut u8,
+        drop_fn: DropFn,
+        birth_era: Era,
+        size_bytes: usize,
+    ) {
         self.stats().add_retired(1);
+        self.stats().add_retired_bytes(size_bytes as u64);
         // The retire era must be a *fresh* read (see the scheme docs): any
         // reader still holding this node announced its reservation before now,
         // so monotonicity puts that announcement inside [birth, retire].
         let retire_era = self.scheme.pacer.current();
         // SAFETY: forwarded from the caller's contract. `retired_at` carries
         // the logical retire era — HE never consults wall-clock age.
-        let node = unsafe { RetiredPtr::with_birth(ptr, drop_fn, retire_era, birth_era) };
+        let node = unsafe {
+            RetiredPtr::with_birth_sized(ptr, drop_fn, retire_era, birth_era, size_bytes)
+        };
         let chain = &mut self.limbo[(retire_era % ERA_BUCKETS as u64) as usize];
         if chain.bag.is_empty() {
             chain.tag = retire_era;
@@ -478,6 +546,27 @@ impl SmrHandle for HeHandle {
         if self.retires_since_scan >= self.scheme.config.scan_threshold {
             self.retires_since_scan = 0;
             self.scan();
+        } else if self.scheme.governor.observe(
+            self.budget_stripe,
+            self.limbo_bytes(),
+            &mut self.budget_reported,
+        ) {
+            // Budget breach: force a scan ahead of the count threshold (rung
+            // 1 — era scans are reservation-gated and safe mid-operation; the
+            // scan's own era advance plus the byte-mode pacer keep ticking,
+            // rung 2a). If a stalled reservation still pins us over budget,
+            // take one bounded backpressure yield (rung 3).
+            self.scheme.governor.count_forced_scan();
+            self.retires_since_scan = 0;
+            self.scan();
+            if self.scheme.governor.report(
+                self.budget_stripe,
+                self.limbo_bytes(),
+                &mut self.budget_reported,
+            ) {
+                self.scheme.governor.count_backpressure();
+                std::thread::yield_now();
+            }
         }
     }
 
@@ -500,10 +589,17 @@ impl SmrHandle for HeHandle {
         let mut adopted = SegBag::new();
         self.scheme.parked.adopt_into(&mut adopted);
         if !adopted.is_empty() {
-            // The adopted nodes leave the pacer's parked counter and re-enter
-            // this handle's own limbo reports (the scan below files the first
-            // one) — the hand-off conserves the scheme-wide estimate.
-            self.scheme.pacer.note_parked(-(adopted.len() as i64));
+            // The adopted nodes leave the pacer's (and governor's) parked
+            // counters and re-enter this handle's own limbo reports (the scan
+            // below files the first one) — the hand-off conserves both
+            // scheme-wide estimates. Denominations match what was parked.
+            let pacer_debit = if self.scheme.pacer_in_bytes {
+                adopted.bytes()
+            } else {
+                adopted.len()
+            };
+            self.scheme.pacer.note_parked(-(pacer_debit as i64));
+            self.scheme.governor.note_parked(-(adopted.bytes() as i64));
             let era = self.scheme.pacer.current();
             // Adopted nodes carry real per-node birth stamps: compute the true
             // birth bounds while splicing (an O(adopted) walk on a churn-only
@@ -544,6 +640,10 @@ impl SmrHandle for HeHandle {
     fn local_in_limbo(&self) -> usize {
         self.limbo_size()
     }
+
+    fn local_limbo_bytes(&self) -> usize {
+        self.limbo_bytes()
+    }
 }
 
 impl Drop for HeHandle {
@@ -556,7 +656,12 @@ impl Drop for HeHandle {
         for chain in &mut self.limbo {
             leftovers.splice(&mut chain.bag);
         }
-        let parked = leftovers.len();
+        let parked = if self.scheme.pacer_in_bytes {
+            leftovers.bytes()
+        } else {
+            leftovers.len()
+        };
+        let parked_bytes = leftovers.bytes();
         self.scheme.parked.park(&mut leftovers);
         // Move this handle's limbo contribution from its stripe to the
         // pacer's parked counter: retract the per-handle report (whoever
@@ -564,10 +669,16 @@ impl Drop for HeHandle {
         // would double count across churn) but keep the parked nodes pressing
         // on the estimate, so the interval cannot decay to the idle floor
         // while real garbage sits in the parking lot waiting for a flush.
+        // The governor's parked counter takes over the byte accounting the
+        // same way, so a leaked handle's limbo never goes invisible.
         self.scheme
             .pacer
             .note_handle_exit(self.stripe, &mut self.limbo_reported);
         self.scheme.pacer.note_parked(parked as i64);
+        self.scheme
+            .governor
+            .note_handle_exit(self.budget_stripe, &mut self.budget_reported);
+        self.scheme.governor.note_parked(parked_bytes as i64);
         self.scheme.registry.release(self.slot);
         // Recycle the workspace to the next registrant: after the first wave of
         // handles, registration allocates nothing.

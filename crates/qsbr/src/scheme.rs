@@ -6,8 +6,8 @@ use crate::epoch::{
 use reclaim_core::retired::DropFn;
 use reclaim_core::stats::{StatStripe, StatsSnapshot};
 use reclaim_core::{
-    CachePadded, HandleCache, ParkedChain, Registry, RetiredPtr, SegBag, SegPool, SlotId, Smr,
-    SmrConfig, SmrHandle,
+    BudgetGovernor, BudgetVerdict, CachePadded, Era, HandleCache, ParkedChain, Registry,
+    RetiredPtr, SegBag, SegPool, SlotId, Smr, SmrConfig, SmrHandle, NO_BIRTH_ERA,
 };
 use std::sync::Arc;
 
@@ -31,6 +31,12 @@ pub struct Qsbr {
     /// Segment pools of exited threads, adopted by the next registrant so
     /// handle churn is allocation-free after the first wave.
     handle_cache: HandleCache<SegPool>,
+    /// Limbo-byte accounting — **tracking only**. QSBR has no escalation
+    /// ladder to climb: declaring a quiescent state mid-operation would be
+    /// unsound, and no hazard-gated scan exists. Under a stalled reader the
+    /// estimate exceeds any budget and the verdict records exactly that —
+    /// QSBR's non-robustness is the measurement, not a bug.
+    governor: BudgetGovernor,
 }
 
 impl Qsbr {
@@ -38,6 +44,7 @@ impl Qsbr {
     pub fn new(config: SmrConfig) -> Arc<Self> {
         let registry = Registry::new(config.max_threads, |_| EpochRecord::new());
         let handle_cache = HandleCache::with_capacity(config.max_threads);
+        let governor = BudgetGovernor::new(config.limbo_budget, config.clock.clone());
         Arc::new(Self {
             config,
             global_epoch: GlobalEpoch::new(),
@@ -46,6 +53,7 @@ impl Qsbr {
             scheme_stats: CachePadded::new(StatStripe::new()),
             parked: ParkedChain::new(),
             handle_cache,
+            governor,
         })
     }
 
@@ -97,6 +105,8 @@ impl Smr for Qsbr {
         let epoch = self.global_epoch.load();
         self.registry.get_mine(slot).store(epoch);
         QsbrHandle {
+            budget_stripe: BudgetGovernor::stripe_for(slot.index()),
+            budget_reported: 0,
             scheme: Arc::clone(self),
             slot,
             limbo: std::array::from_fn(|_| SegBag::new()),
@@ -116,15 +126,22 @@ impl Smr for Qsbr {
         let mut snap = StatsSnapshot::default();
         self.registry.merge_stats(&mut snap);
         self.scheme_stats.merge_into(&mut snap);
+        snap.peak_limbo_bytes = self.governor.peak_bytes();
         snap
+    }
+
+    fn budget_verdict(&self) -> Option<BudgetVerdict> {
+        Some(self.governor.verdict())
     }
 }
 
 impl Drop for Qsbr {
     fn drop(&mut self) {
         // All handles are gone, so nobody holds references to any parked node.
-        let freed = unsafe { self.parked.drain_all() };
+        let (freed, freed_bytes) = unsafe { self.parked.drain_all() };
         self.scheme_stats.add_freed(freed as u64);
+        self.scheme_stats.add_freed_bytes(freed_bytes as u64);
+        self.governor.note_parked(-(freed_bytes as i64));
     }
 }
 
@@ -142,6 +159,10 @@ pub struct QsbrHandle {
     /// Cached copy of this thread's published epoch.
     local_epoch: u64,
     ops_since_quiescence: usize,
+    /// This handle's stripe in the scheme's [`BudgetGovernor`].
+    budget_stripe: usize,
+    /// Local-bytes figure last pushed into the governor (delta-report cursor).
+    budget_reported: usize,
 }
 
 impl QsbrHandle {
@@ -171,6 +192,7 @@ impl QsbrHandle {
         self.scheme.registry.get_mine(self.slot).store(global);
         self.local_epoch = global;
         let bucket = limbo_index(global);
+        let bytes_before = self.limbo[bucket].bytes();
         // SAFETY (Lemma 3 of the paper): every node in this bucket was retired three
         // local-epoch transitions ago; the global epoch has advanced at least twice
         // since, and each advance requires every registered thread to have passed
@@ -178,11 +200,22 @@ impl QsbrHandle {
         // therefore still hold a hazardous reference to these nodes.
         let freed = unsafe { self.limbo[bucket].reclaim_all(&mut self.pool) };
         self.stats().add_freed(freed as u64);
+        self.stats().add_freed_bytes(bytes_before as u64);
+        self.scheme.governor.report(
+            self.budget_stripe,
+            self.limbo_bytes(),
+            &mut self.budget_reported,
+        );
     }
 
     /// Total number of retired-but-unreclaimed nodes across the three limbo lists.
     pub fn limbo_size(&self) -> usize {
         self.limbo.iter().map(SegBag::len).sum()
+    }
+
+    /// Total stamped bytes across the three limbo lists.
+    pub fn limbo_bytes(&self) -> usize {
+        self.limbo.iter().map(SegBag::bytes).sum()
     }
 }
 
@@ -206,22 +239,47 @@ impl SmrHandle for QsbrHandle {
     fn clear_protections(&mut self) {}
 
     unsafe fn retire(&mut self, ptr: *mut u8, drop_fn: DropFn) {
+        // SAFETY: forwarded from the caller's contract.
+        unsafe { self.retire_sized(ptr, drop_fn, NO_BIRTH_ERA, 0) }
+    }
+
+    unsafe fn retire_sized(
+        &mut self,
+        ptr: *mut u8,
+        drop_fn: DropFn,
+        _birth_era: Era,
+        size_bytes: usize,
+    ) {
         self.stats().add_retired(1);
+        self.stats().add_retired_bytes(size_bytes as u64);
         let now = self.scheme.config.clock.now();
         let bucket = limbo_index(self.local_epoch);
         // SAFETY: forwarded from the caller's contract.
         self.limbo[bucket].push(&mut self.pool, unsafe {
-            RetiredPtr::new(ptr, drop_fn, now)
+            RetiredPtr::with_birth_sized(ptr, drop_fn, now, NO_BIRTH_ERA, size_bytes)
         });
+        // Track bytes so the estimate (and the over-budget stopwatch) stays
+        // honest, but never escalate: a quiescent state cannot be declared
+        // mid-operation, so the only lever QSBR has is waiting — which is
+        // precisely the non-robustness the verdict exists to record.
+        self.scheme.governor.observe(
+            self.budget_stripe,
+            self.limbo_bytes(),
+            &mut self.budget_reported,
+        );
     }
 
     fn flush(&mut self) {
         // Adopt limbo leftovers of exited threads into the current bucket: they
         // were retired (unlinked) before the adoption, so freeing them after this
         // bucket's next full grace period is safe. O(1) splice, no allocation.
-        self.scheme
-            .parked
-            .adopt_into(&mut self.limbo[limbo_index(self.local_epoch)]);
+        // The adopted bytes move from the governor's parked counter to this
+        // handle's stripe (the post-quiesce report picks them up).
+        let bucket = limbo_index(self.local_epoch);
+        let before = self.limbo[bucket].bytes();
+        self.scheme.parked.adopt_into(&mut self.limbo[bucket]);
+        let adopted = self.limbo[bucket].bytes() - before;
+        self.scheme.governor.note_parked(-(adopted as i64));
         // Cycle through enough quiescent states to let the epoch advance and every
         // limbo bucket be visited, assuming no other thread is blocking advancement.
         // (If one is, this frees whatever a partial cycle allows — same as QSBR's
@@ -229,10 +287,19 @@ impl SmrHandle for QsbrHandle {
         for _ in 0..2 * EPOCH_BUCKETS {
             self.quiesce();
         }
+        self.scheme.governor.report(
+            self.budget_stripe,
+            self.limbo_bytes(),
+            &mut self.budget_reported,
+        );
     }
 
     fn local_in_limbo(&self) -> usize {
         self.limbo_size()
+    }
+
+    fn local_limbo_bytes(&self) -> usize {
+        self.limbo_bytes()
     }
 }
 
@@ -246,6 +313,13 @@ impl Drop for QsbrHandle {
         for bag in &mut self.limbo {
             leftovers.splice(bag);
         }
+        // The governor's parked counter takes over the byte accounting so a
+        // leaked handle's limbo never goes invisible.
+        let parked_bytes = leftovers.bytes();
+        self.scheme
+            .governor
+            .note_handle_exit(self.budget_stripe, &mut self.budget_reported);
+        self.scheme.governor.note_parked(parked_bytes as i64);
         self.scheme.parked.park(&mut leftovers);
         self.scheme.registry.release(self.slot);
         // Recycle the segment pool to the next registrant.

@@ -6,8 +6,9 @@ use qsbr::{limbo_index, CursorCheck, EpochCursor, EpochRecord, GlobalEpoch, EPOC
 use reclaim_core::retired::DropFn;
 use reclaim_core::stats::{StatStripe, StatsSnapshot};
 use reclaim_core::{
-    membarrier, CachePadded, HandleCache, ParkedChain, PtrScratch, Registry, RetiredPtr, ScanParts,
-    SegBag, SegPool, SlotId, Smr, SmrConfig, SmrHandle,
+    membarrier, BudgetGovernor, BudgetVerdict, CachePadded, Era, HandleCache, ParkedChain,
+    PtrScratch, Registry, RetiredPtr, ScanParts, SegBag, SegPool, SlotId, Smr, SmrConfig,
+    SmrHandle, NO_BIRTH_ERA,
 };
 use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -137,6 +138,12 @@ pub struct QSense {
     /// Pools + scratch buffers of exited threads, adopted by the next
     /// registrant so handle churn is allocation-free after the first wave.
     handle_cache: HandleCache<ScanParts>,
+    /// Byte-denominated limbo budget. QSense owns the strongest escalation
+    /// lever of any scheme here: when limbo bytes cross the budget on the fast
+    /// path, the governor trips the hybrid's own fallback switch early —
+    /// QSBR-style grace periods are exactly what a stalled thread stalls, and
+    /// the Cadence scan the fallback path runs needs no cooperation.
+    governor: BudgetGovernor,
 }
 
 impl QSense {
@@ -151,6 +158,7 @@ impl QSense {
             config.use_membarrier,
         );
         let handle_cache = HandleCache::with_capacity(config.max_threads);
+        let governor = BudgetGovernor::new(config.limbo_budget, config.clock.clone());
         Arc::new(Self {
             config,
             registry,
@@ -162,6 +170,7 @@ impl QSense {
             rooster: Mutex::new(rooster),
             parked: ParkedChain::new(),
             handle_cache,
+            governor,
         })
     }
 
@@ -380,6 +389,7 @@ impl QSense {
         // are pushed in retirement order, so the scan touches only the aged
         // prefix (adopted parked chains behind younger nodes are merely
         // delayed, never endangered).
+        let bytes_before = bag.bytes();
         let freed = unsafe {
             bag.reclaim_if_while(
                 pool,
@@ -388,6 +398,7 @@ impl QSense {
             )
         };
         stats.add_freed(freed as u64);
+        stats.add_freed_bytes((bytes_before - bag.bytes()) as u64);
         freed
     }
 }
@@ -412,6 +423,7 @@ impl Smr for QSense {
         });
         QSenseHandle {
             scheme: Arc::clone(self),
+            budget_stripe: BudgetGovernor::stripe_for(slot.index()),
             slot,
             limbo: std::array::from_fn(|_| SegBag::new()),
             pool: parts.pool,
@@ -419,6 +431,7 @@ impl Smr for QSense {
             local_epoch: epoch,
             ops_since_quiescence: 0,
             retires_since_scan: 0,
+            budget_reported: 0,
             prev_seen_path: Path::Fast,
         }
     }
@@ -431,7 +444,12 @@ impl Smr for QSense {
         let mut snap = StatsSnapshot::default();
         self.registry.merge_stats(&mut snap);
         self.scheme_stats.merge_into(&mut snap);
+        snap.peak_limbo_bytes = self.governor.peak_bytes();
         snap
+    }
+
+    fn budget_verdict(&self) -> Option<BudgetVerdict> {
+        Some(self.governor.verdict())
     }
 }
 
@@ -442,8 +460,10 @@ impl Drop for QSense {
             .unwrap_or_else(|e| e.into_inner())
             .shutdown();
         // No handles remain, so nothing can reference a parked node.
-        let freed = unsafe { self.parked.drain_all() };
+        let (freed, freed_bytes) = unsafe { self.parked.drain_all() };
         self.scheme_stats.add_freed(freed as u64);
+        self.scheme_stats.add_freed_bytes(freed_bytes as u64);
+        self.governor.note_parked(-(freed_bytes as i64));
     }
 }
 
@@ -466,6 +486,10 @@ pub struct QSenseHandle {
     ops_since_quiescence: usize,
     /// `free_node_later_call_count` in Algorithm 5.
     retires_since_scan: usize,
+    /// Governor stripe this handle debits/credits (slot-derived, stable).
+    budget_stripe: usize,
+    /// Limbo-byte figure last reported to the governor (delta cursor).
+    budget_reported: usize,
     /// `prev_seen_fallback_flag` in Algorithm 5.
     prev_seen_path: Path,
 }
@@ -482,6 +506,11 @@ impl QSenseHandle {
     /// Total retired-but-unreclaimed nodes across the three limbo lists.
     pub fn limbo_size(&self) -> usize {
         self.limbo.iter().map(SegBag::len).sum()
+    }
+
+    /// Total retired-but-unreclaimed bytes across the three limbo lists.
+    pub fn limbo_bytes(&self) -> usize {
+        self.limbo.iter().map(SegBag::bytes).sum()
     }
 
     /// The path this handle last observed (for tests and diagnostics).
@@ -516,17 +545,25 @@ impl QSenseHandle {
                 // elapsed since the nodes in this bucket were retired (counting every
                 // registered thread, since none is evicted), so no thread holds a
                 // hazardous reference to them. Identical argument to the `qsbr` crate.
+                let bytes_before = self.limbo[bucket].bytes();
                 let freed = unsafe { self.limbo[bucket].reclaim_all(&mut self.pool) };
                 self.stats().add_freed(freed as u64);
+                self.stats().add_freed_bytes(bytes_before as u64);
             }
+            self.scheme.governor.report(
+                self.budget_stripe,
+                self.limbo_bytes(),
+                &mut self.budget_reported,
+            );
         } else {
             self.scheme.poll_epoch_confirmation(global);
         }
     }
 
     /// Cadence-style scan over all three limbo lists (fallback path; paper Algorithm
-    /// 5 lines 45–47 scan every epoch's list).
-    fn cadence_scan_all(&mut self) {
+    /// 5 lines 45–47 scan every epoch's list). Returns `true` when limbo bytes
+    /// remain over the configured budget even after the scan.
+    fn cadence_scan_all(&mut self) -> bool {
         self.stats().add_scan();
         self.scheme.protected_snapshot_into(&mut self.scratch);
         let stats = self.scheme.registry.stats(self.slot);
@@ -534,6 +571,11 @@ impl QSenseHandle {
             self.scheme
                 .cadence_scan(bag, &mut self.pool, &self.scratch, stats);
         }
+        self.scheme.governor.report(
+            self.budget_stripe,
+            self.limbo_bytes(),
+            &mut self.budget_reported,
+        )
     }
 
     /// The body of `manage_qsense_state` once the batching threshold fires
@@ -602,14 +644,26 @@ impl SmrHandle for QSenseHandle {
     }
 
     unsafe fn retire(&mut self, ptr: *mut u8, drop_fn: DropFn) {
+        // SAFETY: forwarded from the caller's contract.
+        unsafe { self.retire_sized(ptr, drop_fn, NO_BIRTH_ERA, 0) }
+    }
+
+    unsafe fn retire_sized(
+        &mut self,
+        ptr: *mut u8,
+        drop_fn: DropFn,
+        _birth_era: Era,
+        size_bytes: usize,
+    ) {
         // `free_node_later` (Algorithm 5, lines 36–61).
         self.stats().add_retired(1);
+        self.stats().add_retired_bytes(size_bytes as u64);
         let now = self.scheme.config.clock.now();
         let bucket = limbo_index(self.local_epoch);
         // Timestamps are recorded regardless of the current path (§5.2).
         // SAFETY: forwarded from the caller's contract.
         self.limbo[bucket].push(&mut self.pool, unsafe {
-            RetiredPtr::new(ptr, drop_fn, now)
+            RetiredPtr::with_birth_sized(ptr, drop_fn, now, NO_BIRTH_ERA, size_bytes)
         });
         self.retires_since_scan += 1;
 
@@ -634,16 +688,45 @@ impl SmrHandle for QSenseHandle {
             }
             self.prev_seen_path = Path::Fallback;
             self.cadence_scan_all();
+        } else if self.scheme.governor.observe(
+            self.budget_stripe,
+            self.limbo_bytes(),
+            &mut self.budget_reported,
+        ) {
+            // Over the byte budget before the node-count fallback threshold C
+            // fired — typically large payloads behind a stalled grace period.
+            // QSense's escalation lever *is* its hybrid switch: trip the
+            // fallback path early (the Cadence condition needs no cooperation
+            // from a stalled thread), then scan all three lists right now.
+            if seen == Path::Fast && self.scheme.fallback.trigger_fallback() {
+                self.stats().add_fallback_switch();
+                self.scheme.governor.count_fallback_trip();
+                self.scheme.reset_presence();
+            }
+            self.prev_seen_path = Path::Fallback;
+            self.scheme.governor.count_forced_scan();
+            self.retires_since_scan = 0;
+            if self.cadence_scan_all() {
+                // Still over: the T + ε age gate (or live protections) keep the
+                // bytes pinned. Shed a little retire-side speed so limbo stops
+                // compounding while the clock catches up.
+                self.scheme.governor.count_backpressure();
+                std::thread::yield_now();
+            }
         }
     }
 
     fn flush(&mut self) {
         // Adopt limbo leftovers of exited threads into the current bucket: they
         // were unlinked before the adoption, so both the grace-period argument and
-        // the Cadence age check cover them from here on. O(1) splice.
-        self.scheme
-            .parked
-            .adopt_into(&mut self.limbo[limbo_index(self.local_epoch)]);
+        // the Cadence age check cover them from here on. O(1) splice. The bytes
+        // move from the governor's parked pool onto this handle's reported
+        // figure, so credit the pool by exactly the adopted amount.
+        let bucket = limbo_index(self.local_epoch);
+        let bytes_before = self.limbo[bucket].bytes();
+        self.scheme.parked.adopt_into(&mut self.limbo[bucket]);
+        let adopted = self.limbo[bucket].bytes() - bytes_before;
+        self.scheme.governor.note_parked(-(adopted as i64));
         // Give both paths a chance: cycle quiescent states (frees whole buckets if
         // the epoch can advance) and run one Cadence scan (frees aged, unprotected
         // nodes even if it cannot).
@@ -657,6 +740,10 @@ impl SmrHandle for QSenseHandle {
     fn local_in_limbo(&self) -> usize {
         self.limbo_size()
     }
+
+    fn local_limbo_bytes(&self) -> usize {
+        self.limbo_bytes()
+    }
 }
 
 impl Drop for QSenseHandle {
@@ -667,6 +754,14 @@ impl Drop for QSenseHandle {
         for bag in &mut self.limbo {
             leftovers.splice(bag);
         }
+        // Retire this handle's delta cursor, then move the surviving bytes into
+        // the governor's parked pool so they stay visible to the budget until a
+        // surviving handle adopts (and re-reports) them.
+        let parked_bytes = leftovers.bytes();
+        self.scheme
+            .governor
+            .note_handle_exit(self.budget_stripe, &mut self.budget_reported);
+        self.scheme.governor.note_parked(parked_bytes as i64);
         self.scheme.parked.park(&mut leftovers);
         // Refresh activity and lift any standing eviction *while still the slot
         // owner* — the record must never be touched after `release`, because a

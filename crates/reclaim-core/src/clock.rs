@@ -310,6 +310,13 @@ pub struct EraPacer {
     /// leftovers awaiting adoption). Folded into the estimate so parked limbo
     /// keeps pressing on the interval even while no handle has adopted it.
     parked: CachePadded<AtomicI64>,
+    /// When non-zero, replaces the adaptive policy's `limbo_low_water`. This
+    /// is how the HE scheme re-denominates the pacer in **bytes** under a
+    /// limbo budget: the scheme feeds byte totals (instead of node counts)
+    /// into `note_scan`/`note_parked` and sets the low-water mark to a byte
+    /// threshold derived from the budget. The estimate's *unit* is whatever
+    /// the reporters feed it — the pacer only compares it against this mark.
+    low_water_override: CachePadded<AtomicUsize>,
 }
 
 impl EraPacer {
@@ -329,7 +336,16 @@ impl EraPacer {
             interval: CachePadded::new(AtomicUsize::new(start)),
             limbo: std::array::from_fn(|_| CachePadded::new(AtomicI64::new(0))),
             parked: CachePadded::new(AtomicI64::new(0)),
+            low_water_override: CachePadded::new(AtomicUsize::new(0)),
         }
+    }
+
+    /// Replaces the adaptive policy's `limbo_low_water` with `mark` (0 clears
+    /// the override). Set once at scheme construction when a limbo budget
+    /// re-denominates the pacer in bytes; see the field docs. No effect under
+    /// the static policy.
+    pub fn set_limbo_low_water(&self, mark: usize) {
+        self.low_water_override.store(mark, Ordering::Relaxed);
     }
 
     /// The policy this pacer runs.
@@ -391,23 +407,31 @@ impl EraPacer {
     /// count and its last report into the handle's stripe, then adapts the
     /// tick interval. `last_reported` is the handle-owned cursor this pacer
     /// maintains. No-op under the static policy.
-    pub fn note_scan(&self, stripe: usize, in_limbo_now: usize, last_reported: &mut usize) {
+    ///
+    /// Returns `true` when this call *sped the pacer up* (halved the
+    /// interval under limbo pressure) — the signal the budget subsystem
+    /// counts as a pacer boost when the pacer runs byte-denominated.
+    pub fn note_scan(&self, stripe: usize, in_limbo_now: usize, last_reported: &mut usize) -> bool {
         let EraAdvancePolicy::Adaptive {
             min_interval,
             max_interval,
             limbo_low_water,
         } = self.policy
         else {
-            return;
+            return false;
         };
         let delta = in_limbo_now as i64 - *last_reported as i64;
         if delta != 0 {
             self.limbo[stripe % LIMBO_STRIPES].fetch_add(delta, Ordering::Relaxed);
             *last_reported = in_limbo_now;
         }
+        let low_water = match self.low_water_override.load(Ordering::Relaxed) {
+            0 => limbo_low_water,
+            mark => mark,
+        };
         let estimate = self.limbo_estimate();
         let current = self.interval.load(Ordering::Relaxed);
-        let next = if estimate > limbo_low_water {
+        let next = if estimate > low_water {
             // Pressure: halve toward the fast end so fresh allocations age
             // past any stalled reservation sooner.
             (current / 2).max(min_interval)
@@ -424,6 +448,7 @@ impl EraPacer {
             // inside [min, max] and the estimate re-converges next scan.
             self.interval.store(next, Ordering::Relaxed);
         }
+        next < current
     }
 
     /// Retracts a dying handle's entire limbo contribution before its
@@ -567,6 +592,35 @@ mod tests {
         pacer.note_scan(0, 0, &mut cursor);
         assert_eq!(pacer.limbo_estimate(), 0);
         assert_eq!(pacer.current_interval(), 8);
+    }
+
+    #[test]
+    fn low_water_override_redenominates_the_pacer() {
+        let pacer = EraPacer::new(EraAdvancePolicy::Adaptive {
+            min_interval: 4,
+            max_interval: 64,
+            limbo_low_water: 1_000_000,
+        });
+        let mut cursor = 0usize;
+        for _ in 0..15 {
+            pacer.note_scan(0, 0, &mut cursor);
+        }
+        assert_eq!(pacer.current_interval(), 64, "idle floor reached");
+        // 500 units sit far below the node-denominated policy mark: dry.
+        assert!(!pacer.note_scan(0, 500, &mut cursor));
+        assert_eq!(pacer.current_interval(), 64);
+        // Re-denominate: the same 500 now reads as bytes against a 256-byte
+        // mark, so the pacer speeds up and says so.
+        pacer.set_limbo_low_water(256);
+        assert!(
+            pacer.note_scan(0, 500, &mut cursor),
+            "speed-up must be signalled"
+        );
+        assert_eq!(pacer.current_interval(), 32);
+        // Clearing the override restores the policy mark.
+        pacer.set_limbo_low_water(0);
+        assert!(!pacer.note_scan(0, 500, &mut cursor));
+        assert_eq!(pacer.current_interval(), 36, "dry creep resumed");
     }
 
     #[test]

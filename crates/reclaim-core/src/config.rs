@@ -57,6 +57,17 @@ pub struct SmrConfig {
     /// `None` (the default) disables eviction and reproduces the paper's published
     /// behaviour, where a crashed thread keeps the system in fallback mode forever.
     pub eviction_timeout: Option<Duration>,
+    /// **Extension (robustness).** Scheme-wide limbo **byte** budget. When
+    /// set, every scheme tracks its limbo-byte estimate through a
+    /// [`crate::budget::BudgetGovernor`] and, on crossing the budget,
+    /// escalates along a fixed ladder on the retire path: forced scan →
+    /// scheme-specific boost (HE drives its era pacer by bytes, QSense trips
+    /// its fallback path early) → one bounded backpressure yield. `None` (the
+    /// default) keeps byte *tracking* alive (peaks still show up in
+    /// [`crate::stats::StatsSnapshot::peak_limbo_bytes`]) but never escalates.
+    /// Schemes without a safe retire-path lever (QSBR; Leaky by design) will
+    /// exceed a budget under a delinquent thread — the verdict records it.
+    pub limbo_budget: Option<usize>,
     /// **Extension (era schemes).** How the global era clock is paced relative
     /// to allocation and reclamation activity (Hazard Eras / 2GE-IBR, the `he`
     /// crate): a fixed allocations-per-tick interval
@@ -160,6 +171,18 @@ impl SmrConfig {
         self.eviction_timeout.map(crate::clock::duration_to_nanos)
     }
 
+    /// Sets (or clears) the scheme-wide limbo byte budget (see
+    /// [`limbo_budget`](Self::limbo_budget)). A budget of `Some(0)` is
+    /// rejected: zero bytes cannot hold even one retired node, so every
+    /// retire would sit in permanent escalation.
+    pub fn with_limbo_budget(mut self, budget: Option<usize>) -> Self {
+        if let Some(bytes) = budget {
+            assert!(bytes > 0, "limbo_budget must be positive when set");
+        }
+        self.limbo_budget = budget;
+        self
+    }
+
     /// Sets a *static* era-advance interval (allocations per global era tick)
     /// — shorthand for `with_era_policy(EraAdvancePolicy::Static(allocs))`,
     /// kept for every caller that predates the adaptive policy.
@@ -221,6 +244,7 @@ impl Default for SmrConfig {
             rooster_threads: cpus.max(1),
             use_membarrier: true,
             eviction_timeout: None,
+            limbo_budget: None,
             era_policy: EraAdvancePolicy::default(),
             clock: Clock::real(),
         }
@@ -242,6 +266,10 @@ mod tests {
         assert!(
             cfg.eviction_timeout.is_none(),
             "eviction is an opt-in extension; the default must match the paper"
+        );
+        assert!(
+            cfg.limbo_budget.is_none(),
+            "budgets are opt-in; the default must not change retire-path behaviour"
         );
         assert_eq!(
             cfg.era_policy,
@@ -286,6 +314,7 @@ mod tests {
             .with_rooster_threads(2)
             .with_membarrier(false)
             .with_eviction_timeout(Some(Duration::from_millis(50)))
+            .with_limbo_budget(Some(1 << 20))
             .with_era_advance_interval(16)
             .with_clock(Clock::manual(manual));
         assert_eq!(cfg.max_threads, 4);
@@ -298,6 +327,7 @@ mod tests {
         assert_eq!(cfg.rooster_threads, 2);
         assert!(!cfg.use_membarrier);
         assert_eq!(cfg.eviction_timeout_nanos(), Some(50_000_000));
+        assert_eq!(cfg.limbo_budget, Some(1 << 20));
         assert_eq!(cfg.era_policy, EraAdvancePolicy::Static(16));
         assert!(cfg.clock.is_manual());
         assert_eq!(cfg.min_reclaim_age_nanos(), 7_000_000);
@@ -329,5 +359,19 @@ mod tests {
     #[should_panic(expected = "must be positive")]
     fn zero_threads_rejected() {
         let _ = SmrConfig::default().with_max_threads(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "limbo_budget must be positive")]
+    fn zero_limbo_budget_rejected() {
+        let _ = SmrConfig::default().with_limbo_budget(Some(0));
+    }
+
+    #[test]
+    fn limbo_budget_can_be_cleared() {
+        let cfg = SmrConfig::default()
+            .with_limbo_budget(Some(4096))
+            .with_limbo_budget(None);
+        assert!(cfg.limbo_budget.is_none());
     }
 }

@@ -11,6 +11,7 @@
 //! work is done), but the benchmark process does not permanently leak the memory of
 //! every experiment it has already finished.
 
+use crate::budget::{BudgetGovernor, BudgetVerdict};
 use crate::config::SmrConfig;
 use crate::retired::{DropFn, RetiredPtr};
 use crate::segbag::{ParkedChain, SegBag, SegPool};
@@ -28,16 +29,23 @@ pub struct Leaky {
     /// Nodes retired by all threads, parked until the scheme is dropped (one
     /// segment chain; dying handles splice into it in O(1)).
     parked: ParkedChain,
+    /// Byte-budget bookkeeping. Leaky never frees, so there is no escalation
+    /// ladder to climb — the governor only *tracks* limbo bytes so that the
+    /// verdict (and `peak_limbo_bytes`) honestly reports the unbounded growth
+    /// the None baseline exists to demonstrate.
+    governor: BudgetGovernor,
 }
 
 impl Leaky {
     /// Creates a leaky scheme instance.
     pub fn new(config: SmrConfig) -> Arc<Self> {
         let stats = ShardedStats::new(config.max_threads);
+        let governor = BudgetGovernor::new(config.limbo_budget, config.clock.clone());
         Arc::new(Self {
             config,
             stats,
             parked: ParkedChain::new(),
+            governor,
         })
     }
 
@@ -56,8 +64,11 @@ impl Smr for Leaky {
     type Handle = LeakyHandle;
 
     fn register(self: &Arc<Self>) -> LeakyHandle {
+        let stripe = self.stats.assign_stripe();
         LeakyHandle {
-            stripe: self.stats.assign_stripe(),
+            stripe,
+            budget_stripe: BudgetGovernor::stripe_for(stripe),
+            budget_reported: 0,
             scheme: Arc::clone(self),
             pool: SegPool::new(),
             bag: SegBag::new(),
@@ -69,7 +80,13 @@ impl Smr for Leaky {
     }
 
     fn stats(&self) -> StatsSnapshot {
-        self.stats.snapshot()
+        let mut snap = self.stats.snapshot();
+        snap.peak_limbo_bytes = self.governor.peak_bytes();
+        snap
+    }
+
+    fn budget_verdict(&self) -> Option<BudgetVerdict> {
+        Some(self.governor.verdict())
     }
 }
 
@@ -77,8 +94,10 @@ impl Drop for Leaky {
     fn drop(&mut self) {
         // All handles are gone (they hold Arc<Self>), so no thread can reach any
         // retired node any more: releasing everything is safe.
-        let freed = unsafe { self.parked.drain_all() };
+        let (freed, freed_bytes) = unsafe { self.parked.drain_all() };
         self.stats.stripe(0).add_freed(freed as u64);
+        self.stats.stripe(0).add_freed_bytes(freed_bytes as u64);
+        self.governor.note_parked(-(freed_bytes as i64));
     }
 }
 
@@ -87,6 +106,10 @@ pub struct LeakyHandle {
     scheme: Arc<Leaky>,
     /// Index of this handle's counter stripe in the scheme's [`ShardedStats`].
     stripe: usize,
+    /// This handle's stripe in the scheme's [`BudgetGovernor`].
+    budget_stripe: usize,
+    /// Local-bytes figure last pushed into the governor (delta-report cursor).
+    budget_reported: usize,
     pool: SegPool,
     bag: SegBag,
 }
@@ -101,12 +124,33 @@ impl SmrHandle for LeakyHandle {
     fn clear_protections(&mut self) {}
 
     unsafe fn retire(&mut self, ptr: *mut u8, drop_fn: DropFn) {
-        self.scheme.stats.stripe(self.stripe).add_retired(1);
+        // SAFETY: forwarded directly from the caller's contract.
+        unsafe { self.retire_sized(ptr, drop_fn, crate::clock::NO_BIRTH_ERA, 0) }
+    }
+
+    unsafe fn retire_sized(
+        &mut self,
+        ptr: *mut u8,
+        drop_fn: DropFn,
+        _birth_era: crate::clock::Era,
+        size_bytes: usize,
+    ) {
+        let stripe = self.scheme.stats.stripe(self.stripe);
+        stripe.add_retired(1);
+        stripe.add_retired_bytes(size_bytes as u64);
         let now = self.scheme.config.clock.now();
         // SAFETY: forwarded directly from the caller's contract.
         self.bag.push(&mut self.pool, unsafe {
-            RetiredPtr::new(ptr, drop_fn, now)
+            RetiredPtr::with_birth_sized(ptr, drop_fn, now, crate::clock::NO_BIRTH_ERA, size_bytes)
         });
+        // Track bytes (so peak/verdict are honest) but never escalate: Leaky
+        // has no reclamation pass to force, and that is the point of the
+        // baseline.
+        self.scheme.governor.observe(
+            self.budget_stripe,
+            self.bag.bytes(),
+            &mut self.budget_reported,
+        );
     }
 
     fn flush(&mut self) {
@@ -116,13 +160,22 @@ impl SmrHandle for LeakyHandle {
     fn local_in_limbo(&self) -> usize {
         self.bag.len()
     }
+
+    fn local_limbo_bytes(&self) -> usize {
+        self.bag.bytes()
+    }
 }
 
 impl Drop for LeakyHandle {
     fn drop(&mut self) {
         // Park this thread's retired nodes on the scheme so they are released when
         // the scheme itself goes away — an O(1) chain splice, no allocation.
+        let parked_bytes = self.bag.bytes();
         self.scheme.parked.park(&mut self.bag);
+        self.scheme
+            .governor
+            .note_handle_exit(self.budget_stripe, &mut self.budget_reported);
+        self.scheme.governor.note_parked(parked_bytes as i64);
     }
 }
 

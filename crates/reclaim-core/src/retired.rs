@@ -16,7 +16,8 @@ use std::fmt;
 pub type DropFn = unsafe fn(*mut u8);
 
 /// A retired node awaiting reclamation: pointer, destructor, removal timestamp,
-/// and — for the interval-based schemes — the era the node was allocated in.
+/// allocation size, and — for the interval-based schemes — the era the node was
+/// allocated in.
 ///
 /// `retired_at` is whatever the retiring scheme's notion of "now" is: wall-clock
 /// nanoseconds for the deferred-reclamation schemes (Cadence, QSense), the
@@ -24,12 +25,23 @@ pub type DropFn = unsafe fn(*mut u8);
 /// the allocation site stamped the node through `SmrHandle::alloc_node` — the
 /// era schemes treat an unstamped node as born before every announced era,
 /// which is conservative (wider lifetime interval, never freed early).
+/// `size` is the node's allocation size in bytes, stamped at retire by the
+/// typed `retire_box*` entry points (which know the `Layout`); the raw
+/// `retire` path stamps [`SIZE_UNKNOWN`] and such nodes count zero bytes
+/// toward limbo budgets — byte budgets are only as complete as the callers'
+/// stamping, never *over*-counted.
 pub struct RetiredPtr {
     ptr: *mut u8,
     drop_fn: DropFn,
     retired_at: Nanos,
     birth_era: Era,
+    size: u32,
 }
+
+/// The size stamp of a node retired through the raw, size-unaware `retire`
+/// path (also the honest stamp for zero-sized types). Budget accounting
+/// treats these nodes as zero bytes.
+pub const SIZE_UNKNOWN: u32 = 0;
 
 // A RetiredPtr is just a deferred destructor call; the node it points to is already
 // unreachable from the data structure, so moving the wrapper between threads is safe
@@ -62,12 +74,35 @@ impl RetiredPtr {
         retired_at: Nanos,
         birth_era: Era,
     ) -> Self {
+        // SAFETY: forwarded from the caller's contract.
+        unsafe { Self::with_birth_sized(ptr, drop_fn, retired_at, birth_era, 0) }
+    }
+
+    /// Wraps a retired node with its birth era *and* its allocation size in
+    /// bytes — the fully stamped constructor the typed `retire_box*` entry
+    /// points use. `size_bytes` of zero means "unknown" ([`SIZE_UNKNOWN`]);
+    /// sizes past `u32::MAX` are clamped to `u32::MAX` (a single ≥ 4 GiB node
+    /// is outside this substrate's design envelope; the clamp keeps the
+    /// accounting bounded rather than wrapping).
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`with_birth`](Self::with_birth); additionally
+    /// `size_bytes` must not exceed the node's actual allocation size.
+    pub unsafe fn with_birth_sized(
+        ptr: *mut u8,
+        drop_fn: DropFn,
+        retired_at: Nanos,
+        birth_era: Era,
+        size_bytes: usize,
+    ) -> Self {
         debug_assert!(!ptr.is_null(), "retiring a null pointer");
         Self {
             ptr,
             drop_fn,
             retired_at,
             birth_era,
+            size: u32::try_from(size_bytes).unwrap_or(u32::MAX),
         }
     }
 
@@ -79,6 +114,14 @@ impl RetiredPtr {
     /// The era the node was allocated in ([`NO_BIRTH_ERA`] if never stamped).
     pub fn birth_era(&self) -> Era {
         self.birth_era
+    }
+
+    /// The node's allocation size in bytes, or 0 ([`SIZE_UNKNOWN`]) when the
+    /// retire path did not know it. Byte-budget accounting sums this, so
+    /// unknown-size nodes weigh nothing — budgets under-count, never
+    /// over-count.
+    pub fn size_bytes(&self) -> usize {
+        self.size as usize
     }
 
     /// Timestamp (scheme clock) at which the node was retired.
@@ -190,5 +233,41 @@ mod tests {
         assert_eq!(stamped.retired_at(), 9);
         unsafe { stamped.reclaim() };
         assert_eq!(counter.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn size_stamp_defaults_to_unknown_and_round_trips_when_stamped() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let unsized_node = retire_counter(&counter, 1);
+        assert_eq!(unsized_node.size_bytes(), SIZE_UNKNOWN as usize);
+        unsafe { unsized_node.reclaim() };
+
+        let boxed = Box::new(DropCounter {
+            counter: Arc::clone(&counter),
+        });
+        let raw = Box::into_raw(boxed).cast::<u8>();
+        unsafe fn drop_counter(ptr: *mut u8) {
+            unsafe { drop(Box::from_raw(ptr.cast::<DropCounter>())) };
+        }
+        let sized = unsafe { RetiredPtr::with_birth_sized(raw, drop_counter, 2, 7, 256) };
+        assert_eq!(sized.size_bytes(), 256);
+        assert_eq!(sized.birth_era(), 7);
+        unsafe { sized.reclaim() };
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn oversized_stamp_clamps_instead_of_wrapping() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let boxed = Box::new(DropCounter {
+            counter: Arc::clone(&counter),
+        });
+        let raw = Box::into_raw(boxed).cast::<u8>();
+        unsafe fn drop_counter(ptr: *mut u8) {
+            unsafe { drop(Box::from_raw(ptr.cast::<DropCounter>())) };
+        }
+        let huge = unsafe { RetiredPtr::with_birth_sized(raw, drop_counter, 0, 0, usize::MAX) };
+        assert_eq!(huge.size_bytes(), u32::MAX as usize);
+        unsafe { huge.reclaim() };
     }
 }

@@ -36,14 +36,23 @@
 //!
 //! ## Segment size
 //!
-//! A [`RetiredPtr`] is 32 bytes (pointer, destructor, timestamp, birth era).
-//! With [`SEG_CAP`] = 15 slots plus the `next`/`len` header a segment is 496
-//! bytes — eight cache lines, comfortably under one 512-byte allocator size
-//! class. The size is a balance: large enough that the amortized per-retire
-//! overhead (chain link maintenance, pool pop) is a small fraction of a pointer
-//! push, small enough that a mostly-empty bag wastes at most a few hundred
-//! bytes and that EBR's "touch shared epoch state once per segment" batching
-//! still reacts quickly (every 15 retires).
+//! A [`RetiredPtr`] is 40 bytes (pointer, destructor, timestamp, birth era,
+//! size stamp). With [`SEG_CAP`] = 12 slots plus the `next`/`len` header a
+//! segment is 496 bytes — eight cache lines, comfortably under one 512-byte
+//! allocator size class. The size is a balance: large enough that the
+//! amortized per-retire overhead (chain link maintenance, pool pop) is a small
+//! fraction of a pointer push, small enough that a mostly-empty bag wastes at
+//! most a few hundred bytes and that EBR's "touch shared epoch state once per
+//! segment" batching still reacts quickly (every 12 retires).
+//!
+//! ## Byte accounting
+//!
+//! Every bag maintains a running total of its nodes' stamped allocation sizes
+//! ([`SegBag::bytes`]), updated on push, splice and reclaim, so "how much
+//! memory does this limbo list pin" is an O(1) read — the primitive the
+//! scheme-wide limbo *byte* budgets are built on. Nodes retired through the
+//! size-unknown raw path weigh zero (see [`RetiredPtr::size_bytes`]): the
+//! total under-counts, never over-counts.
 //!
 //! ## Safety model
 //!
@@ -60,7 +69,7 @@ use std::ptr;
 use std::sync::Mutex;
 
 /// Retired nodes per segment (see the module docs for the size rationale).
-pub const SEG_CAP: usize = 15;
+pub const SEG_CAP: usize = 12;
 
 /// One fixed-size link of a [`SegBag`] chain.
 struct Segment {
@@ -206,6 +215,10 @@ pub struct SegBag {
     /// Newest segment — the push target; null iff the bag is empty.
     tail: *mut Segment,
     len: usize,
+    /// Sum of the stamped allocation sizes of every node in the bag, kept in
+    /// lock-step with `len` (push adds, splice transfers, reclaim subtracts)
+    /// so byte totals are O(1) reads.
+    bytes: usize,
 }
 
 // SAFETY: the chain is uniquely owned by the bag and `RetiredPtr` is `Send`;
@@ -219,12 +232,19 @@ impl SegBag {
             head: ptr::null_mut(),
             tail: ptr::null_mut(),
             len: 0,
+            bytes: 0,
         }
     }
 
     /// Number of nodes currently awaiting reclamation.
     pub fn len(&self) -> usize {
         self.len
+    }
+
+    /// Total stamped allocation bytes awaiting reclamation in this bag. O(1);
+    /// nodes whose retire path did not stamp a size count zero.
+    pub fn bytes(&self) -> usize {
+        self.bytes
     }
 
     /// True when no nodes await reclamation.
@@ -246,6 +266,7 @@ impl SegBag {
 
     /// Adds a retired node, drawing a segment from `pool` if the tail is full.
     pub fn push(&mut self, pool: &mut SegPool, node: RetiredPtr) {
+        self.bytes += node.size_bytes();
         unsafe {
             if self.tail.is_null() {
                 let seg = pool.get();
@@ -281,9 +302,11 @@ impl SegBag {
             self.tail = other.tail;
         }
         self.len += other.len;
+        self.bytes += other.bytes;
         other.head = ptr::null_mut();
         other.tail = ptr::null_mut();
         other.len = 0;
+        other.bytes = 0;
     }
 
     /// Reclaims every node for which `can_reclaim` returns true; nodes that are
@@ -384,6 +407,7 @@ impl SegBag {
         mut visit_survivor: impl FnMut(&RetiredPtr),
     ) -> usize {
         let mut freed = 0usize;
+        let mut freed_bytes = 0usize;
         let mut prev: *mut Segment = ptr::null_mut();
         let mut seg = self.head;
         let mut stopped = false;
@@ -402,6 +426,7 @@ impl SegBag {
                     }
                     if !stopped && can_reclaim(node_ref) {
                         let node = (*slot).assume_init_read();
+                        freed_bytes += node.size_bytes();
                         // SAFETY: forwarded from the caller's contract.
                         node.reclaim();
                         freed += 1;
@@ -471,6 +496,7 @@ impl SegBag {
             }
         }
         self.len -= freed;
+        self.bytes -= freed_bytes;
         freed
     }
 
@@ -506,6 +532,7 @@ impl fmt::Debug for SegBag {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SegBag")
             .field("len", &self.len)
+            .field("bytes", &self.bytes)
             .field("segments", &self.segments())
             .finish()
     }
@@ -574,19 +601,30 @@ impl ParkedChain {
         into.splice(&mut parked);
     }
 
-    /// Unconditionally frees every parked node, returning the count. The
-    /// drained segments are released to the allocator (via a throwaway pool) —
-    /// this runs at scheme drop, not on any hot path.
+    /// Stamped bytes currently sitting in the parking lot (diagnostics; takes
+    /// the lock).
+    pub fn parked_bytes(&self) -> usize {
+        self.chain
+            .lock()
+            .map(|chain| chain.bytes())
+            .unwrap_or_default()
+    }
+
+    /// Unconditionally frees every parked node, returning `(nodes, bytes)`
+    /// freed. The drained segments are released to the allocator (via a
+    /// throwaway pool) — this runs at scheme drop, not on any hot path.
     ///
     /// # Safety
     ///
     /// Caller must guarantee no thread can access any parked node (e.g. the
     /// scheme is being dropped and every handle is gone).
-    pub unsafe fn drain_all(&self) -> usize {
+    pub unsafe fn drain_all(&self) -> (usize, usize) {
         let mut parked = self.chain.lock().unwrap_or_else(|e| e.into_inner());
         let mut pool = SegPool::new();
+        let bytes = parked.bytes();
         // SAFETY: forwarded from the caller's contract.
-        unsafe { parked.reclaim_all(&mut pool) }
+        let nodes = unsafe { parked.reclaim_all(&mut pool) };
+        (nodes, bytes - parked.bytes())
     }
 }
 
@@ -664,6 +702,17 @@ mod tests {
         unsafe { RetiredPtr::new(raw, drop_counter, at) }
     }
 
+    fn retire_counter_sized(counter: &Arc<AtomicUsize>, at: Nanos, size: usize) -> RetiredPtr {
+        let boxed = Box::new(DropCounter {
+            counter: Arc::clone(counter),
+        });
+        let raw = Box::into_raw(boxed).cast::<u8>();
+        unsafe fn drop_counter(ptr: *mut u8) {
+            unsafe { drop(Box::from_raw(ptr.cast::<DropCounter>())) };
+        }
+        unsafe { RetiredPtr::with_birth_sized(raw, drop_counter, at, 0, size) }
+    }
+
     #[test]
     fn segment_fits_eight_cache_lines() {
         assert!(
@@ -671,6 +720,56 @@ mod tests {
             "segment grew past its size class: {} bytes",
             std::mem::size_of::<Segment>()
         );
+    }
+
+    #[test]
+    fn byte_totals_track_push_splice_and_reclaim() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut pool = SegPool::new();
+        let mut a = SegBag::new();
+        let mut b = SegBag::new();
+        assert_eq!(a.bytes(), 0);
+        // Sizes 100, 200, 300, ... make partial frees distinguishable.
+        for t in 0..(SEG_CAP as u64 + 3) {
+            a.push(
+                &mut pool,
+                retire_counter_sized(&counter, t, 100 * (t as usize + 1)),
+            );
+        }
+        let n = SEG_CAP + 3;
+        let total: usize = (1..=n).map(|i| 100 * i).sum();
+        assert_eq!(a.bytes(), total);
+        // Unknown-size nodes weigh zero.
+        a.push(&mut pool, retire_counter(&counter, 999));
+        assert_eq!(a.bytes(), total);
+        // Splice transfers the byte total along with the chain.
+        b.push(&mut pool, retire_counter_sized(&counter, 1_000, 64));
+        a.splice(&mut b);
+        assert_eq!(a.bytes(), total + 64);
+        assert_eq!(b.bytes(), 0);
+        // A partial reclaim subtracts exactly the freed nodes' stamps.
+        let freed = unsafe { a.reclaim_if(&mut pool, |node| node.retired_at() < 2) };
+        assert_eq!(freed, 2);
+        assert_eq!(a.bytes(), total + 64 - 100 - 200);
+        unsafe { a.reclaim_all(&mut pool) };
+        assert_eq!(a.bytes(), 0);
+    }
+
+    #[test]
+    fn parked_chain_reports_and_drains_bytes() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut pool = SegPool::new();
+        let mut leftovers = SegBag::new();
+        for t in 0..4u64 {
+            leftovers.push(&mut pool, retire_counter_sized(&counter, t, 50));
+        }
+        let parked = ParkedChain::new();
+        parked.park(&mut leftovers);
+        assert_eq!(parked.parked_bytes(), 200);
+        let (nodes, bytes) = unsafe { parked.drain_all() };
+        assert_eq!((nodes, bytes), (4, 200));
+        assert_eq!(parked.parked_bytes(), 0);
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
     }
 
     #[test]

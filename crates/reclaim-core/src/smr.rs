@@ -28,6 +28,7 @@
 //! and `retire_with_birth` defaults to discarding the stamp and delegating to
 //! [`retire`](SmrHandle::retire).
 
+use crate::budget::BudgetVerdict;
 use crate::clock::{Era, NO_BIRTH_ERA};
 use crate::retired::DropFn;
 use crate::stats::StatsSnapshot;
@@ -56,6 +57,14 @@ pub trait Smr: Send + Sync + 'static {
 
     /// A snapshot of the scheme's reclamation counters.
     fn stats(&self) -> StatsSnapshot;
+
+    /// The scheme's limbo-budget verdict so far (peak bytes, time over
+    /// budget, escalations taken) — `None` for schemes that carry no budget
+    /// governor. Schemes that do return a verdict even without a configured
+    /// budget (tracking-only: `budget_bytes == 0`, always within budget).
+    fn budget_verdict(&self) -> Option<BudgetVerdict> {
+        None
+    }
 }
 
 /// Per-thread handle to a reclamation scheme.
@@ -137,6 +146,32 @@ pub trait SmrHandle: Send {
         unsafe { self.retire(ptr, drop_fn) }
     }
 
+    /// The fully stamped retire: birth era *and* allocation size in bytes.
+    /// The typed [`retire_box`](crate::retire_box) /
+    /// [`retire_box_with_birth`](crate::retire_box_with_birth) entry points
+    /// route through here (they know the `Layout`); schemes that account
+    /// limbo in bytes override this as their primary retire path and route
+    /// the size-unknown variants through it with a zero stamp. The default
+    /// discards the size and delegates to
+    /// [`retire_with_birth`](Self::retire_with_birth).
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`retire_with_birth`](Self::retire_with_birth);
+    /// additionally `size_bytes` must not exceed the node's actual allocation
+    /// size (0 = unknown, never over-stated).
+    unsafe fn retire_sized(
+        &mut self,
+        ptr: *mut u8,
+        drop_fn: DropFn,
+        birth_era: Era,
+        size_bytes: usize,
+    ) {
+        let _ = size_bytes;
+        // SAFETY: forwarded from the caller's contract.
+        unsafe { self.retire_with_birth(ptr, drop_fn, birth_era) }
+    }
+
     /// Forces a best-effort reclamation pass over this thread's retired nodes,
     /// regardless of thresholds. Useful at the end of a benchmark phase and in tests.
     fn flush(&mut self);
@@ -144,6 +179,13 @@ pub trait SmrHandle: Send {
     /// Number of nodes this thread has retired but not yet freed (its limbo /
     /// removed-nodes list length).
     fn local_in_limbo(&self) -> usize;
+
+    /// Stamped bytes this thread has retired but not yet freed. Defaults to 0
+    /// for schemes that do not account bytes; byte-accounting schemes return
+    /// their local bags' O(1) byte totals.
+    fn local_limbo_bytes(&self) -> usize {
+        0
+    }
 }
 
 /// Returns the type-erased destructor for a `Box<T>`-allocated node.

@@ -39,6 +39,8 @@ const R: Ordering = Ordering::Relaxed;
 pub struct StatStripe {
     retired: AtomicU64,
     freed: AtomicU64,
+    retired_bytes: AtomicU64,
+    freed_bytes: AtomicU64,
     scans: AtomicU64,
     quiescent_states: AtomicU64,
     traversal_fences: AtomicU64,
@@ -53,6 +55,16 @@ pub struct StatsSnapshot {
     pub retired: u64,
     /// Nodes whose destructor has actually run.
     pub freed: u64,
+    /// Stamped allocation bytes handed to `retire` (size-unknown nodes add
+    /// zero; see `RetiredPtr::size_bytes`).
+    pub retired_bytes: u64,
+    /// Stamped allocation bytes actually released.
+    pub freed_bytes: u64,
+    /// High-water mark of the scheme-wide limbo *byte* estimate, as tracked by
+    /// the scheme's budget governor at its reporting grain (0 when the scheme
+    /// carries no governor). Not a stripe counter: the scheme injects it at
+    /// snapshot time.
+    pub peak_limbo_bytes: u64,
     /// Hazard-pointer scans executed (HP / Cadence / QSense fallback).
     pub scans: u64,
     /// Quiescent states declared (QSBR / QSense fast path).
@@ -70,6 +82,12 @@ impl StatsSnapshot {
     /// Nodes retired but not yet freed (the union of limbo / removed-node lists).
     pub fn in_limbo(&self) -> u64 {
         self.retired.saturating_sub(self.freed)
+    }
+
+    /// Stamped bytes retired but not yet freed — the byte-denominated limbo
+    /// total the budget subsystem enforces against.
+    pub fn limbo_bytes(&self) -> u64 {
+        self.retired_bytes.saturating_sub(self.freed_bytes)
     }
 }
 
@@ -95,6 +113,21 @@ impl StatStripe {
     #[inline]
     pub fn add_freed(&self, n: u64) {
         self.freed.fetch_add(n, Ordering::Release);
+    }
+
+    /// Records `n` stamped bytes retired.
+    #[inline]
+    pub fn add_retired_bytes(&self, n: u64) {
+        self.retired_bytes.fetch_add(n, R);
+    }
+
+    /// Records `n` stamped bytes freed. Release for the same reason as
+    /// [`add_freed`](Self::add_freed): paired with the acquire freed-first
+    /// read in [`merge_into`](Self::merge_into), a snapshot can never report
+    /// `freed_bytes > retired_bytes`.
+    #[inline]
+    pub fn add_freed_bytes(&self, n: u64) {
+        self.freed_bytes.fetch_add(n, Ordering::Release);
     }
 
     /// Records one hazard-pointer scan.
@@ -134,6 +167,8 @@ impl StatStripe {
     pub fn merge_into(&self, snap: &mut StatsSnapshot) {
         snap.freed += self.freed.load(Ordering::Acquire);
         snap.retired += self.retired.load(R);
+        snap.freed_bytes += self.freed_bytes.load(Ordering::Acquire);
+        snap.retired_bytes += self.retired_bytes.load(R);
         snap.scans += self.scans.load(R);
         snap.quiescent_states += self.quiescent_states.load(R);
         snap.traversal_fences += self.traversal_fences.load(R);
@@ -221,6 +256,8 @@ mod tests {
         let stats = StatStripe::new();
         stats.add_retired(10);
         stats.add_freed(4);
+        stats.add_retired_bytes(640);
+        stats.add_freed_bytes(256);
         stats.add_scan();
         stats.add_scan();
         stats.add_quiescent_state();
@@ -231,6 +268,9 @@ mod tests {
         assert_eq!(snap.retired, 10);
         assert_eq!(snap.freed, 4);
         assert_eq!(snap.in_limbo(), 6);
+        assert_eq!(snap.retired_bytes, 640);
+        assert_eq!(snap.freed_bytes, 256);
+        assert_eq!(snap.limbo_bytes(), 384);
         assert_eq!(snap.scans, 2);
         assert_eq!(snap.quiescent_states, 1);
         assert_eq!(snap.traversal_fences, 7);
@@ -243,9 +283,12 @@ mod tests {
         let snap = StatsSnapshot {
             retired: 3,
             freed: 5,
+            retired_bytes: 100,
+            freed_bytes: 300,
             ..Default::default()
         };
         assert_eq!(snap.in_limbo(), 0);
+        assert_eq!(snap.limbo_bytes(), 0);
     }
 
     #[test]
@@ -319,7 +362,9 @@ mod tests {
                 thread::spawn(move || {
                     while !stop.load(Ordering::Relaxed) {
                         stats.stripe(shard).add_retired(1);
+                        stats.stripe(shard).add_retired_bytes(64);
                         stats.stripe(shard).add_freed(1);
+                        stats.stripe(shard).add_freed_bytes(64);
                     }
                 })
             })
@@ -331,6 +376,12 @@ mod tests {
                 "snapshot tore: retired {} < freed {}",
                 snap.retired,
                 snap.freed
+            );
+            assert!(
+                snap.retired_bytes >= snap.freed_bytes,
+                "snapshot tore: retired_bytes {} < freed_bytes {}",
+                snap.retired_bytes,
+                snap.freed_bytes
             );
         }
         stop.store(true, Ordering::Relaxed);

@@ -4,8 +4,8 @@ use crate::table::{CountTable, DEFAULT_BUCKETS};
 use reclaim_core::retired::DropFn;
 use reclaim_core::stats::{StatStripe, StatsSnapshot};
 use reclaim_core::{
-    HandleCache, ParkedChain, PtrScratch, RetiredPtr, ScanParts, SegBag, SegPool, ShardedStats,
-    Smr, SmrConfig, SmrHandle,
+    BudgetGovernor, BudgetVerdict, Era, HandleCache, ParkedChain, PtrScratch, RetiredPtr,
+    ScanParts, SegBag, SegPool, ShardedStats, Smr, SmrConfig, SmrHandle, NO_BIRTH_ERA,
 };
 use std::sync::Arc;
 
@@ -32,6 +32,11 @@ pub struct RefCount {
     /// Pools + slot buffers of exited threads, adopted by the next registrant
     /// so handle churn is allocation-free after the first wave.
     handle_cache: HandleCache<ScanParts>,
+    /// Byte-denominated limbo budget. RC's counter check is safe at any point,
+    /// so the escalation ladder is the standard one: forced scan on the retire
+    /// path, then retire-side backpressure while a referenced (or colliding)
+    /// node keeps its bucket pinned above the budget.
+    governor: BudgetGovernor,
 }
 
 impl RefCount {
@@ -45,12 +50,14 @@ impl RefCount {
     pub fn with_buckets(config: SmrConfig, buckets: usize) -> Arc<Self> {
         let stats = ShardedStats::new(config.max_threads);
         let handle_cache = HandleCache::with_capacity(config.max_threads);
+        let governor = BudgetGovernor::new(config.limbo_budget, config.clock.clone());
         Arc::new(Self {
             config,
             stats,
             table: CountTable::new(buckets),
             parked: ParkedChain::new(),
             handle_cache,
+            governor,
         })
     }
 
@@ -82,8 +89,10 @@ impl RefCount {
         // operations on both sides give the total order this argument needs — the
         // same structure as Michael's hazard-pointer scan proof, with "counter
         // bucket is non-zero" in place of "a hazard pointer matches".
+        let bytes_before = bag.bytes();
         let freed = unsafe { bag.reclaim_if(pool, |node| self.table.is_unreferenced(node.addr())) };
         stats.add_freed(freed as u64);
+        stats.add_freed_bytes((bytes_before - bag.bytes()) as u64);
         freed
     }
 }
@@ -107,13 +116,16 @@ impl Smr for RefCount {
         parts
             .scratch
             .resize(self.config.hp_per_thread, std::ptr::null_mut());
+        let stripe = self.stats.assign_stripe();
         RefCountHandle {
-            stripe: self.stats.assign_stripe(),
+            stripe,
+            budget_stripe: BudgetGovernor::stripe_for(stripe),
             scheme: Arc::clone(self),
             slots: parts.scratch,
             retired: SegBag::new(),
             pool: parts.pool,
             since_last_scan: 0,
+            budget_reported: 0,
         }
     }
 
@@ -122,15 +134,23 @@ impl Smr for RefCount {
     }
 
     fn stats(&self) -> StatsSnapshot {
-        self.stats.snapshot()
+        let mut snap = self.stats.snapshot();
+        snap.peak_limbo_bytes = self.governor.peak_bytes();
+        snap
+    }
+
+    fn budget_verdict(&self) -> Option<BudgetVerdict> {
+        Some(self.governor.verdict())
     }
 }
 
 impl Drop for RefCount {
     fn drop(&mut self) {
         // No handle remains, so no reference announcement remains either.
-        let freed = unsafe { self.parked.drain_all() };
+        let (freed, freed_bytes) = unsafe { self.parked.drain_all() };
         self.stats.stripe(0).add_freed(freed as u64);
+        self.stats.stripe(0).add_freed_bytes(freed_bytes as u64);
+        self.governor.note_parked(-(freed_bytes as i64));
     }
 }
 
@@ -149,6 +169,10 @@ pub struct RefCountHandle {
     /// even the first bag fill never allocates.
     pool: SegPool,
     since_last_scan: usize,
+    /// Governor stripe this handle debits/credits (stats-stripe-derived, stable).
+    budget_stripe: usize,
+    /// Limbo-byte figure last reported to the governor (delta cursor).
+    budget_reported: usize,
 }
 
 // SAFETY: the raw pointers in `slots` are only bookkeeping for which counters to
@@ -161,12 +185,19 @@ impl RefCountHandle {
         self.scheme.stats.stripe(self.stripe)
     }
 
-    fn scan(&mut self) {
+    /// Scans, then reports the surviving bytes to the governor. Returns `true`
+    /// when limbo remains over the configured budget even after the scan.
+    fn scan(&mut self) -> bool {
         self.scheme.scan_into(
             &mut self.retired,
             &mut self.pool,
             self.scheme.stats.stripe(self.stripe),
         );
+        self.scheme.governor.report(
+            self.budget_stripe,
+            self.retired.bytes(),
+            &mut self.budget_reported,
+        )
     }
 
     fn release_slot(&mut self, index: usize) {
@@ -219,22 +250,54 @@ impl SmrHandle for RefCountHandle {
     }
 
     unsafe fn retire(&mut self, ptr: *mut u8, drop_fn: DropFn) {
+        // SAFETY: forwarded from the caller's contract.
+        unsafe { self.retire_sized(ptr, drop_fn, NO_BIRTH_ERA, 0) }
+    }
+
+    unsafe fn retire_sized(
+        &mut self,
+        ptr: *mut u8,
+        drop_fn: DropFn,
+        _birth_era: Era,
+        size_bytes: usize,
+    ) {
         self.stats().add_retired(1);
+        self.stats().add_retired_bytes(size_bytes as u64);
         let now = self.scheme.config.clock.now();
         // SAFETY: forwarded from the caller's contract.
         self.retired.push(&mut self.pool, unsafe {
-            RetiredPtr::new(ptr, drop_fn, now)
+            RetiredPtr::with_birth_sized(ptr, drop_fn, now, NO_BIRTH_ERA, size_bytes)
         });
         self.since_last_scan += 1;
         if self.since_last_scan >= self.scheme.config.scan_threshold {
             self.since_last_scan = 0;
             self.scan();
+        } else if self.scheme.governor.observe(
+            self.budget_stripe,
+            self.retired.bytes(),
+            &mut self.budget_reported,
+        ) {
+            // Over the byte budget before the node-count threshold fired —
+            // large payloads. The counter check is safe at any point, so scan
+            // right now; if the bytes stay pinned (a referenced or colliding
+            // node), shed a little retire-side speed.
+            self.scheme.governor.count_forced_scan();
+            self.since_last_scan = 0;
+            if self.scan() {
+                self.scheme.governor.count_backpressure();
+                std::thread::yield_now();
+            }
         }
     }
 
     fn flush(&mut self) {
-        // Adopt leftovers of exited threads so they rejoin the scan cycle.
+        // Adopt leftovers of exited threads so they rejoin the scan cycle; the
+        // bytes move from the governor's parked pool onto this handle's
+        // reported figure, so credit the pool by exactly the adopted amount.
+        let bytes_before = self.retired.bytes();
         self.scheme.parked.adopt_into(&mut self.retired);
+        let adopted = self.retired.bytes() - bytes_before;
+        self.scheme.governor.note_parked(-(adopted as i64));
         self.since_last_scan = 0;
         self.scan();
     }
@@ -242,12 +305,24 @@ impl SmrHandle for RefCountHandle {
     fn local_in_limbo(&self) -> usize {
         self.retired.len()
     }
+
+    fn local_limbo_bytes(&self) -> usize {
+        self.retired.bytes()
+    }
 }
 
 impl Drop for RefCountHandle {
     fn drop(&mut self) {
         self.clear_protections();
         self.scan();
+        // Retire this handle's delta cursor, then move the surviving bytes into
+        // the governor's parked pool so they stay visible to the budget until a
+        // surviving handle adopts (and re-reports) them.
+        let parked_bytes = self.retired.bytes();
+        self.scheme
+            .governor
+            .note_handle_exit(self.budget_stripe, &mut self.budget_reported);
+        self.scheme.governor.note_parked(parked_bytes as i64);
         // O(1) chain splice; adopted by the next flushing handle or freed at
         // scheme drop.
         self.scheme.parked.park(&mut self.retired);

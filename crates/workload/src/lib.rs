@@ -12,20 +12,32 @@
 //! * [`runner`] — the measurement loop, delay injection and memory-cap abort;
 //! * [`stall_churn`] — the deterministic stalled-reader / writer-burst /
 //!   handle-churn robustness scenario (the era-advance policy's showcase);
+//! * [`faults`] — the seeded fault-injection matrix generalizing stall-churn
+//!   (stalled reader, silent thread, leaked handle, random delays) that the
+//!   CLI and CI run against byte budgets;
+//! * [`sampler`] — the per-episode limbo sampling the robustness scenarios
+//!   share;
 //! * [`report`] — text tables matching the figures' series.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod faults;
 pub mod generator;
 pub mod report;
 pub mod runner;
+pub mod sampler;
 pub mod spec;
 pub mod stall_churn;
 pub mod structures;
 
+pub use faults::{
+    default_fault_config, run_fault, run_fault_for, FaultKind, FaultPlan, FaultResult,
+    PAYLOAD_BYTES,
+};
 pub use generator::{OpGenerator, Operation};
 pub use runner::{run_experiment, DelaySchedule, Experiment, RunResult, Sample};
+pub use sampler::LimboSampler;
 pub use spec::{OpMix, Structure, WorkloadSpec};
 pub use stall_churn::{run_stall_churn, StallChurnResult, StallChurnSpec};
 pub use structures::{default_bench_config, make_set, BenchSet, SchemeKind, SetSession};

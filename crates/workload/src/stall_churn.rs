@@ -27,6 +27,7 @@
 //! are sample-by-sample comparable — which is what
 //! `tests/robustness_bounds.rs` and the `ablation_era_advance` bench assert.
 
+use crate::sampler::{mean, peak, LimboSampler};
 use reclaim_core::{retire_box_with_birth, Smr, SmrHandle};
 use std::sync::Arc;
 
@@ -57,6 +58,8 @@ impl Default for StallChurnSpec {
 pub struct StallChurnResult {
     /// Scheme-wide in-limbo count after each episode's reclamation pass.
     pub limbo_samples: Vec<u64>,
+    /// Scheme-wide in-limbo byte count, sampled at the same instants.
+    pub limbo_byte_samples: Vec<u64>,
     /// Nodes retired over the whole run.
     pub total_retired: u64,
     /// In-limbo count after the final cleanup flush (reader released).
@@ -66,15 +69,17 @@ pub struct StallChurnResult {
 impl StallChurnResult {
     /// The highest sampled in-limbo count.
     pub fn peak_limbo(&self) -> u64 {
-        self.limbo_samples.iter().copied().max().unwrap_or(0)
+        peak(&self.limbo_samples)
+    }
+
+    /// The highest sampled in-limbo byte count.
+    pub fn peak_limbo_bytes(&self) -> u64 {
+        peak(&self.limbo_byte_samples)
     }
 
     /// The arithmetic mean of the sampled in-limbo counts.
     pub fn mean_limbo(&self) -> f64 {
-        if self.limbo_samples.is_empty() {
-            return 0.0;
-        }
-        self.limbo_samples.iter().sum::<u64>() as f64 / self.limbo_samples.len() as f64
+        mean(&self.limbo_samples)
     }
 }
 
@@ -85,7 +90,7 @@ impl StallChurnResult {
 pub fn run_stall_churn<S: Smr>(scheme: &Arc<S>, spec: &StallChurnSpec) -> StallChurnResult {
     let mut reader = scheme.register();
     let mut writer = Some(scheme.register());
-    let mut limbo_samples = Vec::with_capacity(spec.episodes);
+    let mut sampler = LimboSampler::with_capacity(spec.episodes);
     let mut total_retired = 0u64;
     let mut stalled = false;
     for episode in 0..spec.episodes {
@@ -114,7 +119,7 @@ pub fn run_stall_churn<S: Smr>(scheme: &Arc<S>, spec: &StallChurnSpec) -> StallC
             drop(writer.take());
             writer = Some(scheme.register());
         }
-        limbo_samples.push(scheme.stats().in_limbo());
+        sampler.sample(scheme);
     }
     if stalled {
         reader.end_op();
@@ -129,8 +134,10 @@ pub fn run_stall_churn<S: Smr>(scheme: &Arc<S>, spec: &StallChurnSpec) -> StallC
     cleaner.flush();
     drop(cleaner);
     let end_limbo = scheme.stats().in_limbo();
+    let (limbo_samples, limbo_byte_samples) = sampler.into_samples();
     StallChurnResult {
         limbo_samples,
+        limbo_byte_samples,
         total_retired,
         end_limbo,
     }

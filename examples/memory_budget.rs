@@ -1,30 +1,38 @@
-//! Memory behaviour under a stalled thread: QSBR vs QSense, side by side.
+//! A byte-accounted limbo budget under a stalled thread: QSBR vs QSense.
 //!
-//! This is the scenario of the paper's Figure 5 (bottom row), reduced to its essence
-//! and made observable from a terminal: one registered thread stops participating
-//! while the others keep removing nodes. Under QSBR the stalled thread blocks every
-//! grace period, so the unreclaimed-node count grows without bound — the paper's
-//! "the system runs out of memory and eventually fails". Under QSense the growth is
-//! detected, the scheme switches to the Cadence fallback path, and the unreclaimed
-//! count stays bounded; when the stalled thread comes back, QSense returns to the
-//! fast path.
+//! This is the scenario of the paper's Figure 5 (bottom row) — one registered
+//! thread stops participating while the others keep removing nodes — run
+//! against the budget API: both schemes get the same `limbo_budget` (in
+//! *bytes*, accounted end to end from `retire_box`'s `size_of` stamp to the
+//! scheme's per-chain byte totals), and at the end each scheme answers for
+//! itself through its [`BudgetVerdict`].
+//!
+//! Under QSBR the stalled thread blocks every grace period: the verdict shows
+//! the peak far above the budget and a long `time_over_budget`, with no
+//! escalation to count — QSBR has no lever to pull. Under QSense the budget
+//! breach itself *is* a lever: the governor trips the hybrid's fallback switch
+//! early (before the node-count threshold C would), forces scans, and the peak
+//! stays within small constant headroom of the budget.
 //!
 //! Run with: `cargo run --release --example memory_budget`
 
 use qsense_repro::ds::HarrisMichaelList;
-use qsense_repro::smr::{QSense, Qsbr, Smr, SmrConfig, SmrHandle};
+use qsense_repro::smr::{BudgetVerdict, QSense, Qsbr, Smr, SmrConfig, SmrHandle};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-/// One phase of the experiment: `stalled_for` of the run has a silent registered
-/// thread, the rest has everyone active.
+/// One phase of the experiment: until `STALL_UNTIL` one registered thread is
+/// silent, for the rest of the run everyone is active.
 const RUN_FOR: Duration = Duration::from_millis(2_400);
 const STALL_UNTIL: Duration = Duration::from_millis(1_600);
 const SAMPLE_EVERY: Duration = Duration::from_millis(200);
 
-fn run_scenario<S: Smr>(label: &str, scheme: Arc<S>) -> Vec<(f64, u64, u64)> {
+/// The byte budget both schemes are held to (same number, different levers).
+const LIMBO_BUDGET: usize = 256 * 1024;
+
+fn run_scenario<S: Smr>(label: &str, scheme: Arc<S>) -> BudgetVerdict {
     let list = Arc::new(HarrisMichaelList::new(Arc::clone(&scheme)));
     {
         let mut handle = list.register();
@@ -77,78 +85,98 @@ fn run_scenario<S: Smr>(label: &str, scheme: Arc<S>) -> Vec<(f64, u64, u64)> {
             });
         }
 
-        // Sampler.
+        // Sampler: nodes and bytes from the same snapshot.
         while started.elapsed() < RUN_FOR {
             thread::sleep(SAMPLE_EVERY);
             let stats = scheme.stats();
             samples.push((
                 started.elapsed().as_secs_f64(),
                 stats.in_limbo(),
-                stats.freed,
+                stats.limbo_bytes(),
             ));
         }
         stop.store(true, Ordering::Relaxed);
     });
 
     println!("\n{label}");
-    println!("  {:>6}  {:>14}  {:>12}", "t (s)", "in limbo", "freed");
-    for (at, in_limbo, freed) in &samples {
+    println!("  {:>6}  {:>14}  {:>12}", "t (s)", "in limbo", "limbo KiB");
+    for (at, in_limbo, limbo_bytes) in &samples {
         let marker = if *at < STALL_UNTIL.as_secs_f64() {
             "  <- one thread stalled"
         } else {
             ""
         };
-        println!("  {at:>6.2}  {in_limbo:>14}  {freed:>12}{marker}");
+        println!(
+            "  {at:>6.2}  {in_limbo:>14}  {:>12.1}{marker}",
+            *limbo_bytes as f64 / 1024.0
+        );
     }
-    samples
+
+    let verdict = scheme
+        .budget_verdict()
+        .expect("every scheme in the matrix reports a budget verdict");
+    println!(
+        "  verdict: peak {:.1} KiB against a {:.0} KiB budget ({:.1}x), {:.0} ms over budget",
+        verdict.peak_bytes as f64 / 1024.0,
+        verdict.budget_bytes as f64 / 1024.0,
+        verdict.peak_bytes as f64 / verdict.budget_bytes as f64,
+        verdict.time_over_budget.as_secs_f64() * 1e3,
+    );
+    println!(
+        "  escalations: {} forced scans, {} fallback trips, {} backpressure yields",
+        verdict.forced_scans, verdict.fallback_trips, verdict.backpressure_events,
+    );
+    verdict
 }
 
 fn main() {
-    println!("memory_budget: unreclaimed nodes while one registered thread is stalled");
+    println!(
+        "memory_budget: a {:.0} KiB limbo budget while one registered thread is stalled",
+        LIMBO_BUDGET as f64 / 1024.0
+    );
     println!(
         "(the stalled thread wakes up at t = {:.1} s)",
         STALL_UNTIL.as_secs_f64()
     );
 
-    let qsbr_samples = run_scenario(
-        "QSBR (fast but blocking): limbo grows for as long as the thread is stalled",
+    let qsbr_verdict = run_scenario(
+        "QSBR (fast but blocking): no lever to pull, the budget is breached for the whole stall",
         Qsbr::new(
             SmrConfig::for_list()
                 .with_max_threads(4)
-                .with_quiescence_threshold(32),
+                .with_quiescence_threshold(32)
+                .with_limbo_budget(Some(LIMBO_BUDGET)),
         ),
     );
 
-    let qsense_samples = run_scenario(
-        "QSense (hybrid): limbo is capped by the switch to the Cadence fallback path",
+    // QSense: the node-count fallback threshold C is set far out of reach, so the
+    // *byte budget* is what trips the hybrid switch — the early-fallback escalation.
+    let qsense_verdict = run_scenario(
+        "QSense (hybrid): the budget breach trips the Cadence fallback early and caps the peak",
         QSense::new(
             SmrConfig::for_list()
                 .with_max_threads(4)
                 .with_quiescence_threshold(32)
                 .with_scan_threshold(64)
-                .with_fallback_threshold(4_096)
+                .with_fallback_threshold(1 << 20)
                 .with_rooster_threads(1)
-                .with_rooster_interval(Duration::from_millis(5)),
+                .with_rooster_interval(Duration::from_millis(5))
+                .with_limbo_budget(Some(LIMBO_BUDGET)),
         ),
     );
 
-    // Compare the peak unreclaimed-node counts during the stall window.
-    let stall_secs = STALL_UNTIL.as_secs_f64();
-    let peak = |samples: &[(f64, u64, u64)]| {
-        samples
-            .iter()
-            .filter(|(at, _, _)| *at <= stall_secs)
-            .map(|(_, limbo, _)| *limbo)
-            .max()
-            .unwrap_or(0)
-    };
-    let qsbr_peak = peak(&qsbr_samples);
-    let qsense_peak = peak(&qsense_samples);
     println!(
-        "\npeak unreclaimed nodes during the stall: QSBR = {qsbr_peak}, QSense = {qsense_peak}"
+        "\npeak limbo bytes: QSBR = {:.1} KiB, QSense = {:.1} KiB (budget {:.0} KiB)",
+        qsbr_verdict.peak_bytes as f64 / 1024.0,
+        qsense_verdict.peak_bytes as f64 / 1024.0,
+        LIMBO_BUDGET as f64 / 1024.0,
     );
-    if qsense_peak < qsbr_peak {
-        println!("QSense kept memory bounded while QSBR could only watch its limbo lists grow.");
+    if qsense_verdict.peak_bytes < qsbr_verdict.peak_bytes && qsense_verdict.escalations() > 0 {
+        println!(
+            "QSense spent its budget breach on escalation ({} rungs pulled) and stayed bounded; \
+             QSBR could only watch its limbo lists grow.",
+            qsense_verdict.escalations()
+        );
     } else {
         println!(
             "(run was too short for the difference to show on this machine; increase RUN_FOR)"

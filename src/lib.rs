@@ -48,9 +48,10 @@ pub mod smr {
     pub use qsense::{Path, QSense, QSenseHandle};
     pub use reclaim_core::stats::StatsSnapshot;
     pub use reclaim_core::{
-        retire_box, retire_box_with_birth, Clock, CountingAllocator, Era, EraAdvancePolicy,
-        EraClock, EraPacer, HandleCache, Leaky, LeakyHandle, ManualClock, ShardedStats, Smr,
-        SmrConfig, SmrHandle, StatStripe, DEFAULT_ERA_ADVANCE_INTERVAL, NO_BIRTH_ERA,
+        retire_box, retire_box_with_birth, BudgetGovernor, BudgetVerdict, Clock, CountingAllocator,
+        Era, EraAdvancePolicy, EraClock, EraPacer, HandleCache, Leaky, LeakyHandle, ManualClock,
+        ShardedStats, Smr, SmrConfig, SmrHandle, StatStripe, DEFAULT_ERA_ADVANCE_INTERVAL,
+        NO_BIRTH_ERA,
     };
     pub use refcount::{RefCount, RefCountHandle};
 }
@@ -64,12 +65,16 @@ pub mod ds {
     };
 }
 
-/// Workload generation and measurement harness (the paper's methodology, §7).
+/// Workload generation and measurement harness (the paper's methodology, §7),
+/// including the seeded fault-injection matrix ([`bench::run_fault_for`]) that
+/// turns the byte-budget robustness claims into verdicts — the CLI exposes it
+/// as `qsense-bench --scheme all --fault all --limbo-budget 256k`.
 pub mod bench {
     pub use workload::report;
     pub use workload::{
-        default_bench_config, make_set, run_experiment, run_stall_churn, BenchSet, DelaySchedule,
-        Experiment, OpGenerator, OpMix, Operation, RunResult, Sample, SchemeKind, SetSession,
-        StallChurnResult, StallChurnSpec, Structure, WorkloadSpec,
+        default_bench_config, default_fault_config, make_set, run_experiment, run_fault,
+        run_fault_for, run_stall_churn, BenchSet, DelaySchedule, Experiment, FaultKind, FaultPlan,
+        FaultResult, LimboSampler, OpGenerator, OpMix, Operation, RunResult, Sample, SchemeKind,
+        SetSession, StallChurnResult, StallChurnSpec, Structure, WorkloadSpec, PAYLOAD_BYTES,
     };
 }

@@ -13,8 +13,9 @@
 //!   thread never comes back — end to end, with the real clock and real structures.
 
 use qsense_repro::bench::{
-    make_set, run_experiment, run_stall_churn, DelaySchedule, Experiment, OpMix, SchemeKind,
-    StallChurnSpec, Structure, WorkloadSpec,
+    default_fault_config, make_set, run_experiment, run_fault_for, run_stall_churn, DelaySchedule,
+    Experiment, FaultKind, FaultPlan, OpMix, SchemeKind, StallChurnSpec, Structure, WorkloadSpec,
+    PAYLOAD_BYTES,
 };
 use qsense_repro::ds::HarrisMichaelList;
 use qsense_repro::smr::{
@@ -319,6 +320,146 @@ fn stall_churn_adaptive_era_policy_tightens_the_static_limbo_bound() {
     // Releasing the reader drains both HE runs completely.
     assert_eq!(static_run.end_limbo, 0);
     assert_eq!(adaptive_run.end_limbo, 0);
+}
+
+/// The CI robustness verdict: under an enforced byte budget, the robust
+/// schemes (HP, Cadence, QSense, HE) keep `peak_limbo_bytes` within constant
+/// headroom of the budget — *and* the escalation counters show the governor
+/// actually pulled its levers — under both the stalled-reader and the
+/// leaked-handle fault, while QSBR's peak grows with the total number of
+/// retirements (pulling the same levers buys it nothing: no lever can
+/// substitute for the stalled participant's quiescence).
+///
+/// The bound is `2 bursts per retiring handle + 4x budget`: enforcement only
+/// engages *after* the estimate crosses the budget, and the age-gated schemes
+/// cannot free nodes younger than T + ε — which is wall-clock time, so under
+/// scheduler jitter two consecutive bursts can both still be young when the
+/// second one peaks (and the leaked-handle fault has *two* handles retiring
+/// per episode: the writer and the leaking handle itself). That many in-flight
+/// bursts plus small enforcement headroom is the honest constant. QSBR's peak
+/// — the whole run's retirements — sits a multiple above it under every fault.
+#[test]
+fn byte_budgets_bound_the_robust_schemes_but_not_qsbr_under_faults() {
+    // Budget far below one episode's bytes, so every scheme (HP's natural
+    // node-count ceiling included) must cross it and escalate.
+    const BUDGET: usize = 8 * 1024;
+    for fault in [FaultKind::StalledReader, FaultKind::LeakedHandle] {
+        let plan = FaultPlan::new(fault);
+        let retiring_handles = match fault {
+            FaultKind::LeakedHandle => 2,
+            _ => 1,
+        };
+        let bound = (2 * retiring_handles * plan.episode_bytes() + 4 * BUDGET) as u64;
+        for scheme in [
+            SchemeKind::Hp,
+            SchemeKind::Cadence,
+            SchemeKind::QSense,
+            SchemeKind::He,
+        ] {
+            let result = run_fault_for(scheme, default_fault_config(Some(BUDGET)), &plan);
+            let verdict = result.verdict.expect("budgeted runs carry a verdict");
+            assert!(
+                verdict.escalations() > 0,
+                "{} under {}: crossing the budget must be answered by escalation ({verdict:?})",
+                result.scheme,
+                fault.name()
+            );
+            assert!(
+                result.peak_limbo_bytes <= bound,
+                "{} under {}: peak {} bytes must stay within the young-burst bound {bound}",
+                result.scheme,
+                fault.name(),
+                result.peak_limbo_bytes
+            );
+            assert_eq!(
+                result.end_limbo,
+                0,
+                "{} under {}: releasing the fault must drain the limbo",
+                result.scheme,
+                fault.name()
+            );
+            // QSense's escalation lever is the hybrid switch itself: the byte
+            // budget must trip the Cadence fallback before the node-count C.
+            if scheme == SchemeKind::QSense {
+                assert!(
+                    verdict.fallback_trips >= 1,
+                    "QSense under {}: the budget breach must trip the fallback early ({verdict:?})",
+                    fault.name()
+                );
+            }
+        }
+
+        let qsbr = run_fault_for(SchemeKind::Qsbr, default_fault_config(Some(BUDGET)), &plan);
+        let total_bytes = qsbr.total_retired * PAYLOAD_BYTES as u64;
+        assert!(
+            qsbr.peak_limbo_bytes > bound,
+            "QSBR under {}: the robust schemes' bound {bound} must NOT hold (peak {})",
+            fault.name(),
+            qsbr.peak_limbo_bytes
+        );
+        assert!(
+            qsbr.peak_limbo_bytes >= total_bytes / 2,
+            "QSBR under {}: the peak must track the total retirement volume          ({} of {total_bytes} bytes)",
+            fault.name(),
+            qsbr.peak_limbo_bytes
+        );
+    }
+
+    // EBR's expected failure: the leaked handle is dropped *mid-operation*, so
+    // until the drop (half the run) it pins the epoch and limbo grows with
+    // every retirement — budget escalation fires but cannot help, exactly like
+    // QSBR under the stall. This is the epoch schemes' documented non-robust
+    // verdict, asserted rather than skipped.
+    let plan = FaultPlan::new(FaultKind::LeakedHandle);
+    let bound = (4 * plan.episode_bytes() + 4 * BUDGET) as u64;
+    let ebr = run_fault_for(SchemeKind::Ebr, default_fault_config(Some(BUDGET)), &plan);
+    assert!(
+        ebr.peak_limbo_bytes > bound,
+        "EBR under leaked-handle: the robust bound {bound} must NOT hold (peak {})",
+        ebr.peak_limbo_bytes
+    );
+    assert_eq!(
+        ebr.end_limbo, 0,
+        "EBR under leaked-handle: once the leak is adopted, everything drains"
+    );
+}
+
+/// Leaked-handle coverage across the full scheme matrix: a handle dropped
+/// mid-operation without a flush must not strand its parked bytes anywhere —
+/// after the cleanup adopter pass, every reclaiming scheme ends with zero
+/// nodes *and* zero bytes in limbo, and the governor's byte estimate agrees
+/// (the unconditional parked-bytes accounting is exactly what makes a leak
+/// visible instead of silently undercounted). The leaky baseline is the
+/// control: it never frees, so its end limbo is the whole run.
+#[test]
+fn a_leaked_handle_strands_no_bytes_in_any_scheme() {
+    let plan = FaultPlan::new(FaultKind::LeakedHandle);
+    for scheme in SchemeKind::extended() {
+        let result = run_fault_for(scheme, default_fault_config(None), &plan);
+        if scheme == SchemeKind::None {
+            assert_eq!(
+                result.end_limbo, result.total_retired,
+                "the leaky baseline frees nothing until scheme drop"
+            );
+            continue;
+        }
+        assert_eq!(
+            result.end_limbo, 0,
+            "{}: leaked-handle cleanup must drain every node",
+            result.scheme
+        );
+        assert_eq!(
+            result.end_limbo_bytes, 0,
+            "{}: leaked-handle cleanup must drain every byte",
+            result.scheme
+        );
+        let verdict = result.verdict.expect("every scheme reports a verdict");
+        assert_eq!(
+            verdict.current_bytes, 0,
+            "{}: the governor's estimate must agree that nothing is stranded ({verdict:?})",
+            result.scheme
+        );
+    }
 }
 
 #[test]
