@@ -16,6 +16,9 @@ use reclaim_core::{Smr, SmrConfig, SmrHandle};
 use std::hint::black_box;
 use std::time::Instant;
 
+// Sanctioned raw-protocol site: this ablation measures the raw protection
+// primitive itself, below the guard layer.
+#[allow(clippy::disallowed_methods)]
 fn protect_loop<H: SmrHandle>(handle: &mut H, rounds: u64) {
     for i in 0..rounds {
         // Publish a (fake but nonnull) protected address, as a traversal would for

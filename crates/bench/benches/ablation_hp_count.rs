@@ -24,6 +24,9 @@ use reclaim_core::{Smr, SmrConfig, SmrHandle};
 /// Operations per (K, scheme) measurement.
 const OPS: u64 = 200_000;
 
+// Sanctioned raw-protocol site: this ablation measures the raw protection
+// primitive itself, below the guard layer.
+#[allow(clippy::disallowed_methods)]
 fn measure<S: Smr>(scheme: &std::sync::Arc<S>, k: usize) -> f64 {
     let mut handle = scheme.register();
     // Warm up the handle and the branch predictors.

@@ -4,13 +4,17 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin compare_overhead -- \
-//!     BENCH_overhead.json BENCH_overhead.fresh.json [--max-ratio 3.0]
+//!     BENCH_overhead.json BENCH_overhead.fresh.json [--max-ratio 2.0]
 //! ```
 //!
-//! Compares every `(scheme, threads)` point's `retire_ns_per_op` in the fresh
-//! report against the checked-in baseline and exits nonzero when any point
-//! regressed by more than the given ratio (default 3x — wide enough for shared
-//! CI runners, tight enough to catch an accidental O(n) on the retire path).
+//! Compares every `(scheme, threads)` point's fresh `retire_ns_per_op`
+//! against the checked-in baseline's per-point `retire_ns_max` — the worst of
+//! the baseline's repeats, which already carries that point's measured noise
+//! band — and exits nonzero when any point regressed by more than the given
+//! ratio (default 2x: the max anchor absorbs run-to-run noise, so the ratio
+//! can sit tighter than the old 3x-of-the-mean gate while still catching an
+//! accidental O(n) on the retire path). Baselines without repeat data fall
+//! back to comparing against the mean.
 
 use bench::json::{compare_overhead, parse_rows};
 use std::process::ExitCode;
@@ -23,7 +27,7 @@ fn usage() -> ExitCode {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
-    let mut max_ratio = 3.0f64;
+    let mut max_ratio = 2.0f64;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         if arg == "--max-ratio" {

@@ -168,8 +168,11 @@ pub struct Regression {
     pub scheme: String,
     /// Thread count of the regressed point.
     pub threads: u64,
-    /// Baseline ns/op.
+    /// Baseline ns/op (the comparison anchor).
     pub baseline_ns: f64,
+    /// Which baseline statistic anchored the comparison: `"max"` (worst of
+    /// the baseline's repeats) or `"mean"` (older single-shot baselines).
+    pub baseline_anchor: &'static str,
     /// Fresh ns/op.
     pub fresh_ns: f64,
     /// `fresh / baseline`.
@@ -180,17 +183,26 @@ impl std::fmt::Display for Regression {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} @ {} thread(s): retire {:.1} ns/op vs baseline {:.1} ns/op ({:.2}x)",
-            self.scheme, self.threads, self.fresh_ns, self.baseline_ns, self.ratio
+            "{} @ {} thread(s): retire {:.1} ns/op vs baseline {} {:.1} ns/op ({:.2}x)",
+            self.scheme,
+            self.threads,
+            self.fresh_ns,
+            self.baseline_anchor,
+            self.baseline_ns,
+            self.ratio
         )
     }
 }
 
 /// Compares a fresh overhead report against the checked-in baseline: every
 /// `(scheme, threads)` point present in both is a regression when its fresh
-/// `retire_ns_per_op` exceeds `max_ratio` times the baseline value. Points
-/// missing from either side are ignored (the gate catches regressions, not
-/// matrix changes — those show up in review).
+/// `retire_ns_per_op` exceeds `max_ratio` times the baseline's per-point
+/// anchor. The anchor is `retire_ns_max` — the worst of the baseline's
+/// repeats, which already absorbs that point's measured run-to-run noise — on
+/// baselines that record it, falling back to the mean `retire_ns_per_op` on
+/// older single-shot baselines. Points missing from either side are ignored
+/// (the gate catches regressions, not matrix changes — those show up in
+/// review).
 pub fn compare_overhead(
     baseline: &[ParsedRow],
     fresh: &[ParsedRow],
@@ -198,12 +210,16 @@ pub fn compare_overhead(
 ) -> Vec<Regression> {
     let mut regressions = Vec::new();
     for base in baseline {
-        let (Some(scheme), Some(threads), Some(base_ns)) = (
+        let (Some(scheme), Some(threads), Some(base_mean)) = (
             base.str_value("scheme"),
             base.num_value("threads"),
             base.num_value("retire_ns_per_op"),
         ) else {
             continue;
+        };
+        let (base_ns, baseline_anchor) = match base.num_value("retire_ns_max") {
+            Some(max) if max > 0.0 => (max, "max"),
+            _ => (base_mean, "mean"),
         };
         if base_ns <= 0.0 {
             continue;
@@ -220,6 +236,7 @@ pub fn compare_overhead(
                     scheme: scheme.to_string(),
                     threads: threads as u64,
                     baseline_ns: base_ns,
+                    baseline_anchor,
                     fresh_ns,
                     ratio,
                 });
@@ -313,7 +330,35 @@ mod tests {
         assert_eq!(regressions[0].scheme, "hp");
         assert_eq!(regressions[0].threads, 8);
         assert!((regressions[0].ratio - 2000.0 / 600.0).abs() < 1e-9);
+        assert_eq!(regressions[0].baseline_anchor, "mean");
         assert!(regressions[0].to_string().contains("hp @ 8 thread(s)"));
+        assert!(regressions[0].to_string().contains("baseline mean"));
+    }
+
+    #[test]
+    fn compare_anchors_on_the_baseline_repeat_max_when_recorded() {
+        // PR 6 baselines record min/max across repeats per point; the gate
+        // compares fresh means against the per-point *max* so the baseline's
+        // own noise band is absorbed and the ratio can stay tight.
+        let baseline = parse_rows(
+            r#"{
+  "bench": "overhead_summary",
+  "results": [
+    {"scheme": "hp", "threads": 4, "retire_ns_per_op": 100.0, "retire_ns_min": 90.0, "retire_ns_max": 130.0},
+    {"scheme": "hp", "threads": 8, "retire_ns_per_op": 600.0, "retire_ns_min": 550.0, "retire_ns_max": 700.0}
+  ]
+}"#,
+        );
+        let fresh = parse_rows(&report(&[("hp", 4, 255.0), ("hp", 8, 1300.0)]));
+        // 255/130 = 1.96x stays under 2x; 1300/700 = 1.86x does too — but
+        // against the means both would have tripped a 2x gate.
+        assert!(compare_overhead(&baseline, &fresh, 2.0).is_empty());
+        let regressions = compare_overhead(&baseline, &fresh, 1.9);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].threads, 4);
+        assert_eq!(regressions[0].baseline_anchor, "max");
+        assert!((regressions[0].baseline_ns - 130.0).abs() < 1e-9);
+        assert!(regressions[0].to_string().contains("baseline max"));
     }
 
     #[test]

@@ -31,6 +31,9 @@ pub use rooster::Rooster;
 pub use scheme::{Cadence, CadenceHandle};
 
 #[cfg(test)]
+// Sanctioned raw-protocol site: these tests exercise the scheme's own
+// `protect`/retire interface below the guard layer.
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use reclaim_core::{retire_box, Clock, ManualClock, Smr, SmrConfig, SmrHandle};

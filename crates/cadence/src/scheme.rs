@@ -310,6 +310,9 @@ impl SmrHandle for CadenceHandle {
         let stats = self.stats();
         stats.add_retired(1);
         stats.add_retired_bytes(size_bytes as u64);
+        if size_bytes == 0 {
+            stats.add_size_unknown_retire();
+        }
         // Timestamp at removal time — the paper's `free_node_later` records
         // `time_created` on the wrapper node.
         let now = self.scheme.config.clock.now();

@@ -121,7 +121,10 @@ USAGE:
     qsense-bench [OPTIONS]
 
 OPTIONS:
-    --structure <list|skiplist|bst|hashmap>   data structure        [default: list]
+    --structure <list|skiplist|bst|hashmap|queue|stack>
+                                              data structure        [default: list]
+                                              (queue/stack run 100%-churn FIFO/LIFO
+                                              workloads; --updates is forced to 100)
     --scheme <none|qsbr|ebr|he|rc|hp|cadence|qsense|paper|all>
                                               scheme or scheme set  [default: qsense]
     --threads <N>                             worker threads        [default: 4]
@@ -192,6 +195,8 @@ fn parse_structure(value: &str) -> Result<Structure, String> {
         "skiplist" | "skip-list" => Ok(Structure::SkipList),
         "bst" | "tree" => Ok(Structure::Bst),
         "hashmap" | "hash-map" | "map" => Ok(Structure::HashMap),
+        "queue" | "msqueue" | "fifo" => Ok(Structure::Queue),
+        "stack" | "treiber" | "lifo" => Ok(Structure::Stack),
         other => Err(format!("unknown structure '{other}'")),
     }
 }
@@ -305,8 +310,12 @@ impl CliOptions {
     }
 
     /// The operation mix implied by `--updates` (inserts and deletes split evenly,
-    /// as in the paper).
+    /// as in the paper). The FIFO/LIFO structures have no membership test, so
+    /// they always run the 100%-churn mix regardless of `--updates`.
     pub fn op_mix(&self) -> OpMix {
+        if matches!(self.structure, Structure::Queue | Structure::Stack) {
+            return OpMix::churn();
+        }
         let updates = self.update_pct;
         let inserts = updates / 2;
         let deletes = updates - inserts;
@@ -463,6 +472,28 @@ mod tests {
         assert_eq!(mix.insert_pct + mix.delete_pct, 25);
         let all_reads = parse(&["--updates", "0"]).unwrap().op_mix();
         assert_eq!(all_reads.read_pct, 100);
+    }
+
+    #[test]
+    fn queue_and_stack_structures_parse_and_force_churn() {
+        for (alias, structure) in [
+            ("queue", Structure::Queue),
+            ("msqueue", Structure::Queue),
+            ("fifo", Structure::Queue),
+            ("stack", Structure::Stack),
+            ("treiber", Structure::Stack),
+            ("lifo", Structure::Stack),
+        ] {
+            let options = parse(&["--structure", alias]).unwrap();
+            assert_eq!(options.structure, structure, "alias {alias}");
+            assert_eq!(options.op_mix(), OpMix::churn(), "alias {alias}");
+        }
+        // --updates is ignored for the FIFO/LIFO structures...
+        let options = parse(&["--structure", "queue", "--updates", "10"]).unwrap();
+        assert_eq!(options.op_mix(), OpMix::churn());
+        // ...but still honoured for the sets.
+        let options = parse(&["--structure", "list", "--updates", "10"]).unwrap();
+        assert_eq!(options.op_mix(), OpMix::updates_10());
     }
 
     #[test]

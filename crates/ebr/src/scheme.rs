@@ -338,6 +338,9 @@ impl SmrHandle for EbrHandle {
     ) {
         self.stats().add_retired(1);
         self.stats().add_retired_bytes(size_bytes as u64);
+        if size_bytes == 0 {
+            self.stats().add_size_unknown_retire();
+        }
         let now = self.scheme.config.clock.now();
         // While pinned (the normal case — retires happen inside operations),
         // tag with the cached pin-time epoch: the pin bounds the global at

@@ -23,6 +23,9 @@ mod scheme;
 pub use scheme::{Hazard, HazardHandle};
 
 #[cfg(test)]
+// Sanctioned raw-protocol site: these tests exercise the scheme's own
+// `protect`/retire interface below the guard layer.
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use reclaim_core::{retire_box, Smr, SmrConfig, SmrHandle};

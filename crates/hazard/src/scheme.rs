@@ -290,6 +290,9 @@ impl SmrHandle for HazardHandle {
         let stats = self.stats();
         stats.add_retired(1);
         stats.add_retired_bytes(size_bytes as u64);
+        if size_bytes == 0 {
+            stats.add_size_unknown_retire();
+        }
         let now = self.scheme.config.clock.now();
         // SAFETY: forwarded from the caller's contract.
         self.retired.push(&mut self.pool, unsafe {

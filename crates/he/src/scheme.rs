@@ -518,6 +518,9 @@ impl SmrHandle for HeHandle {
     ) {
         self.stats().add_retired(1);
         self.stats().add_retired_bytes(size_bytes as u64);
+        if size_bytes == 0 {
+            self.stats().add_size_unknown_retire();
+        }
         // The retire era must be a *fresh* read (see the scheme docs): any
         // reader still holding this node announced its reservation before now,
         // so monotonicity puts that announcement inside [birth, retire].
@@ -690,6 +693,9 @@ impl Drop for HeHandle {
 }
 
 #[cfg(test)]
+// Sanctioned raw-protocol site: these tests exercise the scheme's own
+// `protect`/retire interface below the guard layer.
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use reclaim_core::{retire_box, retire_box_with_birth};

@@ -37,7 +37,7 @@
 
 use crate::keyspace::KeySlot;
 use rand as _; // keep the workspace dependency graph uniform; randomness is not needed here
-use reclaim_core::{retire_box_with_birth, Era, Smr, SmrHandle, NO_BIRTH_ERA};
+use reclaim_core::{Era, Guard, Smr, NO_BIRTH_ERA};
 use std::cmp::Ordering as CmpOrdering;
 use std::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::Arc;
@@ -207,7 +207,7 @@ where
     /// Descends to the leaf on `key`'s search path, keeping grandparent, parent and
     /// leaf protected. Only clean edges are traversed; encountering a dirty edge
     /// restarts the descent (writers help through `cleanup` before calling again).
-    fn seek(&self, key: &K, handle: &mut S::Handle) -> SeekRecord<K> {
+    fn seek(&self, key: &K, guard: &Guard<'_, S::Handle>) -> SeekRecord<K> {
         let root = self.root_ptr();
         'retry: loop {
             // Rotating slot assignment: gp, parent, leaf, next cycle over slots 0..4.
@@ -219,7 +219,7 @@ where
             let mut grandparent = root;
             // SAFETY: the root sentinel is owned by `self` and never reclaimed.
             let s = clean(unsafe { &*root }.left.load(Ordering::Acquire));
-            handle.protect(p_slot, s.cast());
+            guard.protect_ptr(p_slot, s.cast());
             if unsafe { &*root }.left.load(Ordering::Acquire) != s {
                 continue 'retry;
             }
@@ -228,7 +228,7 @@ where
             // is in fact never removed, but the generic discipline costs nothing.
             let leaf_raw = unsafe { &*parent }.left.load(Ordering::Acquire);
             let mut leaf = clean(leaf_raw);
-            handle.protect(l_slot, leaf.cast());
+            guard.protect_ptr(l_slot, leaf.cast());
             if unsafe { &*parent }.left.load(Ordering::Acquire) != leaf {
                 continue 'retry;
             }
@@ -257,11 +257,11 @@ where
                         parent: leaf,
                         leaf: clean(next_raw),
                     };
-                    self.cleanup(key, &help, handle);
+                    self.cleanup(key, &help, guard);
                     continue 'retry;
                 }
                 let next = next_raw;
-                handle.protect(free_slot, next.cast());
+                guard.protect_ptr(free_slot, next.cast());
                 if edge.load(Ordering::Acquire) != next_raw {
                     continue 'retry;
                 }
@@ -288,7 +288,7 @@ where
     /// unused — helpers (see `seek`) synthesize records whose `leaf` is an
     /// unvalidated pointer read from a dirty edge, so it must never be
     /// dereferenced here.
-    fn cleanup(&self, key: &K, record: &SeekRecord<K>, handle: &mut S::Handle) -> bool {
+    fn cleanup(&self, key: &K, record: &SeekRecord<K>, guard: &Guard<'_, S::Handle>) -> bool {
         let SeekRecord {
             grandparent,
             parent,
@@ -345,8 +345,8 @@ where
             // replaced, and the only edge into `removed_leaf` (from `parent`) is
             // flagged, so no traversal can validate a new protection for either.
             unsafe {
-                retire_box_with_birth(handle, parent, (*parent).birth_era);
-                retire_box_with_birth(handle, removed_leaf, (*removed_leaf).birth_era);
+                guard.retire_raw(parent, (*parent).birth_era);
+                guard.retire_raw(removed_leaf, (*removed_leaf).birth_era);
             }
             true
         } else {
@@ -356,37 +356,32 @@ where
 
     /// Returns true if `key` is in the set.
     pub fn contains(&self, key: &K, handle: &mut S::Handle) -> bool {
-        handle.begin_op();
-        let record = self.seek(key, handle);
+        let guard = Guard::new(handle);
+        let record = self.seek(key, &guard);
         // SAFETY: `record.leaf` is protected by the seek.
-        let found = unsafe { &*record.leaf }.key.cmp_key(key) == CmpOrdering::Equal;
-        handle.clear_protections();
-        handle.end_op();
-        found
+        unsafe { &*record.leaf }.key.cmp_key(key) == CmpOrdering::Equal
     }
 
     /// Inserts `key`; returns false if it was already present.
     pub fn insert(&self, key: K, handle: &mut S::Handle) -> bool {
-        handle.begin_op();
+        let guard = Guard::new(handle);
         loop {
-            let record = self.seek(&key, handle);
+            let record = self.seek(&key, &guard);
             let leaf = record.leaf;
             // SAFETY: `leaf` protected by the seek.
             let leaf_key = unsafe { &(*leaf).key };
             if leaf_key.cmp_key(&key) == CmpOrdering::Equal {
-                handle.clear_protections();
-                handle.end_op();
                 return false;
             }
             // Build the replacement subtree: a new internal node whose children are
             // the existing leaf and the new leaf, ordered by key. The internal node's
             // routing key is the larger of the two (search goes left iff key < node).
-            let new_leaf = Node::leaf(KeySlot::Key(key.clone()), handle.alloc_node());
+            let new_leaf = Node::leaf(KeySlot::Key(key.clone()), guard.alloc_era());
             let (internal_key, left, right) = match leaf_key.cmp_key(&key) {
                 CmpOrdering::Greater => (leaf_key.clone(), new_leaf, leaf),
                 _ => (KeySlot::Key(key.clone()), leaf, new_leaf),
             };
-            let new_internal = Node::internal(internal_key, left, right, handle.alloc_node());
+            let new_internal = Node::internal(internal_key, left, right, guard.alloc_era());
             // Pause point: the validate-then-CAS window (audited against the
             // skip list's upper-level re-link race; see the note below).
             crate::interleave::hit("bst::insert::pre_link_cas");
@@ -408,8 +403,6 @@ where
             let edge = unsafe { Self::child_edge(record.parent, &key) };
             match edge.compare_exchange(leaf, new_internal, Ordering::AcqRel, Ordering::Acquire) {
                 Ok(_) => {
-                    handle.clear_protections();
-                    handle.end_op();
                     return true;
                 }
                 Err(current) => {
@@ -422,7 +415,7 @@ where
                     // If the edge still leads to our leaf but is flagged/tagged, help
                     // the pending delete before retrying.
                     if clean(current) == leaf && (current as usize) & BITS != 0 {
-                        self.cleanup(&key, &record, handle);
+                        self.cleanup(&key, &record, &guard);
                     }
                 }
             }
@@ -431,18 +424,16 @@ where
 
     /// Removes `key`; returns false if it was not present.
     pub fn remove(&self, key: &K, handle: &mut S::Handle) -> bool {
-        handle.begin_op();
+        let guard = Guard::new(handle);
         // Injection phase: flag the parent→leaf edge (linearization point).
         let mut injected = false;
         let mut victim: *mut Node<K> = std::ptr::null_mut();
         loop {
-            let record = self.seek(key, handle);
+            let record = self.seek(key, &guard);
             if !injected {
                 let leaf = record.leaf;
                 // SAFETY: `leaf` protected by the seek.
                 if unsafe { &*leaf }.key.cmp_key(key) != CmpOrdering::Equal {
-                    handle.clear_protections();
-                    handle.end_op();
                     return false;
                 }
                 // SAFETY: `record.parent` protected by the seek.
@@ -456,9 +447,7 @@ where
                     Ok(_) => {
                         injected = true;
                         victim = leaf;
-                        if self.cleanup(key, &record, handle) {
-                            handle.clear_protections();
-                            handle.end_op();
+                        if self.cleanup(key, &record, &guard) {
                             return true;
                         }
                     }
@@ -466,7 +455,7 @@ where
                         // Someone interfered. If the edge still leads to our leaf but
                         // is dirty, help the pending operation along, then retry.
                         if clean(current) == leaf && (current as usize) & BITS != 0 {
-                            self.cleanup(key, &record, handle);
+                            self.cleanup(key, &record, &guard);
                         }
                     }
                 }
@@ -474,13 +463,9 @@ where
                 // Cleanup phase: keep helping until our flagged leaf is gone from the
                 // search path (either we spliced it out or someone helped us).
                 if record.leaf != victim {
-                    handle.clear_protections();
-                    handle.end_op();
                     return true;
                 }
-                if self.cleanup(key, &record, handle) {
-                    handle.clear_protections();
-                    handle.end_op();
+                if self.cleanup(key, &record, &guard) {
                     return true;
                 }
             }
@@ -491,7 +476,7 @@ where
     /// intended for tests, examples and benchmark validation only; the traversal
     /// restarts if it observes interference at the root.
     pub fn len(&self, handle: &mut S::Handle) -> usize {
-        handle.begin_op();
+        let _guard = Guard::new(handle);
         // An explicit stack of protected-free raw pointers: this walk is only safe
         // against concurrent reclamation because it re-validates nothing — so it is
         // documented as a quiescent-only helper. Tests and benchmark validation call
@@ -514,7 +499,6 @@ where
                 stack.push(clean(node_ref.right.load(Ordering::Acquire)));
             }
         }
-        handle.end_op();
         count
     }
 

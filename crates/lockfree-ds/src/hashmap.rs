@@ -9,16 +9,17 @@
 //! for which hazard pointers are applicable") is demonstrated on the structure the
 //! original hazard-pointer work actually targeted.
 //!
-//! Reclamation integration is identical to the linked list: two protection slots per
-//! thread (predecessor and current node), protect-then-revalidate on traversal, and
-//! retire-on-unlink, so `K = 2` regardless of the number of buckets.
+//! Reclamation integration is identical to the linked list — and, like the list,
+//! the module is built entirely on the safe guard layer (`reclaim_core::guard`):
+//! two protection slots per thread (predecessor and current node),
+//! protect-then-revalidate via [`Guard::load_protected`] / [`Guard::protect_word`],
+//! and retirement only through the [`reclaim_core::Unlinked`] capability minted by
+//! the unlink CAS, so `K = 2` regardless of the number of buckets.
 
-use crate::keyspace::KeySlot;
-use crate::tagged::{decompose, is_marked, marked, unmarked};
-use reclaim_core::{retire_box_with_birth, Era, Smr, SmrHandle, NO_BIRTH_ERA};
+use reclaim_core::{Atomic, Guard, Owned, Shared, Smr};
 use std::cmp::Ordering as CmpOrdering;
 use std::hash::{BuildHasher, BuildHasherDefault, DefaultHasher, Hash};
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Protection slot for the predecessor during traversal.
@@ -34,42 +35,26 @@ pub const HASHMAP_HP_SLOTS: usize = 2;
 pub const DEFAULT_HASH_BUCKETS: usize = 1 << 12;
 
 struct Node<K, V> {
-    key: KeySlot<K>,
-    /// `None` only in bucket sentinels. Written once at allocation, never mutated
-    /// afterwards, so readers may clone it while the node is protected.
-    value: Option<V>,
-    /// Era the node was allocated in (`SmrHandle::alloc_node`); immutable after
-    /// allocation, read back at the retire sites. `NO_BIRTH_ERA` on sentinels.
-    birth_era: Era,
-    next: AtomicPtr<Node<K, V>>,
+    key: K,
+    /// Written once at allocation, never mutated afterwards, so readers may
+    /// clone it while the node is protected.
+    value: V,
+    next: Atomic<Node<K, V>>,
 }
 
-impl<K, V> Node<K, V> {
-    fn new(
-        key: KeySlot<K>,
-        value: Option<V>,
-        next: *mut Node<K, V>,
-        birth_era: Era,
-    ) -> *mut Node<K, V> {
-        Box::into_raw(Box::new(Node {
-            key,
-            value,
-            birth_era,
-            next: AtomicPtr::new(next),
-        }))
-    }
-}
-
-struct Search<K, V> {
-    prev: *mut Node<K, V>,
-    curr: *mut Node<K, V>,
+/// Result of a bucket traversal: `curr` is the validated, protected word of the
+/// first node with key ≥ the search key (or null) and `prev` the link holding it
+/// (the bucket head or the `next` link of the node protected by slot 0).
+struct Search<'g, K, V> {
+    prev: &'g Atomic<Node<K, V>>,
+    curr: Shared<'g, Node<K, V>>,
 }
 
 /// A lock-free hash map: a fixed array of buckets, each an independent Harris–Michael
 /// ordered list.
 pub struct LockFreeHashMap<K, V, S: Smr> {
-    /// One sentinel node per bucket; real nodes hang off the sentinels' `next`.
-    buckets: Box<[Node<K, V>]>,
+    /// One head link per bucket; nodes hang off it in key order.
+    buckets: Box<[Atomic<Node<K, V>>]>,
     hasher: BuildHasherDefault<DefaultHasher>,
     /// Element count maintained on successful insert/remove.
     size: AtomicUsize,
@@ -97,12 +82,7 @@ where
     pub fn with_buckets(smr: Arc<S>, buckets: usize) -> Self {
         let count = buckets.next_power_of_two().max(1);
         let buckets = (0..count)
-            .map(|_| Node {
-                key: KeySlot::NegInf,
-                value: None,
-                birth_era: NO_BIRTH_ERA,
-                next: AtomicPtr::new(std::ptr::null_mut()),
-            })
+            .map(|_| Atomic::null())
             .collect::<Vec<_>>()
             .into_boxed_slice();
         Self {
@@ -138,54 +118,56 @@ where
         self.len() == 0
     }
 
-    fn bucket_head(&self, key: &K) -> *mut Node<K, V> {
+    fn bucket_head(&self, key: &K) -> &Atomic<Node<K, V>> {
         let index = (self.hasher.hash_one(key) as usize) & (self.buckets.len() - 1);
-        (&self.buckets[index]) as *const Node<K, V> as *mut Node<K, V>
+        &self.buckets[index]
     }
 
     /// Bucket-local traversal, identical in structure to the linked list's
     /// `search_and_cleanup`: positions on the first node with key ≥ `key`, unlinking
     /// and retiring every marked node encountered on the way.
-    fn search(&self, key: &K, handle: &mut S::Handle) -> Search<K, V> {
+    fn search<'g>(&'g self, key: &K, guard: &'g Guard<'_, S::Handle>) -> Search<'g, K, V> {
         let head = self.bucket_head(key);
         'retry: loop {
-            let mut prev = head;
-            // SAFETY: `prev` is the bucket sentinel, owned by `self`.
-            let mut curr = unmarked(unsafe { &*prev }.next.load(Ordering::Acquire));
+            let mut prev: &'g Atomic<Node<K, V>> = head;
+            // The bucket link is rooted in `self`, so the protection validated
+            // against it is honoured from the start.
+            let mut curr = guard.load_protected(HP_CURR, prev);
             loop {
-                if curr.is_null() {
+                let Some(node) = (
+                    // SAFETY: `curr` carries a validated protection against
+                    // `prev` (the bucket head, or a link of the node protected
+                    // by slot HP_PREV).
+                    unsafe { curr.as_ref() }
+                ) else {
                     return Search { prev, curr };
-                }
-                // Rule 2: protect, then re-validate through the (protected or
-                // sentinel) predecessor.
-                handle.protect(HP_CURR, curr.cast());
-                // SAFETY: `prev` is the sentinel or protected by slot HP_PREV.
-                if unsafe { &*prev }.next.load(Ordering::Acquire) != curr {
-                    continue 'retry;
-                }
-                // SAFETY: `curr` is protected and validated reachable.
-                let next_raw = unsafe { &*curr }.next.load(Ordering::Acquire);
-                let (next, curr_marked) = decompose(next_raw);
-                if curr_marked {
-                    // SAFETY: `prev` sentinel/protected as above.
-                    if unsafe { &*prev }
-                        .next
-                        .compare_exchange(curr, next, Ordering::AcqRel, Ordering::Acquire)
-                        .is_err()
-                    {
-                        continue 'retry;
+                };
+                let next = node.next.load(guard);
+                if next.is_marked() {
+                    // Help unlink the logically deleted node.
+                    // SAFETY: after the mark settled, `prev` is the sole path to
+                    // `curr` for new observers; the versioned CAS lets only one
+                    // helper win, minting exactly one `Unlinked`.
+                    match unsafe { prev.cas_unlink(curr, next.unmarked()) } {
+                        Ok((unlinked, after)) => {
+                            unlinked.retire(guard);
+                            match guard.protect_word(HP_CURR, prev, after) {
+                                Ok(sh) => curr = sh,
+                                Err(_) => continue 'retry,
+                            }
+                            continue;
+                        }
+                        Err(_) => continue 'retry,
                     }
-                    // SAFETY: unlinked by this thread, Box-allocated, retired once.
-                    unsafe { retire_box_with_birth(handle, curr, (*curr).birth_era) };
-                    curr = next;
-                    continue;
                 }
-                // SAFETY: `curr` protected and validated.
-                match unsafe { &*curr }.key.cmp_key(key) {
+                match node.key.cmp(key) {
                     CmpOrdering::Less => {
-                        prev = curr;
-                        handle.protect(HP_PREV, curr.cast());
-                        curr = next;
+                        guard.protect_shared(HP_PREV, curr);
+                        prev = &node.next;
+                        match guard.protect_word(HP_CURR, prev, next) {
+                            Ok(sh) => curr = sh,
+                            Err(_) => continue 'retry,
+                        }
                     }
                     _ => return Search { prev, curr },
                 }
@@ -195,57 +177,52 @@ where
 
     /// True if `key` has an entry in the map.
     pub fn contains_key(&self, key: &K, handle: &mut S::Handle) -> bool {
-        handle.begin_op();
-        let found = {
-            let s = self.search(key, handle);
-            // SAFETY: `s.curr` is protected by slot HP_CURR.
-            !s.curr.is_null() && unsafe { &*s.curr }.key.cmp_key(key) == CmpOrdering::Equal
-        };
-        handle.clear_protections();
-        handle.end_op();
-        found
+        let guard = Guard::new(handle);
+        let s = self.search(key, &guard);
+        // SAFETY: `s.curr` carries a validated protection from `search`.
+        match unsafe { s.curr.as_ref() } {
+            Some(node) => node.key == *key,
+            None => false,
+        }
     }
 
     /// Inserts `key → value`; returns false (and drops `value`) if the key is
     /// already present. Matching the set semantics of the paper's structures, an
     /// existing entry is *not* replaced.
     pub fn insert(&self, key: K, value: V, handle: &mut S::Handle) -> bool {
-        handle.begin_op();
+        let guard = Guard::new(handle);
         let mut key = key;
         let mut value = value;
         loop {
-            let s = self.search(&key, handle);
-            // SAFETY: `s.curr` protected by slot HP_CURR.
-            if !s.curr.is_null() && unsafe { &*s.curr }.key.cmp_key(&key) == CmpOrdering::Equal {
-                handle.clear_protections();
-                handle.end_op();
-                return false;
+            let s = self.search(&key, &guard);
+            // SAFETY: `s.curr` carries a validated protection from `search`.
+            if let Some(node) = unsafe { s.curr.as_ref() } {
+                if node.key == key {
+                    return false;
+                }
             }
-            let node = Node::new(KeySlot::Key(key), Some(value), s.curr, handle.alloc_node());
-            // SAFETY: `s.prev` is the bucket sentinel or protected by slot HP_PREV.
-            match unsafe { &*s.prev }.next.compare_exchange(
-                s.curr,
-                node,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
+            let node = Owned::new(
+                Node {
+                    key,
+                    value,
+                    next: Atomic::null(),
+                },
+                &guard,
+            );
+            node.next.store_private(s.curr);
+            // Same validate-then-CAS argument as the list: the expected value is
+            // the full word (pointer + mark + version) the search validated, so
+            // any overlapping removal fails this CAS.
+            match s.prev.cas_link(s.curr, node) {
                 Ok(_) => {
                     self.size.fetch_add(1, Ordering::Relaxed);
-                    handle.clear_protections();
-                    handle.end_op();
                     return true;
                 }
-                Err(_) => {
-                    // Never shared: free directly and retry with the same key/value.
-                    // SAFETY: `node` was just allocated and never published.
-                    let boxed = unsafe { Box::from_raw(node) };
-                    match (boxed.key, boxed.value) {
-                        (KeySlot::Key(k), Some(v)) => {
-                            key = k;
-                            value = v;
-                        }
-                        _ => unreachable!("freshly inserted nodes carry a key and a value"),
-                    }
+                Err((_, returned)) => {
+                    // Never shared: recover the key/value and retry.
+                    let recovered = returned.into_inner();
+                    key = recovered.key;
+                    value = recovered.value;
                 }
             }
         }
@@ -253,55 +230,34 @@ where
 
     /// Removes `key`'s entry; returns false if it was not present.
     pub fn remove(&self, key: &K, handle: &mut S::Handle) -> bool {
-        handle.begin_op();
+        let guard = Guard::new(handle);
         loop {
-            let s = self.search(key, handle);
-            // SAFETY: `s.curr` protected by slot HP_CURR.
-            if s.curr.is_null() || unsafe { &*s.curr }.key.cmp_key(key) != CmpOrdering::Equal {
-                handle.clear_protections();
-                handle.end_op();
+            let s = self.search(key, &guard);
+            // SAFETY: `s.curr` carries a validated protection from `search`.
+            let Some(node) = (unsafe { s.curr.as_ref() }) else {
+                return false;
+            };
+            if node.key != *key {
                 return false;
             }
-            let curr = s.curr;
-            // SAFETY: `curr` protected.
-            let next_raw = unsafe { &*curr }.next.load(Ordering::Acquire);
-            if is_marked(next_raw) {
+            let next = node.next.load(&guard);
+            if next.is_marked() {
                 continue;
             }
-            // Logical deletion.
-            // SAFETY: `curr` protected.
-            if unsafe { &*curr }
-                .next
-                .compare_exchange(
-                    next_raw,
-                    marked(next_raw),
-                    Ordering::AcqRel,
-                    Ordering::Acquire,
-                )
-                .is_err()
-            {
+            // Logical deletion; the winner owns the removal.
+            if node.next.try_mark(next).is_err() {
                 continue;
             }
             self.size.fetch_sub(1, Ordering::Relaxed);
             // Physical deletion; on failure a later traversal unlinks and retires it.
-            // SAFETY: `s.prev` is the sentinel or protected by slot HP_PREV.
-            if unsafe { &*s.prev }
-                .next
-                .compare_exchange(
-                    curr,
-                    unmarked(next_raw),
-                    Ordering::AcqRel,
-                    Ordering::Acquire,
-                )
-                .is_ok()
-            {
-                // SAFETY: unlinked by this thread, Box-allocated, retired once.
-                unsafe { retire_box_with_birth(handle, curr, (*curr).birth_era) };
-            } else {
-                let _ = self.search(key, handle);
+            // SAFETY: the mark this thread won makes `prev`'s link the sole
+            // remaining path; at most one unlinker succeeds on the versioned word.
+            match unsafe { s.prev.cas_unlink(s.curr, next) } {
+                Ok((unlinked, _)) => unlinked.retire(&guard),
+                Err(_) => {
+                    let _ = self.search(key, &guard);
+                }
             }
-            handle.clear_protections();
-            handle.end_op();
             return true;
         }
     }
@@ -318,22 +274,14 @@ where
     /// The clone happens while the node is protected, so the read is safe even if a
     /// concurrent `remove` retires the node immediately afterwards.
     pub fn get(&self, key: &K, handle: &mut S::Handle) -> Option<V> {
-        handle.begin_op();
-        let result = {
-            let s = self.search(key, handle);
-            if !s.curr.is_null()
-                // SAFETY: `s.curr` is protected by slot HP_CURR and was validated.
-                && unsafe { &*s.curr }.key.cmp_key(key) == CmpOrdering::Equal
-            {
-                // SAFETY: protected as above; `value` is immutable after insertion.
-                unsafe { &*s.curr }.value.clone()
-            } else {
-                None
-            }
-        };
-        handle.clear_protections();
-        handle.end_op();
-        result
+        let guard = Guard::new(handle);
+        let s = self.search(key, &guard);
+        // SAFETY: `s.curr` carries a validated protection from `search`;
+        // `value` is immutable after insertion.
+        match unsafe { s.curr.as_ref() } {
+            Some(node) if node.key == *key => Some(node.value.clone()),
+            _ => None,
+        }
     }
 }
 
@@ -341,13 +289,14 @@ impl<K, V, S: Smr> Drop for LockFreeHashMap<K, V, S> {
     fn drop(&mut self) {
         // Exclusive access: free every chained node in every bucket. Unlinked nodes
         // are owned by the reclamation scheme.
-        for bucket in self.buckets.iter() {
-            let mut curr = unmarked(bucket.next.load(Ordering::Relaxed));
-            while !curr.is_null() {
-                // SAFETY: exclusive access; every chained node was allocated via Box
-                // and is freed exactly once here.
-                let boxed = unsafe { Box::from_raw(curr) };
-                curr = unmarked(boxed.next.load(Ordering::Relaxed));
+        // SAFETY: no concurrent operations and no outstanding protections; every
+        // chained node is taken out of exactly one link.
+        unsafe {
+            for bucket in self.buckets.iter_mut() {
+                let mut curr = bucket.take();
+                while let Some(mut node) = curr {
+                    curr = node.next.take();
+                }
             }
         }
     }

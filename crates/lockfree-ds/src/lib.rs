@@ -36,7 +36,7 @@ pub mod list;
 pub mod queue;
 pub mod skiplist;
 pub mod stack;
-pub mod tagged;
+pub use reclaim_core::tagged;
 
 /// No-op stand-in for the [`interleave`] pause points when the harness feature
 /// is disabled (every production build): `hit` inlines to nothing.

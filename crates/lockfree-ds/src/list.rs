@@ -3,30 +3,29 @@
 //! This is the linked list the paper evaluates (§7.1, "a lock-free linked list
 //! [24]"): Michael's hazard-pointer-compatible variant of Harris's algorithm, the
 //! same algorithm the paper's appendix (Algorithms 6 and 7) annotates with QSense
-//! calls. Nodes carry a logical-deletion mark in the low bit of their `next`
-//! pointer; removal first marks (logical delete) and then unlinks (physical delete),
-//! and traversals help unlink any marked node they encounter.
+//! calls. Nodes carry a logical-deletion mark in their `next` link word; removal
+//! first marks (logical delete) and then unlinks (physical delete), and traversals
+//! help unlink any marked node they encounter.
 //!
 //! ## Reclamation-scheme integration
 //!
-//! The structure is generic over [`Smr`]; each operation follows the paper's three
-//! rules (§1.3):
+//! The structure is generic over [`Smr`] and built entirely on the safe guard
+//! layer (`reclaim_core::guard`), which renders the paper's three rules (§1.3)
+//! as types:
 //!
-//! 1. [`SmrHandle::begin_op`] (`manage_qsense_state`) at the start of every
-//!    operation;
-//! 2. [`SmrHandle::protect`] (`assign_HP`) before a node reference is used, followed
-//!    by re-validation that the predecessor still links to it unmarked;
-//! 3. retire (`free_node_later`) exactly once per node, by whichever thread performs
-//!    the successful physical unlink.
+//! 1. the RAII [`Guard`] brackets every operation (`manage_qsense_state`);
+//! 2. [`Guard::load_protected`] / [`Guard::protect_word`] publish a protection
+//!    (`assign_HP`) and re-validate that the predecessor still links to the
+//!    node — a [`Shared`] only exists validated;
+//! 3. the node is retired (`free_node_later`) exactly once, through the
+//!    [`reclaim_core::Unlinked`] capability minted by whichever thread wins the
+//!    physical unlink CAS.
 //!
 //! Two protection slots are used (`K = 2`, matching the paper): slot 0 for the
 //! predecessor, slot 1 for the current node.
 
-use crate::keyspace::KeySlot;
-use crate::tagged::{decompose, is_marked, marked, unmarked};
-use reclaim_core::{retire_box_with_birth, Era, Smr, SmrHandle, NO_BIRTH_ERA};
+use reclaim_core::{Atomic, Guard, Owned, Shared, Smr};
 use std::cmp::Ordering as CmpOrdering;
-use std::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::Arc;
 
 /// Hazard-pointer slot protecting the predecessor during traversal.
@@ -38,35 +37,22 @@ const HP_CURR: usize = 1;
 pub const LIST_HP_SLOTS: usize = 2;
 
 struct Node<K> {
-    key: KeySlot<K>,
-    /// Era the node was allocated in (`SmrHandle::alloc_node`); immutable after
-    /// allocation, read back at the retire site. `NO_BIRTH_ERA` on sentinels.
-    birth_era: Era,
-    next: AtomicPtr<Node<K>>,
+    key: K,
+    next: Atomic<Node<K>>,
 }
 
-impl<K> Node<K> {
-    fn new(key: KeySlot<K>, next: *mut Node<K>, birth_era: Era) -> *mut Node<K> {
-        Box::into_raw(Box::new(Node {
-            key,
-            birth_era,
-            next: AtomicPtr::new(next),
-        }))
-    }
-}
-
-/// Result of a traversal: `curr` is the first node with key ≥ the search key (or
-/// null at the end of the list) and `prev` is its predecessor (possibly the head
-/// sentinel). `prev` is protected by slot 0 (unless it is the sentinel) and `curr`
-/// by slot 1.
-struct Search<K> {
-    prev: *mut Node<K>,
-    curr: *mut Node<K>,
+/// Result of a traversal: `curr` is the (validated, protected) word of the first
+/// node with key ≥ the search key (or null at the end of the list) and `prev` is
+/// the link that holds it — the head link or the `next` link of a node protected
+/// by slot 0. `curr` doubles as the CAS expected value for `prev`.
+struct Search<'g, K> {
+    prev: &'g Atomic<Node<K>>,
+    curr: Shared<'g, Node<K>>,
 }
 
 /// A lock-free sorted set backed by a Harris–Michael linked list.
 pub struct HarrisMichaelList<K, S: Smr> {
-    head: Box<Node<K>>,
+    head: Atomic<Node<K>>,
     smr: Arc<S>,
 }
 
@@ -84,11 +70,7 @@ where
     /// Creates an empty list using the given reclamation scheme.
     pub fn new(smr: Arc<S>) -> Self {
         Self {
-            head: Box::new(Node {
-                key: KeySlot::NegInf,
-                birth_era: NO_BIRTH_ERA,
-                next: AtomicPtr::new(std::ptr::null_mut()),
-            }),
+            head: Atomic::null(),
             smr,
         }
     }
@@ -104,62 +86,62 @@ where
         self.smr.register()
     }
 
-    fn head_ptr(&self) -> *mut Node<K> {
-        (&*self.head) as *const Node<K> as *mut Node<K>
-    }
-
     /// Core traversal (the paper's `search_and_cleanup`): positions on the first
     /// node with key ≥ `key`, unlinking (and retiring) every marked node on the way.
-    fn search(&self, key: &K, handle: &mut S::Handle) -> Search<K> {
-        let head = self.head_ptr();
+    fn search<'g>(&'g self, key: &K, guard: &'g Guard<'_, S::Handle>) -> Search<'g, K> {
         'retry: loop {
-            let mut prev = head;
-            // SAFETY: `prev` is the head sentinel here, owned by `self`.
-            let mut curr = unmarked(unsafe { &*prev }.next.load(Ordering::Acquire));
+            let mut prev: &'g Atomic<Node<K>> = &self.head;
+            // The head link is rooted in `self`, so the protection validated
+            // against it is honoured from the start.
+            let mut curr = guard.load_protected(HP_CURR, prev);
             loop {
-                if curr.is_null() {
+                let Some(node) = (
+                    // SAFETY: `curr` carries a validated protection (from
+                    // `load_protected` or a successful `protect_word` below)
+                    // against `prev`, which is the head link or a link of the
+                    // node protected by slot HP_PREV.
+                    unsafe { curr.as_ref() }
+                ) else {
                     return Search { prev, curr };
-                }
-                // Rule 2: protect, then re-validate that the predecessor still links
-                // to `curr` and is itself not logically deleted (its next unmarked).
-                // No fence is issued here by Cadence/QSense; classic HP issues one
-                // inside `protect`.
-                handle.protect(HP_CURR, curr.cast());
-                // SAFETY: `prev` is either the sentinel or a node currently protected
-                // by slot HP_PREV (protected before we advanced to it).
-                if unsafe { &*prev }.next.load(Ordering::Acquire) != curr {
-                    continue 'retry;
-                }
-                // SAFETY: `curr` is protected and was validated reachable above.
-                let next_raw = unsafe { &*curr }.next.load(Ordering::Acquire);
-                let (next, curr_marked) = decompose(next_raw);
-                if curr_marked {
-                    // `curr` is logically deleted: help unlink it (physical delete).
-                    // SAFETY: `prev` protected/sentinel as above.
-                    if unsafe { &*prev }
-                        .next
-                        .compare_exchange(curr, next, Ordering::AcqRel, Ordering::Acquire)
-                        .is_err()
-                    {
-                        continue 'retry;
+                };
+                let next = node.next.load(guard);
+                if next.is_marked() {
+                    // `curr` is logically deleted: help unlink it (physical
+                    // delete). The marked outgoing link freezes `curr`'s
+                    // successor, so `next` is still accurate if the CAS wins.
+                    // SAFETY: after the mark settled, `prev` is the sole
+                    // remaining path by which new observers reach `curr`, and
+                    // the versioned CAS makes a stale expected word fail — only
+                    // one helper can win, so exactly one `Unlinked` is minted.
+                    match unsafe { prev.cas_unlink(curr, next.unmarked()) } {
+                        Ok((unlinked, after)) => {
+                            // This thread performed the unlink, so it (and only
+                            // it) retires the node — rule 3.
+                            unlinked.retire(guard);
+                            // Continue from the excision: protect the successor
+                            // and re-validate against the updated link word.
+                            match guard.protect_word(HP_CURR, prev, after) {
+                                Ok(sh) => curr = sh,
+                                Err(_) => continue 'retry,
+                            }
+                            continue;
+                        }
+                        Err(_) => continue 'retry,
                     }
-                    // This thread performed the unlink, so it (and only it) retires
-                    // the node — rule 3.
-                    // SAFETY: `curr` is now unreachable (it was only reachable through
-                    // `prev`), was allocated by `Node::new` (Box) and is retired once;
-                    // its birth-era stamp is immutable and still readable pre-retire.
-                    unsafe { retire_box_with_birth(handle, curr, (*curr).birth_era) };
-                    curr = next;
-                    continue;
                 }
-                // SAFETY: `curr` protected and validated.
-                match unsafe { &*curr }.key.cmp_key(key) {
+                match node.key.cmp(key) {
                     CmpOrdering::Less => {
-                        prev = curr;
-                        // The node that becomes the predecessor stays protected by
-                        // moving it into slot HP_PREV.
-                        handle.protect(HP_PREV, curr.cast());
-                        curr = next;
+                        // The node that becomes the predecessor stays protected
+                        // by copying its (still live) protection into slot
+                        // HP_PREV before HP_CURR moves on.
+                        guard.protect_shared(HP_PREV, curr);
+                        prev = &node.next;
+                        // Advance: protect the successor observed above and
+                        // validate it is still what the predecessor links to.
+                        match guard.protect_word(HP_CURR, prev, next) {
+                            Ok(sh) => curr = sh,
+                            Err(_) => continue 'retry,
+                        }
                     }
                     _ => return Search { prev, curr },
                 }
@@ -169,69 +151,55 @@ where
 
     /// Returns true if `key` is in the set.
     pub fn contains(&self, key: &K, handle: &mut S::Handle) -> bool {
-        handle.begin_op();
-        let found = {
-            let s = self.search(key, handle);
-            // SAFETY: `s.curr` is protected by slot HP_CURR.
-            !s.curr.is_null() && unsafe { &*s.curr }.key.cmp_key(key) == CmpOrdering::Equal
-        };
-        handle.clear_protections();
-        handle.end_op();
-        found
+        let guard = Guard::new(handle);
+        let s = self.search(key, &guard);
+        // SAFETY: `s.curr` carries a validated protection from `search`.
+        match unsafe { s.curr.as_ref() } {
+            Some(node) => node.key == *key,
+            None => false,
+        }
     }
 
     /// Inserts `key`; returns false if it was already present.
     pub fn insert(&self, key: K, handle: &mut S::Handle) -> bool {
-        handle.begin_op();
+        let guard = Guard::new(handle);
         let mut key = key;
         loop {
-            let s = self.search(&key, handle);
-            // SAFETY: `s.curr` protected by slot HP_CURR.
-            if !s.curr.is_null() && unsafe { &*s.curr }.key.cmp_key(&key) == CmpOrdering::Equal {
-                handle.clear_protections();
-                handle.end_op();
-                return false;
+            let s = self.search(&key, &guard);
+            // SAFETY: `s.curr` carries a validated protection from `search`.
+            if let Some(node) = unsafe { s.curr.as_ref() } {
+                if node.key == key {
+                    return false;
+                }
             }
-            let node = Node::new(KeySlot::Key(key), s.curr, handle.alloc_node());
+            let node = Owned::new(
+                Node {
+                    key,
+                    next: Atomic::null(),
+                },
+                &guard,
+            );
+            // The new node is still private; the publishing CAS releases it.
+            node.next.store_private(s.curr);
             // Pause point: the validate-then-CAS window (audited against the
             // skip list's upper-level re-link race; see the note below).
             crate::interleave::hit("list::insert::pre_link_cas");
-            // Why this window is closed *without* versioned links (unlike the
-            // skip list): the CAS below targets the very link the search
-            // validated, with the validated successor as its expected value. A
-            // remove completing in the window changes that link no matter which
-            // neighbour it hits — removing `curr` swings `prev.next` to
-            // `curr`'s successor; removing `prev` marks `prev.next` (the mark
-            // lives in the *outgoing* pointer, so the word differs even though
-            // the pointer half still reads `curr`) — and a retired list node
-            // can never be re-linked (nodes are linked only by their own
-            // insert's CAS, with a fresh private allocation), while slot
-            // HP_CURR keeps `curr` from being freed and re-allocated under us.
-            // So pointer+mark equality at this link is equivalent to "nothing
-            // happened since validation", and the stale CAS always fails. The
-            // forced schedules in `tests/interleaving_harness.rs` pin both
-            // neighbour removals.
-            // SAFETY: `s.prev` is the sentinel or protected by slot HP_PREV.
-            match unsafe { &*s.prev }.next.compare_exchange(
-                s.curr,
-                node,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
-                Ok(_) => {
-                    handle.clear_protections();
-                    handle.end_op();
-                    return true;
-                }
-                Err(_) => {
-                    // The node was never shared: free it directly (paper Alg. 6,
+            // Why this window is closed: the CAS below targets the very link the
+            // search validated, with the full validated word — pointer, mark
+            // *and* version — as its expected value. A remove completing in the
+            // window changes that word no matter which neighbour it hits —
+            // removing `curr` swings `prev`'s link to `curr`'s successor;
+            // removing `prev` marks `prev`'s outgoing link — and every
+            // successful CAS bumps the link version, so even a pointer that
+            // ABA'd back fails the stale CAS. Slot HP_CURR keeps `curr` from
+            // being freed and re-allocated under us. The forced schedules in
+            // `tests/interleaving_harness.rs` pin both neighbour removals.
+            match s.prev.cas_link(s.curr, node) {
+                Ok(_) => return true,
+                Err((_, returned)) => {
+                    // The node was never shared: recover the key (paper Alg. 6,
                     // "Node was not inserted; free the node directly") and retry.
-                    // SAFETY: `node` was just allocated and never published.
-                    let boxed = unsafe { Box::from_raw(node) };
-                    match boxed.key {
-                        KeySlot::Key(k) => key = k,
-                        _ => unreachable!("freshly inserted nodes always carry a real key"),
-                    }
+                    key = returned.into_inner().key;
                 }
             }
         }
@@ -239,59 +207,40 @@ where
 
     /// Removes `key`; returns false if it was not present.
     pub fn remove(&self, key: &K, handle: &mut S::Handle) -> bool {
-        handle.begin_op();
+        let guard = Guard::new(handle);
         loop {
-            let s = self.search(key, handle);
-            // SAFETY: `s.curr` protected by slot HP_CURR.
-            if s.curr.is_null() || unsafe { &*s.curr }.key.cmp_key(key) != CmpOrdering::Equal {
-                handle.clear_protections();
-                handle.end_op();
+            let s = self.search(key, &guard);
+            // SAFETY: `s.curr` carries a validated protection from `search`.
+            let Some(node) = (unsafe { s.curr.as_ref() }) else {
+                return false;
+            };
+            if node.key != *key {
                 return false;
             }
-            let curr = s.curr;
-            // SAFETY: `curr` protected.
-            let next_raw = unsafe { &*curr }.next.load(Ordering::Acquire);
-            if is_marked(next_raw) {
-                // Another thread is already deleting it; retry so the traversal can
-                // help unlink and then report "not found" or race for a later copy.
+            let next = node.next.load(&guard);
+            if next.is_marked() {
+                // Another thread is already deleting it; retry so the traversal
+                // can help unlink and then report "not found" or race for a
+                // later copy.
                 continue;
             }
-            // Logical deletion: mark `curr`'s next pointer.
-            // SAFETY: `curr` protected.
-            if unsafe { &*curr }
-                .next
-                .compare_exchange(
-                    next_raw,
-                    marked(next_raw),
-                    Ordering::AcqRel,
-                    Ordering::Acquire,
-                )
-                .is_err()
-            {
+            // Logical deletion: mark `curr`'s next link. The winner owns the
+            // removal.
+            if node.next.try_mark(next).is_err() {
                 continue;
             }
-            // Physical deletion: try to unlink. On failure another traversal will
-            // (or already did) unlink and retire it.
-            // SAFETY: `s.prev` is the sentinel or protected by slot HP_PREV.
-            if unsafe { &*s.prev }
-                .next
-                .compare_exchange(
-                    curr,
-                    unmarked(next_raw),
-                    Ordering::AcqRel,
-                    Ordering::Acquire,
-                )
-                .is_ok()
-            {
-                // SAFETY: unlinked by this thread, allocated via Box, retired once;
-                // the birth-era stamp is immutable and still readable pre-retire.
-                unsafe { retire_box_with_birth(handle, curr, (*curr).birth_era) };
-            } else {
-                // Help physical removal along the new path.
-                let _ = self.search(key, handle);
+            // Physical deletion: try to unlink. On failure another traversal
+            // will (or already did) unlink and retire it.
+            // SAFETY: the mark this thread won makes `prev`'s link the sole
+            // remaining path for new observers, and the versioned expected word
+            // ensures at most one unlinker succeeds.
+            match unsafe { s.prev.cas_unlink(s.curr, next) } {
+                Ok((unlinked, _)) => unlinked.retire(&guard),
+                Err(_) => {
+                    // Help physical removal along the new path.
+                    let _ = self.search(key, &guard);
+                }
             }
-            handle.clear_protections();
-            handle.end_op();
             return true;
         }
     }
@@ -299,35 +248,43 @@ where
     /// Counts the elements currently in the set. Linear, intended for tests,
     /// examples and benchmark validation — not part of the hot path.
     pub fn len(&self, handle: &mut S::Handle) -> usize {
-        handle.begin_op();
-        let mut count = 0;
-        let mut prev = self.head_ptr();
-        // SAFETY: same protection discipline as `search`, simplified: we only ever
-        // read keys of protected, validated nodes.
-        let mut curr = unmarked(unsafe { &*prev }.next.load(Ordering::Acquire));
+        let guard = Guard::new(handle);
         'retry: loop {
-            if curr.is_null() {
-                break;
-            }
-            handle.protect(HP_CURR, curr.cast());
-            if unsafe { &*prev }.next.load(Ordering::Acquire) != curr {
-                // Restart the count from scratch on interference.
-                count = 0;
-                prev = self.head_ptr();
-                curr = unmarked(unsafe { &*prev }.next.load(Ordering::Acquire));
-                continue 'retry;
-            }
-            let (next, curr_marked) = decompose(unsafe { &*curr }.next.load(Ordering::Acquire));
-            if !curr_marked {
+            let mut count = 0;
+            let mut prev: &Atomic<Node<K>> = &self.head;
+            let mut curr = guard.load_protected(HP_CURR, prev);
+            loop {
+                // SAFETY: same protection discipline as `search`: `curr` is
+                // validated against `prev` before every dereference.
+                let Some(node) = (unsafe { curr.as_ref() }) else {
+                    return count;
+                };
+                let next = node.next.load(&guard);
+                if next.is_marked() {
+                    // Help unlink so the count can proceed past the zombie
+                    // (restarting the count on any interference).
+                    // SAFETY: as in `search` — sole path after the mark.
+                    match unsafe { prev.cas_unlink(curr, next.unmarked()) } {
+                        Ok((unlinked, after)) => {
+                            unlinked.retire(&guard);
+                            match guard.protect_word(HP_CURR, prev, after) {
+                                Ok(sh) => curr = sh,
+                                Err(_) => continue 'retry,
+                            }
+                            continue;
+                        }
+                        Err(_) => continue 'retry,
+                    }
+                }
                 count += 1;
-                prev = curr;
-                handle.protect(HP_PREV, curr.cast());
+                guard.protect_shared(HP_PREV, curr);
+                prev = &node.next;
+                match guard.protect_word(HP_CURR, prev, next) {
+                    Ok(sh) => curr = sh,
+                    Err(_) => continue 'retry,
+                }
             }
-            curr = next;
         }
-        handle.clear_protections();
-        handle.end_op();
-        count
     }
 
     /// True if the set currently holds no elements (test/diagnostic helper).
@@ -341,12 +298,13 @@ impl<K, S: Smr> Drop for HarrisMichaelList<K, S> {
         // Exclusive access (`&mut self`): free every node still in the chain
         // directly. Nodes already unlinked are owned by the reclamation scheme and
         // are freed by it, so there is no double free.
-        let mut curr = unmarked(self.head.next.load(Ordering::Relaxed));
-        while !curr.is_null() {
-            // SAFETY: exclusive access; every chained node was allocated via Box and
-            // is freed exactly once here.
-            let boxed = unsafe { Box::from_raw(curr) };
-            curr = unmarked(boxed.next.load(Ordering::Relaxed));
+        // SAFETY: no concurrent operations and no outstanding protections; every
+        // chained node is taken out of exactly one link.
+        unsafe {
+            let mut curr = self.head.take();
+            while let Some(mut node) = curr {
+                curr = node.next.take();
+            }
         }
     }
 }

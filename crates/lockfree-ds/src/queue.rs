@@ -4,17 +4,18 @@
 //! Michael's paper [25]: `dequeue` dereferences both the dummy head and its
 //! successor, so two protection slots per thread are needed (`K = 2`). As with the
 //! ordered sets, every operation follows the paper's three integration rules —
-//! `begin_op` at the operation boundary, protect + re-validate before every
-//! dereference of a shared node, and retire exactly once when a node (the old dummy)
-//! is unlinked.
+//! the RAII [`Guard`] brackets the operation, [`Guard::load_protected`] bundles
+//! protect + re-validate before every dereference of a shared node, and the old
+//! dummy is retired exactly once through the [`reclaim_core::Unlinked`]
+//! capability minted by the winning head CAS.
 //!
 //! The queue is not part of the paper's evaluation; it demonstrates the §4.2
 //! applicability claim beyond ordered sets and feeds the extension benchmarks and
 //! the producer/consumer example.
 
-use reclaim_core::{retire_box_with_birth, Era, Smr, SmrHandle, NO_BIRTH_ERA};
+use reclaim_core::{Atomic, Guard, Owned, Smr};
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Protection slot for the head (old dummy) during `dequeue`, and for the tail
@@ -32,29 +33,23 @@ struct Node<V> {
     /// `UnsafeCell` because that take happens through a shared pointer — exclusivity
     /// is guaranteed by winning the CAS, not by the type system.
     value: UnsafeCell<Option<V>>,
-    /// Era the node was allocated in (`SmrHandle::alloc_node`); read back by
-    /// the dequeuer that retires the node once it has become the old dummy.
-    /// `NO_BIRTH_ERA` for the initial dummy, which is allocated before any
-    /// handle exists.
-    birth_era: Era,
-    next: AtomicPtr<Node<V>>,
+    next: Atomic<Node<V>>,
 }
 
 impl<V> Node<V> {
-    fn new(value: Option<V>, birth_era: Era) -> *mut Node<V> {
-        Box::into_raw(Box::new(Node {
+    fn new(value: Option<V>) -> Node<V> {
+        Node {
             value: UnsafeCell::new(value),
-            birth_era,
-            next: AtomicPtr::new(std::ptr::null_mut()),
-        }))
+            next: Atomic::null(),
+        }
     }
 }
 
 /// A lock-free first-in-first-out queue (Michael–Scott algorithm) generic over the
 /// reclamation scheme.
 pub struct MichaelScottQueue<V, S: Smr> {
-    head: AtomicPtr<Node<V>>,
-    tail: AtomicPtr<Node<V>>,
+    head: Atomic<Node<V>>,
+    tail: Atomic<Node<V>>,
     /// Element count maintained at enqueue/dequeue time (same rationale as the
     /// stack: a traversal-based count cannot be re-validated safely).
     size: AtomicUsize,
@@ -73,10 +68,13 @@ where
 {
     /// Creates an empty queue using the given reclamation scheme.
     pub fn new(smr: Arc<S>) -> Self {
-        let dummy = Node::new(None, NO_BIRTH_ERA);
+        // The initial dummy is allocated before any handle exists, so it carries
+        // no birth stamp (`Owned::sentinel`); head and tail alias it.
+        let head = Atomic::new(Owned::sentinel(Node::new(None)));
+        let tail = head.alias();
         Self {
-            head: AtomicPtr::new(dummy),
-            tail: AtomicPtr::new(dummy),
+            head,
+            tail,
             size: AtomicUsize::new(0),
             smr,
         }
@@ -94,104 +92,88 @@ where
 
     /// Appends a value at the tail of the queue.
     pub fn enqueue(&self, value: V, handle: &mut S::Handle) {
-        handle.begin_op();
-        let node = Node::new(Some(value), handle.alloc_node());
+        let guard = Guard::new(handle);
+        let node = Owned::new(Node::new(Some(value)), &guard);
+        let mut node = node;
         loop {
-            let tail = self.tail.load(Ordering::Acquire);
-            // Rule 2: protect the tail, then re-validate it is still the tail before
-            // dereferencing it.
-            handle.protect(HP_FIRST, tail.cast());
-            if self.tail.load(Ordering::Acquire) != tail {
-                continue;
-            }
-            // SAFETY: `tail` is protected and re-validated.
-            let next = unsafe { &*tail }.next.load(Ordering::Acquire);
+            // Rule 2: protect the tail and re-validate it is still the tail
+            // before dereferencing it.
+            let tail = guard.load_protected(HP_FIRST, &self.tail);
+            // SAFETY: `tail` carries a validated protection and is never null
+            // (the chain always ends in the dummy or a live node).
+            let tail_node = unsafe { tail.as_ref() }.expect("tail is never null");
+            let next = tail_node.next.load(&guard);
             if !next.is_null() {
                 // The tail pointer lags behind; help it along and retry.
-                let _ = self
-                    .tail
-                    .compare_exchange(tail, next, Ordering::AcqRel, Ordering::Acquire);
+                let _ = self.tail.cas(tail, next);
                 continue;
             }
-            // SAFETY: `tail` protected as above.
-            if unsafe { &*tail }
-                .next
-                .compare_exchange(
-                    std::ptr::null_mut(),
-                    node,
-                    Ordering::AcqRel,
-                    Ordering::Acquire,
-                )
-                .is_ok()
-            {
-                // Link succeeded; swing the tail (failure means someone helped us).
-                let _ = self
-                    .tail
-                    .compare_exchange(tail, node, Ordering::AcqRel, Ordering::Acquire);
-                self.size.fetch_add(1, Ordering::Relaxed);
-                break;
+            match tail_node.next.cas_link(next, node) {
+                Ok(linked) => {
+                    // Link succeeded; swing the tail (failure means someone
+                    // helped us).
+                    let _ = self.tail.cas(tail, linked);
+                    self.size.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                Err((_, returned)) => node = returned,
             }
         }
-        handle.clear_protections();
-        handle.end_op();
     }
 
     /// Removes and returns the oldest value, or `None` if the queue is empty.
     pub fn dequeue(&self, handle: &mut S::Handle) -> Option<V> {
-        handle.begin_op();
-        let result = loop {
-            let head = self.head.load(Ordering::Acquire);
-            handle.protect(HP_FIRST, head.cast());
-            if self.head.load(Ordering::Acquire) != head {
-                continue;
-            }
-            let tail = self.tail.load(Ordering::Acquire);
-            // SAFETY: `head` is protected and re-validated.
-            let next = unsafe { &*head }.next.load(Ordering::Acquire);
+        let guard = Guard::new(handle);
+        loop {
+            let head = guard.load_protected(HP_FIRST, &self.head);
+            let tail = self.tail.load(&guard);
+            // SAFETY: `head` carries a validated protection; the head link is
+            // never null.
+            let head_node = unsafe { head.as_ref() }.expect("head is never null");
+            let next = head_node.next.load(&guard);
             if next.is_null() {
-                break None; // empty: only the dummy remains
+                return None; // empty: only the dummy remains
             }
-            // Protect the successor before touching it, and re-validate through the
-            // head: if the head is unchanged, `next` has not been unlinked (a node is
-            // only unlinked by a head CAS that removes its predecessor).
-            handle.protect(HP_SECOND, next.cast());
-            if self.head.load(Ordering::Acquire) != head {
+            // Protect the successor before touching it, and re-validate through
+            // the head link: if the head word is unchanged, `next` has not been
+            // unlinked (a node is only unlinked by a head CAS that removes its
+            // predecessor — and any such CAS bumps the head word's version).
+            guard.protect_shared(HP_SECOND, next);
+            if self.head.load(&guard) != head {
                 continue;
             }
-            if head == tail {
+            if head.ptr_eq(tail) {
                 // The tail lags behind the real last node; help and retry.
-                let _ = self
-                    .tail
-                    .compare_exchange(tail, next, Ordering::AcqRel, Ordering::Acquire);
+                let _ = self.tail.cas(tail, next);
                 continue;
             }
-            if self
-                .head
-                .compare_exchange(head, next, Ordering::AcqRel, Ordering::Acquire)
-                .is_err()
-            {
-                continue;
+            // SAFETY: the head link is the sole path by which new observers
+            // reach the old dummy, so winning this CAS unlinks it; the minted
+            // `Unlinked` is the unique retire capability.
+            match unsafe { self.head.cas_unlink(head, next) } {
+                Ok((unlinked, _)) => {
+                    self.size.fetch_sub(1, Ordering::Relaxed);
+                    // This thread won the head CAS: it has exclusive right to
+                    // take the value out of `next` (the new dummy) and must
+                    // retire the old dummy.
+                    // SAFETY: `next` is protected (slot HP_SECOND) and was
+                    // re-validated as the successor of the then-head, so it
+                    // cannot have been reclaimed; only the CAS winner takes its
+                    // value, so the `UnsafeCell` access is exclusive.
+                    let next_node = unsafe { next.as_ref() }.expect("successor is non-null");
+                    let value = unsafe { (*next_node.value.get()).take() };
+                    debug_assert!(
+                        value.is_some(),
+                        "a linked non-dummy node always has a value"
+                    );
+                    // The old dummy's value slot is `None`, so its destructor
+                    // drops nothing extra.
+                    unlinked.retire(&guard);
+                    return value;
+                }
+                Err(_) => continue,
             }
-            self.size.fetch_sub(1, Ordering::Relaxed);
-            // This thread won the head CAS: it has exclusive right to take the value
-            // out of `next` (the new dummy) and must retire the old dummy.
-            // SAFETY: `next` is protected (slot HP_SECOND) and cannot be reclaimed;
-            // only the CAS winner takes its value, so the `UnsafeCell` access is
-            // exclusive.
-            let value = unsafe { (*(*next).value.get()).take() };
-            debug_assert!(
-                value.is_some(),
-                "a linked non-dummy node always has a value"
-            );
-            // SAFETY: `head` (the old dummy) was unlinked by this thread's CAS, was
-            // allocated via Box, and is retired exactly once. Its value slot is
-            // `None` (it was the dummy), so the destructor drops nothing extra.
-            unsafe { retire_box_with_birth(handle, head, (*head).birth_era) };
-            break value;
-        };
-        handle.clear_protections();
-        handle.end_op();
-        result
+        }
     }
 
     /// True if the queue contains no elements at the moment of the call.
@@ -210,12 +192,15 @@ impl<V, S: Smr> Drop for MichaelScottQueue<V, S> {
     fn drop(&mut self) {
         // Exclusive access: free the dummy and every linked node, dropping any values
         // still owned by the queue. Unlinked (dequeued) dummies are owned by the
-        // reclamation scheme.
-        let mut curr = self.head.load(Ordering::Relaxed);
-        while !curr.is_null() {
-            // SAFETY: exclusive access; each chained node is freed exactly once.
-            let boxed = unsafe { Box::from_raw(curr) };
-            curr = boxed.next.load(Ordering::Relaxed);
+        // reclamation scheme. The tail link aliases a node in the head chain and
+        // must not be taken too.
+        // SAFETY: `&mut self` means no concurrent operations and no outstanding
+        // protections; every chained node is taken out of exactly one link.
+        unsafe {
+            let mut curr = self.head.take();
+            while let Some(mut node) = curr {
+                curr = node.next.take();
+            }
         }
     }
 }

@@ -66,7 +66,7 @@
 use crate::keyspace::KeySlot;
 use crate::tagged::{LinkWord, VersionedAtomic};
 use rand::Rng;
-use reclaim_core::{retire_box_with_birth, Era, Smr, SmrHandle, NO_BIRTH_ERA};
+use reclaim_core::{Era, Guard, Smr, NO_BIRTH_ERA};
 use std::cmp::Ordering as CmpOrdering;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -206,7 +206,7 @@ where
     /// (with `ptr() == succs[level]`) — the evidence insert's validate-on-link
     /// CAS presents. It is marked only in the deleted-pred/null-successor case
     /// (see the loop comment below), which every CAS consumer must refuse.
-    fn find(&self, key: &K, handle: &mut S::Handle) -> FindResult<K> {
+    fn find(&self, key: &K, guard: &Guard<'_, S::Handle>) -> FindResult<K> {
         let head = self.head_ptr();
         'retry: loop {
             let mut preds = [head; MAX_HEIGHT];
@@ -231,7 +231,7 @@ where
                     if curr.is_null() {
                         break;
                     }
-                    handle.protect(HP_CURSOR, curr.cast());
+                    guard.protect_ptr(HP_CURSOR, curr.cast());
                     // Validate: the pred link still leads to `curr` unmarked —
                     // `curr` is reachable and the protection is sound. The
                     // *refreshed* word (same pointer, possibly newer version —
@@ -270,7 +270,7 @@ where
                     // SAFETY: `curr` protected and validated.
                     if unsafe { &*curr }.key.cmp_key(key) == CmpOrdering::Less {
                         pred = curr;
-                        handle.protect(pred_slot(level), curr.cast());
+                        guard.protect_ptr(pred_slot(level), curr.cast());
                         w = cw;
                     } else {
                         break;
@@ -279,7 +279,7 @@ where
                 preds[level] = pred;
                 succs[level] = w.ptr();
                 pred_links[level] = w;
-                handle.protect(succ_slot(level), w.ptr().cast());
+                guard.protect_ptr(succ_slot(level), w.ptr().cast());
             }
             let found = !succs[0].is_null()
                 // SAFETY: `succs[0]` protected by `succ_slot(0)`.
@@ -295,11 +295,8 @@ where
 
     /// Returns true if `key` is in the set.
     pub fn contains(&self, key: &K, handle: &mut S::Handle) -> bool {
-        handle.begin_op();
-        let found = self.find(key, handle).found;
-        handle.clear_protections();
-        handle.end_op();
-        found
+        let guard = Guard::new(handle);
+        self.find(key, &guard).found
     }
 
     /// Inserts `key`; returns false if it was already present.
@@ -333,15 +330,13 @@ where
     }
 
     fn insert_impl(&self, key: K, height: usize, handle: &mut S::Handle) -> bool {
-        handle.begin_op();
+        let guard = Guard::new(handle);
         let mut key = key;
         // Phase 1: link at level 0 (this is the linearization point of a successful
         // insert).
         let node = loop {
-            let result = self.find(&key, handle);
+            let result = self.find(&key, &guard);
             if result.found {
-                handle.clear_protections();
-                handle.end_op();
                 return false;
             }
             if result.pred_links[0].is_marked() {
@@ -350,7 +345,7 @@ where
                 // CAS a marked link.
                 continue;
             }
-            let node = Node::alloc(KeySlot::Key(key), height, handle.alloc_node());
+            let node = Node::alloc(KeySlot::Key(key), height, guard.alloc_era());
             // Protect the node *before* publishing it. The protection is issued
             // while the node is still private — hence before any possible retire —
             // so every scan that could free it is guaranteed to observe the hazard
@@ -358,7 +353,7 @@ where
             // rooster visibility bound, which the deferred-reclamation age always
             // outwaits). Protecting only *after* the CAS below would leave a window
             // in which a concurrent remover unlinks, retires and frees the node.
-            handle.protect(HP_NODE, node.cast());
+            guard.protect_ptr(HP_NODE, node.cast());
             // Pre-link the new node's forward pointers to the successors observed by
             // the traversal. The node is still private, so plain stores are fine.
             for level in 0..height {
@@ -401,7 +396,7 @@ where
         };
         'levels: for level in 1..height {
             loop {
-                let result = self.find(key_ref, handle);
+                let result = self.find(key_ref, &guard);
                 if result.succs[0] != node {
                     // The node is no longer what level 0 holds for this key: a
                     // concurrent remove unlinked it (or replaced it with a fresh
@@ -469,8 +464,6 @@ where
                 }
             }
         }
-        handle.clear_protections();
-        handle.end_op();
         true
     }
 
@@ -493,7 +486,7 @@ where
         key: &K,
         victim: *mut Node<K>,
         height: usize,
-        handle: &mut S::Handle,
+        guard: &Guard<'_, S::Handle>,
     ) -> SweepResult<K> {
         let head = self.head_ptr();
         'retry: loop {
@@ -526,7 +519,7 @@ where
                     if curr.is_null() {
                         break;
                     }
-                    handle.protect(HP_CURSOR, curr.cast());
+                    guard.protect_ptr(HP_CURSOR, curr.cast());
                     // Same refresh-on-validate as `find`: tolerate version-only
                     // traffic, report the freshest validated word.
                     // SAFETY: `pred` protected or sentinel.
@@ -561,7 +554,7 @@ where
                     match unsafe { &*curr }.key.cmp_key(key) {
                         CmpOrdering::Less => {
                             pred = curr;
-                            handle.protect(pred_slot(level), curr.cast());
+                            guard.protect_ptr(pred_slot(level), curr.cast());
                             w = cw;
                         }
                         CmpOrdering::Equal => {
@@ -580,7 +573,7 @@ where
                                 canonical = Some((pred, w));
                             }
                             pred = curr;
-                            handle.protect(succ_slot(level), curr.cast());
+                            guard.protect_ptr(succ_slot(level), curr.cast());
                             w = cw;
                         }
                         CmpOrdering::Greater => break,
@@ -603,9 +596,9 @@ where
     /// (see the narration at the call site): sweeps, then bumps every upper
     /// level's canonical pred link against the sweep's observed words; retries
     /// the whole pass on any interference.
-    fn fence(&self, key: &K, victim: *mut Node<K>, height: usize, handle: &mut S::Handle) {
+    fn fence(&self, key: &K, victim: *mut Node<K>, height: usize, guard: &Guard<'_, S::Handle>) {
         'fence: loop {
-            let sweep = self.sweep(key, victim, height, handle);
+            let sweep = self.sweep(key, victim, height, guard);
             for level in 1..height {
                 // SAFETY: `preds[level]` is the sentinel or still protected in
                 // the pred slot of this *or a higher* level since the sweep
@@ -625,11 +618,9 @@ where
 
     /// Removes `key`; returns false if it was not present.
     pub fn remove(&self, key: &K, handle: &mut S::Handle) -> bool {
-        handle.begin_op();
-        let result = self.find(key, handle);
+        let guard = Guard::new(handle);
+        let result = self.find(key, &guard);
         if !result.found {
-            handle.clear_protections();
-            handle.end_op();
             return false;
         }
         let victim = result.succs[0];
@@ -638,7 +629,7 @@ where
         // victim unprotected while this thread still dereferences it. (The
         // protection is published while the victim is validated reachable by the
         // find above, so scans honour it.)
-        handle.protect(HP_NODE, victim.cast());
+        guard.protect_ptr(HP_NODE, victim.cast());
         let height = unsafe { &*victim }.height;
 
         // Phase 1: logically delete the upper levels, top-down.
@@ -665,8 +656,6 @@ where
             let w = unsafe { &*victim }.next[0].load(Ordering::Acquire);
             if w.is_marked() {
                 // Another remover won; this call observes the key as absent.
-                handle.clear_protections();
-                handle.end_op();
                 return false;
             }
             if unsafe { &*victim }.next[0]
@@ -704,13 +693,13 @@ where
                 // until it leaves level 0 is therefore a complete phase 3 — no
                 // fence pass needed.
                 loop {
-                    let r = self.find(key, handle);
+                    let r = self.find(key, &guard);
                     if r.succs[0] != victim {
                         break;
                     }
                 }
             } else {
-                self.fence(key, victim, height, handle);
+                self.fence(key, victim, height, &guard);
             }
             // Pause point: retire is now decided; audits schedule against it.
             crate::interleave::hit("skiplist::remove::pre_retire");
@@ -719,9 +708,7 @@ where
             // stale insert CAS can re-link it and no traversal can validate a new
             // protection for it; it was allocated via `Node::alloc`, and only the
             // level-0 winner — this thread — retires it.
-            unsafe { retire_box_with_birth(handle, victim, (*victim).birth_era) };
-            handle.clear_protections();
-            handle.end_op();
+            unsafe { guard.retire_raw(victim, (*victim).birth_era) };
             return true;
         }
     }
@@ -729,7 +716,7 @@ where
     /// Counts the elements currently in the set (level-0 walk; for tests, examples
     /// and benchmark validation).
     pub fn len(&self, handle: &mut S::Handle) -> usize {
-        handle.begin_op();
+        let guard = Guard::new(handle);
         let mut count = 0;
         let mut prev = self.head_ptr();
         // SAFETY: same discipline as `find`, restricted to level 0.
@@ -739,7 +726,7 @@ where
             if curr.is_null() {
                 break;
             }
-            handle.protect(HP_CURSOR, curr.cast());
+            guard.protect_ptr(HP_CURSOR, curr.cast());
             let w2 = unsafe { &*prev }.next[0].load(Ordering::Acquire);
             if w2.ptr() != curr || w2.is_marked() {
                 // Restart on interference.
@@ -752,12 +739,10 @@ where
             if !cw.is_marked() {
                 count += 1;
                 prev = curr;
-                handle.protect(pred_slot(0), curr.cast());
+                guard.protect_ptr(pred_slot(0), curr.cast());
             }
             w = cw;
         }
-        handle.clear_protections();
-        handle.end_op();
         count
     }
 

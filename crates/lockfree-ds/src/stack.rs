@@ -7,13 +7,20 @@
 //! One protection slot per thread suffices (`K = 1`): only the current head is ever
 //! dereferenced.
 //!
+//! Built entirely on the safe guard layer (`reclaim_core::guard`): the head is an
+//! [`Atomic`] link, `pop`'s protect-then-revalidate is [`Guard::load_protected`],
+//! and the node is retired through the [`reclaim_core::Unlinked`] capability
+//! minted by the successful head CAS — the module contains no raw `protect` or
+//! retire calls.
+//!
 //! The structure is not part of the paper's evaluation; it is included to
 //! demonstrate the claim of §1.3/§4.2 that QSense applies wherever hazard pointers
 //! apply, beyond ordered sets, and it feeds the extension benchmarks and examples.
 
-use reclaim_core::{retire_box_with_birth, Era, Smr, SmrHandle};
+use reclaim_core::{Atomic, Guard, Owned, Smr};
+use std::cell::UnsafeCell;
 use std::mem::ManuallyDrop;
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Protection slot used for the head node during `pop`.
@@ -24,18 +31,18 @@ pub const STACK_HP_SLOTS: usize = 1;
 
 struct Node<V> {
     /// The value is taken out (moved to the caller) by the thread that pops the
-    /// node, so the node's destructor must not drop it a second time.
-    value: ManuallyDrop<V>,
-    /// Era the node was allocated in (`SmrHandle::alloc_node`); read back by
-    /// the popping thread at the retire site.
-    birth_era: Era,
-    next: *mut Node<V>,
+    /// node, so the node's destructor must not drop it a second time. The
+    /// `UnsafeCell` lets the unique unlinker take it through the shared
+    /// [`reclaim_core::Unlinked::as_ref`] view; no other thread ever touches a
+    /// popped node's value.
+    value: UnsafeCell<ManuallyDrop<V>>,
+    next: Atomic<Node<V>>,
 }
 
 /// A lock-free last-in-first-out stack (Treiber's algorithm) generic over the
 /// reclamation scheme.
 pub struct TreiberStack<V, S: Smr> {
-    head: AtomicPtr<Node<V>>,
+    head: Atomic<Node<V>>,
     /// Element count maintained at push/pop time. A traversal-based count cannot be
     /// made safe with a single hazard pointer (nodes deep in the stack cannot be
     /// re-validated the way the ordered structures re-validate through their
@@ -59,7 +66,7 @@ where
     /// Creates an empty stack using the given reclamation scheme.
     pub fn new(smr: Arc<S>) -> Self {
         Self {
-            head: AtomicPtr::new(std::ptr::null_mut()),
+            head: Atomic::null(),
             size: AtomicUsize::new(0),
             smr,
         }
@@ -77,76 +84,65 @@ where
 
     /// Pushes a value onto the stack.
     pub fn push(&self, value: V, handle: &mut S::Handle) {
-        handle.begin_op();
-        let node = Box::into_raw(Box::new(Node {
-            value: ManuallyDrop::new(value),
-            birth_era: handle.alloc_node(),
-            next: std::ptr::null_mut(),
-        }));
+        let guard = Guard::new(handle);
+        let mut node = Owned::new(
+            Node {
+                value: UnsafeCell::new(ManuallyDrop::new(value)),
+                next: Atomic::null(),
+            },
+            &guard,
+        );
         loop {
-            let head = self.head.load(Ordering::Acquire);
-            // The new node is still private, so writing its next pointer needs no
-            // synchronization; the release CAS below publishes it.
-            // SAFETY: `node` was just allocated and is not yet shared.
-            unsafe { (*node).next = head };
-            if self
-                .head
-                .compare_exchange_weak(head, node, Ordering::AcqRel, Ordering::Acquire)
-                .is_ok()
-            {
-                self.size.fetch_add(1, Ordering::Relaxed);
-                break;
+            let head = self.head.load(&guard);
+            // The new node is still private, so writing its next link needs no
+            // synchronization; the publishing CAS below releases it.
+            node.next.store_private(head);
+            match self.head.cas_link(head, node) {
+                Ok(_) => {
+                    self.size.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                Err((_, returned)) => node = returned,
             }
         }
-        handle.end_op();
     }
 
     /// Pops the most recently pushed value, or returns `None` if the stack is empty.
     pub fn pop(&self, handle: &mut S::Handle) -> Option<V> {
-        handle.begin_op();
-        let result = loop {
-            let head = self.head.load(Ordering::Acquire);
+        let guard = Guard::new(handle);
+        loop {
+            // Rule 2: protect the head, then re-validate that it is still the
+            // head — `load_protected` loops until the protection is validated
+            // against the rooted head link.
+            let head = guard.load_protected(HP_HEAD, &self.head);
             if head.is_null() {
-                break None;
+                return None;
             }
-            // Rule 2: protect the head, then re-validate that it is still the head.
-            // Between the load above and the protection becoming visible, a
-            // concurrent pop may have freed the node; the re-validation (against the
-            // shared head pointer, not the node) detects that without dereferencing.
-            handle.protect(HP_HEAD, head.cast());
-            if self.head.load(Ordering::Acquire) != head {
-                continue;
+            // SAFETY: `head` carries a validated protection from `load_protected`.
+            let node = unsafe { head.as_ref() }.expect("non-null checked above");
+            let next = node.next.load(&guard);
+            // SAFETY: the head link is the sole path by which new observers reach
+            // the top node, so a successful CAS unlinks it; the minted `Unlinked`
+            // is the unique retire capability.
+            match unsafe { self.head.cas_unlink(head, next) } {
+                Ok((unlinked, _)) => {
+                    self.size.fetch_sub(1, Ordering::Relaxed);
+                    // This thread unlinked the node, so it has the exclusive right
+                    // to take the value out (rule 3 gives it the retire duty too).
+                    // SAFETY: no other thread reads a popped node's value, and the
+                    // ManuallyDrop field keeps the node's destructor off it.
+                    let value = unsafe { ManuallyDrop::take(&mut *unlinked.as_ref().value.get()) };
+                    unlinked.retire(&guard);
+                    return Some(value);
+                }
+                Err(_) => continue,
             }
-            // SAFETY: `head` is protected and was re-validated as reachable, so it
-            // cannot have been reclaimed (Condition 1 of the paper).
-            let next = unsafe { (*head).next };
-            if self
-                .head
-                .compare_exchange(head, next, Ordering::AcqRel, Ordering::Acquire)
-                .is_err()
-            {
-                continue;
-            }
-            self.size.fetch_sub(1, Ordering::Relaxed);
-            // This thread unlinked `head`, so it has the exclusive right to take the
-            // value out and the obligation to retire the node exactly once (rule 3).
-            // SAFETY: `head` is protected, unlinked by this thread, and no other
-            // thread reads a popped node's value.
-            let value = unsafe { ManuallyDrop::take(&mut (*head).value) };
-            // SAFETY: unlinked by this thread, allocated via Box, retired once. The
-            // value has been moved out, and `Node`'s ManuallyDrop field means the
-            // destructor will not touch it again.
-            unsafe { retire_box_with_birth(handle, head, (*head).birth_era) };
-            break Some(value);
-        };
-        handle.clear_protections();
-        handle.end_op();
-        result
+        }
     }
 
     /// True if the stack contains no elements at the moment of the call.
     pub fn is_empty(&self) -> bool {
-        self.head.load(Ordering::Acquire).is_null()
+        self.len() == 0
     }
 
     /// Number of elements currently on the stack (maintained counter; exact when the
@@ -161,13 +157,16 @@ impl<V, S: Smr> Drop for TreiberStack<V, S> {
     fn drop(&mut self) {
         // Exclusive access: free every node still in the chain, dropping the values
         // they still own. Popped nodes are owned by the reclamation scheme.
-        let mut curr = self.head.load(Ordering::Relaxed);
-        while !curr.is_null() {
-            // SAFETY: exclusive access; each chained node is freed exactly once and
-            // still owns its value.
-            let mut boxed = unsafe { Box::from_raw(curr) };
-            unsafe { ManuallyDrop::drop(&mut boxed.value) };
-            curr = boxed.next;
+        // SAFETY: `&mut self` means no concurrent operations and no outstanding
+        // protections; each node is taken out of exactly one link.
+        unsafe {
+            let mut curr = self.head.take();
+            while let Some(mut node) = curr {
+                let next = node.next.take();
+                ManuallyDrop::drop(&mut *node.value.get());
+                drop(node);
+                curr = next;
+            }
         }
     }
 }

@@ -252,6 +252,9 @@ impl SmrHandle for QsbrHandle {
     ) {
         self.stats().add_retired(1);
         self.stats().add_retired_bytes(size_bytes as u64);
+        if size_bytes == 0 {
+            self.stats().add_size_unknown_retire();
+        }
         let now = self.scheme.config.clock.now();
         let bucket = limbo_index(self.local_epoch);
         // SAFETY: forwarded from the caller's contract.

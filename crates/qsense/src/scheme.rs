@@ -658,6 +658,9 @@ impl SmrHandle for QSenseHandle {
         // `free_node_later` (Algorithm 5, lines 36–61).
         self.stats().add_retired(1);
         self.stats().add_retired_bytes(size_bytes as u64);
+        if size_bytes == 0 {
+            self.stats().add_size_unknown_retire();
+        }
         let now = self.scheme.config.clock.now();
         let bucket = limbo_index(self.local_epoch);
         // Timestamps are recorded regardless of the current path (§5.2).

@@ -71,8 +71,12 @@ impl CountingAllocator {
     }
 
     fn record_alloc(&self, bytes: u64) {
-        let live = self.allocated.fetch_add(bytes, Ordering::Relaxed) + bytes
-            - self.freed.load(Ordering::Relaxed);
+        // Saturating: a racing thread can allocate *and* free between our
+        // `fetch_add` and the `freed` load, making the freed snapshot exceed
+        // the allocated one — a wrapping subtraction would poison the peak
+        // with a near-2^64 value forever.
+        let live = (self.allocated.fetch_add(bytes, Ordering::Relaxed) + bytes)
+            .saturating_sub(self.freed.load(Ordering::Relaxed));
         let mut peak = self.peak.load(Ordering::Relaxed);
         while live > peak {
             match self
@@ -175,6 +179,18 @@ mod tests {
         unsafe { tracker.dealloc(b, layout) };
         unsafe { tracker.dealloc(c, layout) };
         assert_eq!(tracker.live_bytes(), 0);
+    }
+
+    #[test]
+    fn stale_allocated_snapshot_cannot_poison_the_peak() {
+        // Reproduces the cross-thread interleaving directly: another thread's
+        // alloc+free lands entirely between this thread's `allocated` update
+        // and its `freed` read, so the freed total exceeds the allocated
+        // snapshot. The subtraction must saturate, not wrap the peak to ~2^64.
+        let tracker = CountingAllocator::new();
+        tracker.record_free(256);
+        tracker.record_alloc(64);
+        assert!(tracker.peak_bytes() <= 64, "peak must not wrap negative");
     }
 
     #[test]

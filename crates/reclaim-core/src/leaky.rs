@@ -138,6 +138,9 @@ impl SmrHandle for LeakyHandle {
         let stripe = self.scheme.stats.stripe(self.stripe);
         stripe.add_retired(1);
         stripe.add_retired_bytes(size_bytes as u64);
+        if size_bytes == 0 {
+            stripe.add_size_unknown_retire();
+        }
         let now = self.scheme.config.clock.now();
         // SAFETY: forwarded directly from the caller's contract.
         self.bag.push(&mut self.pool, unsafe {
@@ -180,6 +183,9 @@ impl Drop for LeakyHandle {
 }
 
 #[cfg(test)]
+// Sanctioned raw-protocol site: these tests exercise the scheme's own
+// `protect`/retire interface below the guard layer.
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use crate::retire_box;

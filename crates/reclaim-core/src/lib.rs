@@ -59,6 +59,10 @@
 //! | per scan (every `R` retires) | snapshot all `N·K` hazard pointers into a **reusable** scratch buffer (HP/Cadence/QSense) or all `N` era reservations — O(N) era reads, not O(N·K) (HE); two-cursor compaction of the segment chain ([`segbag::SegBag::reclaim_if`]) plus at most one O(1) adjacent-segment merge; under the adaptive era policy, one striped limbo report (a single `fetch_add` to the handle's padded stripe) plus an O(#stripes) estimate read to adapt the tick interval ([`clock::EraPacer::note_scan`]) | O(N·K) loads (O(N) for HE), zero heap allocations in steady state |
 //! | per `retire` (byte accounting) | stamp `size_of::<T>()` into the [`retired::RetiredPtr`] (a compile-time constant written next to the timestamp the wrapper already carries; raw `retire` keeps a size-unknown 0 path); bump the slot's retired-bytes stripe; one grain-gated [`budget::BudgetGovernor::observe`] — a comparison against the handle's last-reported figure, escalating to a striped `fetch_add` plus an O(#stripes) estimate refresh only when this handle's limbo moved a full grain (budget/64, clamped to [256 B, 64 KiB]) | single-writer padded lines; the governor add touches one of 8 `CachePadded` stripes, and only once per grain of churn — **no per-retire shared write** |
 //! | per budget crossing ([`budget::BudgetGovernor`] escalation) | rung 1: a forced scan on the retiring handle; rung 2: the scheme's own pressure lever — HE's byte-mode [`clock::EraPacer`] boost, QSense's early fallback trip; rung 3: one bounded `yield_now` of retire-side backpressure when the forced scan failed to get back under budget | nothing new — every rung reuses the scan/switch machinery above, and every pull is counted in the queryable [`budget::BudgetVerdict`] |
+//! | per op, guard layer ([`guard::Guard`] bracket) | `begin_op` at construction; `clear_protections` + `end_op` at drop — the per-op scheme costs above and nothing more; the guard itself is one register-width pointer, never allocated | none beyond the wrapped calls |
+//! | per protected load ([`guard::Guard::load_protected`] / [`guard::Guard::protect_word`]) | the `protect` store above plus one acquire re-read of the link word (looping only while the word moves) — the same publish + re-validate pattern the hand-written protocol used, priced identically | identical to raw `protect` + re-read |
+//! | per node allocated ([`guard::Owned::new`]) | one heap allocation of value + one-word birth-era header; the `alloc_node` stamp above written into the header | identical to `alloc_node` |
+//! | per retire ([`guard::Unlinked::retire`] / [`guard::Guard::retire_raw`]) | exactly the sized retire above: birth era read back from the node header (one thread-local load), size a compile-time constant — the size-unknown 0-byte path is unreachable from the guard layer | identical to [`smr::SmrHandle::retire_sized`] |
 //! | per handle drop | splice leftovers into the scheme's parked chain ([`segbag::SegBag::splice`]); park the pool + scratch on the scheme's [`handle_cache::HandleCache`]; retract the handle's reported byte contribution and move its leftover bytes to the governor's parked counter (two relaxed adds — leaked bytes stay visible, never stranded) | O(1) pointer surgery under a mutex — no allocation |
 //! | per snapshot (`Smr::stats`) | sum all counter stripes | O(N) loads — diagnostic path, never on the hot path |
 //!
@@ -203,6 +207,7 @@ pub mod backoff;
 pub mod budget;
 pub mod clock;
 pub mod config;
+pub mod guard;
 pub mod handle_cache;
 pub mod leaky;
 pub mod membarrier;
@@ -213,6 +218,7 @@ pub mod scratch;
 pub mod segbag;
 pub mod smr;
 pub mod stats;
+pub mod tagged;
 
 pub use alloc_track::CountingAllocator;
 pub use backoff::Backoff;
@@ -222,6 +228,7 @@ pub use clock::{
     DEFAULT_ERA_ADVANCE_INTERVAL, NO_BIRTH_ERA,
 };
 pub use config::SmrConfig;
+pub use guard::{Atomic, Guard, Owned, Shared, Unlinked};
 pub use handle_cache::{HandleCache, ScanParts};
 pub use leaky::{Leaky, LeakyHandle};
 pub use pad::CachePadded;

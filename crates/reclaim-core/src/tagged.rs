@@ -188,6 +188,15 @@ impl<T> LinkWord<T> {
     pub fn version(self) -> u64 {
         self.raw >> VERSION_SHIFT
     }
+
+    /// The same pointer and version with the mark bit set or cleared. This
+    /// derives the *new* value of a CAS from an observed word (e.g. re-linking
+    /// a deleted node's successor unmarked); it is never meaningful as a CAS
+    /// *expected* value — expected words must be observed, not synthesized.
+    #[inline]
+    pub fn with_mark(self, mark: bool) -> Self {
+        Self::from_raw((self.raw & !(MARK as u64)) | (mark as u64))
+    }
 }
 
 /// An atomic link word: pointer + mark + per-link version, CASed as one `u64`.

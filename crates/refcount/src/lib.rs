@@ -26,6 +26,9 @@ pub use scheme::{RefCount, RefCountHandle};
 pub use table::CountTable;
 
 #[cfg(test)]
+// Sanctioned raw-protocol site: these tests exercise the scheme's own
+// `protect`/retire interface below the guard layer.
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use reclaim_core::{retire_box, Smr, SmrConfig, SmrHandle};

@@ -263,6 +263,9 @@ impl SmrHandle for RefCountHandle {
     ) {
         self.stats().add_retired(1);
         self.stats().add_retired_bytes(size_bytes as u64);
+        if size_bytes == 0 {
+            self.stats().add_size_unknown_retire();
+        }
         let now = self.scheme.config.clock.now();
         // SAFETY: forwarded from the caller's contract.
         self.retired.push(&mut self.pool, unsafe {
@@ -336,6 +339,9 @@ impl Drop for RefCountHandle {
 }
 
 #[cfg(test)]
+// Sanctioned raw-protocol site: these tests exercise the scheme's own
+// `protect`/retire interface below the guard layer.
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use reclaim_core::retire_box;

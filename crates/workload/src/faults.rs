@@ -179,6 +179,9 @@ impl SplitMix64 {
 /// `alloc_node` stamps real birth eras) and the epoch schemes run the
 /// byte-identical operation sequence — the same contract as
 /// [`run_stall_churn`](crate::stall_churn::run_stall_churn).
+// Sanctioned raw-protocol site: the fault injector drives the raw retire
+// pipeline below the guard layer on purpose, measuring the scheme itself.
+#[allow(clippy::disallowed_methods)]
 pub fn run_fault<S: Smr>(scheme: &Arc<S>, plan: &FaultPlan) -> FaultResult {
     let mut rng = SplitMix64::new(plan.seed);
     let mut sampler = LimboSampler::with_capacity(plan.episodes);

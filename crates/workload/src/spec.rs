@@ -43,6 +43,13 @@ impl OpMix {
         Self::new(50, 25, 25)
     }
 
+    /// 100% churn: no reads, half inserts, half deletes. The natural workload for
+    /// the FIFO/LIFO structures (every queue/stack operation mutates), also usable
+    /// as a worst-case reclamation stressor on the sets.
+    pub fn churn() -> Self {
+        Self::new(0, 50, 50)
+    }
+
     /// Percentage of operations that modify the structure.
     pub fn update_pct(&self) -> u8 {
         self.insert_pct + self.delete_pct
@@ -62,6 +69,13 @@ pub enum Structure {
     /// evaluation matrix; used by the extension benchmarks that demonstrate
     /// applicability beyond the three evaluated structures.
     HashMap,
+    /// Michael–Scott queue (FIFO). Extension structure; runs 100%-churn
+    /// workloads — every operation mutates, so the read percentage of a mix is
+    /// served by an `is_empty` probe.
+    Queue,
+    /// Treiber stack (LIFO). Extension structure; same 100%-churn character as
+    /// the queue.
+    Stack,
 }
 
 impl Structure {
@@ -72,6 +86,8 @@ impl Structure {
             Structure::SkipList => "skip-list",
             Structure::Bst => "bst",
             Structure::HashMap => "hash-map",
+            Structure::Queue => "queue",
+            Structure::Stack => "stack",
         }
     }
 
@@ -83,6 +99,10 @@ impl Structure {
             Structure::SkipList => 20_000,
             Structure::Bst => 2_000_000,
             Structure::HashMap => 1_000_000,
+            // The FIFO/LIFO structures are not keyed; the "range" only sizes the
+            // value stream and the pre-fill.
+            Structure::Queue => 10_000,
+            Structure::Stack => 10_000,
         }
     }
 
@@ -94,6 +114,8 @@ impl Structure {
             Structure::SkipList => 20_000,
             Structure::Bst => 200_000,
             Structure::HashMap => 100_000,
+            Structure::Queue => 10_000,
+            Structure::Stack => 10_000,
         }
     }
 

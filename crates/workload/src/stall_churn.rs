@@ -87,6 +87,9 @@ impl StallChurnResult {
 /// limbo trajectory. Generic over [`Smr`] so era schemes (whose `alloc_node`
 /// stamps real birth eras) and the epoch schemes (where it is a no-op) run the
 /// byte-identical operation sequence.
+// Sanctioned raw-protocol site: this driver churns the raw retire pipeline
+// below the guard layer on purpose, measuring the scheme itself.
+#[allow(clippy::disallowed_methods)]
 pub fn run_stall_churn<S: Smr>(scheme: &Arc<S>, spec: &StallChurnSpec) -> StallChurnResult {
     let mut reader = scheme.register();
     let mut writer = Some(scheme.register());

@@ -7,8 +7,8 @@
 //! the examples can be written once.
 
 use lockfree_ds::{
-    HarrisMichaelList, LockFreeBst, LockFreeHashMap, LockFreeSkipList, HASHMAP_HP_SLOTS,
-    SKIPLIST_HP_SLOTS,
+    HarrisMichaelList, LockFreeBst, LockFreeHashMap, LockFreeSkipList, MichaelScottQueue,
+    TreiberStack, HASHMAP_HP_SLOTS, SKIPLIST_HP_SLOTS,
 };
 use reclaim_core::stats::StatsSnapshot;
 use reclaim_core::{Leaky, Smr, SmrConfig, SmrHandle};
@@ -234,6 +234,119 @@ impl<S: Smr> BenchSet for HashMapSet<S> {
     }
 }
 
+/// The FIFO/LIFO structures have no membership test and ignore which key an
+/// operation carries: `insert` is push/enqueue, `remove` is pop/dequeue (false
+/// when empty), and `contains` is served by an emptiness probe so that mixed
+/// workloads still run. The natural workload for them is 100% churn
+/// ([`crate::OpMix::churn`]), where `contains` never fires.
+struct QueueSet<S: Smr> {
+    ds: Arc<MichaelScottQueue<u64, S>>,
+    scheme: Arc<S>,
+}
+
+struct QueueSession<S: Smr> {
+    ds: Arc<MichaelScottQueue<u64, S>>,
+    handle: S::Handle,
+}
+
+impl<S: Smr> SetSession for QueueSession<S> {
+    fn contains(&mut self, _key: u64) -> bool {
+        !self.ds.is_empty()
+    }
+    fn insert(&mut self, key: u64) -> bool {
+        self.ds.enqueue(key, &mut self.handle);
+        true
+    }
+    fn remove(&mut self, _key: u64) -> bool {
+        self.ds.dequeue(&mut self.handle).is_some()
+    }
+    fn flush(&mut self) {
+        self.handle.flush();
+    }
+}
+
+impl<S: Smr> BenchSet for QueueSet<S> {
+    fn session(&self) -> Box<dyn SetSession> {
+        Box::new(QueueSession {
+            ds: Arc::clone(&self.ds),
+            handle: self.scheme.register(),
+        })
+    }
+    fn prefill(&self, keys: &[u64]) {
+        let mut handle = self.scheme.register();
+        for &key in keys {
+            self.ds.enqueue(key, &mut handle);
+        }
+        handle.flush();
+    }
+    fn len(&self) -> usize {
+        self.ds.len()
+    }
+    fn smr_stats(&self) -> StatsSnapshot {
+        Smr::stats(&*self.scheme)
+    }
+    fn scheme_name(&self) -> &'static str {
+        Smr::name(&*self.scheme)
+    }
+    fn structure_name(&self) -> &'static str {
+        Structure::Queue.name()
+    }
+}
+
+struct StackSet<S: Smr> {
+    ds: Arc<TreiberStack<u64, S>>,
+    scheme: Arc<S>,
+}
+
+struct StackSession<S: Smr> {
+    ds: Arc<TreiberStack<u64, S>>,
+    handle: S::Handle,
+}
+
+impl<S: Smr> SetSession for StackSession<S> {
+    fn contains(&mut self, _key: u64) -> bool {
+        !self.ds.is_empty()
+    }
+    fn insert(&mut self, key: u64) -> bool {
+        self.ds.push(key, &mut self.handle);
+        true
+    }
+    fn remove(&mut self, _key: u64) -> bool {
+        self.ds.pop(&mut self.handle).is_some()
+    }
+    fn flush(&mut self) {
+        self.handle.flush();
+    }
+}
+
+impl<S: Smr> BenchSet for StackSet<S> {
+    fn session(&self) -> Box<dyn SetSession> {
+        Box::new(StackSession {
+            ds: Arc::clone(&self.ds),
+            handle: self.scheme.register(),
+        })
+    }
+    fn prefill(&self, keys: &[u64]) {
+        let mut handle = self.scheme.register();
+        for &key in keys {
+            self.ds.push(key, &mut handle);
+        }
+        handle.flush();
+    }
+    fn len(&self) -> usize {
+        self.ds.len()
+    }
+    fn smr_stats(&self) -> StatsSnapshot {
+        Smr::stats(&*self.scheme)
+    }
+    fn scheme_name(&self) -> &'static str {
+        Smr::name(&*self.scheme)
+    }
+    fn structure_name(&self) -> &'static str {
+        Structure::Stack.name()
+    }
+}
+
 /// The reclamation configuration an experiment uses for `structure`: hazard-pointer
 /// budget sized to the structure (2 / 33+ / 6, as in the paper), everything else
 /// from the caller's base configuration.
@@ -243,6 +356,8 @@ pub fn config_for(structure: Structure, base: SmrConfig) -> SmrConfig {
         Structure::SkipList => base.with_hp_per_thread(SKIPLIST_HP_SLOTS),
         Structure::Bst => base.with_hp_per_thread(lockfree_ds::BST_HP_SLOTS),
         Structure::HashMap => base.with_hp_per_thread(HASHMAP_HP_SLOTS),
+        Structure::Queue => base.with_hp_per_thread(lockfree_ds::QUEUE_HP_SLOTS),
+        Structure::Stack => base.with_hp_per_thread(lockfree_ds::STACK_HP_SLOTS),
     }
 }
 
@@ -275,6 +390,14 @@ fn build<S: Smr>(structure: Structure, scheme: Arc<S>) -> Arc<dyn BenchSet> {
         }),
         Structure::HashMap => Arc::new(HashMapSet {
             ds: Arc::new(LockFreeHashMap::new(Arc::clone(&scheme))),
+            scheme,
+        }),
+        Structure::Queue => Arc::new(QueueSet {
+            ds: Arc::new(MichaelScottQueue::new(Arc::clone(&scheme))),
+            scheme,
+        }),
+        Structure::Stack => Arc::new(StackSet {
+            ds: Arc::new(TreiberStack::new(Arc::clone(&scheme))),
             scheme,
         }),
     }
@@ -349,6 +472,42 @@ mod tests {
                 SchemeKind::extended().contains(&kind),
                 "extended() must be a superset of all()"
             );
+        }
+    }
+
+    #[test]
+    fn queue_and_stack_cells_churn_on_every_scheme() {
+        for structure in [Structure::Queue, Structure::Stack] {
+            for scheme in SchemeKind::extended() {
+                let set = make_set(structure, scheme, default_bench_config(4));
+                let mut session = set.session();
+                assert!(
+                    !session.contains(0),
+                    "{structure:?} {scheme:?}: empty probe"
+                );
+                assert!(session.insert(1), "{structure:?} {scheme:?}");
+                assert!(session.insert(2), "{structure:?} {scheme:?}");
+                assert!(session.contains(0), "{structure:?} {scheme:?}");
+                assert!(session.remove(0), "{structure:?} {scheme:?}");
+                assert!(session.remove(0), "{structure:?} {scheme:?}");
+                assert!(
+                    !session.remove(0),
+                    "{structure:?} {scheme:?}: drained empty"
+                );
+                session.flush();
+                assert_eq!(set.scheme_name(), scheme.name());
+                assert_eq!(set.structure_name(), structure.name());
+            }
+        }
+    }
+
+    #[test]
+    fn queue_and_stack_prefill_report_their_length() {
+        for structure in [Structure::Queue, Structure::Stack] {
+            let set = make_set(structure, SchemeKind::QSense, default_bench_config(2));
+            let keys: Vec<u64> = (0..100).collect();
+            set.prefill(&keys);
+            assert_eq!(set.len(), 100, "{structure:?}");
         }
     }
 

@@ -9,28 +9,29 @@
 //! like the epoch schemes (one era announcement per operation instead of one
 //! fenced store per node).
 //!
+//! Every structure here runs on the safe guard layer (`reclaim_core::guard`),
+//! so the same comparison extends beyond the paper's set matrix for free: the
+//! second table runs the 100%-churn FIFO/LIFO workloads (Michael–Scott queue,
+//! Treiber stack) that exist *because* integrating a structure now costs a
+//! handful of typed calls instead of a hand-derived pointer protocol.
+//!
 //! Run with: `cargo run --release --example scheme_comparison`
 
 use qsense_repro::bench::{
-    default_bench_config, make_set, report, run_experiment, Experiment, SchemeKind, Structure,
-    WorkloadSpec,
+    default_bench_config, make_set, report, run_experiment, Experiment, OpMix, SchemeKind,
+    Structure, WorkloadSpec,
 };
 use std::time::Duration;
 
-fn main() {
-    let threads = 4;
-    let spec = WorkloadSpec::fig3_list();
-    println!(
-        "scheme_comparison: linked list, {} keys, 10% updates, {threads} threads, 1 s per scheme",
-        spec.key_range
-    );
-
+/// Runs one structure × every scheme in the legend, printing a throughput row
+/// per scheme with overhead relative to the leaky baseline.
+fn compare(structure: Structure, spec: WorkloadSpec, threads: usize) {
     let mut baseline_mops = None;
     // The paper's legend first, then the eighth scheme added by this
     // reproduction (Hazard Eras — see the module docs).
     let schemes = SchemeKind::all().into_iter().chain([SchemeKind::He]);
     for scheme in schemes {
-        let set = make_set(Structure::List, scheme, default_bench_config(threads + 2));
+        let set = make_set(structure, scheme, default_bench_config(threads + 2));
         let experiment = Experiment {
             set,
             spec,
@@ -46,7 +47,35 @@ fn main() {
         }
         println!("{}", report::throughput_row(&result, baseline_mops));
     }
+}
+
+fn main() {
+    let threads = 4;
+
+    let spec = WorkloadSpec::fig3_list();
+    println!(
+        "scheme_comparison: linked list, {} keys, 10% updates, {threads} threads, 1 s per scheme",
+        spec.key_range
+    );
+    compare(Structure::List, spec, threads);
     println!(
         "\nPaper reference points: QSBR ~2.3% overhead, QSense ~29%, HP ~80%; QSense 2-3x HP."
+    );
+
+    // Beyond the paper's matrix: the guard-layer extension structures under
+    // their natural workload — 100% churn, every operation retiring or
+    // allocating, the hardest mix for a reclamation scheme.
+    for structure in [Structure::Queue, Structure::Stack] {
+        let spec = WorkloadSpec::new(structure.default_key_range(), OpMix::churn());
+        println!(
+            "\nscheme_comparison: {}, 100% churn, {threads} threads, 1 s per scheme",
+            structure.name()
+        );
+        compare(structure, spec, threads);
+    }
+    println!(
+        "\nNote: under 100% churn the leaky baseline *loses* — millions of dead \
+         nodes (its in-limbo column) thrash the cache, the paper's memory \
+         argument in miniature."
     );
 }

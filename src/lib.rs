@@ -48,10 +48,10 @@ pub mod smr {
     pub use qsense::{Path, QSense, QSenseHandle};
     pub use reclaim_core::stats::StatsSnapshot;
     pub use reclaim_core::{
-        retire_box, retire_box_with_birth, BudgetGovernor, BudgetVerdict, Clock, CountingAllocator,
-        Era, EraAdvancePolicy, EraClock, EraPacer, HandleCache, Leaky, LeakyHandle, ManualClock,
-        ShardedStats, Smr, SmrConfig, SmrHandle, StatStripe, DEFAULT_ERA_ADVANCE_INTERVAL,
-        NO_BIRTH_ERA,
+        retire_box, retire_box_with_birth, Atomic, BudgetGovernor, BudgetVerdict, Clock,
+        CountingAllocator, Era, EraAdvancePolicy, EraClock, EraPacer, Guard, HandleCache, Leaky,
+        LeakyHandle, ManualClock, Owned, ShardedStats, Shared, Smr, SmrConfig, SmrHandle,
+        StatStripe, Unlinked, DEFAULT_ERA_ADVANCE_INTERVAL, NO_BIRTH_ERA,
     };
     pub use refcount::{RefCount, RefCountHandle};
 }

@@ -1,7 +1,9 @@
 //! Cross-crate stress tests for the extension structures and the related-work
-//! baseline schemes: the hash map under every implemented scheme, and the queue and
-//! stack (which have no set API and therefore live outside the `BenchSet` matrix)
-//! under the schemes that exercise protection the hardest.
+//! baseline schemes: the hash map, queue and stack under every implemented scheme
+//! via the `BenchSet` matrix (the queue and stack map insert/remove to
+//! enqueue+dequeue / push+pop and serve `contains` with an emptiness probe), plus
+//! direct element-conservation tests on the queue and stack under the schemes
+//! that exercise protection the hardest.
 //!
 //! Like `stress_matrix.rs`, these tests fail by crashing (use-after-free, double
 //! free) if any protection/retirement protocol is wrong, and fail assertions if
@@ -80,6 +82,15 @@ fn stress_cell(structure: Structure, scheme: SchemeKind, threads: usize, ops: u6
 fn hash_map_survives_every_scheme() {
     for scheme in SchemeKind::extended() {
         stress_cell(Structure::HashMap, scheme, 3, 3_000);
+    }
+}
+
+#[test]
+fn queue_and_stack_survive_every_scheme() {
+    for structure in [Structure::Queue, Structure::Stack] {
+        for scheme in SchemeKind::extended() {
+            stress_cell(structure, scheme, 3, 3_000);
+        }
     }
 }
 

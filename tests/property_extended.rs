@@ -2,7 +2,9 @@
 //! arbitrary operation sequences the hash map must behave like `BTreeMap`, the queue
 //! like `VecDeque`, the stack like `Vec`, and the paper's structures must keep
 //! behaving like `BTreeSet` under the two reclamation baselines this reproduction
-//! adds (EBR, reference counting).
+//! adds (EBR, reference counting). The `*_on_every_scheme` cases replay one
+//! generated sequence across all eight schemes, pinning the full
+//! structure × scheme matrix now that every structure runs on the guard API.
 
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -11,7 +13,9 @@ use qsense_repro::ds::{
     LockFreeHashMap, MichaelScottQueue, TreiberStack, HASHMAP_HP_SLOTS, QUEUE_HP_SLOTS,
     STACK_HP_SLOTS,
 };
-use qsense_repro::smr::{QSense, SmrConfig, SmrHandle};
+use qsense_repro::smr::{
+    Cadence, Ebr, Hazard, He, Leaky, QSense, Qsbr, RefCount, Smr, SmrConfig, SmrHandle,
+};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
@@ -200,6 +204,98 @@ proptest! {
         for structure in [Structure::List, Structure::HashMap] {
             check_set(structure, SchemeKind::RefCount, &steps)?;
         }
+    }
+}
+
+/// Replays one generated queue workload against `VecDeque` on a concrete scheme.
+fn check_queue<S: Smr>(scheme: Arc<S>, steps: &[SeqStep]) -> Result<(), TestCaseError> {
+    let queue: MichaelScottQueue<u64, S> = MichaelScottQueue::new(scheme);
+    let mut handle = queue.register();
+    let mut reference: VecDeque<u64> = VecDeque::new();
+    for step in steps {
+        match *step {
+            SeqStep::Push(v) => {
+                queue.enqueue(v, &mut handle);
+                reference.push_back(v);
+            }
+            SeqStep::Pop => {
+                prop_assert_eq!(queue.dequeue(&mut handle), reference.pop_front());
+            }
+        }
+    }
+    while let Some(expected) = reference.pop_front() {
+        prop_assert_eq!(queue.dequeue(&mut handle), Some(expected));
+    }
+    prop_assert_eq!(queue.dequeue(&mut handle), None);
+    handle.flush();
+    Ok(())
+}
+
+/// Replays one generated stack workload against `Vec` on a concrete scheme.
+fn check_stack<S: Smr>(scheme: Arc<S>, steps: &[SeqStep]) -> Result<(), TestCaseError> {
+    let stack: TreiberStack<u64, S> = TreiberStack::new(scheme);
+    let mut handle = stack.register();
+    let mut reference: Vec<u64> = Vec::new();
+    for step in steps {
+        match *step {
+            SeqStep::Push(v) => {
+                stack.push(v, &mut handle);
+                reference.push(v);
+            }
+            SeqStep::Pop => {
+                prop_assert_eq!(stack.pop(&mut handle), reference.pop());
+            }
+        }
+    }
+    while let Some(expected) = reference.pop() {
+        prop_assert_eq!(stack.pop(&mut handle), Some(expected));
+    }
+    prop_assert_eq!(stack.pop(&mut handle), None);
+    handle.flush();
+    Ok(())
+}
+
+proptest! {
+    // One generated sequence is replayed on every scheme, so a handful of cases
+    // already covers the full 8-scheme row of the matrix.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn sets_match_reference_on_every_scheme(steps in vec(set_step(48), 1..150)) {
+        for structure in [
+            Structure::List,
+            Structure::SkipList,
+            Structure::Bst,
+            Structure::HashMap,
+        ] {
+            for scheme in SchemeKind::extended() {
+                check_set(structure, scheme, &steps)?;
+            }
+        }
+    }
+
+    #[test]
+    fn queue_matches_vecdeque_on_every_scheme(steps in vec(seq_step(), 1..200)) {
+        check_queue(Leaky::new(small_config(QUEUE_HP_SLOTS)), &steps)?;
+        check_queue(Qsbr::new(small_config(QUEUE_HP_SLOTS)), &steps)?;
+        check_queue(Hazard::new(small_config(QUEUE_HP_SLOTS)), &steps)?;
+        check_queue(Cadence::new(small_config(QUEUE_HP_SLOTS)), &steps)?;
+        check_queue(QSense::new(small_config(QUEUE_HP_SLOTS)), &steps)?;
+        check_queue(Ebr::new(small_config(QUEUE_HP_SLOTS)), &steps)?;
+        check_queue(He::new(small_config(QUEUE_HP_SLOTS)), &steps)?;
+        check_queue(RefCount::new(small_config(QUEUE_HP_SLOTS)), &steps)?;
+    }
+
+    #[test]
+    fn stack_matches_vec_on_every_scheme(steps in vec(seq_step(), 1..200)) {
+        check_stack(Leaky::new(small_config(STACK_HP_SLOTS)), &steps)?;
+        check_stack(Qsbr::new(small_config(STACK_HP_SLOTS)), &steps)?;
+        check_stack(Hazard::new(small_config(STACK_HP_SLOTS)), &steps)?;
+        check_stack(Cadence::new(small_config(STACK_HP_SLOTS)), &steps)?;
+        check_stack(QSense::new(small_config(STACK_HP_SLOTS)), &steps)?;
+        check_stack(Ebr::new(small_config(STACK_HP_SLOTS)), &steps)?;
+        check_stack(He::new(small_config(STACK_HP_SLOTS)), &steps)?;
+        check_stack(RefCount::new(small_config(STACK_HP_SLOTS)), &steps)?;
     }
 }
 

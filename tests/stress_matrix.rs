@@ -76,6 +76,56 @@ fn stress_cell(structure: Structure, scheme: SchemeKind, threads: usize, ops: u6
     );
 }
 
+/// 100%-churn workload for the FIFO/LIFO structures: every operation mutates
+/// (enqueue/push or dequeue/pop — there is no membership test), which is the
+/// natural workload for the queue and the stack and the hardest on reclamation:
+/// every successful remove retires a node.
+fn churn_cell(structure: Structure, scheme: SchemeKind, threads: usize, ops: u64) {
+    let set: Arc<dyn BenchSet> = make_set(structure, scheme, bench_config(threads));
+    let balance = Arc::new(AtomicI64::new(0));
+
+    thread::scope(|scope| {
+        for t in 0..threads {
+            let set = Arc::clone(&set);
+            let balance = Arc::clone(&balance);
+            scope.spawn(move || {
+                let mut session = set.session();
+                let mut state = 0x9e37_79b9_u64.wrapping_add(t as u64);
+                let mut local: i64 = 0;
+                for _ in 0..ops {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let value = (state >> 33) % 512;
+                    if state.is_multiple_of(2) {
+                        if session.insert(value) {
+                            local += 1;
+                        }
+                    } else if session.remove(value) {
+                        local -= 1;
+                    }
+                }
+                session.flush();
+                balance.fetch_add(local, Ordering::SeqCst);
+            });
+        }
+    });
+
+    let expected = balance.load(Ordering::SeqCst);
+    assert!(
+        expected >= 0,
+        "more successful pops than pushes is impossible"
+    );
+    assert_eq!(
+        set.len() as i64,
+        expected,
+        "{structure:?}/{scheme:?}: final length must equal pushes - pops"
+    );
+    let stats = set.smr_stats();
+    assert!(
+        stats.freed <= stats.retired,
+        "cannot free more than was retired"
+    );
+}
+
 const OPS: u64 = 8_000;
 const THREADS: usize = 4;
 
@@ -84,6 +134,15 @@ macro_rules! stress_test {
         #[test]
         fn $name() {
             stress_cell($structure, $scheme, THREADS, OPS);
+        }
+    };
+}
+
+macro_rules! churn_test {
+    ($name:ident, $structure:expr, $scheme:expr) => {
+        #[test]
+        fn $name() {
+            churn_cell($structure, $scheme, THREADS, OPS);
         }
     };
 }
@@ -108,6 +167,20 @@ stress_test!(bst_hp, Structure::Bst, SchemeKind::Hp);
 stress_test!(bst_cadence, Structure::Bst, SchemeKind::Cadence);
 stress_test!(bst_qsense, Structure::Bst, SchemeKind::QSense);
 stress_test!(bst_he, Structure::Bst, SchemeKind::He);
+
+churn_test!(queue_none, Structure::Queue, SchemeKind::None);
+churn_test!(queue_qsbr, Structure::Queue, SchemeKind::Qsbr);
+churn_test!(queue_hp, Structure::Queue, SchemeKind::Hp);
+churn_test!(queue_cadence, Structure::Queue, SchemeKind::Cadence);
+churn_test!(queue_qsense, Structure::Queue, SchemeKind::QSense);
+churn_test!(queue_he, Structure::Queue, SchemeKind::He);
+
+churn_test!(stack_none, Structure::Stack, SchemeKind::None);
+churn_test!(stack_qsbr, Structure::Stack, SchemeKind::Qsbr);
+churn_test!(stack_hp, Structure::Stack, SchemeKind::Hp);
+churn_test!(stack_cadence, Structure::Stack, SchemeKind::Cadence);
+churn_test!(stack_qsense, Structure::Stack, SchemeKind::QSense);
+churn_test!(stack_he, Structure::Stack, SchemeKind::He);
 
 /// A heavier run on the combination the paper features most prominently.
 #[test]

@@ -77,6 +77,9 @@ fn assert_alloc_delta(label: &str, expected: u64, mut measure: impl FnMut() -> u
 /// Retires `RETIRED` boxed nodes through `writer`, with the first `PROTECTED` of
 /// them protected by `reader` (protection is published before the retire, as the
 /// integration discipline requires, so they must survive every scan).
+// Sanctioned raw-protocol site: this test pins the raw retire pipeline's
+// allocation behavior below the guard layer.
+#[allow(clippy::disallowed_methods)]
 fn park_protected_residue<H: SmrHandle>(reader: &mut H, writer: &mut H) {
     for i in 0..RETIRED {
         let ptr = Box::into_raw(Box::new(0u64));
@@ -491,6 +494,87 @@ fn steady_state_scans_perform_zero_heap_allocations() {
         churn_allocates_nodes_only("qsense", QSense::new(config(&clock)), || {
             clock.advance(Duration::from_millis(10));
         });
+    }
+
+    // --- guard-API structures across the full matrix -------------------------
+    // The six migrated structures drive the same retirement pipeline through
+    // the safe guard layer (`reclaim_core::guard`), so the zero-allocation
+    // contract must survive the indirection. For every structure × scheme
+    // cell: steady-state flushes allocate nothing. For the fixed-node-size
+    // structures additionally: a whole churn cycle (insert every key, remove
+    // every key, flush) allocates exactly what the quietest earlier cycle
+    // allocated — the nodes themselves — because all bag/scratch growth is fed
+    // by recycled segments. (The skip list draws random tower heights, so its
+    // per-cycle node bytes are not constant and it gets the flush check only;
+    // the leaky baseline never drains its bag, so its amortized segment growth
+    // exempts it from the cycle check too.)
+    {
+        use qsense_repro::bench::{make_set, SchemeKind, SetSession, Structure};
+
+        const CHURN_KEYS: u64 = 48;
+        fn churn_cycle(session: &mut dyn SetSession, clock: &ManualClock) {
+            for key in 0..CHURN_KEYS {
+                session.insert(key);
+            }
+            for key in 0..CHURN_KEYS {
+                session.remove(key);
+            }
+            // Ages the Cadence-family limbo past T + ε; a no-op for the rest.
+            clock.advance(Duration::from_millis(10));
+            session.flush();
+        }
+
+        for structure in [
+            Structure::List,
+            Structure::SkipList,
+            Structure::Bst,
+            Structure::HashMap,
+            Structure::Queue,
+            Structure::Stack,
+        ] {
+            for kind in SchemeKind::extended() {
+                let clock = ManualClock::new();
+                let set = make_set(structure, kind, config(&clock).with_max_threads(4));
+                let mut session = set.session();
+                // Warm-up: reach steady-state pool/scratch capacity.
+                churn_cycle(&mut *session, &clock);
+                churn_cycle(&mut *session, &clock);
+                assert_alloc_delta(
+                    &format!("{structure:?}/{kind:?}: steady-state flushes"),
+                    0,
+                    || {
+                        let before_alloc = ALLOC.allocated_bytes();
+                        for _ in 0..25 {
+                            session.flush();
+                        }
+                        ALLOC.allocated_bytes() - before_alloc
+                    },
+                );
+                if structure != Structure::SkipList && kind != SchemeKind::None {
+                    // The quietest of three cycles is the true node-only cost
+                    // (stray harness allocations only ever add to a window).
+                    let mut nodes_only = u64::MAX;
+                    for _ in 0..3 {
+                        let before_alloc = ALLOC.allocated_bytes();
+                        churn_cycle(&mut *session, &clock);
+                        nodes_only = nodes_only.min(ALLOC.allocated_bytes() - before_alloc);
+                    }
+                    assert!(
+                        nodes_only > 0,
+                        "{structure:?}/{kind:?}: churn must allocate the nodes themselves"
+                    );
+                    assert_alloc_delta(
+                        &format!("{structure:?}/{kind:?}: churn cycle (nodes only)"),
+                        nodes_only,
+                        || {
+                            let before_alloc = ALLOC.allocated_bytes();
+                            churn_cycle(&mut *session, &clock);
+                            ALLOC.allocated_bytes() - before_alloc
+                        },
+                    );
+                }
+            }
+        }
     }
 
     // --- stats snapshots ---------------------------------------------------
