@@ -1,0 +1,227 @@
+//! Noise-band accumulator over repeated `BENCH_overhead.json` runs.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench --bin noise_band -- \
+//!     BENCH_overhead_noise_band.json run1.json run2.json [run3.json ...]
+//! ```
+//!
+//! CI's bench-smoke job regenerates `BENCH_overhead.fresh.json` several times
+//! per workflow run; this binary merges those reports by `(scheme, threads)`
+//! point and emits one row per point carrying the **band** the repeated runs
+//! actually spanned — per-point min, max, mean and spread of
+//! `retire_ns_per_op`. The uploaded band report is what a human (or the next
+//! baseline refresh) reads to judge whether a gate trip was noise or a real
+//! regression: a fresh value inside the band is noise by construction.
+//!
+//! Runs that already carry repeat spread (`retire_ns_min` / `retire_ns_max`,
+//! as the PR 6+ baselines do) widen the band with their own extremes, so a
+//! single multi-repeat report and several single-shot reports merge to the
+//! same honest envelope.
+
+use bench::json::{parse_rows, write_report, JsonObject, ParsedRow};
+use std::process::ExitCode;
+
+/// One accumulated `(scheme, threads)` point.
+struct Band {
+    scheme: String,
+    threads: u64,
+    runs: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Band {
+    fn mean(&self) -> f64 {
+        self.sum / self.runs as f64
+    }
+
+    /// `(max - min) / mean`, as a percentage — the headline noise figure.
+    fn spread_pct(&self) -> f64 {
+        let mean = self.mean();
+        if mean > 0.0 {
+            (self.max - self.min) / mean * 100.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Folds every parsed row into the band list (first-appearance order).
+fn accumulate(bands: &mut Vec<Band>, rows: &[ParsedRow]) {
+    for row in rows {
+        let (Some(scheme), Some(threads), Some(ns)) = (
+            row.str_value("scheme"),
+            row.num_value("threads"),
+            row.num_value("retire_ns_per_op"),
+        ) else {
+            continue;
+        };
+        // A run that recorded its own repeat spread contributes its extremes.
+        let run_min = row.num_value("retire_ns_min").filter(|v| *v > 0.0);
+        let run_max = row.num_value("retire_ns_max").filter(|v| *v > 0.0);
+        let lo = run_min.unwrap_or(ns);
+        let hi = run_max.unwrap_or(ns);
+        let threads = threads as u64;
+        match bands
+            .iter_mut()
+            .find(|b| b.scheme == scheme && b.threads == threads)
+        {
+            Some(band) => {
+                band.runs += 1;
+                band.sum += ns;
+                band.min = band.min.min(lo);
+                band.max = band.max.max(hi);
+            }
+            None => bands.push(Band {
+                scheme: scheme.to_string(),
+                threads,
+                runs: 1,
+                sum: ns,
+                min: lo,
+                max: hi,
+            }),
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: noise_band <out.json> <run1.json> [run2.json ...]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [out_path, run_paths @ ..] = args.as_slice() else {
+        return usage();
+    };
+    if run_paths.is_empty() {
+        return usage();
+    }
+
+    let mut bands: Vec<Band> = Vec::new();
+    let mut merged = 0usize;
+    for path in run_paths {
+        let contents = match std::fs::read_to_string(path) {
+            Ok(contents) => contents,
+            Err(err) => {
+                eprintln!("noise_band: cannot read {path}: {err}");
+                return ExitCode::from(2);
+            }
+        };
+        let rows = parse_rows(&contents);
+        if rows.is_empty() {
+            eprintln!("noise_band: no result rows parsed from {path}");
+            return ExitCode::from(2);
+        }
+        accumulate(&mut bands, &rows);
+        merged += 1;
+    }
+
+    let rows: Vec<JsonObject> = bands
+        .iter()
+        .map(|b| {
+            JsonObject::new()
+                .str_field("scheme", &b.scheme)
+                .int_field("threads", b.threads)
+                .int_field("runs", b.runs)
+                .num_field("retire_ns_mean", b.mean(), 2)
+                .num_field("retire_ns_min", b.min, 2)
+                .num_field("retire_ns_max", b.max, 2)
+                .num_field("band_spread_pct", b.spread_pct(), 1)
+        })
+        .collect();
+    let meta = [
+        ("runs_merged", format!("{merged}")),
+        (
+            "unit",
+            "\"nanoseconds per operation; band is min..max across merged runs\"".to_string(),
+        ),
+    ];
+    let command = format!("noise_band {}", args.join(" "));
+    let out = std::path::Path::new(out_path);
+    match write_report(out, "overhead_noise_band", &command, &meta, &rows) {
+        Ok(()) => {
+            for band in &bands {
+                println!(
+                    "{:<8} {:>2} thread(s)   {:8.1} ns/op in [{:.1}, {:.1}]  spread {:.1}%  ({} run(s))",
+                    band.scheme,
+                    band.threads,
+                    band.mean(),
+                    band.min,
+                    band.max,
+                    band.spread_pct(),
+                    band.runs,
+                );
+            }
+            println!("wrote {}", out.display());
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("noise_band: failed to write {}: {err}", out.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(json: &str) -> Vec<ParsedRow> {
+        parse_rows(json)
+    }
+
+    #[test]
+    fn bands_merge_by_point_and_track_extremes() {
+        let mut bands = Vec::new();
+        accumulate(
+            &mut bands,
+            &rows(r#"[{"scheme": "hp", "threads": 4, "retire_ns_per_op": 100.0}]"#),
+        );
+        accumulate(
+            &mut bands,
+            &rows(r#"[{"scheme": "hp", "threads": 4, "retire_ns_per_op": 140.0}]"#),
+        );
+        accumulate(
+            &mut bands,
+            &rows(r#"[{"scheme": "hp", "threads": 8, "retire_ns_per_op": 300.0}]"#),
+        );
+        assert_eq!(bands.len(), 2);
+        let four = &bands[0];
+        assert_eq!((four.runs, four.min, four.max), (2, 100.0, 140.0));
+        assert!((four.mean() - 120.0).abs() < 1e-9);
+        assert!((four.spread_pct() - 40.0 / 120.0 * 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_run_repeat_spread_widens_the_band() {
+        let mut bands = Vec::new();
+        accumulate(
+            &mut bands,
+            &rows(
+                r#"[{"scheme": "ebr", "threads": 1, "retire_ns_per_op": 100.0,
+                     "retire_ns_min": 80.0, "retire_ns_max": 150.0}]"#,
+            ),
+        );
+        accumulate(
+            &mut bands,
+            &rows(r#"[{"scheme": "ebr", "threads": 1, "retire_ns_per_op": 90.0}]"#),
+        );
+        let band = &bands[0];
+        assert_eq!((band.min, band.max), (80.0, 150.0));
+        assert!((band.mean() - 95.0).abs() < 1e-9, "mean uses per-run means");
+    }
+
+    #[test]
+    fn rows_without_the_retire_metric_are_skipped() {
+        let mut bands = Vec::new();
+        accumulate(
+            &mut bands,
+            &rows(r#"[{"scheme": "hp", "threads": 4, "other_ns": 5.0}]"#),
+        );
+        assert!(bands.is_empty());
+    }
+}

@@ -4,12 +4,13 @@ use crate::rooster::Rooster;
 use reclaim_core::retired::DropFn;
 use reclaim_core::stats::{StatStripe, StatsSnapshot};
 use reclaim_core::{
-    membarrier, BudgetGovernor, BudgetVerdict, CachePadded, Era, HandleCache, ParkedChain,
-    PtrScratch, Registry, RetiredPtr, ScanParts, SegBag, SegPool, SlotId, Smr, SmrConfig,
-    SmrHandle, NO_BIRTH_ERA,
+    membarrier, BudgetGovernor, BudgetVerdict, CachePadded, Era, HandleCache, HandleTelemetry,
+    ParkedChain, PtrScratch, Registry, RetiredPtr, ScanParts, SegBag, SegPool, SlotId, Smr,
+    SmrConfig, SmrHandle, Telemetry, NO_BIRTH_ERA,
 };
 use std::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Per-thread shared record: `K` hazard-pointer slots, written without fences.
 pub(crate) struct CadenceRecord {
@@ -72,6 +73,8 @@ pub struct Cadence {
     /// coarse `rooster_interval` the budget can only be met by scanning more
     /// often, never by freeing younger nodes.
     governor: BudgetGovernor,
+    /// Telemetry histograms (op latency, scan duration, retire→free delay).
+    telemetry: Arc<Telemetry>,
 }
 
 impl Cadence {
@@ -87,6 +90,7 @@ impl Cadence {
         );
         let handle_cache = HandleCache::with_capacity(config.max_threads);
         let governor = BudgetGovernor::new(config.limbo_budget, config.clock.clone());
+        let telemetry = Arc::new(Telemetry::from_config(&config));
         Arc::new(Self {
             config,
             registry,
@@ -95,6 +99,7 @@ impl Cadence {
             parked: ParkedChain::new(),
             handle_cache,
             governor,
+            telemetry,
         })
     }
 
@@ -134,13 +139,17 @@ impl Cadence {
         pool: &mut SegPool,
         scratch: &mut Vec<*mut u8>,
         stats: &StatStripe,
+        tele_stripe: usize,
     ) -> usize {
         stats.add_scan();
+        // Every Cadence scan walks the aged prefix node by node.
+        stats.add_scan_walk();
         self.collect_protected(scratch);
         let protected: &[*mut u8] = scratch;
         let bytes_before = bag.bytes();
         let now = self.config.clock.now();
         let min_age = self.config.min_reclaim_age_nanos();
+        let observer = self.telemetry.scan_observer(tele_stripe);
         // SAFETY (paper Property 1): a node that has been retired for at least
         // T + ε was unlinked before the most recent rooster wake-up, so any hazard
         // pointer that could protect it (published, per Condition 1, while the node
@@ -156,11 +165,22 @@ impl Cadence {
             bag.reclaim_if_while(
                 pool,
                 |node| node.is_old_enough(now, min_age),
-                |node| protected.binary_search(&node.addr()).is_err(),
+                |node| {
+                    let free = protected.binary_search(&node.addr()).is_err();
+                    if free {
+                        if let Some(obs) = observer.as_ref() {
+                            obs.note_free(node);
+                        }
+                    }
+                    free
+                },
             )
         };
         stats.add_freed(freed as u64);
         stats.add_freed_bytes((bytes_before - bag.bytes()) as u64);
+        if let Some(obs) = observer {
+            obs.finish();
+        }
         freed
     }
 
@@ -191,6 +211,7 @@ impl Smr for Cadence {
         CadenceHandle {
             budget_stripe: BudgetGovernor::stripe_for(slot.index()),
             budget_reported: 0,
+            tele: HandleTelemetry::attach(&self.telemetry),
             scheme: Arc::clone(self),
             slot,
             retired: SegBag::new(),
@@ -214,6 +235,10 @@ impl Smr for Cadence {
 
     fn budget_verdict(&self) -> Option<BudgetVerdict> {
         Some(self.governor.verdict())
+    }
+
+    fn telemetry(&self) -> Option<&Telemetry> {
+        Some(&self.telemetry)
     }
 }
 
@@ -247,6 +272,8 @@ pub struct CadenceHandle {
     budget_stripe: usize,
     /// Local-bytes figure last pushed into the governor (delta-report cursor).
     budget_reported: usize,
+    /// Telemetry recording cursor (stripe + op-sampling counter).
+    tele: HandleTelemetry,
 }
 
 impl CadenceHandle {
@@ -267,6 +294,7 @@ impl CadenceHandle {
             &mut self.pool,
             &mut self.scratch,
             self.scheme.registry.stats(self.slot),
+            self.tele.stripe(),
         );
         self.scheme.governor.report(
             self.budget_stripe,
@@ -317,9 +345,10 @@ impl SmrHandle for CadenceHandle {
         // `time_created` on the wrapper node.
         let now = self.scheme.config.clock.now();
         // SAFETY: forwarded from the caller's contract.
-        self.retired.push(&mut self.pool, unsafe {
-            RetiredPtr::with_birth_sized(ptr, drop_fn, now, NO_BIRTH_ERA, size_bytes)
-        });
+        let mut node =
+            unsafe { RetiredPtr::with_birth_sized(ptr, drop_fn, now, NO_BIRTH_ERA, size_bytes) };
+        node.set_retire_tick(self.tele.retire_tick());
+        self.retired.push(&mut self.pool, node);
         self.since_last_scan += 1;
         if self.since_last_scan >= self.scheme.config.scan_threshold {
             self.since_last_scan = 0;
@@ -361,6 +390,14 @@ impl SmrHandle for CadenceHandle {
 
     fn local_limbo_bytes(&self) -> usize {
         self.retired.bytes()
+    }
+
+    fn telemetry_op_begin(&mut self) -> Option<Instant> {
+        self.tele.op_begin()
+    }
+
+    fn telemetry_op_end(&mut self, started: Instant) {
+        self.tele.op_end(started);
     }
 }
 

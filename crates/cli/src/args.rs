@@ -85,6 +85,10 @@ pub struct CliOptions {
     pub fault: Option<FaultSelection>,
     /// Limbo budget in bytes (enables byte-budget enforcement and verdicts).
     pub limbo_budget: Option<usize>,
+    /// Record latency/delay histograms and print the percentile report.
+    pub telemetry: bool,
+    /// Also write the telemetry report as JSON to this path (`--telemetry=PATH`).
+    pub telemetry_json: Option<String>,
     /// Print the usage text and exit.
     pub help: bool,
 }
@@ -108,6 +112,8 @@ impl Default for CliOptions {
             era_policy: None,
             fault: None,
             limbo_budget: None,
+            telemetry: false,
+            telemetry_json: None,
             help: false,
         }
     }
@@ -151,6 +157,11 @@ OPTIONS:
     --limbo-budget <BYTES>                    enforce a limbo byte budget (suffixes k/m ok);
                                               schemes escalate when limbo crosses it and the
                                               verdict records peak, time-over and escalations
+    --telemetry[=<PATH>]                      record latency/delay histograms and print a
+                                              per-scheme percentile report (p50/p90/p99/p99.9
+                                              of guard op latency, scan duration and the
+                                              retire->free delay) plus scan-dispatch counts;
+                                              with =PATH, also write the report as JSON
     --help                                    print this text
 ";
 
@@ -300,7 +311,21 @@ impl CliOptions {
                     options.limbo_budget = Some(parse_bytes(arg, &value_for(arg)?)?)
                 }
                 "--help" | "-h" => options.help = true,
-                other => return Err(format!("unknown flag '{other}'\n\n{USAGE}")),
+                // `--telemetry` takes an *optional* value, so it uses the
+                // `=PATH` form rather than a following argument (a following
+                // argument would be ambiguous with the next flag).
+                "--telemetry" => options.telemetry = true,
+                other => {
+                    if let Some(path) = other.strip_prefix("--telemetry=") {
+                        if path.is_empty() {
+                            return Err("--telemetry= expects a file path".to_string());
+                        }
+                        options.telemetry = true;
+                        options.telemetry_json = Some(path.to_string());
+                    } else {
+                        return Err(format!("unknown flag '{other}'\n\n{USAGE}"));
+                    }
+                }
             }
         }
         if options.threads == 0 {
@@ -544,6 +569,25 @@ mod tests {
         assert!(parse(&["--fault", "gremlin"])
             .unwrap_err()
             .contains("unknown fault"));
+    }
+
+    #[test]
+    fn telemetry_flag_parses_with_and_without_a_path() {
+        let options = parse(&[]).unwrap();
+        assert!(!options.telemetry);
+        assert_eq!(options.telemetry_json, None);
+        let options = parse(&["--telemetry"]).unwrap();
+        assert!(options.telemetry);
+        assert_eq!(options.telemetry_json, None);
+        let options = parse(&["--telemetry=out.json"]).unwrap();
+        assert!(options.telemetry);
+        assert_eq!(options.telemetry_json.as_deref(), Some("out.json"));
+        assert!(parse(&["--telemetry="])
+            .unwrap_err()
+            .contains("expects a file path"));
+        // The bare flag must not swallow a following flag as its value.
+        let options = parse(&["--telemetry", "--timeline"]).unwrap();
+        assert!(options.telemetry && options.timeline);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 mod args;
 
 use args::{CliOptions, SchemeSelection, USAGE};
+use bench::json::{write_report, JsonObject};
 use reclaim_core::CountingAllocator;
 use std::sync::Arc;
 use std::time::Duration;
@@ -54,6 +55,9 @@ fn build_config(options: &CliOptions) -> reclaim_core::SmrConfig {
     }
     if let Some(policy) = options.era_policy {
         config = config.with_era_policy(policy);
+    }
+    if options.telemetry {
+        config = config.with_telemetry(true);
     }
     config.with_limbo_budget(options.limbo_budget)
 }
@@ -112,6 +116,38 @@ fn run_fault_matrix(options: &CliOptions, faults: &[workload::FaultKind]) {
             );
         }
     }
+}
+
+/// One JSON row of the `--telemetry=<path>` report: the percentile quadruples
+/// of all three histograms plus the scan-dispatch class counters, flat so the
+/// shared `BENCH_*.json` scanner can parse it (keyed by `"scheme"`).
+fn telemetry_json_row(result: &RunResult) -> JsonObject {
+    let summary = result.telemetry.unwrap_or_default();
+    let (op50, op90, op99, op999) = summary.op_latency_ns.quantiles();
+    let (sc50, sc90, sc99, sc999) = summary.scan_ns.quantiles();
+    let (rd50, rd90, rd99, rd999) = summary.reclaim_delay_us.quantiles();
+    JsonObject::new()
+        .str_field("scheme", &result.scheme)
+        .str_field("structure", &result.structure)
+        .int_field("threads", result.threads as u64)
+        .int_field("op_latency_p50_ns", op50)
+        .int_field("op_latency_p90_ns", op90)
+        .int_field("op_latency_p99_ns", op99)
+        .int_field("op_latency_p999_ns", op999)
+        .int_field("op_latency_count", summary.op_latency_ns.count())
+        .int_field("scan_p50_ns", sc50)
+        .int_field("scan_p90_ns", sc90)
+        .int_field("scan_p99_ns", sc99)
+        .int_field("scan_p999_ns", sc999)
+        .int_field("scan_count", summary.scan_ns.count())
+        .int_field("reclaim_delay_p50_us", rd50)
+        .int_field("reclaim_delay_p90_us", rd90)
+        .int_field("reclaim_delay_p99_us", rd99)
+        .int_field("reclaim_delay_p999_us", rd999)
+        .int_field("reclaim_delay_count", summary.reclaim_delay_us.count())
+        .int_field("scan_wholesale", result.stats.scan_wholesale)
+        .int_field("scan_skips", result.stats.scan_skips)
+        .int_field("scan_walks", result.stats.scan_walks)
 }
 
 fn run_one(options: &CliOptions, scheme: SchemeKind) -> RunResult {
@@ -182,6 +218,7 @@ fn main() {
 
     let schemes = options.schemes.schemes();
     let mut baseline_mops = None;
+    let mut telemetry_rows_json = Vec::new();
     for scheme in schemes {
         let allocated_before = ALLOC.allocated_bytes();
         let result = run_one(&options, scheme);
@@ -200,12 +237,42 @@ fn main() {
             result.stats.fallback_switches,
             result.stats.fast_path_switches,
         );
+        if options.limbo_budget.is_some() {
+            if let Some(row) = report::budget_row(&result) {
+                println!("{row}");
+            }
+        }
+        if options.telemetry {
+            for row in report::telemetry_rows(&result) {
+                println!("{row}");
+            }
+            println!("{}", report::dispatch_row(&result));
+            telemetry_rows_json.push(telemetry_json_row(&result));
+        }
         if matches!(
             options.schemes,
             SchemeSelection::Paper | SchemeSelection::All
         ) && scheme == SchemeKind::None
         {
             baseline_mops = Some(result.mops());
+        }
+    }
+
+    if let Some(path) = &options.telemetry_json {
+        let command = format!("qsense-bench {}", raw.join(" "));
+        let meta = [(
+            "units",
+            "\"latency percentiles are log2-bucket upper bounds (<= 2x): \
+             op/scan in nanoseconds, retire->free delay in microseconds\""
+                .to_string(),
+        )];
+        let path = std::path::Path::new(path);
+        match write_report(path, "cli_telemetry", &command, &meta, &telemetry_rows_json) {
+            Ok(()) => println!("telemetry report written to {}", path.display()),
+            Err(error) => {
+                eprintln!("error: failed to write {}: {error}", path.display());
+                std::process::exit(1);
+            }
         }
     }
 }

@@ -5,10 +5,12 @@ use qsbr::GlobalEpoch;
 use reclaim_core::retired::DropFn;
 use reclaim_core::stats::{StatStripe, StatsSnapshot};
 use reclaim_core::{
-    BudgetGovernor, BudgetVerdict, CachePadded, Era, HandleCache, ParkedChain, Registry,
-    RetiredPtr, SegBag, SegPool, SlotId, Smr, SmrConfig, SmrHandle, NO_BIRTH_ERA,
+    BudgetGovernor, BudgetVerdict, CachePadded, Era, HandleCache, HandleTelemetry, ParkedChain,
+    Registry, RetiredPtr, SegBag, SegPool, SlotId, Smr, SmrConfig, SmrHandle, Telemetry,
+    NO_BIRTH_ERA,
 };
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A retired node may be freed once the global epoch has advanced this many times
 /// past its **pin-time** tag. Three, not the classic two, because the tag is the
@@ -65,6 +67,8 @@ pub struct Ebr {
     /// caps the epoch at `pin + 1`, so escalation helps against bursty load
     /// and is powerless against a mid-op stall (the verdict records which).
     governor: BudgetGovernor,
+    /// Telemetry histograms (op latency, collect duration, retire→free delay).
+    telemetry: Arc<Telemetry>,
 }
 
 impl Ebr {
@@ -73,6 +77,7 @@ impl Ebr {
         let registry = Registry::new(config.max_threads, |_| PinRecord::new());
         let handle_cache = HandleCache::with_capacity(config.max_threads);
         let governor = BudgetGovernor::new(config.limbo_budget, config.clock.clone());
+        let telemetry = Arc::new(Telemetry::from_config(&config));
         Arc::new(Self {
             config,
             global_epoch: GlobalEpoch::new(),
@@ -81,6 +86,7 @@ impl Ebr {
             parked: ParkedChain::new(),
             handle_cache,
             governor,
+            telemetry,
         })
     }
 
@@ -129,6 +135,7 @@ impl Smr for Ebr {
         EbrHandle {
             budget_stripe: BudgetGovernor::stripe_for(slot.index()),
             budget_reported: 0,
+            tele: HandleTelemetry::attach(&self.telemetry),
             scheme: Arc::clone(self),
             slot,
             limbo: std::array::from_fn(|_| EpochChain {
@@ -158,6 +165,10 @@ impl Smr for Ebr {
 
     fn budget_verdict(&self) -> Option<BudgetVerdict> {
         Some(self.governor.verdict())
+    }
+
+    fn telemetry(&self) -> Option<&Telemetry> {
+        Some(&self.telemetry)
     }
 }
 
@@ -216,6 +227,8 @@ pub struct EbrHandle {
     budget_stripe: usize,
     /// Local-bytes figure last pushed into the governor (delta-report cursor).
     budget_reported: usize,
+    /// Telemetry recording cursor (stripe + op-sampling counter).
+    tele: HandleTelemetry,
 }
 
 impl EbrHandle {
@@ -243,8 +256,28 @@ impl EbrHandle {
     fn collect(&mut self, global: u64) -> usize {
         let mut freed = 0usize;
         let mut freed_bytes = 0usize;
+        // Clone the Arc so the stats/observer borrows are independent of `self`
+        // (the drain below needs `&mut self.limbo` and `&mut self.pool`).
+        let scheme = Arc::clone(&self.scheme);
+        let stats = scheme.registry.stats(self.slot);
+        // This path runs on every pin and usually frees nothing; only pay the
+        // observer's clock reads when some bucket has actually matured.
+        let any_matured = self
+            .limbo
+            .iter()
+            .any(|chain| !chain.bag.is_empty() && global >= chain.epoch + SAFE_EPOCH_GAP);
+        let observer = if any_matured {
+            scheme.telemetry.scan_observer(self.tele.stripe())
+        } else {
+            None
+        };
         for chain in &mut self.limbo {
-            if !chain.bag.is_empty() && global >= chain.epoch + SAFE_EPOCH_GAP {
+            if chain.bag.is_empty() {
+                continue;
+            }
+            if global >= chain.epoch + SAFE_EPOCH_GAP {
+                // A matured bucket is freed wholesale — no per-node tests.
+                stats.add_scan_wholesale();
                 freed_bytes += chain.bag.bytes();
                 // SAFETY: every node in this bucket was unlinked while its owner
                 // was pinned at `chain.epoch`, i.e. at a global epoch of at most
@@ -257,8 +290,22 @@ impl EbrHandle {
                 // all references obtained before it (see [`SAFE_EPOCH_GAP`] for
                 // why 3 and not the retire-time-tag gap of 2). The nodes are
                 // unreachable.
-                freed += unsafe { chain.bag.reclaim_all(&mut self.pool) };
+                freed += unsafe {
+                    match observer.as_ref() {
+                        Some(obs) => chain.bag.reclaim_if(&mut self.pool, |node| {
+                            obs.note_free(node);
+                            true
+                        }),
+                        None => chain.bag.reclaim_all(&mut self.pool),
+                    }
+                };
+            } else {
+                // Non-empty but too young: the collect passes it over unexamined.
+                stats.add_scan_skip();
             }
+        }
+        if let Some(obs) = observer {
+            obs.finish();
         }
         if freed > 0 {
             self.stats().add_freed(freed as u64);
@@ -286,8 +333,21 @@ impl EbrHandle {
                 // it) — hence reclaimable wholesale (same argument as `collect`).
                 debug_assert!(epoch >= chain.epoch + LIMBO_BUCKETS as u64);
                 let freed_bytes = chain.bag.bytes();
-                let freed = unsafe { chain.bag.reclaim_all(&mut self.pool) };
                 let stats = self.scheme.registry.stats(self.slot);
+                stats.add_scan_wholesale();
+                let observer = self.scheme.telemetry.scan_observer(self.tele.stripe());
+                let freed = unsafe {
+                    match observer.as_ref() {
+                        Some(obs) => chain.bag.reclaim_if(&mut self.pool, |node| {
+                            obs.note_free(node);
+                            true
+                        }),
+                        None => chain.bag.reclaim_all(&mut self.pool),
+                    }
+                };
+                if let Some(obs) = observer {
+                    obs.finish();
+                }
                 stats.add_freed(freed as u64);
                 stats.add_freed_bytes(freed_bytes as u64);
             }
@@ -361,8 +421,9 @@ impl SmrHandle for EbrHandle {
             self.scheme.global_epoch.load()
         };
         // SAFETY: forwarded from the caller's contract.
-        let node =
+        let mut node =
             unsafe { RetiredPtr::with_birth_sized(ptr, drop_fn, now, NO_BIRTH_ERA, size_bytes) };
+        node.set_retire_tick(self.tele.retire_tick());
         let b = self.bucket_for(epoch);
         self.limbo[b].bag.push(&mut self.pool, node);
         self.retires_since_advance += 1;
@@ -429,6 +490,14 @@ impl SmrHandle for EbrHandle {
 
     fn local_limbo_bytes(&self) -> usize {
         self.limbo_bytes()
+    }
+
+    fn telemetry_op_begin(&mut self) -> Option<Instant> {
+        self.tele.op_begin()
+    }
+
+    fn telemetry_op_end(&mut self, started: Instant) {
+        self.tele.op_end(started);
     }
 }
 

@@ -3,12 +3,13 @@
 use reclaim_core::retired::DropFn;
 use reclaim_core::stats::{StatStripe, StatsSnapshot};
 use reclaim_core::{
-    BudgetGovernor, BudgetVerdict, CachePadded, Era, HandleCache, ParkedChain, PtrScratch,
-    Registry, RetiredPtr, ScanParts, SegBag, SegPool, SlotId, Smr, SmrConfig, SmrHandle,
-    NO_BIRTH_ERA,
+    BudgetGovernor, BudgetVerdict, CachePadded, Era, HandleCache, HandleTelemetry, ParkedChain,
+    PtrScratch, Registry, RetiredPtr, ScanParts, SegBag, SegPool, SlotId, Smr, SmrConfig,
+    SmrHandle, Telemetry, NO_BIRTH_ERA,
 };
 use std::sync::atomic::{fence, AtomicPtr, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Per-thread shared record: `K` single-writer multi-reader hazard-pointer slots.
 pub(crate) struct HpRecord {
@@ -62,6 +63,8 @@ pub struct Hazard {
     /// escalation ladder: HP scans are hazard-gated and therefore safe at any
     /// point of the retire path, so a breach forces an immediate scan.
     governor: BudgetGovernor,
+    /// Telemetry histograms (op latency, scan duration, retire→free delay).
+    telemetry: Arc<Telemetry>,
 }
 
 impl Hazard {
@@ -70,6 +73,7 @@ impl Hazard {
         let registry = Registry::new(config.max_threads, |_| HpRecord::new(config.hp_per_thread));
         let handle_cache = HandleCache::with_capacity(config.max_threads);
         let governor = BudgetGovernor::new(config.limbo_budget, config.clock.clone());
+        let telemetry = Arc::new(Telemetry::from_config(&config));
         Arc::new(Self {
             config,
             registry,
@@ -77,6 +81,7 @@ impl Hazard {
             parked: ParkedChain::new(),
             handle_cache,
             governor,
+            telemetry,
         })
     }
 
@@ -107,21 +112,37 @@ impl Hazard {
         pool: &mut SegPool,
         scratch: &mut Vec<*mut u8>,
         stats: &StatStripe,
+        tele_stripe: usize,
     ) -> usize {
         stats.add_scan();
+        // Every HP scan is a per-node walk against the hazard snapshot.
+        stats.add_scan_walk();
         self.collect_protected(scratch);
         let protected: &[*mut u8] = scratch;
         let bytes_before = bag.bytes();
+        let observer = self.telemetry.scan_observer(tele_stripe);
         // SAFETY: a node absent from the full hazard-pointer snapshot and already
         // unlinked (guaranteed by the retire contract) is unreachable by any thread:
         // Michael's scan argument. The snapshot is taken *after* the node was
         // retired, so any hazard pointer published before the node became unreachable
         // is visible to this scan (the publisher's fence in `protect` pairs with the
         // acquire loads in `collect_protected`).
-        let freed =
-            unsafe { bag.reclaim_if(pool, |node| protected.binary_search(&node.addr()).is_err()) };
+        let freed = unsafe {
+            bag.reclaim_if(pool, |node| {
+                let free = protected.binary_search(&node.addr()).is_err();
+                if free {
+                    if let Some(obs) = observer.as_ref() {
+                        obs.note_free(node);
+                    }
+                }
+                free
+            })
+        };
         stats.add_freed(freed as u64);
         stats.add_freed_bytes((bytes_before - bag.bytes()) as u64);
+        if let Some(obs) = observer {
+            obs.finish();
+        }
         freed
     }
 
@@ -153,6 +174,7 @@ impl Smr for Hazard {
         HazardHandle {
             budget_stripe: BudgetGovernor::stripe_for(slot.index()),
             budget_reported: 0,
+            tele: HandleTelemetry::attach(&self.telemetry),
             scheme: Arc::clone(self),
             slot,
             retired: SegBag::new(),
@@ -177,6 +199,10 @@ impl Smr for Hazard {
 
     fn budget_verdict(&self) -> Option<BudgetVerdict> {
         Some(self.governor.verdict())
+    }
+
+    fn telemetry(&self) -> Option<&Telemetry> {
+        Some(&self.telemetry)
     }
 }
 
@@ -210,6 +236,8 @@ pub struct HazardHandle {
     budget_stripe: usize,
     /// Local-bytes figure last pushed into the governor (delta-report cursor).
     budget_reported: usize,
+    /// Telemetry recording cursor (stripe + op-sampling counter).
+    tele: HandleTelemetry,
 }
 
 impl HazardHandle {
@@ -230,6 +258,7 @@ impl HazardHandle {
             &mut self.pool,
             &mut self.scratch,
             self.scheme.registry.stats(self.slot),
+            self.tele.stripe(),
         );
         self.scheme.governor.report(
             self.budget_stripe,
@@ -295,9 +324,10 @@ impl SmrHandle for HazardHandle {
         }
         let now = self.scheme.config.clock.now();
         // SAFETY: forwarded from the caller's contract.
-        self.retired.push(&mut self.pool, unsafe {
-            RetiredPtr::with_birth_sized(ptr, drop_fn, now, NO_BIRTH_ERA, size_bytes)
-        });
+        let mut node =
+            unsafe { RetiredPtr::with_birth_sized(ptr, drop_fn, now, NO_BIRTH_ERA, size_bytes) };
+        node.set_retire_tick(self.tele.retire_tick());
+        self.retired.push(&mut self.pool, node);
         self.since_last_scan += 1;
         if self.since_last_scan >= self.scheme.config.scan_threshold {
             self.since_last_scan = 0;
@@ -339,6 +369,14 @@ impl SmrHandle for HazardHandle {
 
     fn local_limbo_bytes(&self) -> usize {
         self.retired.bytes()
+    }
+
+    fn telemetry_op_begin(&mut self) -> Option<Instant> {
+        self.tele.op_begin()
+    }
+
+    fn telemetry_op_end(&mut self, started: Instant) {
+        self.tele.op_end(started);
     }
 }
 

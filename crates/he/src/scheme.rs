@@ -5,10 +5,12 @@ use reclaim_core::retired::DropFn;
 use reclaim_core::stats::{StatStripe, StatsSnapshot};
 use reclaim_core::{
     BudgetGovernor, BudgetVerdict, CachePadded, Era, EraAdvancePolicy, EraPacer, HandleCache,
-    ParkedChain, Registry, RetiredPtr, SegBag, SegPool, SlotId, Smr, SmrConfig, SmrHandle,
+    HandleTelemetry, ParkedChain, Registry, RetiredPtr, SegBag, SegPool, SlotId, Smr, SmrConfig,
+    SmrHandle, Telemetry,
 };
 use std::sync::atomic::{fence, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Number of per-retire-era limbo chains a handle keeps. Nodes retired at era
 /// `R` land in chain `R % ERA_BUCKETS`, whose tag is the **maximum** retire era
@@ -117,6 +119,8 @@ pub struct He {
     /// era cadence reacts to the quantity the budget is written in. Off
     /// (node denomination, the PR 5 behaviour) when either is absent.
     pacer_in_bytes: bool,
+    /// Telemetry histograms (op latency, scan duration, retire→free delay).
+    telemetry: Arc<Telemetry>,
 }
 
 impl He {
@@ -131,6 +135,7 @@ impl He {
         if pacer_in_bytes {
             pacer.set_limbo_low_water(((governor.budget_bytes() / 4) as usize).max(1));
         }
+        let telemetry = Arc::new(Telemetry::from_config(&config));
         Arc::new(Self {
             config,
             pacer,
@@ -140,6 +145,7 @@ impl He {
             handle_cache,
             governor,
             pacer_in_bytes,
+            telemetry,
         })
     }
 
@@ -209,6 +215,7 @@ impl Smr for He {
             scan_wholesale: 0,
             scan_skips: 0,
             scan_walks: 0,
+            tele: HandleTelemetry::attach(&self.telemetry),
         }
     }
 
@@ -226,6 +233,10 @@ impl Smr for He {
 
     fn budget_verdict(&self) -> Option<BudgetVerdict> {
         Some(self.governor.verdict())
+    }
+
+    fn telemetry(&self) -> Option<&Telemetry> {
+        Some(&self.telemetry)
     }
 }
 
@@ -280,6 +291,8 @@ pub struct HeHandle {
     scan_skips: u64,
     /// Diagnostics: chains walked node-by-node (O(bag) partial reclaim).
     scan_walks: u64,
+    /// Telemetry recording cursor (stripe + op-sampling counter).
+    tele: HandleTelemetry,
 }
 
 impl HeHandle {
@@ -306,6 +319,11 @@ impl HeHandle {
     /// are the O(1) fast paths; the third is the O(bag) partial reclaim. Used
     /// by the tests that pin the cost class of blocked bags (a chain whose
     /// survivors are all old must take a fast path, not re-walk every scan).
+    ///
+    /// The same three classes are also reported scheme-wide — by every scheme,
+    /// not just HE — through [`StatsSnapshot::scan_wholesale`],
+    /// [`StatsSnapshot::scan_skips`] and [`StatsSnapshot::scan_walks`]; this
+    /// accessor remains for per-handle assertions.
     pub fn scan_dispatch_counts(&self) -> (u64, u64, u64) {
         (self.scan_wholesale, self.scan_skips, self.scan_walks)
     }
@@ -348,6 +366,11 @@ impl HeHandle {
             }
         }
         let bytes_before = self.limbo_bytes();
+        // Clone the Arc so the stats/observer borrows are independent of `self`
+        // (the walk below needs `&mut self.limbo` and `&mut self.pool`).
+        let scheme = Arc::clone(&self.scheme);
+        let stats = scheme.registry.stats(self.slot);
+        let observer = scheme.telemetry.scan_observer(self.tele.stripe());
         let mut freed = 0usize;
         for chain in &mut self.limbo {
             if chain.bag.is_empty() {
@@ -379,13 +402,23 @@ impl HeHandle {
                 // newest retire era, or even the chain's *oldest* birth clears
                 // every reachable upper bound: the whole chain is unreachable.
                 self.scan_wholesale += 1;
-                unsafe { chain.bag.reclaim_all(&mut self.pool) }
+                stats.add_scan_wholesale();
+                unsafe {
+                    match observer.as_ref() {
+                        Some(obs) => chain.bag.reclaim_if(&mut self.pool, |node| {
+                            obs.note_free(node);
+                            true
+                        }),
+                        None => chain.bag.reclaim_all(&mut self.pool),
+                    }
+                }
             } else if chain.max_birth <= max_upper {
                 // Even the chain's *youngest* birth is covered by a reachable
                 // reservation: nothing can free this pass. Skipping the walk
                 // keeps a blocked bag O(1) per scan instead of O(bag) — the
                 // Cadence early-stop analogue for era intervals.
                 self.scan_skips += 1;
+                stats.add_scan_skip();
                 0
             } else {
                 // Partial reclaim: recompute both birth bounds from the
@@ -395,12 +428,21 @@ impl HeHandle {
                 // blocked the wholesale dispatch when the true survivor
                 // minimum had risen past every reachable upper bound).
                 self.scan_walks += 1;
+                stats.add_scan_walk();
                 let mut new_min = Era::MAX;
                 let mut new_max = 0;
                 let freed_here = unsafe {
                     chain.bag.reclaim_if_visit(
                         &mut self.pool,
-                        |node| node.birth_era() > max_upper,
+                        |node| {
+                            let free = node.birth_era() > max_upper;
+                            if free {
+                                if let Some(obs) = observer.as_ref() {
+                                    obs.note_free(node);
+                                }
+                            }
+                            free
+                        },
                         |survivor| {
                             let birth = survivor.birth_era();
                             new_min = new_min.min(birth);
@@ -414,6 +456,9 @@ impl HeHandle {
                 }
                 freed_here
             };
+        }
+        if let Some(obs) = observer {
+            obs.finish();
         }
         if freed > 0 {
             self.stats().add_freed(freed as u64);
@@ -527,9 +572,10 @@ impl SmrHandle for HeHandle {
         let retire_era = self.scheme.pacer.current();
         // SAFETY: forwarded from the caller's contract. `retired_at` carries
         // the logical retire era — HE never consults wall-clock age.
-        let node = unsafe {
+        let mut node = unsafe {
             RetiredPtr::with_birth_sized(ptr, drop_fn, retire_era, birth_era, size_bytes)
         };
+        node.set_retire_tick(self.tele.retire_tick());
         let chain = &mut self.limbo[(retire_era % ERA_BUCKETS as u64) as usize];
         if chain.bag.is_empty() {
             chain.tag = retire_era;
@@ -646,6 +692,14 @@ impl SmrHandle for HeHandle {
 
     fn local_limbo_bytes(&self) -> usize {
         self.limbo_bytes()
+    }
+
+    fn telemetry_op_begin(&mut self) -> Option<Instant> {
+        self.tele.op_begin()
+    }
+
+    fn telemetry_op_end(&mut self, started: Instant) {
+        self.tele.op_end(started);
     }
 }
 

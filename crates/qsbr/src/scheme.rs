@@ -6,10 +6,12 @@ use crate::epoch::{
 use reclaim_core::retired::DropFn;
 use reclaim_core::stats::{StatStripe, StatsSnapshot};
 use reclaim_core::{
-    BudgetGovernor, BudgetVerdict, CachePadded, Era, HandleCache, ParkedChain, Registry,
-    RetiredPtr, SegBag, SegPool, SlotId, Smr, SmrConfig, SmrHandle, NO_BIRTH_ERA,
+    BudgetGovernor, BudgetVerdict, CachePadded, Era, HandleCache, HandleTelemetry, ParkedChain,
+    Registry, RetiredPtr, SegBag, SegPool, SlotId, Smr, SmrConfig, SmrHandle, Telemetry,
+    NO_BIRTH_ERA,
 };
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Quiescent-state-based reclamation (the paper's **QSBR** baseline and the fast path
 /// of QSense).
@@ -37,6 +39,8 @@ pub struct Qsbr {
     /// estimate exceeds any budget and the verdict records exactly that —
     /// QSBR's non-robustness is the measurement, not a bug.
     governor: BudgetGovernor,
+    /// Telemetry histograms (op latency, grace-drain duration, retire→free delay).
+    telemetry: Arc<Telemetry>,
 }
 
 impl Qsbr {
@@ -45,6 +49,7 @@ impl Qsbr {
         let registry = Registry::new(config.max_threads, |_| EpochRecord::new());
         let handle_cache = HandleCache::with_capacity(config.max_threads);
         let governor = BudgetGovernor::new(config.limbo_budget, config.clock.clone());
+        let telemetry = Arc::new(Telemetry::from_config(&config));
         Arc::new(Self {
             config,
             global_epoch: GlobalEpoch::new(),
@@ -54,6 +59,7 @@ impl Qsbr {
             parked: ParkedChain::new(),
             handle_cache,
             governor,
+            telemetry,
         })
     }
 
@@ -107,6 +113,7 @@ impl Smr for Qsbr {
         QsbrHandle {
             budget_stripe: BudgetGovernor::stripe_for(slot.index()),
             budget_reported: 0,
+            tele: HandleTelemetry::attach(&self.telemetry),
             scheme: Arc::clone(self),
             slot,
             limbo: std::array::from_fn(|_| SegBag::new()),
@@ -132,6 +139,10 @@ impl Smr for Qsbr {
 
     fn budget_verdict(&self) -> Option<BudgetVerdict> {
         Some(self.governor.verdict())
+    }
+
+    fn telemetry(&self) -> Option<&Telemetry> {
+        Some(&self.telemetry)
     }
 }
 
@@ -163,6 +174,8 @@ pub struct QsbrHandle {
     budget_stripe: usize,
     /// Local-bytes figure last pushed into the governor (delta-report cursor).
     budget_reported: usize,
+    /// Telemetry recording cursor (stripe + op-sampling counter).
+    tele: HandleTelemetry,
 }
 
 impl QsbrHandle {
@@ -192,13 +205,41 @@ impl QsbrHandle {
         self.scheme.registry.get_mine(self.slot).store(global);
         self.local_epoch = global;
         let bucket = limbo_index(global);
+        if self.limbo[bucket].is_empty() {
+            // Nothing matured in this bucket: the grace drain passes it over.
+            self.stats().add_scan_skip();
+        } else {
+            // Grace-period drains free the whole bucket without per-node tests.
+            self.stats().add_scan_wholesale();
+        }
         let bytes_before = self.limbo[bucket].bytes();
+        // Clone the Arc so the observer's borrow is independent of `self` (the
+        // drain below needs `&mut self.limbo` and `&mut self.pool`). An empty
+        // bucket frees nothing — skip the observer's clock reads for it.
+        let tele = Arc::clone(&self.scheme.telemetry);
+        let observer = if self.limbo[bucket].is_empty() {
+            None
+        } else {
+            tele.scan_observer(self.tele.stripe())
+        };
         // SAFETY (Lemma 3 of the paper): every node in this bucket was retired three
         // local-epoch transitions ago; the global epoch has advanced at least twice
         // since, and each advance requires every registered thread to have passed
         // through a quiescent state, i.e. a grace period has elapsed. No thread can
         // therefore still hold a hazardous reference to these nodes.
-        let freed = unsafe { self.limbo[bucket].reclaim_all(&mut self.pool) };
+        let freed = unsafe {
+            match observer {
+                Some(obs) => {
+                    let freed = self.limbo[bucket].reclaim_if(&mut self.pool, |node| {
+                        obs.note_free(node);
+                        true
+                    });
+                    obs.finish();
+                    freed
+                }
+                None => self.limbo[bucket].reclaim_all(&mut self.pool),
+            }
+        };
         self.stats().add_freed(freed as u64);
         self.stats().add_freed_bytes(bytes_before as u64);
         self.scheme.governor.report(
@@ -258,9 +299,10 @@ impl SmrHandle for QsbrHandle {
         let now = self.scheme.config.clock.now();
         let bucket = limbo_index(self.local_epoch);
         // SAFETY: forwarded from the caller's contract.
-        self.limbo[bucket].push(&mut self.pool, unsafe {
-            RetiredPtr::with_birth_sized(ptr, drop_fn, now, NO_BIRTH_ERA, size_bytes)
-        });
+        let mut node =
+            unsafe { RetiredPtr::with_birth_sized(ptr, drop_fn, now, NO_BIRTH_ERA, size_bytes) };
+        node.set_retire_tick(self.tele.retire_tick());
+        self.limbo[bucket].push(&mut self.pool, node);
         // Track bytes so the estimate (and the over-budget stopwatch) stays
         // honest, but never escalate: a quiescent state cannot be declared
         // mid-operation, so the only lever QSBR has is waiting — which is
@@ -303,6 +345,14 @@ impl SmrHandle for QsbrHandle {
 
     fn local_limbo_bytes(&self) -> usize {
         self.limbo_bytes()
+    }
+
+    fn telemetry_op_begin(&mut self) -> Option<Instant> {
+        self.tele.op_begin()
+    }
+
+    fn telemetry_op_end(&mut self, started: Instant) {
+        self.tele.op_end(started);
     }
 }
 

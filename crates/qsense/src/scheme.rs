@@ -6,12 +6,13 @@ use qsbr::{limbo_index, CursorCheck, EpochCursor, EpochRecord, GlobalEpoch, EPOC
 use reclaim_core::retired::DropFn;
 use reclaim_core::stats::{StatStripe, StatsSnapshot};
 use reclaim_core::{
-    membarrier, BudgetGovernor, BudgetVerdict, CachePadded, Era, HandleCache, ParkedChain,
-    PtrScratch, Registry, RetiredPtr, ScanParts, SegBag, SegPool, SlotId, Smr, SmrConfig,
-    SmrHandle, NO_BIRTH_ERA,
+    membarrier, BudgetGovernor, BudgetVerdict, CachePadded, Era, HandleCache, HandleTelemetry,
+    ParkedChain, PtrScratch, Registry, RetiredPtr, ScanParts, SegBag, SegPool, SlotId, Smr,
+    SmrConfig, SmrHandle, Telemetry, NO_BIRTH_ERA,
 };
 use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Per-thread shared record: everything other threads may inspect.
 ///
@@ -144,6 +145,8 @@ pub struct QSense {
     /// QSBR-style grace periods are exactly what a stalled thread stalls, and
     /// the Cadence scan the fallback path runs needs no cooperation.
     governor: BudgetGovernor,
+    /// Telemetry histograms (op latency, scan duration, retire→free delay).
+    telemetry: Arc<Telemetry>,
 }
 
 impl QSense {
@@ -159,6 +162,7 @@ impl QSense {
         );
         let handle_cache = HandleCache::with_capacity(config.max_threads);
         let governor = BudgetGovernor::new(config.limbo_budget, config.clock.clone());
+        let telemetry = Arc::new(Telemetry::from_config(&config));
         Arc::new(Self {
             config,
             registry,
@@ -171,6 +175,7 @@ impl QSense {
             parked: ParkedChain::new(),
             handle_cache,
             governor,
+            telemetry,
         })
     }
 
@@ -378,9 +383,13 @@ impl QSense {
         pool: &mut SegPool,
         protected: &[*mut u8],
         stats: &StatStripe,
+        tele_stripe: usize,
     ) -> usize {
+        // Fallback scans walk the aged prefix node by node.
+        stats.add_scan_walk();
         let now = self.config.clock.now();
         let min_age = self.config.min_reclaim_age_nanos();
+        let observer = self.telemetry.scan_observer(tele_stripe);
         // SAFETY: identical to Cadence's scan (paper Property 1) — QSense maintains
         // hazard pointers at all times, so Condition 1 holds for nodes retired on
         // either path; old-enough + unprotected therefore implies unreachable.
@@ -394,11 +403,22 @@ impl QSense {
             bag.reclaim_if_while(
                 pool,
                 |node| node.is_old_enough(now, min_age),
-                |node| protected.binary_search(&node.addr()).is_err(),
+                |node| {
+                    let free = protected.binary_search(&node.addr()).is_err();
+                    if free {
+                        if let Some(obs) = observer.as_ref() {
+                            obs.note_free(node);
+                        }
+                    }
+                    free
+                },
             )
         };
         stats.add_freed(freed as u64);
         stats.add_freed_bytes((bytes_before - bag.bytes()) as u64);
+        if let Some(obs) = observer {
+            obs.finish();
+        }
         freed
     }
 }
@@ -422,6 +442,7 @@ impl Smr for QSense {
             scratch: PtrScratch::with_capacity(self.config.max_threads * self.config.hp_per_thread),
         });
         QSenseHandle {
+            tele: HandleTelemetry::attach(&self.telemetry),
             scheme: Arc::clone(self),
             budget_stripe: BudgetGovernor::stripe_for(slot.index()),
             slot,
@@ -450,6 +471,10 @@ impl Smr for QSense {
 
     fn budget_verdict(&self) -> Option<BudgetVerdict> {
         Some(self.governor.verdict())
+    }
+
+    fn telemetry(&self) -> Option<&Telemetry> {
+        Some(&self.telemetry)
     }
 }
 
@@ -492,6 +517,8 @@ pub struct QSenseHandle {
     budget_reported: usize,
     /// `prev_seen_fallback_flag` in Algorithm 5.
     prev_seen_path: Path,
+    /// Telemetry recording cursor (stripe + op-sampling counter).
+    tele: HandleTelemetry,
 }
 
 impl QSenseHandle {
@@ -539,14 +566,36 @@ impl QSenseHandle {
                     &mut self.pool,
                     &self.scratch,
                     stats,
+                    self.tele.stripe(),
                 );
             } else {
+                let observer = if self.limbo[bucket].is_empty() {
+                    // Nothing matured in this bucket: the grace drain passes it
+                    // over, and an empty drain needs no observer clock reads.
+                    self.stats().add_scan_skip();
+                    None
+                } else {
+                    // Grace-period drains free the whole bucket, no per-node tests.
+                    self.stats().add_scan_wholesale();
+                    self.scheme.telemetry.scan_observer(self.tele.stripe())
+                };
                 // SAFETY: Lemma 3 / Property 5 of the paper — a full grace period has
                 // elapsed since the nodes in this bucket were retired (counting every
                 // registered thread, since none is evicted), so no thread holds a
                 // hazardous reference to them. Identical argument to the `qsbr` crate.
                 let bytes_before = self.limbo[bucket].bytes();
-                let freed = unsafe { self.limbo[bucket].reclaim_all(&mut self.pool) };
+                let freed = unsafe {
+                    match observer.as_ref() {
+                        Some(obs) => self.limbo[bucket].reclaim_if(&mut self.pool, |node| {
+                            obs.note_free(node);
+                            true
+                        }),
+                        None => self.limbo[bucket].reclaim_all(&mut self.pool),
+                    }
+                };
+                if let Some(obs) = observer {
+                    obs.finish();
+                }
                 self.stats().add_freed(freed as u64);
                 self.stats().add_freed_bytes(bytes_before as u64);
             }
@@ -568,8 +617,13 @@ impl QSenseHandle {
         self.scheme.protected_snapshot_into(&mut self.scratch);
         let stats = self.scheme.registry.stats(self.slot);
         for bag in &mut self.limbo {
-            self.scheme
-                .cadence_scan(bag, &mut self.pool, &self.scratch, stats);
+            self.scheme.cadence_scan(
+                bag,
+                &mut self.pool,
+                &self.scratch,
+                stats,
+                self.tele.stripe(),
+            );
         }
         self.scheme.governor.report(
             self.budget_stripe,
@@ -665,9 +719,10 @@ impl SmrHandle for QSenseHandle {
         let bucket = limbo_index(self.local_epoch);
         // Timestamps are recorded regardless of the current path (§5.2).
         // SAFETY: forwarded from the caller's contract.
-        self.limbo[bucket].push(&mut self.pool, unsafe {
-            RetiredPtr::with_birth_sized(ptr, drop_fn, now, NO_BIRTH_ERA, size_bytes)
-        });
+        let mut node =
+            unsafe { RetiredPtr::with_birth_sized(ptr, drop_fn, now, NO_BIRTH_ERA, size_bytes) };
+        node.set_retire_tick(self.tele.retire_tick());
+        self.limbo[bucket].push(&mut self.pool, node);
         self.retires_since_scan += 1;
 
         let seen = self.scheme.fallback.load();
@@ -746,6 +801,14 @@ impl SmrHandle for QSenseHandle {
 
     fn local_limbo_bytes(&self) -> usize {
         self.limbo_bytes()
+    }
+
+    fn telemetry_op_begin(&mut self) -> Option<Instant> {
+        self.tele.op_begin()
+    }
+
+    fn telemetry_op_end(&mut self, started: Instant) {
+        self.tele.op_end(started);
     }
 }
 

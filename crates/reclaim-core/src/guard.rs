@@ -202,6 +202,11 @@ pub struct Guard<'h, H: SmrHandle> {
     /// pointer came from an exclusive `&'h mut H`, the guard is `!Send`/`!Sync`
     /// (raw-pointer field), and no method re-enters another.
     handle: *mut H,
+    /// Telemetry op-latency sample: `Some` only for the 1-in-N ops the
+    /// scheme's telemetry chose to time ([`SmrHandle::telemetry_op_begin`]);
+    /// the drop records the bracket's elapsed time. Always `None` — one
+    /// relaxed load — when telemetry is disabled.
+    op_start: Option<std::time::Instant>,
     _marker: PhantomData<&'h mut H>,
 }
 
@@ -210,8 +215,10 @@ impl<'h, H: SmrHandle> Guard<'h, H> {
     /// use of the handle until the guard drops.
     pub fn new(handle: &'h mut H) -> Self {
         handle.begin_op();
+        let op_start = handle.telemetry_op_begin();
         Self {
             handle,
+            op_start,
             _marker: PhantomData,
         }
     }
@@ -319,9 +326,14 @@ impl<'h, H: SmrHandle> Guard<'h, H> {
 
 impl<H: SmrHandle> Drop for Guard<'_, H> {
     fn drop(&mut self) {
+        let op_start = self.op_start;
         self.with(|h| {
             h.clear_protections();
             h.end_op();
+            // Sampled op: record the full begin→end bracket, teardown included.
+            if let Some(started) = op_start {
+                h.telemetry_op_end(started);
+            }
         });
     }
 }

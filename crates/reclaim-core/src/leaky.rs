@@ -17,7 +17,9 @@ use crate::retired::{DropFn, RetiredPtr};
 use crate::segbag::{ParkedChain, SegBag, SegPool};
 use crate::smr::{Smr, SmrHandle};
 use crate::stats::{ShardedStats, StatsSnapshot};
+use crate::telemetry::{HandleTelemetry, Telemetry};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// The no-reclamation scheme (paper: *None*).
 pub struct Leaky {
@@ -34,6 +36,10 @@ pub struct Leaky {
     /// verdict (and `peak_limbo_bytes`) honestly reports the unbounded growth
     /// the None baseline exists to demonstrate.
     governor: BudgetGovernor,
+    /// Telemetry histograms. Leaky never frees, so only the op-latency
+    /// histogram ever fills — the delay distribution of the None baseline is
+    /// honestly empty (garbage is never reclaimed, not reclaimed at delay 0).
+    telemetry: Arc<Telemetry>,
 }
 
 impl Leaky {
@@ -41,11 +47,13 @@ impl Leaky {
     pub fn new(config: SmrConfig) -> Arc<Self> {
         let stats = ShardedStats::new(config.max_threads);
         let governor = BudgetGovernor::new(config.limbo_budget, config.clock.clone());
+        let telemetry = Arc::new(Telemetry::from_config(&config));
         Arc::new(Self {
             config,
             stats,
             parked: ParkedChain::new(),
             governor,
+            telemetry,
         })
     }
 
@@ -69,6 +77,7 @@ impl Smr for Leaky {
             stripe,
             budget_stripe: BudgetGovernor::stripe_for(stripe),
             budget_reported: 0,
+            tele: HandleTelemetry::attach(&self.telemetry),
             scheme: Arc::clone(self),
             pool: SegPool::new(),
             bag: SegBag::new(),
@@ -87,6 +96,10 @@ impl Smr for Leaky {
 
     fn budget_verdict(&self) -> Option<BudgetVerdict> {
         Some(self.governor.verdict())
+    }
+
+    fn telemetry(&self) -> Option<&Telemetry> {
+        Some(&self.telemetry)
     }
 }
 
@@ -110,6 +123,8 @@ pub struct LeakyHandle {
     budget_stripe: usize,
     /// Local-bytes figure last pushed into the governor (delta-report cursor).
     budget_reported: usize,
+    /// Telemetry recording cursor (stripe + op-sampling counter).
+    tele: HandleTelemetry,
     pool: SegPool,
     bag: SegBag,
 }
@@ -143,9 +158,11 @@ impl SmrHandle for LeakyHandle {
         }
         let now = self.scheme.config.clock.now();
         // SAFETY: forwarded directly from the caller's contract.
-        self.bag.push(&mut self.pool, unsafe {
+        let mut node = unsafe {
             RetiredPtr::with_birth_sized(ptr, drop_fn, now, crate::clock::NO_BIRTH_ERA, size_bytes)
-        });
+        };
+        node.set_retire_tick(self.tele.retire_tick());
+        self.bag.push(&mut self.pool, node);
         // Track bytes (so peak/verdict are honest) but never escalate: Leaky
         // has no reclamation pass to force, and that is the point of the
         // baseline.
@@ -166,6 +183,14 @@ impl SmrHandle for LeakyHandle {
 
     fn local_limbo_bytes(&self) -> usize {
         self.bag.bytes()
+    }
+
+    fn telemetry_op_begin(&mut self) -> Option<Instant> {
+        self.tele.op_begin()
+    }
+
+    fn telemetry_op_end(&mut self, started: Instant) {
+        self.tele.op_end(started);
     }
 }
 

@@ -59,12 +59,52 @@
 //! | per scan (every `R` retires) | snapshot all `N·K` hazard pointers into a **reusable** scratch buffer (HP/Cadence/QSense) or all `N` era reservations — O(N) era reads, not O(N·K) (HE); two-cursor compaction of the segment chain ([`segbag::SegBag::reclaim_if`]) plus at most one O(1) adjacent-segment merge; under the adaptive era policy, one striped limbo report (a single `fetch_add` to the handle's padded stripe) plus an O(#stripes) estimate read to adapt the tick interval ([`clock::EraPacer::note_scan`]) | O(N·K) loads (O(N) for HE), zero heap allocations in steady state |
 //! | per `retire` (byte accounting) | stamp `size_of::<T>()` into the [`retired::RetiredPtr`] (a compile-time constant written next to the timestamp the wrapper already carries; raw `retire` keeps a size-unknown 0 path); bump the slot's retired-bytes stripe; one grain-gated [`budget::BudgetGovernor::observe`] — a comparison against the handle's last-reported figure, escalating to a striped `fetch_add` plus an O(#stripes) estimate refresh only when this handle's limbo moved a full grain (budget/64, clamped to [256 B, 64 KiB]) | single-writer padded lines; the governor add touches one of 8 `CachePadded` stripes, and only once per grain of churn — **no per-retire shared write** |
 //! | per budget crossing ([`budget::BudgetGovernor`] escalation) | rung 1: a forced scan on the retiring handle; rung 2: the scheme's own pressure lever — HE's byte-mode [`clock::EraPacer`] boost, QSense's early fallback trip; rung 3: one bounded `yield_now` of retire-side backpressure when the forced scan failed to get back under budget | nothing new — every rung reuses the scan/switch machinery above, and every pull is counted in the queryable [`budget::BudgetVerdict`] |
-//! | per op, guard layer ([`guard::Guard`] bracket) | `begin_op` at construction; `clear_protections` + `end_op` at drop — the per-op scheme costs above and nothing more; the guard itself is one register-width pointer, never allocated | none beyond the wrapped calls |
+//! | per op, guard layer ([`guard::Guard`] bracket) | `begin_op` at construction; `clear_protections` + `end_op` at drop — the per-op scheme costs above plus the telemetry rows below; the guard itself is a pointer and an (almost always empty) latency-sample slot, never allocated | none beyond the wrapped calls |
 //! | per protected load ([`guard::Guard::load_protected`] / [`guard::Guard::protect_word`]) | the `protect` store above plus one acquire re-read of the link word (looping only while the word moves) — the same publish + re-validate pattern the hand-written protocol used, priced identically | identical to raw `protect` + re-read |
 //! | per node allocated ([`guard::Owned::new`]) | one heap allocation of value + one-word birth-era header; the `alloc_node` stamp above written into the header | identical to `alloc_node` |
 //! | per retire ([`guard::Unlinked::retire`] / [`guard::Guard::retire_raw`]) | exactly the sized retire above: birth era read back from the node header (one thread-local load), size a compile-time constant — the size-unknown 0-byte path is unreachable from the guard layer | identical to [`smr::SmrHandle::retire_sized`] |
 //! | per handle drop | splice leftovers into the scheme's parked chain ([`segbag::SegBag::splice`]); park the pool + scratch on the scheme's [`handle_cache::HandleCache`]; retract the handle's reported byte contribution and move its leftover bytes to the governor's parked counter (two relaxed adds — leaked bytes stay visible, never stranded) | O(1) pointer surgery under a mutex — no allocation |
 //! | per snapshot (`Smr::stats`) | sum all counter stripes | O(N) loads — diagnostic path, never on the hot path |
+//! | per op, telemetry **disabled** (the default) | one relaxed load of the `enabled` flag at each record site — op begin ([`guard::Guard`] bracket), retire stamp, scan begin — then a branch away; no clock read, no stamp, no histogram touch | one read-mostly padded line shared by all record sites |
+//! | per op, telemetry **enabled** ([`config::SmrConfig::with_telemetry`]) | op bracket: a counter bump, plus an `Instant` pair and one relaxed histogram `fetch_add` for the 1-in-2^[`config::SmrConfig::telemetry_sample_shift`] sampled ops; retire: the handle's *cached* coarse tick stamped into the [`retired::RetiredPtr`] padding — the clock is re-read only every [`telemetry::TICK_REFRESH`] retires (and for free on sampled ops, reusing their `Instant`), so a stale stamp can only over-report a delay, by at most the wall time those retires spanned; free: one relaxed `fetch_add` to the scanning handle's [`telemetry::LogHistogram`] stripe per freed node; scan: one `Instant` pair per pass that frees anything (empty passes skip the observer entirely) | relaxed adds to one of 8 cache-padded stripes — no shared read-modify-write on the unsampled path |
+//!
+//! ## Observability
+//!
+//! The [`telemetry`] module turns the paper's *distributional* claims into
+//! measurements: a per-scheme [`telemetry::Telemetry`] holds three fixed-size
+//! striped [`telemetry::LogHistogram`]s — guard-bracket **op latency**
+//! (nanoseconds, sampled 1-in-N), **scan duration** (nanoseconds, every
+//! pass), and **reclamation delay** (microseconds): a coarse tick stamped
+//! into [`retired::RetiredPtr`] at retire and measured when the scan frees
+//! the node, i.e. the retire→free distribution "bounded garbage" is about.
+//!
+//! Design choices, and their error bounds:
+//!
+//! * **Time sources** — precise [`std::time::Instant`] only on sampled ops and
+//!   per-scan events; the per-retire stamp uses a µs-resolution `u32` tick
+//!   (wraps ~71.6 min; correct across one wrap) that fits the wrapper's
+//!   existing padding, so segment geometry and the retire path's single-writer
+//!   discipline are untouched. Each handle caches the tick and re-reads the
+//!   clock every [`telemetry::TICK_REFRESH`] retires — even a vDSO clock read
+//!   is a third of a QSBR retire, so paying it per retire would distort the
+//!   very path being measured. The cache can only *over*-report a delay, by
+//!   at most the wall time the handle's last [`telemetry::TICK_REFRESH`]
+//!   retires spanned.
+//! * **Sampling rate** — 1-in-128 by default
+//!   ([`config::SmrConfig::telemetry_sample_shift`]); percentiles of a
+//!   uniform 1-in-N sample converge on the true distribution, and the modular
+//!   counter costs one branch per op.
+//! * **Histogram error** — 64 log2 buckets: any quantile is reported as its
+//!   bucket's upper bound, within 2× of the true value and never an
+//!   underestimate.
+//! * **Consistency** — records are single relaxed `fetch_add`s (no lost
+//!   counts); snapshots are bucket-wise monotone and exact after recorders
+//!   quiesce — the histogram analog of the `retired >= freed` guarantee
+//!   [`stats::StatStripe::merge_into`] gives the counters.
+//!
+//! Disabled (the default), every record site is **one relaxed load**; the
+//! `ablation_telemetry` bench (`BENCH_ablation_telemetry.json`) holds both
+//! that and the enabled path's overhead under CI watch.
 //!
 //! Segment recycling makes the whole retire→scan→reclaim pipeline allocation-free
 //! in steady state, *including* bag growth past a single bag's previous high-water
@@ -219,6 +259,7 @@ pub mod segbag;
 pub mod smr;
 pub mod stats;
 pub mod tagged;
+pub mod telemetry;
 
 pub use alloc_track::CountingAllocator;
 pub use backoff::Backoff;
@@ -238,6 +279,9 @@ pub use scratch::PtrScratch;
 pub use segbag::{ParkedChain, SegBag, SegPool, SEG_CAP};
 pub use smr::{drop_fn_for, Smr, SmrHandle};
 pub use stats::{ShardedStats, StatStripe, StatsSnapshot};
+pub use telemetry::{
+    HandleTelemetry, HistSnapshot, LogHistogram, ScanObserver, Telemetry, TelemetrySummary,
+};
 
 /// Convenience: retire a typed, heap-allocated (`Box`-originated) pointer through any
 /// [`SmrHandle`].

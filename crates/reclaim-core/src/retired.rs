@@ -36,6 +36,10 @@ pub struct RetiredPtr {
     retired_at: Nanos,
     birth_era: Era,
     size: u32,
+    /// Coarse telemetry tick stamped at retire ([`crate::telemetry`]); 0 means
+    /// "telemetry disabled at retire time". Fills the alignment padding after
+    /// `size`, so the wrapper stays 40 bytes and segment geometry is untouched.
+    tick: u32,
 }
 
 /// The size stamp of a node retired through the raw, size-unaware `retire`
@@ -103,7 +107,22 @@ impl RetiredPtr {
             retired_at,
             birth_era,
             size: u32::try_from(size_bytes).unwrap_or(u32::MAX),
+            tick: 0,
         }
+    }
+
+    /// Stamps the coarse telemetry tick taken at retire time
+    /// ([`crate::telemetry::HandleTelemetry::retire_tick`]). Schemes call this
+    /// right after constructing the wrapper; 0 (the default) marks the node as
+    /// unstamped and the free-side delay measurement skips it.
+    pub fn set_retire_tick(&mut self, tick: u32) {
+        self.tick = tick;
+    }
+
+    /// The coarse telemetry tick stamped at retire, or 0 if telemetry was
+    /// disabled when the node was retired.
+    pub fn retire_tick(&self) -> u32 {
+        self.tick
     }
 
     /// The retired node's address (used to match against hazard pointers).
@@ -254,6 +273,19 @@ mod tests {
         assert_eq!(sized.birth_era(), 7);
         unsafe { sized.reclaim() };
         assert_eq!(counter.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn retire_tick_defaults_to_unstamped_and_round_trips() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut node = retire_counter(&counter, 3);
+        assert_eq!(node.retire_tick(), 0, "fresh wrappers are unstamped");
+        node.set_retire_tick(12_345);
+        assert_eq!(node.retire_tick(), 12_345);
+        // The tick must fit the pre-existing padding: adding it must not have
+        // grown the wrapper past its 40-byte footprint (segment geometry).
+        assert_eq!(std::mem::size_of::<RetiredPtr>(), 40);
+        unsafe { node.reclaim() };
     }
 
     #[test]

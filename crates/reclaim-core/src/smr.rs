@@ -32,7 +32,9 @@ use crate::budget::BudgetVerdict;
 use crate::clock::{Era, NO_BIRTH_ERA};
 use crate::retired::DropFn;
 use crate::stats::StatsSnapshot;
+use crate::telemetry::Telemetry;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A safe-memory-reclamation scheme instance.
 ///
@@ -63,6 +65,14 @@ pub trait Smr: Send + Sync + 'static {
     /// governor. Schemes that do return a verdict even without a configured
     /// budget (tracking-only: `budget_bytes == 0`, always within budget).
     fn budget_verdict(&self) -> Option<BudgetVerdict> {
+        None
+    }
+
+    /// The scheme's telemetry state ([`crate::telemetry`]): histograms of op
+    /// latency, scan duration and retire→free delay. `None` for schemes that
+    /// carry no telemetry; every in-tree scheme returns `Some` (recording is
+    /// still gated on [`Telemetry::is_enabled`], off by default).
+    fn telemetry(&self) -> Option<&Telemetry> {
         None
     }
 }
@@ -185,6 +195,21 @@ pub trait SmrHandle: Send {
     /// their local bags' O(1) byte totals.
     fn local_limbo_bytes(&self) -> usize {
         0
+    }
+
+    /// Telemetry op-bracket entry ([`crate::telemetry::HandleTelemetry::op_begin`]):
+    /// called by [`crate::guard::Guard`] right after [`begin_op`](Self::begin_op).
+    /// Returns the start instant for the 1-in-N sampled ops, `None` otherwise.
+    /// The default (for schemes without telemetry) is a constant `None`, which
+    /// the guard bracket compiles away.
+    fn telemetry_op_begin(&mut self) -> Option<Instant> {
+        None
+    }
+
+    /// Telemetry op-bracket exit: records the sampled op's latency. Called by
+    /// the guard's drop with the instant `telemetry_op_begin` returned.
+    fn telemetry_op_end(&mut self, started: Instant) {
+        let _ = started;
     }
 }
 

@@ -43,6 +43,9 @@ pub struct StatStripe {
     retired_bytes: AtomicU64,
     freed_bytes: AtomicU64,
     scans: AtomicU64,
+    scan_wholesale: AtomicU64,
+    scan_skips: AtomicU64,
+    scan_walks: AtomicU64,
     quiescent_states: AtomicU64,
     traversal_fences: AtomicU64,
     fallback_switches: AtomicU64,
@@ -73,6 +76,19 @@ pub struct StatsSnapshot {
     pub peak_limbo_bytes: u64,
     /// Hazard-pointer scans executed (HP / Cadence / QSense fallback).
     pub scans: u64,
+    /// Scan-dispatch decisions that freed a whole batch (a bag, chain or era
+    /// bucket) without testing its nodes individually — the cheapest cost
+    /// class (QSBR grace-period drains, EBR safe buckets, QSense fast-path
+    /// drains, HE wholesale chains).
+    pub scan_wholesale: u64,
+    /// Scan-dispatch decisions that skipped a whole batch unexamined (bucket
+    /// still covered by a reservation, epoch not yet safe, nothing old
+    /// enough) — zero per-node work, zero frees.
+    pub scan_skips: u64,
+    /// Scan-dispatch decisions that walked a batch node by node, testing each
+    /// against protections or ages — the expensive cost class (HP/Cadence
+    /// scans, QSense fallback, HE boundary chains, RefCount sweeps).
+    pub scan_walks: u64,
     /// Quiescent states declared (QSBR / QSense fast path).
     pub quiescent_states: u64,
     /// Memory fences issued on the traversal path (classic HP only; Cadence's whole
@@ -149,6 +165,27 @@ impl StatStripe {
         self.scans.fetch_add(1, R);
     }
 
+    /// Records one wholesale scan-dispatch decision (a whole batch freed with
+    /// no per-node tests; see [`StatsSnapshot::scan_wholesale`]).
+    #[inline]
+    pub fn add_scan_wholesale(&self) {
+        self.scan_wholesale.fetch_add(1, R);
+    }
+
+    /// Records one skipped batch (examined and passed over whole; see
+    /// [`StatsSnapshot::scan_skips`]).
+    #[inline]
+    pub fn add_scan_skip(&self) {
+        self.scan_skips.fetch_add(1, R);
+    }
+
+    /// Records one per-node walk over a batch (see
+    /// [`StatsSnapshot::scan_walks`]).
+    #[inline]
+    pub fn add_scan_walk(&self) {
+        self.scan_walks.fetch_add(1, R);
+    }
+
     /// Records one quiescent state.
     #[inline]
     pub fn add_quiescent_state(&self) {
@@ -184,6 +221,9 @@ impl StatStripe {
         snap.freed_bytes += self.freed_bytes.load(Ordering::Acquire);
         snap.retired_bytes += self.retired_bytes.load(R);
         snap.scans += self.scans.load(R);
+        snap.scan_wholesale += self.scan_wholesale.load(R);
+        snap.scan_skips += self.scan_skips.load(R);
+        snap.scan_walks += self.scan_walks.load(R);
         snap.quiescent_states += self.quiescent_states.load(R);
         snap.traversal_fences += self.traversal_fences.load(R);
         snap.fallback_switches += self.fallback_switches.load(R);
@@ -275,6 +315,12 @@ mod tests {
         stats.add_freed_bytes(256);
         stats.add_scan();
         stats.add_scan();
+        stats.add_scan_wholesale();
+        stats.add_scan_skip();
+        stats.add_scan_skip();
+        stats.add_scan_walk();
+        stats.add_scan_walk();
+        stats.add_scan_walk();
         stats.add_quiescent_state();
         stats.add_traversal_fences(7);
         stats.add_fallback_switch();
@@ -288,6 +334,9 @@ mod tests {
         assert_eq!(snap.freed_bytes, 256);
         assert_eq!(snap.limbo_bytes(), 384);
         assert_eq!(snap.scans, 2);
+        assert_eq!(snap.scan_wholesale, 1);
+        assert_eq!(snap.scan_skips, 2);
+        assert_eq!(snap.scan_walks, 3);
         assert_eq!(snap.quiescent_states, 1);
         assert_eq!(snap.traversal_fences, 7);
         assert_eq!(snap.fallback_switches, 1);

@@ -4,10 +4,12 @@ use crate::table::{CountTable, DEFAULT_BUCKETS};
 use reclaim_core::retired::DropFn;
 use reclaim_core::stats::{StatStripe, StatsSnapshot};
 use reclaim_core::{
-    BudgetGovernor, BudgetVerdict, Era, HandleCache, ParkedChain, PtrScratch, RetiredPtr,
-    ScanParts, SegBag, SegPool, ShardedStats, Smr, SmrConfig, SmrHandle, NO_BIRTH_ERA,
+    BudgetGovernor, BudgetVerdict, Era, HandleCache, HandleTelemetry, ParkedChain, PtrScratch,
+    RetiredPtr, ScanParts, SegBag, SegPool, ShardedStats, Smr, SmrConfig, SmrHandle, Telemetry,
+    NO_BIRTH_ERA,
 };
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Reference-counting reclamation (the paper's related-work baseline, §8
 /// "Reference counting" [9, 12, 15, 30]).
@@ -37,6 +39,9 @@ pub struct RefCount {
     /// path, then retire-side backpressure while a referenced (or colliding)
     /// node keeps its bucket pinned above the budget.
     governor: BudgetGovernor,
+    /// Optional latency/delay histograms (op latency, counter-sweep duration,
+    /// retire→free delay); disabled unless the config asks for them.
+    telemetry: Arc<Telemetry>,
 }
 
 impl RefCount {
@@ -51,6 +56,7 @@ impl RefCount {
         let stats = ShardedStats::new(config.max_threads);
         let handle_cache = HandleCache::with_capacity(config.max_threads);
         let governor = BudgetGovernor::new(config.limbo_budget, config.clock.clone());
+        let telemetry = Arc::new(Telemetry::from_config(&config));
         Arc::new(Self {
             config,
             stats,
@@ -58,6 +64,7 @@ impl RefCount {
             parked: ParkedChain::new(),
             handle_cache,
             governor,
+            telemetry,
         })
     }
 
@@ -79,8 +86,17 @@ impl RefCount {
     /// Frees every node in `bag` whose counter bucket is currently zero. Returns the
     /// number of nodes freed; counters go to `stats` (the calling handle's stripe),
     /// drained segments to `pool`.
-    fn scan_into(&self, bag: &mut SegBag, pool: &mut SegPool, stats: &StatStripe) -> usize {
+    fn scan_into(
+        &self,
+        bag: &mut SegBag,
+        pool: &mut SegPool,
+        stats: &StatStripe,
+        tele_stripe: usize,
+    ) -> usize {
         stats.add_scan();
+        // Every sweep tests each node's counter bucket individually.
+        stats.add_scan_walk();
+        let observer = self.telemetry.scan_observer(tele_stripe);
         // SAFETY: a retired node is already unlinked. If its counter bucket is zero
         // then no thread currently announces a reference that could cover it; a
         // thread announcing a reference *after* this load must re-validate the node's
@@ -90,9 +106,22 @@ impl RefCount {
         // same structure as Michael's hazard-pointer scan proof, with "counter
         // bucket is non-zero" in place of "a hazard pointer matches".
         let bytes_before = bag.bytes();
-        let freed = unsafe { bag.reclaim_if(pool, |node| self.table.is_unreferenced(node.addr())) };
+        let freed = unsafe {
+            bag.reclaim_if(pool, |node| {
+                let free = self.table.is_unreferenced(node.addr());
+                if free {
+                    if let Some(obs) = observer.as_ref() {
+                        obs.note_free(node);
+                    }
+                }
+                free
+            })
+        };
         stats.add_freed(freed as u64);
         stats.add_freed_bytes((bytes_before - bag.bytes()) as u64);
+        if let Some(obs) = observer {
+            obs.finish();
+        }
         freed
     }
 }
@@ -120,6 +149,7 @@ impl Smr for RefCount {
         RefCountHandle {
             stripe,
             budget_stripe: BudgetGovernor::stripe_for(stripe),
+            tele: HandleTelemetry::attach(&self.telemetry),
             scheme: Arc::clone(self),
             slots: parts.scratch,
             retired: SegBag::new(),
@@ -141,6 +171,10 @@ impl Smr for RefCount {
 
     fn budget_verdict(&self) -> Option<BudgetVerdict> {
         Some(self.governor.verdict())
+    }
+
+    fn telemetry(&self) -> Option<&Telemetry> {
+        Some(&self.telemetry)
     }
 }
 
@@ -173,6 +207,8 @@ pub struct RefCountHandle {
     budget_stripe: usize,
     /// Limbo-byte figure last reported to the governor (delta cursor).
     budget_reported: usize,
+    /// Per-handle telemetry view (sampled op stamps + retire ticks).
+    tele: HandleTelemetry,
 }
 
 // SAFETY: the raw pointers in `slots` are only bookkeeping for which counters to
@@ -192,6 +228,7 @@ impl RefCountHandle {
             &mut self.retired,
             &mut self.pool,
             self.scheme.stats.stripe(self.stripe),
+            self.tele.stripe(),
         );
         self.scheme.governor.report(
             self.budget_stripe,
@@ -268,9 +305,10 @@ impl SmrHandle for RefCountHandle {
         }
         let now = self.scheme.config.clock.now();
         // SAFETY: forwarded from the caller's contract.
-        self.retired.push(&mut self.pool, unsafe {
-            RetiredPtr::with_birth_sized(ptr, drop_fn, now, NO_BIRTH_ERA, size_bytes)
-        });
+        let mut node =
+            unsafe { RetiredPtr::with_birth_sized(ptr, drop_fn, now, NO_BIRTH_ERA, size_bytes) };
+        node.set_retire_tick(self.tele.retire_tick());
+        self.retired.push(&mut self.pool, node);
         self.since_last_scan += 1;
         if self.since_last_scan >= self.scheme.config.scan_threshold {
             self.since_last_scan = 0;
@@ -311,6 +349,14 @@ impl SmrHandle for RefCountHandle {
 
     fn local_limbo_bytes(&self) -> usize {
         self.retired.bytes()
+    }
+
+    fn telemetry_op_begin(&mut self) -> Option<Instant> {
+        self.tele.op_begin()
+    }
+
+    fn telemetry_op_end(&mut self, started: Instant) {
+        self.tele.op_end(started);
     }
 }
 

@@ -23,7 +23,7 @@
 //! byte budgets translate to node counts by hand and two runs differing only
 //! in scheme are sample-by-sample comparable.
 
-use crate::sampler::{mean, peak, LimboSampler};
+use crate::sampler::{mean, peak, percentile, LimboSampler};
 use crate::structures::SchemeKind;
 use reclaim_core::{
     retire_box_with_birth, BudgetVerdict, EraAdvancePolicy, Leaky, Smr, SmrConfig, SmrHandle,
@@ -152,6 +152,17 @@ impl FaultResult {
     /// The arithmetic mean of the sampled in-limbo node counts.
     pub fn mean_limbo(&self) -> f64 {
         mean(&self.limbo_samples)
+    }
+
+    /// Exact percentile (`0.0 < p <= 1.0`) of the sampled in-limbo node
+    /// counts (see [`crate::sampler::percentile`]).
+    pub fn limbo_percentile(&self, p: f64) -> u64 {
+        percentile(&self.limbo_samples, p)
+    }
+
+    /// Exact percentile of the sampled in-limbo byte counts.
+    pub fn limbo_bytes_percentile(&self, p: f64) -> u64 {
+        percentile(&self.limbo_byte_samples, p)
     }
 }
 

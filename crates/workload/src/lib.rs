@@ -37,7 +37,7 @@ pub use faults::{
 };
 pub use generator::{OpGenerator, Operation};
 pub use runner::{run_experiment, DelaySchedule, Experiment, RunResult, Sample};
-pub use sampler::LimboSampler;
+pub use sampler::{percentile, LimboSampler};
 pub use spec::{OpMix, Structure, WorkloadSpec};
 pub use stall_churn::{run_stall_churn, StallChurnResult, StallChurnSpec};
 pub use structures::{default_bench_config, make_set, BenchSet, SchemeKind, SetSession};

@@ -67,6 +67,65 @@ pub fn print_timeline(result: &RunResult) {
     }
 }
 
+/// Formats the telemetry percentile lines for one run: one row per histogram
+/// (guard-bracket op latency, scan duration, retire→free delay) with the
+/// p50/p90/p99/p99.9 quadruple. Empty when the run carried no telemetry or a
+/// histogram recorded nothing (e.g. the delay histogram of a leaky run).
+pub fn telemetry_rows(result: &RunResult) -> Vec<String> {
+    let Some(summary) = &result.telemetry else {
+        return Vec::new();
+    };
+    let mut rows = Vec::new();
+    for (label, unit, hist) in [
+        ("op-latency", "ns", &summary.op_latency_ns),
+        ("scan-duration", "ns", &summary.scan_ns),
+        ("retire->free", "us", &summary.reclaim_delay_us),
+    ] {
+        if hist.is_empty() {
+            continue;
+        }
+        let (p50, p90, p99, p999) = hist.quantiles();
+        rows.push(format!(
+            "{:<12} {:<14} p50 {p50:>10} {unit}  p90 {p90:>10} {unit}  p99 {p99:>10} {unit}  p99.9 {p999:>10} {unit}  (n={})",
+            result.scheme,
+            label,
+            hist.count(),
+        ));
+    }
+    rows
+}
+
+/// Formats the scan-dispatch class counters (how often a reclamation pass
+/// freed a whole batch wholesale, skipped it unexamined, or walked it
+/// node-by-node) — the per-scheme generalization of HE's fast/slow-path
+/// diagnostics.
+pub fn dispatch_row(result: &RunResult) -> String {
+    format!(
+        "{:<12} scan-dispatch  wholesale: {:>8}  skips: {:>8}  walks: {:>8}",
+        result.scheme,
+        result.stats.scan_wholesale,
+        result.stats.scan_skips,
+        result.stats.scan_walks,
+    )
+}
+
+/// Formats the limbo-budget verdict line, or `None` when the run carried no
+/// verdict. Printed by the CLI whenever a `--limbo-budget` is set.
+pub fn budget_row(result: &RunResult) -> Option<String> {
+    let verdict = result.budget_verdict.as_ref()?;
+    Some(format!(
+        "{:<12} budget {:>10} B  peak: {:>10} B  over-budget: {:>8.3}s  forced-scans: {}  pacer-boosts: {}  fallback-trips: {}  backpressure: {}",
+        result.scheme,
+        verdict.budget_bytes,
+        verdict.peak_bytes,
+        verdict.time_over_budget.as_secs_f64(),
+        verdict.forced_scans,
+        verdict.pacer_boosts,
+        verdict.fallback_trips,
+        verdict.backpressure_events,
+    ))
+}
+
 /// Geometric-mean overhead (in percent) of `results` relative to the paired
 /// `baseline` runs, mirroring the "X% overhead on average over the leaky
 /// implementation" statements in §7.3 of the paper.
@@ -105,6 +164,8 @@ mod tests {
             elapsed: Duration::from_secs(1),
             samples: Vec::new(),
             stats: StatsSnapshot::default(),
+            budget_verdict: None,
+            telemetry: None,
             aborted_at: None,
         }
     }
@@ -125,6 +186,52 @@ mod tests {
         let a = vec![result("qsbr", 3.0), result("qsbr", 4.0)];
         let overhead = average_overhead_pct(&a, &a);
         assert!(overhead.abs() < 1e-9);
+    }
+
+    #[test]
+    fn telemetry_rows_print_percentiles_and_skip_empty_histograms() {
+        let mut run = result("qsense", 1.0);
+        assert!(telemetry_rows(&run).is_empty(), "no telemetry, no rows");
+        run.telemetry = Some(reclaim_core::TelemetrySummary {
+            op_latency_ns: {
+                let hist = reclaim_core::LogHistogram::new();
+                hist.record(0, 100);
+                hist.record(0, 3_000);
+                hist.snapshot()
+            },
+            ..Default::default()
+        });
+        let rows = telemetry_rows(&run);
+        assert_eq!(rows.len(), 1, "empty histograms are skipped: {rows:?}");
+        assert!(rows[0].contains("op-latency"), "row = {}", rows[0]);
+        assert!(rows[0].contains("p99.9"), "row = {}", rows[0]);
+        assert!(rows[0].contains("(n=2)"), "row = {}", rows[0]);
+    }
+
+    #[test]
+    fn dispatch_and_budget_rows_format() {
+        let mut run = result("he", 1.0);
+        run.stats.scan_wholesale = 7;
+        run.stats.scan_skips = 3;
+        run.stats.scan_walks = 1;
+        let row = dispatch_row(&run);
+        assert!(row.contains("wholesale:"), "row = {row}");
+        assert!(row.contains('7') && row.contains('3'), "row = {row}");
+        assert!(budget_row(&run).is_none(), "no verdict, no row");
+        run.budget_verdict = Some(reclaim_core::BudgetVerdict {
+            budget_bytes: 4096,
+            current_bytes: 128,
+            peak_bytes: 8192,
+            time_over_budget: Duration::from_millis(250),
+            forced_scans: 2,
+            pacer_boosts: 1,
+            fallback_trips: 0,
+            backpressure_events: 1,
+        });
+        let row = budget_row(&run).expect("verdict present");
+        assert!(row.contains("4096"), "row = {row}");
+        assert!(row.contains("forced-scans: 2"), "row = {row}");
+        assert!(row.contains("0.250"), "row = {row}");
     }
 
     #[test]

@@ -27,7 +27,7 @@
 //! are sample-by-sample comparable — which is what
 //! `tests/robustness_bounds.rs` and the `ablation_era_advance` bench assert.
 
-use crate::sampler::{mean, peak, LimboSampler};
+use crate::sampler::{mean, peak, percentile, LimboSampler};
 use reclaim_core::{retire_box_with_birth, Smr, SmrHandle};
 use std::sync::Arc;
 
@@ -80,6 +80,13 @@ impl StallChurnResult {
     /// The arithmetic mean of the sampled in-limbo counts.
     pub fn mean_limbo(&self) -> f64 {
         mean(&self.limbo_samples)
+    }
+
+    /// Exact percentile (`0.0 < p <= 1.0`) of the sampled in-limbo counts —
+    /// the trajectory figure reports quote next to the peak, so a single
+    /// outlier episode cannot masquerade as sustained pressure.
+    pub fn limbo_percentile(&self, p: f64) -> u64 {
+        percentile(&self.limbo_samples, p)
     }
 }
 

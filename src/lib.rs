@@ -50,8 +50,9 @@ pub mod smr {
     pub use reclaim_core::{
         retire_box, retire_box_with_birth, Atomic, BudgetGovernor, BudgetVerdict, Clock,
         CountingAllocator, Era, EraAdvancePolicy, EraClock, EraPacer, Guard, HandleCache, Leaky,
-        LeakyHandle, ManualClock, Owned, ShardedStats, Shared, Smr, SmrConfig, SmrHandle,
-        StatStripe, Unlinked, DEFAULT_ERA_ADVANCE_INTERVAL, NO_BIRTH_ERA,
+        LeakyHandle, LogHistogram, ManualClock, Owned, ShardedStats, Shared, Smr, SmrConfig,
+        SmrHandle, StatStripe, Telemetry, TelemetrySummary, Unlinked, DEFAULT_ERA_ADVANCE_INTERVAL,
+        NO_BIRTH_ERA,
     };
     pub use refcount::{RefCount, RefCountHandle};
 }

@@ -27,8 +27,8 @@
 //! bookkeeping allocation is deterministic and fails every attempt.
 
 use qsense_repro::smr::{
-    Cadence, Clock, CountingAllocator, Ebr, EraAdvancePolicy, Hazard, He, ManualClock, QSense,
-    Qsbr, RefCount, Smr, SmrConfig, SmrHandle,
+    Cadence, Clock, CountingAllocator, Ebr, EraAdvancePolicy, Hazard, He, Leaky, ManualClock,
+    QSense, Qsbr, RefCount, Smr, SmrConfig, SmrHandle,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -574,6 +574,120 @@ fn steady_state_scans_perform_zero_heap_allocations() {
                     );
                 }
             }
+        }
+    }
+
+    // --- telemetry record + snapshot paths -----------------------------------
+    // With the observability layer live (histograms on, every op sampled), the
+    // whole record surface — the guard-bracket latency sample, the retire-tick
+    // stamp, the scan observer's per-free delay records — and the
+    // `Telemetry::summary()` snapshot must stay allocation-free: the
+    // histograms are fixed inline arrays and the per-handle cursor is plain
+    // fields. Each scheme runs warmed-up retire→flush cycles under the full
+    // telemetry bracket and must allocate exactly the retired nodes; the
+    // leaky baseline (whose bag never drains, so its amortized segment growth
+    // breaks the exact-delta assertion) runs the op bracket and snapshot loop
+    // alone.
+    {
+        fn telemetry_cycles_allocate_nodes_only<S: Smr>(
+            scheme_name: &str,
+            scheme: Arc<S>,
+            clock: &ManualClock,
+        ) {
+            let mut writer = scheme.register();
+            let telemetry =
+                Smr::telemetry(&*scheme).expect("telemetry is enabled for this section");
+            let cycle = |writer: &mut S::Handle| {
+                for _ in 0..GROWTH_BATCH {
+                    let started = writer.telemetry_op_begin();
+                    writer.begin_op();
+                    let ptr = Box::into_raw(Box::new(0u64));
+                    // SAFETY: freshly boxed, unlinked by construction, retired once.
+                    unsafe { qsense_repro::smr::retire_box(writer, ptr) };
+                    writer.end_op();
+                    if let Some(started) = started {
+                        writer.telemetry_op_end(started);
+                    }
+                }
+                clock.advance(Duration::from_millis(10));
+                writer.flush();
+                let summary = telemetry.summary();
+                assert!(
+                    !summary.op_latency_ns.is_empty(),
+                    "{scheme_name}: sampled brackets recorded"
+                );
+            };
+            // Warm-up: steady-state pool capacity, first histogram touches.
+            cycle(&mut writer);
+            assert_eq!(writer.local_in_limbo(), 0, "{scheme_name}: warm-up drains");
+            let node_bytes = (GROWTH_CYCLES * GROWTH_BATCH * std::mem::size_of::<u64>()) as u64;
+            assert_alloc_delta(
+                &format!("{scheme_name}: telemetry-on retire cycles (nodes only)"),
+                node_bytes,
+                || {
+                    let before_alloc = ALLOC.allocated_bytes();
+                    for _ in 0..GROWTH_CYCLES {
+                        cycle(&mut writer);
+                    }
+                    ALLOC.allocated_bytes() - before_alloc
+                },
+            );
+            let summary = telemetry.summary();
+            assert!(
+                !summary.reclaim_delay_us.is_empty(),
+                "{scheme_name}: every drained node recorded its retire->free delay"
+            );
+        }
+
+        let tele_config = |clock: &ManualClock| {
+            config(clock)
+                .with_telemetry(true)
+                .with_telemetry_sample_shift(0)
+        };
+        let clock = ManualClock::new();
+        telemetry_cycles_allocate_nodes_only("hp", Hazard::new(tele_config(&clock)), &clock);
+        let clock = ManualClock::new();
+        telemetry_cycles_allocate_nodes_only("qsbr", Qsbr::new(tele_config(&clock)), &clock);
+        let clock = ManualClock::new();
+        telemetry_cycles_allocate_nodes_only("ebr", Ebr::new(tele_config(&clock)), &clock);
+        let clock = ManualClock::new();
+        telemetry_cycles_allocate_nodes_only("he", He::new(tele_config(&clock)), &clock);
+        let clock = ManualClock::new();
+        telemetry_cycles_allocate_nodes_only("rc", RefCount::new(tele_config(&clock)), &clock);
+        let clock = ManualClock::new();
+        telemetry_cycles_allocate_nodes_only("cadence", Cadence::new(tele_config(&clock)), &clock);
+        let clock = ManualClock::new();
+        telemetry_cycles_allocate_nodes_only("qsense", QSense::new(tele_config(&clock)), &clock);
+
+        // Leaky: the op bracket and the snapshot path alone (no retires — its
+        // bag would grow without bound and bill segment growth to the window).
+        {
+            let clock = ManualClock::new();
+            let scheme = Leaky::new(tele_config(&clock));
+            let mut handle = scheme.register();
+            let telemetry = Smr::telemetry(&*scheme).expect("telemetry is enabled");
+            // Warm-up: first bracket and snapshot.
+            let started = handle.telemetry_op_begin();
+            handle.begin_op();
+            handle.end_op();
+            if let Some(started) = started {
+                handle.telemetry_op_end(started);
+            }
+            let _ = telemetry.summary();
+            assert_alloc_delta("none: telemetry brackets + snapshots", 0, || {
+                let before_alloc = ALLOC.allocated_bytes();
+                for _ in 0..256 {
+                    let started = handle.telemetry_op_begin();
+                    handle.begin_op();
+                    handle.end_op();
+                    if let Some(started) = started {
+                        handle.telemetry_op_end(started);
+                    }
+                    let summary = telemetry.summary();
+                    assert!(!summary.op_latency_ns.is_empty());
+                }
+                ALLOC.allocated_bytes() - before_alloc
+            });
         }
     }
 
