@@ -72,6 +72,7 @@ mod tests {
         let manual = ManualClock::new();
         let scheme = manual_cadence(&manual, |c| c);
         let mut handle = scheme.register();
+        // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
         unsafe { retire_box(&mut handle, tracked(&drops)) };
         handle.flush();
         assert_eq!(
@@ -94,6 +95,7 @@ mod tests {
         let mut reader = scheme.register();
         let ptr = tracked(&drops);
         reader.protect(0, ptr.cast());
+        // SAFETY: the pointer was produced by `tracked`/Box::into_raw above, is no longer reachable, and is retired exactly once.
         unsafe { retire_box(&mut owner, ptr) };
         manual.advance(Duration::from_millis(100));
         owner.flush();
@@ -114,10 +116,12 @@ mod tests {
         let scheme = manual_cadence(&manual, |c| c.with_scan_threshold(5));
         let mut handle = scheme.register();
         for _ in 0..4 {
+            // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
             unsafe { retire_box(&mut handle, tracked(&drops)) };
         }
         manual.advance(Duration::from_millis(20));
         assert_eq!(drops.load(Ordering::SeqCst), 0, "below R: no scan yet");
+        // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
         unsafe { retire_box(&mut handle, tracked(&drops)) };
         // The 5th retire triggers a scan; the first four nodes are old enough, the
         // fifth was retired just now and must survive.
@@ -172,6 +176,7 @@ mod tests {
         let mut handle = scheme.register();
         for _ in 0..64 {
             handle.begin_op();
+            // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
             unsafe { retire_box(&mut handle, tracked(&drops)) };
             handle.end_op();
         }
@@ -195,6 +200,7 @@ mod tests {
         let scheme = manual_cadence(&manual, |c| c.with_scan_threshold(16));
         let mut handle = scheme.register();
         for _ in 0..100 {
+            // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
             unsafe { retire_box(&mut handle, tracked(&drops)) };
         }
         assert!(handle.local_in_limbo() <= 100);
@@ -211,6 +217,7 @@ mod tests {
         let scheme = manual_cadence(&manual, |c| c);
         {
             let mut handle = scheme.register();
+            // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
             unsafe { retire_box(&mut handle, tracked(&drops)) };
             // Handle dropped while the node is still too young to free.
         }

@@ -161,6 +161,7 @@ impl Cadence {
         // retirement order, so everything behind it is younger still — the scan
         // is O(aged prefix), not O(bag). (Adopted parked chains spliced behind
         // younger nodes are only delayed by this, never endangered.)
+        // SAFETY: the bag owns these retired nodes; a node is freed only when aged past `min_age` and absent from the hazard snapshot.
         let freed = unsafe {
             bag.reclaim_if_while(
                 pool,
@@ -249,6 +250,7 @@ impl Drop for Cadence {
             .unwrap_or_else(|e| e.into_inner())
             .shutdown();
         // No handles remain, so nothing can reference a parked node.
+        // SAFETY: parked nodes were retired by departed handles and survive until a scan proves them unprotected.
         let (freed, freed_bytes) = unsafe { self.parked.drain_all() };
         self.scheme_stats.add_freed(freed as u64);
         self.scheme_stats.add_freed_bytes(freed_bytes as u64);

@@ -66,6 +66,7 @@ mod tests {
                     for i in 0..400 {
                         handle.begin_op();
                         if (i + t) % 3 != 0 {
+                            // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
                             unsafe { retire_box(&mut handle, tracked(&drops)) };
                             retired.fetch_add(1, Ordering::SeqCst);
                         }
@@ -88,6 +89,7 @@ mod tests {
         let mut handle = scheme.register();
         for _ in 0..20 {
             handle.begin_op();
+            // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
             unsafe { retire_box(&mut handle, tracked(&drops)) };
             handle.end_op();
         }
@@ -114,6 +116,7 @@ mod tests {
             let mut worker = scheme.register();
             worker.begin_op();
             for _ in 0..10 {
+                // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
                 unsafe { retire_box(&mut worker, tracked(&drops)) };
             }
             worker.end_op();

@@ -175,6 +175,7 @@ impl Smr for Ebr {
 impl Drop for Ebr {
     fn drop(&mut self) {
         // All handles are gone, so nobody can hold a reference to any parked node.
+        // SAFETY: parked nodes were retired by departed handles and survive until a scan proves them unprotected.
         let (freed, freed_bytes) = unsafe { self.parked.drain_all() };
         self.scheme_stats.add_freed(freed as u64);
         self.scheme_stats.add_freed_bytes(freed_bytes as u64);
@@ -336,6 +337,7 @@ impl EbrHandle {
                 let stats = self.scheme.registry.stats(self.slot);
                 stats.add_scan_wholesale();
                 let observer = self.scheme.telemetry.scan_observer(self.tele.stripe());
+                // SAFETY: the chain is LIMBO_BUCKETS epochs old — every registered thread has crossed at least two epoch boundaries since these nodes were retired, so none can still hold a reference.
                 let freed = unsafe {
                     match observer.as_ref() {
                         Some(obs) => chain.bag.reclaim_if(&mut self.pool, |node| {
@@ -589,6 +591,7 @@ mod tests {
         let mut handle = scheme.register();
         for _ in 0..100 {
             handle.begin_op();
+            // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
             unsafe { retire_box(&mut handle, tracked(&drops)) };
             handle.end_op();
         }
@@ -614,6 +617,7 @@ mod tests {
         let mut worker = scheme.register();
         for _ in 0..100 {
             worker.begin_op();
+            // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
             unsafe { retire_box(&mut worker, tracked(&drops)) };
             worker.end_op();
         }
@@ -640,6 +644,7 @@ mod tests {
         let mut worker = scheme.register();
         for _ in 0..100 {
             worker.begin_op();
+            // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
             unsafe { retire_box(&mut worker, tracked(&drops)) };
             worker.end_op();
         }
@@ -665,6 +670,7 @@ mod tests {
         handle.begin_op();
         let tag = scheme.current_epoch();
         for _ in 0..10 {
+            // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
             unsafe { retire_box(&mut handle, tracked(&drops)) };
         }
         // Still pinned, no advance attempted: nothing may have been freed.
@@ -721,6 +727,7 @@ mod tests {
         // Out-of-op retire on the idle handle (legal per the trait contract).
         // Tagging with the stale cached epoch would make the node immediately
         // "old enough" and free it under the still-pinned reader.
+        // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
         unsafe { retire_box(&mut idle, tracked(&drops)) };
         idle.begin_op();
         idle.end_op();
@@ -755,6 +762,7 @@ mod tests {
                     let mut handle = scheme.register();
                     for _ in 0..500 {
                         handle.begin_op();
+                        // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
                         unsafe { retire_box(&mut handle, tracked(&drops)) };
                         total.fetch_add(1, Ordering::SeqCst);
                         handle.end_op();

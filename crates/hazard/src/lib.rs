@@ -52,6 +52,7 @@ mod tests {
         for _ in 0..8 {
             handle.begin_op();
             let ptr = tracked(&drops);
+            // SAFETY: the pointer was produced by `tracked`/Box::into_raw above, is no longer reachable, and is retired exactly once.
             unsafe { retire_box(&mut handle, ptr) };
             handle.end_op();
         }
@@ -75,6 +76,7 @@ mod tests {
         reader.protect(0, ptr.cast());
 
         owner.begin_op();
+        // SAFETY: the pointer was produced by `tracked`/Box::into_raw above, is no longer reachable, and is retired exactly once.
         unsafe { retire_box(&mut owner, ptr) };
         owner.flush();
         assert_eq!(
@@ -99,11 +101,13 @@ mod tests {
         let protected = tracked(&drops);
         handle.protect(0, protected.cast());
         let unprotected = tracked(&drops);
+        // SAFETY: the pointer was produced by `tracked`/Box::into_raw above, is no longer reachable, and is retired exactly once.
         unsafe { retire_box(&mut handle, unprotected) };
         handle.flush();
         assert_eq!(drops.load(Ordering::SeqCst), 1);
         // Clean up the still-live protected node: retire it too.
         handle.clear_protections();
+        // SAFETY: the pointer was produced by `tracked`/Box::into_raw above, is no longer reachable, and is retired exactly once.
         unsafe { retire_box(&mut handle, protected) };
         handle.flush();
         assert_eq!(drops.load(Ordering::SeqCst), 2);
@@ -115,6 +119,7 @@ mod tests {
         let scheme = Hazard::new(SmrConfig::default().with_scan_threshold(10));
         let mut handle = scheme.register();
         for _ in 0..9 {
+            // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
             unsafe { retire_box(&mut handle, tracked(&drops)) };
         }
         assert_eq!(
@@ -122,6 +127,7 @@ mod tests {
             0,
             "below threshold: no scan yet"
         );
+        // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
         unsafe { retire_box(&mut handle, tracked(&drops)) };
         assert_eq!(
             drops.load(Ordering::SeqCst),
@@ -139,6 +145,7 @@ mod tests {
         blocker.protect(0, ptr.cast());
         {
             let mut owner = scheme.register();
+            // SAFETY: the pointer was produced by `tracked`/Box::into_raw above, is no longer reachable, and is retired exactly once.
             unsafe { retire_box(&mut owner, ptr) };
             // owner drops here while the node is still protected by `blocker`.
         }
@@ -205,12 +212,14 @@ mod tests {
                     allocated.fetch_add(1, Ordering::SeqCst);
                     let old = slot.swap(fresh, Ordering::AcqRel);
                     if !old.is_null() {
+                        // SAFETY: the pointer was produced by `tracked`/Box::into_raw above, is no longer reachable, and is retired exactly once.
                         unsafe { retire_box(&mut handle, old) };
                     }
                 }
                 // Unpublish the final node and retire it as well.
                 let last = slot.swap(std::ptr::null_mut(), Ordering::AcqRel);
                 if !last.is_null() {
+                    // SAFETY: the pointer was produced by `tracked`/Box::into_raw above, is no longer reachable, and is retired exactly once.
                     unsafe { retire_box(&mut handle, last) };
                 }
                 handle.flush();
@@ -234,7 +243,7 @@ mod tests {
                             handle.protect(0, p.cast());
                             // Validate: still published after the fence?
                             if slot.load(Ordering::Acquire) == p {
-                                // Safe to dereference while protected.
+                                // SAFETY: the pointer is hazard-protected (slot 0) and revalidated still published.
                                 let tracked = unsafe { &*p };
                                 observed += Arc::strong_count(&tracked.0).min(1);
                                 break;

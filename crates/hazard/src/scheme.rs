@@ -210,6 +210,7 @@ impl Drop for Hazard {
     fn drop(&mut self) {
         // No handles remain (each holds an Arc<Self>), hence no hazard pointer can be
         // published and no thread can reach a parked node: free everything.
+        // SAFETY: parked nodes were retired by departed handles and survive until a scan proves them unprotected.
         let (freed, freed_bytes) = unsafe { self.parked.drain_all() };
         self.scheme_stats.add_freed(freed as u64);
         self.scheme_stats.add_freed_bytes(freed_bytes as u64);

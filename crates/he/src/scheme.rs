@@ -244,6 +244,7 @@ impl Drop for He {
     fn drop(&mut self) {
         // All handles are gone (each holds an Arc<Self>), so no reservation is
         // announced and no thread can reach a parked node.
+        // SAFETY: parked nodes were retired by departed handles and survive until a scan proves them unprotected.
         let (freed, freed_bytes) = unsafe { self.parked.drain_all() };
         self.scheme_stats.add_freed(freed as u64);
         self.scheme_stats.add_freed_bytes(freed_bytes as u64);
@@ -403,6 +404,7 @@ impl HeHandle {
                 // every reachable upper bound: the whole chain is unreachable.
                 self.scan_wholesale += 1;
                 stats.add_scan_wholesale();
+                // SAFETY: the era scan above proved no reservation can cover any node in this chain; every node is unreachable.
                 unsafe {
                     match observer.as_ref() {
                         Some(obs) => chain.bag.reclaim_if(&mut self.pool, |node| {
@@ -431,6 +433,7 @@ impl HeHandle {
                 stats.add_scan_walk();
                 let mut new_min = Era::MAX;
                 let mut new_max = 0;
+                // SAFETY: the bag owns the nodes; one is freed only when its birth era lies above every reachable reservation upper bound.
                 let freed_here = unsafe {
                     chain.bag.reclaim_if_visit(
                         &mut self.pool,
@@ -781,6 +784,7 @@ mod tests {
         for _ in 0..100 {
             handle.begin_op();
             let birth = handle.alloc_node();
+            // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
             unsafe { retire_box_with_birth(&mut handle, tracked(&drops), birth) };
             handle.end_op();
         }
@@ -806,6 +810,7 @@ mod tests {
         let old = tracked(&drops);
         let old_birth = scheme.current_era();
         assert!(old_birth >= stall_era);
+        // SAFETY: the pointer was produced by `tracked`/Box::into_raw above, is no longer reachable, and is retired exactly once.
         unsafe { retire_box_with_birth(&mut writer, old, old_birth) };
         writer.flush();
         assert_eq!(
@@ -821,6 +826,7 @@ mod tests {
         }
         let young_birth = writer.alloc_node();
         assert!(young_birth > stall_era);
+        // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
         unsafe { retire_box_with_birth(&mut writer, tracked(&drops), young_birth) };
         writer.flush();
         assert_eq!(
@@ -846,6 +852,7 @@ mod tests {
         reader.begin_op();
         // Plain `retire` (birth = NO_BIRTH_ERA): treated as born before every
         // era, so any active reservation pins it.
+        // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
         unsafe { retire_box(&mut writer, tracked(&drops)) };
         writer.flush();
         assert_eq!(drops.load(Ordering::SeqCst), 0);
@@ -913,6 +920,7 @@ mod tests {
                     for _ in 0..500 {
                         handle.begin_op();
                         let birth = handle.alloc_node();
+                        // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
                         unsafe { retire_box_with_birth(&mut handle, tracked(&drops), birth) };
                         total.fetch_add(1, Ordering::SeqCst);
                         handle.end_op();
@@ -935,6 +943,7 @@ mod tests {
         reader.begin_op();
         {
             let mut dying = scheme.register();
+            // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
             unsafe { retire_box(&mut dying, tracked(&drops)) };
             // The reader's reservation pins the (unstamped) node through the
             // dying handle's final flush.
@@ -995,6 +1004,7 @@ mod tests {
             .collect();
         // Retire everything at one era so the whole mix shares one chain.
         for (ptr, birth) in old.iter().chain(young.iter()) {
+            // SAFETY: the pointer was produced by `tracked`/Box::into_raw above, is no longer reachable, and is retired exactly once.
             unsafe { retire_box_with_birth(&mut writer, *ptr, *birth) };
         }
 
@@ -1053,6 +1063,7 @@ mod tests {
             for _ in 0..3 {
                 let birth = dying.alloc_node();
                 assert!(birth > stall, "churned nodes are born after the stall");
+                // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
                 unsafe { retire_box_with_birth(&mut dying, tracked(&drops), birth) };
             }
             // Drop: the final flush cannot free the nodes (reader 2 covers
@@ -1145,6 +1156,7 @@ mod tests {
         assert_eq!(scheme.current_era(), e0);
         for _ in 0..2 {
             // Two retires hit the scan threshold: the scan ticks the era once.
+            // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
             unsafe { retire_box(&mut handle, tracked(&Arc::new(AtomicUsize::new(0)))) };
         }
         assert_eq!(scheme.current_era(), e0 + 1, "one scan tick");
@@ -1178,6 +1190,7 @@ mod tests {
         {
             let mut dying = scheme.register();
             for _ in 0..32 {
+                // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
                 unsafe { retire_box(&mut dying, tracked(&drops)) };
             }
             // Drop: the reader pins the unstamped nodes, so they are parked.
@@ -1226,6 +1239,7 @@ mod tests {
         // passes the low-water mark, the interval halves toward the fast end.
         reader.begin_op();
         for _ in 0..64 {
+            // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
             unsafe { retire_box(&mut writer, tracked(&drops)) };
         }
         assert_eq!(drops.load(Ordering::SeqCst), 0);

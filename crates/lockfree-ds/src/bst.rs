@@ -95,13 +95,15 @@ struct Node<K> {
 
 impl<K> Node<K> {
     fn leaf(key: KeySlot<K>, birth_era: Era) -> *mut Node<K> {
-        Box::into_raw(Box::new(Node {
+        let node = Box::into_raw(Box::new(Node {
             key,
             is_leaf: true,
             birth_era,
             left: AtomicPtr::new(std::ptr::null_mut()),
             right: AtomicPtr::new(std::ptr::null_mut()),
-        }))
+        }));
+        crate::oracle::register(node);
+        node
     }
 
     fn internal(
@@ -110,13 +112,15 @@ impl<K> Node<K> {
         right: *mut Node<K>,
         birth_era: Era,
     ) -> *mut Node<K> {
-        Box::into_raw(Box::new(Node {
+        let node = Box::into_raw(Box::new(Node {
             key,
             is_leaf: false,
             birth_era,
             left: AtomicPtr::new(left),
             right: AtomicPtr::new(right),
-        }))
+        }));
+        crate::oracle::register(node);
+        node
     }
 }
 
@@ -182,6 +186,7 @@ where
     ///
     /// `node` must be protected (or a sentinel owned by `self`) and internal.
     unsafe fn child_edge<'a>(node: *mut Node<K>, key: &K) -> &'a AtomicPtr<Node<K>> {
+        // SAFETY: the pointer was validated (or is hazard-protected) by the surrounding traversal and nodes are only freed through SMR.
         let node = unsafe { &*node };
         if node.key.cmp_key(key) == CmpOrdering::Greater {
             &node.left
@@ -196,6 +201,7 @@ where
     ///
     /// Same requirements as [`child_edge`](Self::child_edge).
     unsafe fn sibling_edge<'a>(node: *mut Node<K>, key: &K) -> &'a AtomicPtr<Node<K>> {
+        // SAFETY: the pointer was validated (or is hazard-protected) by the surrounding traversal and nodes are only freed through SMR.
         let node = unsafe { &*node };
         if node.key.cmp_key(key) == CmpOrdering::Greater {
             &node.right
@@ -220,6 +226,7 @@ where
             // SAFETY: the root sentinel is owned by `self` and never reclaimed.
             let s = clean(unsafe { &*root }.left.load(Ordering::Acquire));
             guard.protect_ptr(p_slot, s.cast());
+            // SAFETY: the root sentinel is owned by `self` and never reclaimed.
             if unsafe { &*root }.left.load(Ordering::Acquire) != s {
                 continue 'retry;
             }
@@ -229,6 +236,7 @@ where
             let leaf_raw = unsafe { &*parent }.left.load(Ordering::Acquire);
             let mut leaf = clean(leaf_raw);
             guard.protect_ptr(l_slot, leaf.cast());
+            // SAFETY: `parent` was protected and validated above.
             if unsafe { &*parent }.left.load(Ordering::Acquire) != leaf {
                 continue 'retry;
             }
@@ -265,6 +273,7 @@ where
                 if edge.load(Ordering::Acquire) != next_raw {
                     continue 'retry;
                 }
+                crate::oracle::check(next, "bst::seek::validated");
                 // Rotate: grandparent <- parent <- leaf <- next.
                 grandparent = parent;
                 parent = leaf;
@@ -344,6 +353,7 @@ where
             // (rule 3). Both are unreachable: the only edge into `parent` was just
             // replaced, and the only edge into `removed_leaf` (from `parent`) is
             // flagged, so no traversal can validate a new protection for either.
+            // SAFETY: see above — this thread's CAS unlinked both nodes, making it the exclusive retirer, and neither can be re-protected.
             unsafe {
                 guard.retire_raw(parent, (*parent).birth_era);
                 guard.retire_raw(removed_leaf, (*removed_leaf).birth_era);
@@ -407,6 +417,10 @@ where
                 }
                 Err(current) => {
                     // The new nodes were never published: free them directly.
+                    crate::oracle::deregister(new_internal);
+                    crate::oracle::deregister(new_leaf);
+                    // Sanctioned free path: failed-insert rollback of private nodes.
+                    #[allow(clippy::disallowed_methods)]
                     // SAFETY: both were just allocated and never shared.
                     unsafe {
                         drop(Box::from_raw(new_internal));
@@ -520,6 +534,9 @@ impl<K, S: Smr> Drop for LockFreeBst<K, S> {
             if node.is_null() {
                 continue;
             }
+            crate::oracle::deregister(node);
+            // Sanctioned free path: structure teardown walk under `&mut self`.
+            #[allow(clippy::disallowed_methods)]
             // SAFETY: exclusive access; each reachable node is freed exactly once.
             let boxed = unsafe { Box::from_raw(node) };
             if !boxed.is_leaf {

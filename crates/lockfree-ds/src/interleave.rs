@@ -14,18 +14,26 @@
 //! completion on another thread, and only then let the parked thread take its
 //! CAS — forcing the exact schedule a bug report describes, every run.
 //!
-//! The primary client is the skip-list upper-level re-link race (see
-//! `skiplist.rs`): a complete `remove` (mark all levels + sweep + retire) is
-//! driven through the window between `insert`'s per-level validation
-//! (`succs[0] == node`) and its `pred.next[level]` CAS. The same harness audits
-//! the analogous windows in `list.rs` and `bst.rs`.
+//! Two kinds of clients build on the pause points:
 //!
-//! Hooks are process-global (the pause points are reached deep inside data
-//! structure internals), so tests that install hooks must serialize themselves
-//! (e.g. with a shared `Mutex`) if they can run in the same process.
+//! - **Per-point hooks** ([`install`], [`Trap`], [`Counter`]) force *one*
+//!   hand-written schedule: park the victim thread in its window, drive the
+//!   conflicting operation to completion, resume. Installing two hooks at the
+//!   same point is a test bug (the second would silently shadow the first), so
+//!   [`install`] and [`Trap::arm`] panic on conflict; [`try_install`] returns
+//!   the conflict as an error for tests that want to handle it.
+//! - **The scheduler hook** ([`set_scheduler`]) observes *every* pause point on
+//!   participating threads. `crates/reclaim-check`'s explorer uses it to
+//!   serialize model threads and enumerate all interleavings up to a preemption
+//!   bound — the systematic generalization of the one-shot `Trap` choreography.
+//!
+//! Hooks and the scheduler are process-global (the pause points are reached deep
+//! inside data structure internals), so tests that install them must serialize
+//! themselves (e.g. with a shared `Mutex`) if they can run in the same process.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Fast-path gate: pause points only take the hook lock while at least one hook
@@ -33,25 +41,45 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 /// load per pause point.
 static ACTIVE_HOOKS: AtomicUsize = AtomicUsize::new(0);
 
+/// Fast-path gate for the scheduler hook, kept separate from [`ACTIVE_HOOKS`]
+/// so per-point traps and a running explorer do not interfere with each other's
+/// accounting.
+static SCHEDULER_ACTIVE: AtomicBool = AtomicBool::new(false);
+
 type Hook = Arc<dyn Fn() + Send + Sync>;
 
-/// Installed hooks, each tagged with a unique token so a [`HookGuard`] whose
-/// hook was since *replaced* cannot remove (or mis-account) its successor.
-fn hooks() -> &'static Mutex<HashMap<&'static str, (u64, Hook)>> {
-    static HOOKS: OnceLock<Mutex<HashMap<&'static str, (u64, Hook)>>> = OnceLock::new();
+/// A scheduler observes every pause point (the point name is passed through);
+/// it decides when the calling thread may proceed, typically by parking it.
+type Scheduler = Arc<dyn Fn(&'static str) + Send + Sync>;
+
+/// Installed per-point hooks, keyed by pause-point name.
+fn hooks() -> &'static Mutex<HashMap<&'static str, Hook>> {
+    static HOOKS: OnceLock<Mutex<HashMap<&'static str, Hook>>> = OnceLock::new();
     HOOKS.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
-fn next_token() -> u64 {
-    static TOKEN: AtomicUsize = AtomicUsize::new(1);
-    TOKEN.fetch_add(1, Ordering::Relaxed) as u64
+/// The (single) installed scheduler hook.
+fn scheduler() -> &'static Mutex<Option<Scheduler>> {
+    static SCHEDULER: OnceLock<Mutex<Option<Scheduler>>> = OnceLock::new();
+    SCHEDULER.get_or_init(|| Mutex::new(None))
 }
 
-/// A pause point. Structures call this at validate/CAS boundaries; if a test
-/// installed a hook for `point`, the hook runs on the calling thread (and may
-/// block it until the test releases it).
+/// A pause point. Structures call this at validate/CAS boundaries; if a
+/// scheduler is set, it runs first (and may park the calling thread until it is
+/// granted a turn); if a test installed a hook for `point`, the hook then runs
+/// on the calling thread (and may block it until the test releases it).
 #[inline]
 pub fn hit(point: &'static str) {
+    if SCHEDULER_ACTIVE.load(Ordering::Acquire) {
+        let sched = scheduler()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .map(Arc::clone);
+        if let Some(sched) = sched {
+            sched(point);
+        }
+    }
     if ACTIVE_HOOKS.load(Ordering::Acquire) == 0 {
         return;
     }
@@ -59,42 +87,116 @@ pub fn hit(point: &'static str) {
         .lock()
         .unwrap_or_else(|e| e.into_inner())
         .get(point)
-        .map(|(_, hook)| Arc::clone(hook));
+        .map(Arc::clone);
     if let Some(hook) = hook {
         hook();
     }
 }
 
-/// Uninstalls its hook on drop — but only if that exact hook is still the one
-/// installed: a guard whose hook was replaced by a later [`install`] at the
-/// same point is stale and must neither remove the successor nor decrement the
-/// active count (the replacing `install` already absorbed this guard's share).
+/// Error returned by [`try_install`] / [`try_set_scheduler`] when the slot is
+/// already taken. Two traps arming the same point in one test is always a test
+/// bug: the second hook would shadow the first and the first trap's
+/// `wait_for_parked` would hang.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArmConflict {
+    /// The contested pause point (the scheduler conflict uses `"<scheduler>"`).
+    pub point: &'static str,
+}
+
+impl fmt::Display for ArmConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "interleave: a hook is already installed at pause point `{}`; \
+             drop the existing HookGuard/Trap before arming another \
+             (hooks are process-global — serialize tests that share points)",
+            self.point
+        )
+    }
+}
+
+impl std::error::Error for ArmConflict {}
+
+/// Uninstalls its hook on drop.
 pub struct HookGuard {
     point: &'static str,
-    token: u64,
 }
 
 impl Drop for HookGuard {
     fn drop(&mut self) {
         let mut map = hooks().lock().unwrap_or_else(|e| e.into_inner());
-        if map.get(self.point).is_some_and(|(t, _)| *t == self.token)
-            && map.remove(self.point).is_some()
-        {
+        if map.remove(self.point).is_some() {
             ACTIVE_HOOKS.fetch_sub(1, Ordering::Release);
         }
     }
 }
 
-/// Installs `hook` at `point`, replacing any previous hook there (the previous
-/// hook's guard becomes inert). The hook runs on whichever thread reaches the
-/// point.
-pub fn install(point: &'static str, hook: impl Fn() + Send + Sync + 'static) -> HookGuard {
-    let token = next_token();
+/// Installs `hook` at `point`. The hook runs on whichever thread reaches the
+/// point. Returns [`ArmConflict`] if a hook is already installed there —
+/// layering hooks at one point silently breaks whichever trap armed first.
+pub fn try_install(
+    point: &'static str,
+    hook: impl Fn() + Send + Sync + 'static,
+) -> Result<HookGuard, ArmConflict> {
     let mut map = hooks().lock().unwrap_or_else(|e| e.into_inner());
-    if map.insert(point, (token, Arc::new(hook))).is_none() {
-        ACTIVE_HOOKS.fetch_add(1, Ordering::Release);
+    if map.contains_key(point) {
+        return Err(ArmConflict { point });
     }
-    HookGuard { point, token }
+    map.insert(point, Arc::new(hook));
+    ACTIVE_HOOKS.fetch_add(1, Ordering::Release);
+    Ok(HookGuard { point })
+}
+
+/// Installs `hook` at `point`, panicking if a hook is already installed there.
+///
+/// # Panics
+///
+/// Panics with a clear diagnostic on a double-install — see [`try_install`] for
+/// the fallible variant.
+pub fn install(point: &'static str, hook: impl Fn() + Send + Sync + 'static) -> HookGuard {
+    match try_install(point, hook) {
+        Ok(guard) => guard,
+        Err(conflict) => panic!("{conflict}"),
+    }
+}
+
+/// Uninstalls the scheduler on drop.
+pub struct SchedulerGuard {
+    _private: (),
+}
+
+impl Drop for SchedulerGuard {
+    fn drop(&mut self) {
+        let mut slot = scheduler().lock().unwrap_or_else(|e| e.into_inner());
+        SCHEDULER_ACTIVE.store(false, Ordering::Release);
+        *slot = None;
+    }
+}
+
+/// Installs the process-global scheduler hook: `sched` is called with the point
+/// name at **every** pause point on every thread until the returned guard
+/// drops. At most one scheduler can be active; a second [`try_set_scheduler`]
+/// returns [`ArmConflict`] (explorers must serialize, exactly like traps).
+pub fn try_set_scheduler(
+    sched: impl Fn(&'static str) + Send + Sync + 'static,
+) -> Result<SchedulerGuard, ArmConflict> {
+    let mut slot = scheduler().lock().unwrap_or_else(|e| e.into_inner());
+    if slot.is_some() {
+        return Err(ArmConflict {
+            point: "<scheduler>",
+        });
+    }
+    *slot = Some(Arc::new(sched));
+    SCHEDULER_ACTIVE.store(true, Ordering::Release);
+    Ok(SchedulerGuard { _private: () })
+}
+
+/// Panicking variant of [`try_set_scheduler`].
+pub fn set_scheduler(sched: impl Fn(&'static str) + Send + Sync + 'static) -> SchedulerGuard {
+    match try_set_scheduler(sched) {
+        Ok(guard) => guard,
+        Err(conflict) => panic!("{conflict}"),
+    }
 }
 
 #[derive(Default)]
@@ -116,11 +218,21 @@ pub struct Trap {
 }
 
 impl Trap {
-    /// Arms a one-shot trap at `point`.
+    /// Arms a one-shot trap at `point`, panicking if the point already has a
+    /// hook (see [`Trap::try_arm`]).
     pub fn arm(point: &'static str) -> Self {
+        match Self::try_arm(point) {
+            Ok(trap) => trap,
+            Err(conflict) => panic!("{conflict}"),
+        }
+    }
+
+    /// Arms a one-shot trap at `point`; returns [`ArmConflict`] if the point
+    /// already has a hook installed.
+    pub fn try_arm(point: &'static str) -> Result<Self, ArmConflict> {
         let state = Arc::new((Mutex::new(TrapState::default()), Condvar::new()));
         let hook_state = Arc::clone(&state);
-        let guard = install(point, move || {
+        let guard = try_install(point, move || {
             let (lock, cvar) = &*hook_state;
             let mut s = lock.lock().unwrap_or_else(|e| e.into_inner());
             s.arrivals += 1;
@@ -131,11 +243,11 @@ impl Trap {
             while !s.released {
                 s = cvar.wait(s).unwrap_or_else(|e| e.into_inner());
             }
-        });
-        Self {
+        })?;
+        Ok(Self {
             state,
             _guard: guard,
-        }
+        })
     }
 
     /// Blocks until a thread is parked at the point (i.e. the window is open).
@@ -170,7 +282,8 @@ pub struct Counter {
 }
 
 impl Counter {
-    /// Installs a counting hook at `point`.
+    /// Installs a counting hook at `point`, panicking on conflict like
+    /// [`install`].
     pub fn arm(point: &'static str) -> Self {
         let count = Arc::new(AtomicUsize::new(0));
         let hook_count = Arc::clone(&count);
@@ -217,21 +330,41 @@ mod tests {
     }
 
     #[test]
-    fn replacing_a_hook_leaves_the_successor_live_after_the_stale_guard_drops() {
+    fn double_install_is_a_clear_error_and_first_hook_survives() {
         let count = Arc::new(AtomicUsize::new(0));
-        let first = install("interleave::test::replace", || {});
         let hook_count = Arc::clone(&count);
-        let second = install("interleave::test::replace", move || {
+        let first = install("interleave::test::conflict", move || {
             hook_count.fetch_add(1, Ordering::Relaxed);
         });
-        // Dropping the *replaced* guard must not uninstall (or de-activate) the
-        // replacement.
+        let err = try_install("interleave::test::conflict", || {})
+            .err()
+            .expect("second install at the same point must be rejected");
+        assert_eq!(err.point, "interleave::test::conflict");
+        assert!(err.to_string().contains("interleave::test::conflict"));
+        // The rejected install must not have disturbed the original hook.
+        hit("interleave::test::conflict");
+        assert_eq!(count.load(Ordering::Relaxed), 1, "first hook still live");
         drop(first);
-        hit("interleave::test::replace");
-        assert_eq!(count.load(Ordering::Relaxed), 1, "successor hook must fire");
-        drop(second);
-        hit("interleave::test::replace");
+        hit("interleave::test::conflict");
         assert_eq!(count.load(Ordering::Relaxed), 1, "now uninstalled");
+        // The slot is free again after the guard drops.
+        let _again = install("interleave::test::conflict", || {});
+    }
+
+    #[test]
+    fn trap_arm_conflict_panics_with_point_name() {
+        let _first = Trap::arm("interleave::test::trap-conflict");
+        let second = Trap::try_arm("interleave::test::trap-conflict");
+        assert!(second.is_err());
+        let panic = std::panic::catch_unwind(|| {
+            let _ = Trap::arm("interleave::test::trap-conflict");
+        })
+        .expect_err("arming over a live trap must panic");
+        let msg = panic.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("interleave::test::trap-conflict"),
+            "panic must name the contested point, got: {msg}"
+        );
     }
 
     #[test]
@@ -262,5 +395,29 @@ mod tests {
         trap.release();
         hit("interleave::test::released"); // must not deadlock
         assert_eq!(trap.arrivals(), 1);
+    }
+
+    #[test]
+    fn scheduler_sees_every_point_and_second_scheduler_is_rejected() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sched_seen = Arc::clone(&seen);
+        let guard = set_scheduler(move |point| {
+            sched_seen
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(point);
+        });
+        assert!(try_set_scheduler(|_| {}).is_err());
+        hit("interleave::test::sched-a");
+        hit("interleave::test::sched-b");
+        {
+            let seen = seen.lock().unwrap_or_else(|e| e.into_inner());
+            assert!(seen.contains(&"interleave::test::sched-a"));
+            assert!(seen.contains(&"interleave::test::sched-b"));
+        }
+        drop(guard);
+        hit("interleave::test::sched-after-drop");
+        let seen = seen.lock().unwrap_or_else(|e| e.into_inner());
+        assert!(!seen.contains(&"interleave::test::sched-after-drop"));
     }
 }

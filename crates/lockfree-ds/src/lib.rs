@@ -46,6 +46,37 @@ pub(crate) mod interleave {
     pub(crate) fn hit(_point: &'static str) {}
 }
 
+/// Shadow-heap oracle hooks for the expert structures that allocate raw nodes
+/// (skip list, BST): register at `Node::alloc`, deregister at every synchronous
+/// owned free (failed-insert rollback, teardown walk), checkpoint at validated
+/// traversal advances. Compiles to nothing without `check-oracle`.
+#[cfg(feature = "check-oracle")]
+pub(crate) mod oracle {
+    #[inline]
+    pub(crate) fn register<T>(ptr: *mut T) {
+        reclaim_core::oracle::register(ptr.cast(), std::mem::size_of::<T>());
+    }
+    #[inline]
+    pub(crate) fn deregister<T>(ptr: *mut T) {
+        reclaim_core::oracle::deregister(ptr.cast());
+    }
+    #[inline]
+    pub(crate) fn check<T>(ptr: *mut T, checkpoint: &str) {
+        reclaim_core::oracle::check_protected(ptr.cast(), checkpoint);
+    }
+}
+
+/// No-op stand-in for the shadow-heap oracle hooks (every production build).
+#[cfg(not(feature = "check-oracle"))]
+pub(crate) mod oracle {
+    #[inline(always)]
+    pub(crate) fn register<T>(_ptr: *mut T) {}
+    #[inline(always)]
+    pub(crate) fn deregister<T>(_ptr: *mut T) {}
+    #[inline(always)]
+    pub(crate) fn check<T>(_ptr: *mut T, _checkpoint: &str) {}
+}
+
 pub use bst::{LockFreeBst, BST_HP_SLOTS};
 pub use hashmap::{LockFreeHashMap, DEFAULT_HASH_BUCKETS, HASHMAP_HP_SLOTS};
 pub use keyspace::KeySlot;

@@ -229,6 +229,9 @@ where
             if node.next.try_mark(next).is_err() {
                 continue;
             }
+            // Pause point: mark won, unlink (and retire) pending — the window
+            // the explorer drives inserts and other removals through.
+            crate::interleave::hit("list::remove::pre_unlink_cas");
             // Physical deletion: try to unlink. On failure another traversal
             // will (or already did) unlink and retire it.
             // SAFETY: the mark this thread won makes `prev`'s link the sole

@@ -108,6 +108,9 @@ where
                 let _ = self.tail.cas(tail, next);
                 continue;
             }
+            // Pause point: tail observed with a null successor, link CAS
+            // pending — dequeues of the current tail fit in this window.
+            crate::interleave::hit("queue::enqueue::pre_link_cas");
             match tail_node.next.cas_link(next, node) {
                 Ok(linked) => {
                     // Link succeeded; swing the tail (failure means someone
@@ -147,6 +150,9 @@ where
                 let _ = self.tail.cas(tail, next);
                 continue;
             }
+            // Pause point: head and successor validated, unlink CAS pending —
+            // the Michael–Scott ABA window a competing dequeue crosses.
+            crate::interleave::hit("queue::dequeue::pre_unlink_cas");
             // SAFETY: the head link is the sole path by which new observers
             // reach the old dummy, so winning this CAS unlinks it; the minted
             // `Unlinked` is the unique retire capability.

@@ -113,12 +113,14 @@ struct Node<K> {
 
 impl<K> Node<K> {
     fn alloc(key: KeySlot<K>, height: usize, birth_era: Era) -> *mut Node<K> {
-        Box::into_raw(Box::new(Node {
+        let node = Box::into_raw(Box::new(Node {
             key,
             height,
             birth_era,
             next: std::array::from_fn(|_| VersionedAtomic::new(std::ptr::null_mut())),
-        }))
+        }));
+        crate::oracle::register(node);
+        node
     }
 }
 
@@ -244,6 +246,7 @@ where
                     if w2.ptr() != curr || w2.is_marked() {
                         continue 'retry;
                     }
+                    crate::oracle::check(curr, "skiplist::traversal::validated");
                     w = w2;
                     // SAFETY: `curr` protected and validated reachable.
                     let cw = unsafe { &*curr }.next[level].load(Ordering::Acquire);
@@ -371,6 +374,9 @@ where
                 Ok(_) => break node,
                 Err(_) => {
                     // Never published: reclaim directly and retry.
+                    crate::oracle::deregister(node);
+                    // Sanctioned free path: failed-insert rollback of a private node.
+                    #[allow(clippy::disallowed_methods)]
                     // SAFETY: `node` was never shared.
                     let boxed = unsafe { Box::from_raw(node) };
                     match boxed.key {
@@ -417,6 +423,7 @@ where
                     break;
                 }
                 if node_w.ptr() != succ
+                    // SAFETY: the pointer was validated (or is hazard-protected) by the surrounding traversal and nodes are only freed through SMR.
                     && unsafe { &*node }.next[level]
                         .compare_exchange(node_w, succ, false, Ordering::AcqRel, Ordering::Acquire)
                         .is_err()
@@ -527,6 +534,7 @@ where
                     if w2.ptr() != curr || w2.is_marked() {
                         continue 'retry;
                     }
+                    crate::oracle::check(curr, "skiplist::traversal::validated");
                     w = w2;
                     // SAFETY: `curr` protected and validated reachable.
                     let cw = unsafe { &*curr }.next[level].load(Ordering::Acquire);
@@ -630,6 +638,7 @@ where
         // protection is published while the victim is validated reachable by the
         // find above, so scans honour it.)
         guard.protect_ptr(HP_NODE, victim.cast());
+        // SAFETY: `victim` protected.
         let height = unsafe { &*victim }.height;
 
         // Phase 1: logically delete the upper levels, top-down.
@@ -640,6 +649,7 @@ where
                 if w.is_marked() {
                     break;
                 }
+                // SAFETY: `victim` protected.
                 if unsafe { &*victim }.next[level]
                     .try_mark(w, Ordering::AcqRel, Ordering::Acquire)
                     .is_ok()
@@ -658,6 +668,7 @@ where
                 // Another remover won; this call observes the key as absent.
                 return false;
             }
+            // SAFETY: `victim` protected.
             if unsafe { &*victim }.next[0]
                 .try_mark(w, Ordering::AcqRel, Ordering::Acquire)
                 .is_err()
@@ -727,14 +738,17 @@ where
                 break;
             }
             guard.protect_ptr(HP_CURSOR, curr.cast());
+            // SAFETY: the pointer was validated (or is hazard-protected) by the surrounding traversal and nodes are only freed through SMR.
             let w2 = unsafe { &*prev }.next[0].load(Ordering::Acquire);
             if w2.ptr() != curr || w2.is_marked() {
                 // Restart on interference.
                 count = 0;
                 prev = self.head_ptr();
+                // SAFETY: the pointer was validated (or is hazard-protected) by the surrounding traversal and nodes are only freed through SMR.
                 w = unsafe { &*prev }.next[0].load(Ordering::Acquire);
                 continue;
             }
+            // SAFETY: `curr` is hazard-protected and was revalidated still linked above.
             let cw = unsafe { &*curr }.next[0].load(Ordering::Acquire);
             if !cw.is_marked() {
                 count += 1;
@@ -758,6 +772,9 @@ impl<K, S: Smr> Drop for LockFreeSkipList<K, S> {
         // are owned by the reclamation scheme.
         let mut curr = self.head.next[0].load(Ordering::Relaxed).ptr();
         while !curr.is_null() {
+            crate::oracle::deregister(curr);
+            // Sanctioned free path: structure teardown walk under `&mut self`.
+            #[allow(clippy::disallowed_methods)]
             // SAFETY: exclusive access; level 0 links every live node exactly once.
             let boxed = unsafe { Box::from_raw(curr) };
             curr = boxed.next[0].load(Ordering::Relaxed).ptr();

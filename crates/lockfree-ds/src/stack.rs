@@ -97,6 +97,9 @@ where
             // The new node is still private, so writing its next link needs no
             // synchronization; the publishing CAS below releases it.
             node.next.store_private(head);
+            // Pause point: the observed-head → publish window (ABA window: a
+            // pop+push pair completing here is defeated by the link version).
+            crate::interleave::hit("stack::push::pre_link_cas");
             match self.head.cas_link(head, node) {
                 Ok(_) => {
                     self.size.fetch_add(1, Ordering::Relaxed);
@@ -121,6 +124,10 @@ where
             // SAFETY: `head` carries a validated protection from `load_protected`.
             let node = unsafe { head.as_ref() }.expect("non-null checked above");
             let next = node.next.load(&guard);
+            // Pause point: the classic Treiber ABA window — successor read,
+            // unlink CAS pending; interleaved pop/push of the same node must
+            // fail the versioned CAS.
+            crate::interleave::hit("stack::pop::pre_unlink_cas");
             // SAFETY: the head link is the sole path by which new observers reach
             // the top node, so a successful CAS unlinks it; the minted `Unlinked`
             // is the unique retire capability.

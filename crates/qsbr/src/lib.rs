@@ -50,6 +50,7 @@ mod tests {
         let mut handle = scheme.register();
         for _ in 0..10 {
             handle.begin_op();
+            // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
             unsafe { retire_box(&mut handle, tracked(&drops)) };
             handle.end_op();
         }
@@ -68,6 +69,7 @@ mod tests {
         let mut handle = scheme.register();
         handle.begin_op();
         for _ in 0..50 {
+            // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
             unsafe { retire_box(&mut handle, tracked(&drops)) };
         }
         // Below the quiescence threshold no quiescent state was declared, so nothing
@@ -92,6 +94,7 @@ mod tests {
         let mut worker = scheme.register();
         for _ in 0..100 {
             worker.begin_op();
+            // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
             unsafe { retire_box(&mut worker, tracked(&drops)) };
             worker.end_op();
         }
@@ -123,6 +126,7 @@ mod tests {
         let mut worker = scheme.register();
         for _ in 0..100 {
             worker.begin_op();
+            // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
             unsafe { retire_box(&mut worker, tracked(&drops)) };
             worker.end_op();
         }
@@ -157,6 +161,7 @@ mod tests {
                     let mut handle = scheme.register();
                     for _ in 0..500 {
                         handle.begin_op();
+                        // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
                         unsafe { retire_box(&mut handle, tracked(&drops)) };
                         total.fetch_add(1, Ordering::SeqCst);
                         handle.end_op();

@@ -149,6 +149,7 @@ impl Smr for Qsbr {
 impl Drop for Qsbr {
     fn drop(&mut self) {
         // All handles are gone, so nobody holds references to any parked node.
+        // SAFETY: parked nodes were retired by departed handles and survive until a scan proves them unprotected.
         let (freed, freed_bytes) = unsafe { self.parked.drain_all() };
         self.scheme_stats.add_freed(freed as u64);
         self.scheme_stats.add_freed_bytes(freed_bytes as u64);
@@ -222,7 +223,7 @@ impl QsbrHandle {
         } else {
             tele.scan_observer(self.tele.stripe())
         };
-        // SAFETY (Lemma 3 of the paper): every node in this bucket was retired three
+        // SAFETY: (Lemma 3 of the paper) every node in this bucket was retired three
         // local-epoch transitions ago; the global epoch has advanced at least twice
         // since, and each advance requires every registered thread to have passed
         // through a quiescent state, i.e. a grace period has elapsed. No thread can
@@ -430,6 +431,7 @@ mod tests {
         let scheme = Qsbr::new(SmrConfig::default().with_quiescence_threshold(1));
         let mut handle = scheme.register();
         let ptr = Box::into_raw(Box::new(Tracked(Arc::clone(&drops))));
+        // SAFETY: the pointer was produced by `tracked`/Box::into_raw above, is no longer reachable, and is retired exactly once.
         unsafe { retire_box(&mut handle, ptr) };
         assert_eq!(handle.limbo_size(), 1);
         assert_eq!(handle.limbo[limbo_index(handle.local_epoch)].len(), 1);

@@ -96,6 +96,7 @@ mod tests {
         let mut handle = scheme.register();
         for _ in 0..50 {
             handle.begin_op();
+            // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
             unsafe { retire_box(&mut handle, tracked(&drops)) };
             handle.end_op();
         }
@@ -118,6 +119,7 @@ mod tests {
         let mut worker = scheme.register();
         for _ in 0..30 {
             worker.begin_op();
+            // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
             unsafe { retire_box(&mut worker, tracked(&drops)) };
             worker.end_op();
         }
@@ -132,6 +134,7 @@ mod tests {
         manual.advance(Duration::from_millis(100));
         for _ in 0..10 {
             worker.begin_op();
+            // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
             unsafe { retire_box(&mut worker, tracked(&drops)) };
             worker.end_op();
         }
@@ -152,6 +155,7 @@ mod tests {
         // Phase 1: `delayed` is inactive; worker pushes the system into fallback.
         for _ in 0..30 {
             worker.begin_op();
+            // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
             unsafe { retire_box(&mut worker, tracked(&drops)) };
             worker.end_op();
         }
@@ -189,11 +193,13 @@ mod tests {
         // The reader protects one node that the worker will retire.
         let protected = tracked(&drops);
         reader.protect(0, protected.cast());
+        // SAFETY: the pointer was produced by `tracked`/Box::into_raw above, is no longer reachable, and is retired exactly once.
         unsafe { retire_box(&mut worker, protected) };
 
         // Push the worker past C so the system is in fallback mode.
         for _ in 0..10 {
             worker.begin_op();
+            // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
             unsafe { retire_box(&mut worker, tracked(&drops)) };
             worker.end_op();
         }
@@ -237,6 +243,7 @@ mod tests {
                     let mut handle = scheme.register();
                     for i in 0..2000 {
                         handle.begin_op();
+                        // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
                         unsafe { retire_box(&mut handle, tracked(&drops)) };
                         allocated.fetch_add(1, Ordering::SeqCst);
                         if i % 128 == 0 {
@@ -269,6 +276,7 @@ mod tests {
         let mut worker = scheme.register();
         for i in 0..200 {
             worker.begin_op();
+            // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
             unsafe { retire_box(&mut worker, tracked(&drops)) };
             worker.end_op();
             // Nodes age quickly so the fallback scans can make progress.
@@ -308,6 +316,7 @@ mod tests {
         let mut worker = scheme.register();
         for _ in 0..200 {
             worker.begin_op();
+            // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
             unsafe { retire_box(&mut worker, tracked(&drops)) };
             worker.end_op();
             manual.advance(Duration::from_millis(5));
@@ -329,6 +338,7 @@ mod tests {
         // Phase 1: drive the system into fallback mode.
         for _ in 0..30 {
             worker.begin_op();
+            // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
             unsafe { retire_box(&mut worker, tracked(&drops)) };
             worker.end_op();
         }
@@ -337,6 +347,7 @@ mod tests {
         manual.advance(Duration::from_millis(100));
         for _ in 0..20 {
             worker.begin_op();
+            // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
             unsafe { retire_box(&mut worker, tracked(&drops)) };
             worker.end_op();
             manual.advance(Duration::from_millis(5));
@@ -375,6 +386,7 @@ mod tests {
         // Drive into fallback, evict the sleeper, recover the fast path.
         for _ in 0..25 {
             worker.begin_op();
+            // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
             unsafe { retire_box(&mut worker, tracked(&drops)) };
             worker.end_op();
         }
@@ -417,12 +429,14 @@ mod tests {
         // would, mid-operation).
         let protected = tracked(&drops);
         slow_reader.protect(0, protected.cast());
+        // SAFETY: the pointer was produced by `tracked`/Box::into_raw above, is no longer reachable, and is retired exactly once.
         unsafe { retire_box(&mut worker, protected) };
 
         // Worker drives the system into fallback, the reader gets evicted, the
         // system returns to the fast path, and plenty of time passes.
         for _ in 0..20 {
             worker.begin_op();
+            // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
             unsafe { retire_box(&mut worker, tracked(&drops)) };
             worker.end_op();
         }
@@ -458,6 +472,7 @@ mod tests {
             // Delay phase: worker alone, drives the system into fallback.
             for _ in 0..15 {
                 worker.begin_op();
+                // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
                 unsafe { retire_box(&mut worker, tracked(&drops)) };
                 worker.end_op();
             }

@@ -399,6 +399,7 @@ impl QSense {
         // prefix (adopted parked chains behind younger nodes are merely
         // delayed, never endangered).
         let bytes_before = bag.bytes();
+        // SAFETY: the bag owns these retired nodes; a node is freed only when aged past `min_age` and absent from the hazard snapshot.
         let freed = unsafe {
             bag.reclaim_if_while(
                 pool,
@@ -485,6 +486,7 @@ impl Drop for QSense {
             .unwrap_or_else(|e| e.into_inner())
             .shutdown();
         // No handles remain, so nothing can reference a parked node.
+        // SAFETY: parked nodes were retired by departed handles and survive until a scan proves them unprotected.
         let (freed, freed_bytes) = unsafe { self.parked.drain_all() };
         self.scheme_stats.add_freed(freed as u64);
         self.scheme_stats.add_freed_bytes(freed_bytes as u64);
@@ -584,6 +586,7 @@ impl QSenseHandle {
                 // registered thread, since none is evicted), so no thread holds a
                 // hazardous reference to them. Identical argument to the `qsbr` crate.
                 let bytes_before = self.limbo[bucket].bytes();
+                // SAFETY: grace period elapsed — see the Lemma 3 argument above.
                 let freed = unsafe {
                     match observer.as_ref() {
                         Some(obs) => self.limbo[bucket].reclaim_if(&mut self.pool, |node| {

@@ -1,0 +1,44 @@
+//! Explores every suite cell (5 structures × 8 schemes) at the default
+//! preemption bound and prints one line per cell — the CI `check` job runs
+//! this for a human-readable coverage table in the job log.
+//!
+//! Exit code is non-zero if any cell fails or is truncated, so the example
+//! doubles as a standalone gate:
+//!
+//! ```text
+//! cargo run -p reclaim-check --features check-oracle --example explore_suites
+//! ```
+
+use reclaim_check::{suites, Explorer};
+
+fn main() {
+    let explorer = Explorer::new();
+    let mut failed = false;
+    println!(
+        "{:<20} {:>9} {:>13} {:>9}  verdict",
+        "scenario", "schedules", "max-decisions", "truncated"
+    );
+    for scenario in suites::all_scenarios() {
+        let report = explorer.explore(&scenario);
+        let verdict = match (&report.failure, report.truncated) {
+            (Some(_), _) => "FAIL",
+            (None, true) => "TRUNCATED",
+            (None, false) => "clean",
+        };
+        println!(
+            "{:<20} {:>9} {:>13} {:>9}  {verdict}",
+            scenario.name(),
+            report.schedules,
+            report.max_decisions,
+            report.truncated,
+        );
+        if let Some(failure) = &report.failure {
+            eprintln!("{failure}");
+            failed = true;
+        }
+        failed |= report.truncated;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -140,11 +140,13 @@ mod tests {
     fn counters_follow_alloc_and_dealloc() {
         let tracker = CountingAllocator::new();
         let layout = Layout::from_size_align(256, 8).unwrap();
+        // SAFETY: `layout` has non-zero size; the returned pointer is only used while the tracker lives.
         let ptr = unsafe { tracker.alloc(layout) };
         assert!(!ptr.is_null());
         assert_eq!(tracker.allocated_bytes(), 256);
         assert_eq!(tracker.live_bytes(), 256);
         assert_eq!(tracker.peak_bytes(), 256);
+        // SAFETY: the pointer came from this tracker's `alloc` with the identical layout and is freed once.
         unsafe { tracker.dealloc(ptr, layout) };
         assert_eq!(tracker.freed_bytes(), 256);
         assert_eq!(tracker.live_bytes(), 0);
@@ -155,12 +157,14 @@ mod tests {
     fn realloc_moves_the_live_count_to_the_new_size() {
         let tracker = CountingAllocator::new();
         let layout = Layout::from_size_align(64, 8).unwrap();
+        // SAFETY: `layout` has non-zero size; the returned pointer is only used while the tracker lives.
         let ptr = unsafe { tracker.alloc(layout) };
         let grown = unsafe { tracker.realloc(ptr, layout, 512) };
         assert!(!grown.is_null());
         assert_eq!(tracker.live_bytes(), 512);
         assert!(tracker.peak_bytes() >= 512);
         let grown_layout = Layout::from_size_align(512, 8).unwrap();
+        // SAFETY: the pointer came from this tracker's `alloc` with the identical layout and is freed once.
         unsafe { tracker.dealloc(grown, grown_layout) };
         assert_eq!(tracker.live_bytes(), 0);
     }
@@ -169,14 +173,20 @@ mod tests {
     fn peak_tracks_the_largest_simultaneous_footprint() {
         let tracker = CountingAllocator::new();
         let layout = Layout::from_size_align(128, 8).unwrap();
+        // SAFETY: `layout` has non-zero size; the returned pointer is only used while the tracker lives.
         let a = unsafe { tracker.alloc(layout) };
+        // SAFETY: `layout` has non-zero size; the returned pointer is only used while the tracker lives.
         let b = unsafe { tracker.alloc(layout) };
         assert_eq!(tracker.peak_bytes(), 256);
+        // SAFETY: the pointer came from this tracker's `alloc` with the identical layout and is freed once.
         unsafe { tracker.dealloc(a, layout) };
+        // SAFETY: `layout` has non-zero size; the returned pointer is only used while the tracker lives.
         let c = unsafe { tracker.alloc(layout) };
         // Live never exceeded 256, so the peak must still be 256.
         assert_eq!(tracker.peak_bytes(), 256);
+        // SAFETY: the pointer came from this tracker's `alloc` with the identical layout and is freed once.
         unsafe { tracker.dealloc(b, layout) };
+        // SAFETY: the pointer came from this tracker's `alloc` with the identical layout and is freed once.
         unsafe { tracker.dealloc(c, layout) };
         assert_eq!(tracker.live_bytes(), 0);
     }
@@ -204,8 +214,10 @@ mod tests {
                 thread::spawn(move || {
                     let layout = Layout::from_size_align(32, 8).unwrap();
                     for _ in 0..1_000 {
+                        // SAFETY: `layout` has non-zero size; the returned pointer is only used while the tracker lives.
                         let p = unsafe { tracker.alloc(layout) };
                         assert!(!p.is_null());
+                        // SAFETY: the pointer came from this tracker's `alloc` with the identical layout and is freed once.
                         unsafe { tracker.dealloc(p, layout) };
                     }
                 })

@@ -268,6 +268,8 @@ impl<'h, H: SmrHandle> Guard<'h, H> {
             self.protect_ptr(slot, word.ptr().cast());
             let reread = link.inner.load(Ordering::Acquire);
             if reread == word {
+                #[cfg(feature = "check-oracle")]
+                crate::oracle::check_protected(word.ptr().cast(), "Guard::load_protected");
                 return Shared::from_word(word);
             }
             word = reread;
@@ -293,6 +295,8 @@ impl<'h, H: SmrHandle> Guard<'h, H> {
         self.protect_ptr(slot, expect.word.ptr().cast());
         let reread = link.inner.load(Ordering::Acquire);
         if reread == expect.word {
+            #[cfg(feature = "check-oracle")]
+            crate::oracle::check_protected(expect.word.ptr().cast(), "Guard::protect_word");
             Ok(expect)
         } else {
             Err(Shared::from_word(reread))
@@ -370,6 +374,8 @@ impl<T> Atomic<T> {
     /// sentinels/dummies; no CAS, version starts at 0).
     pub fn new(node: Owned<T>) -> Self {
         let ptr = node.ptr.as_ptr();
+        // Sanctioned ownership transfer: the node now belongs to the link.
+        #[allow(clippy::disallowed_methods)]
         std::mem::forget(node);
         Self {
             inner: VersionedAtomic::new(ptr),
@@ -446,6 +452,9 @@ impl<T> Atomic<T> {
             Ordering::Acquire,
         ) {
             Ok(word) => {
+                // Sanctioned ownership transfer: the winning CAS published the
+                // node; the structure owns it now.
+                #[allow(clippy::disallowed_methods)]
                 std::mem::forget(new);
                 Ok(Shared::from_word(word))
             }
@@ -610,6 +619,8 @@ impl<'g, T> Shared<'g, T> {
     /// [`Guard::protect_shared`]), and that protection slot has not since been
     /// overwritten with a different pointer.
     pub unsafe fn as_ref(self) -> Option<&'g T> {
+        #[cfg(feature = "check-oracle")]
+        crate::oracle::check_protected(self.word.ptr().cast(), "Shared::as_ref");
         // SAFETY: per the caller's contract the node is protected and cannot
         // be freed while the guard lives.
         unsafe { self.word.ptr().as_ref().map(|node| &node.value) }
@@ -642,9 +653,12 @@ impl<T> Owned<T> {
 
     fn with_era(value: T, birth_era: Era) -> Self {
         let boxed = Box::new(NodeBox { birth_era, value });
-        // SAFETY: `Box::into_raw` never returns null.
+        let raw = Box::into_raw(boxed);
+        #[cfg(feature = "check-oracle")]
+        crate::oracle::register(raw.cast(), std::mem::size_of::<NodeBox<T>>());
         Self {
-            ptr: unsafe { NonNull::new_unchecked(Box::into_raw(boxed)) },
+            // SAFETY: `Box::into_raw` never returns null.
+            ptr: unsafe { NonNull::new_unchecked(raw) },
         }
     }
 
@@ -652,6 +666,11 @@ impl<T> Owned<T> {
     /// handed the `Owned` back, the caller wants its key/value for the retry).
     pub fn into_inner(self) -> T {
         let this = ManuallyDrop::new(self);
+        #[cfg(feature = "check-oracle")]
+        crate::oracle::deregister(this.ptr.as_ptr().cast());
+        // Sanctioned free path: the never-linked node leaves the protocol
+        // synchronously, outside retire→reclaim.
+        #[allow(clippy::disallowed_methods)]
         // SAFETY: `ptr` came from `Box::into_raw` and `self` is consumed
         // without running its destructor, so the box is reconstructed once.
         let boxed = unsafe { Box::from_raw(this.ptr.as_ptr()) };
@@ -682,8 +701,15 @@ impl<T> std::ops::DerefMut for Owned<T> {
 
 impl<T> Drop for Owned<T> {
     fn drop(&mut self) {
+        #[cfg(feature = "check-oracle")]
+        crate::oracle::deregister(self.ptr.as_ptr().cast());
+        // Sanctioned free path: owned teardown (never-linked node, or a node
+        // taken back via `Atomic::take` during structure Drop).
+        #[allow(clippy::disallowed_methods)]
         // SAFETY: `ptr` came from `Box::into_raw` and is dropped exactly once.
-        unsafe { drop(Box::from_raw(self.ptr.as_ptr())) };
+        unsafe {
+            drop(Box::from_raw(self.ptr.as_ptr()))
+        };
     }
 }
 
@@ -706,6 +732,8 @@ unsafe impl<T: Send> Send for Unlinked<T> {}
 /// — is governed by the structure's own protocol.)
 impl<T> AsRef<T> for Unlinked<T> {
     fn as_ref(&self) -> &T {
+        #[cfg(feature = "check-oracle")]
+        crate::oracle::check_protected(self.ptr.as_ptr().cast(), "Unlinked::as_ref");
         // SAFETY: the node is unreachable to new observers but not yet
         // retired, so the allocation is live; `&self` keeps it so.
         unsafe { &self.ptr.as_ref().value }
@@ -767,8 +795,8 @@ mod tests {
             // SAFETY: validated protection on a rooted link.
             assert_eq!(unsafe { shared.as_ref() }, Some(&7));
         }
-        // SAFETY: single-threaded teardown.
         let mut link = link;
+        // SAFETY: single-threaded teardown.
         let node = unsafe { link.take() }.expect("node present");
         assert_eq!(node.into_inner(), 7);
     }

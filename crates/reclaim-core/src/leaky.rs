@@ -107,6 +107,7 @@ impl Drop for Leaky {
     fn drop(&mut self) {
         // All handles are gone (they hold Arc<Self>), so no thread can reach any
         // retired node any more: releasing everything is safe.
+        // SAFETY: parked nodes were retired by departed handles and survive until a scan proves them unprotected.
         let (freed, freed_bytes) = unsafe { self.parked.drain_all() };
         self.stats.stripe(0).add_freed(freed as u64);
         self.stats.stripe(0).add_freed_bytes(freed_bytes as u64);
@@ -232,6 +233,7 @@ mod tests {
             handle.begin_op();
             for _ in 0..10 {
                 let ptr = Box::into_raw(Box::new(Tracked(Arc::clone(&drops))));
+                // SAFETY: the pointer was produced by `tracked`/Box::into_raw above, is no longer reachable, and is retired exactly once.
                 unsafe { retire_box(&mut handle, ptr) };
             }
             handle.flush();
@@ -276,6 +278,7 @@ mod tests {
         for _ in 0..3 {
             let mut handle = scheme.register();
             let ptr = Box::into_raw(Box::new(Tracked(Arc::clone(&drops))));
+            // SAFETY: the pointer was produced by `tracked`/Box::into_raw above, is no longer reachable, and is retired exactly once.
             unsafe { retire_box(&mut handle, ptr) };
         }
         assert_eq!(scheme.stats().retired, 3);

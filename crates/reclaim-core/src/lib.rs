@@ -238,6 +238,55 @@
 //! deterministic regression schedule (which re-linked a retired node on the
 //! pre-versioned skip list under hp, cadence, he and qsense alike) lives in
 //! `tests/interleaving_harness.rs`.
+//!
+//! ## Verification
+//!
+//! Two test-only layers check the protocol above *mechanically* instead of by
+//! argument (`crates/reclaim-check` drives both; neither exists in a default
+//! build):
+//!
+//! **The shadow-heap oracle** (`feature = "check-oracle"`, the [`oracle`]
+//! module) tracks every node in an address-keyed state machine —
+//! `Live → Retired → Freed`:
+//!
+//! * [`guard::Owned::new`] (and the expert structures' raw `Node::alloc`
+//!   sites) **register** the allocation;
+//! * [`retired::RetiredPtr::with_birth_sized`] — the constructor every
+//!   scheme's retire path funnels through — marks it **Retired**
+//!   (double-retire and retire-after-free panic);
+//! * [`retired::RetiredPtr::reclaim`] — the single free choke point — marks
+//!   it **Freed**; under the explorer's *quarantine* mode the destructor is
+//!   skipped, the first 8 bytes of the node are overwritten with
+//!   [`oracle::CANARY`] (`0xDEAD_BEEF_5AFE_CA4E`) and the allocation is
+//!   leaked, so a freed address can never be reused and mask a UAF;
+//! * every validated [`guard::Guard::load_protected`] /
+//!   [`guard::Guard::protect_word`] success and every [`guard::Shared`] /
+//!   [`guard::Unlinked`] dereference is a **checkpoint**: a `Freed` verdict
+//!   panics on the spot, naming the node address, its shadow state, the
+//!   canary status and the context (scheme + schedule) the harness installed
+//!   via [`oracle::set_context`] — a reservation-coverage violation becomes a
+//!   deterministic verdict at the exact instruction that would have touched
+//!   freed memory.
+//!
+//! Synchronous owned frees ([`guard::Owned::into_inner`]/`Drop`, structure
+//! teardown walks, failed-insert rollbacks) **deregister** instead; nodes the
+//! oracle never saw allocated (raw test Boxes) are tracked from retire to
+//! free only, so allocator address reuse it cannot see never false-positives.
+//!
+//! **The schedule explorer** (`reclaim-check`) serializes 2–3 model threads
+//! through `lockfree-ds::interleave`'s pause points and enumerates every
+//! interleaving up to a **preemption bound** (default 2, CHESS-style):
+//! within the bound the enumeration is exhaustive over the instrumented
+//! points, so "exploration completes clean" means *no schedule with ≤ N
+//! preemptions at the pause points violates the oracle* — it says nothing
+//! about windows no pause point names, about schedules needing more
+//! preemptions, or about weak-memory reorderings (execution is sequentially
+//! consistent under the scheduler). Every failure report carries the exact
+//! `thread@pause-point` schedule that produced it; to pin one as a
+//! regression, paste the trace into `reclaim_check::Explorer::replay`, which
+//! re-runs that single schedule deterministically (see
+//! `crates/reclaim-check/tests/replayed_schedules.rs` for the PR 4 races
+//! re-found this way).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -251,6 +300,8 @@ pub mod guard;
 pub mod handle_cache;
 pub mod leaky;
 pub mod membarrier;
+#[cfg(feature = "check-oracle")]
+pub mod oracle;
 pub mod pad;
 pub mod registry;
 pub mod retired;

@@ -38,6 +38,7 @@ unsafe fn sys_membarrier(cmd: i64, flags: i64) -> i64 {
     // syscall number for membarrier on x86-64 Linux.
     const NR_MEMBARRIER: i64 = 324;
     let ret: i64;
+    // SAFETY: membarrier(2) takes no pointers and cannot fault; all register clobbers are declared.
     unsafe {
         core::arch::asm!(
             "syscall",
@@ -58,6 +59,7 @@ unsafe fn sys_membarrier(cmd: i64, flags: i64) -> i64 {
     // syscall number for membarrier on aarch64 Linux.
     const NR_MEMBARRIER: i64 = 283;
     let ret: i64;
+    // SAFETY: membarrier(2) takes no pointers and cannot fault; all register clobbers are declared.
     unsafe {
         core::arch::asm!(
             "svc 0",

@@ -101,6 +101,10 @@ impl RetiredPtr {
         size_bytes: usize,
     ) -> Self {
         debug_assert!(!ptr.is_null(), "retiring a null pointer");
+        // Every retire path in every scheme funnels through this constructor,
+        // so this is the oracle's single retire checkpoint.
+        #[cfg(feature = "check-oracle")]
+        crate::oracle::on_retire(ptr, size_bytes);
         Self {
             ptr,
             drop_fn,
@@ -162,6 +166,13 @@ impl RetiredPtr {
     /// No thread may hold a hazardous reference to the node (this is exactly what the
     /// scheme's scan / grace-period logic establishes before calling this).
     pub unsafe fn reclaim(self) {
+        // The single free checkpoint: the oracle flips the node to Freed and —
+        // under quarantine — poisons the header and vetoes the destructor so
+        // the address can never be reused (see `crate::oracle`).
+        #[cfg(feature = "check-oracle")]
+        if !crate::oracle::on_free(self.ptr) {
+            return;
+        }
         (self.drop_fn)(self.ptr);
         // `self` is consumed; forgetting nothing — RetiredPtr has no Drop impl, so the
         // wrapper itself is released trivially.
@@ -199,8 +210,14 @@ mod tests {
         });
         let raw = Box::into_raw(boxed).cast::<u8>();
         unsafe fn drop_counter(ptr: *mut u8) {
-            unsafe { drop(Box::from_raw(ptr.cast::<DropCounter>())) };
+            // SAFETY: reconstructs the box from the pointer this test leaked via Box::into_raw; it is dropped exactly once.
+            #[allow(clippy::disallowed_methods)]
+            // sanctioned: drop_fn thunk: the retire contract pairs this with Box::into_raw
+            unsafe {
+                drop(Box::from_raw(ptr.cast::<DropCounter>()))
+            };
         }
+        // SAFETY: the pointer was just produced by Box::into_raw and matches the drop function's type.
         unsafe { RetiredPtr::new(raw, drop_counter, at) }
     }
 
@@ -211,6 +228,7 @@ mod tests {
         assert!(!node.is_old_enough(1_500, 1_000));
         assert!(node.is_old_enough(2_000, 1_000));
         assert!(node.is_old_enough(2_500, 1_000));
+        // SAFETY: the node was retired exactly once above and nothing protects it; reclaim drops it here.
         unsafe { node.reclaim() };
         assert_eq!(counter.load(Ordering::SeqCst), 1);
     }
@@ -221,6 +239,7 @@ mod tests {
         // Retired "in the future" relative to now: must not panic, must not be old.
         let node = retire_counter(&counter, 5_000);
         assert!(!node.is_old_enough(1_000, 1));
+        // SAFETY: the node was retired exactly once above and nothing protects it; reclaim drops it here.
         unsafe { node.reclaim() };
     }
 
@@ -229,6 +248,7 @@ mod tests {
         let counter = Arc::new(AtomicUsize::new(0));
         let node = retire_counter(&counter, 0);
         assert!(!node.addr().is_null());
+        // SAFETY: the node was retired exactly once above and nothing protects it; reclaim drops it here.
         unsafe { node.reclaim() };
         assert_eq!(counter.load(Ordering::SeqCst), 1);
     }
@@ -238,6 +258,7 @@ mod tests {
         let counter = Arc::new(AtomicUsize::new(0));
         let unstamped = retire_counter(&counter, 5);
         assert_eq!(unstamped.birth_era(), NO_BIRTH_ERA);
+        // SAFETY: the node was retired exactly once above and nothing protects it; reclaim drops it here.
         unsafe { unstamped.reclaim() };
 
         let boxed = Box::new(DropCounter {
@@ -245,11 +266,18 @@ mod tests {
         });
         let raw = Box::into_raw(boxed).cast::<u8>();
         unsafe fn drop_counter(ptr: *mut u8) {
-            unsafe { drop(Box::from_raw(ptr.cast::<DropCounter>())) };
+            // SAFETY: reconstructs the box from the pointer this test leaked via Box::into_raw; it is dropped exactly once.
+            #[allow(clippy::disallowed_methods)]
+            // sanctioned: drop_fn thunk: the retire contract pairs this with Box::into_raw
+            unsafe {
+                drop(Box::from_raw(ptr.cast::<DropCounter>()))
+            };
         }
+        // SAFETY: `raw` was just leaked via Box::into_raw and matches `drop_counter`'s type.
         let stamped = unsafe { RetiredPtr::with_birth(raw, drop_counter, 9, 42) };
         assert_eq!(stamped.birth_era(), 42);
         assert_eq!(stamped.retired_at(), 9);
+        // SAFETY: the node was retired exactly once above and nothing protects it; reclaim drops it here.
         unsafe { stamped.reclaim() };
         assert_eq!(counter.load(Ordering::SeqCst), 2);
     }
@@ -259,6 +287,7 @@ mod tests {
         let counter = Arc::new(AtomicUsize::new(0));
         let unsized_node = retire_counter(&counter, 1);
         assert_eq!(unsized_node.size_bytes(), SIZE_UNKNOWN as usize);
+        // SAFETY: the node was retired exactly once above and nothing protects it; reclaim drops it here.
         unsafe { unsized_node.reclaim() };
 
         let boxed = Box::new(DropCounter {
@@ -266,11 +295,18 @@ mod tests {
         });
         let raw = Box::into_raw(boxed).cast::<u8>();
         unsafe fn drop_counter(ptr: *mut u8) {
-            unsafe { drop(Box::from_raw(ptr.cast::<DropCounter>())) };
+            // SAFETY: reconstructs the box from the pointer this test leaked via Box::into_raw; it is dropped exactly once.
+            #[allow(clippy::disallowed_methods)]
+            // sanctioned: drop_fn thunk: the retire contract pairs this with Box::into_raw
+            unsafe {
+                drop(Box::from_raw(ptr.cast::<DropCounter>()))
+            };
         }
+        // SAFETY: `raw` was just leaked via Box::into_raw and matches `drop_counter`'s type.
         let sized = unsafe { RetiredPtr::with_birth_sized(raw, drop_counter, 2, 7, 256) };
         assert_eq!(sized.size_bytes(), 256);
         assert_eq!(sized.birth_era(), 7);
+        // SAFETY: the node was retired exactly once above and nothing protects it; reclaim drops it here.
         unsafe { sized.reclaim() };
         assert_eq!(counter.load(Ordering::SeqCst), 2);
     }
@@ -285,6 +321,7 @@ mod tests {
         // The tick must fit the pre-existing padding: adding it must not have
         // grown the wrapper past its 40-byte footprint (segment geometry).
         assert_eq!(std::mem::size_of::<RetiredPtr>(), 40);
+        // SAFETY: the node was retired exactly once above and nothing protects it; reclaim drops it here.
         unsafe { node.reclaim() };
     }
 
@@ -296,10 +333,17 @@ mod tests {
         });
         let raw = Box::into_raw(boxed).cast::<u8>();
         unsafe fn drop_counter(ptr: *mut u8) {
-            unsafe { drop(Box::from_raw(ptr.cast::<DropCounter>())) };
+            // SAFETY: reconstructs the box from the pointer this test leaked via Box::into_raw; it is dropped exactly once.
+            #[allow(clippy::disallowed_methods)]
+            // sanctioned: drop_fn thunk: the retire contract pairs this with Box::into_raw
+            unsafe {
+                drop(Box::from_raw(ptr.cast::<DropCounter>()))
+            };
         }
+        // SAFETY: `raw` was just leaked via Box::into_raw and matches `drop_counter`'s type.
         let huge = unsafe { RetiredPtr::with_birth_sized(raw, drop_counter, 0, 0, usize::MAX) };
         assert_eq!(huge.size_bytes(), u32::MAX as usize);
+        // SAFETY: the node was retired exactly once above and nothing protects it; reclaim drops it here.
         unsafe { huge.reclaim() };
     }
 }

@@ -98,6 +98,8 @@ impl Segment {
     unsafe fn dealloc(seg: *mut Segment) {
         // SAFETY: forwarded from the caller's contract; the slots are
         // `MaybeUninit`, so dropping the box never runs `RetiredPtr` work.
+        #[allow(clippy::disallowed_methods)]
+        // sanctioned: segment deallocation: the pool's only free path
         drop(unsafe { Box::from_raw(seg) });
     }
 }
@@ -154,6 +156,7 @@ impl SegPool {
         // SAFETY: `seg` came from `put`, which keeps the free list well formed.
         self.free = unsafe { (*seg).next };
         self.free_len -= 1;
+        // SAFETY: `seg` was just unlinked from the free list and is exclusively owned here.
         unsafe {
             (*seg).next = ptr::null_mut();
         }
@@ -267,6 +270,7 @@ impl SegBag {
     /// Adds a retired node, drawing a segment from `pool` if the tail is full.
     pub fn push(&mut self, pool: &mut SegPool, node: RetiredPtr) {
         self.bytes += node.size_bytes();
+        // SAFETY: `head`/`tail` segments come from `pool.get` and are exclusively owned by this bag.
         unsafe {
             if self.tail.is_null() {
                 let seg = pool.get();
@@ -412,6 +416,7 @@ impl SegBag {
         let mut seg = self.head;
         let mut stopped = false;
         let mut merged = false;
+        // SAFETY: the caller vouches that nodes passing the predicate are unprotected; the bag exclusively owns its segments, and compaction moves each survivor exactly once.
         unsafe {
             while !seg.is_null() && !stopped {
                 let next = (*seg).next;
@@ -697,8 +702,14 @@ mod tests {
         });
         let raw = Box::into_raw(boxed).cast::<u8>();
         unsafe fn drop_counter(ptr: *mut u8) {
-            unsafe { drop(Box::from_raw(ptr.cast::<DropCounter>())) };
+            // SAFETY: reconstructs the box from the pointer this test leaked via Box::into_raw; it is dropped exactly once.
+            #[allow(clippy::disallowed_methods)]
+            // sanctioned: drop_fn thunk: the retire contract pairs this with Box::into_raw
+            unsafe {
+                drop(Box::from_raw(ptr.cast::<DropCounter>()))
+            };
         }
+        // SAFETY: the pointer was just produced by Box::into_raw and matches the drop function's type.
         unsafe { RetiredPtr::new(raw, drop_counter, at) }
     }
 
@@ -708,8 +719,14 @@ mod tests {
         });
         let raw = Box::into_raw(boxed).cast::<u8>();
         unsafe fn drop_counter(ptr: *mut u8) {
-            unsafe { drop(Box::from_raw(ptr.cast::<DropCounter>())) };
+            // SAFETY: reconstructs the box from the pointer this test leaked via Box::into_raw; it is dropped exactly once.
+            #[allow(clippy::disallowed_methods)]
+            // sanctioned: drop_fn thunk: the retire contract pairs this with Box::into_raw
+            unsafe {
+                drop(Box::from_raw(ptr.cast::<DropCounter>()))
+            };
         }
+        // SAFETY: `raw` was just leaked via Box::into_raw and matches `drop_counter`'s type.
         unsafe { RetiredPtr::with_birth_sized(raw, drop_counter, at, 0, size) }
     }
 
@@ -748,9 +765,11 @@ mod tests {
         assert_eq!(a.bytes(), total + 64);
         assert_eq!(b.bytes(), 0);
         // A partial reclaim subtracts exactly the freed nodes' stamps.
+        // SAFETY: the test owns every node in the bag; none is protected.
         let freed = unsafe { a.reclaim_if(&mut pool, |node| node.retired_at() < 2) };
         assert_eq!(freed, 2);
         assert_eq!(a.bytes(), total + 64 - 100 - 200);
+        // SAFETY: every node in the bag was handed over by `retire` and none is protected — the test owns them all.
         unsafe { a.reclaim_all(&mut pool) };
         assert_eq!(a.bytes(), 0);
     }
@@ -766,6 +785,7 @@ mod tests {
         let parked = ParkedChain::new();
         parked.park(&mut leftovers);
         assert_eq!(parked.parked_bytes(), 200);
+        // SAFETY: the test owns the parked nodes; no scan is concurrent.
         let (nodes, bytes) = unsafe { parked.drain_all() };
         assert_eq!((nodes, bytes), (4, 200));
         assert_eq!(parked.parked_bytes(), 0);
@@ -783,6 +803,7 @@ mod tests {
         }
         assert_eq!(bag.len(), n);
         assert_eq!(bag.segments(), 4);
+        // SAFETY: every node in the bag was handed over by `retire` and none is protected — the test owns them all.
         let freed = unsafe { bag.reclaim_all(&mut pool) };
         assert_eq!(freed, n);
         assert!(bag.is_empty());
@@ -806,6 +827,7 @@ mod tests {
             let keep =
                 |t: u64| (t.wrapping_mul(2654435761).wrapping_add(round * 97)).is_multiple_of(3);
             let expected_freed = (0..n).filter(|&t| !keep(t)).count();
+            // SAFETY: retired nodes are owned by the bag; the predicate only spares still-protected ones.
             let freed = unsafe { bag.reclaim_if(&mut pool, |node| !keep(node.retired_at())) };
             assert_eq!(freed, expected_freed, "round {round}");
             assert_eq!(counter.load(Ordering::SeqCst), expected_freed);
@@ -816,6 +838,7 @@ mod tests {
                 survivors, expected,
                 "round {round}: compaction must keep order"
             );
+            // SAFETY: every node in the bag was handed over by `retire` and none is protected — the test owns them all.
             unsafe { bag.reclaim_all(&mut pool) };
         }
     }
@@ -829,6 +852,7 @@ mod tests {
         for t in 0..(4 * SEG_CAP) as u64 {
             bag.push(&mut pool, retire_counter(&counter, t));
         }
+        // SAFETY: every node in the bag was handed over by `retire` and none is protected — the test owns them all.
         unsafe { bag.reclaim_all(&mut pool) };
         let pooled = pool.free_segments();
         assert_eq!(pooled, 4);
@@ -839,6 +863,7 @@ mod tests {
                 bag.push(&mut pool, retire_counter(&counter, t));
             }
             assert_eq!(pool.free_segments(), 0, "all segments in use");
+            // SAFETY: every node in the bag was handed over by `retire` and none is protected — the test owns them all.
             unsafe { bag.reclaim_all(&mut pool) };
             assert_eq!(pool.free_segments(), pooled, "segments fully recycled");
         }
@@ -856,6 +881,7 @@ mod tests {
         // segments (the head and the tail) must be unlinked and pooled while
         // the middle segment's survivors stay in place, unmoved.
         let keep = |t: u64| (SEG_CAP as u64..2 * SEG_CAP as u64).contains(&t);
+        // SAFETY: retired nodes are owned by the bag; the predicate only spares still-protected ones.
         let freed = unsafe { bag.reclaim_if(&mut pool, |n| !keep(n.retired_at())) };
         assert_eq!(freed, 2 * SEG_CAP);
         assert_eq!(bag.len(), SEG_CAP);
@@ -871,6 +897,7 @@ mod tests {
         bag.push(&mut pool, retire_counter(&counter, 1_000));
         assert_eq!(bag.segments(), 2);
         assert_eq!(pool.free_segments(), 1);
+        // SAFETY: every node in the bag was handed over by `retire` and none is protected — the test owns them all.
         unsafe { bag.reclaim_all(&mut pool) };
     }
 
@@ -887,6 +914,7 @@ mod tests {
         // exactly one adjacent pair (whose combined survivors fit one segment)
         // is merged this pass. The move cost stays O(freed) + one bounded merge,
         // never O(bag).
+        // SAFETY: retired nodes are owned by the bag; the predicate only spares still-protected ones.
         let freed = unsafe { bag.reclaim_if(&mut pool, |n| !n.retired_at().is_multiple_of(3)) };
         assert_eq!(freed, 2 * SEG_CAP);
         assert_eq!(bag.len(), SEG_CAP);
@@ -904,6 +932,7 @@ mod tests {
             survivors, expected,
             "order preserved within and across segments"
         );
+        // SAFETY: every node in the bag was handed over by `retire` and none is protected — the test owns them all.
         unsafe { bag.reclaim_all(&mut pool) };
         assert_eq!(pool.free_segments(), 3);
     }
@@ -923,12 +952,14 @@ mod tests {
         }
         // Keep exactly one node per segment.
         let keep = |t: u64| t.is_multiple_of(SEG_CAP as u64);
+        // SAFETY: retired nodes are owned by the bag; the predicate only spares still-protected ones.
         let freed = unsafe { bag.reclaim_if(&mut pool, |n| !keep(n.retired_at())) };
         assert_eq!(freed, segments * (SEG_CAP - 1));
         // Pass 1 already merged one pair; every further (empty) pass merges one
         // more until a single segment remains.
         assert_eq!(bag.segments(), segments - 1);
         for remaining in (1..segments - 1).rev() {
+            // SAFETY: retired nodes are owned by the bag; the predicate only spares still-protected ones.
             let freed = unsafe { bag.reclaim_if(&mut pool, |_| false) };
             assert_eq!(freed, 0);
             assert_eq!(bag.segments(), remaining);
@@ -938,11 +969,13 @@ mod tests {
         let expected: Vec<u64> = (0..segments as u64).map(|i| i * SEG_CAP as u64).collect();
         assert_eq!(survivors, expected, "merges preserve order");
         // Converged: further passes are no-ops.
+        // SAFETY: retired nodes are owned by the bag; the predicate only spares still-protected ones.
         unsafe { bag.reclaim_if(&mut pool, |_| false) };
         assert_eq!(bag.segments(), 1);
         // The bag is still writable after merges relocated the tail.
         bag.push(&mut pool, retire_counter(&counter, 1_000));
         assert_eq!(bag.len(), segments + 1);
+        // SAFETY: every node in the bag was handed over by `retire` and none is protected — the test owns them all.
         unsafe { bag.reclaim_all(&mut pool) };
         assert_eq!(pool.free_segments(), segments);
     }
@@ -960,6 +993,7 @@ mod tests {
             let keep =
                 |t: u64| !(t.wrapping_mul(2654435761).wrapping_add(round * 31)).is_multiple_of(4);
             let mut visited = Vec::new();
+            // SAFETY: the test owns every node in the bag; none is protected.
             let freed = unsafe {
                 bag.reclaim_if_visit(
                     &mut pool,
@@ -979,6 +1013,7 @@ mod tests {
                 remaining, expected,
                 "round {round}: visited set matches the bag after merges"
             );
+            // SAFETY: every node in the bag was handed over by `retire` and none is protected — the test owns them all.
             unsafe { bag.reclaim_all(&mut pool) };
         }
     }
@@ -995,6 +1030,7 @@ mod tests {
         // Age cutoff mid-chain: nodes 0..cutoff are "old enough"; node 7 is
         // protected and must survive even inside the scanned prefix.
         let cutoff = SEG_CAP as u64 + 3;
+        // SAFETY: the test owns every node in the bag; none is protected.
         let freed = unsafe {
             bag.reclaim_if_while(
                 &mut pool,
@@ -1014,6 +1050,7 @@ mod tests {
         assert_eq!(survivors, expected);
         assert_eq!(counter.load(Ordering::SeqCst), freed);
         // A later unrestricted pass can still free the rest.
+        // SAFETY: every node in the bag was handed over by `retire` and none is protected — the test owns them all.
         let freed = unsafe { bag.reclaim_all(&mut pool) };
         assert_eq!(freed, n as usize - (cutoff as usize - 1));
         assert!(bag.is_empty());
@@ -1040,6 +1077,7 @@ mod tests {
         // must both handle it.
         let seen: Vec<u64> = a.iter().map(RetiredPtr::retired_at).collect();
         assert_eq!(seen.len(), total);
+        // SAFETY: every node in the bag was handed over by `retire` and none is protected — the test owns them all.
         let freed = unsafe { a.reclaim_all(&mut pool) };
         assert_eq!(freed, total);
         assert_eq!(counter.load(Ordering::SeqCst), total);
@@ -1063,6 +1101,7 @@ mod tests {
         a.push(&mut pool, retire_counter(&counter, 3));
         assert_eq!(a.len(), 4);
         assert_eq!(a.segments(), 1);
+        // SAFETY: every node in the bag was handed over by `retire` and none is protected — the test owns them all.
         unsafe { a.reclaim_all(&mut pool) };
     }
 
@@ -1090,6 +1129,7 @@ mod tests {
         let total = a.len();
         // Keep everything: the pass must traverse the partial segment mid-chain
         // without losing, duplicating, or migrating nodes.
+        // SAFETY: the test owns every node in the bag; none is protected.
         let freed = unsafe { a.reclaim_if(&mut pool, |_| false) };
         assert_eq!(freed, 0);
         assert_eq!(a.len(), total);
@@ -1097,6 +1137,7 @@ mod tests {
         assert_eq!(survivors, (0..total as u64).collect::<Vec<_>>());
         // Nothing was freed, so all 3 segments (partial one included) remain.
         assert_eq!(a.segments(), 3);
+        // SAFETY: every node in the bag was handed over by `retire` and none is protected — the test owns them all.
         unsafe { a.reclaim_all(&mut pool) };
         assert_eq!(counter.load(Ordering::SeqCst), total);
     }

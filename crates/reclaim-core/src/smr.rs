@@ -221,7 +221,11 @@ pub fn drop_fn_for<T>() -> DropFn {
     unsafe fn drop_box<T>(ptr: *mut u8) {
         // SAFETY: the contract of `SmrHandle::retire` guarantees `ptr` originated
         // from `Box::<T>::into_raw` and is dropped exactly once.
-        unsafe { drop(Box::from_raw(ptr.cast::<T>())) }
+        #[allow(clippy::disallowed_methods)]
+        // sanctioned: drop_fn_for's generated thunk: the canonical free path
+        unsafe {
+            drop(Box::from_raw(ptr.cast::<T>()))
+        }
     }
     drop_box::<T>
 }
@@ -249,6 +253,7 @@ mod tests {
             counter: Arc::clone(&counter),
         }));
         let f = drop_fn_for::<Tracked>();
+        // SAFETY: `raw` was just leaked via Box::into_raw; the drop function matches its type and runs once.
         unsafe { f(raw.cast()) };
         assert_eq!(counter.load(Ordering::SeqCst), 1);
     }

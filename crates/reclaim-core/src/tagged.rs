@@ -304,7 +304,12 @@ mod tests {
         let (clean, flag) = decompose(m);
         assert_eq!(clean, raw);
         assert!(flag);
-        unsafe { drop(Box::from_raw(raw)) };
+        // SAFETY: reconstructs the box from the pointer this test leaked via Box::into_raw; it is dropped exactly once.
+        #[allow(clippy::disallowed_methods)]
+        // sanctioned: test teardown balancing this test's Box::into_raw
+        unsafe {
+            drop(Box::from_raw(raw))
+        };
     }
 
     #[test]
@@ -323,7 +328,12 @@ mod tests {
         assert_eq!(w.ptr(), raw);
         assert!(!w.is_marked());
         assert_eq!(w.version(), 0);
-        unsafe { drop(Box::from_raw(raw)) };
+        // SAFETY: reconstructs the box from the pointer this test leaked via Box::into_raw; it is dropped exactly once.
+        #[allow(clippy::disallowed_methods)]
+        // sanctioned: test teardown balancing this test's Box::into_raw
+        unsafe {
+            drop(Box::from_raw(raw))
+        };
     }
 
     #[test]
@@ -343,8 +353,13 @@ mod tests {
         assert!(w2.is_marked());
         assert_eq!(w2.ptr(), b);
         assert_eq!(w2.version(), 2);
+        // SAFETY: `a` and `b` were leaked via Box::into_raw above and are dropped exactly once.
         unsafe {
+            #[allow(clippy::disallowed_methods)]
+            // sanctioned: test teardown balancing this test's Box::into_raw
             drop(Box::from_raw(a));
+            #[allow(clippy::disallowed_methods)]
+            // sanctioned: test teardown balancing this test's Box::into_raw
             drop(Box::from_raw(b));
         }
     }
@@ -369,8 +384,13 @@ mod tests {
             .expect_err("stale snapshot must fail on version mismatch");
         assert_eq!(err.ptr(), a);
         assert_eq!(err.version(), 2);
+        // SAFETY: `a` and `b` were leaked via Box::into_raw above and are dropped exactly once.
         unsafe {
+            #[allow(clippy::disallowed_methods)]
+            // sanctioned: test teardown balancing this test's Box::into_raw
             drop(Box::from_raw(a));
+            #[allow(clippy::disallowed_methods)]
+            // sanctioned: test teardown balancing this test's Box::into_raw
             drop(Box::from_raw(b));
         }
     }
@@ -391,7 +411,12 @@ mod tests {
                 .is_err(),
             "the old snapshot is poisoned"
         );
-        unsafe { drop(Box::from_raw(a)) };
+        // SAFETY: reconstructs the box from the pointer this test leaked via Box::into_raw; it is dropped exactly once.
+        #[allow(clippy::disallowed_methods)]
+        // sanctioned: test teardown balancing this test's Box::into_raw
+        unsafe {
+            drop(Box::from_raw(a))
+        };
     }
 
     #[test]
@@ -410,7 +435,12 @@ mod tests {
         assert_eq!(wrapped.version(), 0, "version wraps mod 2^16");
         assert_eq!(wrapped.ptr(), a, "pointer bits survive the wrap");
         assert!(wrapped.is_marked(), "mark bit survives the wrap");
-        unsafe { drop(Box::from_raw(a)) };
+        // SAFETY: reconstructs the box from the pointer this test leaked via Box::into_raw; it is dropped exactly once.
+        #[allow(clippy::disallowed_methods)]
+        // sanctioned: test teardown balancing this test's Box::into_raw
+        unsafe {
+            drop(Box::from_raw(a))
+        };
     }
 
     #[test]
@@ -424,8 +454,13 @@ mod tests {
         link.store_private(a, Ordering::Relaxed);
         let w = link.load(Ordering::Acquire);
         assert_eq!((w.ptr(), w.is_marked(), w.version()), (a, false, 0));
+        // SAFETY: `a` and `b` were leaked via Box::into_raw above and are dropped exactly once.
         unsafe {
+            #[allow(clippy::disallowed_methods)]
+            // sanctioned: test teardown balancing this test's Box::into_raw
             drop(Box::from_raw(a));
+            #[allow(clippy::disallowed_methods)]
+            // sanctioned: test teardown balancing this test's Box::into_raw
             drop(Box::from_raw(b));
         }
     }

@@ -618,9 +618,11 @@ mod tests {
         let obs = tele.scan_observer(0).expect("enabled");
         // An unstamped node (tick 0) is skipped.
         let unstamped =
+            // SAFETY: the pointer was just produced by Box::into_raw and matches the drop function's type.
             unsafe { RetiredPtr::new(Box::into_raw(Box::new(7u64)).cast(), drop_u64, 0) };
         obs.note_free(&unstamped);
         let mut stamped =
+            // SAFETY: the pointer was just produced by Box::into_raw and matches the drop function's type.
             unsafe { RetiredPtr::new(Box::into_raw(Box::new(7u64)).cast(), drop_u64, 0) };
         stamped.set_retire_tick(tele.coarse_now());
         obs.note_free(&stamped);
@@ -628,6 +630,7 @@ mod tests {
         let summary = tele.summary();
         assert_eq!(summary.reclaim_delay_us.count(), 1);
         assert_eq!(summary.scan_ns.count(), 1);
+        // SAFETY: both nodes were retired exactly once above and nothing protects them.
         unsafe {
             unstamped.reclaim();
             stamped.reclaim();
@@ -636,7 +639,11 @@ mod tests {
 
     unsafe fn drop_u64(ptr: *mut u8) {
         // SAFETY: test pointers originate from Box::into_raw::<u64>.
-        unsafe { drop(Box::from_raw(ptr.cast::<u64>())) };
+        #[allow(clippy::disallowed_methods)]
+        // sanctioned: drop_fn thunk: the retire contract pairs this with Box::into_raw
+        unsafe {
+            drop(Box::from_raw(ptr.cast::<u64>()))
+        };
     }
 
     #[test]

@@ -67,6 +67,7 @@ mod tests {
                         // then unprotect and retire it.
                         handle.protect((i % 2) as usize, node.cast());
                         handle.clear_protections();
+                        // SAFETY: the pointer was produced by `tracked`/Box::into_raw above, is no longer reachable, and is retired exactly once.
                         unsafe { retire_box(&mut handle, node) };
                         retired.fetch_add(1, Ordering::SeqCst);
                         handle.end_op();
@@ -88,6 +89,7 @@ mod tests {
         let mut handle = scheme.register();
         for _ in 0..12 {
             let node = Box::into_raw(Box::new(Tracked(Arc::clone(&drops))));
+            // SAFETY: the pointer was produced by `tracked`/Box::into_raw above, is no longer reachable, and is retired exactly once.
             unsafe { retire_box(&mut handle, node) };
         }
         handle.flush();

@@ -106,6 +106,7 @@ impl RefCount {
         // same structure as Michael's hazard-pointer scan proof, with "counter
         // bucket is non-zero" in place of "a hazard pointer matches".
         let bytes_before = bag.bytes();
+        // SAFETY: see the counter-scan argument above — a zero bucket means no reader can still reach the node.
         let freed = unsafe {
             bag.reclaim_if(pool, |node| {
                 let free = self.table.is_unreferenced(node.addr());
@@ -181,6 +182,7 @@ impl Smr for RefCount {
 impl Drop for RefCount {
     fn drop(&mut self) {
         // No handle remains, so no reference announcement remains either.
+        // SAFETY: parked nodes were retired by departed handles and survive until a scan proves them unprotected.
         let (freed, freed_bytes) = unsafe { self.parked.drain_all() };
         self.stats.stripe(0).add_freed(freed as u64);
         self.stats.stripe(0).add_freed_bytes(freed_bytes as u64);
@@ -437,6 +439,7 @@ mod tests {
         let mut deleter = scheme.register();
         let node = tracked(&drops);
         reader.protect(0, node.cast());
+        // SAFETY: the pointer was produced by `tracked`/Box::into_raw above, is no longer reachable, and is retired exactly once.
         unsafe { retire_box(&mut deleter, node) };
         deleter.flush();
         assert_eq!(
@@ -459,6 +462,7 @@ mod tests {
         );
         let mut handle = scheme.register();
         for _ in 0..8 {
+            // SAFETY: the pointer comes fresh from `tracked` (Box::into_raw) and is retired exactly once.
             unsafe { retire_box(&mut handle, tracked(&drops)) };
         }
         // The 8th retire crossed the threshold and triggered a scan.
@@ -484,12 +488,14 @@ mod tests {
         let protected = tracked(&drops);
         let doomed = tracked(&drops);
         reader.protect(0, protected.cast());
+        // SAFETY: the pointer was produced by `tracked`/Box::into_raw above, is no longer reachable, and is retired exactly once.
         unsafe { retire_box(&mut deleter, doomed) };
         deleter.flush();
         // Whether or not `doomed` collided with `protected`, it must not be freed
         // unsafely; once the reader lets go, everything can be reclaimed.
         reader.clear_protections();
         deleter.flush();
+        // SAFETY: the pointer was produced by `tracked`/Box::into_raw above, is no longer reachable, and is retired exactly once.
         unsafe { retire_box(&mut deleter, protected) };
         deleter.flush();
         assert_eq!(drops.load(Ordering::SeqCst), 2);
@@ -508,6 +514,7 @@ mod tests {
         reader.protect(0, node.cast());
         {
             let mut deleter = scheme.register();
+            // SAFETY: the pointer was produced by `tracked`/Box::into_raw above, is no longer reachable, and is retired exactly once.
             unsafe { retire_box(&mut deleter, node) };
             // deleter exits while the reader still references the node
         }

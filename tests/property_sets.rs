@@ -115,7 +115,10 @@ proptest! {
     fn is_old_enough_is_monotonic(retired_at in 0u64..1_000_000, min_age in 0u64..1_000_000, dt1 in 0u64..1_000_000, dt2 in 0u64..1_000_000) {
         use reclaim_core::RetiredPtr;
         let raw = Box::into_raw(Box::new(0u64));
+        // SAFETY: reconstructs the box from the pointer this test leaked via Box::into_raw; it is dropped exactly once.
+        #[allow(clippy::disallowed_methods)] // sanctioned: drop_fn thunk: the retire contract pairs this with Box::into_raw
         unsafe fn drop_u64(p: *mut u8) { unsafe { drop(Box::from_raw(p.cast::<u64>())) } }
+        // SAFETY: the pointer was just produced by Box::into_raw and matches the drop function's type.
         let node = unsafe { RetiredPtr::new(raw.cast(), drop_u64, retired_at) };
         let early = retired_at.saturating_add(dt1.min(dt2));
         let late = retired_at.saturating_add(dt1.max(dt2));
@@ -125,6 +128,7 @@ proptest! {
         if late < retired_at.saturating_add(min_age) {
             prop_assert!(!node.is_old_enough(late, min_age), "never old before min_age");
         }
+        // SAFETY: the node was retired exactly once above and nothing protects it; reclaim drops it here.
         unsafe { node.reclaim() };
     }
 
