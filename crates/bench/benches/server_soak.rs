@@ -1,0 +1,128 @@
+//! **Server soak** — the M:N lease scenario: thousands of short sessions
+//! borrowing eight registered handles against a shared skip list.
+//!
+//! Run with a single command from the workspace root:
+//!
+//! ```text
+//! cargo bench -p bench --bench server_soak
+//! ```
+//!
+//! Each facade scheme (hp, cadence, qsense, he) serves
+//! `QSENSE_BENCH_SOAK_SESSIONS` (default 2000) sessions over 8 leased slots
+//! from a 64-capacity registry, with twice as many workers as slots so lease
+//! contention is real. Reported per scheme: operation and session throughput,
+//! the session wall-time percentiles from the telemetry log2 histogram, lease
+//! waits, peak in-limbo bytes, and the registry's shard skip/walk counters —
+//! the proof that scans dispatch on *occupied shards*, not capacity.
+//!
+//! Besides the stdout table, the run emits **`BENCH_server_soak.json`** (path
+//! override: `QSENSE_BENCH_SOAK_OUT`) so the lease-scaling claim is tracked
+//! across revisions; the CI `robustness-smoke` job runs a shortened soak and
+//! uploads the fresh report.
+
+use bench::json::{self, JsonObject};
+use workload::{run_server_soak, SchemeKind, ServerSoakSpec};
+
+fn sessions() -> usize {
+    std::env::var("QSENSE_BENCH_SOAK_SESSIONS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|s| *s > 0)
+        .unwrap_or(2_000)
+}
+
+fn main() {
+    let sessions = sessions();
+    let schemes = [
+        SchemeKind::Hp,
+        SchemeKind::Cadence,
+        SchemeKind::QSense,
+        SchemeKind::He,
+    ];
+    let shape = ServerSoakSpec::new(SchemeKind::Hp);
+    println!(
+        "Server soak: {sessions} sessions x {} ops over {} leased slots, {} workers, {}-slot registry",
+        shape.ops_per_session, shape.slots, shape.workers, shape.max_threads,
+    );
+    println!(
+        "{:<8} {:>10} {:>11} {:>10} {:>10} {:>10} {:>8} {:>12} {:>12}",
+        "scheme",
+        "Mops/s",
+        "sessions/s",
+        "p50 (us)",
+        "p99 (us)",
+        "p99.9(us)",
+        "waits",
+        "peak-limbo B",
+        "skips/walks"
+    );
+
+    let mut rows = Vec::new();
+    for scheme in schemes {
+        let spec = ServerSoakSpec {
+            sessions,
+            ..ServerSoakSpec::new(scheme)
+        };
+        let result = run_server_soak(&spec);
+        println!(
+            "{:<8} {:>10.3} {:>11.0} {:>10.1} {:>10.1} {:>10.1} {:>8} {:>12} {:>7}/{}",
+            result.scheme,
+            result.mops(),
+            result.sessions_per_sec(),
+            result.session_percentile_us(0.50),
+            result.session_percentile_us(0.99),
+            result.session_percentile_us(0.999),
+            result.lease_waits,
+            result.stats.peak_limbo_bytes,
+            result.stats.shard_skips,
+            result.stats.shard_walks,
+        );
+        rows.push(
+            JsonObject::new()
+                .str_field("scheme", result.scheme)
+                .int_field("sessions", result.sessions as u64)
+                .int_field("workers", result.workers as u64)
+                .int_field("slots", result.slots as u64)
+                .int_field("total_ops", result.total_ops)
+                .num_field("mops", result.mops(), 4)
+                .num_field("sessions_per_sec", result.sessions_per_sec(), 1)
+                .num_field("session_p50_us", result.session_percentile_us(0.50), 1)
+                .num_field("session_p99_us", result.session_percentile_us(0.99), 1)
+                .num_field("session_p999_us", result.session_percentile_us(0.999), 1)
+                .int_field("lease_waits", result.lease_waits)
+                .int_field("peak_limbo_bytes", result.stats.peak_limbo_bytes)
+                .int_field("retired", result.stats.retired)
+                .int_field("freed", result.stats.freed)
+                .int_field("shard_skips", result.stats.shard_skips)
+                .int_field("shard_walks", result.stats.shard_walks),
+        );
+    }
+
+    let meta = [
+        ("sessions", format!("{sessions}")),
+        ("workers", format!("{}", shape.workers)),
+        ("slots", format!("{}", shape.slots)),
+        ("ops_per_session", format!("{}", shape.ops_per_session)),
+        ("key_range", format!("{}", shape.key_range)),
+        ("registry_capacity", format!("{}", shape.max_threads)),
+        ("seed", format!("{}", shape.seed)),
+        (
+            "unit",
+            "\"session percentiles are log2-bucket upper bounds (<= 2x), microseconds\""
+                .to_string(),
+        ),
+    ];
+    let path = std::env::var("QSENSE_BENCH_SOAK_OUT")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| json::workspace_file("BENCH_server_soak.json"));
+    match json::write_report(
+        &path,
+        "server_soak",
+        "cargo bench -p bench --bench server_soak",
+        &meta,
+        &rows,
+    ) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(err) => eprintln!("failed to write {}: {err}", path.display()),
+    }
+}

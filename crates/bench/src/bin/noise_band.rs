@@ -19,6 +19,14 @@
 //! as the PR 6+ baselines do) widen the band with their own extremes, so a
 //! single multi-repeat report and several single-shot reports merge to the
 //! same honest envelope.
+//!
+//! The binary's **own output is a valid input**: a band report's rows
+//! (`retire_ns_mean` + `runs` + extremes) fold back in with their run counts
+//! and run-weighted means intact. That is what lets CI accumulate bands
+//! *across* workflow runs — each bench-smoke job downloads the previous
+//! band artifact, merges it with the runs it just produced, and uploads the
+//! widened report; merging is associative, so any download/merge order
+//! converges on the same envelope.
 
 use bench::json::{parse_rows, write_report, JsonObject, ParsedRow};
 use std::process::ExitCode;
@@ -50,16 +58,30 @@ impl Band {
 }
 
 /// Folds every parsed row into the band list (first-appearance order).
+///
+/// Two row shapes are accepted: a raw overhead run (`retire_ns_per_op`, one
+/// run, optional per-run repeat extremes) and a **prior band row**
+/// (`retire_ns_mean` + `runs`, as this binary itself emits) — the latter
+/// folds back in with its run count and run-weighted sum intact, so bands
+/// accumulate across workflow runs without double-counting.
 fn accumulate(bands: &mut Vec<Band>, rows: &[ParsedRow]) {
     for row in rows {
-        let (Some(scheme), Some(threads), Some(ns)) = (
-            row.str_value("scheme"),
-            row.num_value("threads"),
-            row.num_value("retire_ns_per_op"),
-        ) else {
+        let (Some(scheme), Some(threads)) = (row.str_value("scheme"), row.num_value("threads"))
+        else {
             continue;
         };
-        // A run that recorded its own repeat spread contributes its extremes.
+        let (runs, sum, ns) = if let Some(ns) = row.num_value("retire_ns_per_op") {
+            (1, ns, ns)
+        } else if let Some(mean) = row.num_value("retire_ns_mean") {
+            let runs = row
+                .num_value("runs")
+                .filter(|v| *v >= 1.0)
+                .map_or(1, |v| v as u64);
+            (runs, mean * runs as f64, mean)
+        } else {
+            continue;
+        };
+        // A row that recorded its own spread contributes its extremes.
         let run_min = row.num_value("retire_ns_min").filter(|v| *v > 0.0);
         let run_max = row.num_value("retire_ns_max").filter(|v| *v > 0.0);
         let lo = run_min.unwrap_or(ns);
@@ -70,16 +92,16 @@ fn accumulate(bands: &mut Vec<Band>, rows: &[ParsedRow]) {
             .find(|b| b.scheme == scheme && b.threads == threads)
         {
             Some(band) => {
-                band.runs += 1;
-                band.sum += ns;
+                band.runs += runs;
+                band.sum += sum;
                 band.min = band.min.min(lo);
                 band.max = band.max.max(hi);
             }
             None => bands.push(Band {
                 scheme: scheme.to_string(),
                 threads,
-                runs: 1,
-                sum: ns,
+                runs,
+                sum,
                 min: lo,
                 max: hi,
             }),
@@ -88,13 +110,32 @@ fn accumulate(bands: &mut Vec<Band>, rows: &[ParsedRow]) {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: noise_band <out.json> <run1.json> [run2.json ...]");
+    eprintln!("usage: noise_band <out.json> <run1.json> [run2.json ...] [--prior <band.json> ...]");
+    eprintln!("  --prior: a previous band report to fold in; silently skipped if absent");
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let [out_path, run_paths @ ..] = args.as_slice() else {
+    // Split `--prior <path>` pairs (optional inputs: a first workflow run has
+    // no previous band artifact to download) from the required run reports.
+    let mut run_paths: Vec<&String> = Vec::new();
+    let mut prior_paths: Vec<&String> = Vec::new();
+    let mut out_path: Option<&String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--prior" {
+            match iter.next() {
+                Some(path) => prior_paths.push(path),
+                None => return usage(),
+            }
+        } else if out_path.is_none() {
+            out_path = Some(arg);
+        } else {
+            run_paths.push(arg);
+        }
+    }
+    let Some(out_path) = out_path else {
         return usage();
     };
     if run_paths.is_empty() {
@@ -119,6 +160,25 @@ fn main() -> ExitCode {
         accumulate(&mut bands, &rows);
         merged += 1;
     }
+    // Prior band reports widen the envelope with the history they carry; a
+    // missing file is the expected first-run state, not an error.
+    let mut priors_merged = 0usize;
+    for path in prior_paths {
+        let contents = match std::fs::read_to_string(path) {
+            Ok(contents) => contents,
+            Err(_) => {
+                println!("noise_band: no prior band at {path} (first run?), skipping");
+                continue;
+            }
+        };
+        let rows = parse_rows(&contents);
+        if rows.is_empty() {
+            eprintln!("noise_band: no band rows parsed from prior {path}, skipping");
+            continue;
+        }
+        accumulate(&mut bands, &rows);
+        priors_merged += 1;
+    }
 
     let rows: Vec<JsonObject> = bands
         .iter()
@@ -135,6 +195,7 @@ fn main() -> ExitCode {
         .collect();
     let meta = [
         ("runs_merged", format!("{merged}")),
+        ("prior_bands_merged", format!("{priors_merged}")),
         (
             "unit",
             "\"nanoseconds per operation; band is min..max across merged runs\"".to_string(),
@@ -213,6 +274,66 @@ mod tests {
         let band = &bands[0];
         assert_eq!((band.min, band.max), (80.0, 150.0));
         assert!((band.mean() - 95.0).abs() < 1e-9, "mean uses per-run means");
+    }
+
+    #[test]
+    fn prior_band_rows_fold_back_in_run_weighted() {
+        // Workflow run 1 produced a band from 3 runs; run 2 adds one fresh run.
+        let mut bands = Vec::new();
+        accumulate(
+            &mut bands,
+            &rows(
+                r#"[{"scheme": "hp", "threads": 4, "runs": 3, "retire_ns_mean": 120.0,
+                     "retire_ns_min": 100.0, "retire_ns_max": 150.0}]"#,
+            ),
+        );
+        accumulate(
+            &mut bands,
+            &rows(r#"[{"scheme": "hp", "threads": 4, "retire_ns_per_op": 200.0}]"#),
+        );
+        let band = &bands[0];
+        assert_eq!(band.runs, 4, "prior band contributes its full run count");
+        assert!(
+            (band.mean() - (3.0 * 120.0 + 200.0) / 4.0).abs() < 1e-9,
+            "mean is run-weighted, not report-weighted"
+        );
+        assert_eq!(
+            (band.min, band.max),
+            (100.0, 200.0),
+            "prior extremes persist; fresh extremes widen"
+        );
+    }
+
+    #[test]
+    fn band_merging_is_associative_across_workflow_runs() {
+        // Merging (A then B) as one report-set must equal folding A's band
+        // output into B — the property the cross-run CI accumulation relies on.
+        let run_a = r#"[{"scheme": "ebr", "threads": 8, "retire_ns_per_op": 90.0}]"#;
+        let run_b = r#"[{"scheme": "ebr", "threads": 8, "retire_ns_per_op": 110.0}]"#;
+        let mut direct = Vec::new();
+        accumulate(&mut direct, &rows(run_a));
+        accumulate(&mut direct, &rows(run_b));
+
+        let mut staged = Vec::new();
+        accumulate(&mut staged, &rows(run_a));
+        let band_report = format!(
+            r#"[{{"scheme": "ebr", "threads": 8, "runs": {}, "retire_ns_mean": {},
+                 "retire_ns_min": {}, "retire_ns_max": {}}}]"#,
+            staged[0].runs,
+            staged[0].mean(),
+            staged[0].min,
+            staged[0].max,
+        );
+        let mut resumed = Vec::new();
+        accumulate(&mut resumed, &rows(&band_report));
+        accumulate(&mut resumed, &rows(run_b));
+
+        assert_eq!(direct[0].runs, resumed[0].runs);
+        assert!((direct[0].mean() - resumed[0].mean()).abs() < 1e-9);
+        assert_eq!(
+            (direct[0].min, direct[0].max),
+            (resumed[0].min, resumed[0].max)
+        );
     }
 
     #[test]

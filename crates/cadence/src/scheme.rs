@@ -4,9 +4,9 @@ use crate::rooster::Rooster;
 use reclaim_core::retired::DropFn;
 use reclaim_core::stats::{StatStripe, StatsSnapshot};
 use reclaim_core::{
-    membarrier, BudgetGovernor, BudgetVerdict, CachePadded, Era, HandleCache, HandleTelemetry,
-    ParkedChain, PtrScratch, Registry, RetiredPtr, ScanParts, SegBag, SegPool, SlotId, Smr,
-    SmrConfig, SmrHandle, Telemetry, NO_BIRTH_ERA,
+    membarrier, BudgetGovernor, BudgetVerdict, CachePadded, CapacityExhausted, Era, HandleCache,
+    HandleTelemetry, ParkedChain, PtrScratch, Registry, RetiredPtr, ScanParts, SegBag, SegPool,
+    SlotId, Smr, SmrConfig, SmrHandle, Telemetry, NO_BIRTH_ERA,
 };
 use std::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::{Arc, Mutex};
@@ -197,11 +197,11 @@ impl Cadence {
 impl Smr for Cadence {
     type Handle = CadenceHandle;
 
-    fn register(self: &Arc<Self>) -> CadenceHandle {
-        let slot = self
-            .registry
-            .acquire()
-            .expect("cadence: more threads registered than config.max_threads");
+    fn try_register(self: &Arc<Self>) -> Result<CadenceHandle, CapacityExhausted> {
+        let slot = self.registry.try_acquire().map_err(|e| CapacityExhausted {
+            scheme: "cadence",
+            capacity: e.capacity,
+        })?;
         // Adopt a previous tenant's pool + scratch when available (thread-pool
         // churn); otherwise pre-warm for the scan threshold (capped) so even
         // the first bag fill recycles instead of allocating.
@@ -209,8 +209,8 @@ impl Smr for Cadence {
             pool: SegPool::with_node_capacity((self.config.scan_threshold + 1).min(2048)),
             scratch: PtrScratch::with_capacity(self.config.max_threads * self.config.hp_per_thread),
         });
-        CadenceHandle {
-            budget_stripe: BudgetGovernor::stripe_for(slot.index()),
+        Ok(CadenceHandle {
+            budget_stripe: BudgetGovernor::stripe_for(slot.shard()),
             budget_reported: 0,
             tele: HandleTelemetry::attach(&self.telemetry),
             scheme: Arc::clone(self),
@@ -219,7 +219,7 @@ impl Smr for Cadence {
             pool: parts.pool,
             scratch: parts.scratch,
             since_last_scan: 0,
-        }
+        })
     }
 
     fn name(&self) -> &'static str {

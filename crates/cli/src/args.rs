@@ -83,6 +83,13 @@ pub struct CliOptions {
     pub era_policy: Option<EraAdvancePolicy>,
     /// Run the fault-injection matrix instead of the throughput experiment.
     pub fault: Option<FaultSelection>,
+    /// Run the server-soak lease scenario with this many short sessions
+    /// instead of the throughput experiment.
+    pub server_soak: Option<usize>,
+    /// Leased handles (`N`) the server-soak pool registers.
+    pub soak_slots: usize,
+    /// Operations each soak session performs while holding its lease.
+    pub soak_ops: usize,
     /// Limbo budget in bytes (enables byte-budget enforcement and verdicts).
     pub limbo_budget: Option<usize>,
     /// Record latency/delay histograms and print the percentile report.
@@ -111,6 +118,9 @@ impl Default for CliOptions {
             eviction_ms: None,
             era_policy: None,
             fault: None,
+            server_soak: None,
+            soak_slots: 8,
+            soak_ops: 64,
             limbo_budget: None,
             telemetry: false,
             telemetry_json: None,
@@ -154,6 +164,16 @@ OPTIONS:
                                               throughput experiment: inject this fault (or
                                               all four) into each selected scheme and print
                                               the limbo trajectory plus the budget verdict
+    --server-soak <SESSIONS>                  run the M:N lease scenario instead of a
+                                              throughput experiment: SESSIONS short sessions
+                                              (spread over --threads workers) each check one
+                                              of --soak-slots pooled handles out of a
+                                              LeasePool, run --soak-ops skip-list operations,
+                                              and check it back in; reports throughput,
+                                              session p50/p99/p99.9, lease waits, peak limbo
+                                              and the registry shard skip/walk counters
+    --soak-slots <N>                          leased handles in the soak pool [default: 8]
+    --soak-ops <N>                            operations per soak session     [default: 64]
     --limbo-budget <BYTES>                    enforce a limbo byte budget (suffixes k/m ok);
                                               schemes escalate when limbo crosses it and the
                                               verdict records peak, time-over and escalations
@@ -307,6 +327,27 @@ impl CliOptions {
                 "--eviction-ms" => options.eviction_ms = Some(parse_number(arg, &value_for(arg)?)?),
                 "--era-policy" => options.era_policy = Some(parse_era_policy(&value_for(arg)?)?),
                 "--fault" => options.fault = Some(parse_fault(&value_for(arg)?)?),
+                "--server-soak" => {
+                    let sessions: usize = parse_number(arg, &value_for(arg)?)?;
+                    if sessions == 0 {
+                        return Err("--server-soak needs at least one session".to_string());
+                    }
+                    options.server_soak = Some(sessions);
+                }
+                "--soak-slots" => {
+                    let slots: usize = parse_number(arg, &value_for(arg)?)?;
+                    if slots == 0 {
+                        return Err("--soak-slots must be at least 1".to_string());
+                    }
+                    options.soak_slots = slots;
+                }
+                "--soak-ops" => {
+                    let ops: usize = parse_number(arg, &value_for(arg)?)?;
+                    if ops == 0 {
+                        return Err("--soak-ops must be at least 1".to_string());
+                    }
+                    options.soak_ops = ops;
+                }
                 "--limbo-budget" => {
                     options.limbo_budget = Some(parse_bytes(arg, &value_for(arg)?)?)
                 }
@@ -569,6 +610,35 @@ mod tests {
         assert!(parse(&["--fault", "gremlin"])
             .unwrap_err()
             .contains("unknown fault"));
+    }
+
+    #[test]
+    fn server_soak_flags_parse_with_defaults_and_overrides() {
+        let options = parse(&[]).unwrap();
+        assert_eq!(options.server_soak, None);
+        assert_eq!(options.soak_slots, 8);
+        assert_eq!(options.soak_ops, 64);
+        let options = parse(&[
+            "--server-soak",
+            "2000",
+            "--soak-slots",
+            "4",
+            "--soak-ops",
+            "128",
+        ])
+        .unwrap();
+        assert_eq!(options.server_soak, Some(2_000));
+        assert_eq!(options.soak_slots, 4);
+        assert_eq!(options.soak_ops, 128);
+        assert!(parse(&["--server-soak", "0"])
+            .unwrap_err()
+            .contains("at least one session"));
+        assert!(parse(&["--soak-slots", "0"])
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse(&["--soak-ops", "0"])
+            .unwrap_err()
+            .contains("at least 1"));
     }
 
     #[test]

@@ -26,8 +26,8 @@ use reclaim_core::CountingAllocator;
 use std::sync::Arc;
 use std::time::Duration;
 use workload::{
-    default_fault_config, make_set, report, run_experiment, run_fault_for, DelaySchedule,
-    Experiment, FaultPlan, RunResult, SchemeKind, WorkloadSpec,
+    default_fault_config, make_set, report, run_experiment, run_fault_for, run_server_soak_with,
+    DelaySchedule, Experiment, FaultPlan, RunResult, SchemeKind, ServerSoakSpec, WorkloadSpec,
 };
 
 /// Heap tracking for the whole process: the experiments below report live/peak
@@ -148,6 +148,60 @@ fn telemetry_json_row(result: &RunResult) -> JsonObject {
         .int_field("scan_wholesale", result.stats.scan_wholesale)
         .int_field("scan_skips", result.stats.scan_skips)
         .int_field("scan_walks", result.stats.scan_walks)
+        .int_field("shard_skips", result.stats.shard_skips)
+        .int_field("shard_walks", result.stats.shard_walks)
+}
+
+/// Runs the M:N lease scenario for every selected scheme and prints one row
+/// per scheme: throughput, session-latency percentiles, lease contention, and
+/// the registry's shard-dispatch counters (the sharded registry's proof that
+/// scan cost tracks *occupied shards*, not capacity).
+fn run_server_soak_matrix(options: &CliOptions, sessions: usize) {
+    println!(
+        "{:<8} {:>9} {:>6} {:>7} {:>10} {:>11} {:>10} {:>10} {:>10} {:>11} {:>12} {:>12}",
+        "scheme",
+        "sessions",
+        "slots",
+        "workers",
+        "Mops/s",
+        "sessions/s",
+        "p50 (us)",
+        "p99 (us)",
+        "p99.9 (us)",
+        "waits",
+        "peak-limbo B",
+        "skips/walks"
+    );
+    for scheme in options.schemes.schemes() {
+        let spec = ServerSoakSpec {
+            sessions,
+            workers: options.threads,
+            slots: options.soak_slots,
+            ops_per_session: options.soak_ops,
+            key_range: options.effective_key_range(),
+            // Keep the registry much larger than the pool: the whole point of
+            // the sharded dispatch is that the capacity is cheap.
+            max_threads: (options.soak_slots + 2).max(64),
+            ..ServerSoakSpec::new(scheme)
+        };
+        let result = run_server_soak_with(&spec, build_config(options));
+        println!(
+            "{:<8} {:>9} {:>6} {:>7} {:>10.3} {:>11.0} {:>10.1} {:>10.1} {:>10.1} {:>11} {:>12} {:>7}/{}",
+            result.scheme,
+            result.sessions,
+            result.slots,
+            result.workers,
+            result.mops(),
+            result.sessions_per_sec(),
+            result.session_percentile_us(0.50),
+            result.session_percentile_us(0.99),
+            result.session_percentile_us(0.999),
+            result.lease_waits,
+            result.stats.peak_limbo_bytes,
+            result.stats.shard_skips,
+            result.stats.shard_walks,
+        );
+    }
 }
 
 fn run_one(options: &CliOptions, scheme: SchemeKind) -> RunResult {
@@ -180,6 +234,15 @@ fn main() {
     };
     if options.help {
         print!("{USAGE}");
+        return;
+    }
+
+    if let Some(sessions) = options.server_soak {
+        println!(
+            "qsense-bench: server soak, {:?}, {} sessions over {} leased slots, {} workers, {} ops/session",
+            options.schemes, sessions, options.soak_slots, options.threads, options.soak_ops,
+        );
+        run_server_soak_matrix(&options, sessions);
         return;
     }
 

@@ -5,9 +5,9 @@ use qsbr::GlobalEpoch;
 use reclaim_core::retired::DropFn;
 use reclaim_core::stats::{StatStripe, StatsSnapshot};
 use reclaim_core::{
-    BudgetGovernor, BudgetVerdict, CachePadded, Era, HandleCache, HandleTelemetry, ParkedChain,
-    Registry, RetiredPtr, SegBag, SegPool, SlotId, Smr, SmrConfig, SmrHandle, Telemetry,
-    NO_BIRTH_ERA,
+    BudgetGovernor, BudgetVerdict, CachePadded, CapacityExhausted, Era, HandleCache,
+    HandleTelemetry, ParkedChain, Registry, RetiredPtr, SegBag, SegPool, SlotId, Smr, SmrConfig,
+    SmrHandle, Telemetry, NO_BIRTH_ERA,
 };
 use std::sync::Arc;
 use std::time::Instant;
@@ -125,15 +125,15 @@ impl Ebr {
 impl Smr for Ebr {
     type Handle = EbrHandle;
 
-    fn register(self: &Arc<Self>) -> EbrHandle {
-        let slot = self
-            .registry
-            .acquire()
-            .expect("ebr: more threads registered than config.max_threads");
+    fn try_register(self: &Arc<Self>) -> Result<EbrHandle, CapacityExhausted> {
+        let slot = self.registry.try_acquire().map_err(|e| CapacityExhausted {
+            scheme: "ebr",
+            capacity: e.capacity,
+        })?;
         // A fresh thread starts unpinned; an unpinned record never blocks advancement.
         self.registry.get_mine(slot).unpin();
-        EbrHandle {
-            budget_stripe: BudgetGovernor::stripe_for(slot.index()),
+        Ok(EbrHandle {
+            budget_stripe: BudgetGovernor::stripe_for(slot.shard()),
             budget_reported: 0,
             tele: HandleTelemetry::attach(&self.telemetry),
             scheme: Arc::clone(self),
@@ -148,7 +148,7 @@ impl Smr for Ebr {
             pin_epoch: self.global_epoch.load(),
             pinned: false,
             retires_since_advance: 0,
-        }
+        })
     }
 
     fn name(&self) -> &'static str {

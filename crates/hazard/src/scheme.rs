@@ -3,9 +3,9 @@
 use reclaim_core::retired::DropFn;
 use reclaim_core::stats::{StatStripe, StatsSnapshot};
 use reclaim_core::{
-    BudgetGovernor, BudgetVerdict, CachePadded, Era, HandleCache, HandleTelemetry, ParkedChain,
-    PtrScratch, Registry, RetiredPtr, ScanParts, SegBag, SegPool, SlotId, Smr, SmrConfig,
-    SmrHandle, Telemetry, NO_BIRTH_ERA,
+    BudgetGovernor, BudgetVerdict, CachePadded, CapacityExhausted, Era, HandleCache,
+    HandleTelemetry, ParkedChain, PtrScratch, Registry, RetiredPtr, ScanParts, SegBag, SegPool,
+    SlotId, Smr, SmrConfig, SmrHandle, Telemetry, NO_BIRTH_ERA,
 };
 use std::sync::atomic::{fence, AtomicPtr, Ordering};
 use std::sync::Arc;
@@ -158,11 +158,11 @@ impl Hazard {
 impl Smr for Hazard {
     type Handle = HazardHandle;
 
-    fn register(self: &Arc<Self>) -> HazardHandle {
-        let slot = self
-            .registry
-            .acquire()
-            .expect("hazard: more threads registered than config.max_threads");
+    fn try_register(self: &Arc<Self>) -> Result<HazardHandle, CapacityExhausted> {
+        let slot = self.registry.try_acquire().map_err(|e| CapacityExhausted {
+            scheme: "hp",
+            capacity: e.capacity,
+        })?;
         // Adopt a previous tenant's pool + scratch when available (thread-pool
         // churn); otherwise pre-warm for the scan threshold (capped: a
         // test-sized huge `R` must not balloon registration) so even the first
@@ -171,8 +171,8 @@ impl Smr for Hazard {
             pool: SegPool::with_node_capacity((self.config.scan_threshold + 1).min(2048)),
             scratch: PtrScratch::with_capacity(self.config.max_threads * self.config.hp_per_thread),
         });
-        HazardHandle {
-            budget_stripe: BudgetGovernor::stripe_for(slot.index()),
+        Ok(HazardHandle {
+            budget_stripe: BudgetGovernor::stripe_for(slot.shard()),
             budget_reported: 0,
             tele: HandleTelemetry::attach(&self.telemetry),
             scheme: Arc::clone(self),
@@ -182,7 +182,7 @@ impl Smr for Hazard {
             scratch: parts.scratch,
             since_last_scan: 0,
             local_fences: 0,
-        }
+        })
     }
 
     fn name(&self) -> &'static str {

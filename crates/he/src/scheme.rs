@@ -4,9 +4,9 @@ use crate::era::{EraRecord, INACTIVE_LOWER};
 use reclaim_core::retired::DropFn;
 use reclaim_core::stats::{StatStripe, StatsSnapshot};
 use reclaim_core::{
-    BudgetGovernor, BudgetVerdict, CachePadded, Era, EraAdvancePolicy, EraPacer, HandleCache,
-    HandleTelemetry, ParkedChain, Registry, RetiredPtr, SegBag, SegPool, SlotId, Smr, SmrConfig,
-    SmrHandle, Telemetry,
+    BudgetGovernor, BudgetVerdict, CachePadded, CapacityExhausted, Era, EraAdvancePolicy, EraPacer,
+    HandleCache, HandleTelemetry, ParkedChain, Registry, RetiredPtr, SegBag, SegPool, SlotId, Smr,
+    SmrConfig, SmrHandle, Telemetry,
 };
 use std::sync::atomic::{fence, Ordering};
 use std::sync::Arc;
@@ -179,11 +179,11 @@ impl He {
 impl Smr for He {
     type Handle = HeHandle;
 
-    fn register(self: &Arc<Self>) -> HeHandle {
-        let slot = self
-            .registry
-            .acquire()
-            .expect("he: more threads registered than config.max_threads");
+    fn try_register(self: &Arc<Self>) -> Result<HeHandle, CapacityExhausted> {
+        let slot = self.registry.try_acquire().map_err(|e| CapacityExhausted {
+            scheme: "he",
+            capacity: e.capacity,
+        })?;
         // A fresh tenant must not inherit the previous tenant's reservation.
         self.registry.get_mine(slot).deactivate();
         let parts = self.handle_cache.adopt().unwrap_or_else(|| HeParts {
@@ -192,8 +192,8 @@ impl Smr for He {
             pool: SegPool::with_node_capacity((self.config.scan_threshold + 1).min(2048)),
             reservations: Vec::with_capacity(self.config.max_threads),
         });
-        let stripe = EraPacer::stripe_for(slot.index());
-        HeHandle {
+        let stripe = EraPacer::stripe_for(slot.shard());
+        Ok(HeHandle {
             scheme: Arc::clone(self),
             slot,
             stripe,
@@ -210,13 +210,13 @@ impl Smr for He {
             allocs_since_tick: 0,
             retires_since_scan: 0,
             limbo_reported: 0,
-            budget_stripe: BudgetGovernor::stripe_for(slot.index()),
+            budget_stripe: BudgetGovernor::stripe_for(slot.shard()),
             budget_reported: 0,
             scan_wholesale: 0,
             scan_skips: 0,
             scan_walks: 0,
             tele: HandleTelemetry::attach(&self.telemetry),
-        }
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -360,7 +360,14 @@ impl HeHandle {
         // cadence drifts away from the policy.
         self.allocs_since_tick = 0;
         self.reservations.clear();
-        for (_, record) in self.scheme.registry.iter_all() {
+        // Claimed slots only, so wholly-vacant shards cost one bitmap probe:
+        // a vacant slot's record is always inactive (drop deactivates before
+        // the release-ordered bitmap clear publishes the slot), and a
+        // reservation covering any node in this handle's limbo was announced
+        // before that node's unlink — hence its slot's claim bit, set even
+        // earlier, is visible to this walk (the registry's scan-skip
+        // argument).
+        for (_, record) in self.scheme.registry.iter_claimed() {
             let (lower, upper) = record.load();
             if lower != INACTIVE_LOWER {
                 self.reservations.push((lower, upper));

@@ -102,6 +102,16 @@ impl EpochRecord {
 pub enum CursorCheck {
     /// The slot is unclaimed — it cannot block the epoch and costs nothing to skip.
     Vacant,
+    /// The slot — and every slot up to (but excluding) the carried index — is
+    /// unclaimed: the pass jumps straight there. Produced by shard-granular
+    /// vacancy tests ([`Registry::skip_vacant_shards`]
+    /// (reclaim_core::registry::Registry::skip_vacant_shards)), which classify
+    /// a whole vacant shard on one bitmap load, so a confirmation pass over a
+    /// mostly-vacant registry costs O(active shards), not O(capacity).
+    /// Soundness matches `Vacant`: a slot vacant at the check can only be
+    /// claimed by a thread adopting the *current* global epoch (see the
+    /// confirmed-once-stays-confirmed argument on [`EpochCursor`]).
+    VacantRun(usize),
     /// The slot's thread has confirmed the epoch (adopted it, or is excluded from
     /// grace periods, e.g. evicted in QSense's extension).
     Confirmed,
@@ -201,6 +211,9 @@ impl EpochCursor {
         while pos < capacity {
             match check(pos) {
                 CursorCheck::Vacant => pos += 1,
+                // Clamp below by pos + 1 so a misbehaving check cannot stall
+                // the pass, and above by capacity so it terminates.
+                CursorCheck::VacantRun(next) => pos = next.clamp(pos + 1, capacity),
                 CursorCheck::Confirmed => {
                     pos += 1;
                     budget -= 1;
@@ -295,6 +308,31 @@ mod tests {
         } else {
             CursorCheck::Vacant
         }));
+    }
+
+    #[test]
+    fn cursor_jumps_vacant_runs_without_touching_their_slots() {
+        let cursor = EpochCursor::new();
+        use std::cell::Cell;
+        let checks = Cell::new(0);
+        // 256 slots, only 252..256 claimed: a shard-granular vacancy test jumps
+        // the first 252 in one check, so the whole pass costs 5 checks.
+        assert!(cursor.poll(0, 256, |i| {
+            checks.set(checks.get() + 1);
+            if i < 252 {
+                CursorCheck::VacantRun(252)
+            } else {
+                CursorCheck::Confirmed
+            }
+        }));
+        assert_eq!(checks.get(), 5, "one jump + four confirmations");
+    }
+
+    #[test]
+    fn cursor_clamps_backwards_vacant_runs_to_forward_progress() {
+        let cursor = EpochCursor::new();
+        // A check that always reports a stale jump target must still terminate.
+        assert!(cursor.poll(0, 16, |_| CursorCheck::VacantRun(0)));
     }
 
     #[test]

@@ -6,9 +6,9 @@ use crate::epoch::{
 use reclaim_core::retired::DropFn;
 use reclaim_core::stats::{StatStripe, StatsSnapshot};
 use reclaim_core::{
-    BudgetGovernor, BudgetVerdict, CachePadded, Era, HandleCache, HandleTelemetry, ParkedChain,
-    Registry, RetiredPtr, SegBag, SegPool, SlotId, Smr, SmrConfig, SmrHandle, Telemetry,
-    NO_BIRTH_ERA,
+    BudgetGovernor, BudgetVerdict, CachePadded, CapacityExhausted, Era, HandleCache,
+    HandleTelemetry, ParkedChain, Registry, RetiredPtr, SegBag, SegPool, SlotId, Smr, SmrConfig,
+    SmrHandle, Telemetry, NO_BIRTH_ERA,
 };
 use std::sync::Arc;
 use std::time::Instant;
@@ -83,7 +83,13 @@ impl Qsbr {
     /// completes. Replaces the old full-registry sweep each quiescent state paid.
     fn poll_epoch_confirmation(&self, epoch: u64) {
         let confirmed = self.cursor.poll(epoch, self.registry.capacity(), |i| {
-            if !self.registry.is_claimed(i) {
+            // Shard-granular vacancy first: a wholly-vacant shard is classified
+            // on one bitmap load and the pass jumps straight past it, so
+            // confirmation cost tracks active shards, not capacity.
+            let next = self.registry.skip_vacant_shards(i);
+            if next > i {
+                CursorCheck::VacantRun(next)
+            } else if !self.registry.is_claimed(i) {
                 CursorCheck::Vacant
             } else if self.registry.get(i).load() == epoch {
                 CursorCheck::Confirmed
@@ -100,18 +106,18 @@ impl Qsbr {
 impl Smr for Qsbr {
     type Handle = QsbrHandle;
 
-    fn register(self: &Arc<Self>) -> QsbrHandle {
-        let slot = self
-            .registry
-            .acquire()
-            .expect("qsbr: more threads registered than config.max_threads");
+    fn try_register(self: &Arc<Self>) -> Result<QsbrHandle, CapacityExhausted> {
+        let slot = self.registry.try_acquire().map_err(|e| CapacityExhausted {
+            scheme: "qsbr",
+            capacity: e.capacity,
+        })?;
         // Adopt the current global epoch immediately: a freshly registered thread
         // holds no references, so adopting (rather than lagging at a stale value) is
         // always safe and avoids spuriously blocking epoch advancement.
         let epoch = self.global_epoch.load();
         self.registry.get_mine(slot).store(epoch);
-        QsbrHandle {
-            budget_stripe: BudgetGovernor::stripe_for(slot.index()),
+        Ok(QsbrHandle {
+            budget_stripe: BudgetGovernor::stripe_for(slot.shard()),
             budget_reported: 0,
             tele: HandleTelemetry::attach(&self.telemetry),
             scheme: Arc::clone(self),
@@ -122,7 +128,7 @@ impl Smr for Qsbr {
             pool: self.handle_cache.adopt().unwrap_or_default(),
             local_epoch: epoch,
             ops_since_quiescence: 0,
-        }
+        })
     }
 
     fn name(&self) -> &'static str {

@@ -6,9 +6,9 @@ use qsbr::{limbo_index, CursorCheck, EpochCursor, EpochRecord, GlobalEpoch, EPOC
 use reclaim_core::retired::DropFn;
 use reclaim_core::stats::{StatStripe, StatsSnapshot};
 use reclaim_core::{
-    membarrier, BudgetGovernor, BudgetVerdict, CachePadded, Era, HandleCache, HandleTelemetry,
-    ParkedChain, PtrScratch, Registry, RetiredPtr, ScanParts, SegBag, SegPool, SlotId, Smr,
-    SmrConfig, SmrHandle, Telemetry, NO_BIRTH_ERA,
+    membarrier, BudgetGovernor, BudgetVerdict, CachePadded, CapacityExhausted, Era, HandleCache,
+    HandleTelemetry, ParkedChain, PtrScratch, Registry, RetiredPtr, ScanParts, SegBag, SegPool,
+    SlotId, Smr, SmrConfig, SmrHandle, Telemetry, NO_BIRTH_ERA,
 };
 use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -227,7 +227,13 @@ impl QSense {
     /// operation boundary, which is precisely a quiescent point.
     fn poll_epoch_confirmation(&self, epoch: u64) {
         let confirmed = self.cursor.poll(epoch, self.registry.capacity(), |i| {
-            if !self.registry.is_claimed(i) {
+            // Shard-granular fast path: if every shard from `i`'s onward up to
+            // `next` is wholly vacant, jump the cursor past the run in one
+            // bitmap probe per shard instead of one check per slot.
+            let next = self.registry.skip_vacant_shards(i);
+            if next > i {
+                CursorCheck::VacantRun(next)
+            } else if !self.registry.is_claimed(i) {
                 CursorCheck::Vacant
             } else {
                 let record = self.registry.get(i);
@@ -427,11 +433,11 @@ impl QSense {
 impl Smr for QSense {
     type Handle = QSenseHandle;
 
-    fn register(self: &Arc<Self>) -> QSenseHandle {
-        let slot = self
-            .registry
-            .acquire()
-            .expect("qsense: more threads registered than config.max_threads");
+    fn try_register(self: &Arc<Self>) -> Result<QSenseHandle, CapacityExhausted> {
+        let slot = self.registry.try_acquire().map_err(|e| CapacityExhausted {
+            scheme: "qsense",
+            capacity: e.capacity,
+        })?;
         let epoch = self.global_epoch.load();
         let record = self.registry.get_mine(slot);
         record.epoch.store(epoch);
@@ -442,10 +448,10 @@ impl Smr for QSense {
             pool: SegPool::new(),
             scratch: PtrScratch::with_capacity(self.config.max_threads * self.config.hp_per_thread),
         });
-        QSenseHandle {
+        Ok(QSenseHandle {
             tele: HandleTelemetry::attach(&self.telemetry),
             scheme: Arc::clone(self),
-            budget_stripe: BudgetGovernor::stripe_for(slot.index()),
+            budget_stripe: BudgetGovernor::stripe_for(slot.shard()),
             slot,
             limbo: std::array::from_fn(|_| SegBag::new()),
             pool: parts.pool,
@@ -455,7 +461,7 @@ impl Smr for QSense {
             retires_since_scan: 0,
             budget_reported: 0,
             prev_seen_path: Path::Fast,
-        }
+        })
     }
 
     fn name(&self) -> &'static str {

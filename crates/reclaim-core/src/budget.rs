@@ -48,8 +48,12 @@ use crate::pad::CachePadded;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::time::Duration;
 
-/// Stripes of the governor's byte estimate; handles map in by registry slot
-/// (or assigned shard), mirroring the `EraPacer` striping.
+/// Stripes of the governor's byte estimate; handles map in by registry
+/// *shard* ([`SlotId::shard`](crate::registry::SlotId::shard)), mirroring the
+/// `EraPacer` striping: handles sharing a registry shard already share
+/// registration-time lines, so shard-keyed striping aligns accounting
+/// locality with scan locality. Registry-less schemes key by their assigned
+/// stats stripe instead.
 const BUDGET_STRIPES: usize = 8;
 
 /// Queryable outcome of running a scheme under a limbo budget: the evidence a
@@ -160,10 +164,12 @@ impl BudgetGovernor {
         self.grain
     }
 
-    /// Maps a registry slot (or assigned shard) to the stripe its handle
-    /// reports into.
-    pub fn stripe_for(slot_index: usize) -> usize {
-        slot_index % BUDGET_STRIPES
+    /// Maps a registry shard (or a registry-less scheme's assigned stripe) to
+    /// the governor stripe its handle reports into. Registry-backed schemes
+    /// pass [`SlotId::shard`](crate::registry::SlotId::shard) so co-sharded
+    /// handles share one accounting line.
+    pub fn stripe_for(shard_index: usize) -> usize {
+        shard_index % BUDGET_STRIPES
     }
 
     /// The scheme-wide limbo-byte estimate (stripes + parked, clamped at 0).

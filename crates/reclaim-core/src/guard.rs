@@ -44,6 +44,32 @@
 //! those are the only sanctioned spellings of raw protection/retirement
 //! outside this module (enforced by clippy's `disallowed-methods` gate).
 //!
+//! ## M:N handles: leases are task-scoped, guards are op-scoped
+//!
+//! A registered handle does not have to mean a dedicated thread. The
+//! [`crate::lease`] layer pools `N` registered handles behind a
+//! [`crate::LeasePool`] so `M > N` short-lived tasks borrow them in turn: a
+//! [`crate::HandleLease`] is `Send`, so a borrowed handle may migrate between
+//! threads (or executor workers) *between* operations. The guard is the
+//! boundary that keeps that safe: a `Guard` is **`!Send`/`!Sync`**, so an
+//! *in-flight* operation — protections published, `Shared` values live — can
+//! never cross a thread or `.await` boundary where the scheme's per-slot
+//! protocol (thread-confined protection slots, the begin/end fence bracket)
+//! would silently break. Lease across tasks; guard within an operation.
+//!
+//! ```compile_fail
+//! use reclaim_core::{Guard, Leaky, LeasePolicy, LeasePool};
+//!
+//! let scheme = Leaky::with_defaults();
+//! let pool = LeasePool::for_scheme(&scheme, 2, LeasePolicy::Wait).unwrap();
+//! let mut lease = pool.checkout().unwrap();
+//! let guard = Guard::new(&mut *lease);
+//! fn crosses_a_task_boundary<T: Send>(_: T) {}
+//! // ERROR: `Guard` is `!Send` — an open operation cannot migrate to
+//! // another task/thread; finish (drop) it first, then move the lease.
+//! crosses_a_task_boundary(guard);
+//! ```
+//!
 //! ## Migration guide: raw protocol → guard API
 //!
 //! One before/after per integration rule, in the order a structure method

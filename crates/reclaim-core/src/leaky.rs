@@ -15,7 +15,7 @@ use crate::budget::{BudgetGovernor, BudgetVerdict};
 use crate::config::SmrConfig;
 use crate::retired::{DropFn, RetiredPtr};
 use crate::segbag::{ParkedChain, SegBag, SegPool};
-use crate::smr::{Smr, SmrHandle};
+use crate::smr::{CapacityExhausted, Smr, SmrHandle};
 use crate::stats::{ShardedStats, StatsSnapshot};
 use crate::telemetry::{HandleTelemetry, Telemetry};
 use std::sync::Arc;
@@ -71,9 +71,11 @@ impl Leaky {
 impl Smr for Leaky {
     type Handle = LeakyHandle;
 
-    fn register(self: &Arc<Self>) -> LeakyHandle {
+    // Leaky has no slot registry, so registration can never exhaust: stripes
+    // are dealt round-robin and shared past `max_threads` instead of refused.
+    fn try_register(self: &Arc<Self>) -> Result<LeakyHandle, CapacityExhausted> {
         let stripe = self.stats.assign_stripe();
-        LeakyHandle {
+        Ok(LeakyHandle {
             stripe,
             budget_stripe: BudgetGovernor::stripe_for(stripe),
             budget_reported: 0,
@@ -81,7 +83,7 @@ impl Smr for Leaky {
             scheme: Arc::clone(self),
             pool: SegPool::new(),
             bag: SegBag::new(),
-        }
+        })
     }
 
     fn name(&self) -> &'static str {

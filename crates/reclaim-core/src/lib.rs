@@ -16,10 +16,16 @@
 //!   for every other scheme;
 //! * a [`registry::Registry`] of per-thread slots with interior-mutable per-thread
 //!   state that other threads may scan (hazard pointers, epochs, presence flags),
-//!   each slot carrying its own cache-padded statistics stripe
-//!   ([`stats::StatStripe`]) so hot-path counter updates never contend, and a
-//!   per-slot generation counter that lets asynchronous actors (QSense's evictor)
-//!   detect slot turnover exactly;
+//!   striped into claim-bitmap **shards** of [`registry::SHARD_SLOTS`] so scans
+//!   step over wholly-vacant shards on one bitmap load (scan cost tracks active
+//!   shards, not capacity) and registration CASes a round-robin home shard
+//!   instead of contending down one array; each slot carries its own
+//!   cache-padded statistics stripe ([`stats::StatStripe`]) so hot-path counter
+//!   updates never contend, and a per-slot generation counter that lets
+//!   asynchronous actors (QSense's evictor) detect slot turnover exactly;
+//! * a [`lease::LeasePool`] that time-shares `N` registered handles among `M`
+//!   short-lived tasks (checkout/checkin with wait-or-fail exhaustion policy),
+//!   so task-per-connection runtimes never register per task;
 //! * [`retired::RetiredPtr`] — the timestamped retired-node wrapper (the paper's
 //!   `timestamped_node`, Algorithm 3) — collected in [`segbag::SegBag`]
 //!   segment chains recycled through a per-handle [`segbag::SegPool`], so the
@@ -57,6 +63,8 @@
 //! | per segment (every [`segbag::SEG_CAP`] retires) | pop a recycled segment from the per-handle [`segbag::SegPool`] | none — the allocator is touched only past the handle's all-time peak |
 //! | per `Q` ops (quiescent state) | epoch adoption (one release store) or a bounded epoch-confirmation poll (amortized O(1), see `qsbr::EpochCursor`); one eviction-counter load (QSense) | a handful of loads + at most one CAS |
 //! | per scan (every `R` retires) | snapshot all `N·K` hazard pointers into a **reusable** scratch buffer (HP/Cadence/QSense) or all `N` era reservations — O(N) era reads, not O(N·K) (HE); two-cursor compaction of the segment chain ([`segbag::SegBag::reclaim_if`]) plus at most one O(1) adjacent-segment merge; under the adaptive era policy, one striped limbo report (a single `fetch_add` to the handle's padded stripe) plus an O(#stripes) estimate read to adapt the tick interval ([`clock::EraPacer::note_scan`]) | O(N·K) loads (O(N) for HE), zero heap allocations in steady state |
+//! | per scan, shard dispatch ([`registry::Registry::collect_protected`]) | one acquire bitmap load per shard of [`registry::SHARD_SLOTS`] slots; wholly-vacant shards are stepped over with **zero slot-line touches** (counted in [`stats::StatsSnapshot::shard_skips`]), so the flat model's O(capacity) sweep becomes O(active shards · `SHARD_SLOTS` + total shards) — with 8 handles in a 256-slot registry, 8 of 32 shards are walked and the other 24 cost one load each. Epoch-confirmation walks get the same jump via [`registry::Registry::skip_vacant_shards`] | one read-mostly padded line per shard; vacant shards' record lines never enter the scanner's cache |
+//! | per lease checkout/checkin ([`lease::LeasePool`]) | one uncontended mutex lock + a `Vec` pop (checkout) or push-into-reserved-capacity + one condvar notify (checkin) — O(1) in `M` and `N`, allocation-free after construction; registration/scan costs are **not** re-paid per task, that is the point | one mutex word; contended only when tasks outnumber idle handles |
 //! | per `retire` (byte accounting) | stamp `size_of::<T>()` into the [`retired::RetiredPtr`] (a compile-time constant written next to the timestamp the wrapper already carries; raw `retire` keeps a size-unknown 0 path); bump the slot's retired-bytes stripe; one grain-gated [`budget::BudgetGovernor::observe`] — a comparison against the handle's last-reported figure, escalating to a striped `fetch_add` plus an O(#stripes) estimate refresh only when this handle's limbo moved a full grain (budget/64, clamped to [256 B, 64 KiB]) | single-writer padded lines; the governor add touches one of 8 `CachePadded` stripes, and only once per grain of churn — **no per-retire shared write** |
 //! | per budget crossing ([`budget::BudgetGovernor`] escalation) | rung 1: a forced scan on the retiring handle; rung 2: the scheme's own pressure lever — HE's byte-mode [`clock::EraPacer`] boost, QSense's early fallback trip; rung 3: one bounded `yield_now` of retire-side backpressure when the forced scan failed to get back under budget | nothing new — every rung reuses the scan/switch machinery above, and every pull is counted in the queryable [`budget::BudgetVerdict`] |
 //! | per op, guard layer ([`guard::Guard`] bracket) | `begin_op` at construction; `clear_protections` + `end_op` at drop — the per-op scheme costs above plus the telemetry rows below; the guard itself is a pointer and an (almost always empty) latency-sample slot, never allocated | none beyond the wrapped calls |
@@ -299,6 +307,7 @@ pub mod config;
 pub mod guard;
 pub mod handle_cache;
 pub mod leaky;
+pub mod lease;
 pub mod membarrier;
 #[cfg(feature = "check-oracle")]
 pub mod oracle;
@@ -323,12 +332,13 @@ pub use config::SmrConfig;
 pub use guard::{Atomic, Guard, Owned, Shared, Unlinked};
 pub use handle_cache::{HandleCache, ScanParts};
 pub use leaky::{Leaky, LeakyHandle};
+pub use lease::{HandleLease, LeaseExhausted, LeasePolicy, LeasePool};
 pub use pad::CachePadded;
-pub use registry::{Registry, SlotId};
+pub use registry::{Registry, RegistryFull, SlotId, SHARD_SLOTS};
 pub use retired::RetiredPtr;
 pub use scratch::PtrScratch;
 pub use segbag::{ParkedChain, SegBag, SegPool, SEG_CAP};
-pub use smr::{drop_fn_for, Smr, SmrHandle};
+pub use smr::{drop_fn_for, CapacityExhausted, Smr, SmrHandle};
 pub use stats::{ShardedStats, StatStripe, StatsSnapshot};
 pub use telemetry::{
     HandleTelemetry, HistSnapshot, LogHistogram, ScanObserver, Telemetry, TelemetrySummary,

@@ -1,20 +1,72 @@
-//! Per-thread slot registry.
+//! Per-thread slot registry, sharded so scan cost tracks *active* threads.
 //!
 //! Every scheme in the paper keeps *per-process* shared records that other processes
 //! scan: hazard-pointer arrays (HP, Cadence), local epochs (QSBR), presence flags
 //! (QSense). The paper assumes a fixed set of `N` processes with no dynamic
 //! membership (§5.2, last paragraph); this registry implements exactly that model —
-//! a fixed-capacity array of slots — but lets threads claim and release slots so that
+//! a fixed-capacity set of slots — but lets threads claim and release slots so that
 //! worker threads can come and go between experiments, which the benchmarks need.
 //!
 //! The registry is generic over the per-thread record `T`. Records are constructed
 //! once at registry creation and never moved, so scanners can hold references to them
 //! while owners update their interiorly mutable fields (atomics).
+//!
+//! ## Sharding
+//!
+//! Slots are grouped into shards of [`SHARD_SLOTS`] (= 8). Each shard owns one
+//! cache-padded control line holding a **claim bitmap** (bit `s` set ⇔ slot `s` of
+//! the shard is claimed; its popcount is the shard's occupancy) plus a
+//! *touched* high-water bitmap, and one cache-padded line of **generation words**.
+//! The per-slot record and statistics stripe keep their own padded lines — those
+//! are the owner's single-writer hot-path traffic.
+//!
+//! The shard layout buys two things the flat array could not provide:
+//!
+//! * **Vacancy tests are O(1) per 8 slots.** One bitmap load classifies a whole
+//!   shard; a scan ([`collect_protected`](Registry::collect_protected),
+//!   [`iter_claimed`](Registry::iter_claimed)) or a cursor walk
+//!   ([`skip_vacant_shards`](Registry::skip_vacant_shards)) steps over a
+//!   wholly-vacant shard without touching any of its slot lines, so scan cost
+//!   tracks *active shards*, not registered capacity. The
+//!   [`shard_skips`](crate::stats::StatsSnapshot::shard_skips) /
+//!   [`shard_walks`](crate::stats::StatsSnapshot::shard_walks) counters make the
+//!   skip behaviour observable.
+//! * **Registration does not contend on one array.** [`acquire`](Registry::acquire)
+//!   deals a round-robin *home shard* to each registrant and CASes the lowest free
+//!   bit of that shard's bitmap, spilling linearly to the next shard only when the
+//!   home shard is full — concurrent registrants land on different cache lines
+//!   instead of racing down one array of claim flags.
+//!
+//! ## Why skipping vacant shards is safe
+//!
+//! A scanner that acquire-loads a shard bitmap as zero has synchronized with every
+//! release that cleared a bit in it: schemes neutralize a slot's record (clear
+//! hazard pointers, drain or hand off limbo) *before* calling
+//! [`release`](Registry::release), whose release-ordered bitmap clear publishes
+//! that cleanup. So "shard vacant at the bitmap load" implies "every record in it
+//! holds neutral values at that moment" — exactly the state whose inclusion the
+//! flat scan called conservative, so its *exclusion* is exact. A claim that lands
+//! after the bitmap load is the same race the per-slot scan always had: the new
+//! owner publishes protections only after the claim CAS, and a protection
+//! published after a node was unlinked fails its re-validation (Michael's step 4),
+//! so missing it never frees a node that re-validated successfully.
 
 use crate::pad::CachePadded;
 use crate::stats::{StatStripe, StatsSnapshot};
+use std::error::Error;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Slots per shard: one `u64` bitmap word classifies this many slots in a single
+/// load, and 8 generation words fill exactly one 64-byte line. Capacities that are
+/// not a multiple simply leave the tail bits of the last shard permanently unset.
+pub const SHARD_SLOTS: usize = 8;
+
+/// The shard a slot index belongs to.
+#[inline]
+pub const fn shard_of(index: usize) -> usize {
+    index / SHARD_SLOTS
+}
 
 /// Identifier of a claimed registry slot. The wrapped index is stable for the
 /// lifetime of the claim and doubles as the "process id" in paper terms.
@@ -26,24 +78,60 @@ impl SlotId {
     pub fn index(self) -> usize {
         self.0
     }
+
+    /// The shard this slot lives in — the natural stripe key for per-shard
+    /// auxiliary state ([`BudgetGovernor`](crate::budget::BudgetGovernor)
+    /// stripes, era-pacer stripes): handles sharing a shard already share
+    /// registration-time cache lines, so striping by shard keeps *scan* and
+    /// *accounting* locality aligned.
+    pub fn shard(self) -> usize {
+        shard_of(self.0)
+    }
 }
 
-/// A slot's claim flag and generation counter, sharing one cache line: both are
-/// written only at (de)registration, so co-locating them costs nothing on the
-/// hot path and saves a padded line per slot.
-struct SlotControl {
-    claimed: AtomicBool,
-    /// Bumped on every claim *and* every release, so the value is odd exactly
-    /// while the slot is claimed and each tenancy has a unique generation.
-    /// Asynchronous actors (e.g. QSense's evictor) snapshot the generation
-    /// before acting on a slot's record and re-validate it afterwards, which
-    /// closes the ABA window where a slot is released and re-claimed between an
-    /// actor's check and its write.
-    gen: AtomicU64,
+/// Error returned by [`Registry::try_acquire`] when every usable slot is claimed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegistryFull {
+    /// The registry's fixed capacity (`N`, the scheme's `max_threads`).
+    pub capacity: usize,
 }
 
-struct Slot<T> {
-    control: CachePadded<SlotControl>,
+impl fmt::Display for RegistryFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "all {} registry slots are claimed; raise SmrConfig::max_threads or \
+             lease existing handles instead of registering new ones",
+            self.capacity
+        )
+    }
+}
+
+impl Error for RegistryFull {}
+
+/// One shard's control line: the claim bitmap and the touched high-water bitmap,
+/// both written only at (de)registration, sharing one padded line.
+struct ShardControl {
+    /// Bit `s` set ⇔ slot `s` of this shard is currently claimed.
+    claimed: AtomicU64,
+    /// Bit `s` set ⇔ slot `s` has been claimed at least once (never cleared).
+    /// Lets [`Registry::merge_stats`] skip shards whose stripes were never
+    /// written without forgetting the counts of released slots.
+    touched: AtomicU64,
+}
+
+/// One shard's generation words: 8 × `u64` = one 64-byte line, padded so the
+/// (registration-time) generation traffic of one shard never bounces another's.
+struct ShardGens {
+    gens: [AtomicU64; SHARD_SLOTS],
+}
+
+struct Shard {
+    control: CachePadded<ShardControl>,
+    gens: CachePadded<ShardGens>,
+}
+
+struct SlotState<T> {
     state: CachePadded<T>,
     /// The slot owner's statistics stripe. Living next to the record the owner
     /// already writes on its hot path, it turns the per-`retire` /
@@ -52,27 +140,49 @@ struct Slot<T> {
     stats: CachePadded<StatStripe>,
 }
 
-/// Fixed-capacity registry of per-thread records.
+/// Fixed-capacity, shard-striped registry of per-thread records (module docs).
 pub struct Registry<T> {
-    slots: Box<[Slot<T>]>,
+    shards: Box<[Shard]>,
+    slots: Box<[SlotState<T>]>,
+    /// Round-robin home-shard seed: each `acquire` starts at a different shard.
+    home_seed: CachePadded<AtomicUsize>,
+    /// Shards stepped over as wholly vacant by scans and cursor walks.
+    shard_skips: CachePadded<AtomicU64>,
+    /// Shards actually walked (at least one claimed slot at the bitmap load).
+    shard_walks: CachePadded<AtomicU64>,
 }
 
 impl<T> Registry<T> {
     /// Creates a registry with `capacity` slots, each initialized by `init(index)`.
     pub fn new(capacity: usize, mut init: impl FnMut(usize) -> T) -> Self {
         assert!(capacity > 0, "registry capacity must be positive");
-        let slots = (0..capacity)
-            .map(|i| Slot {
-                control: CachePadded::new(SlotControl {
-                    claimed: AtomicBool::new(false),
-                    gen: AtomicU64::new(0),
+        let shard_count = capacity.div_ceil(SHARD_SLOTS);
+        let shards = (0..shard_count)
+            .map(|_| Shard {
+                control: CachePadded::new(ShardControl {
+                    claimed: AtomicU64::new(0),
+                    touched: AtomicU64::new(0),
                 }),
+                gens: CachePadded::new(ShardGens {
+                    gens: std::array::from_fn(|_| AtomicU64::new(0)),
+                }),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        let slots = (0..capacity)
+            .map(|i| SlotState {
                 state: CachePadded::new(init(i)),
                 stats: CachePadded::new(StatStripe::new()),
             })
             .collect::<Vec<_>>()
             .into_boxed_slice();
-        Self { slots }
+        Self {
+            shards,
+            slots,
+            home_seed: CachePadded::new(AtomicUsize::new(0)),
+            shard_skips: CachePadded::new(AtomicU64::new(0)),
+            shard_walks: CachePadded::new(AtomicU64::new(0)),
+        }
     }
 
     /// Maximum number of simultaneously registered threads (`N` in the paper).
@@ -80,37 +190,91 @@ impl<T> Registry<T> {
         self.slots.len()
     }
 
-    /// Number of currently claimed slots.
+    /// Number of shards ([`capacity`](Self::capacity) / [`SHARD_SLOTS`], rounded up).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The usable-bit mask of shard `si` (the last shard of a non-multiple
+    /// capacity has fewer than [`SHARD_SLOTS`] usable bits).
+    #[inline]
+    fn usable_mask(&self, si: usize) -> u64 {
+        let used = (self.capacity() - si * SHARD_SLOTS).min(SHARD_SLOTS);
+        if used == 64 {
+            u64::MAX
+        } else {
+            (1 << used) - 1
+        }
+    }
+
+    /// Number of currently claimed slots: one popcount per shard.
     pub fn claimed_count(&self) -> usize {
-        self.slots
+        self.shards
             .iter()
-            .filter(|s| s.control.claimed.load(Ordering::Acquire))
-            .count()
+            .map(|s| s.control.claimed.load(Ordering::Acquire).count_ones() as usize)
+            .sum()
     }
 
     /// Claims a free slot, returning its id, or `None` if all `N` slots are taken.
+    /// (See [`try_acquire`](Self::try_acquire) for the error-carrying variant.)
     ///
-    /// The acquire/release pairing on `claimed` makes everything the previous owner
-    /// wrote to the slot's record visible to the new owner. The claim bumps the
-    /// slot's generation to a fresh odd value (see [`generation`](Self::generation)).
+    /// Registration is dealt a round-robin **home shard** and CASes the lowest
+    /// free bit of its bitmap, spilling to subsequent shards only on overflow —
+    /// so concurrent registrants touch different control lines. The AcqRel claim
+    /// CAS pairs with the release-ordered bitmap clear in
+    /// [`release`](Self::release), making everything the previous owner wrote to
+    /// the slot's record visible to the new owner. The claim bumps the slot's
+    /// generation to a fresh odd value (see [`generation`](Self::generation)).
     pub fn acquire(&self) -> Option<SlotId> {
-        for (i, slot) in self.slots.iter().enumerate() {
-            if !slot.control.claimed.load(Ordering::Relaxed)
-                && slot
-                    .control
-                    .claimed
-                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
-                    .is_ok()
-            {
-                // Only the (unique) winner of the claim CAS bumps, so generations
-                // step by exactly one per ownership transition. Release pairs with
-                // the acquire in `generation`: an observer that reads this
-                // generation also observes the claim.
-                slot.control.gen.fetch_add(1, Ordering::Release);
-                return Some(SlotId(i));
+        let shard_count = self.shards.len();
+        let home = self.home_seed.fetch_add(1, Ordering::Relaxed) % shard_count;
+        for probe in 0..shard_count {
+            let si = (home + probe) % shard_count;
+            if let Some(id) = self.acquire_in_shard(si) {
+                return Some(id);
             }
         }
         None
+    }
+
+    /// Like [`acquire`](Self::acquire), but reports exhaustion as a descriptive
+    /// [`RegistryFull`] error carrying the configured capacity.
+    pub fn try_acquire(&self) -> Result<SlotId, RegistryFull> {
+        self.acquire().ok_or(RegistryFull {
+            capacity: self.capacity(),
+        })
+    }
+
+    /// Attempts to claim the lowest free usable bit of shard `si`.
+    fn acquire_in_shard(&self, si: usize) -> Option<SlotId> {
+        let control = &self.shards[si].control;
+        let mask = self.usable_mask(si);
+        let mut bits = control.claimed.load(Ordering::Relaxed);
+        loop {
+            let free = !bits & mask;
+            if free == 0 {
+                return None;
+            }
+            let bit = free.trailing_zeros() as usize;
+            match control.claimed.compare_exchange(
+                bits,
+                bits | (1 << bit),
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    let index = si * SHARD_SLOTS + bit;
+                    control.touched.fetch_or(1 << bit, Ordering::Relaxed);
+                    // Only the (unique) winner of the claim CAS bumps, so
+                    // generations step by exactly one per ownership transition.
+                    // Release pairs with the acquire in `generation`: an observer
+                    // that reads this generation also observes the claim.
+                    self.shards[si].gens.gens[bit].fetch_add(1, Ordering::Release);
+                    return Some(SlotId(index));
+                }
+                Err(actual) => bits = actual,
+            }
+        }
     }
 
     /// Releases a previously claimed slot.
@@ -118,18 +282,31 @@ impl<T> Registry<T> {
     /// The caller must have cleaned up the slot's record (cleared hazard pointers,
     /// drained limbo lists) before releasing; schemes do this in their handle `Drop`.
     /// The release bumps the generation (back to even) *before* clearing the claim
-    /// flag, so any observer that still sees the slot claimed also sees the tenancy's
-    /// own generation.
+    /// bit, so any observer that still sees the slot claimed also sees the tenancy's
+    /// own generation — and the release-ordered bitmap clear publishes the record
+    /// cleanup to any scanner that observes the shard as (partially) vacant.
     pub fn release(&self, id: SlotId) {
-        let slot = &self.slots[id.0];
-        slot.control.gen.fetch_add(1, Ordering::Release);
-        let was = slot.control.claimed.swap(false, Ordering::Release);
-        debug_assert!(was, "releasing a slot that was not claimed");
+        let si = shard_of(id.0);
+        let bit = id.0 % SHARD_SLOTS;
+        let shard = &self.shards[si];
+        shard.gens.gens[bit].fetch_add(1, Ordering::Release);
+        let was = shard
+            .control
+            .claimed
+            .fetch_and(!(1u64 << bit), Ordering::Release);
+        debug_assert!(
+            was & (1 << bit) != 0,
+            "releasing a slot that was not claimed"
+        );
     }
 
     /// Whether the given slot index is currently claimed.
     pub fn is_claimed(&self, index: usize) -> bool {
-        self.slots[index].control.claimed.load(Ordering::Acquire)
+        let bits = self.shards[shard_of(index)]
+            .control
+            .claimed
+            .load(Ordering::Acquire);
+        bits & (1 << (index % SHARD_SLOTS)) != 0
     }
 
     /// The slot's current generation: bumped on every claim and every release, so
@@ -139,7 +316,7 @@ impl<T> Registry<T> {
     /// detect that the slot changed hands underneath them.
     #[inline]
     pub fn generation(&self, index: usize) -> u64 {
-        self.slots[index].control.gen.load(Ordering::Acquire)
+        self.shards[shard_of(index)].gens.gens[index % SHARD_SLOTS].load(Ordering::Acquire)
     }
 
     /// Returns the record stored in slot `index` regardless of claim state.
@@ -164,32 +341,81 @@ impl<T> Registry<T> {
         &self.slots[id.0].stats
     }
 
-    /// Sums every slot's statistics stripe into `snap`. Stripes of released slots
-    /// are included: counts survive their writer's deregistration.
+    /// Sums every touched slot's statistics stripe into `snap`, plus the
+    /// registry's own shard-skip/-walk counters. Stripes of released slots are
+    /// included (their shard stays *touched*): counts survive their writer's
+    /// deregistration. Shards never claimed are stepped over on one bitmap load.
     pub fn merge_stats(&self, snap: &mut StatsSnapshot) {
-        for slot in self.slots.iter() {
-            slot.stats.merge_into(snap);
+        for (si, shard) in self.shards.iter().enumerate() {
+            let touched = shard.control.touched.load(Ordering::Relaxed);
+            if touched == 0 {
+                continue;
+            }
+            let base = si * SHARD_SLOTS;
+            for bit in 0..SHARD_SLOTS {
+                if touched & (1 << bit) != 0 {
+                    self.slots[base + bit].stats.merge_into(snap);
+                }
+            }
         }
+        snap.shard_skips += self.shard_skips.load(Ordering::Relaxed);
+        snap.shard_walks += self.shard_walks.load(Ordering::Relaxed);
     }
 
     /// Snapshots per-record pointer sets into `out` (cleared first), sorted and
     /// deduplicated for binary search — the shared `get_protected_nodes` step of
     /// every scanning scheme (HP, Cadence, QSense). `collect` appends one
-    /// record's published pointers to the buffer. All slots are visited, claimed
-    /// or not: unclaimed records hold null pointers, so including them is always
-    /// conservative. Allocation-free whenever `out` already has capacity for the
-    /// `N·K` worst case.
+    /// record's published pointers to the buffer.
+    ///
+    /// Wholly-vacant shards are stepped over on a single bitmap load (and
+    /// counted in [`StatsSnapshot::shard_skips`]); within an active shard every
+    /// slot is visited, claimed or not — unclaimed records hold null pointers,
+    /// so including them is conservative, and the module docs give the argument
+    /// for why excluding vacant *shards* is exact. Allocation-free whenever
+    /// `out` already has capacity for the `N·K` worst case.
     pub fn collect_protected(
         &self,
         out: &mut Vec<*mut u8>,
         mut collect: impl FnMut(&T, &mut Vec<*mut u8>),
     ) {
         out.clear();
-        for slot in self.slots.iter() {
-            collect(&slot.state, out);
+        for (si, shard) in self.shards.iter().enumerate() {
+            if shard.control.claimed.load(Ordering::Acquire) == 0 {
+                self.shard_skips.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            self.shard_walks.fetch_add(1, Ordering::Relaxed);
+            let base = si * SHARD_SLOTS;
+            let end = (base + SHARD_SLOTS).min(self.slots.len());
+            for slot in &self.slots[base..end] {
+                collect(&slot.state, out);
+            }
         }
         out.sort_unstable();
         out.dedup();
+    }
+
+    /// If slot `index`'s shard is wholly vacant, returns the first index of the
+    /// next non-vacant shard (or `capacity` if none) — the jump target that lets
+    /// cursor walks ([`EpochCursor::poll`](../qsbr-crate) consumers) step over
+    /// vacant shards in O(#shards) instead of O(capacity). Returns `index`
+    /// unchanged when its shard has any claimed slot. Skipped shards are counted
+    /// in [`StatsSnapshot::shard_skips`].
+    pub fn skip_vacant_shards(&self, index: usize) -> usize {
+        let mut si = shard_of(index);
+        let mut skipped = 0u64;
+        while si < self.shards.len() {
+            if self.shards[si].control.claimed.load(Ordering::Acquire) != 0 {
+                break;
+            }
+            skipped += 1;
+            si += 1;
+        }
+        if skipped == 0 {
+            return index;
+        }
+        self.shard_skips.fetch_add(skipped, Ordering::Relaxed);
+        (si * SHARD_SLOTS).min(self.capacity())
     }
 
     /// Iterates over `(index, record)` for every slot, claimed or not.
@@ -197,18 +423,41 @@ impl<T> Registry<T> {
         self.slots.iter().enumerate().map(|(i, s)| (i, &*s.state))
     }
 
-    /// Iterates over `(index, record)` for currently claimed slots only.
+    /// Iterates over `(index, record)` for currently claimed slots only, stepping
+    /// over wholly-vacant shards on one bitmap load each (counted in
+    /// [`StatsSnapshot::shard_skips`] / [`shard_walks`](StatsSnapshot::shard_walks)).
     ///
     /// Note the inherent race: a slot may be claimed or released while the iteration
     /// is in progress. Schemes must therefore make sure that *releasing* a slot leaves
     /// its record in a state that is safe to miss (e.g. hazard pointers cleared only
     /// after the owner's retired nodes have been handed off or reclaimed).
     pub fn iter_claimed(&self) -> impl Iterator<Item = (usize, &T)> {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.control.claimed.load(Ordering::Acquire))
-            .map(|(i, s)| (i, &*s.state))
+        self.shards.iter().enumerate().flat_map(move |(si, shard)| {
+            let bits = shard.control.claimed.load(Ordering::Acquire);
+            if bits == 0 {
+                self.shard_skips.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.shard_walks.fetch_add(1, Ordering::Relaxed);
+            }
+            let base = si * SHARD_SLOTS;
+            (0..SHARD_SLOTS)
+                .filter(move |&bit| bits & (1 << bit) != 0)
+                .map(move |bit| {
+                    let i = base + bit;
+                    (i, &*self.slots[i].state)
+                })
+        })
+    }
+
+    /// Shards stepped over as wholly vacant so far (diagnostics/tests; also
+    /// merged into [`StatsSnapshot::shard_skips`] by [`merge_stats`](Self::merge_stats)).
+    pub fn shard_skip_count(&self) -> u64 {
+        self.shard_skips.load(Ordering::Relaxed)
+    }
+
+    /// Shards actually walked so far (diagnostics/tests).
+    pub fn shard_walk_count(&self) -> u64 {
+        self.shard_walks.load(Ordering::Relaxed)
     }
 }
 
@@ -216,6 +465,7 @@ impl<T> fmt::Debug for Registry<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Registry")
             .field("capacity", &self.capacity())
+            .field("shards", &self.shard_count())
             .field("claimed", &self.claimed_count())
             .finish()
     }
@@ -232,15 +482,25 @@ mod tests {
     fn acquire_release_round_trip() {
         let reg: Registry<AtomicUsize> = Registry::new(2, |_| AtomicUsize::new(0));
         assert_eq!(reg.capacity(), 2);
+        assert_eq!(reg.shard_count(), 1);
         let a = reg.acquire().unwrap();
         let b = reg.acquire().unwrap();
         assert_ne!(a, b);
         assert!(reg.acquire().is_none(), "registry should be full");
+        assert_eq!(
+            reg.try_acquire().unwrap_err(),
+            RegistryFull { capacity: 2 },
+            "try_acquire names the exhausted capacity"
+        );
         assert_eq!(reg.claimed_count(), 2);
         reg.release(a);
         assert_eq!(reg.claimed_count(), 1);
         let c = reg.acquire().unwrap();
-        assert_eq!(c.index(), a.index(), "released slot should be reusable");
+        assert_eq!(
+            c.index(),
+            a.index(),
+            "within one shard the lowest free bit reuses the released slot"
+        );
         reg.release(b);
         reg.release(c);
         assert_eq!(reg.claimed_count(), 0);
@@ -256,7 +516,11 @@ mod tests {
         reg.release(a);
         assert_eq!(reg.generation(a.index()), g1 + 1, "release bumps to even");
         let b = reg.acquire().unwrap();
-        assert_eq!(b.index(), a.index(), "first-free policy reuses the slot");
+        assert_eq!(
+            b.index(),
+            a.index(),
+            "single-shard lowest-free-bit policy reuses the slot"
+        );
         let g2 = reg.generation(b.index());
         assert_eq!(g2, g1 + 2, "each tenancy gets a fresh generation");
         reg.release(b);
@@ -302,6 +566,95 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_acquisition_fills_a_multi_shard_registry_exactly() {
+        // 20 slots = 2 full shards + a 4-slot tail shard; 20 threads racing with
+        // round-robin homes and spill must each get a distinct in-range slot.
+        const CAP: usize = 20;
+        let reg: Arc<Registry<AtomicUsize>> = Arc::new(Registry::new(CAP, |_| AtomicUsize::new(0)));
+        let handles: Vec<_> = (0..CAP)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                thread::spawn(move || reg.acquire().expect("capacity matches threads").index())
+            })
+            .collect();
+        let mut indices: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        indices.sort_unstable();
+        indices.dedup();
+        assert_eq!(indices.len(), CAP);
+        assert!(
+            indices.iter().all(|&i| i < CAP),
+            "tail-shard bits beyond capacity stay unused"
+        );
+        assert!(reg.acquire().is_none(), "registry is exactly full");
+    }
+
+    #[test]
+    fn round_robin_homes_spread_registrants_across_shards() {
+        let reg: Registry<usize> = Registry::new(64, |_| 0);
+        assert_eq!(reg.shard_count(), 8);
+        let ids: Vec<_> = (0..8).map(|_| reg.acquire().unwrap()).collect();
+        let mut shards: Vec<_> = ids.iter().map(|id| id.shard()).collect();
+        shards.sort_unstable();
+        shards.dedup();
+        assert_eq!(
+            shards.len(),
+            8,
+            "8 sequential registrations land in 8 distinct home shards"
+        );
+    }
+
+    #[test]
+    fn scans_skip_wholly_vacant_shards() {
+        let reg: Registry<AtomicUsize> = Registry::new(256, |_| AtomicUsize::new(0));
+        assert_eq!(reg.shard_count(), 32);
+        // Two registrants: at most two active shards.
+        let a = reg.acquire().unwrap();
+        let b = reg.acquire().unwrap();
+        let mut out = Vec::new();
+        reg.collect_protected(&mut out, |_, _| {});
+        let skips = reg.shard_skip_count();
+        let walks = reg.shard_walk_count();
+        assert_eq!(walks + skips, 32, "every shard classified exactly once");
+        assert!(walks <= 2, "scan walks only the active shards, got {walks}");
+        assert!(
+            skips >= 30,
+            "vacant shards are skipped in O(1), got {skips}"
+        );
+        reg.release(a);
+        reg.release(b);
+        // All vacant now: a scan touches no slot lines at all.
+        let before = reg.shard_walk_count();
+        reg.collect_protected(&mut out, |_, _| panic!("no shard should be walked"));
+        assert_eq!(reg.shard_walk_count(), before);
+    }
+
+    #[test]
+    fn skip_vacant_shards_jumps_to_the_next_active_shard() {
+        let reg: Registry<AtomicUsize> = Registry::new(64, |_| AtomicUsize::new(0));
+        // Occupy only shard 5 (slots 40..48): deal homes until one lands there.
+        let id = loop {
+            let id = reg.acquire().unwrap();
+            if id.shard() == 5 {
+                break id;
+            }
+            reg.release(id);
+        };
+        assert_eq!(reg.skip_vacant_shards(0), 40, "jumps over shards 0..5");
+        assert_eq!(reg.skip_vacant_shards(41), 41, "active shard: no jump");
+        assert_eq!(
+            reg.skip_vacant_shards(48),
+            64,
+            "nothing after shard 5: jump to capacity"
+        );
+        reg.release(id);
+        assert_eq!(
+            reg.skip_vacant_shards(0),
+            64,
+            "empty registry: one jump to the end"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _: Registry<u8> = Registry::new(0, |_| 0);
@@ -324,6 +677,19 @@ mod tests {
         let mut snap = crate::stats::StatsSnapshot::default();
         reg.merge_stats(&mut snap);
         assert_eq!(snap.retired, 7);
+        reg.release(a);
+    }
+
+    #[test]
+    fn merge_stats_reports_shard_skip_and_walk_counters() {
+        let reg: Registry<AtomicUsize> = Registry::new(32, |_| AtomicUsize::new(0));
+        let a = reg.acquire().unwrap();
+        let mut out = Vec::new();
+        reg.collect_protected(&mut out, |_, _| {});
+        let mut snap = crate::stats::StatsSnapshot::default();
+        reg.merge_stats(&mut snap);
+        assert_eq!(snap.shard_skips + snap.shard_walks, 4);
+        assert!(snap.shard_walks >= 1);
         reg.release(a);
     }
 

@@ -33,8 +33,37 @@ use crate::clock::{Era, NO_BIRTH_ERA};
 use crate::retired::DropFn;
 use crate::stats::StatsSnapshot;
 use crate::telemetry::Telemetry;
+use std::error::Error;
+use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Error returned by [`Smr::try_register`] when every registry slot is claimed:
+/// more handles are simultaneously live than the scheme's configured
+/// `max_threads`. Carries the scheme name and the exhausted capacity so the
+/// failure names its own fix instead of surfacing as an opaque slot-`Option`
+/// unwrap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CapacityExhausted {
+    /// The scheme that refused the registration (`"hp"`, `"qsense"`, …).
+    pub scheme: &'static str,
+    /// The configured capacity (`SmrConfig::max_threads`) that is fully claimed.
+    pub capacity: usize,
+}
+
+impl fmt::Display for CapacityExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: cannot register another handle: all {} registry slots are claimed \
+             (SmrConfig::max_threads = {}); raise max_threads, drop an existing \
+             handle first, or share handles through a LeasePool",
+            self.scheme, self.capacity, self.capacity
+        )
+    }
+}
+
+impl Error for CapacityExhausted {}
 
 /// A safe-memory-reclamation scheme instance.
 ///
@@ -46,12 +75,25 @@ pub trait Smr: Send + Sync + 'static {
     /// The per-thread handle type.
     type Handle: SmrHandle;
 
+    /// Registers the calling thread, claiming one of the `N` slots, or reports
+    /// a descriptive [`CapacityExhausted`] error when more than `max_threads`
+    /// handles are simultaneously live. The non-panicking twin of
+    /// [`register`](Smr::register) — thread pools and lease pools that can
+    /// retry, wait, or shed load should prefer it.
+    fn try_register(self: &Arc<Self>) -> Result<Self::Handle, CapacityExhausted>;
+
     /// Registers the calling thread, claiming one of the `N` slots.
     ///
     /// # Panics
     ///
-    /// Panics if more than `max_threads` handles are simultaneously live.
-    fn register(self: &Arc<Self>) -> Self::Handle;
+    /// Panics with the [`CapacityExhausted`] message if more than `max_threads`
+    /// handles are simultaneously live.
+    fn register(self: &Arc<Self>) -> Self::Handle {
+        match self.try_register() {
+            Ok(handle) => handle,
+            Err(e) => panic!("{e}"),
+        }
+    }
 
     /// A short human-readable scheme name used by the benchmark harness
     /// (`"none"`, `"qsbr"`, `"hp"`, `"cadence"`, `"qsense"`).

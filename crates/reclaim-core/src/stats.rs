@@ -89,6 +89,15 @@ pub struct StatsSnapshot {
     /// against protections or ages — the expensive cost class (HP/Cadence
     /// scans, QSense fallback, HE boundary chains, RefCount sweeps).
     pub scan_walks: u64,
+    /// Registry shards stepped over as wholly vacant by scans and cursor walks
+    /// (one bitmap load, zero slot lines touched) — the counter that proves
+    /// scan cost tracks *active shards*, not registered capacity. Not a stripe
+    /// counter: the registry tracks it and injects it at merge time (see
+    /// [`crate::registry::Registry::merge_stats`]).
+    pub shard_skips: u64,
+    /// Registry shards actually walked (at least one claimed slot at the
+    /// bitmap load). Registry-level, like [`shard_skips`](Self::shard_skips).
+    pub shard_walks: u64,
     /// Quiescent states declared (QSBR / QSense fast path).
     pub quiescent_states: u64,
     /// Memory fences issued on the traversal path (classic HP only; Cadence's whole

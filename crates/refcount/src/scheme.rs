@@ -4,9 +4,9 @@ use crate::table::{CountTable, DEFAULT_BUCKETS};
 use reclaim_core::retired::DropFn;
 use reclaim_core::stats::{StatStripe, StatsSnapshot};
 use reclaim_core::{
-    BudgetGovernor, BudgetVerdict, Era, HandleCache, HandleTelemetry, ParkedChain, PtrScratch,
-    RetiredPtr, ScanParts, SegBag, SegPool, ShardedStats, Smr, SmrConfig, SmrHandle, Telemetry,
-    NO_BIRTH_ERA,
+    BudgetGovernor, BudgetVerdict, CapacityExhausted, Era, HandleCache, HandleTelemetry,
+    ParkedChain, PtrScratch, RetiredPtr, ScanParts, SegBag, SegPool, ShardedStats, Smr, SmrConfig,
+    SmrHandle, Telemetry, NO_BIRTH_ERA,
 };
 use std::sync::Arc;
 use std::time::Instant;
@@ -130,7 +130,9 @@ impl RefCount {
 impl Smr for RefCount {
     type Handle = RefCountHandle;
 
-    fn register(self: &Arc<Self>) -> RefCountHandle {
+    // RefCount is registry-less (stat stripes are shared round-robin past
+    // `max_threads`), so registration can never exhaust capacity.
+    fn try_register(self: &Arc<Self>) -> Result<RefCountHandle, CapacityExhausted> {
         // Adopt a previous tenant's pool + slot buffer when available
         // (thread-pool churn; see `HandleCache`); otherwise pre-warm for the
         // scan threshold (capped) so even the first bag fill recycles instead
@@ -147,7 +149,7 @@ impl Smr for RefCount {
             .scratch
             .resize(self.config.hp_per_thread, std::ptr::null_mut());
         let stripe = self.stats.assign_stripe();
-        RefCountHandle {
+        Ok(RefCountHandle {
             stripe,
             budget_stripe: BudgetGovernor::stripe_for(stripe),
             tele: HandleTelemetry::attach(&self.telemetry),
@@ -157,7 +159,7 @@ impl Smr for RefCount {
             pool: parts.pool,
             since_last_scan: 0,
             budget_reported: 0,
-        }
+        })
     }
 
     fn name(&self) -> &'static str {

@@ -17,6 +17,9 @@
 //!   CLI and CI run against byte budgets;
 //! * [`sampler`] — the per-episode limbo sampling the robustness scenarios
 //!   share;
+//! * [`server_soak`] — the M:N lease scenario (thousands of short sessions
+//!   borrowing few registered handles) proving the sharded registry's
+//!   scan-dispatch and the lease pool's checkout cost;
 //! * [`report`] — text tables matching the figures' series.
 
 #![warn(missing_docs)]
@@ -27,6 +30,7 @@ pub mod generator;
 pub mod report;
 pub mod runner;
 pub mod sampler;
+pub mod server_soak;
 pub mod spec;
 pub mod stall_churn;
 pub mod structures;
@@ -38,6 +42,7 @@ pub use faults::{
 pub use generator::{OpGenerator, Operation};
 pub use runner::{run_experiment, DelaySchedule, Experiment, RunResult, Sample};
 pub use sampler::{percentile, LimboSampler};
+pub use server_soak::{run_server_soak, run_server_soak_with, ServerSoakResult, ServerSoakSpec};
 pub use spec::{OpMix, Structure, WorkloadSpec};
 pub use stall_churn::{run_stall_churn, StallChurnResult, StallChurnSpec};
 pub use structures::{default_bench_config, make_set, BenchSet, SchemeKind, SetSession};

@@ -98,14 +98,17 @@ pub fn telemetry_rows(result: &RunResult) -> Vec<String> {
 /// Formats the scan-dispatch class counters (how often a reclamation pass
 /// freed a whole batch wholesale, skipped it unexamined, or walked it
 /// node-by-node) — the per-scheme generalization of HE's fast/slow-path
-/// diagnostics.
+/// diagnostics — plus the registry's shard-dispatch counters (vacant shards
+/// skipped in one bitmap probe vs. shards actually walked slot-by-slot).
 pub fn dispatch_row(result: &RunResult) -> String {
     format!(
-        "{:<12} scan-dispatch  wholesale: {:>8}  skips: {:>8}  walks: {:>8}",
+        "{:<12} scan-dispatch  wholesale: {:>8}  skips: {:>8}  walks: {:>8}  shard-skips: {:>8}  shard-walks: {:>8}",
         result.scheme,
         result.stats.scan_wholesale,
         result.stats.scan_skips,
         result.stats.scan_walks,
+        result.stats.shard_skips,
+        result.stats.shard_walks,
     )
 }
 
@@ -214,9 +217,13 @@ mod tests {
         run.stats.scan_wholesale = 7;
         run.stats.scan_skips = 3;
         run.stats.scan_walks = 1;
+        run.stats.shard_skips = 31;
+        run.stats.shard_walks = 2;
         let row = dispatch_row(&run);
         assert!(row.contains("wholesale:"), "row = {row}");
         assert!(row.contains('7') && row.contains('3'), "row = {row}");
+        assert!(row.contains("shard-skips:"), "row = {row}");
+        assert!(row.contains("31"), "row = {row}");
         assert!(budget_row(&run).is_none(), "no verdict, no row");
         run.budget_verdict = Some(reclaim_core::BudgetVerdict {
             budget_bytes: 4096,

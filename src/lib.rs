@@ -48,11 +48,12 @@ pub mod smr {
     pub use qsense::{Path, QSense, QSenseHandle};
     pub use reclaim_core::stats::StatsSnapshot;
     pub use reclaim_core::{
-        retire_box, retire_box_with_birth, Atomic, BudgetGovernor, BudgetVerdict, Clock,
-        CountingAllocator, Era, EraAdvancePolicy, EraClock, EraPacer, Guard, HandleCache, Leaky,
-        LeakyHandle, LogHistogram, ManualClock, Owned, ShardedStats, Shared, Smr, SmrConfig,
+        retire_box, retire_box_with_birth, Atomic, BudgetGovernor, BudgetVerdict,
+        CapacityExhausted, Clock, CountingAllocator, Era, EraAdvancePolicy, EraClock, EraPacer,
+        Guard, HandleCache, HandleLease, Leaky, LeakyHandle, LeaseExhausted, LeasePolicy,
+        LeasePool, LogHistogram, ManualClock, Owned, ShardedStats, Shared, Smr, SmrConfig,
         SmrHandle, StatStripe, Telemetry, TelemetrySummary, Unlinked, DEFAULT_ERA_ADVANCE_INTERVAL,
-        NO_BIRTH_ERA,
+        NO_BIRTH_ERA, SHARD_SLOTS,
     };
     pub use refcount::{RefCount, RefCountHandle};
 }
@@ -74,8 +75,9 @@ pub mod bench {
     pub use workload::report;
     pub use workload::{
         default_bench_config, default_fault_config, make_set, run_experiment, run_fault,
-        run_fault_for, run_stall_churn, BenchSet, DelaySchedule, Experiment, FaultKind, FaultPlan,
-        FaultResult, LimboSampler, OpGenerator, OpMix, Operation, RunResult, Sample, SchemeKind,
+        run_fault_for, run_server_soak, run_server_soak_with, run_stall_churn, BenchSet,
+        DelaySchedule, Experiment, FaultKind, FaultPlan, FaultResult, LimboSampler, OpGenerator,
+        OpMix, Operation, RunResult, Sample, SchemeKind, ServerSoakResult, ServerSoakSpec,
         SetSession, StallChurnResult, StallChurnSpec, Structure, WorkloadSpec, PAYLOAD_BYTES,
     };
 }

@@ -696,6 +696,48 @@ fn steady_state_scans_perform_zero_heap_allocations() {
         }
     }
 
+    // --- lease checkout / checkin ------------------------------------------
+    // The M:N lease layer sits on the session hot path (a server checks a
+    // handle out per request), so borrowing must be as quiet as the pipeline
+    // it lends out: the pool's idle stack is pre-sized to `slots` at
+    // construction and a checkin can never push past it, so steady-state
+    // checkout (mutex + Vec pop) and checkin (mutex + Vec push) are
+    // allocation-free — for the blocking, non-blocking, and drop-driven
+    // checkin paths alike, and regardless of interleaving depth.
+    {
+        use qsense_repro::smr::{LeasePolicy, LeasePool};
+
+        let scheme = Hazard::new(config(&ManualClock::new()).with_max_threads(4));
+        let pool =
+            LeasePool::for_scheme(&scheme, 3, LeasePolicy::Fail).expect("3 handles fit 4 slots");
+        // Warm-up: first checkout of every handle (and a failed checkout).
+        {
+            let _a = pool.checkout().expect("warm-up lease");
+            let _b = pool.try_checkout();
+            let _c = pool.try_checkout();
+            assert!(pool.try_checkout().is_none(), "pool is fully lent out");
+        }
+        assert_eq!(pool.idle_count(), 3, "warm-up returned every handle");
+        assert_alloc_delta("lease checkout/checkin cycles", 0, || {
+            let before_alloc = ALLOC.allocated_bytes();
+            for _ in 0..256 {
+                // Deep interleaving: all three handles out at once, the
+                // overflow checkout shed by the fail policy, LIFO checkin.
+                let a = pool.checkout().expect("lease 1");
+                let b = pool.try_checkout().expect("lease 2");
+                let c = pool.try_checkout().expect("lease 3");
+                assert!(pool.checkout().is_err(), "fail policy sheds the 4th");
+                drop(b);
+                let b2 = pool.try_checkout().expect("checkin reopened the pool");
+                drop(a);
+                drop(c);
+                drop(b2);
+            }
+            assert_eq!(pool.idle_count(), 3);
+            ALLOC.allocated_bytes() - before_alloc
+        });
+    }
+
     // --- stats snapshots ---------------------------------------------------
     // Off the hot path but used by monitoring loops: summing the sharded counter
     // stripes must not allocate either. (Kept in the same #[test] so no
